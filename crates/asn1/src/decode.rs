@@ -1,0 +1,444 @@
+//! DER decoder: strict, definite-length-only pull parser.
+
+use crate::{Oid, Tag};
+use mp_bignum::BigUint;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the announced structure did.
+    Truncated,
+    /// Found a different tag than expected.
+    UnexpectedTag { expected: u8, found: u8 },
+    /// Length octets malformed (indefinite or > usize).
+    BadLength,
+    /// Content octets malformed for the type.
+    BadValue(&'static str),
+    /// Trailing bytes after a complete parse.
+    TrailingData,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "DER input truncated"),
+            DecodeError::UnexpectedTag { expected, found } => {
+                write!(f, "expected tag 0x{expected:02x}, found 0x{found:02x}")
+            }
+            DecodeError::BadLength => write!(f, "malformed DER length"),
+            DecodeError::BadValue(what) => write!(f, "malformed DER value: {what}"),
+            DecodeError::TrailingData => write!(f, "trailing data after DER structure"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+type Result<T> = std::result::Result<T, DecodeError>;
+
+/// Pull-style reader over a DER byte slice.
+#[derive(Clone)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start reading `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder { input, pos: 0 }
+    }
+
+    /// True when all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Error unless fully consumed.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingData)
+        }
+    }
+
+    /// Peek the next tag byte without consuming.
+    pub fn peek_tag(&self) -> Option<Tag> {
+        self.input.get(self.pos).map(|&b| Tag(b))
+    }
+
+    /// Read one TLV with the expected `tag`, returning its content.
+    pub fn expect(&mut self, tag: Tag) -> Result<&'a [u8]> {
+        let found = *self.input.get(self.pos).ok_or(DecodeError::Truncated)?;
+        if found != tag.0 {
+            return Err(DecodeError::UnexpectedTag { expected: tag.0, found });
+        }
+        self.pos += 1;
+        let len = self.read_len()?;
+        let start = self.pos;
+        let end = start.checked_add(len).ok_or(DecodeError::BadLength)?;
+        if end > self.input.len() {
+            return Err(DecodeError::Truncated);
+        }
+        self.pos = end;
+        Ok(&self.input[start..end])
+    }
+
+    /// Read any TLV, returning (tag, content).
+    pub fn any(&mut self) -> Result<(Tag, &'a [u8])> {
+        let found = *self.input.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        let len = self.read_len()?;
+        let start = self.pos;
+        let end = start.checked_add(len).ok_or(DecodeError::BadLength)?;
+        if end > self.input.len() {
+            return Err(DecodeError::Truncated);
+        }
+        self.pos = end;
+        Ok((Tag(found), &self.input[start..end]))
+    }
+
+    /// Read any TLV and return the raw bytes of the whole TLV (header
+    /// included) — used to re-hash `tbsCertificate` exactly as received.
+    pub fn any_raw(&mut self) -> Result<(Tag, &'a [u8])> {
+        let start = self.pos;
+        let (tag, _) = self.any()?;
+        Ok((tag, &self.input[start..self.pos]))
+    }
+
+    /// If the next tag matches, read it; otherwise leave position alone.
+    pub fn optional(&mut self, tag: Tag) -> Result<Option<&'a [u8]>> {
+        if self.peek_tag() == Some(tag) {
+            Ok(Some(self.expect(tag)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// SEQUENCE content as a nested decoder.
+    pub fn sequence(&mut self) -> Result<Decoder<'a>> {
+        Ok(Decoder::new(self.expect(Tag::SEQUENCE)?))
+    }
+
+    /// SET content as a nested decoder.
+    pub fn set(&mut self) -> Result<Decoder<'a>> {
+        Ok(Decoder::new(self.expect(Tag::SET)?))
+    }
+
+    /// Context-specific constructed `[n]` content as a nested decoder.
+    pub fn context(&mut self, n: u8) -> Result<Decoder<'a>> {
+        Ok(Decoder::new(self.expect(Tag::context(n))?))
+    }
+
+    /// INTEGER as an unsigned big integer. Rejects negative values
+    /// (never valid in the X.509 fields we parse).
+    pub fn uint(&mut self) -> Result<BigUint> {
+        let content = self.expect(Tag::INTEGER)?;
+        if content.is_empty() {
+            return Err(DecodeError::BadValue("empty INTEGER"));
+        }
+        if content[0] & 0x80 != 0 {
+            return Err(DecodeError::BadValue("negative INTEGER"));
+        }
+        Ok(BigUint::from_be_bytes(content))
+    }
+
+    /// INTEGER as u64 (for versions, small counters).
+    pub fn uint_u64(&mut self) -> Result<u64> {
+        self.uint()?
+            .to_u64()
+            .ok_or(DecodeError::BadValue("INTEGER exceeds u64"))
+    }
+
+    /// BOOLEAN.
+    pub fn boolean(&mut self) -> Result<bool> {
+        let content = self.expect(Tag::BOOLEAN)?;
+        match content {
+            [0x00] => Ok(false),
+            [0xff] => Ok(true),
+            _ => Err(DecodeError::BadValue("non-canonical BOOLEAN")),
+        }
+    }
+
+    /// NULL.
+    pub fn null(&mut self) -> Result<()> {
+        let content = self.expect(Tag::NULL)?;
+        if content.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::BadValue("non-empty NULL"))
+        }
+    }
+
+    /// OBJECT IDENTIFIER.
+    pub fn oid(&mut self) -> Result<Oid> {
+        let content = self.expect(Tag::OID)?;
+        Oid::from_der_content(content).ok_or(DecodeError::BadValue("malformed OID"))
+    }
+
+    /// OCTET STRING content.
+    pub fn octet_string(&mut self) -> Result<&'a [u8]> {
+        self.expect(Tag::OCTET_STRING)
+    }
+
+    /// BIT STRING content; only zero unused bits are accepted.
+    pub fn bit_string(&mut self) -> Result<&'a [u8]> {
+        let content = self.expect(Tag::BIT_STRING)?;
+        match content.split_first() {
+            Some((0, rest)) => Ok(rest),
+            Some(_) => Err(DecodeError::BadValue("BIT STRING with unused bits")),
+            None => Err(DecodeError::BadValue("empty BIT STRING")),
+        }
+    }
+
+    /// Any of the string types, as UTF-8.
+    pub fn string(&mut self) -> Result<String> {
+        let (tag, content) = self.any()?;
+        if ![Tag::UTF8_STRING, Tag::PRINTABLE_STRING, Tag::IA5_STRING].contains(&tag) {
+            return Err(DecodeError::UnexpectedTag { expected: Tag::UTF8_STRING.0, found: tag.0 });
+        }
+        String::from_utf8(content.to_vec()).map_err(|_| DecodeError::BadValue("invalid UTF-8"))
+    }
+
+    /// UTCTime or GeneralizedTime as unix seconds.
+    pub fn time(&mut self) -> Result<u64> {
+        let (tag, content) = self.any()?;
+        let s = std::str::from_utf8(content).map_err(|_| DecodeError::BadValue("time not ASCII"))?;
+        match tag {
+            Tag::UTC_TIME => parse_utc_time(s),
+            Tag::GENERALIZED_TIME => parse_generalized_time(s),
+            _ => Err(DecodeError::UnexpectedTag { expected: Tag::UTC_TIME.0, found: tag.0 }),
+        }
+    }
+
+    fn read_len(&mut self) -> Result<usize> {
+        let first = *self.input.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n_octets = (first & 0x7f) as usize;
+        if n_octets == 0 || n_octets > 8 {
+            return Err(DecodeError::BadLength); // indefinite or absurd
+        }
+        let mut len = 0usize;
+        for _ in 0..n_octets {
+            let b = *self.input.get(self.pos).ok_or(DecodeError::Truncated)?;
+            self.pos += 1;
+            len = len.checked_shl(8).ok_or(DecodeError::BadLength)? | b as usize;
+        }
+        Ok(len)
+    }
+}
+
+fn two_digits(s: &[u8]) -> Result<u32> {
+    if s.len() < 2 || !s[0].is_ascii_digit() || !s[1].is_ascii_digit() {
+        return Err(DecodeError::BadValue("bad time digits"));
+    }
+    Ok(((s[0] - b'0') as u32) * 10 + (s[1] - b'0') as u32)
+}
+
+fn parse_utc_time(s: &str) -> Result<u64> {
+    // YYMMDDHHMMSSZ
+    let b = s.as_bytes();
+    if b.len() != 13 || b[12] != b'Z' {
+        return Err(DecodeError::BadValue("bad UTCTime"));
+    }
+    let yy = two_digits(&b[0..])? as i64;
+    // RFC 5280: two-digit years 00-49 are 20xx, 50-99 are 19xx.
+    let year = if yy < 50 { 2000 + yy } else { 1900 + yy };
+    to_unix(year, &b[2..])
+}
+
+fn parse_generalized_time(s: &str) -> Result<u64> {
+    // YYYYMMDDHHMMSSZ
+    let b = s.as_bytes();
+    if b.len() != 15 || b[14] != b'Z' {
+        return Err(DecodeError::BadValue("bad GeneralizedTime"));
+    }
+    let year = (two_digits(&b[0..])? * 100 + two_digits(&b[2..])?) as i64;
+    to_unix(year, &b[4..])
+}
+
+fn to_unix(year: i64, rest: &[u8]) -> Result<u64> {
+    let mo = two_digits(&rest[0..])?;
+    let d = two_digits(&rest[2..])?;
+    let h = two_digits(&rest[4..])?;
+    let mi = two_digits(&rest[6..])?;
+    let s = two_digits(&rest[8..])?;
+    if !(1..=12).contains(&mo) || !(1..=31).contains(&d) || h > 23 || mi > 59 || s > 60 {
+        return Err(DecodeError::BadValue("time field out of range"));
+    }
+    if year < 1970 {
+        // The workspace clock is u64 unix seconds; pre-epoch validity
+        // dates never occur in Grid credentials.
+        return Err(DecodeError::BadValue("time before unix epoch"));
+    }
+    Ok(crate::encode::unix_from_civil(year, mo, d, h, mi, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 255, 256, u64::MAX] {
+            let mut e = Encoder::new();
+            e.uint_u64(v);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            assert_eq!(d.uint_u64().unwrap(), v);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_negative_integer() {
+        // INTEGER -1 = 02 01 FF
+        let mut d = Decoder::new(&[0x02, 0x01, 0xff]);
+        assert!(matches!(d.uint(), Err(DecodeError::BadValue(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut d = Decoder::new(&[0x04, 0x05, 0x01]);
+        assert_eq!(d.octet_string(), Err(DecodeError::Truncated));
+        let mut d = Decoder::new(&[0x04]);
+        assert_eq!(d.octet_string(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_wrong_tag() {
+        let mut d = Decoder::new(&[0x02, 0x01, 0x00]);
+        assert!(matches!(
+            d.octet_string(),
+            Err(DecodeError::UnexpectedTag { expected: 0x04, found: 0x02 })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite_length() {
+        let mut d = Decoder::new(&[0x30, 0x80, 0x00, 0x00]);
+        assert_eq!(d.sequence().err(), Some(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let d = Decoder::new(&[0x05, 0x00, 0xaa]);
+        let mut d2 = d.clone();
+        d2.null().unwrap();
+        assert_eq!(d2.finish(), Err(DecodeError::TrailingData));
+    }
+
+    #[test]
+    fn optional_present_and_absent() {
+        let mut e = Encoder::new();
+        e.constructed(Tag::context(3), |c| {
+            c.null();
+        });
+        e.uint_u64(7);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.optional(Tag::context(3)).unwrap().is_some());
+        assert!(d.optional(Tag::context(4)).unwrap().is_none());
+        assert_eq!(d.uint_u64().unwrap(), 7);
+    }
+
+    #[test]
+    fn any_raw_returns_full_tlv() {
+        let mut e = Encoder::new();
+        e.sequence(|s| {
+            s.uint_u64(1);
+        });
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let (tag, raw) = d.any_raw().unwrap();
+        assert_eq!(tag, Tag::SEQUENCE);
+        assert_eq!(raw, &bytes[..]);
+    }
+
+    #[test]
+    fn time_roundtrip_utc_and_generalized() {
+        for t in [0u64, 997_056_000, 1_700_000_000, 2_200_000_000] {
+            let mut e = Encoder::new();
+            e.generalized_time(t);
+            let bytes = e.into_bytes();
+            assert_eq!(Decoder::new(&bytes).time().unwrap(), t);
+        }
+        // UTCTime range only.
+        for t in [997_056_000u64, 1_700_000_000] {
+            let mut e = Encoder::new();
+            e.utc_time(t);
+            let bytes = e.into_bytes();
+            assert_eq!(Decoder::new(&bytes).time().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn utc_time_century_pivot() {
+        // 490101000000Z => 2049; 500101000000Z => 1950, which is before
+        // the unix epoch and therefore rejected by our u64 clock.
+        let mk = |s: &str| {
+            let mut v = vec![0x17, s.len() as u8];
+            v.extend_from_slice(s.as_bytes());
+            v
+        };
+        let t49 = Decoder::new(&mk("490101000000Z")).time().unwrap();
+        assert_eq!(crate::encode::civil_from_unix(t49).0, 2049);
+        assert!(matches!(
+            Decoder::new(&mk("500101000000Z")).time(),
+            Err(DecodeError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn bit_string_unused_bits_rejected() {
+        let mut d = Decoder::new(&[0x03, 0x02, 0x03, 0xa8]);
+        assert!(matches!(d.bit_string(), Err(DecodeError::BadValue(_))));
+    }
+
+    #[test]
+    fn boolean_noncanonical_rejected() {
+        let mut d = Decoder::new(&[0x01, 0x01, 0x01]);
+        assert!(matches!(d.boolean(), Err(DecodeError::BadValue(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_octet_string_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+            let mut e = Encoder::new();
+            e.octet_string(&data);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.octet_string().unwrap(), &data[..]);
+            prop_assert!(d.finish().is_ok());
+        }
+
+        #[test]
+        fn prop_uint_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 0..6)) {
+            let v = mp_bignum::BigUint::from_be_bytes(
+                &limbs.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>(),
+            );
+            let mut e = Encoder::new();
+            e.uint(&v);
+            let bytes = e.into_bytes();
+            prop_assert_eq!(Decoder::new(&bytes).uint().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+            let mut d = Decoder::new(&data);
+            // Result ignored: property is "no panic, no OOM".
+            let _ = d.any();
+        }
+    }
+}

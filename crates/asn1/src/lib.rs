@@ -1,0 +1,83 @@
+//! Minimal ASN.1 DER encoding and decoding.
+//!
+//! Implements exactly the subset of DER that X.509 certificates, CSRs,
+//! CRLs and RSA keys need: definite lengths only, the universal types
+//! below, and context-specific constructed/primitive tags.
+//!
+//! * [`Encoder`] — push-style writer producing canonical DER
+//! * [`Decoder`] — pull-style reader with strict length checking
+//! * [`Oid`] — object identifiers with the dotted-decimal notation
+//! * [`Tag`] — the tag vocabulary
+//!
+//! ```
+//! use mp_asn1::{Encoder, Decoder};
+//! let mut enc = Encoder::new();
+//! enc.sequence(|s| {
+//!     s.uint_u64(65537);
+//!     s.utf8_string("hello");
+//! });
+//! let der = enc.into_bytes();
+//! let mut dec = Decoder::new(&der);
+//! let mut seq = dec.sequence().unwrap();
+//! assert_eq!(seq.uint_u64().unwrap(), 65537);
+//! assert_eq!(seq.string().unwrap(), "hello");
+//! seq.finish().unwrap();
+//! ```
+
+mod decode;
+mod encode;
+pub mod oid;
+
+pub use decode::{Decoder, DecodeError};
+pub use encode::Encoder;
+pub use oid::Oid;
+
+/// ASN.1 tags used by this workspace (class | constructed | number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+impl Tag {
+    pub const BOOLEAN: Tag = Tag(0x01);
+    pub const INTEGER: Tag = Tag(0x02);
+    pub const BIT_STRING: Tag = Tag(0x03);
+    pub const OCTET_STRING: Tag = Tag(0x04);
+    pub const NULL: Tag = Tag(0x05);
+    pub const OID: Tag = Tag(0x06);
+    pub const UTF8_STRING: Tag = Tag(0x0c);
+    pub const PRINTABLE_STRING: Tag = Tag(0x13);
+    pub const IA5_STRING: Tag = Tag(0x16);
+    pub const UTC_TIME: Tag = Tag(0x17);
+    pub const GENERALIZED_TIME: Tag = Tag(0x18);
+    pub const SEQUENCE: Tag = Tag(0x30);
+    pub const SET: Tag = Tag(0x31);
+
+    /// Context-specific constructed tag `[n]`.
+    pub const fn context(n: u8) -> Tag {
+        Tag(0xa0 | n)
+    }
+
+    /// Context-specific primitive tag `[n] IMPLICIT` over a primitive.
+    pub const fn context_primitive(n: u8) -> Tag {
+        Tag(0x80 | n)
+    }
+
+    /// Whether the constructed bit is set.
+    pub fn is_constructed(self) -> bool {
+        self.0 & 0x20 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_constants_match_der() {
+        assert_eq!(Tag::SEQUENCE.0, 0x30);
+        assert!(Tag::SEQUENCE.is_constructed());
+        assert!(!Tag::INTEGER.is_constructed());
+        assert_eq!(Tag::context(0).0, 0xa0);
+        assert_eq!(Tag::context(3).0, 0xa3);
+        assert_eq!(Tag::context_primitive(1).0, 0x81);
+    }
+}

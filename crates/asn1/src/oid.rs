@@ -1,0 +1,191 @@
+//! Object identifiers, with constants for everything the PKI layer uses.
+
+/// An OBJECT IDENTIFIER as a list of arcs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Oid(pub Vec<u64>);
+
+impl Oid {
+    /// From arcs, e.g. `Oid::new(&[1, 2, 840, 113549, 1, 1, 11])`.
+    pub fn new(arcs: &[u64]) -> Self {
+        assert!(arcs.len() >= 2, "OID needs at least two arcs");
+        Oid(arcs.to_vec())
+    }
+
+    /// DER content octets (without tag/length).
+    pub fn der_content(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() + 1);
+        out.extend(encode_base128(self.0[0] * 40 + self.0[1]));
+        for &arc in &self.0[2..] {
+            out.extend(encode_base128(arc));
+        }
+        out
+    }
+
+    /// Parse DER content octets.
+    pub fn from_der_content(content: &[u8]) -> Option<Self> {
+        if content.is_empty() || content.last().is_some_and(|b| b & 0x80 != 0) {
+            return None;
+        }
+        let mut arcs = Vec::new();
+        let mut acc: u64 = 0;
+        for &b in content {
+            acc = acc.checked_mul(128)?.checked_add((b & 0x7f) as u64)?;
+            if b & 0x80 == 0 {
+                if arcs.is_empty() {
+                    let first = (acc / 40).min(2);
+                    arcs.push(first);
+                    arcs.push(acc - first * 40);
+                } else {
+                    arcs.push(acc);
+                }
+                acc = 0;
+            }
+        }
+        Some(Oid(arcs))
+    }
+
+    /// Dotted-decimal rendering.
+    pub fn to_string_dotted(&self) -> String {
+        self.0
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+fn encode_base128(mut v: u64) -> Vec<u8> {
+    let mut bytes = vec![(v & 0x7f) as u8];
+    v >>= 7;
+    while v > 0 {
+        bytes.push((v & 0x7f) as u8 | 0x80);
+        v >>= 7;
+    }
+    bytes.reverse();
+    bytes
+}
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_string_dotted())
+    }
+}
+
+/// Well-known OIDs used by the MyProxy PKI.
+pub mod known {
+    use super::Oid;
+
+    /// sha256WithRSAEncryption (1.2.840.113549.1.1.11).
+    pub fn sha256_with_rsa() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 11])
+    }
+
+    /// rsaEncryption (1.2.840.113549.1.1.1).
+    pub fn rsa_encryption() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 1])
+    }
+
+    /// commonName (2.5.4.3).
+    pub fn common_name() -> Oid {
+        Oid::new(&[2, 5, 4, 3])
+    }
+
+    /// organizationName (2.5.4.10).
+    pub fn organization() -> Oid {
+        Oid::new(&[2, 5, 4, 10])
+    }
+
+    /// organizationalUnitName (2.5.4.11).
+    pub fn organizational_unit() -> Oid {
+        Oid::new(&[2, 5, 4, 11])
+    }
+
+    /// countryName (2.5.4.6).
+    pub fn country() -> Oid {
+        Oid::new(&[2, 5, 4, 6])
+    }
+
+    /// basicConstraints (2.5.29.19).
+    pub fn basic_constraints() -> Oid {
+        Oid::new(&[2, 5, 29, 19])
+    }
+
+    /// keyUsage (2.5.29.15).
+    pub fn key_usage() -> Oid {
+        Oid::new(&[2, 5, 29, 15])
+    }
+
+    /// RFC 3820 proxyCertInfo (1.3.6.1.5.5.7.1.14).
+    pub fn proxy_cert_info() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 1, 14])
+    }
+
+    /// RFC 3820 id-ppl-inheritAll (1.3.6.1.5.5.7.21.1).
+    pub fn ppl_inherit_all() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 21, 1])
+    }
+
+    /// RFC 3820 id-ppl-independent (1.3.6.1.5.5.7.21.2).
+    pub fn ppl_independent() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 21, 2])
+    }
+
+    /// Pre-RFC GSI "limited proxy" policy language
+    /// (1.3.6.1.4.1.3536.1.1.1.9, the Globus arc).
+    pub fn ppl_limited() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 4, 1, 3536, 1, 1, 1, 9])
+    }
+
+    /// Workspace-local restricted-delegation policy language carrying a
+    /// policy expression (DESIGN.md §6.5 substitution for the GGF draft).
+    pub fn ppl_restricted() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 4, 1, 3536, 1, 1, 1, 10])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_rsa_oid_der() {
+        // 1.2.840.113549.1.1.1 => 2a 86 48 86 f7 0d 01 01 01
+        let content = known::rsa_encryption().der_content();
+        assert_eq!(content, vec![0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x01]);
+    }
+
+    #[test]
+    fn roundtrip_all_known() {
+        for oid in [
+            known::sha256_with_rsa(),
+            known::rsa_encryption(),
+            known::common_name(),
+            known::basic_constraints(),
+            known::key_usage(),
+            known::proxy_cert_info(),
+            known::ppl_inherit_all(),
+            known::ppl_limited(),
+            known::ppl_restricted(),
+        ] {
+            let content = oid.der_content();
+            assert_eq!(Oid::from_der_content(&content).unwrap(), oid);
+        }
+    }
+
+    #[test]
+    fn first_two_arcs_packing() {
+        // 2.5.4.3 => first octet 2*40+5 = 85 = 0x55
+        assert_eq!(known::common_name().der_content(), vec![0x55, 0x04, 0x03]);
+    }
+
+    #[test]
+    fn rejects_dangling_continuation() {
+        assert!(Oid::from_der_content(&[0x80]).is_none());
+        assert!(Oid::from_der_content(&[]).is_none());
+    }
+
+    #[test]
+    fn dotted_rendering() {
+        assert_eq!(known::common_name().to_string_dotted(), "2.5.4.3");
+    }
+}

@@ -1,0 +1,150 @@
+//! DER edge cases: length-encoding boundaries, deep nesting, and the
+//! exact time-format corners X.509 parsing depends on.
+
+use mp_asn1::{Decoder, Encoder, Tag};
+use mp_bignum::BigUint;
+
+/// Octet strings at every length-encoding boundary round-trip.
+#[test]
+fn length_encoding_boundaries() {
+    for len in [0usize, 1, 127, 128, 129, 255, 256, 257, 65_535, 65_536, 100_000] {
+        let data = vec![0x5au8; len];
+        let mut enc = Encoder::new();
+        enc.octet_string(&data);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.octet_string().unwrap(), &data[..], "len={len}");
+        dec.finish().unwrap();
+    }
+}
+
+/// The length header itself must be minimal at the boundaries.
+#[test]
+fn length_header_sizes() {
+    let header_len = |content: usize| {
+        let mut enc = Encoder::new();
+        enc.octet_string(&vec![0u8; content]);
+        enc.into_bytes().len() - content
+    };
+    assert_eq!(header_len(127), 2); // tag + short length
+    assert_eq!(header_len(128), 3); // tag + 0x81 + 1 byte
+    assert_eq!(header_len(255), 3);
+    assert_eq!(header_len(256), 4); // tag + 0x82 + 2 bytes
+}
+
+/// Deeply nested sequences encode and decode without blowing the stack
+/// at reasonable depths.
+#[test]
+fn deep_nesting() {
+    const DEPTH: usize = 200;
+    fn nest(enc: &mut Encoder, depth: usize) {
+        if depth == 0 {
+            enc.uint_u64(7);
+        } else {
+            enc.sequence(|inner| nest(inner, depth - 1));
+        }
+    }
+    let mut enc = Encoder::new();
+    nest(&mut enc, DEPTH);
+    let bytes = enc.into_bytes();
+
+    fn unnest(dec: &mut Decoder, depth: usize) -> u64 {
+        if depth == 0 {
+            dec.uint_u64().unwrap()
+        } else {
+            let mut inner = dec.sequence().unwrap();
+            unnest(&mut inner, depth - 1)
+        }
+    }
+    let mut dec = Decoder::new(&bytes);
+    assert_eq!(unnest(&mut dec, DEPTH), 7);
+}
+
+/// INTEGER encodings are minimal: exactly one leading zero only when
+/// the high bit would flip the sign.
+#[test]
+fn integer_minimality_sweep() {
+    for v in [0u64, 1, 0x7f, 0x80, 0xff, 0x100, 0x7fff, 0x8000, u64::MAX] {
+        let mut enc = Encoder::new();
+        enc.uint_u64(v);
+        let bytes = enc.into_bytes();
+        let content = &bytes[2..];
+        if content.len() > 1 {
+            // No gratuitous leading zero...
+            assert!(
+                content[0] != 0 || content[1] & 0x80 != 0,
+                "non-minimal INTEGER for {v:#x}: {content:?}"
+            );
+        }
+        // ...and the high bit of the value is never the first bit.
+        assert_eq!(content[0] & 0x80, 0, "INTEGER {v:#x} would read as negative");
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.uint_u64().unwrap(), v);
+    }
+}
+
+/// Very large INTEGERs (RSA-modulus sized) round-trip.
+#[test]
+fn huge_integer_roundtrip() {
+    let n = BigUint::from_be_bytes(&vec![0xffu8; 256]); // 2048-bit all-ones
+    let mut enc = Encoder::new();
+    enc.uint(&n);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    assert_eq!(dec.uint().unwrap(), n);
+}
+
+/// Time boundaries: the 2049/2050 UTCTime pivot and GeneralizedTime
+/// beyond it; leap-day handling.
+#[test]
+fn time_corners() {
+    // 2049-12-31 23:59:59 via UTCTime.
+    let mut enc = Encoder::new();
+    enc.utc_time(2_524_607_999);
+    let bytes = enc.into_bytes();
+    assert_eq!(Decoder::new(&bytes).time().unwrap(), 2_524_607_999);
+
+    // Same instant as GeneralizedTime.
+    let mut enc = Encoder::new();
+    enc.generalized_time(2_524_607_999);
+    let bytes = enc.into_bytes();
+    assert_eq!(Decoder::new(&bytes).time().unwrap(), 2_524_607_999);
+
+    // 2000-02-29 (leap day in a century year divisible by 400).
+    let leap = 951_782_400; // 2000-02-29 00:00:00 UTC
+    let mut enc = Encoder::new();
+    enc.generalized_time(leap);
+    let bytes = enc.into_bytes();
+    assert_eq!(&bytes[2..], b"20000229000000Z");
+    assert_eq!(Decoder::new(&bytes).time().unwrap(), leap);
+}
+
+/// Context tags with the same number but different classes do not
+/// confuse the decoder.
+#[test]
+fn context_tag_discrimination() {
+    let mut enc = Encoder::new();
+    enc.constructed(Tag::context(0), |c| {
+        c.uint_u64(1);
+    });
+    enc.tlv(Tag::context_primitive(0), &[0xaa]);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    let mut ctx = dec.context(0).unwrap();
+    assert_eq!(ctx.uint_u64().unwrap(), 1);
+    assert_eq!(dec.expect(Tag::context_primitive(0)).unwrap(), &[0xaa]);
+    dec.finish().unwrap();
+}
+
+/// `optional` does not consume on mismatch and works at end-of-input.
+#[test]
+fn optional_behaviour() {
+    let mut enc = Encoder::new();
+    enc.uint_u64(5);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    assert!(dec.optional(Tag::OCTET_STRING).unwrap().is_none());
+    assert_eq!(dec.uint_u64().unwrap(), 5);
+    assert!(dec.optional(Tag::OCTET_STRING).unwrap().is_none());
+    dec.finish().unwrap();
+}

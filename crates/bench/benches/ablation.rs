@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Montgomery exponentiation vs. naive square-and-multiply with full
+//!   divisions (the RSA hot path);
+//! * Karatsuba vs. schoolbook multiplication at RSA operand sizes;
+//! * record-layer sealing vs. plaintext framing (what GSI encryption
+//!   costs per message).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mp_bench::bench_rng;
+use mp_bignum::BigUint;
+use mp_gsi::record::{DirectionKeys, SealedRecords};
+
+fn modexp_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_modexp");
+    group.sample_size(10);
+    let mut rng = bench_rng("modexp ablation");
+    for bits in [512usize, 1024] {
+        let mut modulus = BigUint::random_bits(&mut rng, bits);
+        if modulus.is_even() {
+            modulus = modulus.add_ref(&BigUint::one());
+        }
+        let base = BigUint::random_bits(&mut rng, bits - 1);
+        let exp = BigUint::random_bits(&mut rng, bits);
+        group.bench_function(format!("montgomery_{bits}"), |b| {
+            b.iter(|| base.mod_pow(&exp, &modulus))
+        });
+        group.bench_function(format!("naive_{bits}"), |b| {
+            b.iter(|| base.mod_pow_naive_for_bench(&exp, &modulus))
+        });
+    }
+    group.finish();
+}
+
+fn mul_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_multiplication");
+    let mut rng = bench_rng("mul ablation");
+    // 2048- and 8192-bit operands: around and well past the Karatsuba
+    // threshold (24 limbs = 1536 bits).
+    for bits in [2048usize, 8192] {
+        let a = BigUint::random_bits(&mut rng, bits);
+        let b_ = BigUint::random_bits(&mut rng, bits);
+        group.bench_function(format!("dispatch_{bits}"), |bch| {
+            bch.iter(|| a.mul_ref(&b_))
+        });
+        group.bench_function(format!("schoolbook_{bits}"), |bch| {
+            bch.iter(|| a.mul_schoolbook_for_bench(&b_))
+        });
+    }
+    group.finish();
+}
+
+fn record_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_record_layer");
+    let keys = |tag: u8| DirectionKeys { enc: [tag; 32], mac: [tag ^ 0xff; 32] };
+    for size in [256usize, 4096] {
+        let payload = vec![0x42u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        // Sealed: AES-CTR + HMAC + framing, through an in-memory sink.
+        group.bench_function(format!("sealed_{size}B"), |b| {
+            let mut records = SealedRecords::new(keys(1), keys(2), true);
+            let mut sink = std::io::Cursor::new(Vec::with_capacity(size + 64));
+            b.iter(|| {
+                sink.get_mut().clear();
+                sink.set_position(0);
+                records.send(&mut sink, &payload).unwrap();
+            })
+        });
+
+        // Plaintext framing only (what a no-encryption channel would do).
+        group.bench_function(format!("plaintext_{size}B"), |b| {
+            let mut sink = std::io::Cursor::new(Vec::with_capacity(size + 8));
+            b.iter(|| {
+                sink.get_mut().clear();
+                sink.set_position(0);
+                mp_gsi::record::write_frame(&mut sink, &payload).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pbkdf2_sealing_ablation(c: &mut Criterion) {
+    // The §5.1 design choice: sealing the store under the pass phrase
+    // costs a PBKDF2 per open. Measure open-vs-peek to show the knob.
+    let mut group = c.benchmark_group("ablation_store_sealing");
+    group.sample_size(10);
+    for iters in [10u32, 10_000] {
+        let store = mp_myproxy::CredStore::new(iters);
+        let cred = {
+            let mut ca = mp_x509::CertificateAuthority::new_root(
+                mp_x509::Dn::parse("/O=Grid/CN=CA").unwrap(),
+                mp_x509::test_util::test_rsa_key(0).clone(),
+                0,
+                100_000_000,
+            )
+            .unwrap();
+            let key = mp_x509::test_util::test_rsa_key(1);
+            let dn = mp_x509::Dn::parse("/O=Grid/CN=alice").unwrap();
+            let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 50_000_000).unwrap();
+            mp_gsi::Credential::new(vec![cert], key.clone()).unwrap()
+        };
+        let mut rng = bench_rng("sealing ablation");
+        store.put("alice", "default", "pass phrase", &cred, 3600, 0, false, vec![], &mut rng);
+        group.bench_function(format!("open_pbkdf2_{iters}"), |b| {
+            b.iter(|| store.open("alice", "default", "pass phrase").unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, modexp_ablation, mul_ablation, record_ablation, pbkdf2_sealing_ablation);
+criterion_main!(benches);

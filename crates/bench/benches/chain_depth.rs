@@ -1,0 +1,58 @@
+//! Experiment X3 — delegation chaining (§2.4): validation cost vs.
+//! proxy-chain depth. Expect linear growth — one signature verification
+//! and one profile check per link. Extension cost (creating one more
+//! link) is expected flat in depth: it is dominated by keypair
+//! generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_bench::{bench_rng, build_chain};
+use mp_x509::validate_chain;
+
+/// Build a credential (with private key) whose chain has `depth`
+/// proxies, for the extension bench.
+fn build_credential(depth: usize) -> mp_gsi::Credential {
+    let mut ca = mp_x509::CertificateAuthority::new_root(
+        mp_x509::Dn::parse("/O=Grid/CN=CA").unwrap(),
+        mp_x509::test_util::test_rsa_key(0).clone(),
+        0,
+        100_000_000,
+    )
+    .unwrap();
+    let ukey = mp_x509::test_util::test_rsa_key(1);
+    let udn = mp_x509::Dn::parse("/O=Grid/CN=alice").unwrap();
+    let ucert = ca.issue_end_entity(&udn, ukey.public_key(), 0, 50_000_000).unwrap();
+    let mut cred = mp_gsi::Credential::new(vec![ucert], ukey.clone()).unwrap();
+    let mut rng = bench_rng("ext seed");
+    for _ in 0..depth {
+        cred = mp_gsi::grid_proxy_init(&cred, &Default::default(), &mut rng, 1000).unwrap();
+    }
+    cred
+}
+
+fn depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_depth_validation");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let (chain, roots) = build_chain(depth);
+        let opts = mp_x509::ValidationOptions { max_chain_len: 32, ..Default::default() };
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| validate_chain(&chain, &roots, 1000, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn delegation_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_depth_extension");
+    group.sample_size(15);
+    for depth in [1usize, 8] {
+        let cred = build_credential(depth);
+        let mut rng = bench_rng("ext");
+        group.bench_function(format!("from_depth_{depth}"), |b| {
+            b.iter(|| mp_gsi::grid_proxy_init(&cred, &Default::default(), &mut rng, 1000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, depth_sweep, delegation_cost);
+criterion_main!(benches);

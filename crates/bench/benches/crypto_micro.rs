@@ -1,0 +1,71 @@
+//! Experiment X4 — crypto-substrate micro-benchmarks, explaining the
+//! shapes seen in X1/F1/F2:
+//!  * RSA keygen grows steeply with modulus size (prime search) — it
+//!    dominates every operation that mints a proxy;
+//!  * RSA sign (CRT) ≫ verify (e = 65537);
+//!  * PBKDF2 cost is linear in the iteration knob (the §5.1 brute-force
+//!    defense dial);
+//!  * AES-CTR + SHA-256 throughput bounds the record layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mp_bench::bench_rng;
+use mp_crypto::ctr::aes_ctr_xor;
+use mp_crypto::pbkdf2::pbkdf2_hmac_sha256;
+use mp_crypto::rsa::RsaPrivateKey;
+
+fn rsa_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    group.sample_size(10);
+    for bits in [512usize, 768, 1024] {
+        let mut rng = bench_rng(&format!("rsa {bits}"));
+        group.bench_function(format!("keygen_{bits}"), |b| {
+            b.iter(|| RsaPrivateKey::generate(&mut rng, bits))
+        });
+        let key = RsaPrivateKey::generate(&mut rng, bits);
+        let msg = b"tbs certificate bytes stand-in";
+        group.bench_function(format!("sign_{bits}"), |b| b.iter(|| key.sign(msg).unwrap()));
+        let sig = key.sign(msg).unwrap();
+        group.bench_function(format!("verify_{bits}"), |b| {
+            b.iter(|| key.public_key().verify(msg, &sig).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn pbkdf2_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbkdf2");
+    group.sample_size(10);
+    for iters in [1_000u32, 10_000, 100_000] {
+        group.bench_function(format!("iters_{iters}"), |b| {
+            b.iter(|| {
+                let mut out = [0u8; 64];
+                pbkdf2_hmac_sha256(b"pass phrase", b"salt-16-bytes!!!", iters, &mut out);
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn symmetric_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric");
+    for size in [1usize << 10, 1 << 16] {
+        let mut data = vec![0xA5u8; size];
+        let key = [7u8; 32];
+        let nonce = [9u8; 16];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("aes256_ctr_{size}B"), |b| {
+            b.iter(|| aes_ctr_xor(&key, &nonce, &mut data))
+        });
+        group.bench_function(format!("sha256_{size}B"), |b| {
+            b.iter(|| mp_crypto::sha256(&data))
+        });
+        group.bench_function(format!("hmac_sha256_{size}B"), |b| {
+            b.iter(|| mp_crypto::hmac::hmac_sha256(&key, &data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rsa_bench, pbkdf2_bench, symmetric_bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment F1 — Figure 1 as a benchmark: full `myproxy-init`
+//! (handshake, PUT request, delegation *to* the repository including
+//! server-side keypair generation, pass-phrase sealing).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mp_bench::{bench_rng, BenchRepo};
+
+fn fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_myproxy_init");
+    group.sample_size(20);
+    for key_bits in [512usize, 768, 1024] {
+        let repo = BenchRepo::new(key_bits);
+        let mut rng = bench_rng("fig1");
+        let mut i = 0u64;
+        group.bench_function(format!("rsa{key_bits}"), |b| {
+            b.iter_batched(
+                || {
+                    i += 1;
+                    format!("user{i}")
+                },
+                |username| repo.do_init(&username, &mut rng),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

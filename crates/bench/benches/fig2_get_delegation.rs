@@ -1,0 +1,24 @@
+//! Experiment F2 — Figure 2 as a benchmark: full
+//! `myproxy-get-delegation` (handshake, pass-phrase unsealing,
+//! client-side keypair generation, delegation *from* the repository).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_bench::{bench_rng, BenchRepo};
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_get_delegation");
+    group.sample_size(20);
+    for key_bits in [512usize, 768, 1024] {
+        let repo = BenchRepo::new(512); // stored credential fixed
+        let mut rng = bench_rng("fig2 seed");
+        repo.do_init("alice", &mut rng);
+        let mut rng = bench_rng("fig2");
+        group.bench_function(format!("proxy_key_rsa{key_bits}"), |b| {
+            b.iter(|| repo.do_get("alice", key_bits, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment F3 — Figure 3 as a benchmark: the full portal login
+//! (browser HTTPS-sim handshake + portal→MyProxy GSI handshake +
+//! retrieval delegation + session creation), and the follow-on
+//! authenticated page load, which shows the login cost is one-time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_bench::{bench_rng, GridWorld};
+use mp_crypto::HmacDrbg;
+use mp_portal::browser::expect_ok;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_portal_login");
+    group.sample_size(20);
+
+    let w = GridWorld::new();
+    {
+        let mut rng = bench_rng("fig3 seed");
+        w.myproxy_client
+            .init(
+                w.myproxy.connect_local(),
+                &w.alice,
+                &mp_myproxy::client::InitParams::new("alice", "bench pass phrase"),
+                &mut rng,
+                mp_x509::Clock::now(&w.clock),
+            )
+            .unwrap();
+    }
+
+    let mut n = 0u64;
+    group.bench_function("login", |b| {
+        b.iter(|| {
+            n += 1;
+            let mut browser = mp_portal::Browser::new(
+                w.portal_tls_connector(),
+                mp_portal::browser::BrowserMode::Tls {
+                    roots: vec![w.ca_cert.clone()],
+                    expected: None,
+                },
+                HmacDrbg::new(format!("fig3 browser {n}").as_bytes()),
+                mp_x509::Clock::now(&w.clock),
+            );
+            expect_ok(browser.login("alice", "bench pass phrase").unwrap()).unwrap();
+            browser
+        })
+    });
+
+    // Steady-state: a logged-in browser fetching an authenticated page.
+    let mut browser = mp_portal::Browser::new(
+        w.portal_tls_connector(),
+        mp_portal::browser::BrowserMode::Tls { roots: vec![w.ca_cert.clone()], expected: None },
+        HmacDrbg::new(b"fig3 steady browser"),
+        mp_x509::Clock::now(&w.clock),
+    );
+    expect_ok(browser.login("alice", "bench pass phrase").unwrap()).unwrap();
+    group.bench_function("authenticated_page", |b| {
+        b.iter(|| expect_ok(browser.get("/whoami").unwrap()).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Experiment X1 — latency of every MyProxy operation at the default
+//! key size: INIT, GET, INFO, CHANGE_PASSPHRASE, DESTROY(+re-INIT).
+//! Shapes to expect: GET ≈ INIT (both dominated by one RSA keypair
+//! generation + two handshakes); INFO/CHANGE/DESTROY cheaper (PBKDF2 +
+//! handshake only, no keygen on the hot path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mp_bench::{bench_rng, BenchRepo};
+
+fn ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("op_latency");
+    group.sample_size(20);
+
+    let repo = BenchRepo::new(512);
+    let mut seed_rng = bench_rng("ops seed");
+    repo.do_init("alice", &mut seed_rng);
+
+    let mut rng = bench_rng("ops");
+    let mut i = 0u64;
+    group.bench_function("init", |b| {
+        b.iter_batched(
+            || {
+                i += 1;
+                format!("init-user{i}")
+            },
+            |u| repo.do_init(&u, &mut rng),
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("get", |b| b.iter(|| repo.do_get("alice", 512, &mut rng)));
+
+    group.bench_function("info", |b| {
+        b.iter(|| {
+            repo.client
+                .info(
+                    repo.server.connect_local(),
+                    &repo.user,
+                    "alice",
+                    "bench pass phrase",
+                    &mut rng,
+                    mp_x509::Clock::now(&repo.clock),
+                )
+                .unwrap()
+        })
+    });
+
+    // Two changes per iteration (there and back) so the store state is
+    // identical at every iteration boundary regardless of how criterion
+    // batches them; reported time is therefore 2x one operation.
+    group.bench_function("change_passphrase_x2", |b| {
+        b.iter(|| {
+            for (old, new) in [
+                ("bench pass phrase", "other pass phrase"),
+                ("other pass phrase", "bench pass phrase"),
+            ] {
+                repo.client
+                    .change_passphrase(
+                        repo.server.connect_local(),
+                        &repo.user,
+                        "alice",
+                        old,
+                        new,
+                        None,
+                        &mut rng,
+                        mp_x509::Clock::now(&repo.clock),
+                    )
+                    .unwrap();
+            }
+        })
+    });
+
+    let mut j = 0u64;
+    let mut setup_rng = bench_rng("ops destroy setup");
+    group.bench_function("destroy_and_reinit", |b| {
+        b.iter_batched(
+            || {
+                j += 1;
+                let u = format!("destroy-user{j}");
+                repo.do_init(&u, &mut setup_rng);
+                u
+            },
+            |u| {
+                repo.client
+                    .destroy(
+                        repo.server.connect_local(),
+                        &repo.user,
+                        &u,
+                        "bench pass phrase",
+                        None,
+                        &mut rng,
+                        mp_x509::Clock::now(&repo.clock),
+                    )
+                    .unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, ops);
+criterion_main!(benches);

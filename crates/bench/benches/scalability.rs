@@ -1,0 +1,65 @@
+//! Experiment X2 — the §3.3 scalability goal, quantified:
+//!  * retrieval latency vs. number of stored credentials (expect flat —
+//!    the store is a hash map);
+//!  * aggregate retrieval throughput vs. number of concurrent portal
+//!    clients (expect scaling with cores until the crypto saturates
+//!    them; the store lock is not the bottleneck).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mp_bench::{bench_rng, BenchRepo};
+use mp_myproxy::client::GetParams;
+use mp_x509::Clock;
+
+fn store_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_store_size");
+    group.sample_size(15);
+    for n in [10usize, 100, 1000] {
+        let repo = BenchRepo::new(512);
+        repo.populate(n);
+        let mut rng = bench_rng("store size");
+        group.bench_function(format!("get_with_{n}_stored"), |b| {
+            b.iter(|| repo.do_get("user0", 512, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn concurrency_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_concurrency");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let repo = BenchRepo::new(512);
+        repo.populate(1);
+        group.throughput(Throughput::Elements(threads as u64 * 4));
+        group.bench_function(format!("{threads}_portals_x4_gets"), |b| {
+            b.iter(|| {
+                crossbeam::thread::scope(|s| {
+                    for t in 0..threads {
+                        let repo = &repo;
+                        s.spawn(move |_| {
+                            let mut rng = bench_rng(&format!("conc {t}"));
+                            for _ in 0..4 {
+                                let mut params = GetParams::new("user0", "bench pass phrase");
+                                params.key_bits = 512;
+                                repo.client
+                                    .get_delegation(
+                                        repo.server.connect_local(),
+                                        &repo.portal,
+                                        &params,
+                                        &mut rng,
+                                        repo.clock.now(),
+                                    )
+                                    .unwrap();
+                            }
+                        });
+                    }
+                })
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, store_size_sweep, concurrency_sweep);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Each bench regenerates one artifact of the paper's evaluation (see
+//! DESIGN.md §3 and EXPERIMENTS.md): the three figures as end-to-end
+//! operations, plus the quantitative sweeps (X1–X4) that characterize
+//! the implementation the way the paper's deployment experience is
+//! described qualitatively.
+
+use mp_crypto::HmacDrbg;
+use mp_gsi::Credential;
+use mp_myproxy::client::{GetParams, InitParams};
+use mp_myproxy::{MyProxyClient, MyProxyServer, ServerPolicy};
+use mp_x509::test_util::{test_drbg, test_rsa_key};
+use mp_x509::{CertificateAuthority, Clock, Dn, SimClock};
+use std::sync::Arc;
+
+pub use myproxy::testkit::GridWorld;
+
+/// A minimal repository world for operation benches, parameterized by
+/// the RSA key size the server uses when minting proxies.
+pub struct BenchRepo {
+    /// The trust root.
+    pub ca_cert: mp_x509::Certificate,
+    /// The depositor credential.
+    pub user: Credential,
+    /// The retriever credential.
+    pub portal: Credential,
+    /// The repository.
+    pub server: MyProxyServer,
+    /// Client pinned to the repository.
+    pub client: MyProxyClient,
+    /// Shared clock.
+    pub clock: SimClock,
+}
+
+impl BenchRepo {
+    /// Build with `key_bits`-bit server-minted proxy keys.
+    pub fn new(key_bits: usize) -> Self {
+        let clock = SimClock::new(1_000_000);
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            100_000_000,
+        )
+        .unwrap();
+        let mk = |ca: &mut CertificateAuthority, i: usize, dn: &str| {
+            let key = test_rsa_key(i);
+            let dn = Dn::parse(dn).unwrap();
+            let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 50_000_000).unwrap();
+            Credential::new(vec![cert], key.clone()).unwrap()
+        };
+        let user = mk(&mut ca, 1, "/O=Grid/CN=alice");
+        let portal = mk(&mut ca, 2, "/O=Grid/CN=portal");
+        let server_cred = mk(&mut ca, 3, "/O=Grid/CN=myproxy");
+        let mut policy = ServerPolicy::permissive();
+        policy.key_bits = key_bits;
+        let server = MyProxyServer::new(
+            server_cred,
+            vec![ca.certificate().clone()],
+            policy,
+            Arc::new(clock.clone()),
+            HmacDrbg::new(format!("bench repo {key_bits}").as_bytes()),
+        );
+        let client = MyProxyClient::new(
+            vec![ca.certificate().clone()],
+            Some(Dn::parse("/O=Grid/CN=myproxy").unwrap()),
+        );
+        BenchRepo { ca_cert: ca.certificate().clone(), user, portal, server, client, clock }
+    }
+
+    /// One full `myproxy-init` (Figure 1) under `username`.
+    pub fn do_init(&self, username: &str, rng: &mut HmacDrbg) {
+        self.client
+            .init(
+                self.server.connect_local(),
+                &self.user,
+                &InitParams::new(username, "bench pass phrase"),
+                rng,
+                self.clock.now(),
+            )
+            .expect("bench init failed");
+    }
+
+    /// One full `myproxy-get-delegation` (Figure 2); `key_bits` sizes
+    /// the locally generated proxy key.
+    pub fn do_get(&self, username: &str, key_bits: usize, rng: &mut HmacDrbg) -> Credential {
+        let mut params = GetParams::new(username, "bench pass phrase");
+        params.key_bits = key_bits;
+        self.client
+            .get_delegation(self.server.connect_local(), &self.portal, &params, rng, self.clock.now())
+            .expect("bench get failed")
+    }
+
+    /// Pre-populate `n` stored credentials (user0..user{n-1}).
+    pub fn populate(&self, n: usize) {
+        let mut rng = test_drbg("bench populate");
+        for i in 0..n {
+            self.do_init(&format!("user{i}"), &mut rng);
+        }
+    }
+}
+
+/// Build a proxy chain of the given depth (leaf first, ending at the
+/// user's EE cert), plus the root for validation — the X3 fixture.
+pub fn build_chain(depth: usize) -> (Vec<mp_x509::Certificate>, Vec<mp_x509::Certificate>) {
+    let mut ca = CertificateAuthority::new_root(
+        Dn::parse("/O=Grid/CN=CA").unwrap(),
+        test_rsa_key(0).clone(),
+        0,
+        100_000_000,
+    )
+    .unwrap();
+    let user_key = test_rsa_key(1);
+    let user_dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+    let user_cert = ca
+        .issue_end_entity(&user_dn, user_key.public_key(), 0, 50_000_000)
+        .unwrap();
+    let mut cred = Credential::new(vec![user_cert], user_key.clone()).unwrap();
+    let mut rng = test_drbg("bench chain");
+    for _ in 0..depth {
+        cred = mp_gsi::grid_proxy_init(&cred, &mp_gsi::ProxyOptions::default(), &mut rng, 1000)
+            .expect("chain build failed");
+    }
+    (cred.chain().to_vec(), vec![ca.certificate().clone()])
+}
+
+/// Fresh deterministic DRBG for a bench.
+pub fn bench_rng(label: &str) -> HmacDrbg {
+    test_drbg(label)
+}

@@ -1,0 +1,239 @@
+//! Conversions between [`BigUint`] and primitive / byte / hex forms, plus
+//! uniform random generation.
+
+use crate::BigUint;
+use rand::Rng;
+
+impl BigUint {
+    /// Build from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Build from a `u32`.
+    pub fn from_u32(v: u32) -> Self {
+        Self::from_u64(v as u64)
+    }
+
+    /// Lossy conversion to `u64` (low 64 bits).
+    pub fn to_u64_lossy(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Exact conversion to `u64`, `None` if the value does not fit.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Parse big-endian bytes (as found in DER INTEGER contents).
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serialize to minimal big-endian bytes (empty vec for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Serialize to big-endian bytes left-padded with zeros to exactly
+    /// `len` bytes. Panics if the value needs more than `len` bytes —
+    /// callers size fixed-width fields (RSA block size) from the modulus.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value too large for {len}-byte field");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parse a (lowercase or uppercase) hex string without prefix.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let chars: Vec<u8> = s.bytes().collect();
+        let mut i = 0;
+        // Odd-length strings have an implicit leading zero nibble.
+        if chars.len() % 2 == 1 {
+            bytes.push(hex_val(chars[0])?);
+            i = 1;
+        }
+        while i < chars.len() {
+            bytes.push(hex_val(chars[i])? << 4 | hex_val(chars[i + 1])?);
+            i += 2;
+        }
+        Some(BigUint::from_be_bytes(&bytes))
+    }
+
+    /// Minimal lowercase hex rendering (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let bytes = self.to_be_bytes();
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for (i, b) in bytes.iter().enumerate() {
+            if i == 0 {
+                // No leading zero nibble.
+                if b >> 4 != 0 {
+                    s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+                }
+                s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+            } else {
+                s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+                s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+            }
+        }
+        s
+    }
+
+    /// Uniform random integer with exactly `bits` significant bits
+    /// (top bit forced to one). `bits` must be >= 1.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 1);
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs - 1) * 64;
+        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        let last = limbs - 1;
+        v[last] &= mask;
+        v[last] |= 1u64 << (top_bits - 1);
+        BigUint::from_limbs(v)
+    }
+
+    /// Uniform random integer in `[0, bound)` by rejection sampling.
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> Self {
+        assert!(!bound.is_zero(), "random_below: zero bound");
+        let bits = bound.bits();
+        let limbs = bits.div_ceil(64);
+        let top_bits = bits - (limbs - 1) * 64;
+        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            v[limbs - 1] &= mask;
+            let candidate = BigUint::from_limbs(v);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let n = BigUint::from_hex("0123456789abcdef0123456789abcdef01").unwrap();
+        let bytes = n.to_be_bytes();
+        assert_eq!(BigUint::from_be_bytes(&bytes), n);
+    }
+
+    #[test]
+    fn be_bytes_ignores_leading_zeros() {
+        let a = BigUint::from_be_bytes(&[0, 0, 1, 2]);
+        let b = BigUint::from_be_bytes(&[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_be_bytes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = BigUint::from_u64(0x0102);
+        assert_eq!(n.to_be_bytes_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn padded_bytes_too_small_panics() {
+        BigUint::from_u64(0x010203).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn hex_roundtrip_and_odd_length() {
+        let n = BigUint::from_hex("f00d").unwrap();
+        assert_eq!(n.to_u64(), Some(0xf00d));
+        assert_eq!(n.to_hex(), "f00d");
+        let odd = BigUint::from_hex("abc").unwrap();
+        assert_eq!(odd.to_u64(), Some(0xabc));
+        assert_eq!(odd.to_hex(), "abc");
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(BigUint::from_hex("xyz").is_none());
+        assert!(BigUint::from_hex("").is_none());
+    }
+
+    #[test]
+    fn random_bits_has_exact_bit_length() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for bits in [1usize, 2, 63, 64, 65, 127, 128, 511] {
+            let n = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(n.bits(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_stays_below() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(BigUint::random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        assert_eq!(BigUint::from_u64(0).to_u64(), Some(0));
+        assert_eq!(BigUint::from_u64(u64::MAX).to_u64(), Some(u64::MAX));
+        let big = BigUint::from_hex("10000000000000000").unwrap();
+        assert_eq!(big.to_u64(), None);
+        assert_eq!(big.to_u64_lossy(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Division: single-limb fast path and Knuth Algorithm D for the general
+//! case, plus the `%` / `/` operator impls.
+
+use crate::BigUint;
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Quotient and remainder. Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        knuth_d(self, divisor)
+    }
+
+    /// Quotient and remainder by a single limb. Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "BigUint division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// `self mod m`.
+    pub fn rem_ref(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// `self div m`.
+    pub fn div_ref(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).0
+    }
+}
+
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D. `u >= v`, `v` has >= 2 limbs.
+fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v.limbs.last().unwrap().leading_zeros() as usize;
+    let vn = v.shl_bits(shift);
+    let mut un = u.shl_bits(shift).limbs;
+    let n = vn.limbs.len();
+    let m = un.len() - n;
+    un.push(0); // u has m+n+1 digits in the algorithm.
+
+    let vtop = vn.limbs[n - 1];
+    let vsecond = vn.limbs[n - 2];
+    let mut q = vec![0u64; m + 1];
+
+    // D2-D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend limbs.
+        let numerator = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = numerator / vtop as u128;
+        let mut rhat = numerator % vtop as u128;
+        // Correct qhat down at most twice.
+        while qhat >> 64 != 0
+            || qhat * vsecond as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vtop as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        let mut qhat = qhat as u64;
+
+        // D4: multiply and subtract un[j..j+n+1] -= qhat * vn.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat as u128 * vn.limbs[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = un[j + i] as i128 - (p as u64) as i128 + borrow;
+            un[j + i] = sub as u64;
+            borrow = sub >> 64; // arithmetic shift: 0 or -1
+        }
+        let sub = un[j + n] as i128 - carry as i128 + borrow;
+        un[j + n] = sub as u64;
+
+        // D5/D6: if we subtracted too much (probability ~2/2^64), add back.
+        if sub < 0 {
+            qhat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let s = un[j + i] as u128 + vn.limbs[i] as u128 + carry;
+                un[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat;
+    }
+
+    // D8: denormalize the remainder.
+    let r = BigUint::from_limbs(un[..n].to_vec()).shr_bits(shift);
+    (BigUint::from_limbs(q), r)
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_ref(rhs)
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.rem_ref(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn n(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn small_division() {
+        let (q, r) = BigUint::from_u64(17).div_rem(&BigUint::from_u64(5));
+        assert_eq!(q, BigUint::from_u64(3));
+        assert_eq!(r, BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = BigUint::from_u64(3).div_rem(&BigUint::from_u64(10));
+        assert!(q.is_zero());
+        assert_eq!(r, BigUint::from_u64(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn divide_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let a = n("123456789abcdef0123456789abcdef0");
+        let (q, r) = a.div_rem_u64(0x12345);
+        assert_eq!(q.mul_u64(0x12345).add_ref(&BigUint::from_u64(r)), a);
+    }
+
+    #[test]
+    fn multi_limb_known_value() {
+        // 2^192 / (2^64 + 1) — exercises the qhat-correction path shape.
+        let a = BigUint::one().shl_bits(192);
+        let b = BigUint::one().shl_bits(64).add_ref(&BigUint::one());
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn randomized_reconstruction() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for _ in 0..200 {
+            let a_bits = 1 + rng.gen::<usize>() % 700;
+            let b_bits = 1 + rng.gen::<usize>() % 400;
+            let a = BigUint::random_bits(&mut rng, a_bits);
+            let b = BigUint::random_bits(&mut rng, b_bits);
+            let (q, r) = a.div_rem(&b);
+            assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+            assert!(r < b);
+        }
+    }
+
+    fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+        proptest::collection::vec(any::<u64>(), 0..max_limbs).prop_map(BigUint::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_div_rem_reconstructs(a in arb_biguint(10), b in arb_biguint(6)) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+            prop_assert!(r < b);
+        }
+
+        #[test]
+        fn prop_self_division(a in arb_biguint(8)) {
+            prop_assume!(!a.is_zero());
+            let (q, r) = a.div_rem(&a);
+            prop_assert!(q.is_one());
+            prop_assert!(r.is_zero());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! This crate is the numeric substrate for the MyProxy PKI stack
+//! (`mp-crypto`, `mp-x509`). It implements everything RSA needs and
+//! nothing more:
+//!
+//! * schoolbook and Karatsuba multiplication,
+//! * Knuth Algorithm-D division,
+//! * Montgomery modular exponentiation (with a plain square-and-multiply
+//!   fallback for even moduli),
+//! * extended GCD / modular inverse,
+//! * Miller-Rabin primality testing and random prime generation.
+//!
+//! The representation is a little-endian `Vec<u64>` of limbs, always
+//! *normalized* (no most-significant zero limbs), so `limbs.is_empty()`
+//! iff the value is zero.
+//!
+//! Nothing here is constant-time; see the security notes in the workspace
+//! DESIGN.md (the paper's threat model is credential theft, not local
+//! side channels).
+
+mod arith;
+mod convert;
+mod div;
+mod modular;
+mod montgomery;
+mod prime;
+
+pub use montgomery::Montgomery;
+pub use prime::{gen_prime, is_probably_prime, MILLER_RABIN_ROUNDS};
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Little-endian limbs, normalized. Construct with [`BigUint::from_u64`],
+/// [`BigUint::from_be_bytes`], [`BigUint::from_hex`], or the arithmetic
+/// operators.
+///
+/// ```
+/// use mp_bignum::BigUint;
+/// let p = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+/// let a = BigUint::from_u64(3);
+/// // Modular exponentiation is the RSA workhorse:
+/// let r = a.mod_pow(&BigUint::from_u64(100), &p);
+/// assert_eq!(r, {
+///     let mut acc = BigUint::one();
+///     for _ in 0..100 { acc = acc.mul_ref(&a).rem_ref(&p); }
+///     acc
+/// });
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// True iff the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// True iff the value is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Set bit `i` to one, growing the limb vector if needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << off;
+    }
+
+    /// Strip most-significant zero limbs to restore the representation
+    /// invariant.
+    #[inline]
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Internal constructor that normalizes.
+    #[inline]
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Borrow the little-endian limb slice.
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+    }
+
+    #[test]
+    fn bits_counts_partial_top_limb() {
+        let n = BigUint::from_u64(0b1011);
+        assert_eq!(n.bits(), 4);
+        let big = BigUint::from_limbs(vec![0, 1]);
+        assert_eq!(big.bits(), 65);
+    }
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut n = BigUint::zero();
+        n.set_bit(130);
+        assert!(n.bit(130));
+        assert!(!n.bit(129));
+        assert_eq!(n.bits(), 131);
+    }
+
+    #[test]
+    fn ordering_by_length_then_lexicographic() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_limbs(vec![0, 1]); // 2^64
+        assert!(a < b);
+        let c = BigUint::from_limbs(vec![1, 1]);
+        assert!(b < c);
+        assert_eq!(b.cmp(&b.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn normalize_strips_leading_zero_limbs() {
+        let n = BigUint::from_limbs(vec![7, 0, 0]);
+        assert_eq!(n.limbs(), &[7]);
+        let z = BigUint::from_limbs(vec![0, 0]);
+        assert!(z.is_zero());
+    }
+}

@@ -1,0 +1,231 @@
+//! Montgomery modular multiplication and exponentiation.
+//!
+//! Used for every RSA private/public operation; this is the hot path of
+//! the whole repository, so it works on raw limb vectors with a CIOS
+//! (coarsely integrated operand scanning) reduction and a 4-bit window
+//! exponentiation.
+
+use crate::BigUint;
+
+/// Precomputed context for arithmetic modulo a fixed odd modulus.
+pub struct Montgomery {
+    /// The (odd) modulus n.
+    n: BigUint,
+    /// Limb count k; R = 2^(64k).
+    k: usize,
+    /// -n^{-1} mod 2^64.
+    n0_inv: u64,
+    /// R^2 mod n, used to convert into the Montgomery domain.
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Build a context. Panics if `n` is even or < 3.
+    pub fn new(n: BigUint) -> Self {
+        assert!(n.is_odd(), "Montgomery requires an odd modulus");
+        assert!(n > BigUint::one(), "modulus too small");
+        let k = n.limbs.len();
+        let n0_inv = inv64(n.limbs[0]).wrapping_neg();
+        // R^2 mod n = 2^(128k) mod n
+        let r2 = BigUint::one().shl_bits(128 * k).rem_ref(&n);
+        Montgomery { n, k, n0_inv, r2 }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery product: returns a*b*R^{-1} mod n, on padded limb slices.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let n = &self.n.limbs;
+        // t has k+2 limbs: accumulates a*b plus reduction additions.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            // t += a[i] * b
+            let ai = a[i];
+            let mut carry = 0u128;
+            for j in 0..k {
+                let acc = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[k] as u128 + carry;
+            t[k] = acc as u64;
+            t[k + 1] = t[k + 1].wrapping_add((acc >> 64) as u64);
+
+            // m = t[0] * n0_inv mod 2^64 ; t += m * n ; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let acc = t[0] as u128 + m as u128 * n[0] as u128;
+            let mut carry = acc >> 64;
+            for j in 1..k {
+                let acc = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j - 1] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[k] as u128 + carry;
+            t[k - 1] = acc as u64;
+            let acc2 = t[k + 1] as u128 + (acc >> 64);
+            t[k] = acc2 as u64;
+            t[k + 1] = (acc2 >> 64) as u64;
+        }
+        t.truncate(k + 1);
+        // Conditional final subtraction to bring t below n.
+        let mut result = BigUint::from_limbs(t);
+        if result >= self.n {
+            result = result.sub_ref(&self.n);
+        }
+        let mut limbs = result.limbs;
+        limbs.resize(k, 0);
+        limbs
+    }
+
+    /// Convert into the Montgomery domain: aR mod n.
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let reduced = a.rem_ref(&self.n);
+        let mut a_limbs = reduced.limbs;
+        a_limbs.resize(self.k, 0);
+        let mut r2 = self.r2.limbs.clone();
+        r2.resize(self.k, 0);
+        self.mont_mul(&a_limbs, &r2)
+    }
+
+    /// Convert out of the Montgomery domain.
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// Modular multiplication `a*b mod n` through the Montgomery domain.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` with a fixed 4-bit window.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem_ref(&self.n);
+        }
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^15 in the Montgomery domain.
+        let one_m = self.to_mont(&BigUint::one());
+        let mut table = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let next = self.mont_mul(&table[i - 1], &base_m);
+            table.push(next);
+        }
+
+        let bits = exp.bits();
+        // Round up to a multiple of 4 and scan windows MSB-first.
+        let windows = bits.div_ceil(4);
+        let mut acc = one_m;
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let mut nibble = 0usize;
+            for b in 0..4 {
+                let bit_idx = w * 4 + (3 - b);
+                nibble = (nibble << 1) | exp.bit(bit_idx) as usize;
+            }
+            if nibble != 0 {
+                acc = self.mont_mul(&acc, &table[nibble]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Inverse of an odd `x` modulo 2^64 by Newton iteration.
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inv64_is_inverse() {
+        for x in [1u64, 3, 5, 0xdeadbeefdeadbeef | 1, u64::MAX] {
+            assert_eq!(x.wrapping_mul(inv64(x)), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_modulus_rejected() {
+        Montgomery::new(BigUint::from_u64(100));
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let n = BigUint::from_u64(1_000_003);
+        let mont = Montgomery::new(n.clone());
+        let a = BigUint::from_u64(999_999);
+        let b = BigUint::from_u64(123_456);
+        assert_eq!(mont.mul(&a, &b), a.mul_ref(&b).rem_ref(&n));
+    }
+
+    #[test]
+    fn pow_matches_fallback_small() {
+        let n = BigUint::from_u64(104_729); // prime
+        let mont = Montgomery::new(n.clone());
+        let base = BigUint::from_u64(2);
+        for e in [0u64, 1, 2, 15, 16, 17, 1000, 104_728] {
+            let exp = BigUint::from_u64(e);
+            let expect = {
+                let mut acc = BigUint::one();
+                for i in (0..exp.bits()).rev() {
+                    acc = acc.mul_ref(&acc).rem_ref(&n);
+                    if exp.bit(i) {
+                        acc = acc.mul_ref(&base).rem_ref(&n);
+                    }
+                }
+                acc
+            };
+            assert_eq!(mont.pow(&base, &exp), expect, "e={e}");
+        }
+    }
+
+    #[test]
+    fn pow_large_random_consistency() {
+        // Verify (a^e1)^e2 == a^(e1*e2) mod n on a multi-limb modulus.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut n = BigUint::random_bits(&mut rng, 512);
+        if n.is_even() {
+            n = n.add_ref(&BigUint::one());
+        }
+        let mont = Montgomery::new(n.clone());
+        let a = BigUint::random_bits(&mut rng, 500);
+        let e1 = BigUint::from_u64(65537);
+        let e2 = BigUint::from_u64(101);
+        let lhs = mont.pow(&mont.pow(&a, &e1), &e2);
+        let rhs = mont.pow(&a, &e1.mul_ref(&e2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pow_reduces_oversized_base() {
+        let n = BigUint::from_u64(97);
+        let mont = Montgomery::new(n.clone());
+        let big_base = BigUint::from_u64(97 * 5 + 3);
+        assert_eq!(
+            mont.pow(&big_base, &BigUint::from_u64(10)),
+            BigUint::from_u64(3).mod_pow(&BigUint::from_u64(10), &n)
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Primality testing (Miller-Rabin) and random prime generation for RSA
+//! key material.
+
+use crate::BigUint;
+use rand::Rng;
+
+/// Miller-Rabin rounds used by [`is_probably_prime`] / [`gen_prime`].
+/// 2^-80 error bound at 40 rounds; far below any realistic failure mode
+/// of the surrounding system.
+pub const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Small primes used to cheaply sieve candidates before Miller-Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211,
+];
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probably_prime<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, rounds: usize) -> bool {
+    if n < &BigUint::from_u64(2) {
+        return false;
+    }
+    if let Some(small) = n.to_u64() {
+        if small == 2 {
+            return true;
+        }
+        if small % 2 == 0 {
+            return false;
+        }
+        if SMALL_PRIMES.contains(&small) {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let (_, r) = n.div_rem_u64(p);
+        if r == 0 {
+            return n.to_u64() == Some(p);
+        }
+    }
+
+    // n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub_ref(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr_bits(1);
+        s += 1;
+    }
+
+    let two = BigUint::from_u64(2);
+    let n_minus_3 = n.sub_ref(&BigUint::from_u64(3));
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2]
+        let a = BigUint::random_below(rng, &n_minus_3).add_ref(&two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_pow(&two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random prime with exactly `bits` bits (top two bits set so
+/// that products of two such primes have exactly `2*bits` bits, as RSA
+/// key generation requires). `bits` must be >= 8.
+pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 8, "gen_prime: need at least 8 bits");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        // Force odd and force the second-highest bit for full-width products.
+        candidate.set_bit(0);
+        candidate.set_bit(bits - 2);
+        if is_probably_prime(rng, &candidate, MILLER_RABIN_ROUNDS) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 101, 65537, 104_729] {
+            assert!(
+                is_probably_prime(&mut r, &BigUint::from_u64(p), 20),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 91, 561, 6601, 65536, 104_730] {
+            assert!(
+                !is_probably_prime(&mut r, &BigUint::from_u64(c), 20),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller-Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_probably_prime(&mut r, &BigUint::from_u64(c), 20));
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut r = rng();
+        let m127 = BigUint::one().shl_bits(127).sub_ref(&BigUint::one());
+        assert!(is_probably_prime(&mut r, &m127, 20));
+        // 2^128 - 1 = 3 * 5 * 17 * ... is not prime.
+        let m128 = BigUint::one().shl_bits(128).sub_ref(&BigUint::one());
+        assert!(!is_probably_prime(&mut r, &m128, 20));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_width_and_is_prime() {
+        let mut r = rng();
+        for bits in [64usize, 96, 128] {
+            let p = gen_prime(&mut r, bits);
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_odd());
+            assert!(p.bit(bits - 2), "second-highest bit forced");
+            assert!(is_probably_prime(&mut r, &p, 20));
+        }
+    }
+
+    #[test]
+    fn gen_prime_products_have_full_width() {
+        let mut r = rng();
+        let p = gen_prime(&mut r, 96);
+        let q = gen_prime(&mut r, 96);
+        assert_eq!(p.mul_ref(&q).bits(), 192);
+    }
+}

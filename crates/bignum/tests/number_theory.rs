@@ -1,0 +1,150 @@
+//! Number-theoretic integration tests: the properties RSA correctness
+//! rests on, checked against freshly generated primes.
+
+use mp_bignum::{gen_prime, is_probably_prime, BigUint, Montgomery};
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xD1CE)
+}
+
+#[test]
+fn fermat_little_theorem_on_generated_primes() {
+    let mut r = rng();
+    for bits in [64usize, 128, 256] {
+        let p = gen_prime(&mut r, bits);
+        let p1 = p.sub_ref(&BigUint::one());
+        for base in [2u64, 3, 65_537] {
+            let a = BigUint::from_u64(base);
+            assert!(
+                a.mod_pow(&p1, &p).is_one(),
+                "a^(p-1) != 1 mod p for {bits}-bit prime, base {base}"
+            );
+        }
+    }
+}
+
+#[test]
+fn euler_theorem_for_rsa_modulus() {
+    // a^phi(n) = 1 mod n for n = p*q, gcd(a, n) = 1 — the identity RSA
+    // decryption correctness is built on.
+    let mut r = rng();
+    let p = gen_prime(&mut r, 96);
+    let q = gen_prime(&mut r, 96);
+    let n = p.mul_ref(&q);
+    let phi = p.sub_ref(&BigUint::one()).mul_ref(&q.sub_ref(&BigUint::one()));
+    let a = BigUint::from_u64(0xABCDEF);
+    assert!(a.gcd(&n).is_one());
+    assert!(a.mod_pow(&phi, &n).is_one());
+
+    // And the full RSA identity: (a^e)^d = a mod n.
+    let e = BigUint::from_u64(65_537);
+    let d = e.mod_inverse(&phi).unwrap();
+    let c = a.mod_pow(&e, &n);
+    assert_eq!(c.mod_pow(&d, &n), a);
+}
+
+#[test]
+fn crt_reconstruction_matches_direct() {
+    let mut r = rng();
+    let p = gen_prime(&mut r, 96);
+    let q = gen_prime(&mut r, 96);
+    let n = p.mul_ref(&q);
+    let phi = p.sub_ref(&BigUint::one()).mul_ref(&q.sub_ref(&BigUint::one()));
+    let e = BigUint::from_u64(65_537);
+    let d = e.mod_inverse(&phi).unwrap();
+    let dp = d.rem_ref(&p.sub_ref(&BigUint::one()));
+    let dq = d.rem_ref(&q.sub_ref(&BigUint::one()));
+    let qinv = q.mod_inverse(&p).unwrap();
+
+    let c = BigUint::from_u64(0x1234_5678_9ABC);
+    // CRT path.
+    let m1 = c.mod_pow(&dp, &p);
+    let m2 = c.mod_pow(&dq, &q);
+    let h = qinv.mul_ref(&m1.mod_sub(&m2.rem_ref(&p), &p)).rem_ref(&p);
+    let crt = m2.add_ref(&h.mul_ref(&q));
+    // Direct path.
+    let direct = c.mod_pow(&d, &n);
+    assert_eq!(crt, direct);
+}
+
+#[test]
+fn montgomery_agrees_with_naive_across_sizes() {
+    let mut r = rng();
+    for bits in [64usize, 192, 320, 512] {
+        let mut m = BigUint::random_bits(&mut r, bits);
+        if m.is_even() {
+            m = m.add_ref(&BigUint::one());
+        }
+        let base = BigUint::random_bits(&mut r, bits - 1);
+        let exp = BigUint::random_bits(&mut r, 64);
+        let mont = Montgomery::new(m.clone());
+        assert_eq!(
+            mont.pow(&base, &exp),
+            base.mod_pow_naive_for_bench(&exp, &m),
+            "bits={bits}"
+        );
+    }
+}
+
+#[test]
+fn generated_primes_are_distinct_and_odd() {
+    let mut r = rng();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..6 {
+        let p = gen_prime(&mut r, 80);
+        assert!(p.is_odd());
+        assert!(seen.insert(p.to_hex()), "prime collision (astronomically unlikely)");
+    }
+}
+
+#[test]
+fn wilson_style_small_prime_check() {
+    // For small p we can exhaustively confirm Miller-Rabin agrees with
+    // trial division.
+    let mut r = rng();
+    let is_prime_naive = |n: u64| {
+        if n < 2 {
+            return false;
+        }
+        let mut d = 2;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    };
+    for n in 0u64..500 {
+        assert_eq!(
+            is_probably_prime(&mut r, &BigUint::from_u64(n), 16),
+            is_prime_naive(n),
+            "disagreement at {n}"
+        );
+    }
+}
+
+#[test]
+fn modular_inverse_is_involutive() {
+    let mut r = rng();
+    let m = gen_prime(&mut r, 128);
+    for v in [2u64, 3, 12345, 0xFFFF_FFFF] {
+        let a = BigUint::from_u64(v);
+        let inv = a.mod_inverse(&m).unwrap();
+        let back = inv.mod_inverse(&m).unwrap();
+        assert_eq!(back, a.rem_ref(&m));
+    }
+}
+
+#[test]
+fn shift_mul_div_consistency_at_scale() {
+    let mut r = rng();
+    let a = BigUint::random_bits(&mut r, 1500);
+    for s in [1usize, 63, 64, 65, 700] {
+        let shifted = a.shl_bits(s);
+        let (q, rem) = shifted.div_rem(&BigUint::one().shl_bits(s));
+        assert_eq!(q, a, "shift {s}");
+        assert!(rem.is_zero());
+    }
+}

@@ -1,0 +1,49 @@
+//! `myproxy-change-pass-phrase`: re-seal a stored credential under a
+//! new pass phrase.
+//!
+//! ```text
+//! myproxy-change-pass-phrase --server host:port --credential user.pem --trust-roots dir/
+//!                            --username NAME (--passphrase ...) --new-passphrase NEW
+//!                            [--cred-name NAME] [--server-dn DN]
+//! ```
+
+use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
+
+const USAGE: &str = "usage:
+  myproxy-change-pass-phrase --server <host:port> --credential <user.pem> --trust-roots <dir>
+                             --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
+                             --new-passphrase <p> [--cred-name <name>] [--server-dn <DN>]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut setup = ClientSetup::from_args(args)?;
+    let username = args.require("username")?;
+    let transport = setup.connect()?;
+    setup
+        .client
+        .change_passphrase(
+            transport,
+            &setup.credential,
+            username,
+            &passphrase(args)?,
+            args.require("new-passphrase")?,
+            args.get("cred-name"),
+            &mut setup.rng,
+            setup.now,
+        )
+        .map_err(|e| e.to_string())?;
+    println!("pass phrase changed for '{username}'");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `myproxy-destroy` (paper §4.1): remove stored credentials.
+//!
+//! ```text
+//! myproxy-destroy --server host:port --credential user.pem --trust-roots dir/
+//!                 --username NAME (--passphrase ...) [--cred-name NAME] [--server-dn DN]
+//! ```
+
+use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
+
+const USAGE: &str = "usage:
+  myproxy-destroy --server <host:port> --credential <user.pem> --trust-roots <dir>
+                  --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
+                  [--cred-name <name>] [--server-dn <DN>]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut setup = ClientSetup::from_args(args)?;
+    let username = args.require("username")?;
+    let transport = setup.connect()?;
+    setup
+        .client
+        .destroy(
+            transport,
+            &setup.credential,
+            username,
+            &passphrase(args)?,
+            args.get("cred-name"),
+            &mut setup.rng,
+            setup.now,
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "destroyed credential '{}' for '{username}'",
+        args.get("cred-name").unwrap_or("default")
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! `myproxy-get-delegation` (paper §4.2, Figure 2): retrieve a
+//! delegated proxy from a MyProxy repository.
+//!
+//! ```text
+//! myproxy-get-delegation --server host:port --credential portal.pem --trust-roots dir/
+//!                        --username NAME (--passphrase ... ) --out proxy.pem
+//!                        [--server-dn DN] [--lifetime-hours 2] [--cred-name NAME]
+//!                        [--task k:v,k:v] [--otp HEX] [--bits N]
+//! ```
+
+use mp_cli::{die, passphrase, save_credential, usage_exit, Args, ClientSetup};
+use mp_myproxy::client::GetParams;
+use std::path::Path;
+
+const USAGE: &str = "usage:
+  myproxy-get-delegation --server <host:port> --credential <client.pem> --trust-roots <dir>
+                         --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
+                         --out <proxy.pem> [--server-dn <DN>] [--lifetime-hours N]
+                         [--cred-name <name>] [--task k:v,k:v] [--otp <hex>] [--bits N]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut setup = ClientSetup::from_args(args)?;
+    let out = Path::new(args.require("out")?);
+    let mut params = GetParams::new(args.require("username")?, &passphrase(args)?);
+    params.lifetime_secs = args.get_u64("lifetime-hours", 2)? * 3600;
+    params.cred_name = args.get("cred-name").map(str::to_string);
+    if let Some(task) = args.get("task") {
+        params.task = mp_myproxy::proto::parse_tags(task);
+    }
+    params.otp = args.get("otp").map(str::to_string);
+    params.key_bits = args.get_u64("bits", 512)? as usize;
+
+    let transport = setup.connect()?;
+    let proxy = setup
+        .client
+        .get_delegation(transport, &setup.credential, &params, &mut setup.rng, setup.now)
+        .map_err(|e| e.to_string())?;
+    save_credential(out, &proxy)?;
+    println!("received a proxy credential:");
+    println!("  subject:  {}", proxy.subject());
+    println!("  lifetime: {}s", proxy.remaining_lifetime(setup.now));
+    println!("  file:     {}", out.display());
+    Ok(())
+}

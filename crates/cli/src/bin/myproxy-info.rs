@@ -1,0 +1,56 @@
+//! `myproxy-info`: list credentials stored for a username.
+//!
+//! ```text
+//! myproxy-info --server host:port --credential user.pem --trust-roots dir/
+//!              --username NAME (--passphrase ...) [--server-dn DN]
+//! ```
+
+use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
+
+const USAGE: &str = "usage:
+  myproxy-info --server <host:port> --credential <user.pem> --trust-roots <dir>
+               --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
+               [--server-dn <DN>]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut setup = ClientSetup::from_args(args)?;
+    let username = args.require("username")?;
+    let transport = setup.connect()?;
+    let infos = setup
+        .client
+        .info(
+            transport,
+            &setup.credential,
+            username,
+            &passphrase(args)?,
+            &mut setup.rng,
+            setup.now,
+        )
+        .map_err(|e| e.to_string())?;
+    println!("{} credential(s) stored for '{username}':", infos.len());
+    for i in infos {
+        println!(
+            "  {:<16} owner={} expires_in={}s max_delegation={}s{}{}",
+            i.name,
+            i.owner,
+            i.not_after.saturating_sub(setup.now),
+            i.max_lifetime,
+            if i.long_term { " [long-term]" } else { "" },
+            if i.renewable { " [renewable]" } else { "" },
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! `myproxy-init` (paper §4.1, Figure 1): delegate a proxy credential
+//! to a MyProxy repository.
+//!
+//! ```text
+//! myproxy-init --server host:port --credential user.pem --trust-roots dir/
+//!              --username NAME (--passphrase P | --passphrase-env VAR | --passphrase-file F)
+//!              [--server-dn DN] [--lifetime-hours 168] [--retriever-hours N]
+//!              [--cred-name NAME] [--tags k:v,k:v] [--renewer DN-pattern]
+//! ```
+
+use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
+use mp_myproxy::client::InitParams;
+
+const USAGE: &str = "usage:
+  myproxy-init --server <host:port> --credential <user.pem> --trust-roots <dir>
+               --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
+               [--server-dn <DN>] [--lifetime-hours N] [--retriever-hours N]
+               [--cred-name <name>] [--tags k:v,k:v] [--renewer <DN-pattern>]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut setup = ClientSetup::from_args(args)?;
+    let mut params = InitParams::new(args.require("username")?, &passphrase(args)?);
+    params.lifetime_secs = args.get_u64("lifetime-hours", 168)? * 3600;
+    if let Some(h) = args.get("retriever-hours") {
+        let h: u64 = h.parse().map_err(|_| "--retriever-hours must be a number")?;
+        params.retrieval_max_lifetime = Some(h * 3600);
+    }
+    params.cred_name = args.get("cred-name").map(str::to_string);
+    if let Some(tags) = args.get("tags") {
+        params.tags = mp_myproxy::proto::parse_tags(tags);
+    }
+    params.renewer = args.get("renewer").map(str::to_string);
+
+    let transport = setup.connect()?;
+    let not_after = setup
+        .client
+        .init(transport, &setup.credential, &params, &mut setup.rng, setup.now)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "a proxy valid until unix time {not_after} ({}h) is now stored for '{}'",
+        (not_after - setup.now) / 3600,
+        params.username
+    );
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! The MyProxy repository server daemon (paper §4).
+//!
+//! ```text
+//! myproxy-server --credential server.pem --trust-roots dir/ --port 7512
+//!                [--store-dir /var/myproxy]
+//!                [--accept-pattern DN-or-glob]...     # who may PUT (§5.1)
+//!                [--retriever-pattern DN-or-glob]...  # who may GET (§5.1)
+//!                [--renewer-pattern DN-or-glob]...    # who may RENEW (§6.6)
+//!                [--max-stored-hours N] [--max-delegated-hours N]
+//!                [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]
+//! ```
+//!
+//! With `--store-dir` the credential store is loaded at startup and
+//! written after every mutating operation, so the repository survives
+//! restarts. Run it on a tightly secured host (§5.1: "comparable to a
+//! Kerberos Domain Controller").
+
+use mp_cli::{die, load_credential, load_trust_roots, usage_exit, Args};
+use mp_crypto::HmacDrbg;
+use mp_gsi::AccessControlList;
+use mp_myproxy::{MyProxyServer, ServerPolicy};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const USAGE: &str = "usage:
+  myproxy-server --credential <server.pem> --trust-roots <dir> --port <port>
+                 [--store-dir <dir>] [--accept-pattern P]... [--retriever-pattern P]...
+                 [--renewer-pattern P]... [--max-stored-hours N] [--max-delegated-hours N]
+                 [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn acl(patterns: Vec<&str>) -> AccessControlList {
+    if patterns.is_empty() {
+        // An empty list denies everyone; the operator must opt in.
+        AccessControlList::deny_all()
+    } else {
+        AccessControlList::from_patterns(patterns)
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let credential = load_credential(Path::new(args.require("credential")?))?;
+    let trust_roots = load_trust_roots(Path::new(args.require("trust-roots")?))?;
+    let port: u16 = args
+        .require("port")?
+        .parse()
+        .map_err(|_| "--port must be a port number".to_string())?;
+
+    let policy = ServerPolicy {
+        max_stored_lifetime_secs: args.get_u64("max-stored-hours", 168)? * 3600,
+        max_delegated_lifetime_secs: args.get_u64("max-delegated-hours", 2)? * 3600,
+        min_passphrase_len: args.get_u64("min-passphrase-len", 6)? as usize,
+        accepted_credentials: acl(args.all("accept-pattern")),
+        authorized_retrievers: acl(args.all("retriever-pattern")),
+        authorized_renewers: acl(args.all("renewer-pattern")),
+        pbkdf2_iterations: args.get_u64("pbkdf2-iters", 10_000)? as u32,
+        key_bits: args.get_u64("bits", 512)? as usize,
+    };
+
+    let server = MyProxyServer::new(
+        credential,
+        trust_roots,
+        policy,
+        Arc::new(mp_x509::SystemClock),
+        HmacDrbg::from_os_entropy(),
+    );
+
+    let store_dir: Option<PathBuf> = args.get("store-dir").map(PathBuf::from);
+    if let Some(dir) = &store_dir {
+        if dir.exists() {
+            let corrupt = server.store().load_from_dir(dir).map_err(|e| e.to_string())?;
+            for c in &corrupt {
+                eprintln!("warning: skipped corrupt store file: {c}");
+            }
+            eprintln!("loaded {} credentials from {}", server.store().len(), dir.display());
+        }
+    }
+
+    let listener = std::net::TcpListener::bind(("0.0.0.0", port))
+        .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+    eprintln!(
+        "myproxy-server: {} listening on port {} ({} stored credentials)",
+        server.identity(),
+        port,
+        server.store().len()
+    );
+
+    // Accept loop with a persistence hook after each connection.
+    for conn in listener.incoming() {
+        match conn {
+            Ok(sock) => {
+                let server = server.clone();
+                let store_dir = store_dir.clone();
+                std::thread::spawn(move || {
+                    let peer = sock.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+                    match server.handle(sock) {
+                        Ok(()) => eprintln!("{peer}: ok"),
+                        Err(e) => eprintln!("{peer}: {e}"),
+                    }
+                    if let Some(dir) = store_dir {
+                        if let Err(e) = server.store().save_to_dir(&dir) {
+                            eprintln!("warning: store save failed: {e}");
+                        }
+                    }
+                });
+            }
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                break;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,278 @@
+//! Shared plumbing for the command-line tools: flag parsing, PEM file
+//! loading, trust-root directories, and pass-phrase sourcing.
+//!
+//! The binaries mirror the C MyProxy distribution (paper §4.4 points at
+//! `ftp.ncsa.uiuc.edu/aces/myproxy/`): each tool is one operation over
+//! TCP. Run any tool with `--help` for usage.
+
+use mp_crypto::HmacDrbg;
+use mp_gsi::Credential;
+use mp_x509::pem::{self, label};
+use mp_x509::{Certificate, Dn};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A parsed command line: positional args plus `--key value` /
+/// `--switch` flags.
+#[derive(Debug)]
+pub struct Args {
+    /// Program name.
+    pub program: String,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["help", "limited", "verbose"];
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn from_env() -> Result<Self, String> {
+        let mut it = std::env::args();
+        let program = it.next().unwrap_or_else(|| "tool".into());
+        Self::parse(program, it.collect())
+    }
+
+    /// Parse a vector (testable entry point).
+    pub fn parse(program: String, raw: Vec<String>) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    switches.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                    flags.entry(name.to_string()).or_default().push(value);
+                }
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Args { program, positional, flags, switches })
+    }
+
+    /// Single-valued flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.first()).map(String::as_str)
+    }
+
+    /// Required single-valued flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// All values of a repeatable flag.
+    pub fn all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Numeric flag with default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} must be a number")),
+        }
+    }
+}
+
+/// Load a credential (cert + key [+ chain]) from a PEM file.
+pub fn load_credential(path: &Path) -> Result<Credential, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Credential::from_pem(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Write a credential to a PEM file (permissions note: the proxy-file
+/// convention is mode 0600; we set that where the platform allows).
+pub fn save_credential(path: &Path, cred: &Credential) -> Result<(), String> {
+    std::fs::write(path, cred.to_pem())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        let _ = std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o600));
+    }
+    Ok(())
+}
+
+/// Load every certificate from every `*.pem` file in a directory (the
+/// `/etc/grid-security/certificates` convention).
+pub fn load_trust_roots(dir: &Path) -> Result<Vec<Certificate>, String> {
+    let mut roots = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read trust-root dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pem") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        for block in pem::decode_all(&text).map_err(|e| format!("{}: {e}", path.display()))? {
+            if block.label == label::CERTIFICATE {
+                roots.push(
+                    Certificate::from_der(&block.data)
+                        .map_err(|e| format!("{}: {e}", path.display()))?,
+                );
+            }
+        }
+    }
+    if roots.is_empty() {
+        return Err(format!("no certificates found under {}", dir.display()));
+    }
+    Ok(roots)
+}
+
+/// Resolve the pass phrase: `--passphrase <value>` (discouraged,
+/// visible in `ps`), `--passphrase-env <VAR>`, or `--passphrase-file
+/// <path>` (first line).
+pub fn passphrase(args: &Args) -> Result<String, String> {
+    if let Some(p) = args.get("passphrase") {
+        return Ok(p.to_string());
+    }
+    if let Some(var) = args.get("passphrase-env") {
+        return std::env::var(var).map_err(|_| format!("environment variable {var} not set"));
+    }
+    if let Some(path) = args.get("passphrase-file") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return Ok(text.lines().next().unwrap_or("").to_string());
+    }
+    Err("supply --passphrase, --passphrase-env or --passphrase-file".into())
+}
+
+/// Standard client-side setup shared by every `myproxy-*` client tool.
+pub struct ClientSetup {
+    /// The dialled server address.
+    pub server_addr: String,
+    /// The caller's credential.
+    pub credential: Credential,
+    /// The MyProxy client (trust roots + optional pinned identity).
+    pub client: mp_myproxy::MyProxyClient,
+    /// Entropy.
+    pub rng: HmacDrbg,
+    /// Wall-clock now.
+    pub now: u64,
+}
+
+impl ClientSetup {
+    /// Build from the conventional flags: `--server host:port`,
+    /// `--credential file.pem`, `--trust-roots dir`,
+    /// `[--server-dn DN]`.
+    pub fn from_args(args: &Args) -> Result<Self, String> {
+        let server_addr = args.require("server")?.to_string();
+        let credential = load_credential(Path::new(args.require("credential")?))?;
+        let roots = load_trust_roots(Path::new(args.require("trust-roots")?))?;
+        let expected = match args.get("server-dn") {
+            Some(dn) => Some(Dn::parse(dn).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let client = mp_myproxy::MyProxyClient::new(roots, expected);
+        Ok(ClientSetup {
+            server_addr,
+            credential,
+            client,
+            rng: HmacDrbg::from_os_entropy(),
+            now: mp_x509::Clock::now(&mp_x509::SystemClock),
+        })
+    }
+
+    /// Dial the server.
+    pub fn connect(&self) -> Result<std::net::TcpStream, String> {
+        std::net::TcpStream::connect(&self.server_addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.server_addr))
+    }
+}
+
+/// Print usage and exit(2) if `--help` was asked or `err` is Some.
+pub fn usage_exit(usage: &str, err: Option<String>) -> ! {
+    if let Some(e) = err {
+        eprintln!("error: {e}\n");
+    }
+    eprintln!("{usage}");
+    std::process::exit(2)
+}
+
+/// Exit(1) with an error message.
+pub fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+/// The default key size for CLI-generated keys: 1024 bits, matching the
+/// paper's era. Tests pass `--bits 512` for speed.
+pub fn bits_flag(args: &Args) -> Result<usize, String> {
+    let bits = args.get_u64("bits", 1024)? as usize;
+    if bits < 512 || !bits.is_multiple_of(2) {
+        return Err("--bits must be an even number >= 512".into());
+    }
+    Ok(bits)
+}
+
+/// `PathBuf` from a flag.
+pub fn path_flag(args: &Args, name: &str) -> Result<PathBuf, String> {
+    Ok(PathBuf::from(args.require(name)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse("tool".into(), v.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    #[test]
+    fn flags_switches_positional() {
+        let a = parse(&["--server", "h:1", "--limited", "pos1", "--pattern", "a", "--pattern", "b"]);
+        assert_eq!(a.get("server"), Some("h:1"));
+        assert!(a.has("limited"));
+        assert!(!a.has("verbose"));
+        assert_eq!(a.positional, vec!["pos1"]);
+        assert_eq!(a.all("pattern"), vec!["a", "b"]);
+        assert_eq!(a.get_u64("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let err = Args::parse("t".into(), vec!["--server".into()]).unwrap_err();
+        assert!(err.contains("--server"));
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse(&[]);
+        assert!(a.require("credential").unwrap_err().contains("--credential"));
+    }
+
+    #[test]
+    fn passphrase_sources() {
+        let a = parse(&["--passphrase", "direct"]);
+        assert_eq!(passphrase(&a).unwrap(), "direct");
+        let a = parse(&[]);
+        assert!(passphrase(&a).is_err());
+    }
+
+    #[test]
+    fn bits_flag_validation() {
+        assert_eq!(bits_flag(&parse(&[])).unwrap(), 1024);
+        assert_eq!(bits_flag(&parse(&["--bits", "512"])).unwrap(), 512);
+        assert!(bits_flag(&parse(&["--bits", "100"])).is_err());
+        assert!(bits_flag(&parse(&["--bits", "513"])).is_err());
+    }
+}

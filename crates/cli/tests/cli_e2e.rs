@@ -1,0 +1,340 @@
+//! End-to-end test of the command-line tools: a full deployment over
+//! real TCP with PEM files on disk — CA bootstrap, credential issuance,
+//! server startup (with persistence), init / info / get-delegation /
+//! change-pass-phrase / destroy.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mp-cli-e2e-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, rel: &str) -> PathBuf {
+        self.0.join(rel)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn bin(name: &str) -> Command {
+    let path = match name {
+        "grid-ca" => env!("CARGO_BIN_EXE_grid-ca"),
+        "grid-proxy-init" => env!("CARGO_BIN_EXE_grid-proxy-init"),
+        "myproxy-server" => env!("CARGO_BIN_EXE_myproxy-server"),
+        "myproxy-init" => env!("CARGO_BIN_EXE_myproxy-init"),
+        "myproxy-get-delegation" => env!("CARGO_BIN_EXE_myproxy-get-delegation"),
+        "myproxy-info" => env!("CARGO_BIN_EXE_myproxy-info"),
+        "myproxy-destroy" => env!("CARGO_BIN_EXE_myproxy-destroy"),
+        "myproxy-change-pass-phrase" => env!("CARGO_BIN_EXE_myproxy-change-pass-phrase"),
+        _ => panic!("unknown bin {name}"),
+    };
+    Command::new(path)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn failed");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn run_fail(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn failed");
+    assert!(!out.status.success(), "command unexpectedly succeeded");
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Pick a free port by binding :0 and dropping the listener.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn wait_for_port(port: u16) {
+    for _ in 0..200 {
+        if std::net::TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("server never came up on port {port}");
+}
+
+fn setup_pki(dir: &TempDir) {
+    run_ok(bin("grid-ca").args([
+        "init",
+        "--dn",
+        "/O=Grid/CN=Test CA",
+        "--out-dir",
+        dir.path("ca").to_str().unwrap(),
+        "--bits",
+        "512",
+    ]));
+    for (dn, file) in [
+        ("/O=Grid/CN=alice", "alice.pem"),
+        ("/O=Grid/CN=portal", "portal.pem"),
+        ("/O=Grid/CN=myproxy-host", "server.pem"),
+    ] {
+        run_ok(bin("grid-ca").args([
+            "issue",
+            "--ca-dir",
+            dir.path("ca").to_str().unwrap(),
+            "--dn",
+            dn,
+            "--out",
+            dir.path(file).to_str().unwrap(),
+            "--bits",
+            "512",
+        ]));
+    }
+}
+
+fn start_server(dir: &TempDir, port: u16, store: bool) -> ServerGuard {
+    let mut cmd = bin("myproxy-server");
+    cmd.args([
+        "--credential",
+        dir.path("server.pem").to_str().unwrap(),
+        "--trust-roots",
+        dir.path("ca/trusted").to_str().unwrap(),
+        "--port",
+        &port.to_string(),
+        "--accept-pattern",
+        "*",
+        "--retriever-pattern",
+        "*",
+        "--pbkdf2-iters",
+        "10",
+        "--bits",
+        "512",
+    ]);
+    if store {
+        cmd.args(["--store-dir", dir.path("store").to_str().unwrap()]);
+    }
+    cmd.stdout(Stdio::null()).stderr(Stdio::null());
+    let child = cmd.spawn().expect("server spawn failed");
+    wait_for_port(port);
+    ServerGuard(child)
+}
+
+fn client_args(dir: &TempDir, cred: &str, port: u16) -> Vec<String> {
+    vec![
+        "--server".into(),
+        format!("127.0.0.1:{port}"),
+        "--credential".into(),
+        dir.path(cred).to_str().unwrap().into(),
+        "--trust-roots".into(),
+        dir.path("ca/trusted").to_str().unwrap().into(),
+        "--server-dn".into(),
+        "/O=Grid/CN=myproxy-host".into(),
+    ]
+}
+
+#[test]
+fn full_cli_lifecycle_over_tcp() {
+    let dir = TempDir::new("lifecycle");
+    setup_pki(&dir);
+    let port = free_port();
+    let _server = start_server(&dir, port, false);
+
+    // grid-proxy-init works standalone.
+    run_ok(bin("grid-proxy-init").args([
+        "--credential",
+        dir.path("alice.pem").to_str().unwrap(),
+        "--out",
+        dir.path("alice-proxy.pem").to_str().unwrap(),
+        "--hours",
+        "12",
+        "--bits",
+        "512",
+    ]));
+    assert!(dir.path("alice-proxy.pem").exists());
+
+    // myproxy-init (with the local proxy, as §2.5 typical usage).
+    let mut cmd = bin("myproxy-init");
+    cmd.args(client_args(&dir, "alice-proxy.pem", port));
+    cmd.args(["--username", "alice", "--passphrase", "kiosk pass phrase", "--lifetime-hours", "10"]);
+    let out = run_ok(&mut cmd);
+    assert!(out.contains("now stored for 'alice'"), "{out}");
+
+    // myproxy-info.
+    let mut cmd = bin("myproxy-info");
+    cmd.args(client_args(&dir, "alice.pem", port));
+    cmd.args(["--username", "alice", "--passphrase", "kiosk pass phrase"]);
+    let out = run_ok(&mut cmd);
+    assert!(out.contains("1 credential(s)"), "{out}");
+    assert!(out.contains("owner=/O=Grid/CN=alice"), "{out}");
+
+    // myproxy-get-delegation as the portal.
+    let mut cmd = bin("myproxy-get-delegation");
+    cmd.args(client_args(&dir, "portal.pem", port));
+    cmd.args([
+        "--username",
+        "alice",
+        "--passphrase",
+        "kiosk pass phrase",
+        "--out",
+        dir.path("delegated.pem").to_str().unwrap(),
+        "--lifetime-hours",
+        "1",
+    ]);
+    let out = run_ok(&mut cmd);
+    assert!(out.contains("received a proxy credential"), "{out}");
+    // The delegated file is a loadable credential whose subject extends
+    // alice's DN.
+    let text = std::fs::read_to_string(dir.path("delegated.pem")).unwrap();
+    let cred = mp_gsi::Credential::from_pem(&text).unwrap();
+    assert!(cred.subject().to_string().starts_with("/O=Grid/CN=alice/CN="));
+
+    // Wrong pass phrase fails.
+    let mut cmd = bin("myproxy-get-delegation");
+    cmd.args(client_args(&dir, "portal.pem", port));
+    cmd.args([
+        "--username",
+        "alice",
+        "--passphrase",
+        "wrong",
+        "--out",
+        dir.path("nope.pem").to_str().unwrap(),
+    ]);
+    let err = run_fail(&mut cmd);
+    assert!(err.contains("authentication failed"), "{err}");
+
+    // change-pass-phrase, then the old one stops working.
+    let mut cmd = bin("myproxy-change-pass-phrase");
+    cmd.args(client_args(&dir, "alice.pem", port));
+    cmd.args([
+        "--username",
+        "alice",
+        "--passphrase",
+        "kiosk pass phrase",
+        "--new-passphrase",
+        "fresh pass phrase",
+    ]);
+    run_ok(&mut cmd);
+    let mut cmd = bin("myproxy-info");
+    cmd.args(client_args(&dir, "alice.pem", port));
+    cmd.args(["--username", "alice", "--passphrase", "kiosk pass phrase"]);
+    run_fail(&mut cmd);
+
+    // destroy.
+    let mut cmd = bin("myproxy-destroy");
+    cmd.args(client_args(&dir, "alice.pem", port));
+    cmd.args(["--username", "alice", "--passphrase", "fresh pass phrase"]);
+    let out = run_ok(&mut cmd);
+    assert!(out.contains("destroyed"), "{out}");
+}
+
+#[test]
+fn store_dir_survives_server_restart() {
+    let dir = TempDir::new("persist");
+    setup_pki(&dir);
+    let port = free_port();
+    {
+        let _server = start_server(&dir, port, true);
+        let mut cmd = bin("myproxy-init");
+        cmd.args(client_args(&dir, "alice.pem", port));
+        cmd.args(["--username", "alice", "--passphrase", "durable pass"]);
+        run_ok(&mut cmd);
+        // Persistence is written after the connection is served; wait
+        // for a completed (.cred, not .tmp) file before killing the
+        // server.
+        let cred_file_present = || {
+            std::fs::read_dir(dir.path("store"))
+                .map(|d| {
+                    d.filter_map(|e| e.ok())
+                        .any(|e| e.path().extension().and_then(|x| x.to_str()) == Some("cred"))
+                })
+                .unwrap_or(false)
+        };
+        let mut ok = false;
+        for _ in 0..200 {
+            if cred_file_present() {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(ok, "store file never appeared");
+        // One extra beat in case a concurrent save is mid-rename.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    } // server killed here
+
+    // A new server on a new port loads the store and serves the GET.
+    let port2 = free_port();
+    let _server = start_server(&dir, port2, true);
+    let mut cmd = bin("myproxy-get-delegation");
+    cmd.args(client_args(&dir, "portal.pem", port2));
+    cmd.args([
+        "--username",
+        "alice",
+        "--passphrase",
+        "durable pass",
+        "--out",
+        dir.path("after-restart.pem").to_str().unwrap(),
+    ]);
+    let out = run_ok(&mut cmd);
+    assert!(out.contains("received a proxy credential"), "{out}");
+}
+
+#[test]
+fn help_flags_work() {
+    for tool in [
+        "grid-ca",
+        "grid-proxy-init",
+        "myproxy-server",
+        "myproxy-init",
+        "myproxy-get-delegation",
+        "myproxy-info",
+        "myproxy-destroy",
+        "myproxy-change-pass-phrase",
+    ] {
+        let out = bin(tool).arg("--help").output().unwrap();
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(text.contains("usage:"), "{tool}: {text}");
+    }
+}
+
+#[test]
+fn limited_proxy_flag_produces_limited_proxy() {
+    let dir = TempDir::new("limited");
+    setup_pki(&dir);
+    run_ok(bin("grid-proxy-init").args([
+        "--credential",
+        dir.path("alice.pem").to_str().unwrap(),
+        "--out",
+        dir.path("limited.pem").to_str().unwrap(),
+        "--bits",
+        "512",
+        "--limited",
+    ]));
+    let text = std::fs::read_to_string(dir.path("limited.pem")).unwrap();
+    let cred = mp_gsi::Credential::from_pem(&text).unwrap();
+    assert_eq!(cred.subject().last_cn(), Some("limited proxy"));
+}

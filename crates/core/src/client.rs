@@ -1,0 +1,436 @@
+//! MyProxy client operations: `myproxy-init`, `myproxy-get-delegation`,
+//! `myproxy-info`, `myproxy-destroy`, `myproxy-change-pass-phrase`
+//! (paper §4.1–§4.2) plus the §6.x extension commands.
+//!
+//! Every operation is one connection: GSI handshake, one request, the
+//! command-specific sub-protocol. Transports are supplied by the caller
+//! so the same client speaks TCP or in-memory pipes.
+
+use crate::proto::{field, render_tags, Command, Request, Response};
+use crate::server::build_renewal_proof;
+use crate::{MyProxyError, Result};
+use mp_gsi::delegate::{accept_delegation, delegate, DelegationPolicy};
+use mp_gsi::transport::Transport;
+use mp_gsi::{ChannelConfig, Credential, SecureChannel};
+use mp_x509::{Certificate, Dn, ProxyPolicy};
+use rand::Rng;
+
+/// Parameters for `myproxy-init` (PUT) and STORE_LONG_TERM.
+#[derive(Clone, Debug)]
+pub struct InitParams {
+    /// Repository account name.
+    pub username: String,
+    /// Retrieval pass phrase (chosen by the user, §4.1).
+    pub passphrase: String,
+    /// Lifetime of the credential delegated *to* the repository
+    /// ("normally have a lifetime of a week", §4.1).
+    pub lifetime_secs: u64,
+    /// Maximum lifetime the repository may delegate *out* on this
+    /// user's behalf (§4.1 retrieval restrictions).
+    pub retrieval_max_lifetime: Option<u64>,
+    /// Wallet name (§6.2).
+    pub cred_name: Option<String>,
+    /// Wallet tags (§6.2).
+    pub tags: Vec<(String, String)>,
+    /// DN pattern allowed to RENEW from this entry (§6.6).
+    pub renewer: Option<String>,
+}
+
+impl InitParams {
+    /// Defaults matching the paper: one week to the repository.
+    pub fn new(username: &str, passphrase: &str) -> Self {
+        InitParams {
+            username: username.to_string(),
+            passphrase: passphrase.to_string(),
+            lifetime_secs: 7 * 24 * 3600,
+            retrieval_max_lifetime: None,
+            cred_name: None,
+            tags: Vec::new(),
+            renewer: None,
+        }
+    }
+
+    fn to_request(&self, command: Command) -> Request {
+        let mut req = Request::new(command)
+            .field(field::USERNAME, &self.username)
+            .field(field::PASSPHRASE, &self.passphrase)
+            .field(field::LIFETIME, &self.lifetime_secs.to_string());
+        if let Some(r) = self.retrieval_max_lifetime {
+            req = req.field("RETRIEVER_LIFETIME", &r.to_string());
+        }
+        if let Some(n) = &self.cred_name {
+            req = req.field(field::CRED_NAME, n);
+        }
+        if !self.tags.is_empty() {
+            req = req.field(field::CRED_TAGS, &render_tags(&self.tags));
+        }
+        if let Some(r) = &self.renewer {
+            req = req.field("RENEWER", r);
+        }
+        req
+    }
+}
+
+/// Parameters for `myproxy-get-delegation` (GET / OTP_GET).
+#[derive(Clone, Debug)]
+pub struct GetParams {
+    /// Repository account name.
+    pub username: String,
+    /// Retrieval pass phrase.
+    pub passphrase: String,
+    /// Requested proxy lifetime ("normally on the order of a few
+    /// hours", §4.3).
+    pub lifetime_secs: u64,
+    /// Explicit wallet entry, or
+    pub cred_name: Option<String>,
+    /// task tags for wallet selection (§6.2), e.g. `ca:DOE,target:storage`.
+    pub task: Vec<(String, String)>,
+    /// One-time password (OTP_GET only).
+    pub otp: Option<String>,
+    /// RSA modulus bits for the locally generated proxy key.
+    pub key_bits: usize,
+}
+
+impl GetParams {
+    /// Defaults: 2-hour proxy, 512-bit key.
+    pub fn new(username: &str, passphrase: &str) -> Self {
+        GetParams {
+            username: username.to_string(),
+            passphrase: passphrase.to_string(),
+            lifetime_secs: 2 * 3600,
+            cred_name: None,
+            task: Vec::new(),
+            otp: None,
+            key_bits: 512,
+        }
+    }
+
+    fn to_request(&self) -> Request {
+        let command = if self.otp.is_some() { Command::OtpGet } else { Command::Get };
+        let mut req = Request::new(command)
+            .field(field::USERNAME, &self.username)
+            .field(field::PASSPHRASE, &self.passphrase)
+            .field(field::LIFETIME, &self.lifetime_secs.to_string());
+        if let Some(n) = &self.cred_name {
+            req = req.field(field::CRED_NAME, n);
+        }
+        if !self.task.is_empty() {
+            req = req.field(field::TASK, &render_tags(&self.task));
+        }
+        if let Some(otp) = &self.otp {
+            req = req.field(field::OTP, otp);
+        }
+        req
+    }
+}
+
+/// Parsed `myproxy-info` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CredInfo {
+    /// Wallet name.
+    pub name: String,
+    /// Depositor's Grid DN.
+    pub owner: String,
+    /// Deposit time.
+    pub created: u64,
+    /// Stored-chain expiry.
+    pub not_after: u64,
+    /// Retrieval lifetime cap.
+    pub max_lifetime: u64,
+    /// §6.1 long-term entry?
+    pub long_term: bool,
+    /// §6.6 renewable entry?
+    pub renewable: bool,
+}
+
+/// A MyProxy client: trust configuration + the expected server identity.
+pub struct MyProxyClient {
+    channel_cfg: ChannelConfig,
+}
+
+impl MyProxyClient {
+    /// Build a client trusting `trust_roots`; if `server_identity` is
+    /// given, connections refuse any other server (mutual auth, §5.1).
+    pub fn new(trust_roots: Vec<Certificate>, server_identity: Option<Dn>) -> Self {
+        let mut cfg = ChannelConfig::new(trust_roots);
+        cfg.expected_peer = server_identity;
+        MyProxyClient { channel_cfg: cfg }
+    }
+
+    fn open_channel<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<SecureChannel<T>> {
+        Ok(SecureChannel::connect(transport, cred, &self.channel_cfg, rng, now)?)
+    }
+
+    fn transact<T: Transport>(
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+    ) -> Result<Response> {
+        channel.send(request.to_text().as_bytes())?;
+        let resp = channel.recv()?;
+        let resp = String::from_utf8(resp)
+            .map_err(|_| MyProxyError::Protocol("response not UTF-8".into()))?;
+        Response::from_text(&resp)?.into_result()
+    }
+
+    fn read_response<T: Transport>(channel: &mut SecureChannel<T>) -> Result<Response> {
+        let resp = channel.recv()?;
+        let resp = String::from_utf8(resp)
+            .map_err(|_| MyProxyError::Protocol("response not UTF-8".into()))?;
+        Response::from_text(&resp)?.into_result()
+    }
+
+    /// `myproxy-init` (Figure 1): delegate a proxy of `cred` to the
+    /// repository under (username, pass phrase). Returns the stored
+    /// credential's expiry.
+    pub fn init<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        params: &InitParams,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<u64> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        Self::transact(&mut channel, &params.to_request(Command::Put))?;
+        // The server accepts a delegation; we are the delegator.
+        let deleg = DelegationPolicy {
+            max_lifetime_secs: params.lifetime_secs,
+            policy: ProxyPolicy::InheritAll,
+            path_len: None,
+        };
+        delegate(&mut channel, cred, &deleg, rng, now)?;
+        let final_resp = Self::read_response(&mut channel)?;
+        final_resp
+            .all("NOT_AFTER")
+            .first()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| MyProxyError::Protocol("missing NOT_AFTER in PUT response".into()))
+    }
+
+    /// STORE_LONG_TERM (§6.1): ship `to_store` (a long-term credential,
+    /// private key and all) to the repository for server-side
+    /// management. Travels only inside the encrypted channel.
+    pub fn store_long_term<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        to_store: &Credential,
+        params: &InitParams,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<u64> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        Self::transact(&mut channel, &params.to_request(Command::StoreLongTerm))?;
+        channel.send(to_store.to_pem().as_bytes())?;
+        let final_resp = Self::read_response(&mut channel)?;
+        final_resp
+            .all("NOT_AFTER")
+            .first()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| MyProxyError::Protocol("missing NOT_AFTER in STORE response".into()))
+    }
+
+    /// `myproxy-get-delegation` (Figure 2): authenticate with username +
+    /// pass phrase (or OTP), receive a delegated proxy credential.
+    pub fn get_delegation<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        params: &GetParams,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Credential> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        Self::transact(&mut channel, &params.to_request())?;
+        Ok(accept_delegation(
+            &mut channel,
+            params.lifetime_secs,
+            params.key_bits,
+            rng,
+        )?)
+    }
+
+    /// `myproxy-info`: list stored credentials (pass-phrase
+    /// authenticated).
+    pub fn info<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Vec<CredInfo>> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let req = Request::new(Command::Info)
+            .field(field::USERNAME, username)
+            .field(field::PASSPHRASE, passphrase);
+        let resp = Self::transact(&mut channel, &req)?;
+        resp.all("CRED").iter().map(|line| parse_cred_info(line)).collect()
+    }
+
+    /// `myproxy-destroy` (§4.1): remove a stored credential.
+    pub fn destroy<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        cred_name: Option<&str>,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<()> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let mut req = Request::new(Command::Destroy)
+            .field(field::USERNAME, username)
+            .field(field::PASSPHRASE, passphrase);
+        if let Some(n) = cred_name {
+            req = req.field(field::CRED_NAME, n);
+        }
+        Self::transact(&mut channel, &req)?;
+        Ok(())
+    }
+
+    /// `myproxy-change-pass-phrase`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn change_passphrase<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        username: &str,
+        old_passphrase: &str,
+        new_passphrase: &str,
+        cred_name: Option<&str>,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<()> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let mut req = Request::new(Command::ChangePassphrase)
+            .field(field::USERNAME, username)
+            .field(field::PASSPHRASE, old_passphrase)
+            .field(field::NEW_PASSPHRASE, new_passphrase);
+        if let Some(n) = cred_name {
+            req = req.field(field::CRED_NAME, n);
+        }
+        Self::transact(&mut channel, &req)?;
+        Ok(())
+    }
+
+    /// OTP_SETUP (§6.3): register a one-time-password chain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn otp_setup<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        anchor_hex: &str,
+        chain_len: u32,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<()> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let req = Request::new(Command::OtpSetup)
+            .field(field::USERNAME, username)
+            .field(field::PASSPHRASE, passphrase)
+            .field(field::OTP_ANCHOR, anchor_hex)
+            .field(field::OTP_COUNT, &chain_len.to_string());
+        Self::transact(&mut channel, &req)?;
+        Ok(())
+    }
+
+    /// RENEW (§6.6): obtain a fresh proxy by proving possession of the
+    /// user's current proxy — no pass phrase involved, so a job manager
+    /// can run this unattended before the old proxy expires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn renew<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        renewer_cred: &Credential,
+        old_proxy: &Credential,
+        username: &str,
+        cred_name: Option<&str>,
+        key_bits: usize,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Credential> {
+        let mut channel = self.open_channel(transport, renewer_cred, rng, now)?;
+        let mut req = Request::new(Command::Renew).field(field::USERNAME, username);
+        if let Some(n) = cred_name {
+            req = req.field(field::CRED_NAME, n);
+        }
+        let resp = Self::transact(&mut channel, &req)?;
+        let nonce_hex = resp
+            .all("NONCE")
+            .first()
+            .map(|s| s.to_string())
+            .ok_or_else(|| MyProxyError::Protocol("missing NONCE in RENEW response".into()))?;
+        let nonce = crate::otp::decode_hex32(&nonce_hex)
+            .ok_or_else(|| MyProxyError::Protocol("malformed NONCE".into()))?;
+        let proof = build_renewal_proof(old_proxy, &nonce)?;
+        channel.send(&proof)?;
+        Self::read_response(&mut channel)?; // proof verdict
+        Ok(accept_delegation(&mut channel, u64::MAX, key_bits, rng)?)
+    }
+}
+
+fn parse_cred_info(line: &str) -> Result<CredInfo> {
+    let mut name = None;
+    let mut owner = None;
+    let mut created = None;
+    let mut not_after = None;
+    let mut max_lifetime = None;
+    let mut long_term = None;
+    let mut renewable = None;
+    for part in line.split_whitespace() {
+        let Some((k, v)) = part.split_once('=') else { continue };
+        match k {
+            "name" => name = Some(v.to_string()),
+            "owner" => owner = Some(v.to_string()),
+            "created" => created = v.parse().ok(),
+            "not_after" => not_after = v.parse().ok(),
+            "max_lifetime" => max_lifetime = v.parse().ok(),
+            "long_term" => long_term = v.parse().ok(),
+            "renewable" => renewable = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Ok(CredInfo {
+        name: name.ok_or_else(|| MyProxyError::Protocol("CRED line missing name".into()))?,
+        owner: owner.unwrap_or_default(),
+        created: created.unwrap_or(0),
+        not_after: not_after.unwrap_or(0),
+        max_lifetime: max_lifetime.unwrap_or(0),
+        long_term: long_term.unwrap_or(false),
+        renewable: renewable.unwrap_or(false),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cred_info_parsing() {
+        let line = "name=default owner=/O=Grid/CN=alice created=100 not_after=5000 max_lifetime=7200 long_term=false renewable=true tags=ca:DOE";
+        let info = parse_cred_info(line).unwrap();
+        assert_eq!(info.name, "default");
+        assert_eq!(info.owner, "/O=Grid/CN=alice");
+        assert_eq!(info.created, 100);
+        assert_eq!(info.not_after, 5000);
+        assert_eq!(info.max_lifetime, 7200);
+        assert!(!info.long_term);
+        assert!(info.renewable);
+    }
+
+    #[test]
+    fn cred_info_requires_name() {
+        assert!(parse_cred_info("owner=/O=Grid/CN=x").is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! MyProxy: an online credential repository for the Grid (HPDC 2001).
+//!
+//! This crate is the paper's contribution. A MyProxy repository holds
+//! *delegated proxy credentials* (never the user's long-term private
+//! key, unless the §6.1 long-term mode is explicitly used), each sealed
+//! under its owner's pass phrase, and re-delegates short-lived proxies
+//! to authorized clients — typically Grid portals acting for users who
+//! only have a web browser.
+//!
+//! * [`proto`] — the client/server wire protocol (text headers inside
+//!   the GSI secure channel, modeled on the real `MYPROXYv2` protocol)
+//! * [`store`] — the credential store: pass-phrase-sealed entries (§5.1)
+//! * [`policy`] — server policy: pass-phrase quality (§4.1), lifetime
+//!   caps (§4.1/§4.3), the two ACLs (§5.1)
+//! * [`server`] — the repository server
+//! * [`client`] — `myproxy-init`, `myproxy-get-delegation`,
+//!   `myproxy-info`, `myproxy-destroy`, `myproxy-change-pass-phrase`
+//!   (§4.1–§4.2) and the extension operations
+//! * [`otp`] — one-time-password authentication (§5.1/§6.3)
+//! * [`wallet`] — multiple credentials per user with task-based
+//!   selection (§6.2)
+//! * [`renewal`] — credential renewal for long-running jobs (§6.6)
+
+pub mod client;
+pub mod otp;
+pub mod persist;
+pub mod policy;
+pub mod proto;
+pub mod renewal;
+pub mod server;
+pub mod store;
+pub mod wallet;
+
+pub use client::MyProxyClient;
+pub use policy::ServerPolicy;
+pub use proto::{Command, Request, Response};
+pub use server::MyProxyServer;
+pub use store::{CredStore, StoredCredential};
+
+use mp_gsi::GsiError;
+
+/// Errors from MyProxy operations.
+#[derive(Debug)]
+pub enum MyProxyError {
+    /// Transport/channel/certificate failure underneath.
+    Gsi(GsiError),
+    /// The server refused the request; the string is the server's
+    /// `ERROR=` line (deliberately vague about pass-phrase vs existence,
+    /// see `store`).
+    Refused(String),
+    /// Malformed protocol data.
+    Protocol(String),
+}
+
+impl From<GsiError> for MyProxyError {
+    fn from(e: GsiError) -> Self {
+        MyProxyError::Gsi(e)
+    }
+}
+
+impl std::fmt::Display for MyProxyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MyProxyError::Gsi(e) => write!(f, "GSI error: {e}"),
+            MyProxyError::Refused(why) => write!(f, "server refused: {why}"),
+            MyProxyError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MyProxyError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MyProxyError>;

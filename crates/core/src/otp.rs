@@ -1,0 +1,239 @@
+//! One-time-password authentication (paper §5.1 and §6.3).
+//!
+//! "Replay attacks by such a client via a valid portal could be
+//! prevented by replacing the current MyProxy pass phrase scheme with a
+//! one-time password system \[12\]" — reference \[12\] is RFC 2289 (S/KEY).
+//! This module implements that hash-chain construction:
+//!
+//! * The client derives `h_0 = H(secret || seed)` and `h_i = H(h_{i-1})`.
+//! * Setup registers the anchor `h_n` with the server.
+//! * Login `k` presents `h_{n-k}`; the server verifies
+//!   `H(presented) == stored anchor`, then *replaces* the anchor with
+//!   the presented value — so a captured value is worthless afterwards.
+//!
+//! Note the scoping decision (documented in DESIGN.md): the stored
+//! credential stays sealed under the long-lived pass phrase; OTP
+//! replaces the pass phrase *on the wire*, which is exactly the replay
+//! exposure §5.1 worries about.
+
+use mp_crypto::{ct_eq, hex, sha256};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Client-side generator: recomputes chain values from the secret.
+#[derive(Clone)]
+pub struct OtpGenerator {
+    secret: Vec<u8>,
+    seed: Vec<u8>,
+    /// Chain length registered at setup.
+    pub chain_len: u32,
+}
+
+impl OtpGenerator {
+    /// Build a generator for a fresh chain of `chain_len` logins.
+    pub fn new(secret: &[u8], seed: &[u8], chain_len: u32) -> Self {
+        assert!(chain_len >= 1);
+        OtpGenerator { secret: secret.to_vec(), seed: seed.to_vec(), chain_len }
+    }
+
+    /// `h_i` for `i in 0..=chain_len`.
+    fn chain_value(&self, i: u32) -> [u8; 32] {
+        let mut v = {
+            let mut input = self.secret.clone();
+            input.extend_from_slice(&self.seed);
+            sha256(&input)
+        };
+        for _ in 0..i {
+            v = sha256(&v);
+        }
+        v
+    }
+
+    /// The anchor `h_n` to register at setup, hex-encoded.
+    pub fn anchor_hex(&self) -> String {
+        hex(&self.chain_value(self.chain_len))
+    }
+
+    /// The password for login number `k` (1-based): `h_{n-k}`,
+    /// hex-encoded. Panics past the end of the chain.
+    pub fn password_hex(&self, k: u32) -> String {
+        assert!(k >= 1 && k <= self.chain_len, "OTP chain exhausted");
+        hex(&self.chain_value(self.chain_len - k))
+    }
+}
+
+/// Per-user OTP verification state on the server.
+struct OtpState {
+    /// Current anchor: hash of the next acceptable password.
+    anchor: [u8; 32],
+    /// Logins remaining before the chain is exhausted.
+    remaining: u32,
+}
+
+/// Server-side registry of OTP chains.
+#[derive(Default)]
+pub struct OtpRegistry {
+    states: Mutex<HashMap<String, OtpState>>,
+}
+
+/// Outcome of an OTP verification attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OtpOutcome {
+    /// Accepted; the anchor advanced.
+    Accepted,
+    /// Rejected: wrong value, replayed value, unknown user, or
+    /// exhausted chain (uniform, like the store's AUTH_FAILED).
+    Rejected,
+}
+
+impl OtpRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a chain for `username`.
+    pub fn setup(&self, username: &str, anchor: [u8; 32], chain_len: u32) {
+        self.states
+            .lock()
+            .insert(username.to_string(), OtpState { anchor, remaining: chain_len });
+    }
+
+    /// Registered and not exhausted?
+    pub fn is_active(&self, username: &str) -> bool {
+        self.states
+            .lock()
+            .get(username)
+            .is_some_and(|s| s.remaining > 0)
+    }
+
+    /// Verify one password (raw 32 bytes). On success the anchor becomes
+    /// the presented value, killing replays.
+    pub fn verify(&self, username: &str, presented: &[u8]) -> OtpOutcome {
+        let mut states = self.states.lock();
+        let Some(state) = states.get_mut(username) else {
+            return OtpOutcome::Rejected;
+        };
+        if state.remaining == 0 || presented.len() != 32 {
+            return OtpOutcome::Rejected;
+        }
+        let hashed = sha256(presented);
+        if !ct_eq(&hashed, &state.anchor) {
+            return OtpOutcome::Rejected;
+        }
+        state.anchor.copy_from_slice(presented);
+        state.remaining -= 1;
+        OtpOutcome::Accepted
+    }
+
+    /// Parse a hex password and verify.
+    pub fn verify_hex(&self, username: &str, presented_hex: &str) -> OtpOutcome {
+        match decode_hex32(presented_hex) {
+            Some(bytes) => self.verify(username, &bytes),
+            None => OtpOutcome::Rejected,
+        }
+    }
+}
+
+/// Decode exactly 32 bytes of hex.
+pub fn decode_hex32(s: &str) -> Option<[u8; 32]> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        out[i] = (hi * 16 + lo) as u8;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_pair() -> (OtpGenerator, OtpRegistry) {
+        let gen = OtpGenerator::new(b"user secret", b"server-seed-1", 5);
+        let reg = OtpRegistry::new();
+        reg.setup("alice", decode_hex32(&gen.anchor_hex()).unwrap(), gen.chain_len);
+        (gen, reg)
+    }
+
+    #[test]
+    fn sequential_logins_accepted() {
+        let (gen, reg) = setup_pair();
+        for k in 1..=5 {
+            assert_eq!(
+                reg.verify_hex("alice", &gen.password_hex(k)),
+                OtpOutcome::Accepted,
+                "login {k}"
+            );
+        }
+        // Chain exhausted.
+        assert!(!reg.is_active("alice"));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (gen, reg) = setup_pair();
+        let pw1 = gen.password_hex(1);
+        assert_eq!(reg.verify_hex("alice", &pw1), OtpOutcome::Accepted);
+        // The §5.1 scenario: an attacker captured pw1 — replay fails.
+        assert_eq!(reg.verify_hex("alice", &pw1), OtpOutcome::Rejected);
+        // Legitimate user continues with pw2.
+        assert_eq!(reg.verify_hex("alice", &gen.password_hex(2)), OtpOutcome::Accepted);
+    }
+
+    #[test]
+    fn wrong_value_rejected_without_advancing() {
+        let (gen, reg) = setup_pair();
+        assert_eq!(reg.verify_hex("alice", &"ab".repeat(32)), OtpOutcome::Rejected);
+        assert_eq!(reg.verify_hex("alice", &gen.password_hex(1)), OtpOutcome::Accepted);
+    }
+
+    #[test]
+    fn unknown_user_and_garbage_rejected() {
+        let (_gen, reg) = setup_pair();
+        assert_eq!(reg.verify_hex("bob", &"00".repeat(32)), OtpOutcome::Rejected);
+        assert_eq!(reg.verify_hex("alice", "not-hex"), OtpOutcome::Rejected);
+        assert_eq!(reg.verify_hex("alice", "abcd"), OtpOutcome::Rejected);
+    }
+
+    #[test]
+    fn skipping_ahead_fails() {
+        // Presenting h_{n-2} while the anchor is h_n fails: the server
+        // checks one hash application only. (RFC 2289 servers resync;
+        // ours is strict — simpler and stricter.)
+        let (gen, reg) = setup_pair();
+        assert_eq!(reg.verify_hex("alice", &gen.password_hex(2)), OtpOutcome::Rejected);
+    }
+
+    #[test]
+    fn chains_are_user_specific() {
+        let gen_a = OtpGenerator::new(b"secret-a", b"seed", 3);
+        let gen_b = OtpGenerator::new(b"secret-b", b"seed", 3);
+        let reg = OtpRegistry::new();
+        reg.setup("alice", decode_hex32(&gen_a.anchor_hex()).unwrap(), 3);
+        reg.setup("bob", decode_hex32(&gen_b.anchor_hex()).unwrap(), 3);
+        assert_eq!(reg.verify_hex("alice", &gen_b.password_hex(1)), OtpOutcome::Rejected);
+        assert_eq!(reg.verify_hex("alice", &gen_a.password_hex(1)), OtpOutcome::Accepted);
+    }
+
+    #[test]
+    fn re_setup_replaces_chain() {
+        let (gen, reg) = setup_pair();
+        assert_eq!(reg.verify_hex("alice", &gen.password_hex(1)), OtpOutcome::Accepted);
+        let fresh = OtpGenerator::new(b"user secret", b"server-seed-2", 10);
+        reg.setup("alice", decode_hex32(&fresh.anchor_hex()).unwrap(), 10);
+        assert_eq!(reg.verify_hex("alice", &gen.password_hex(2)), OtpOutcome::Rejected);
+        assert_eq!(reg.verify_hex("alice", &fresh.password_hex(1)), OtpOutcome::Accepted);
+    }
+
+    #[test]
+    fn hex_decoding() {
+        assert!(decode_hex32(&"0f".repeat(32)).is_some());
+        assert!(decode_hex32("short").is_none());
+        assert!(decode_hex32(&"zz".repeat(32)).is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! File-backed persistence for the credential store.
+//!
+//! The production C MyProxy keeps one file per credential under
+//! `/var/myproxy`; this module reproduces that shape. Each entry is a
+//! text header plus the base64 of the sealed blob — so what is on disk
+//! is exactly what [`crate::store::CredStore::raw_dump`] shows an
+//! intruder: ciphertext under the user's pass phrase (§5.1).
+//!
+//! Renewal copies (sealed under the server's in-memory master key) are
+//! persisted too, but they are only usable again if the server is
+//! restarted with the same master key
+//! ([`crate::server::MyProxyServer::with_master_key`]); otherwise
+//! renewal entries degrade gracefully to pass-phrase-only entries.
+
+use crate::store::{CredStore, StoredCredential};
+use crate::MyProxyError;
+use mp_crypto::base64;
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: &str = "MYPROXY-STORE-V1";
+
+/// Serialize one entry to the on-disk text format.
+pub fn entry_to_text(e: &StoredCredential) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    let mut kv = |k: &str, v: &str| {
+        debug_assert!(!v.contains('\n'));
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+        out.push('\n');
+    };
+    kv("username", &e.username);
+    kv("name", &e.name);
+    kv("owner", &e.owner_identity);
+    kv("retrieval_max_lifetime", &e.retrieval_max_lifetime.to_string());
+    kv("not_after", &e.not_after.to_string());
+    kv("created_at", &e.created_at.to_string());
+    kv("long_term", &e.long_term.to_string());
+    kv("tags", &crate::proto::render_tags(&e.tags));
+    if let Some(r) = &e.renewable_by {
+        kv("renewable_by", r);
+    }
+    kv("sealed", &base64::encode(&e.sealed));
+    if let Some(s) = &e.sealed_for_renewal {
+        kv("sealed_for_renewal", &base64::encode(s));
+    }
+    out
+}
+
+/// Parse one entry from the on-disk text format.
+pub fn entry_from_text(text: &str) -> Result<StoredCredential, MyProxyError> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(MyProxyError::Protocol("bad store file magic".into()));
+    }
+    let mut username = None;
+    let mut name = None;
+    let mut owner = None;
+    let mut retrieval_max_lifetime = None;
+    let mut not_after = None;
+    let mut created_at = None;
+    let mut long_term = None;
+    let mut tags = Vec::new();
+    let mut renewable_by = None;
+    let mut sealed = None;
+    let mut sealed_for_renewal = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| MyProxyError::Protocol("malformed store file line".into()))?;
+        match k {
+            "username" => username = Some(v.to_string()),
+            "name" => name = Some(v.to_string()),
+            "owner" => owner = Some(v.to_string()),
+            "retrieval_max_lifetime" => retrieval_max_lifetime = v.parse().ok(),
+            "not_after" => not_after = v.parse().ok(),
+            "created_at" => created_at = v.parse().ok(),
+            "long_term" => long_term = v.parse().ok(),
+            "tags" => tags = crate::proto::parse_tags(v),
+            "renewable_by" => renewable_by = Some(v.to_string()),
+            "sealed" => {
+                sealed = Some(
+                    base64::decode(v)
+                        .ok_or_else(|| MyProxyError::Protocol("bad sealed base64".into()))?,
+                )
+            }
+            "sealed_for_renewal" => {
+                sealed_for_renewal = Some(
+                    base64::decode(v)
+                        .ok_or_else(|| MyProxyError::Protocol("bad renewal base64".into()))?,
+                )
+            }
+            _ => {} // forward compatibility: ignore unknown keys
+        }
+    }
+    let missing = |what: &'static str| MyProxyError::Protocol(format!("store file missing {what}"));
+    Ok(StoredCredential {
+        username: username.ok_or_else(|| missing("username"))?,
+        name: name.ok_or_else(|| missing("name"))?,
+        owner_identity: owner.unwrap_or_default(),
+        sealed: sealed.ok_or_else(|| missing("sealed"))?,
+        retrieval_max_lifetime: retrieval_max_lifetime.ok_or_else(|| missing("lifetime"))?,
+        not_after: not_after.ok_or_else(|| missing("not_after"))?,
+        created_at: created_at.unwrap_or(0),
+        long_term: long_term.unwrap_or(false),
+        tags,
+        renewable_by,
+        sealed_for_renewal,
+    })
+}
+
+/// File name for an entry: hex of SHA-256(username, name), flat layout.
+/// (Usernames are user-chosen strings; hashing sidesteps path-traversal
+/// and charset questions entirely.)
+pub fn entry_filename(username: &str, name: &str) -> String {
+    let mut h = mp_crypto::Sha256::new();
+    h.update(username.as_bytes());
+    h.update(&[0]);
+    h.update(name.as_bytes());
+    format!("{}.cred", mp_crypto::hex(&h.finalize()[..16]))
+}
+
+impl CredStore {
+    /// Write every entry to `dir` (created if absent). Files for
+    /// entries that no longer exist are removed.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut expected = std::collections::HashSet::new();
+        for e in self.all_entries() {
+            let filename = entry_filename(&e.username, &e.name);
+            expected.insert(filename.clone());
+            let tmp = dir.join(format!("{filename}.tmp"));
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(entry_to_text(&e).as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, dir.join(&filename))?;
+        }
+        for existing in std::fs::read_dir(dir)? {
+            let existing = existing?;
+            let fname = existing.file_name().to_string_lossy().into_owned();
+            if fname.ends_with(".cred") && !expected.contains(&fname) {
+                std::fs::remove_file(existing.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load every `.cred` file from `dir` into this store, replacing
+    /// entries with the same key. Corrupt files are skipped and
+    /// reported in the returned list (fail-soft: one bad file must not
+    /// take the repository down).
+    pub fn load_from_dir(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+        let mut corrupt = Vec::new();
+        for dirent in std::fs::read_dir(dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("cred") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)?;
+            match entry_from_text(&text) {
+                Ok(entry) => self.insert_entry(entry),
+                Err(e) => corrupt.push(format!("{}: {e}", path.display())),
+            }
+        }
+        Ok(corrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DEFAULT_NAME;
+    use mp_gsi::Credential;
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn};
+
+    fn credential() -> Credential {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 600_000).unwrap();
+        Credential::new(vec![cert], key.clone()).unwrap()
+    }
+
+    fn tmpdir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mp-persist-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entry_text_roundtrip() {
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("persist rt");
+        store.put(
+            "alice",
+            DEFAULT_NAME,
+            "pass!",
+            &credential(),
+            7200,
+            100,
+            false,
+            vec![("ca".into(), "DOE".into())],
+            &mut rng,
+        );
+        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice");
+        let entry = store.peek("alice", DEFAULT_NAME).unwrap();
+        let text = entry_to_text(&entry);
+        let back = entry_from_text(&text).unwrap();
+        assert_eq!(back.username, "alice");
+        assert_eq!(back.owner_identity, "/O=Grid/CN=alice");
+        assert_eq!(back.sealed, entry.sealed);
+        assert_eq!(back.tags, entry.tags);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_decryptability() {
+        let dir = tmpdir("roundtrip");
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("persist save");
+        store.put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng);
+        store.put("bob", "special", "bobpass", &credential(), 100, 200, true, vec![], &mut rng);
+        store.save_to_dir(&dir).unwrap();
+
+        // A fresh store (same PBKDF2 iterations) loads everything back.
+        let restored = CredStore::new(10);
+        let corrupt = restored.load_from_dir(&dir).unwrap();
+        assert!(corrupt.is_empty());
+        assert_eq!(restored.len(), 2);
+        assert!(restored.open("alice", DEFAULT_NAME, "pass!").is_ok());
+        assert!(restored.open("alice", DEFAULT_NAME, "wrong").is_err());
+        assert!(restored.open("bob", "special", "bobpass").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_removes_stale_files() {
+        let dir = tmpdir("stale");
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("persist stale");
+        store.put("alice", DEFAULT_NAME, "pass!!", &credential(), 1, 1, false, vec![], &mut rng);
+        store.save_to_dir(&dir).unwrap();
+        store.destroy("alice", DEFAULT_NAME, "pass!!").unwrap();
+        store.save_to_dir(&dir).unwrap();
+        let remaining: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().and_then(|x| x.to_str()) == Some("cred")
+            })
+            .collect();
+        assert!(remaining.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_not_fatal() {
+        let dir = tmpdir("corrupt");
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("persist corrupt");
+        store.put("ok", DEFAULT_NAME, "pass!!", &credential(), 1, 1, false, vec![], &mut rng);
+        store.save_to_dir(&dir).unwrap();
+        // Corruption appears after the save (save_to_dir sweeps files it
+        // does not own, so write these afterwards).
+        std::fs::write(dir.join("junk.cred"), "not a store file").unwrap();
+        std::fs::write(dir.join("other.cred"), format!("{MAGIC}\nusername=x\n")).unwrap();
+
+        let restored = CredStore::new(10);
+        let corrupt = restored.load_from_dir(&dir).unwrap();
+        assert_eq!(corrupt.len(), 2, "two bad files reported");
+        assert_eq!(restored.len(), 1, "good entry loaded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn on_disk_bytes_are_sealed() {
+        let dir = tmpdir("sealed");
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("persist sealed");
+        let cred = credential();
+        store.put("alice", DEFAULT_NAME, "pass!!", &cred, 1, 1, false, vec![], &mut rng);
+        store.save_to_dir(&dir).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().and_then(|x| x.to_str()) == Some("cred"))
+            .unwrap();
+        let contents = std::fs::read_to_string(file).unwrap();
+        assert!(!contents.contains("BEGIN RSA PRIVATE KEY"));
+        // The base64 of the *plaintext* PEM must not appear either.
+        let pem_b64 = mp_crypto::base64::encode(cred.to_pem().as_bytes());
+        assert!(!contents.contains(&pem_b64[..40]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filename_is_stable_and_collision_resistant() {
+        assert_eq!(
+            entry_filename("alice", "default"),
+            entry_filename("alice", "default")
+        );
+        assert_ne!(entry_filename("alice", "default"), entry_filename("alice", "other"));
+        // The classic trap: ("ab","c") vs ("a","bc") must differ.
+        assert_ne!(entry_filename("ab", "c"), entry_filename("a", "bc"));
+        // And the name is filesystem-safe regardless of input: a hex
+        // stem plus the ".cred" extension, no separators.
+        let f = entry_filename("../../etc/passwd", "x/y");
+        let stem = f.strip_suffix(".cred").unwrap();
+        assert!(stem.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,144 @@
+//! Repository policy: pass-phrase quality, lifetime caps, and the two
+//! access control lists of paper §5.1.
+
+use mp_gsi::AccessControlList;
+
+/// Words rejected by the dictionary check (§4.1: "the pass phrase …
+/// can be tested by the repository to make sure they meet any local
+/// policy (e.g. the pass phrase must be a certain length, survive
+/// dictionary checks, etc.)"). A real deployment points this at a full
+/// wordlist; the principle is identical.
+const DICTIONARY: &[&str] = &[
+    "password", "passphrase", "secret", "letmein", "welcome", "qwerty", "123456", "12345678",
+    "grid", "globus", "myproxy", "abc123", "iloveyou", "admin", "changeme",
+];
+
+/// Why a pass phrase was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassphraseError {
+    /// Shorter than the configured minimum.
+    TooShort { min: usize },
+    /// Exactly a dictionary word (case-insensitive).
+    DictionaryWord,
+}
+
+impl std::fmt::Display for PassphraseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassphraseError::TooShort { min } => {
+                write!(f, "pass phrase must be at least {min} characters")
+            }
+            PassphraseError::DictionaryWord => write!(f, "pass phrase fails dictionary check"),
+        }
+    }
+}
+
+/// Server-side policy knobs.
+#[derive(Clone)]
+pub struct ServerPolicy {
+    /// Max lifetime of credentials *delegated to* the repository
+    /// (§4.1/§4.3: "set by policy on the repository server, but defaults
+    /// to one week").
+    pub max_stored_lifetime_secs: u64,
+    /// Max lifetime of proxies the repository *delegates out* (§4.3:
+    /// "normally on the order of a few hours").
+    pub max_delegated_lifetime_secs: u64,
+    /// Minimum pass-phrase length (the real server's default is 6).
+    pub min_passphrase_len: usize,
+    /// Clients allowed to PUT (typically users).
+    pub accepted_credentials: AccessControlList,
+    /// Clients allowed to GET (typically portals) — "particularly
+    /// important, as it prevents unauthorized clients from retrieving a
+    /// user proxy … even if such clients are able to gain access to the
+    /// user's MyProxy authentication information" (§5.1).
+    pub authorized_retrievers: AccessControlList,
+    /// Clients allowed to RENEW (§6.6; typically job managers).
+    pub authorized_renewers: AccessControlList,
+    /// PBKDF2 iteration count for sealing stored credentials.
+    pub pbkdf2_iterations: u32,
+    /// RSA modulus bits for proxies the server mints during PUT.
+    pub key_bits: usize,
+}
+
+impl Default for ServerPolicy {
+    fn default() -> Self {
+        ServerPolicy {
+            max_stored_lifetime_secs: 7 * 24 * 3600,
+            max_delegated_lifetime_secs: 2 * 3600,
+            min_passphrase_len: 6,
+            accepted_credentials: AccessControlList::deny_all(),
+            authorized_retrievers: AccessControlList::deny_all(),
+            authorized_renewers: AccessControlList::deny_all(),
+            pbkdf2_iterations: 1_000,
+            key_bits: 512,
+        }
+    }
+}
+
+impl ServerPolicy {
+    /// A permissive policy for tests: everyone may PUT/GET/RENEW and
+    /// crypto parameters are small/fast. Lifetime defaults match the
+    /// paper.
+    pub fn permissive() -> Self {
+        ServerPolicy {
+            accepted_credentials: AccessControlList::from_patterns(["*"]),
+            authorized_retrievers: AccessControlList::from_patterns(["*"]),
+            authorized_renewers: AccessControlList::from_patterns(["*"]),
+            pbkdf2_iterations: 10,
+            ..Default::default()
+        }
+    }
+
+    /// Validate a pass phrase against local policy (§4.1).
+    pub fn check_passphrase(&self, pass: &str) -> Result<(), PassphraseError> {
+        if pass.chars().count() < self.min_passphrase_len {
+            return Err(PassphraseError::TooShort { min: self.min_passphrase_len });
+        }
+        let lower = pass.to_lowercase();
+        if DICTIONARY.contains(&lower.as_str()) {
+            return Err(PassphraseError::DictionaryWord);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passphrase_length_enforced() {
+        let p = ServerPolicy::default();
+        assert_eq!(
+            p.check_passphrase("abc"),
+            Err(PassphraseError::TooShort { min: 6 })
+        );
+        assert!(p.check_passphrase("abcdef-long-enough").is_ok());
+    }
+
+    #[test]
+    fn dictionary_words_rejected_case_insensitive() {
+        let p = ServerPolicy::default();
+        assert_eq!(p.check_passphrase("password"), Err(PassphraseError::DictionaryWord));
+        assert_eq!(p.check_passphrase("PassWord"), Err(PassphraseError::DictionaryWord));
+        assert_eq!(p.check_passphrase("myproxy"), Err(PassphraseError::DictionaryWord));
+        // Dictionary word as substring is fine; only exact matches fail.
+        assert!(p.check_passphrase("password-but-longer").is_ok());
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ServerPolicy::default();
+        assert_eq!(p.max_stored_lifetime_secs, 7 * 24 * 3600, "one week (§4.3)");
+        assert_eq!(p.max_delegated_lifetime_secs, 2 * 3600, "a few hours (§4.3)");
+        // Both ACLs default closed.
+        assert!(p.accepted_credentials.is_empty());
+        assert!(p.authorized_retrievers.is_empty());
+    }
+
+    #[test]
+    fn unicode_passphrase_counts_chars() {
+        let p = ServerPolicy::default();
+        assert!(p.check_passphrase("ドメイン頑丈").is_ok()); // 6 chars
+    }
+}

@@ -1,0 +1,392 @@
+//! The MyProxy wire protocol.
+//!
+//! Modeled on the real `MYPROXYv2` text protocol (paper §6.4 admits it
+//! "was quickly designed as a prototype" — we keep that flavor): a block
+//! of `KEY=VALUE` lines inside the encrypted channel, followed for
+//! PUT/GET by the delegation sub-protocol of `mp_gsi::delegate`.
+
+use crate::MyProxyError;
+use std::collections::BTreeMap;
+
+/// Protocol version string.
+pub const VERSION: &str = "MYPROXYv2";
+
+/// Commands, with the wire numbers of the original C implementation
+/// where they exist; extension commands continue the numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Retrieve a delegated proxy (Figure 2 / `myproxy-get-delegation`).
+    Get = 0,
+    /// Deposit a delegated proxy (Figure 1 / `myproxy-init`).
+    Put = 1,
+    /// Query stored credentials (`myproxy-info`).
+    Info = 2,
+    /// Remove stored credentials (`myproxy-destroy`).
+    Destroy = 3,
+    /// Re-seal under a new pass phrase (`myproxy-change-pass-phrase`).
+    ChangePassphrase = 4,
+    /// §6.1: deposit a *long-term* credential for server-side management.
+    StoreLongTerm = 5,
+    /// §6.3: register a one-time-password chain for this username.
+    OtpSetup = 6,
+    /// §6.3: retrieve a delegation authenticating by one-time password.
+    OtpGet = 7,
+    /// §6.6: renew — retrieve a fresh proxy authenticating with an
+    /// existing (still valid) proxy instead of a pass phrase.
+    Renew = 8,
+}
+
+impl Command {
+    /// Parse the wire number.
+    pub fn from_u32(v: u32) -> Option<Command> {
+        Some(match v {
+            0 => Command::Get,
+            1 => Command::Put,
+            2 => Command::Info,
+            3 => Command::Destroy,
+            4 => Command::ChangePassphrase,
+            5 => Command::StoreLongTerm,
+            6 => Command::OtpSetup,
+            7 => Command::OtpGet,
+            8 => Command::Renew,
+            _ => return None,
+        })
+    }
+}
+
+/// A client request: command plus `KEY=VALUE` fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The operation.
+    pub command: Command,
+    /// All other fields (USERNAME, PASSPHRASE, LIFETIME, ...).
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Start a request.
+    pub fn new(command: Command) -> Self {
+        Request { command, fields: BTreeMap::new() }
+    }
+
+    /// Add a field. Panics on embedded newlines (caller bug).
+    pub fn field(mut self, key: &str, value: &str) -> Self {
+        assert!(!key.contains('\n') && !value.contains('\n'), "newline in protocol field");
+        assert!(!key.contains('='), "'=' in protocol key");
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Read a field.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Read a required field or produce the canonical error.
+    pub fn require(&self, key: &str) -> Result<&str, MyProxyError> {
+        self.get(key)
+            .ok_or_else(|| MyProxyError::Protocol(format!("missing required field {key}")))
+    }
+
+    /// Parse a u64 field with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, MyProxyError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| MyProxyError::Protocol(format!("field {key} is not a number"))),
+        }
+    }
+
+    /// Serialize to the wire text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("VERSION={VERSION}\nCOMMAND={}\n", self.command as u32);
+        for (k, v) in &self.fields {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse from wire text.
+    pub fn from_text(text: &str) -> Result<Self, MyProxyError> {
+        let mut lines = text.lines();
+        let version = lines
+            .next()
+            .ok_or_else(|| MyProxyError::Protocol("empty request".into()))?;
+        if version != format!("VERSION={VERSION}") {
+            return Err(MyProxyError::Protocol("unsupported protocol version".into()));
+        }
+        let cmd_line = lines
+            .next()
+            .ok_or_else(|| MyProxyError::Protocol("missing COMMAND".into()))?;
+        let cmd_num: u32 = cmd_line
+            .strip_prefix("COMMAND=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| MyProxyError::Protocol("malformed COMMAND".into()))?;
+        let command = Command::from_u32(cmd_num)
+            .ok_or_else(|| MyProxyError::Protocol(format!("unknown command {cmd_num}")))?;
+        let mut fields = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| MyProxyError::Protocol("malformed field line".into()))?;
+            fields.insert(k.to_string(), v.to_string());
+        }
+        Ok(Request { command, fields })
+    }
+}
+
+/// Standard field names.
+pub mod field {
+    /// The account name in the repository — *not* the Grid DN (§4.1:
+    /// "more memorable and concise than a typical DN").
+    pub const USERNAME: &str = "USERNAME";
+    /// The retrieval pass phrase.
+    pub const PASSPHRASE: &str = "PASSPHRASE";
+    /// New pass phrase (CHANGE_PASSPHRASE).
+    pub const NEW_PASSPHRASE: &str = "NEW_PASSPHRASE";
+    /// Requested/maximum lifetime in seconds.
+    pub const LIFETIME: &str = "LIFETIME";
+    /// Credential name for wallet entries (§6.2); default "default".
+    pub const CRED_NAME: &str = "CRED_NAME";
+    /// Wallet tags, `k:v` pairs joined with commas.
+    pub const CRED_TAGS: &str = "CRED_TAGS";
+    /// Task hints for wallet selection, same syntax as CRED_TAGS.
+    pub const TASK: &str = "TASK";
+    /// One-time password value (hex).
+    pub const OTP: &str = "OTP";
+    /// OTP chain anchor (hex of h_n) for OTP_SETUP.
+    pub const OTP_ANCHOR: &str = "OTP_ANCHOR";
+    /// OTP chain length for OTP_SETUP.
+    pub const OTP_COUNT: &str = "OTP_COUNT";
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// 0 = OK, 1 = error.
+    pub ok: bool,
+    /// ERROR text when `!ok`.
+    pub error: Option<String>,
+    /// Extra response fields (INFO results etc.).
+    pub fields: Vec<(String, String)>,
+}
+
+impl Response {
+    /// Success.
+    pub fn success() -> Self {
+        Response { ok: true, error: None, fields: Vec::new() }
+    }
+
+    /// Failure with reason.
+    pub fn error(reason: impl Into<String>) -> Self {
+        Response { ok: false, error: Some(reason.into()), fields: Vec::new() }
+    }
+
+    /// Attach a field.
+    pub fn with_field(mut self, key: &str, value: &str) -> Self {
+        assert!(!key.contains('\n') && !value.contains('\n'));
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// All values for a repeated field key.
+    pub fn all(&self, key: &str) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Serialize to wire text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("VERSION={VERSION}\nRESPONSE={}\n", if self.ok { 0 } else { 1 });
+        if let Some(err) = &self.error {
+            out.push_str("ERROR=");
+            out.push_str(err);
+            out.push('\n');
+        }
+        for (k, v) in &self.fields {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse from wire text.
+    pub fn from_text(text: &str) -> Result<Self, MyProxyError> {
+        let mut lines = text.lines();
+        let version = lines
+            .next()
+            .ok_or_else(|| MyProxyError::Protocol("empty response".into()))?;
+        if version != format!("VERSION={VERSION}") {
+            return Err(MyProxyError::Protocol("unsupported protocol version".into()));
+        }
+        let resp_line = lines
+            .next()
+            .ok_or_else(|| MyProxyError::Protocol("missing RESPONSE".into()))?;
+        let ok = match resp_line.strip_prefix("RESPONSE=") {
+            Some("0") => true,
+            Some("1") => false,
+            _ => return Err(MyProxyError::Protocol("malformed RESPONSE".into())),
+        };
+        let mut error = None;
+        let mut fields = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| MyProxyError::Protocol("malformed field line".into()))?;
+            if k == "ERROR" {
+                error = Some(v.to_string());
+            } else {
+                fields.push((k.to_string(), v.to_string()));
+            }
+        }
+        Ok(Response { ok, error, fields })
+    }
+
+    /// Turn an error response into `Err(Refused)`, success into `Ok`.
+    pub fn into_result(self) -> Result<Response, MyProxyError> {
+        if self.ok {
+            Ok(self)
+        } else {
+            Err(MyProxyError::Refused(
+                self.error.unwrap_or_else(|| "unspecified server error".into()),
+            ))
+        }
+    }
+}
+
+/// Parse `k:v,k:v` tag syntax (CRED_TAGS / TASK fields).
+pub fn parse_tags(s: &str) -> Vec<(String, String)> {
+    s.split(',')
+        .filter_map(|pair| {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                return None;
+            }
+            pair.split_once(':')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Render tags back to `k:v,k:v`.
+pub fn render_tags(tags: &[(String, String)]) -> String {
+    tags.iter()
+        .map(|(k, v)| format!("{k}:{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Command::Get)
+            .field(field::USERNAME, "jdoe")
+            .field(field::PASSPHRASE, "swordfish123")
+            .field(field::LIFETIME, "7200");
+        let text = req.to_text();
+        assert!(text.starts_with("VERSION=MYPROXYv2\nCOMMAND=0\n"));
+        let back = Request::from_text(&text).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.get(field::USERNAME), Some("jdoe"));
+        assert_eq!(back.get_u64(field::LIFETIME, 0).unwrap(), 7200);
+    }
+
+    #[test]
+    fn all_commands_roundtrip() {
+        for cmd in [
+            Command::Get,
+            Command::Put,
+            Command::Info,
+            Command::Destroy,
+            Command::ChangePassphrase,
+            Command::StoreLongTerm,
+            Command::OtpSetup,
+            Command::OtpGet,
+            Command::Renew,
+        ] {
+            let req = Request::new(cmd);
+            assert_eq!(Request::from_text(&req.to_text()).unwrap().command, cmd);
+        }
+    }
+
+    #[test]
+    fn request_parse_errors() {
+        assert!(Request::from_text("").is_err());
+        assert!(Request::from_text("VERSION=MYPROXYv1\nCOMMAND=0\n").is_err());
+        assert!(Request::from_text("VERSION=MYPROXYv2\nCOMMAND=99\n").is_err());
+        assert!(Request::from_text("VERSION=MYPROXYv2\nCOMMAND=0\nno-equals\n").is_err());
+    }
+
+    #[test]
+    fn required_field_error() {
+        let req = Request::new(Command::Get);
+        assert!(req.require(field::USERNAME).is_err());
+        let req = req.field(field::USERNAME, "x");
+        assert_eq!(req.require(field::USERNAME).unwrap(), "x");
+    }
+
+    #[test]
+    fn bad_numeric_field() {
+        let req = Request::new(Command::Get).field(field::LIFETIME, "not-a-number");
+        assert!(req.get_u64(field::LIFETIME, 0).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip_success_and_error() {
+        let ok = Response::success().with_field("CRED", "default 1000");
+        let back = Response::from_text(&ok.to_text()).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.all("CRED"), vec!["default 1000"]);
+
+        let err = Response::error("authorization failed");
+        let back = Response::from_text(&err.to_text()).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("authorization failed"));
+        assert!(matches!(back.into_result(), Err(MyProxyError::Refused(_))));
+    }
+
+    #[test]
+    fn repeated_fields_preserved_in_order() {
+        let resp = Response::success()
+            .with_field("CRED", "a")
+            .with_field("CRED", "b");
+        let back = Response::from_text(&resp.to_text()).unwrap();
+        assert_eq!(back.all("CRED"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        let tags = parse_tags("ca:DOE, purpose:compute");
+        assert_eq!(
+            tags,
+            vec![("ca".to_string(), "DOE".to_string()), ("purpose".to_string(), "compute".to_string())]
+        );
+        assert_eq!(render_tags(&tags), "ca:DOE,purpose:compute");
+        assert!(parse_tags("").is_empty());
+        assert!(parse_tags("novalue").is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn newline_injection_rejected() {
+        let _ = Request::new(Command::Get).field("USERNAME", "jdoe\nPASSPHRASE=stolen");
+    }
+}

@@ -1,0 +1,106 @@
+//! Proxy renewal for long-running jobs (paper §6.6, the Condor-G case).
+//!
+//! "It is not uncommon for computational jobs to run for a period of
+//! time that exceed the lifetime of the proxy credential they receive on
+//! startup. … We plan to investigate mechanisms to enable MyProxy to
+//! securely support long-running applications by being able to supply
+//! them with fresh credentials when needed."
+//!
+//! [`RenewalAgent`] is that mechanism: a job manager holds the user's
+//! current proxy and, whenever its remaining lifetime drops below a
+//! threshold, runs the RENEW protocol (challenge-response on the old
+//! proxy key, see `server::handle_renew`) to swap it for a fresh one —
+//! no pass phrase, no e-mailing the user.
+
+use crate::client::MyProxyClient;
+use crate::Result;
+use mp_gsi::transport::Transport;
+use mp_gsi::Credential;
+use rand::Rng;
+
+/// Decides when to renew and performs the renewal.
+pub struct RenewalAgent {
+    /// Renew when the proxy has fewer than this many seconds left.
+    pub threshold_secs: u64,
+    /// Key size for replacement proxies.
+    pub key_bits: usize,
+}
+
+impl RenewalAgent {
+    /// Agent renewing below `threshold_secs`.
+    pub fn new(threshold_secs: u64) -> Self {
+        RenewalAgent { threshold_secs, key_bits: 512 }
+    }
+
+    /// Does `proxy` need renewal at `now`?
+    pub fn needs_renewal(&self, proxy: &Credential, now: u64) -> bool {
+        proxy.remaining_lifetime(now) < self.threshold_secs
+    }
+
+    /// If the proxy is below threshold, renew it through `client` over
+    /// `transport`; returns `Some(fresh)` on renewal, `None` when the
+    /// proxy is still healthy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn maybe_renew<T: Transport, R: Rng + ?Sized>(
+        &self,
+        client: &MyProxyClient,
+        transport: T,
+        renewer_cred: &Credential,
+        proxy: &Credential,
+        username: &str,
+        cred_name: Option<&str>,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Option<Credential>> {
+        if !self.needs_renewal(proxy, now) {
+            return Ok(None);
+        }
+        let fresh = client.renew(
+            transport,
+            renewer_cred,
+            proxy,
+            username,
+            cred_name,
+            self.key_bits,
+            rng,
+            now,
+        )?;
+        Ok(Some(fresh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn};
+
+    #[test]
+    fn needs_renewal_threshold() {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 10_000).unwrap();
+        let cred = Credential::new(vec![cert], key.clone()).unwrap();
+        let mut rng = test_drbg("renewal-threshold");
+        let proxy = mp_gsi::grid_proxy_init(
+            &cred,
+            &mp_gsi::ProxyOptions::default().with_lifetime(1000),
+            &mut rng,
+            0,
+        )
+        .unwrap();
+
+        let agent = RenewalAgent::new(300);
+        assert!(!agent.needs_renewal(&proxy, 0), "1000s left");
+        assert!(!agent.needs_renewal(&proxy, 699), "301s left");
+        assert!(agent.needs_renewal(&proxy, 701), "299s left");
+        assert!(agent.needs_renewal(&proxy, 5000), "expired");
+    }
+}

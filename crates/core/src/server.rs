@@ -1,0 +1,632 @@
+//! The MyProxy repository server.
+//!
+//! One [`MyProxyServer`] holds the credential store, policy, OTP
+//! registry and the server's own Grid credentials; each incoming
+//! connection gets a GSI secure channel, one request, and (for
+//! PUT/GET-shaped commands) a delegation sub-protocol. All state is
+//! behind locks, so connections can be served from many threads — the
+//! `scalability` bench drives exactly that.
+
+use crate::otp::{decode_hex32, OtpOutcome, OtpRegistry};
+use crate::policy::ServerPolicy;
+use crate::proto::{field, parse_tags, render_tags, Command, Request, Response};
+use crate::store::{CredStore, AUTH_FAILED, DEFAULT_NAME};
+use crate::{wallet, MyProxyError};
+use mp_crypto::ctr::SecretBox;
+use mp_crypto::HmacDrbg;
+use mp_gsi::acl::DnPattern;
+use mp_gsi::delegate::{accept_delegation, delegate, DelegationPolicy};
+use mp_gsi::transport::Transport;
+use mp_gsi::wire::{WireReader, WireWriter};
+use mp_gsi::{ChannelConfig, Credential, SecureChannel};
+use mp_x509::{validate_chain, Certificate, Clock, ProxyPolicy};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Operation counters, readable while the server runs.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Successful PUT/STORE operations.
+    pub puts: AtomicU64,
+    /// Successful GET/OTP_GET/RENEW delegations.
+    pub gets: AtomicU64,
+    /// Requests refused for any reason.
+    pub denials: AtomicU64,
+    /// Connections that failed before a request was read.
+    pub channel_failures: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct ServerState {
+    credential: Credential,
+    channel_cfg: ChannelConfig,
+    policy: ServerPolicy,
+    store: CredStore,
+    otp: OtpRegistry,
+    clock: Arc<dyn Clock>,
+    rng: Mutex<HmacDrbg>,
+    /// In-memory master key sealing renewal copies (see store docs).
+    master_key: [u8; 32],
+    stats: ServerStats,
+    /// Revocation lists consulted on every authentication; operators
+    /// install fresh ones with [`MyProxyServer::add_crl`] while the
+    /// server runs (§2.1: revocation is the PKI's theft response).
+    crls: parking_lot::RwLock<Vec<mp_x509::CertRevocationList>>,
+}
+
+/// The repository server. Cheap to clone (one `Arc`).
+#[derive(Clone)]
+pub struct MyProxyServer {
+    state: Arc<ServerState>,
+}
+
+impl MyProxyServer {
+    /// Build a server.
+    ///
+    /// * `credential` — the repository's own Grid credentials ("MyProxy
+    ///   clients also require mutual authentication of the repository
+    ///   through the use of Grid credentials held by the server", §5.1).
+    /// * `trust_roots` — CAs whose users this repository serves.
+    /// * `rng` — entropy source; pass a fixed-seed [`HmacDrbg`] in tests.
+    pub fn new(
+        credential: Credential,
+        trust_roots: Vec<Certificate>,
+        policy: ServerPolicy,
+        clock: Arc<dyn Clock>,
+        mut rng: HmacDrbg,
+    ) -> Self {
+        let mut master_key = [0u8; 32];
+        rng.generate(&mut master_key);
+        Self::with_master_key(credential, trust_roots, policy, clock, rng, master_key)
+    }
+
+    /// Like [`MyProxyServer::new`] but with an operator-supplied master
+    /// key (needed for persisted renewal entries to survive a restart —
+    /// see `persist`). Guard this key like the server's private key.
+    pub fn with_master_key(
+        credential: Credential,
+        trust_roots: Vec<Certificate>,
+        policy: ServerPolicy,
+        clock: Arc<dyn Clock>,
+        rng: HmacDrbg,
+        master_key: [u8; 32],
+    ) -> Self {
+        let store = CredStore::new(policy.pbkdf2_iterations);
+        MyProxyServer {
+            state: Arc::new(ServerState {
+                credential,
+                channel_cfg: ChannelConfig::new(trust_roots),
+                policy,
+                store,
+                otp: OtpRegistry::new(),
+                clock,
+                rng: Mutex::new(rng),
+                master_key,
+                stats: ServerStats::default(),
+                crls: parking_lot::RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Install a revocation list. Every subsequent authentication (and
+    /// renewal-proof validation) consults it; lists from issuers whose
+    /// signature does not verify are ignored by the validator.
+    pub fn add_crl(&self, crl: mp_x509::CertRevocationList) {
+        self.state.crls.write().push(crl);
+    }
+
+    /// The channel config for a new connection, with current CRLs.
+    fn conn_channel_cfg(&self) -> ChannelConfig {
+        let mut cfg = self.state.channel_cfg.clone();
+        cfg.crls = self.state.crls.read().clone();
+        cfg
+    }
+
+    /// Validation options matching the connection config (for chains
+    /// validated at the application layer: long-term deposits, renewal
+    /// proofs).
+    fn validation_options(&self) -> mp_x509::ValidationOptions {
+        mp_x509::ValidationOptions {
+            crls: self.state.crls.read().clone(),
+            ..Default::default()
+        }
+    }
+
+    /// The store (tests inspect it; operators would back it up).
+    pub fn store(&self) -> &CredStore {
+        &self.state.store
+    }
+
+    /// Live operation counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.state.stats
+    }
+
+    /// The server's identity DN (clients pin this).
+    pub fn identity(&self) -> mp_x509::Dn {
+        self.state.credential.subject().clone()
+    }
+
+    /// Derive an independent per-connection DRBG from the server DRBG.
+    fn conn_rng(&self) -> HmacDrbg {
+        let mut seed = [0u8; 32];
+        self.state.rng.lock().generate(&mut seed);
+        HmacDrbg::new(&seed)
+    }
+
+    /// Purge expired credentials; returns how many were removed. Run
+    /// periodically by operators (the examples call it between clock
+    /// advances).
+    pub fn purge_expired(&self) -> usize {
+        self.state.store.purge_expired(self.state.clock.now())
+    }
+
+    /// Serve one connection: handshake, one request, response (plus the
+    /// delegation sub-protocol where the command calls for it).
+    pub fn handle<T: Transport>(&self, transport: T) -> crate::Result<()> {
+        let mut rng = self.conn_rng();
+        let now = self.state.clock.now();
+        let mut channel = match SecureChannel::accept(
+            transport,
+            &self.state.credential,
+            &self.conn_channel_cfg(),
+            &mut rng,
+            now,
+        ) {
+            Ok(ch) => ch,
+            Err(e) => {
+                self.state.stats.bump(&self.state.stats.channel_failures);
+                return Err(e.into());
+            }
+        };
+
+        let req_text = channel.recv()?;
+        let req_text = String::from_utf8(req_text)
+            .map_err(|_| MyProxyError::Protocol("request not UTF-8".into()))?;
+        let request = match Request::from_text(&req_text) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = channel.send(Response::error(format!("{e}")).to_text().as_bytes());
+                return Err(e);
+            }
+        };
+
+        let result = self.dispatch(&mut channel, &request, &mut rng);
+        if let Err(e) = &result {
+            self.state.stats.bump(&self.state.stats.denials);
+            // Best-effort error response; the channel may already be gone.
+            let _ = channel.send(Response::error(format!("{e}")).to_text().as_bytes());
+        }
+        result
+    }
+
+    fn dispatch<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+        rng: &mut HmacDrbg,
+    ) -> crate::Result<()> {
+        match request.command {
+            Command::Put => self.handle_put(channel, request, rng, false),
+            Command::StoreLongTerm => self.handle_put(channel, request, rng, true),
+            Command::Get => self.handle_get(channel, request, rng, false),
+            Command::OtpGet => self.handle_get(channel, request, rng, true),
+            Command::OtpSetup => self.handle_otp_setup(channel, request),
+            Command::Info => self.handle_info(channel, request),
+            Command::Destroy => self.handle_destroy(channel, request),
+            Command::ChangePassphrase => self.handle_change_passphrase(channel, request, rng),
+            Command::Renew => self.handle_renew(channel, request, rng),
+        }
+    }
+
+    /// PUT (Figure 1) and STORE_LONG_TERM (§6.1).
+    fn handle_put<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+        rng: &mut HmacDrbg,
+        long_term: bool,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let peer = channel.peer().clone();
+        if !st.policy.accepted_credentials.is_authorized(&peer.identity) {
+            return Err(MyProxyError::Refused(format!(
+                "{} is not authorized to store credentials",
+                peer.identity
+            )));
+        }
+        let username = request.require(field::USERNAME)?.to_string();
+        let passphrase = request.require(field::PASSPHRASE)?.to_string();
+        st.policy
+            .check_passphrase(&passphrase)
+            .map_err(|e| MyProxyError::Refused(e.to_string()))?;
+        let requested_lifetime =
+            request.get_u64(field::LIFETIME, st.policy.max_stored_lifetime_secs)?;
+        let stored_lifetime = requested_lifetime.min(st.policy.max_stored_lifetime_secs);
+        let retrieval_max = request
+            .get_u64("RETRIEVER_LIFETIME", st.policy.max_delegated_lifetime_secs)?
+            .min(st.policy.max_delegated_lifetime_secs);
+        let name = request.get(field::CRED_NAME).unwrap_or(DEFAULT_NAME).to_string();
+        let tags = request.get(field::CRED_TAGS).map(parse_tags).unwrap_or_default();
+        let renewer = request.get("RENEWER").map(str::to_string);
+
+        // Tell the client to proceed with the credential transfer.
+        channel.send(Response::success().to_text().as_bytes())?;
+
+        let now = st.clock.now();
+        let credential = if long_term {
+            // §6.1: the client ships its long-term credential itself
+            // (inside the encrypted channel) for server-side management.
+            let pem_bytes = channel.recv()?;
+            let pem = String::from_utf8(pem_bytes)
+                .map_err(|_| MyProxyError::Protocol("credential PEM not UTF-8".into()))?;
+            let cred = Credential::from_pem(&pem)?;
+            // It must belong to the connecting identity.
+            let v = validate_chain(
+                cred.chain(),
+                &st.channel_cfg.trust_roots,
+                now,
+                &self.validation_options(),
+            )
+            .map_err(mp_gsi::GsiError::from)?;
+            if v.identity != peer.identity {
+                return Err(MyProxyError::Refused(
+                    "stored credential identity does not match channel identity".into(),
+                ));
+            }
+            cred
+        } else {
+            // Figure 1: the repository *receives a delegation* — a fresh
+            // keypair on this side, a proxy signed by the client.
+            accept_delegation(channel, stored_lifetime, st.policy.key_bits, rng)?
+        };
+
+        st.store.put(
+            &username,
+            &name,
+            &passphrase,
+            &credential,
+            retrieval_max,
+            now,
+            long_term,
+            tags,
+            rng,
+        );
+        st.store.set_owner(&username, &name, &peer.identity.to_string());
+        if let Some(pattern) = renewer {
+            let mut entropy = [0u8; 32];
+            rng.generate(&mut entropy);
+            let sealed =
+                SecretBox::seal(&st.master_key, credential.to_pem().as_bytes(), 1, &entropy);
+            st.store.make_renewable(&username, &name, &pattern, sealed);
+        }
+        st.stats.bump(&st.stats.puts);
+
+        let not_after = credential
+            .chain()
+            .iter()
+            .map(|c| c.not_after())
+            .min()
+            .unwrap_or(0);
+        channel.send(
+            Response::success()
+                .with_field("NOT_AFTER", &not_after.to_string())
+                .to_text()
+                .as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// GET (Figure 2) and OTP_GET (§6.3).
+    fn handle_get<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+        rng: &mut HmacDrbg,
+        with_otp: bool,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let peer = channel.peer().clone();
+        if !st.policy.authorized_retrievers.is_authorized(&peer.identity) {
+            return Err(MyProxyError::Refused(format!(
+                "{} is not an authorized retriever",
+                peer.identity
+            )));
+        }
+        let username = request.require(field::USERNAME)?.to_string();
+        let passphrase = request.require(field::PASSPHRASE)?.to_string();
+
+        // §6.3: once a user has an active OTP chain, plain pass-phrase
+        // GETs are refused for that user — otherwise a replayed pass
+        // phrase would still work and the OTP would add nothing.
+        if st.otp.is_active(&username) {
+            if !with_otp {
+                return Err(MyProxyError::Refused(
+                    "one-time-password authentication required for this user".into(),
+                ));
+            }
+            let otp = request.require(field::OTP)?;
+            if st.otp.verify_hex(&username, otp) != OtpOutcome::Accepted {
+                return Err(MyProxyError::Refused(AUTH_FAILED.into()));
+            }
+        } else if with_otp {
+            return Err(MyProxyError::Refused("no one-time-password chain registered".into()));
+        }
+
+        // Resolve the credential: explicit name, or wallet selection by
+        // task tags (§6.2).
+        let task_tags = request.get(field::TASK).map(parse_tags).unwrap_or_default();
+        let (credential, entry) = if let Some(name) = request.get(field::CRED_NAME) {
+            st.store.open(&username, name, &passphrase)?
+        } else if !task_tags.is_empty() {
+            let candidates = st.store.list_authenticated(&username, &passphrase);
+            let chosen = wallet::select(&candidates, &task_tags)
+                .ok_or_else(|| MyProxyError::Refused("no credential matches the task".into()))?;
+            st.store.open(&username, &chosen.name, &passphrase)?
+        } else {
+            st.store.open(&username, DEFAULT_NAME, &passphrase)?
+        };
+
+        let now = st.clock.now();
+        if credential.remaining_lifetime(now) == 0 {
+            return Err(MyProxyError::Refused("stored credential has expired".into()));
+        }
+
+        let requested = request.get_u64(field::LIFETIME, st.policy.max_delegated_lifetime_secs)?;
+        let granted = requested
+            .min(entry.retrieval_max_lifetime)
+            .min(st.policy.max_delegated_lifetime_secs);
+
+        // §6.2 "embed the minimum needed rights": a task target becomes
+        // a restricted-delegation policy in the proxy we hand out.
+        let proxy_policy = match task_tags.iter().find(|(k, _)| k == "target") {
+            Some((_, target)) => ProxyPolicy::Restricted(format!("targets={target}")),
+            None => ProxyPolicy::InheritAll,
+        };
+
+        channel.send(
+            Response::success()
+                .with_field("LIFETIME", &granted.to_string())
+                .to_text()
+                .as_bytes(),
+        )?;
+
+        // Figure 2: "the repository will in turn delegate a proxy
+        // credential back to the user or service."
+        let deleg_policy = DelegationPolicy {
+            max_lifetime_secs: granted,
+            policy: proxy_policy,
+            path_len: None,
+        };
+        delegate(channel, &credential, &deleg_policy, rng, now)?;
+        st.stats.bump(&st.stats.gets);
+        Ok(())
+    }
+
+    /// OTP_SETUP (§6.3): register a hash chain; requires the pass phrase.
+    fn handle_otp_setup<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let username = request.require(field::USERNAME)?.to_string();
+        let passphrase = request.require(field::PASSPHRASE)?;
+        // Authenticate by opening any entry of this user.
+        if st.store.list_authenticated(&username, passphrase).is_empty() {
+            return Err(MyProxyError::Refused(AUTH_FAILED.into()));
+        }
+        let anchor_hex = request.require(field::OTP_ANCHOR)?;
+        let anchor = decode_hex32(anchor_hex)
+            .ok_or_else(|| MyProxyError::Protocol("OTP_ANCHOR must be 64 hex chars".into()))?;
+        let count = request.get_u64(field::OTP_COUNT, 0)?;
+        if count == 0 || count > 10_000 {
+            return Err(MyProxyError::Refused("OTP_COUNT out of range".into()));
+        }
+        st.otp.setup(&username, anchor, count as u32);
+        channel.send(Response::success().to_text().as_bytes())?;
+        Ok(())
+    }
+
+    /// INFO (`myproxy-info`).
+    fn handle_info<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let username = request.require(field::USERNAME)?.to_string();
+        let passphrase = request.require(field::PASSPHRASE)?;
+        let entries = st.store.list_authenticated(&username, passphrase);
+        if entries.is_empty() {
+            return Err(MyProxyError::Refused(AUTH_FAILED.into()));
+        }
+        let mut resp = Response::success();
+        let mut sorted = entries;
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in sorted {
+            resp = resp.with_field(
+                "CRED",
+                &format!(
+                    "name={} owner={} created={} not_after={} max_lifetime={} long_term={} renewable={} tags={}",
+                    e.name,
+                    e.owner_identity,
+                    e.created_at,
+                    e.not_after,
+                    e.retrieval_max_lifetime,
+                    e.long_term,
+                    e.renewable_by.is_some(),
+                    render_tags(&e.tags),
+                ),
+            );
+        }
+        channel.send(resp.to_text().as_bytes())?;
+        Ok(())
+    }
+
+    /// DESTROY (`myproxy-destroy`, §4.1).
+    fn handle_destroy<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let username = request.require(field::USERNAME)?.to_string();
+        let passphrase = request.require(field::PASSPHRASE)?;
+        let name = request.get(field::CRED_NAME).unwrap_or(DEFAULT_NAME);
+        st.store.destroy(&username, name, passphrase)?;
+        channel.send(Response::success().to_text().as_bytes())?;
+        Ok(())
+    }
+
+    /// CHANGE_PASSPHRASE (`myproxy-change-pass-phrase`).
+    fn handle_change_passphrase<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+        rng: &mut HmacDrbg,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let username = request.require(field::USERNAME)?.to_string();
+        let old = request.require(field::PASSPHRASE)?;
+        let new = request.require(field::NEW_PASSPHRASE)?;
+        st.policy
+            .check_passphrase(new)
+            .map_err(|e| MyProxyError::Refused(e.to_string()))?;
+        let name = request.get(field::CRED_NAME).unwrap_or(DEFAULT_NAME);
+        st.store.change_passphrase(&username, name, old, new, rng)?;
+        channel.send(Response::success().to_text().as_bytes())?;
+        Ok(())
+    }
+
+    /// RENEW (§6.6): unattended refresh for long-running jobs.
+    ///
+    /// Three independent gates, then a challenge-response proving the
+    /// renewer still holds the user's *current* proxy key:
+    /// 1. the connecting identity is on the renewers ACL;
+    /// 2. the entry was marked renewable, by a pattern matching that
+    ///    identity;
+    /// 3. the renewer signs a server nonce with the existing (unexpired)
+    ///    proxy of the same user.
+    fn handle_renew<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+        rng: &mut HmacDrbg,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let peer = channel.peer().clone();
+        if !st.policy.authorized_renewers.is_authorized(&peer.identity) {
+            return Err(MyProxyError::Refused(format!(
+                "{} is not an authorized renewer",
+                peer.identity
+            )));
+        }
+        let username = request.require(field::USERNAME)?.to_string();
+        let name = request.get(field::CRED_NAME).unwrap_or(DEFAULT_NAME);
+        let entry = st
+            .store
+            .peek(&username, name)
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let pattern = entry
+            .renewable_by
+            .as_deref()
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        if !DnPattern::new(pattern).matches(&peer.identity) {
+            return Err(MyProxyError::Refused(AUTH_FAILED.into()));
+        }
+
+        // Challenge: prove possession of the user's current proxy.
+        let mut nonce = [0u8; 32];
+        rng.generate(&mut nonce);
+        channel.send(
+            Response::success()
+                .with_field("NONCE", &mp_crypto::hex(&nonce))
+                .to_text()
+                .as_bytes(),
+        )?;
+
+        let proof = channel.recv()?;
+        let mut r = WireReader::new(&proof);
+        let chain_der = r.byte_list()?;
+        let signature = r.bytes()?.to_vec();
+        r.finish()?;
+        let chain = mp_gsi::credential::chain_from_der(&chain_der)?;
+        let now = st.clock.now();
+        let v = validate_chain(&chain, &st.channel_cfg.trust_roots, now, &self.validation_options())
+            .map_err(mp_gsi::GsiError::from)?;
+        if v.identity.to_string() != entry.owner_identity {
+            return Err(MyProxyError::Refused(
+                "presented proxy does not belong to the credential owner".into(),
+            ));
+        }
+        v.leaf_key
+            .verify(&nonce, &signature)
+            .map_err(|_| MyProxyError::Refused("renewal proof signature invalid".into()))?;
+
+        let (credential, entry) = st.store.open_for_renewal(&username, name, &st.master_key)?;
+        if credential.remaining_lifetime(now) == 0 {
+            return Err(MyProxyError::Refused("stored credential has expired".into()));
+        }
+        // Acknowledge the proof before the delegation sub-protocol so
+        // refusals up to this point reach the client as plain responses.
+        channel.send(Response::success().to_text().as_bytes())?;
+        let granted = entry
+            .retrieval_max_lifetime
+            .min(st.policy.max_delegated_lifetime_secs);
+        let deleg_policy = DelegationPolicy {
+            max_lifetime_secs: granted,
+            policy: ProxyPolicy::InheritAll,
+            path_len: None,
+        };
+        delegate(channel, &credential, &deleg_policy, rng, now)?;
+        st.stats.bump(&st.stats.gets);
+        Ok(())
+    }
+
+    /// Spawn a thread serving one in-memory connection; returns the
+    /// client end. The handler thread detaches (errors land in stats).
+    pub fn connect_local(&self) -> mp_gsi::MemStream {
+        let (client_end, server_end) = mp_gsi::duplex();
+        let server = self.clone();
+        std::thread::spawn(move || {
+            let _ = server.handle(server_end);
+        });
+        client_end
+    }
+
+    /// Accept loop over TCP; spawns one thread per connection. Runs
+    /// until the listener errors (e.g. it is dropped/shutdown).
+    pub fn serve_tcp(&self, listener: std::net::TcpListener) {
+        for conn in listener.incoming() {
+            match conn {
+                Ok(sock) => {
+                    let server = self.clone();
+                    std::thread::spawn(move || {
+                        let _ = server.handle(sock);
+                    });
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Build the proof message for RENEW: the user's current proxy chain and
+/// a signature over the server's nonce. Shared with the client.
+pub fn build_renewal_proof(old_proxy: &Credential, nonce: &[u8]) -> crate::Result<Vec<u8>> {
+    let signature = old_proxy
+        .key()
+        .sign(nonce)
+        .map_err(|_| MyProxyError::Protocol("cannot sign renewal nonce".into()))?;
+    let mut w = WireWriter::new();
+    w.byte_list(&old_proxy.chain_der());
+    w.bytes(&signature);
+    Ok(w.into_bytes())
+}

@@ -1,0 +1,431 @@
+//! The credential store.
+//!
+//! Paper §5.1: "the repository encrypts the credentials that it holds
+//! with the pass phrase provided by the user. Because of this, even if
+//! the repository host is compromised, an intruder would still need to
+//! decrypt the keys individually or wait until a portal connects…"
+//!
+//! Every entry seals the credential PEM in a
+//! [`mp_crypto::ctr::SecretBox`] keyed by PBKDF2(pass phrase). There is
+//! deliberately **no separate pass-phrase hash**: verification *is*
+//! successful decryption, so the store on disk contains nothing easier
+//! to attack than the sealed blobs themselves.
+
+use crate::MyProxyError;
+use mp_crypto::ctr::SecretBox;
+use mp_gsi::Credential;
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Key of one entry: (username, credential name).
+pub type EntryKey = (String, String);
+
+/// The default credential name when the wallet feature is unused.
+pub const DEFAULT_NAME: &str = "default";
+
+/// Metadata + sealed blob for one stored credential.
+#[derive(Clone, Debug)]
+pub struct StoredCredential {
+    /// Repository account name (hand-typed, not the DN — §4.1).
+    pub username: String,
+    /// Wallet name (§6.2), [`DEFAULT_NAME`] otherwise.
+    pub name: String,
+    /// Effective Grid identity of the depositor, as a DN string. RENEW
+    /// and portal bookkeeping match against this.
+    pub owner_identity: String,
+    /// The pass-phrase-sealed credential PEM.
+    pub sealed: Vec<u8>,
+    /// Cap the user put on lifetimes delegated from this entry (§4.1
+    /// "retrieval restrictions").
+    pub retrieval_max_lifetime: u64,
+    /// Expiry of the stored chain itself.
+    pub not_after: u64,
+    /// When the entry was deposited.
+    pub created_at: u64,
+    /// §6.1 long-term credential (managed permanent key) vs. a
+    /// delegated proxy.
+    pub long_term: bool,
+    /// Wallet selection tags (§6.2), e.g. `[("ca","DOE")]`.
+    pub tags: Vec<(String, String)>,
+    /// §6.6 renewal: DN pattern of clients allowed to renew from this
+    /// entry without the pass phrase.
+    pub renewable_by: Option<String>,
+    /// §6.6 renewal: a second seal of the same credential under the
+    /// *server master key*, so renewal can proceed unattended. The
+    /// trade-off mirrors §5.2's discussion of the portal's unencrypted
+    /// key: the master key lives only in server memory.
+    pub sealed_for_renewal: Option<Vec<u8>>,
+}
+
+/// Uniform "no" from the store: callers (and the wire protocol) cannot
+/// distinguish a missing user from a wrong pass phrase, so probing the
+/// repository leaks nothing about which usernames exist.
+pub const AUTH_FAILED: &str = "authentication failed (bad username, credential name, or pass phrase)";
+
+/// Thread-safe credential store.
+#[derive(Default)]
+pub struct CredStore {
+    entries: RwLock<HashMap<EntryKey, StoredCredential>>,
+    pbkdf2_iterations: u32,
+}
+
+impl CredStore {
+    /// Empty store sealing with `pbkdf2_iterations`.
+    pub fn new(pbkdf2_iterations: u32) -> Self {
+        CredStore { entries: RwLock::new(HashMap::new()), pbkdf2_iterations }
+    }
+
+    /// Seal and insert a credential, replacing any entry with the same
+    /// (username, name).
+    #[allow(clippy::too_many_arguments)]
+    pub fn put<R: Rng + ?Sized>(
+        &self,
+        username: &str,
+        name: &str,
+        passphrase: &str,
+        credential: &Credential,
+        retrieval_max_lifetime: u64,
+        now: u64,
+        long_term: bool,
+        tags: Vec<(String, String)>,
+        rng: &mut R,
+    ) {
+        let pem = credential.to_pem();
+        let mut entropy = [0u8; 32];
+        rng.fill(&mut entropy);
+        let sealed = SecretBox::seal(passphrase.as_bytes(), pem.as_bytes(), self.pbkdf2_iterations, &entropy);
+        let not_after = credential
+            .chain()
+            .iter()
+            .map(|c| c.not_after())
+            .min()
+            .unwrap_or(0);
+        let entry = StoredCredential {
+            username: username.to_string(),
+            name: name.to_string(),
+            owner_identity: String::new(), // set by with_owner below or server
+            sealed,
+            retrieval_max_lifetime,
+            not_after,
+            created_at: now,
+            long_term,
+            tags,
+            renewable_by: None,
+            sealed_for_renewal: None,
+        };
+        self.entries
+            .write()
+            .insert((username.to_string(), name.to_string()), entry);
+    }
+
+    /// Mark an entry renewable by clients matching `pattern`, attaching
+    /// the master-key-sealed copy the renewal path decrypts.
+    pub fn make_renewable(&self, username: &str, name: &str, pattern: &str, master_sealed: Vec<u8>) {
+        if let Some(e) = self
+            .entries
+            .write()
+            .get_mut(&(username.to_string(), name.to_string()))
+        {
+            e.renewable_by = Some(pattern.to_string());
+            e.sealed_for_renewal = Some(master_sealed);
+        }
+    }
+
+    /// Open the renewal copy of an entry with the server master key.
+    /// Entries never marked renewable fail with the uniform error.
+    pub fn open_for_renewal(
+        &self,
+        username: &str,
+        name: &str,
+        master_key: &[u8],
+    ) -> Result<(Credential, StoredCredential), MyProxyError> {
+        let entries = self.entries.read();
+        let entry = entries
+            .get(&(username.to_string(), name.to_string()))
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let sealed = entry
+            .sealed_for_renewal
+            .as_ref()
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let pem = SecretBox::open(master_key, sealed, 1)
+            .map_err(|_| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let pem = String::from_utf8(pem).map_err(|_| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let cred =
+            Credential::from_pem(&pem).map_err(|_| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        Ok((cred, entry.clone()))
+    }
+
+    /// Set the owner identity recorded for an entry (the server calls
+    /// this with the channel's validated identity right after `put`).
+    pub fn set_owner(&self, username: &str, name: &str, owner: &str) {
+        if let Some(e) = self
+            .entries
+            .write()
+            .get_mut(&(username.to_string(), name.to_string()))
+        {
+            e.owner_identity = owner.to_string();
+        }
+    }
+
+    /// Open (decrypt) an entry. Wrong pass phrase, wrong name and
+    /// missing user all return the same [`AUTH_FAILED`] error.
+    pub fn open(
+        &self,
+        username: &str,
+        name: &str,
+        passphrase: &str,
+    ) -> Result<(Credential, StoredCredential), MyProxyError> {
+        let entries = self.entries.read();
+        let entry = entries
+            .get(&(username.to_string(), name.to_string()))
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let pem = SecretBox::open(passphrase.as_bytes(), &entry.sealed, self.pbkdf2_iterations)
+            .map_err(|_| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let pem = String::from_utf8(pem)
+            .map_err(|_| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let cred = Credential::from_pem(&pem)
+            .map_err(|_| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        Ok((cred, entry.clone()))
+    }
+
+    /// All entries for `username` that open under `passphrase`
+    /// (myproxy-info semantics: you must authenticate to enumerate).
+    pub fn list_authenticated(&self, username: &str, passphrase: &str) -> Vec<StoredCredential> {
+        let entries = self.entries.read();
+        entries
+            .values()
+            .filter(|e| e.username == username)
+            .filter(|e| {
+                SecretBox::open(passphrase.as_bytes(), &e.sealed, self.pbkdf2_iterations).is_ok()
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Entry metadata by exact key without authentication — internal use
+    /// (renewal checks the owner identity instead of a pass phrase).
+    pub fn peek(&self, username: &str, name: &str) -> Option<StoredCredential> {
+        self.entries
+            .read()
+            .get(&(username.to_string(), name.to_string()))
+            .cloned()
+    }
+
+    /// Destroy one entry after pass-phrase verification
+    /// (`myproxy-destroy`, §4.1).
+    pub fn destroy(&self, username: &str, name: &str, passphrase: &str) -> Result<(), MyProxyError> {
+        self.open(username, name, passphrase)?;
+        self.entries
+            .write()
+            .remove(&(username.to_string(), name.to_string()));
+        Ok(())
+    }
+
+    /// Re-seal under a new pass phrase (`myproxy-change-pass-phrase`).
+    pub fn change_passphrase<R: Rng + ?Sized>(
+        &self,
+        username: &str,
+        name: &str,
+        old_passphrase: &str,
+        new_passphrase: &str,
+        rng: &mut R,
+    ) -> Result<(), MyProxyError> {
+        let (cred, _) = self.open(username, name, old_passphrase)?;
+        let mut entries = self.entries.write();
+        let entry = entries
+            .get_mut(&(username.to_string(), name.to_string()))
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let mut entropy = [0u8; 32];
+        rng.fill(&mut entropy);
+        entry.sealed = SecretBox::seal(
+            new_passphrase.as_bytes(),
+            cred.to_pem().as_bytes(),
+            self.pbkdf2_iterations,
+            &entropy,
+        );
+        Ok(())
+    }
+
+    /// Remove entries whose stored chain has expired. Returns how many
+    /// were removed. (The paper's backstop: stolen repository contents
+    /// age out, §4.3.)
+    pub fn purge_expired(&self, now: u64) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|_, e| e.not_after > now);
+        before - entries.len()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Raw sealed blobs (what an intruder dumping the host sees).
+    /// Exposed for the §5.1 security-property tests.
+    pub fn raw_dump(&self) -> Vec<Vec<u8>> {
+        self.entries.read().values().map(|e| e.sealed.clone()).collect()
+    }
+
+    /// Snapshot of every entry (persistence uses this).
+    pub fn all_entries(&self) -> Vec<StoredCredential> {
+        self.entries.read().values().cloned().collect()
+    }
+
+    /// Insert an already-sealed entry (persistence uses this).
+    pub fn insert_entry(&self, entry: StoredCredential) {
+        self.entries
+            .write()
+            .insert((entry.username.clone(), entry.name.clone()), entry);
+    }
+
+    /// All entries of a user (metadata only) — wallet listing.
+    pub fn entries_for(&self, username: &str) -> Vec<StoredCredential> {
+        self.entries
+            .read()
+            .values()
+            .filter(|e| e.username == username)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn};
+
+    fn credential() -> Credential {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 600_000).unwrap();
+        Credential::new(vec![cert], key.clone()).unwrap()
+    }
+
+    fn store_with_alice() -> CredStore {
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("store");
+        store.put("alice", DEFAULT_NAME, "hunter2!", &credential(), 7200, 100, false, vec![], &mut rng);
+        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice");
+        store
+    }
+
+    #[test]
+    fn put_open_roundtrip() {
+        let store = store_with_alice();
+        let (cred, entry) = store.open("alice", DEFAULT_NAME, "hunter2!").unwrap();
+        assert_eq!(cred.subject().to_string(), "/O=Grid/CN=alice");
+        assert_eq!(entry.owner_identity, "/O=Grid/CN=alice");
+        assert_eq!(entry.retrieval_max_lifetime, 7200);
+        assert_eq!(entry.not_after, 600_000);
+    }
+
+    #[test]
+    fn wrong_passphrase_and_missing_user_indistinguishable() {
+        let store = store_with_alice();
+        let e1 = store.open("alice", DEFAULT_NAME, "wrong").unwrap_err();
+        let e2 = store.open("nobody", DEFAULT_NAME, "hunter2!").unwrap_err();
+        let e3 = store.open("alice", "no-such-name", "hunter2!").unwrap_err();
+        assert_eq!(format!("{e1}"), format!("{e2}"));
+        assert_eq!(format!("{e1}"), format!("{e3}"));
+    }
+
+    #[test]
+    fn destroy_requires_passphrase() {
+        let store = store_with_alice();
+        assert!(store.destroy("alice", DEFAULT_NAME, "wrong").is_err());
+        assert_eq!(store.len(), 1);
+        store.destroy("alice", DEFAULT_NAME, "hunter2!").unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn change_passphrase_reseals() {
+        let store = store_with_alice();
+        let mut rng = test_drbg("change");
+        store
+            .change_passphrase("alice", DEFAULT_NAME, "hunter2!", "correct horse battery", &mut rng)
+            .unwrap();
+        assert!(store.open("alice", DEFAULT_NAME, "hunter2!").is_err());
+        assert!(store.open("alice", DEFAULT_NAME, "correct horse battery").is_ok());
+    }
+
+    #[test]
+    fn purge_expired_removes_only_expired() {
+        let store = store_with_alice();
+        assert_eq!(store.purge_expired(100), 0);
+        assert_eq!(store.purge_expired(600_001), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn raw_dump_contains_no_plaintext_key_material() {
+        let store = store_with_alice();
+        let cred = credential();
+        let key_der = mp_x509::keys::private_key_to_der(cred.key());
+        let pem = cred.to_pem();
+        for blob in store.raw_dump() {
+            assert!(!blob.windows(key_der.len()).any(|w| w == &key_der[..]));
+            assert!(!blob
+                .windows(b"BEGIN RSA PRIVATE KEY".len())
+                .any(|w| w == b"BEGIN RSA PRIVATE KEY"));
+            assert!(!blob.windows(pem.len().min(64)).any(|w| w == &pem.as_bytes()[..64]));
+        }
+    }
+
+    #[test]
+    fn list_authenticated_filters_by_passphrase() {
+        let store = store_with_alice();
+        let mut rng = test_drbg("second");
+        store.put("alice", "compute", "other-pass", &credential(), 100, 100, false, vec![], &mut rng);
+        let listed = store.list_authenticated("alice", "hunter2!");
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, DEFAULT_NAME);
+        assert!(store.list_authenticated("alice", "totally wrong").is_empty());
+    }
+
+    #[test]
+    fn replace_same_key_overwrites() {
+        let store = store_with_alice();
+        let mut rng = test_drbg("replace");
+        store.put("alice", DEFAULT_NAME, "newpass!", &credential(), 60, 200, false, vec![], &mut rng);
+        assert_eq!(store.len(), 1);
+        assert!(store.open("alice", DEFAULT_NAME, "hunter2!").is_err());
+        assert!(store.open("alice", DEFAULT_NAME, "newpass!").is_ok());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = std::sync::Arc::new(store_with_alice());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    if i % 2 == 0 {
+                        let _ = store.open("alice", DEFAULT_NAME, "hunter2!");
+                    } else {
+                        let _ = store.len();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

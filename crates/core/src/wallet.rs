@@ -1,0 +1,162 @@
+//! Credential wallet: task-based selection among multiple stored
+//! credentials (paper §6.2).
+//!
+//! "This wallet would be able, when given information about the task a
+//! user wishes to undertake, to correctly select credentials for the
+//! task, embed the minimum needed rights in those credentials, and then
+//! return the credentials to the user."
+//!
+//! Selection is tag matching: each stored credential carries tags like
+//! `ca:DOE, purpose:compute`; a task brings its own tags. Credentials
+//! that *contradict* a task tag are excluded; among the rest the most
+//! specific match (most tags matched) wins. The "minimum needed rights"
+//! half lives in the server: a task `target` is embedded into the
+//! delegated proxy as a restricted policy (`targets=<t>`, §6.5).
+
+use crate::store::StoredCredential;
+
+/// Pick the best credential for `task` from `entries`.
+///
+/// Rules, in order:
+/// 1. drop entries with a tag whose key appears in the task with a
+///    different value (contradiction);
+/// 2. prefer more matched task tags;
+/// 3. tie-break: the name `"default"` wins, then earliest `created_at`,
+///    then lexicographic name (full determinism).
+pub fn select<'a>(
+    entries: &'a [StoredCredential],
+    task: &[(String, String)],
+) -> Option<&'a StoredCredential> {
+    let mut best: Option<(&StoredCredential, usize)> = None;
+    for entry in entries {
+        let mut matched = 0usize;
+        let mut contradicted = false;
+        for (tk, tv) in task {
+            match entry.tags.iter().find(|(k, _)| k == tk) {
+                Some((_, v)) if v == tv => matched += 1,
+                Some(_) => {
+                    contradicted = true;
+                    break;
+                }
+                None => {}
+            }
+        }
+        if contradicted {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((cur, cur_matched)) => {
+                matched > cur_matched
+                    || (matched == cur_matched && tie_break(entry, cur))
+            }
+        };
+        if better {
+            best = Some((entry, matched));
+        }
+    }
+    best.map(|(e, _)| e)
+}
+
+fn tie_break(candidate: &StoredCredential, incumbent: &StoredCredential) -> bool {
+    let cand_default = candidate.name == crate::store::DEFAULT_NAME;
+    let inc_default = incumbent.name == crate::store::DEFAULT_NAME;
+    if cand_default != inc_default {
+        return cand_default;
+    }
+    if candidate.created_at != incumbent.created_at {
+        return candidate.created_at < incumbent.created_at;
+    }
+    candidate.name < incumbent.name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, created: u64, tags: &[(&str, &str)]) -> StoredCredential {
+        StoredCredential {
+            username: "alice".into(),
+            name: name.into(),
+            owner_identity: "/O=Grid/CN=alice".into(),
+            sealed: Vec::new(),
+            retrieval_max_lifetime: 3600,
+            not_after: 1_000_000,
+            created_at: created,
+            long_term: false,
+            tags: tags.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            renewable_by: None,
+            sealed_for_renewal: None,
+        }
+    }
+
+    fn t(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn empty_entries_yield_none() {
+        assert!(select(&[], &t(&[("purpose", "compute")])).is_none());
+    }
+
+    #[test]
+    fn untagged_task_prefers_default() {
+        let entries = vec![
+            entry("compute", 50, &[("purpose", "compute")]),
+            entry("default", 100, &[]),
+        ];
+        assert_eq!(select(&entries, &[]).unwrap().name, "default");
+    }
+
+    #[test]
+    fn matching_tag_beats_default() {
+        let entries = vec![
+            entry("default", 10, &[]),
+            entry("doe-compute", 20, &[("ca", "DOE"), ("purpose", "compute")]),
+        ];
+        let sel = select(&entries, &t(&[("purpose", "compute")])).unwrap();
+        assert_eq!(sel.name, "doe-compute");
+    }
+
+    #[test]
+    fn contradiction_excludes() {
+        let entries = vec![
+            entry("doe", 10, &[("ca", "DOE")]),
+            entry("nasa", 20, &[("ca", "NASA-IPG")]),
+        ];
+        let sel = select(&entries, &t(&[("ca", "NASA-IPG")])).unwrap();
+        assert_eq!(sel.name, "nasa");
+        // Both contradict an unknown CA: nothing matches the task key,
+        // both are excluded.
+        assert!(select(&entries, &t(&[("ca", "NPACI")])).is_none());
+    }
+
+    #[test]
+    fn more_specific_match_wins() {
+        let entries = vec![
+            entry("general", 10, &[("ca", "DOE")]),
+            entry("specific", 20, &[("ca", "DOE"), ("purpose", "storage")]),
+        ];
+        let sel = select(&entries, &t(&[("ca", "DOE"), ("purpose", "storage")])).unwrap();
+        assert_eq!(sel.name, "specific");
+    }
+
+    #[test]
+    fn unmentioned_entry_tags_are_not_contradictions() {
+        let entries = vec![entry("tagged", 10, &[("ca", "DOE"), ("region", "west")])];
+        let sel = select(&entries, &t(&[("ca", "DOE")])).unwrap();
+        assert_eq!(sel.name, "tagged");
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_creation_then_name() {
+        let entries = vec![
+            entry("beta", 100, &[]),
+            entry("alpha", 100, &[]),
+            entry("older", 50, &[]),
+        ];
+        assert_eq!(select(&entries, &[]).unwrap().name, "older");
+        let entries = vec![entry("beta", 100, &[]), entry("alpha", 100, &[])];
+        assert_eq!(select(&entries, &[]).unwrap().name, "alpha");
+    }
+}

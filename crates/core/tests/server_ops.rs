@@ -1,0 +1,654 @@
+//! End-to-end tests of every MyProxy server command over in-memory
+//! transports: the paper's Figures 1 and 2 plus the §6.x extensions.
+
+use mp_crypto::HmacDrbg;
+use mp_gsi::{grid_proxy_init, Credential, ProxyOptions};
+use mp_myproxy::client::{GetParams, InitParams};
+use mp_myproxy::otp::OtpGenerator;
+use mp_myproxy::renewal::RenewalAgent;
+use mp_myproxy::{MyProxyClient, MyProxyError, MyProxyServer, ServerPolicy};
+use mp_x509::test_util::{test_drbg, test_rsa_key};
+use mp_x509::{validate_chain, CertificateAuthority, Clock, Dn, SimClock};
+use std::sync::Arc;
+
+/// A small Grid: one CA, a user (alice), a portal, a job manager host,
+/// and a MyProxy server.
+struct World {
+    ca_cert: mp_x509::Certificate,
+    alice: Credential,
+    portal: Credential,
+    jobmgr: Credential,
+    server: MyProxyServer,
+    client: MyProxyClient,
+    clock: SimClock,
+}
+
+fn world_with_policy(policy: ServerPolicy) -> World {
+    let mut ca = CertificateAuthority::new_root(
+        Dn::parse("/O=Grid/CN=CA").unwrap(),
+        test_rsa_key(0).clone(),
+        0,
+        100_000_000,
+    )
+    .unwrap();
+    let mk_cred = |ca: &mut CertificateAuthority, idx: usize, dn: &str| {
+        let key = test_rsa_key(idx);
+        let dn = Dn::parse(dn).unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 50_000_000).unwrap();
+        Credential::new(vec![cert], key.clone()).unwrap()
+    };
+    let alice = mk_cred(&mut ca, 1, "/O=Grid/CN=alice");
+    let portal = mk_cred(&mut ca, 2, "/O=Grid/CN=portal.sdsc.edu");
+    let jobmgr = mk_cred(&mut ca, 3, "/O=Grid/CN=jobmanager.ncsa.edu");
+    let server_cred = mk_cred(&mut ca, 4, "/O=Grid/CN=myproxy.ncsa.edu");
+    let clock = SimClock::new(1000);
+    let server = MyProxyServer::new(
+        server_cred,
+        vec![ca.certificate().clone()],
+        policy,
+        Arc::new(clock.clone()),
+        HmacDrbg::new(b"server test seed"),
+    );
+    let client = MyProxyClient::new(
+        vec![ca.certificate().clone()],
+        Some(Dn::parse("/O=Grid/CN=myproxy.ncsa.edu").unwrap()),
+    );
+    World { ca_cert: ca.certificate().clone(), alice, portal, jobmgr, server, client, clock }
+}
+
+fn world() -> World {
+    world_with_policy(ServerPolicy::permissive())
+}
+
+/// Figure 1: user runs myproxy-init, delegating a one-week proxy to the
+/// repository.
+fn do_init(w: &World, params: &InitParams) -> mp_myproxy::Result<u64> {
+    let mut rng = test_drbg("init rng");
+    w.client
+        .init(w.server.connect_local(), &w.alice, params, &mut rng, w.clock.now())
+}
+
+/// Figure 2/3 step 2-3: the portal retrieves a delegation.
+fn do_get(w: &World, params: &GetParams) -> mp_myproxy::Result<Credential> {
+    let mut rng = test_drbg("get rng");
+    w.client
+        .get_delegation(w.server.connect_local(), &w.portal, params, &mut rng, w.clock.now())
+}
+
+#[test]
+fn figure1_myproxy_init_stores_sealed_credential() {
+    let w = world();
+    let not_after = do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    assert_eq!(not_after, 1000 + 7 * 24 * 3600, "one-week default (§4.1)");
+    assert_eq!(w.server.store().len(), 1);
+    assert_eq!(w.server.stats().puts.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    // §5.1: what's on the server is sealed — no plaintext PEM markers.
+    for blob in w.server.store().raw_dump() {
+        assert!(!blob
+            .windows(b"BEGIN RSA PRIVATE KEY".len())
+            .any(|win| win == b"BEGIN RSA PRIVATE KEY"));
+    }
+}
+
+#[test]
+fn figure2_get_delegation_returns_usable_proxy() {
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+
+    let proxy = do_get(&w, &GetParams::new("alice", "correct horse battery")).unwrap();
+    // The portal now holds a credential that validates to alice's
+    // identity — the whole point of the system.
+    let v = validate_chain(proxy.chain(), &[w.ca_cert.clone()], w.clock.now(), &Default::default())
+        .unwrap();
+    assert_eq!(v.identity.to_string(), "/O=Grid/CN=alice");
+    assert_eq!(v.proxy_depth, 2, "user→repository→portal");
+    // Lifetime: min(requested 2h, policy 2h) (§4.3 "a few hours").
+    assert_eq!(proxy.leaf().not_after(), w.clock.now() + 2 * 3600);
+}
+
+#[test]
+fn get_with_wrong_passphrase_fails_uniformly() {
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    let e1 = do_get(&w, &GetParams::new("alice", "wrong-pass")).unwrap_err();
+    let e2 = do_get(&w, &GetParams::new("nobody", "correct horse battery")).unwrap_err();
+    let (MyProxyError::Refused(m1), MyProxyError::Refused(m2)) = (e1, e2) else {
+        panic!("expected Refused errors");
+    };
+    assert_eq!(m1, m2, "wrong pass phrase and unknown user are indistinguishable");
+}
+
+#[test]
+fn weak_passphrases_rejected_at_init() {
+    let w = world();
+    let err = do_init(&w, &InitParams::new("alice", "abc")).unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("at least")));
+    let err = do_init(&w, &InitParams::new("alice", "password")).unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("dictionary")));
+    assert_eq!(w.server.store().len(), 0);
+}
+
+#[test]
+fn retriever_acl_blocks_unauthorized_portal() {
+    // §5.1: "prevents unauthorized clients from retrieving a user proxy
+    // … even if such clients are able to gain access to the user's
+    // MyProxy authentication information."
+    let mut policy = ServerPolicy::permissive();
+    policy.authorized_retrievers =
+        mp_gsi::AccessControlList::from_patterns(["/O=Grid/CN=portal.sdsc.edu"]);
+    let w = world_with_policy(policy);
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+
+    // The authorized portal works.
+    assert!(do_get(&w, &GetParams::new("alice", "correct horse battery")).is_ok());
+
+    // Mallory knows the pass phrase but is not on the ACL.
+    let mut rng = test_drbg("mallory");
+    let err = w
+        .client
+        .get_delegation(
+            w.server.connect_local(),
+            &w.jobmgr, // jobmanager DN is not in the retrievers ACL
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("authorized retriever")));
+}
+
+#[test]
+fn depositor_acl_blocks_unauthorized_user() {
+    let mut policy = ServerPolicy::permissive();
+    policy.accepted_credentials =
+        mp_gsi::AccessControlList::from_patterns(["/O=Grid/CN=someone-else"]);
+    let w = world_with_policy(policy);
+    let err = do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("not authorized to store")));
+}
+
+#[test]
+fn lifetime_caps_enforced_on_get() {
+    let w = world();
+    let params = InitParams {
+        retrieval_max_lifetime: Some(600), // user restriction (§4.1)
+        ..InitParams::new("alice", "correct horse battery")
+    };
+    do_init(&w, &params).unwrap();
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = 999_999; // ask for far too much
+    let proxy = do_get(&w, &get).unwrap();
+    assert_eq!(
+        proxy.leaf().not_after(),
+        w.clock.now() + 600,
+        "user's own retrieval restriction wins"
+    );
+}
+
+#[test]
+fn expired_stored_credential_cannot_be_retrieved() {
+    let w = world();
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.lifetime_secs = 1000;
+    do_init(&w, &params).unwrap();
+    w.clock.advance(2000); // stored credential now expired
+    let err = do_get(&w, &GetParams::new("alice", "correct horse battery")).unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(_) | MyProxyError::Gsi(_)));
+    // And the periodic purge removes it entirely.
+    assert_eq!(w.server.purge_expired(), 1);
+    assert_eq!(w.server.store().len(), 0);
+}
+
+#[test]
+fn info_lists_stored_credentials() {
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    let mut named = InitParams::new("alice", "correct horse battery");
+    named.cred_name = Some("compute".into());
+    named.tags = vec![("ca".into(), "DOE".into())];
+    do_init(&w, &named).unwrap();
+
+    let mut rng = test_drbg("info rng");
+    let infos = w
+        .client
+        .info(
+            w.server.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(infos.len(), 2);
+    assert_eq!(infos[0].name, "compute");
+    assert_eq!(infos[1].name, "default");
+    assert_eq!(infos[0].owner, "/O=Grid/CN=alice");
+
+    // Wrong pass phrase reveals nothing.
+    let err = w
+        .client
+        .info(w.server.connect_local(), &w.alice, "alice", "nope-wrong", &mut rng, w.clock.now())
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(_)));
+}
+
+#[test]
+fn destroy_removes_credential() {
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    let mut rng = test_drbg("destroy rng");
+    w.client
+        .destroy(
+            w.server.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            None,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(w.server.store().len(), 0);
+    // Subsequent GET fails.
+    assert!(do_get(&w, &GetParams::new("alice", "correct horse battery")).is_err());
+}
+
+#[test]
+fn change_passphrase_end_to_end() {
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    let mut rng = test_drbg("chpass rng");
+    w.client
+        .change_passphrase(
+            w.server.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            "new-pass-phrase-42",
+            None,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert!(do_get(&w, &GetParams::new("alice", "correct horse battery")).is_err());
+    assert!(do_get(&w, &GetParams::new("alice", "new-pass-phrase-42")).is_ok());
+
+    // New pass phrase must also satisfy policy.
+    let err = w
+        .client
+        .change_passphrase(
+            w.server.connect_local(),
+            &w.alice,
+            "alice",
+            "new-pass-phrase-42",
+            "abc",
+            None,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(_)));
+}
+
+#[test]
+fn user_can_init_with_proxy_instead_of_long_term_credential() {
+    // §2.5 typical usage: grid-proxy-init first, then myproxy-init with
+    // the proxy — the long-term key never leaves the user's machine.
+    let w = world();
+    let mut rng = test_drbg("proxy first");
+    let local_proxy = grid_proxy_init(
+        &w.alice,
+        &ProxyOptions::default().with_lifetime(3600 * 24 * 8),
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    w.client
+        .init(
+            w.server.connect_local(),
+            &local_proxy,
+            &InitParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    let got = do_get(&w, &GetParams::new("alice", "correct horse battery")).unwrap();
+    let v = validate_chain(got.chain(), &[w.ca_cert.clone()], w.clock.now(), &Default::default())
+        .unwrap();
+    assert_eq!(v.identity.to_string(), "/O=Grid/CN=alice");
+    assert_eq!(v.proxy_depth, 3, "local proxy → repository → portal");
+}
+
+#[test]
+fn store_long_term_and_retrieve() {
+    // §6.1: the repository manages the permanent credential itself.
+    let w = world();
+    let mut rng = test_drbg("longterm rng");
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.cred_name = Some("longterm".into());
+    w.client
+        .store_long_term(
+            w.server.connect_local(),
+            &w.alice,
+            &w.alice, // storing her own long-term credential
+            &params,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.cred_name = Some("longterm".into());
+    let proxy = do_get(&w, &get).unwrap();
+    let v = validate_chain(proxy.chain(), &[w.ca_cert.clone()], w.clock.now(), &Default::default())
+        .unwrap();
+    assert_eq!(v.identity.to_string(), "/O=Grid/CN=alice");
+    assert_eq!(v.proxy_depth, 1, "delegated directly from the long-term credential");
+}
+
+#[test]
+fn store_long_term_rejects_foreign_credential() {
+    // The portal cannot deposit alice's credential as its own.
+    let w = world();
+    let mut rng = test_drbg("foreign rng");
+    let err = w
+        .client
+        .store_long_term(
+            w.server.connect_local(),
+            &w.portal, // connects as the portal
+            &w.alice,  // ...but ships alice's credential
+            &InitParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("identity")));
+}
+
+#[test]
+fn otp_setup_and_replay_protection() {
+    // §5.1: "Replay attacks … could be prevented by replacing the
+    // current MyProxy pass phrase scheme with a one-time password
+    // system."
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+
+    let gen = OtpGenerator::new(b"alice device secret", b"myproxy-seed", 4);
+    let mut rng = test_drbg("otp rng");
+    w.client
+        .otp_setup(
+            w.server.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &gen.anchor_hex(),
+            gen.chain_len,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+
+    // Plain GET is now refused for alice (pass phrase alone no longer
+    // sufficient).
+    let err = do_get(&w, &GetParams::new("alice", "correct horse battery")).unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("one-time")));
+
+    // OTP GET works.
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.otp = Some(gen.password_hex(1));
+    assert!(do_get(&w, &get).is_ok());
+
+    // A captured (username, pass phrase, OTP) triple replayed by a
+    // compromised-but-authorized client fails: the OTP is spent.
+    let mut replay = GetParams::new("alice", "correct horse battery");
+    replay.otp = Some(gen.password_hex(1));
+    assert!(do_get(&w, &replay).is_err());
+
+    // The legitimate user continues with the next chain value.
+    let mut next = GetParams::new("alice", "correct horse battery");
+    next.otp = Some(gen.password_hex(2));
+    assert!(do_get(&w, &next).is_ok());
+}
+
+#[test]
+fn wallet_selects_by_task_and_embeds_restrictions() {
+    // §6.2: "correctly select credentials for the task, embed the
+    // minimum needed rights in those credentials."
+    let w = world();
+    let mut doe = InitParams::new("alice", "correct horse battery");
+    doe.cred_name = Some("doe".into());
+    doe.tags = vec![("ca".into(), "DOE".into())];
+    do_init(&w, &doe).unwrap();
+    let mut nasa = InitParams::new("alice", "correct horse battery");
+    nasa.cred_name = Some("nasa".into());
+    nasa.tags = vec![("ca".into(), "NASA-IPG".into())];
+    do_init(&w, &nasa).unwrap();
+
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.task = vec![
+        ("ca".into(), "NASA-IPG".into()),
+        ("target".into(), "storage.ipg.nasa.gov".into()),
+    ];
+    let proxy = do_get(&w, &get).unwrap();
+    let v = validate_chain(proxy.chain(), &[w.ca_cert.clone()], w.clock.now(), &Default::default())
+        .unwrap();
+    // Minimum rights: the delegated proxy is restricted to the task's
+    // target (§6.5 restricted delegation doing §6.2's job).
+    assert!(v.permits("targets", "storage.ipg.nasa.gov"));
+    assert!(!v.permits("targets", "jobmanager.ncsa.edu"));
+
+    // No credential matches an unknown CA.
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.task = vec![("ca".into(), "NPACI".into())];
+    assert!(do_get(&w, &get).is_err());
+}
+
+#[test]
+fn condor_renewal_flow() {
+    // §6.6 end to end: job outlives its proxy; the job manager renews it
+    // with the old proxy as proof — no pass phrase, no user interaction.
+    let w = world();
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.renewer = Some("/O=Grid/CN=jobmanager.ncsa.edu".into());
+    do_init(&w, &params).unwrap();
+
+    // Portal fetches a short proxy and hands it to the job manager.
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = 900;
+    let mut job_proxy = do_get(&w, &get).unwrap();
+    assert_eq!(job_proxy.leaf().not_after(), w.clock.now() + 900);
+
+    // Time passes; the proxy nears expiry.
+    w.clock.advance(700);
+    let agent = RenewalAgent::new(300);
+    assert!(agent.needs_renewal(&job_proxy, w.clock.now()));
+
+    let mut rng = test_drbg("renew rng");
+    let fresh = agent
+        .maybe_renew(
+            &w.client,
+            w.server.connect_local(),
+            &w.jobmgr,
+            &job_proxy,
+            "alice",
+            None,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap()
+        .expect("renewal should happen below threshold");
+    job_proxy = fresh;
+    assert!(job_proxy.remaining_lifetime(w.clock.now()) > 900, "fresh proxy is longer-lived");
+    let v = validate_chain(job_proxy.chain(), &[w.ca_cert.clone()], w.clock.now(), &Default::default())
+        .unwrap();
+    assert_eq!(v.identity.to_string(), "/O=Grid/CN=alice");
+}
+
+#[test]
+fn renewal_rejected_without_authorization() {
+    let w = world();
+    // Entry NOT marked renewable.
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    let job_proxy = do_get(&w, &GetParams::new("alice", "correct horse battery")).unwrap();
+    let mut rng = test_drbg("renew deny rng");
+    let err = w
+        .client
+        .renew(
+            w.server.connect_local(),
+            &w.jobmgr,
+            &job_proxy,
+            "alice",
+            None,
+            512,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(_)));
+
+    // Renewable, but by a different renewer DN.
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.renewer = Some("/O=Grid/CN=some-other-host".into());
+    do_init(&w, &params).unwrap();
+    let err = w
+        .client
+        .renew(
+            w.server.connect_local(),
+            &w.jobmgr,
+            &job_proxy,
+            "alice",
+            None,
+            512,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(_)));
+}
+
+#[test]
+fn renewal_rejected_with_wrong_users_proxy() {
+    // A renewer holding some *other* user's proxy cannot renew alice's.
+    let w = world();
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.renewer = Some("/O=Grid/CN=jobmanager.ncsa.edu".into());
+    do_init(&w, &params).unwrap();
+
+    // The "proxy" presented belongs to the portal's identity, not alice.
+    let mut rng = test_drbg("wrong proxy rng");
+    let portal_proxy =
+        grid_proxy_init(&w.portal, &ProxyOptions::default(), &mut rng, w.clock.now()).unwrap();
+    let err = w
+        .client
+        .renew(
+            w.server.connect_local(),
+            &w.jobmgr,
+            &portal_proxy,
+            "alice",
+            None,
+            512,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(ref m) if m.contains("owner")));
+}
+
+#[test]
+fn repeated_retrievals_until_stored_credential_expires() {
+    // §4.3: "This process could then be repeated as many times as the
+    // user desires until the credentials held by the MyProxy repository
+    // expire."
+    let w = world();
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.lifetime_secs = 10_000;
+    do_init(&w, &params).unwrap();
+
+    for _ in 0..5 {
+        let mut get = GetParams::new("alice", "correct horse battery");
+        get.lifetime_secs = 100;
+        do_get(&w, &get).unwrap();
+        w.clock.advance(1000);
+    }
+    // Now past expiry.
+    w.clock.advance(6000);
+    assert!(do_get(&w, &GetParams::new("alice", "correct horse battery")).is_err());
+}
+
+#[test]
+fn works_over_tcp() {
+    let w = world();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = w.server.clone();
+    std::thread::spawn(move || server.serve_tcp(listener));
+
+    let mut rng = test_drbg("tcp ops");
+    let sock = std::net::TcpStream::connect(addr).unwrap();
+    w.client
+        .init(
+            sock,
+            &w.alice,
+            &InitParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    let sock = std::net::TcpStream::connect(addr).unwrap();
+    let proxy = w
+        .client
+        .get_delegation(
+            sock,
+            &w.portal,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert!(proxy.is_proxy());
+}
+
+#[test]
+fn concurrent_retrievals_scale() {
+    // §3.3 scalability goal: multiple portals against one repository.
+    let w = world();
+    do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let server = w.server.clone();
+        let client = MyProxyClient::new(
+            vec![w.ca_cert.clone()],
+            Some(Dn::parse("/O=Grid/CN=myproxy.ncsa.edu").unwrap()),
+        );
+        let portal = w.portal.clone();
+        let now = w.clock.now();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = test_drbg(&format!("concurrent {i}"));
+            client
+                .get_delegation(
+                    server.connect_local(),
+                    &portal,
+                    &GetParams::new("alice", "correct horse battery"),
+                    &mut rng,
+                    now,
+                )
+                .unwrap()
+        }));
+    }
+    for h in handles {
+        let proxy = h.join().unwrap();
+        assert!(proxy.is_proxy());
+    }
+    // Counters bump in handler threads after the client completes; poll.
+    let mut gets = 0;
+    for _ in 0..100 {
+        gets = w.server.stats().gets.load(std::sync::atomic::Ordering::Relaxed);
+        if gets == 8 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(gets, 8);
+}

@@ -1,0 +1,198 @@
+//! AES-128/256 block encryption (FIPS 197).
+//!
+//! Only the forward cipher is implemented: every mode used in this
+//! workspace (CTR) needs just block *encryption*. Table-driven S-box;
+//! see the crate-level note on side channels.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// An expanded AES key (128- or 256-bit).
+pub struct Aes {
+    /// Round keys, 4 bytes per word.
+    round_keys: Vec<[u8; 4]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expand a 16-byte (AES-128) or 32-byte (AES-256) key.
+    /// Panics on any other length.
+    pub fn new(key: &[u8]) -> Self {
+        let nk = match key.len() {
+            16 => 4,
+            32 => 8,
+            n => panic!("AES key must be 16 or 32 bytes, got {n}"),
+        };
+        let rounds = nk + 6;
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        Aes { round_keys: w, rounds }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0..4]);
+        for round in 1..self.rounds {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round * 4..round * 4 + 4]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(
+            &mut state,
+            &self.round_keys[self.rounds * 4..self.rounds * 4 + 4],
+        );
+        *block = state;
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[[u8; 4]]) {
+    for c in 0..4 {
+        for r in 0..4 {
+            state[c * 4 + r] ^= rk[c][r];
+        }
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State layout: state[c*4+r] is row r, column c (column-major, as FIPS 197).
+fn shift_rows(state: &mut [u8; 16]) {
+    let orig = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = orig[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[c * 4..c * 4 + 4];
+        let a: [u8; 4] = col.try_into().unwrap();
+        let t = a[0] ^ a[1] ^ a[2] ^ a[3];
+        col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
+        col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
+        col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
+        col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS 197 Appendix C.1.
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let aes = Aes::new(&key);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS 197 Appendix C.3.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let aes = Aes::new(&key);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
+    #[test]
+    fn nist_sp800_38a_aes128_ecb_vector() {
+        // SP 800-38A F.1.1 ECB-AES128 block #1.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes::new(&key);
+        let mut block = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_key_length_panics() {
+        Aes::new(&[0u8; 24 + 1]);
+    }
+
+    #[test]
+    fn different_keys_different_ciphertext() {
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        Aes::new(&[1u8; 16]).encrypt_block(&mut b1);
+        Aes::new(&[2u8; 16]).encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+}

@@ -1,0 +1,127 @@
+//! RFC 4648 base64, used by the PEM encoder in `mp-x509`.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard base64; whitespace is skipped (PEM wraps at 64 cols).
+/// Returns `None` on any non-alphabet character or bad padding.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let mut vals = Vec::with_capacity(text.len());
+    let mut pad = 0usize;
+    for c in text.bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            pad += 1;
+            continue;
+        }
+        if pad > 0 {
+            return None; // data after padding
+        }
+        vals.push(decode_char(c)?);
+    }
+    if !(vals.len() + pad).is_multiple_of(4) || pad > 2 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(vals.len() * 3 / 4);
+    for quad in vals.chunks(4) {
+        match quad.len() {
+            4 => {
+                let n = (quad[0] as u32) << 18 | (quad[1] as u32) << 12 | (quad[2] as u32) << 6 | quad[3] as u32;
+                out.push((n >> 16) as u8);
+                out.push((n >> 8) as u8);
+                out.push(n as u8);
+            }
+            3 => {
+                let n = (quad[0] as u32) << 18 | (quad[1] as u32) << 12 | (quad[2] as u32) << 6;
+                out.push((n >> 16) as u8);
+                out.push((n >> 8) as u8);
+            }
+            2 => {
+                let n = (quad[0] as u32) << 18 | (quad[1] as u32) << 12;
+                out.push((n >> 16) as u8);
+            }
+            _ => return None, // single leftover char is never valid
+        }
+    }
+    Some(out)
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("").unwrap(), b"");
+    }
+
+    #[test]
+    fn decode_skips_whitespace() {
+        assert_eq!(decode("Zm9v\nYmFy\n").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("Zm9v!").is_none());
+        assert!(decode("Zg=").is_none()); // bad padding length
+        assert!(decode("Zg==Zg==").is_none()); // data after padding
+        assert!(decode("A").is_none()); // lone char
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! AES-CTR keystream and the [`SecretBox`] encrypt-then-MAC container.
+//!
+//! `SecretBox` is the storage format for credentials held by the MyProxy
+//! repository (paper §5.1: "the repository encrypts the credentials that
+//! it holds with the pass phrase provided by the user") and the payload
+//! protection of the GSI record layer.
+
+use crate::aes::Aes;
+use crate::hmac::HmacSha256;
+use crate::pbkdf2::pbkdf2_hmac_sha256;
+use crate::{ct_eq, sha256};
+
+/// XOR `data` with the AES-CTR keystream for (`key`, `nonce`) starting at
+/// block 0. Symmetric: applying twice round-trips.
+pub fn aes_ctr_xor(key: &[u8], nonce: &[u8; 16], data: &mut [u8]) {
+    let aes = Aes::new(key);
+    let mut counter = *nonce;
+    for chunk in data.chunks_mut(16) {
+        let mut keystream = counter;
+        aes.encrypt_block(&mut keystream);
+        for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *d ^= k;
+        }
+        increment_be(&mut counter);
+    }
+}
+
+/// Big-endian 128-bit increment of the counter block.
+fn increment_be(counter: &mut [u8; 16]) {
+    for b in counter.iter_mut().rev() {
+        *b = b.wrapping_add(1);
+        if *b != 0 {
+            break;
+        }
+    }
+}
+
+/// Error unsealing a [`SecretBox`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// MAC mismatch: wrong pass phrase or tampered ciphertext.
+    BadMac,
+    /// The blob is structurally truncated/corrupt.
+    Truncated,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::BadMac => write!(f, "MAC verification failed (wrong pass phrase or tampering)"),
+            SealError::Truncated => write!(f, "sealed blob truncated or corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Pass-phrase-sealed blob: `salt(16) || nonce(16) || ciphertext || mac(32)`.
+///
+/// Key schedule: PBKDF2-HMAC-SHA256(pass, salt, iters) → 64 bytes, split
+/// into a 32-byte AES-256 key and a 32-byte HMAC key. Encrypt-then-MAC;
+/// the MAC covers salt, nonce and ciphertext, so any bit flip is caught
+/// before decryption output is exposed.
+///
+/// ```
+/// use mp_crypto::ctr::SecretBox;
+/// let entropy = [7u8; 32]; // callers draw this from a DRBG
+/// let blob = SecretBox::seal(b"pass phrase", b"credential PEM", 100, &entropy);
+/// assert_eq!(SecretBox::open(b"pass phrase", &blob, 100).unwrap(), b"credential PEM");
+/// assert!(SecretBox::open(b"wrong", &blob, 100).is_err());
+/// ```
+pub struct SecretBox;
+
+const SALT_LEN: usize = 16;
+const NONCE_LEN: usize = 16;
+const MAC_LEN: usize = 32;
+
+impl SecretBox {
+    /// Seal `plaintext` under `pass_phrase`. `salt_nonce_entropy` must be
+    /// 32 fresh random bytes (16 salt + 16 nonce) from the caller's DRBG.
+    pub fn seal(
+        pass_phrase: &[u8],
+        plaintext: &[u8],
+        iterations: u32,
+        salt_nonce_entropy: &[u8; 32],
+    ) -> Vec<u8> {
+        let salt: [u8; SALT_LEN] = salt_nonce_entropy[..16].try_into().unwrap();
+        let nonce: [u8; NONCE_LEN] = salt_nonce_entropy[16..].try_into().unwrap();
+        let (enc_key, mac_key) = Self::derive_keys(pass_phrase, &salt, iterations);
+
+        let mut out = Vec::with_capacity(SALT_LEN + NONCE_LEN + plaintext.len() + MAC_LEN);
+        out.extend_from_slice(&salt);
+        out.extend_from_slice(&nonce);
+        let ct_start = out.len();
+        out.extend_from_slice(plaintext);
+        aes_ctr_xor(&enc_key, &nonce, &mut out[ct_start..]);
+        let mac = HmacSha256::mac(&mac_key, &out);
+        out.extend_from_slice(&mac);
+        out
+    }
+
+    /// Open a sealed blob. Fails closed on any structural or MAC error.
+    pub fn open(pass_phrase: &[u8], blob: &[u8], iterations: u32) -> Result<Vec<u8>, SealError> {
+        if blob.len() < SALT_LEN + NONCE_LEN + MAC_LEN {
+            return Err(SealError::Truncated);
+        }
+        let (body, mac) = blob.split_at(blob.len() - MAC_LEN);
+        let salt: [u8; SALT_LEN] = body[..SALT_LEN].try_into().unwrap();
+        let nonce: [u8; NONCE_LEN] = body[SALT_LEN..SALT_LEN + NONCE_LEN].try_into().unwrap();
+        let (enc_key, mac_key) = Self::derive_keys(pass_phrase, &salt, iterations);
+        let expect = HmacSha256::mac(&mac_key, body);
+        if !ct_eq(&expect, mac) {
+            return Err(SealError::BadMac);
+        }
+        let mut plaintext = body[SALT_LEN + NONCE_LEN..].to_vec();
+        aes_ctr_xor(&enc_key, &nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+
+    fn derive_keys(pass: &[u8], salt: &[u8; SALT_LEN], iterations: u32) -> ([u8; 32], [u8; 32]) {
+        let mut km = [0u8; 64];
+        pbkdf2_hmac_sha256(pass, salt, iterations, &mut km);
+        (km[..32].try_into().unwrap(), km[32..].try_into().unwrap())
+    }
+}
+
+/// A non-pass-phrase variant keyed directly by 64 bytes of key material
+/// (32 enc + 32 mac), used by the GSI record layer where keys come from
+/// the handshake, not PBKDF2.
+pub struct KeyedBox;
+
+impl KeyedBox {
+    /// Seal with raw keys; `nonce` must be unique per (key, message).
+    pub fn seal(enc_key: &[u8; 32], mac_key: &[u8; 32], nonce: &[u8; 16], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut ct = plaintext.to_vec();
+        aes_ctr_xor(enc_key, nonce, &mut ct);
+        let mut mac = HmacSha256::new(mac_key);
+        mac.update(aad);
+        mac.update(nonce);
+        mac.update(&ct);
+        let tag = mac.finalize();
+        ct.extend_from_slice(&tag);
+        ct
+    }
+
+    /// Open; `aad` and `nonce` must match the sealing call.
+    pub fn open(enc_key: &[u8; 32], mac_key: &[u8; 32], nonce: &[u8; 16], blob: &[u8], aad: &[u8]) -> Result<Vec<u8>, SealError> {
+        if blob.len() < MAC_LEN {
+            return Err(SealError::Truncated);
+        }
+        let (ct, tag) = blob.split_at(blob.len() - MAC_LEN);
+        let mut mac = HmacSha256::new(mac_key);
+        mac.update(aad);
+        mac.update(nonce);
+        mac.update(ct);
+        if !ct_eq(&mac.finalize(), tag) {
+            return Err(SealError::BadMac);
+        }
+        let mut pt = ct.to_vec();
+        aes_ctr_xor(enc_key, nonce, &mut pt);
+        Ok(pt)
+    }
+}
+
+/// Derive a deterministic 32-byte fingerprint of arbitrary data
+/// (SHA-256), used for credential identifiers in the store.
+pub fn fingerprint(data: &[u8]) -> [u8; 32] {
+    sha256(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sp800_38a_ctr_aes128_vector() {
+        // SP 800-38A F.5.1 CTR-AES128.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let nonce = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        aes_ctr_xor(&key, &nonce, &mut data);
+        assert_eq!(hex(&data), "874d6191b620e3261bef6864990db6ce");
+    }
+
+    #[test]
+    fn ctr_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 16];
+        let original = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let mut data = original.clone();
+        aes_ctr_xor(&key, &nonce, &mut data);
+        assert_ne!(data, original);
+        aes_ctr_xor(&key, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn counter_increment_carries() {
+        let mut c = [0xffu8; 16];
+        increment_be(&mut c);
+        assert_eq!(c, [0u8; 16]);
+        let mut c = [0u8; 16];
+        c[15] = 0xff;
+        increment_be(&mut c);
+        assert_eq!(c[14], 1);
+        assert_eq!(c[15], 0);
+    }
+
+    #[test]
+    fn secret_box_roundtrip() {
+        let entropy = [42u8; 32];
+        let blob = SecretBox::seal(b"hunter2", b"credential bytes", 100, &entropy);
+        let out = SecretBox::open(b"hunter2", &blob, 100).unwrap();
+        assert_eq!(out, b"credential bytes");
+    }
+
+    #[test]
+    fn secret_box_wrong_passphrase_rejected() {
+        let entropy = [42u8; 32];
+        let blob = SecretBox::seal(b"hunter2", b"secret", 100, &entropy);
+        assert_eq!(SecretBox::open(b"hunter3", &blob, 100), Err(SealError::BadMac));
+    }
+
+    #[test]
+    fn secret_box_tamper_rejected() {
+        let entropy = [42u8; 32];
+        let mut blob = SecretBox::seal(b"hunter2", b"secret", 100, &entropy);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 1;
+        assert_eq!(SecretBox::open(b"hunter2", &blob, 100), Err(SealError::BadMac));
+    }
+
+    #[test]
+    fn secret_box_truncated_rejected() {
+        assert_eq!(SecretBox::open(b"pw", &[0u8; 10], 100), Err(SealError::Truncated));
+    }
+
+    #[test]
+    fn secret_box_ciphertext_hides_plaintext() {
+        let entropy = [42u8; 32];
+        let pt = b"BEGIN RSA PRIVATE KEY";
+        let blob = SecretBox::seal(b"pw", pt, 100, &entropy);
+        // Plaintext must not appear in the sealed blob.
+        assert!(!blob.windows(pt.len()).any(|w| w == pt));
+    }
+
+    #[test]
+    fn keyed_box_roundtrip_and_aad_binding() {
+        let ek = [1u8; 32];
+        let mk = [2u8; 32];
+        let nonce = [3u8; 16];
+        let blob = KeyedBox::seal(&ek, &mk, &nonce, b"payload", b"header");
+        assert_eq!(KeyedBox::open(&ek, &mk, &nonce, &blob, b"header").unwrap(), b"payload");
+        // Wrong AAD fails.
+        assert_eq!(
+            KeyedBox::open(&ek, &mk, &nonce, &blob, b"other"),
+            Err(SealError::BadMac)
+        );
+        // Wrong nonce fails.
+        assert_eq!(
+            KeyedBox::open(&ek, &mk, &[4u8; 16], &blob, b"header"),
+            Err(SealError::BadMac)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_secret_box_roundtrip(
+            pass in proptest::collection::vec(any::<u8>(), 0..40),
+            pt in proptest::collection::vec(any::<u8>(), 0..300),
+            entropy in any::<[u8; 32]>(),
+        ) {
+            let blob = SecretBox::seal(&pass, &pt, 2, &entropy);
+            prop_assert_eq!(SecretBox::open(&pass, &blob, 2).unwrap(), pt);
+        }
+
+        #[test]
+        fn prop_ctr_is_involution(
+            key in any::<[u8; 32]>(),
+            nonce in any::<[u8; 16]>(),
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let mut buf = data.clone();
+            aes_ctr_xor(&key, &nonce, &mut buf);
+            aes_ctr_xor(&key, &nonce, &mut buf);
+            prop_assert_eq!(buf, data);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The hash-function interface shared by HMAC, PBKDF2 and the record
+//! layer, so each is generic over SHA-1 / SHA-256.
+
+/// A streaming cryptographic hash.
+///
+/// `OUT` is the digest length in bytes. Implementors also expose their
+/// internal block length, which HMAC needs for key padding.
+pub trait Digest<const OUT: usize>: Clone {
+    /// Compression-function block length in bytes (64 for SHA-1/SHA-256).
+    const BLOCK_LEN: usize;
+
+    /// Fresh hash state.
+    fn new() -> Self;
+
+    /// Absorb more input.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consume the state and produce the digest.
+    fn finalize(self) -> [u8; OUT];
+
+    /// One-shot convenience.
+    fn digest(data: &[u8]) -> [u8; OUT] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

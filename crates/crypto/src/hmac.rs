@@ -1,0 +1,127 @@
+//! HMAC (RFC 2104), generic over the hash function.
+
+use crate::digest::Digest;
+
+/// Streaming HMAC state over digest `D` producing `OUT` bytes.
+#[derive(Clone)]
+pub struct Hmac<D, const OUT: usize> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest<OUT>, const OUT: usize> Hmac<D, OUT> {
+    /// Start a MAC with `key` (any length; hashed down if over-long).
+    pub fn new(key: &[u8]) -> Self {
+        let block = D::BLOCK_LEN;
+        let mut key_block = vec![0u8; block];
+        if key.len() > block {
+            let digest = D::digest(key);
+            key_block[..OUT].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = D::new();
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+        let mut outer = D::new();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+        Hmac { inner, outer }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the tag.
+    pub fn finalize(mut self) -> [u8; OUT] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; OUT] {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// HMAC-SHA256, the workhorse of the record layer and credential store.
+pub type HmacSha256 = Hmac<crate::Sha256, 32>;
+/// HMAC-SHA1, used by the OTP subsystem.
+pub type HmacSha1 = Hmac<crate::Sha1, 20>;
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    HmacSha256::mac(key, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_oversized_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc2202_hmac_sha1() {
+        let key = [0x0b; 20];
+        let tag = HmacSha1::mac(&key, b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"key";
+        let mut h = HmacSha256::new(key);
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), hmac_sha256(key, b"hello world"));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

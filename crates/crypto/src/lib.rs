@@ -1,0 +1,96 @@
+//! From-scratch cryptographic primitives for the MyProxy stack.
+//!
+//! The MyProxy paper rides on OpenSSL (RSA + X.509 + SSL). The relevant
+//! Rust crates do not support the GSI proxy-certificate profile, so this
+//! workspace implements its own primitives (see DESIGN.md §1). Everything
+//! here is real, interoperable-with-itself cryptography verified against
+//! published test vectors:
+//!
+//! * [`mod@sha1`] / [`mod@sha256`] — FIPS 180 hashes
+//! * [`hmac`] — HMAC (RFC 2104) over any [`digest::Digest`]
+//! * [`drbg`] — HMAC-DRBG (NIST SP 800-90A) as a [`rand::RngCore`]
+//! * [`pbkdf2`] — PBKDF2-HMAC-SHA256 (RFC 2898) for pass-phrase keys
+//! * [`aes`] + [`ctr`] — AES-128/256 block cipher and CTR-mode
+//!   encrypt-then-MAC sealing ([`ctr::SecretBox`])
+//! * [`rsa`] — key generation, PKCS#1 v1.5 signatures and encryption
+//! * [`base64`] — RFC 4648 base64 (for PEM)
+//! * [`ct_eq`] — constant-time byte comparison
+//!
+//! **Not** hardened against local side channels; the paper's threat model
+//! (§5) is credential theft over the network and host compromise, not
+//! cache-timing attacks on the repository host.
+
+pub mod aes;
+pub mod base64;
+pub mod ctr;
+pub mod digest;
+pub mod drbg;
+pub mod hmac;
+pub mod pbkdf2;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+
+pub use digest::Digest;
+pub use drbg::HmacDrbg;
+pub use sha1::Sha1;
+pub use sha256::Sha256;
+
+/// Constant-time byte-slice equality.
+///
+/// Returns false for length mismatches without inspecting contents; for
+/// equal lengths, runs in time independent of where the slices differ.
+/// Used everywhere a secret (pass phrase hash, MAC) is compared.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Convenience: one-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Convenience: one-shot SHA-1.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Convenience: hex-encode bytes (lowercase), for fingerprints and debug.
+pub fn hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn hex_encodes() {
+        assert_eq!(hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(hex(&[]), "");
+    }
+}

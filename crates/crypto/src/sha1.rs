@@ -1,0 +1,156 @@
+//! SHA-1 (FIPS 180-1).
+//!
+//! Kept for period fidelity: the 2001-era GSI stack hashed with SHA-1.
+//! The repository uses it only for non-security-critical identifiers
+//! (certificate fingerprints in log lines, S/KEY-style OTP chains where
+//! the construction, not the hash, provides the security); signatures
+//! use SHA-256.
+
+use crate::digest::Digest;
+
+/// Streaming SHA-1 state.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().unwrap());
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Produce the digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a827999),
+                1 => (b ^ c ^ d, 0x6ed9eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest<20> for Sha1 {
+    const BLOCK_LEN: usize = 64;
+    fn new() -> Self {
+        Sha1::new()
+    }
+    fn update(&mut self, data: &[u8]) {
+        Sha1::update(self, data)
+    }
+    fn finalize(self) -> [u8; 20] {
+        Sha1::finalize(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips_vectors() {
+        let mut h = Sha1::new();
+        h.update(b"abc");
+        assert_eq!(hex(&h.finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+
+        let mut h = Sha1::new();
+        h.update(b"");
+        assert_eq!(hex(&h.finalize()), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+
+        let mut h = Sha1::new();
+        h.update(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(hex(&h.finalize()), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = vec![0x5au8; 200];
+        let mut h = Sha1::new();
+        h.update(&data[..67]);
+        h.update(&data[67..]);
+        assert_eq!(h.finalize(), crate::sha1(&data));
+    }
+}

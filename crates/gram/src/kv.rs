@@ -1,0 +1,105 @@
+//! Minimal `KEY=VALUE` line codec shared by the job-manager and storage
+//! wire protocols (the same shape as the MyProxy protocol, without the
+//! version header).
+
+use crate::GramError;
+use std::collections::BTreeMap;
+
+/// An ordered key/value message.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Kv {
+    fields: BTreeMap<String, String>,
+}
+
+impl Kv {
+    /// Empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a field (panics on newline injection — caller bug).
+    pub fn set(mut self, key: &str, value: &str) -> Self {
+        assert!(!key.contains('\n') && !value.contains('\n') && !key.contains('='));
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Read a field.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Required field.
+    pub fn require(&self, key: &str) -> Result<&str, GramError> {
+        self.get(key)
+            .ok_or_else(|| GramError::Protocol(format!("missing field {key}")))
+    }
+
+    /// u64 field with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, GramError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| GramError::Protocol(format!("field {key} not numeric"))),
+        }
+    }
+
+    /// Serialize.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.fields {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse.
+    pub fn from_text(text: &str) -> Result<Self, GramError> {
+        let mut fields = BTreeMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| GramError::Protocol("malformed line".into()))?;
+            fields.insert(k.to_string(), v.to_string());
+        }
+        Ok(Kv { fields })
+    }
+
+    /// Parse from channel bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GramError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| GramError::Protocol("message not UTF-8".into()))?;
+        Self::from_text(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let kv = Kv::new().set("COMMAND", "SUBMIT").set("TICKS", "5");
+        let back = Kv::from_text(&kv.to_text()).unwrap();
+        assert_eq!(back, kv);
+        assert_eq!(back.require("COMMAND").unwrap(), "SUBMIT");
+        assert_eq!(back.get_u64("TICKS", 0).unwrap(), 5);
+        assert_eq!(back.get_u64("MISSING", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Kv::from_text("garbage-without-equals").is_err());
+        let kv = Kv::new();
+        assert!(kv.require("X").is_err());
+        let kv = Kv::new().set("N", "abc");
+        assert!(kv.get_u64("N", 0).is_err());
+    }
+}

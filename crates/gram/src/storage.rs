@@ -1,0 +1,515 @@
+//! A GSI-protected mass-storage service (the paper's §2.4 example: "a
+//! user's job that needs to be able to authenticate as the user to a
+//! mass storage system to store the result of a long computation").
+//!
+//! Commands (over the secure channel): `STORE` (file follows as one
+//! frame), `FETCH`, `LIST`. Authorization: gridmap membership, and all
+//! restricted-proxy policies must permit `targets=<service name>` and
+//! `actions=<op>`. Limited proxies are *allowed* (classic GSI: only job
+//! startup refuses them).
+
+use crate::kv::Kv;
+use crate::{GramError, Result};
+use mp_gsi::transport::Transport;
+use mp_gsi::{ChannelConfig, Credential, Gridmap, SecureChannel};
+use mp_x509::{Certificate, Clock};
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One stored file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredFile {
+    /// Owner's local account.
+    pub owner: String,
+    /// File contents.
+    pub data: Vec<u8>,
+    /// Store time.
+    pub stored_at: u64,
+}
+
+/// The storage service.
+#[derive(Clone)]
+pub struct MassStorage {
+    inner: Arc<StorageState>,
+}
+
+struct StorageState {
+    /// Service name; restricted proxies must permit `targets=<name>`.
+    name: String,
+    credential: Credential,
+    channel_cfg: ChannelConfig,
+    gridmap: Gridmap,
+    clock: Arc<dyn Clock>,
+    files: RwLock<HashMap<(String, String), StoredFile>>, // (user, filename)
+}
+
+impl MassStorage {
+    /// Build a storage service named `name`.
+    pub fn new(
+        name: &str,
+        credential: Credential,
+        trust_roots: Vec<Certificate>,
+        gridmap: Gridmap,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        MassStorage {
+            inner: Arc::new(StorageState {
+                name: name.to_string(),
+                credential,
+                channel_cfg: ChannelConfig::new(trust_roots),
+                gridmap,
+                clock,
+                files: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Service name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Number of stored files (across all users).
+    pub fn file_count(&self) -> usize {
+        self.inner.files.read().len()
+    }
+
+    /// Direct (test) access to a stored file.
+    pub fn peek(&self, user: &str, filename: &str) -> Option<StoredFile> {
+        self.inner
+            .files
+            .read()
+            .get(&(user.to_string(), filename.to_string()))
+            .cloned()
+    }
+
+    /// Serve one connection: authenticate, execute one command.
+    pub fn handle<T: Transport, R: Rng + ?Sized>(&self, transport: T, rng: &mut R) -> Result<()> {
+        let st = &self.inner;
+        let now = st.clock.now();
+        let mut channel =
+            SecureChannel::accept(transport, &st.credential, &st.channel_cfg, rng, now)?;
+        let peer = channel.peer().clone();
+
+        // Read the request before any authorization verdict so the
+        // client's write never races our teardown.
+        let req = Kv::from_bytes(&channel.recv()?)?;
+
+        let Some(local_user) = st.gridmap.lookup(&peer.identity) else {
+            let resp = Kv::new().set("STATUS", "DENIED").set("REASON", "no gridmap entry");
+            channel.send(resp.to_text().as_bytes())?;
+            return Err(GramError::Denied(format!("{} not in gridmap", peer.identity)));
+        };
+        let local_user = local_user.to_string();
+
+        let command = req.require("COMMAND")?.to_string();
+
+        // §6.5: every restriction in the chain must allow this service
+        // and this action.
+        let action = match command.as_str() {
+            "STORE" => "write",
+            "FETCH" | "LIST" => "read",
+            _ => {
+                let resp = Kv::new().set("STATUS", "ERROR").set("REASON", "unknown command");
+                channel.send(resp.to_text().as_bytes())?;
+                return Err(GramError::Protocol(format!("unknown command {command}")));
+            }
+        };
+        if !peer.permits("targets", &st.name) || !peer.permits("actions", action) {
+            let resp = Kv::new()
+                .set("STATUS", "DENIED")
+                .set("REASON", "restricted proxy policy forbids this operation");
+            channel.send(resp.to_text().as_bytes())?;
+            return Err(GramError::Denied("restricted proxy policy".into()));
+        }
+
+        match command.as_str() {
+            "STORE" => {
+                let filename = req.require("FILENAME")?.to_string();
+                let resp = Kv::new().set("STATUS", "SEND");
+                channel.send(resp.to_text().as_bytes())?;
+                let data = channel.recv()?;
+                st.files.write().insert(
+                    (local_user.clone(), filename),
+                    StoredFile { owner: local_user, data, stored_at: now },
+                );
+                channel.send(Kv::new().set("STATUS", "OK").to_text().as_bytes())?;
+            }
+            "FETCH" => {
+                let filename = req.require("FILENAME")?;
+                let file = st
+                    .files
+                    .read()
+                    .get(&(local_user.clone(), filename.to_string()))
+                    .cloned();
+                match file {
+                    Some(f) => {
+                        channel.send(Kv::new().set("STATUS", "OK").to_text().as_bytes())?;
+                        channel.send(&f.data)?;
+                    }
+                    None => {
+                        let resp = Kv::new().set("STATUS", "NOTFOUND");
+                        channel.send(resp.to_text().as_bytes())?;
+                        return Err(GramError::NotFound(filename.to_string()));
+                    }
+                }
+            }
+            "LIST" => {
+                let names: Vec<String> = st
+                    .files
+                    .read()
+                    .keys()
+                    .filter(|(u, _)| *u == local_user)
+                    .map(|(_, f)| f.clone())
+                    .collect();
+                let mut sorted = names;
+                sorted.sort();
+                let resp = Kv::new().set("STATUS", "OK").set("FILES", &sorted.join(","));
+                channel.send(resp.to_text().as_bytes())?;
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Spawn a thread serving one in-memory connection.
+    pub fn connect_local(&self, rng_seed: &[u8]) -> mp_gsi::MemStream {
+        let (client_end, server_end) = mp_gsi::duplex();
+        let service = self.clone();
+        let seed = rng_seed.to_vec();
+        std::thread::spawn(move || {
+            let mut rng = mp_crypto::HmacDrbg::new(&seed);
+            let _ = service.handle(server_end, &mut rng);
+        });
+        client_end
+    }
+}
+
+/// Client helpers for the storage protocol.
+pub mod client {
+    use super::*;
+
+    /// STORE `data` as `filename` using `cred` over `transport`.
+    pub fn store<T: Transport, R: Rng + ?Sized>(
+        transport: T,
+        cred: &Credential,
+        cfg: &ChannelConfig,
+        filename: &str,
+        data: &[u8],
+        rng: &mut R,
+        now: u64,
+    ) -> Result<()> {
+        let mut channel = SecureChannel::connect(transport, cred, cfg, rng, now)?;
+        let req = Kv::new().set("COMMAND", "STORE").set("FILENAME", filename);
+        channel.send(req.to_text().as_bytes())?;
+        let resp = Kv::from_bytes(&channel.recv()?)?;
+        expect_status(&resp, "SEND")?;
+        channel.send(data)?;
+        let resp = Kv::from_bytes(&channel.recv()?)?;
+        expect_status(&resp, "OK")
+    }
+
+    /// FETCH `filename`.
+    pub fn fetch<T: Transport, R: Rng + ?Sized>(
+        transport: T,
+        cred: &Credential,
+        cfg: &ChannelConfig,
+        filename: &str,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Vec<u8>> {
+        let mut channel = SecureChannel::connect(transport, cred, cfg, rng, now)?;
+        let req = Kv::new().set("COMMAND", "FETCH").set("FILENAME", filename);
+        channel.send(req.to_text().as_bytes())?;
+        let resp = Kv::from_bytes(&channel.recv()?)?;
+        expect_status(&resp, "OK")?;
+        Ok(channel.recv()?)
+    }
+
+    /// LIST files.
+    pub fn list<T: Transport, R: Rng + ?Sized>(
+        transport: T,
+        cred: &Credential,
+        cfg: &ChannelConfig,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Vec<String>> {
+        let mut channel = SecureChannel::connect(transport, cred, cfg, rng, now)?;
+        channel.send(Kv::new().set("COMMAND", "LIST").to_text().as_bytes())?;
+        let resp = Kv::from_bytes(&channel.recv()?)?;
+        expect_status(&resp, "OK")?;
+        Ok(resp
+            .get("FILES")
+            .unwrap_or("")
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect())
+    }
+
+    fn expect_status(resp: &Kv, want: &str) -> Result<()> {
+        let status = resp.require("STATUS")?;
+        if status == want {
+            Ok(())
+        } else {
+            Err(GramError::Denied(
+                resp.get("REASON").unwrap_or(status).to_string(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_gsi::{grid_proxy_init, ProxyOptions};
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn, ProxyPolicy, SimClock};
+
+    struct World {
+        storage: MassStorage,
+        alice: Credential,
+        mallory: Credential,
+        cfg: ChannelConfig,
+        clock: SimClock,
+    }
+
+    fn world() -> World {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            100_000_000,
+        )
+        .unwrap();
+        let mk = |ca: &mut CertificateAuthority, i: usize, dn: &str| {
+            let key = test_rsa_key(i);
+            let dn = Dn::parse(dn).unwrap();
+            let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 50_000_000).unwrap();
+            Credential::new(vec![cert], key.clone()).unwrap()
+        };
+        let alice = mk(&mut ca, 1, "/O=Grid/CN=alice");
+        let mallory = mk(&mut ca, 2, "/O=Grid/CN=mallory");
+        let storage_cred = mk(&mut ca, 3, "/O=Grid/CN=storage.nersc.gov");
+        let mut gridmap = Gridmap::new();
+        gridmap.add(&Dn::parse("/O=Grid/CN=alice").unwrap(), "alice");
+        let clock = SimClock::new(1000);
+        let storage = MassStorage::new(
+            "storage.nersc.gov",
+            storage_cred,
+            vec![ca.certificate().clone()],
+            gridmap,
+            Arc::new(clock.clone()),
+        );
+        let cfg = ChannelConfig::new(vec![ca.certificate().clone()]);
+        World { storage, alice, mallory, cfg, clock }
+    }
+
+    #[test]
+    fn store_fetch_list_roundtrip() {
+        let w = world();
+        let mut rng = test_drbg("storage rt");
+        client::store(
+            w.storage.connect_local(b"s1"),
+            &w.alice,
+            &w.cfg,
+            "results.dat",
+            b"simulation output",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        let data = client::fetch(
+            w.storage.connect_local(b"s2"),
+            &w.alice,
+            &w.cfg,
+            "results.dat",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        assert_eq!(data, b"simulation output");
+        let files = client::list(
+            w.storage.connect_local(b"s3"),
+            &w.alice,
+            &w.cfg,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        assert_eq!(files, vec!["results.dat"]);
+    }
+
+    #[test]
+    fn unmapped_identity_denied() {
+        let w = world();
+        let mut rng = test_drbg("storage mallory");
+        let err = client::store(
+            w.storage.connect_local(b"s4"),
+            &w.mallory,
+            &w.cfg,
+            "x",
+            b"data",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GramError::Denied(_)));
+        assert_eq!(w.storage.file_count(), 0);
+    }
+
+    #[test]
+    fn proxy_maps_to_user_account() {
+        let w = world();
+        let mut rng = test_drbg("storage proxy");
+        let proxy =
+            grid_proxy_init(&w.alice, &ProxyOptions::default(), &mut rng, w.clock.now()).unwrap();
+        client::store(
+            w.storage.connect_local(b"s5"),
+            &proxy,
+            &w.cfg,
+            "via-proxy.dat",
+            b"x",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        assert_eq!(w.storage.peek("alice", "via-proxy.dat").unwrap().owner, "alice");
+    }
+
+    #[test]
+    fn limited_proxy_may_access_files() {
+        // Classic GSI semantics: limited proxies can do file access.
+        let w = world();
+        let mut rng = test_drbg("storage limited");
+        let limited = grid_proxy_init(
+            &w.alice,
+            &ProxyOptions::default().with_policy(ProxyPolicy::Limited),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        client::store(
+            w.storage.connect_local(b"s6"),
+            &limited,
+            &w.cfg,
+            "limited.dat",
+            b"y",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn restricted_proxy_enforced() {
+        let w = world();
+        let mut rng = test_drbg("storage restricted");
+        // Restricted to a DIFFERENT target: must be denied here.
+        let wrong_target = grid_proxy_init(
+            &w.alice,
+            &ProxyOptions::default()
+                .with_policy(ProxyPolicy::Restricted("targets=jobmanager.ncsa.edu".into())),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        let err = client::store(
+            w.storage.connect_local(b"s7"),
+            &wrong_target,
+            &w.cfg,
+            "z",
+            b"zz",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GramError::Denied(_)));
+
+        // Restricted to this target with read-only actions: STORE denied,
+        // FETCH/LIST allowed.
+        let read_only = grid_proxy_init(
+            &w.alice,
+            &ProxyOptions::default().with_policy(ProxyPolicy::Restricted(
+                "targets=storage.nersc.gov;actions=read".into(),
+            )),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        let err = client::store(
+            w.storage.connect_local(b"s8"),
+            &read_only,
+            &w.cfg,
+            "z",
+            b"zz",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GramError::Denied(_)));
+        let files = client::list(
+            w.storage.connect_local(b"s9"),
+            &read_only,
+            &w.cfg,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        assert!(files.is_empty());
+    }
+
+    #[test]
+    fn expired_proxy_rejected_at_channel() {
+        let w = world();
+        let mut rng = test_drbg("storage expired");
+        let short = grid_proxy_init(
+            &w.alice,
+            &ProxyOptions::default().with_lifetime(10),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        w.clock.advance(100);
+        let err = client::store(
+            w.storage.connect_local(b"s10"),
+            &short,
+            &w.cfg,
+            "late.dat",
+            b"too late",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GramError::Gsi(_)));
+    }
+
+    #[test]
+    fn users_cannot_fetch_each_others_files() {
+        let w = world();
+        let mut rng = test_drbg("storage isolation");
+        client::store(
+            w.storage.connect_local(b"s11"),
+            &w.alice,
+            &w.cfg,
+            "private.dat",
+            b"alice only",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+        let err = client::fetch(
+            w.storage.connect_local(b"s12"),
+            &w.mallory,
+            &w.cfg,
+            "private.dat",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+        // mallory is not even in the gridmap.
+        assert!(matches!(err, GramError::Denied(_)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Integration tests across the Grid resources: multi-user job and file
+//! isolation, cancel semantics, output content, and TCP operation.
+
+use mp_crypto::HmacDrbg;
+use mp_gram::job::client as job_client;
+use mp_gram::storage::client as storage_client;
+use mp_gram::{JobManager, JobState, MassStorage};
+use mp_gsi::{ChannelConfig, Credential, Gridmap};
+use mp_x509::test_util::{test_drbg, test_rsa_key};
+use mp_x509::{CertificateAuthority, Clock, Dn, SimClock};
+use std::sync::Arc;
+
+struct World {
+    jm: JobManager,
+    storage: MassStorage,
+    alice: Credential,
+    bob: Credential,
+    cfg: ChannelConfig,
+    clock: SimClock,
+}
+
+fn world() -> World {
+    let mut ca = CertificateAuthority::new_root(
+        Dn::parse("/O=Grid/CN=CA").unwrap(),
+        test_rsa_key(0).clone(),
+        0,
+        100_000_000,
+    )
+    .unwrap();
+    let mk = |ca: &mut CertificateAuthority, i: usize, dn: &str| {
+        let key = test_rsa_key(i);
+        let dn = Dn::parse(dn).unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 50_000_000).unwrap();
+        Credential::new(vec![cert], key.clone()).unwrap()
+    };
+    let alice = mk(&mut ca, 1, "/O=Grid/CN=alice");
+    let bob = mk(&mut ca, 2, "/O=Grid/CN=bob");
+    let jm_cred = mk(&mut ca, 3, "/O=Grid/CN=jobmanager.ncsa.edu");
+    let storage_cred = mk(&mut ca, 4, "/O=Grid/CN=storage.nersc.gov");
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&Dn::parse("/O=Grid/CN=alice").unwrap(), "alice");
+    gridmap.add(&Dn::parse("/O=Grid/CN=bob").unwrap(), "bob");
+    let clock = SimClock::new(1000);
+    let roots = vec![ca.certificate().clone()];
+    let storage = MassStorage::new(
+        "storage.nersc.gov",
+        storage_cred,
+        roots.clone(),
+        gridmap.clone(),
+        Arc::new(clock.clone()),
+    );
+    let jm = JobManager::new(
+        "jobmanager.ncsa.edu",
+        jm_cred,
+        roots.clone(),
+        gridmap,
+        Arc::new(clock.clone()),
+        Some((storage.clone(), ChannelConfig::new(roots.clone()))),
+    );
+    World { jm, storage, alice, bob, cfg: ChannelConfig::new(roots), clock }
+}
+
+#[test]
+fn two_users_jobs_and_files_are_isolated() {
+    let w = world();
+    let mut rng = test_drbg("isolation");
+    let a_id = job_client::submit(
+        w.jm.connect_local(b"a sub"),
+        &w.alice,
+        &w.cfg,
+        "a-job",
+        2,
+        true,
+        true,
+        3600,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    let b_id = job_client::submit(
+        w.jm.connect_local(b"b sub"),
+        &w.bob,
+        &w.cfg,
+        "b-job",
+        2,
+        true,
+        true,
+        3600,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    assert_ne!(a_id, b_id);
+
+    // bob cannot see alice's job.
+    let err = job_client::status(
+        w.jm.connect_local(b"b snoop"),
+        &w.bob,
+        &w.cfg,
+        a_id,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, mp_gram::GramError::NotFound(_)));
+    // bob cannot cancel alice's job either.
+    let err = job_client::cancel(
+        w.jm.connect_local(b"b cancel"),
+        &w.bob,
+        &w.cfg,
+        a_id,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, mp_gram::GramError::NotFound(_)));
+
+    w.jm.tick(&mut rng);
+    w.jm.tick(&mut rng);
+    assert_eq!(w.jm.job(a_id).unwrap().state, JobState::Completed);
+    assert_eq!(w.jm.job(b_id).unwrap().state, JobState::Completed);
+
+    // Outputs landed in separate accounts.
+    assert_eq!(w.storage.peek("alice", "a-job.out").unwrap().owner, "alice");
+    assert_eq!(w.storage.peek("bob", "b-job.out").unwrap().owner, "bob");
+    assert!(w.storage.peek("alice", "b-job.out").is_none());
+
+    // LIST through the protocol shows only one's own files.
+    let alice_files = storage_client::list(
+        w.storage.connect_local(b"a list"),
+        &w.alice,
+        &w.cfg,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    assert_eq!(alice_files, vec!["a-job.out"]);
+}
+
+#[test]
+fn cancel_stops_progress_and_output() {
+    let w = world();
+    let mut rng = test_drbg("cancel");
+    let id = job_client::submit(
+        w.jm.connect_local(b"c sub"),
+        &w.alice,
+        &w.cfg,
+        "cancelled-job",
+        5,
+        true,
+        true,
+        3600,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    w.jm.tick(&mut rng);
+    job_client::cancel(w.jm.connect_local(b"c can"), &w.alice, &w.cfg, id, &mut rng, w.clock.now())
+        .unwrap();
+    let before = w.jm.job(id).unwrap().done_ticks;
+    w.jm.tick(&mut rng);
+    w.jm.tick(&mut rng);
+    let job = w.jm.job(id).unwrap();
+    assert_eq!(job.done_ticks, before, "no progress after cancel");
+    assert!(matches!(job.state, JobState::Failed(_)));
+    assert!(w.storage.peek("alice", "cancelled-job.out").is_none());
+}
+
+#[test]
+fn output_content_names_the_job() {
+    let w = world();
+    let mut rng = test_drbg("content");
+    let id = job_client::submit(
+        w.jm.connect_local(b"o sub"),
+        &w.alice,
+        &w.cfg,
+        "named",
+        1,
+        true,
+        true,
+        3600,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    w.jm.tick(&mut rng);
+    let file = w.storage.peek("alice", "named.out").unwrap();
+    let text = String::from_utf8(file.data).unwrap();
+    assert!(text.contains(&format!("job {id}")));
+    assert!(text.contains("named"));
+
+    // And it is fetchable over the protocol by the owner.
+    let fetched = storage_client::fetch(
+        w.storage.connect_local(b"o fetch"),
+        &w.alice,
+        &w.cfg,
+        "named.out",
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    assert_eq!(String::from_utf8(fetched).unwrap(), text);
+}
+
+#[test]
+fn services_work_over_tcp() {
+    let w = world();
+    let mut rng = test_drbg("gram tcp");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let jm = w.jm.clone();
+    std::thread::spawn(move || {
+        let mut n = 0u64;
+        for conn in listener.incoming() {
+            let Ok(sock) = conn else { break };
+            let jm = jm.clone();
+            n += 1;
+            std::thread::spawn(move || {
+                let mut rng = HmacDrbg::new(format!("tcp conn {n}").as_bytes());
+                let _ = jm.handle(sock, &mut rng);
+            });
+        }
+    });
+    let sock = std::net::TcpStream::connect(addr).unwrap();
+    let id = job_client::submit(
+        sock,
+        &w.alice,
+        &w.cfg,
+        "tcp-job",
+        1,
+        false,
+        false,
+        0,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    let sock = std::net::TcpStream::connect(addr).unwrap();
+    let (state, _, _) =
+        job_client::status(sock, &w.alice, &w.cfg, id, &mut rng, w.clock.now()).unwrap();
+    assert_eq!(state, "RUNNING");
+}
+
+#[test]
+fn overwriting_a_file_replaces_content() {
+    let w = world();
+    let mut rng = test_drbg("overwrite");
+    for content in [b"first".as_slice(), b"second".as_slice()] {
+        storage_client::store(
+            w.storage.connect_local(b"ow"),
+            &w.alice,
+            &w.cfg,
+            "same-name.dat",
+            content,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    }
+    assert_eq!(w.storage.peek("alice", "same-name.dat").unwrap().data, b"second");
+    assert_eq!(w.storage.file_count(), 1);
+}
+
+#[test]
+fn fetch_missing_file_is_notfound() {
+    let w = world();
+    let mut rng = test_drbg("missing");
+    let err = storage_client::fetch(
+        w.storage.connect_local(b"mf"),
+        &w.alice,
+        &w.cfg,
+        "never-stored.dat",
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, mp_gram::GramError::Denied(_) | mp_gram::GramError::NotFound(_)));
+}

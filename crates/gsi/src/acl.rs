@@ -1,0 +1,144 @@
+//! DN-pattern access control lists.
+//!
+//! Paper §5.1: "A list of authorized clients is defined by two access
+//! control lists, one for clients allowed to delegate to the repository
+//! (typically users), and a second for clients allowed to request
+//! delegations from the repository (typically portals)." This module is
+//! that list type; `mp-myproxy` instantiates it twice.
+
+use mp_x509::Dn;
+
+/// One allow pattern: a DN string where a trailing `*` matches any
+/// suffix, matching the style of real `myproxy-server.config` entries
+/// like `authorized_retrievers "/O=Grid/CN=*"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnPattern {
+    prefix: String,
+    wildcard: bool,
+}
+
+impl DnPattern {
+    /// Parse a pattern. `*` is only honoured at the end.
+    pub fn new(pattern: &str) -> Self {
+        match pattern.strip_suffix('*') {
+            Some(prefix) => DnPattern { prefix: prefix.to_string(), wildcard: true },
+            None => DnPattern { prefix: pattern.to_string(), wildcard: false },
+        }
+    }
+
+    /// Does `dn` match?
+    pub fn matches(&self, dn: &Dn) -> bool {
+        let s = dn.to_string();
+        if self.wildcard {
+            s.starts_with(&self.prefix)
+        } else {
+            s == self.prefix
+        }
+    }
+}
+
+/// An ordered list of allow patterns; **default deny**.
+///
+/// ```
+/// use mp_gsi::AccessControlList;
+/// use mp_x509::Dn;
+/// let acl = AccessControlList::from_patterns(["/O=Grid/OU=NCSA/*", "/O=Grid/CN=alice"]);
+/// assert!(acl.is_authorized(&Dn::parse("/O=Grid/OU=NCSA/CN=portal1").unwrap()));
+/// assert!(acl.is_authorized(&Dn::parse("/O=Grid/CN=alice").unwrap()));
+/// assert!(!acl.is_authorized(&Dn::parse("/O=Grid/CN=mallory").unwrap()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessControlList {
+    patterns: Vec<DnPattern>,
+}
+
+impl AccessControlList {
+    /// Empty list: denies everyone.
+    pub fn deny_all() -> Self {
+        Self::default()
+    }
+
+    /// Build from pattern strings.
+    pub fn from_patterns<S: AsRef<str>>(patterns: impl IntoIterator<Item = S>) -> Self {
+        AccessControlList {
+            patterns: patterns.into_iter().map(|p| DnPattern::new(p.as_ref())).collect(),
+        }
+    }
+
+    /// Add one pattern.
+    pub fn allow(&mut self, pattern: &str) {
+        self.patterns.push(DnPattern::new(pattern));
+    }
+
+    /// Is `dn` authorized?
+    pub fn is_authorized(&self, dn: &Dn) -> bool {
+        self.patterns.iter().any(|p| p.matches(dn))
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no patterns are present (deny-all).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    #[test]
+    fn default_deny() {
+        let acl = AccessControlList::deny_all();
+        assert!(!acl.is_authorized(&dn("/O=Grid/CN=alice")));
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn exact_match() {
+        let acl = AccessControlList::from_patterns(["/O=Grid/CN=alice"]);
+        assert!(acl.is_authorized(&dn("/O=Grid/CN=alice")));
+        assert!(!acl.is_authorized(&dn("/O=Grid/CN=alicea")));
+        assert!(!acl.is_authorized(&dn("/O=Grid/CN=bob")));
+    }
+
+    #[test]
+    fn wildcard_prefix_match() {
+        let acl = AccessControlList::from_patterns(["/O=Grid/OU=NCSA/*"]);
+        assert!(acl.is_authorized(&dn("/O=Grid/OU=NCSA/CN=portal1")));
+        assert!(acl.is_authorized(&dn("/O=Grid/OU=NCSA/CN=portal2")));
+        assert!(!acl.is_authorized(&dn("/O=Grid/OU=SDSC/CN=portal")));
+    }
+
+    #[test]
+    fn bare_star_matches_everyone() {
+        let acl = AccessControlList::from_patterns(["*"]);
+        assert!(acl.is_authorized(&dn("/O=Anything/CN=at all")));
+    }
+
+    #[test]
+    fn multiple_patterns_any_match() {
+        let mut acl = AccessControlList::from_patterns(["/O=Grid/CN=alice"]);
+        acl.allow("/O=Grid/CN=portal*");
+        assert!(acl.is_authorized(&dn("/O=Grid/CN=alice")));
+        assert!(acl.is_authorized(&dn("/O=Grid/CN=portal.sdsc.edu")));
+        assert!(!acl.is_authorized(&dn("/O=Grid/CN=mallory")));
+        assert_eq!(acl.len(), 2);
+    }
+
+    #[test]
+    fn proxy_dn_does_not_match_user_exact_pattern() {
+        // A proxy's *subject* has an extra CN; ACLs match effective
+        // identity, and this shows why exact patterns must be applied to
+        // the validated identity, not the leaf subject.
+        let acl = AccessControlList::from_patterns(["/O=Grid/CN=alice"]);
+        assert!(!acl.is_authorized(&dn("/O=Grid/CN=alice/CN=proxy")));
+    }
+}

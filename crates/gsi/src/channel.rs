@@ -1,0 +1,550 @@
+//! The GSI secure channel: an SSL-shaped handshake plus sealed records.
+//!
+//! Paper §2.2: "GSI uses SSL to implement authentication, message
+//! integrity and message privacy." This module provides those three
+//! properties with the same construction shape as SSL 3.0 — mutual
+//! certificate authentication, RSA key transport, transcript binding,
+//! finished MACs — over any [`Transport`].
+//!
+//! ```text
+//! C -> S  ClientHello   { random_c }
+//! S -> C  ServerHello   { random_s, server chain }
+//! C       validate server chain (+ expected DN), make premaster
+//! C -> S  KeyExchange   { client chain, RSA_enc(server, premaster),
+//!                         sign_client(SHA256(transcript)) }
+//! S       validate client chain, verify signature, decrypt premaster
+//! S -> C  Finished      { HMAC(master, "server" || transcript) }
+//! C -> S  Finished      { HMAC(master, "client" || transcript) }
+//! —— sealed records (AES-CTR + HMAC, per-direction keys + sequence) ——
+//! ```
+//!
+//! Client authentication is by *signature* (explicit proof of
+//! possession); server authentication is by *decryption* (only the
+//! certified key can recover the premaster and produce a valid
+//! Finished MAC).
+
+use crate::credential::{chain_from_der, Credential};
+use crate::record::{read_frame, write_frame, DirectionKeys, SealedRecords};
+use crate::transport::Transport;
+use crate::wire::{WireReader, WireWriter};
+use crate::{GsiError, Result};
+use mp_crypto::hmac::HmacSha256;
+use mp_crypto::{ct_eq, Sha256};
+use mp_x509::{validate_chain, Certificate, CertRevocationList, Dn, ValidatedChain, ValidationOptions};
+use rand::Rng;
+
+const MSG_CLIENT_HELLO: u8 = 1;
+const MSG_SERVER_HELLO: u8 = 2;
+const MSG_KEY_EXCHANGE: u8 = 3;
+const MSG_FINISHED_SERVER: u8 = 4;
+const MSG_FINISHED_CLIENT: u8 = 5;
+
+/// How a channel endpoint validates its peer.
+#[derive(Clone)]
+pub struct ChannelConfig {
+    /// CA certificates the peer chain must anchor to.
+    pub trust_roots: Vec<Certificate>,
+    /// Accept peers presenting limited proxies? (GRAM job managers say
+    /// no for job submission; everything else usually yes.)
+    pub accept_limited: bool,
+    /// If set, the peer's *effective identity* must equal this DN
+    /// (clients pin the expected server identity to stop impersonation,
+    /// paper §5.1: "MyProxy clients also require mutual authentication
+    /// of the repository").
+    pub expected_peer: Option<Dn>,
+    /// CRLs to consult while validating the peer chain.
+    pub crls: Vec<CertRevocationList>,
+}
+
+impl ChannelConfig {
+    /// Config trusting `roots`, accepting limited proxies, any identity.
+    pub fn new(trust_roots: Vec<Certificate>) -> Self {
+        ChannelConfig { trust_roots, accept_limited: true, expected_peer: None, crls: Vec::new() }
+    }
+
+    /// Pin the expected peer identity.
+    pub fn expecting(mut self, dn: Dn) -> Self {
+        self.expected_peer = Some(dn);
+        self
+    }
+
+    /// Refuse limited proxies.
+    pub fn rejecting_limited(mut self) -> Self {
+        self.accept_limited = false;
+        self
+    }
+
+    fn validation_options(&self) -> ValidationOptions {
+        ValidationOptions {
+            accept_limited: self.accept_limited,
+            crls: self.crls.clone(),
+            ..Default::default()
+        }
+    }
+}
+
+/// An established, mutually-authenticated channel.
+pub struct SecureChannel<T: Transport> {
+    transport: T,
+    records: SealedRecords,
+    peer: ValidatedChain,
+}
+
+struct KeySchedule {
+    client: DirectionKeys,
+    server: DirectionKeys,
+    master: [u8; 32],
+}
+
+fn derive_keys(premaster: &[u8], random_c: &[u8; 32], random_s: &[u8; 32]) -> KeySchedule {
+    let expand = |label: &[u8]| -> [u8; 32] {
+        let mut mac = HmacSha256::new(premaster);
+        mac.update(label);
+        mac.update(random_c);
+        mac.update(random_s);
+        mac.finalize()
+    };
+    KeySchedule {
+        client: DirectionKeys { enc: expand(b"c2s enc"), mac: expand(b"c2s mac") },
+        server: DirectionKeys { enc: expand(b"s2c enc"), mac: expand(b"s2c mac") },
+        master: expand(b"master secret"),
+    }
+}
+
+fn finished_mac(master: &[u8; 32], label: &[u8], transcript: &[u8; 32]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(master);
+    mac.update(label);
+    mac.update(transcript);
+    mac.finalize()
+}
+
+fn expect_msg(payload: &[u8], expected: u8) -> Result<&[u8]> {
+    match payload.split_first() {
+        Some((&t, rest)) if t == expected => Ok(rest),
+        Some((&t, _)) => Err(GsiError::Protocol(format!(
+            "unexpected handshake message type {t}, wanted {expected}"
+        ))),
+        None => Err(GsiError::Protocol("empty handshake message".into())),
+    }
+}
+
+fn validate_peer(
+    chain_der: &[Vec<u8>],
+    config: &ChannelConfig,
+    now: u64,
+) -> Result<(ValidatedChain, Vec<Certificate>)> {
+    let chain = chain_from_der(chain_der)?;
+    let validated = validate_chain(&chain, &config.trust_roots, now, &config.validation_options())?;
+    if let Some(expected) = &config.expected_peer {
+        if &validated.identity != expected {
+            return Err(GsiError::Denied(format!(
+                "peer identity {} does not match expected {expected}",
+                validated.identity
+            )));
+        }
+    }
+    Ok((validated, chain))
+}
+
+impl<T: Transport> SecureChannel<T> {
+    /// Client side of the handshake.
+    pub fn connect<R: Rng + ?Sized>(
+        mut transport: T,
+        cred: &Credential,
+        config: &ChannelConfig,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Self> {
+        let mut transcript = Sha256::new();
+
+        // -> ClientHello
+        let mut random_c = [0u8; 32];
+        rng.fill(&mut random_c);
+        let mut hello = WireWriter::new();
+        hello.u8(MSG_CLIENT_HELLO);
+        hello.bytes(&random_c);
+        let hello = hello.into_bytes();
+        transcript.update(&hello);
+        write_frame(&mut transport, &hello)?;
+
+        // <- ServerHello
+        let server_hello = read_frame(&mut transport)?;
+        transcript.update(&server_hello);
+        let body = expect_msg(&server_hello, MSG_SERVER_HELLO)?;
+        let mut r = WireReader::new(body);
+        let random_s: [u8; 32] = r
+            .bytes()?
+            .try_into()
+            .map_err(|_| GsiError::Protocol("bad server random".into()))?;
+        let server_chain_der = r.byte_list()?;
+        r.finish()?;
+        let (server_validated, server_chain) = validate_peer(&server_chain_der, config, now)?;
+
+        // -> KeyExchange
+        let mut premaster = [0u8; 48];
+        rng.fill(&mut premaster[..32]);
+        rng.fill(&mut premaster[32..]);
+        let enc_premaster = server_chain[0]
+            .public_key()
+            .encrypt(rng, &premaster)
+            .map_err(|_| GsiError::Crypto("premaster encryption failed"))?;
+        let client_chain_der = cred.chain_der();
+
+        // Sign the transcript up to (and including) this message's fields.
+        let mut to_sign = transcript.clone();
+        for der in &client_chain_der {
+            to_sign.update(der);
+        }
+        to_sign.update(&enc_premaster);
+        let digest = to_sign.finalize();
+        let signature = cred
+            .key()
+            .sign(&digest)
+            .map_err(|_| GsiError::Crypto("transcript signing failed"))?;
+
+        let mut kx = WireWriter::new();
+        kx.u8(MSG_KEY_EXCHANGE);
+        kx.byte_list(&client_chain_der);
+        kx.bytes(&enc_premaster);
+        kx.bytes(&signature);
+        let kx = kx.into_bytes();
+        transcript.update(&kx);
+        write_frame(&mut transport, &kx)?;
+
+        let keys = derive_keys(&premaster, &random_c, &random_s);
+        let transcript_hash = transcript.finalize();
+
+        // <- Finished (server)
+        let fin_s = read_frame(&mut transport)?;
+        let body = expect_msg(&fin_s, MSG_FINISHED_SERVER)?;
+        let mut r = WireReader::new(body);
+        let their_mac = r.bytes()?;
+        r.finish()?;
+        let expect = finished_mac(&keys.master, b"server finished", &transcript_hash);
+        if !ct_eq(their_mac, &expect) {
+            return Err(GsiError::Crypto("server Finished MAC mismatch"));
+        }
+
+        // -> Finished (client)
+        let mine = finished_mac(&keys.master, b"client finished", &transcript_hash);
+        let mut fin_c = WireWriter::new();
+        fin_c.u8(MSG_FINISHED_CLIENT);
+        fin_c.bytes(&mine);
+        write_frame(&mut transport, &fin_c.into_bytes())?;
+
+        Ok(SecureChannel {
+            transport,
+            records: SealedRecords::new(keys.client, keys.server, true),
+            peer: server_validated,
+        })
+    }
+
+    /// Server side of the handshake.
+    pub fn accept<R: Rng + ?Sized>(
+        mut transport: T,
+        cred: &Credential,
+        config: &ChannelConfig,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Self> {
+        let mut transcript = Sha256::new();
+
+        // <- ClientHello
+        let hello = read_frame(&mut transport)?;
+        transcript.update(&hello);
+        let body = expect_msg(&hello, MSG_CLIENT_HELLO)?;
+        let mut r = WireReader::new(body);
+        let _random_c: [u8; 32] = r
+            .bytes()?
+            .try_into()
+            .map_err(|_| GsiError::Protocol("bad client random".into()))?;
+        let random_c = _random_c;
+        r.finish()?;
+
+        // -> ServerHello
+        let mut random_s = [0u8; 32];
+        rng.fill(&mut random_s);
+        let mut sh = WireWriter::new();
+        sh.u8(MSG_SERVER_HELLO);
+        sh.bytes(&random_s);
+        sh.byte_list(&cred.chain_der());
+        let sh = sh.into_bytes();
+        transcript.update(&sh);
+        write_frame(&mut transport, &sh)?;
+
+        // <- KeyExchange
+        let kx = read_frame(&mut transport)?;
+        let body = expect_msg(&kx, MSG_KEY_EXCHANGE)?;
+        let mut r = WireReader::new(body);
+        let client_chain_der = r.byte_list()?;
+        let enc_premaster = r.bytes()?.to_vec();
+        let signature = r.bytes()?.to_vec();
+        r.finish()?;
+
+        let (client_validated, _client_chain) = validate_peer(&client_chain_der, config, now)?;
+
+        // Verify the client's transcript signature with its leaf key —
+        // this is its proof of possession.
+        let mut to_sign = transcript.clone();
+        for der in &client_chain_der {
+            to_sign.update(der);
+        }
+        to_sign.update(&enc_premaster);
+        let digest = to_sign.finalize();
+        client_validated
+            .leaf_key
+            .verify(&digest, &signature)
+            .map_err(|_| GsiError::Crypto("client transcript signature invalid"))?;
+
+        transcript.update(&kx);
+
+        let premaster = cred
+            .key()
+            .decrypt(&enc_premaster)
+            .map_err(|_| GsiError::Crypto("premaster decryption failed"))?;
+        if premaster.len() != 48 {
+            return Err(GsiError::Crypto("premaster has wrong length"));
+        }
+
+        let keys = derive_keys(&premaster, &random_c, &random_s);
+        let transcript_hash = transcript.finalize();
+
+        // -> Finished (server)
+        let mine = finished_mac(&keys.master, b"server finished", &transcript_hash);
+        let mut fin_s = WireWriter::new();
+        fin_s.u8(MSG_FINISHED_SERVER);
+        fin_s.bytes(&mine);
+        write_frame(&mut transport, &fin_s.into_bytes())?;
+
+        // <- Finished (client)
+        let fin_c = read_frame(&mut transport)?;
+        let body = expect_msg(&fin_c, MSG_FINISHED_CLIENT)?;
+        let mut r = WireReader::new(body);
+        let their_mac = r.bytes()?;
+        r.finish()?;
+        let expect = finished_mac(&keys.master, b"client finished", &transcript_hash);
+        if !ct_eq(their_mac, &expect) {
+            return Err(GsiError::Crypto("client Finished MAC mismatch"));
+        }
+
+        Ok(SecureChannel {
+            transport,
+            records: SealedRecords::new(keys.client, keys.server, false),
+            peer: client_validated,
+        })
+    }
+
+    /// Send one encrypted, authenticated message.
+    pub fn send(&mut self, data: &[u8]) -> Result<()> {
+        self.records.send(&mut self.transport, data)
+    }
+
+    /// Receive one message.
+    pub fn recv(&mut self) -> Result<Vec<u8>> {
+        self.records.recv(&mut self.transport)
+    }
+
+    /// Who is on the other end (validated chain, including effective
+    /// identity, limited flag and restrictions).
+    pub fn peer(&self) -> &ValidatedChain {
+        &self.peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::{grid_proxy_init, ProxyOptions};
+    use crate::transport::{duplex, Tap};
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, ProxyPolicy};
+
+    struct TestPki {
+        ca: CertificateAuthority,
+        alice: Credential,
+        server: Credential,
+    }
+
+    fn pki() -> TestPki {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let alice_key = test_rsa_key(1);
+        let alice_dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let alice_cert = ca
+            .issue_end_entity(&alice_dn, alice_key.public_key(), 0, 500_000)
+            .unwrap();
+        let server_key = test_rsa_key(2);
+        let server_dn = Dn::parse("/O=Grid/CN=myproxy.ncsa.edu").unwrap();
+        let server_cert = ca
+            .issue_end_entity(&server_dn, server_key.public_key(), 0, 500_000)
+            .unwrap();
+        TestPki {
+            alice: Credential::new(vec![alice_cert], alice_key.clone()).unwrap(),
+            server: Credential::new(vec![server_cert], server_key.clone()).unwrap(),
+            ca,
+        }
+    }
+
+    fn run_handshake(
+        p: &TestPki,
+        client_cfg: ChannelConfig,
+        server_cfg: ChannelConfig,
+    ) -> (Result<SecureChannel<crate::transport::MemStream>>, Result<SecureChannel<crate::transport::MemStream>>) {
+        let (ct, st) = duplex();
+        let alice = p.alice.clone();
+        let server = p.server.clone();
+        let s_thread = std::thread::spawn(move || {
+            let mut rng = test_drbg("server hs");
+            SecureChannel::accept(st, &server, &server_cfg, &mut rng, 100)
+        });
+        let mut rng = test_drbg("client hs");
+        let c = SecureChannel::connect(ct, &alice, &client_cfg, &mut rng, 100);
+        let s = s_thread.join().unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn handshake_and_data_exchange() {
+        let p = pki();
+        let cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let (c, s) = run_handshake(&p, cfg.clone(), cfg);
+        let mut c = c.unwrap();
+        let mut s = s.unwrap();
+        assert_eq!(c.peer().identity.to_string(), "/O=Grid/CN=myproxy.ncsa.edu");
+        assert_eq!(s.peer().identity.to_string(), "/O=Grid/CN=alice");
+        c.send(b"GET /credential").unwrap();
+        assert_eq!(s.recv().unwrap(), b"GET /credential");
+        s.send(b"OK").unwrap();
+        assert_eq!(c.recv().unwrap(), b"OK");
+    }
+
+    #[test]
+    fn client_with_proxy_chain_authenticates_as_user() {
+        let p = pki();
+        let mut rng = test_drbg("proxy for channel");
+        let proxy = grid_proxy_init(&p.alice, &ProxyOptions::default(), &mut rng, 100).unwrap();
+        let cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let (ct, st) = duplex();
+        let server = p.server.clone();
+        let server_cfg = cfg.clone();
+        let s_thread = std::thread::spawn(move || {
+            let mut rng = test_drbg("server hs2");
+            SecureChannel::accept(st, &server, &server_cfg, &mut rng, 100).unwrap()
+        });
+        let mut rng2 = test_drbg("client hs2");
+        let _c = SecureChannel::connect(ct, &proxy, &cfg, &mut rng2, 100).unwrap();
+        let s = s_thread.join().unwrap();
+        assert_eq!(s.peer().identity.to_string(), "/O=Grid/CN=alice");
+        assert_eq!(s.peer().proxy_depth, 1);
+    }
+
+    #[test]
+    fn client_rejects_wrong_server_identity() {
+        let p = pki();
+        let client_cfg = ChannelConfig::new(vec![p.ca.certificate().clone()])
+            .expecting(Dn::parse("/O=Grid/CN=some-other-server").unwrap());
+        let server_cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let (c, _s) = run_handshake(&p, client_cfg, server_cfg);
+        assert!(matches!(c, Err(GsiError::Denied(_))));
+    }
+
+    #[test]
+    fn client_rejects_untrusted_server() {
+        let p = pki();
+        // Client trusts a different CA entirely.
+        let other_ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Other/CN=CA").unwrap(),
+            test_rsa_key(9).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let client_cfg = ChannelConfig::new(vec![other_ca.certificate().clone()]);
+        let server_cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let (c, _s) = run_handshake(&p, client_cfg, server_cfg);
+        assert!(matches!(c, Err(GsiError::Chain(_))));
+    }
+
+    #[test]
+    fn server_rejects_limited_proxy_when_configured() {
+        let p = pki();
+        let mut rng = test_drbg("limited proxy");
+        let opts = ProxyOptions::default().with_policy(ProxyPolicy::Limited);
+        let limited = grid_proxy_init(&p.alice, &opts, &mut rng, 100).unwrap();
+        let cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let server_cfg = cfg.clone().rejecting_limited();
+        let (ct, st) = duplex();
+        let server = p.server.clone();
+        let s_thread = std::thread::spawn(move || {
+            let mut rng = test_drbg("server hs3");
+            SecureChannel::accept(st, &server, &server_cfg, &mut rng, 100)
+        });
+        let mut rng2 = test_drbg("client hs3");
+        let _ = SecureChannel::connect(ct, &limited, &cfg, &mut rng2, 100);
+        let s = s_thread.join().unwrap();
+        assert!(matches!(s, Err(GsiError::Chain(_))));
+    }
+
+    #[test]
+    fn impersonating_server_without_key_fails() {
+        // Mallory presents the real server's certificate chain but holds
+        // a different private key: premaster decryption garbles, so the
+        // Finished MAC can't be produced. We simulate by giving the
+        // server endpoint a mismatched credential — construction itself
+        // catches it, which is the first line of defense.
+        let p = pki();
+        let err = Credential::new(p.server.chain().to_vec(), test_rsa_key(7).clone());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn passphrase_never_in_cleartext_on_wire() {
+        // The §5.1 eavesdropper: tap the client side of the transport,
+        // send a secret through the channel, grep the capture.
+        let p = pki();
+        let cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let (ct, st) = duplex();
+        let (tapped, log) = Tap::new(ct);
+        let server = p.server.clone();
+        let server_cfg = cfg.clone();
+        let s_thread = std::thread::spawn(move || {
+            let mut rng = test_drbg("server hs4");
+            let mut s = SecureChannel::accept(st, &server, &server_cfg, &mut rng, 100).unwrap();
+            s.recv().unwrap()
+        });
+        let mut rng = test_drbg("client hs4");
+        let mut c = SecureChannel::connect(tapped, &p.alice, &cfg, &mut rng, 100).unwrap();
+        c.send(b"PASSPHRASE=swordfish-9000").unwrap();
+        let received = s_thread.join().unwrap();
+        assert_eq!(received, b"PASSPHRASE=swordfish-9000");
+        assert!(!log.lock().contains(b"swordfish-9000"), "secret leaked in cleartext");
+    }
+
+    #[test]
+    fn works_over_real_tcp() {
+        let p = pki();
+        let cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = p.server.clone();
+        let server_cfg = cfg.clone();
+        let s_thread = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut rng = test_drbg("tcp server");
+            let mut s = SecureChannel::accept(sock, &server, &server_cfg, &mut rng, 100).unwrap();
+            let msg = s.recv().unwrap();
+            s.send(&msg).unwrap();
+        });
+        let sock = std::net::TcpStream::connect(addr).unwrap();
+        let mut rng = test_drbg("tcp client");
+        let mut c = SecureChannel::connect(sock, &p.alice, &cfg, &mut rng, 100).unwrap();
+        c.send(b"echo over tcp").unwrap();
+        assert_eq!(c.recv().unwrap(), b"echo over tcp");
+        s_thread.join().unwrap();
+    }
+}

@@ -1,0 +1,204 @@
+//! Grid credentials: a certificate chain plus the matching private key.
+//!
+//! Paper §2.1: "entities possess a set of Grid credentials consisting of
+//! a certificate and a cryptographic key known as the private key."
+//! On disk this is the Globus PEM layout: leaf certificate, private key,
+//! then the rest of the chain.
+
+use crate::{GsiError, Result};
+use mp_crypto::rsa::RsaPrivateKey;
+use mp_x509::pem::{self, label};
+use mp_x509::{keys, validate_chain, Certificate, Dn, ValidatedChain, ValidationOptions};
+
+/// A certificate chain (leaf first) and the leaf's private key.
+#[derive(Clone)]
+pub struct Credential {
+    chain: Vec<Certificate>,
+    key: RsaPrivateKey,
+}
+
+impl Credential {
+    /// Construct, checking the key matches the leaf certificate.
+    pub fn new(chain: Vec<Certificate>, key: RsaPrivateKey) -> Result<Self> {
+        let leaf = chain
+            .first()
+            .ok_or_else(|| GsiError::Protocol("credential needs at least one certificate".into()))?;
+        if leaf.public_key() != key.public_key() {
+            return Err(GsiError::Crypto("private key does not match leaf certificate"));
+        }
+        Ok(Credential { chain, key })
+    }
+
+    /// The leaf certificate (the one this key can speak for).
+    pub fn leaf(&self) -> &Certificate {
+        &self.chain[0]
+    }
+
+    /// Full chain, leaf first.
+    pub fn chain(&self) -> &[Certificate] {
+        &self.chain
+    }
+
+    /// The private key.
+    pub fn key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    /// The leaf subject DN.
+    pub fn subject(&self) -> &Dn {
+        self.leaf().subject()
+    }
+
+    /// Is the leaf a proxy certificate?
+    pub fn is_proxy(&self) -> bool {
+        self.leaf().is_proxy()
+    }
+
+    /// Remaining validity of the whole chain at `now` (min over certs).
+    pub fn remaining_lifetime(&self, now: u64) -> u64 {
+        self.chain
+            .iter()
+            .map(|c| c.remaining_lifetime(now))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Validate this credential's own chain.
+    pub fn validate(
+        &self,
+        trust_roots: &[Certificate],
+        now: u64,
+        options: &ValidationOptions,
+    ) -> Result<ValidatedChain> {
+        Ok(validate_chain(&self.chain, trust_roots, now, options)?)
+    }
+
+    /// Serialize to the Globus PEM layout: leaf cert, key, rest of chain.
+    ///
+    /// Note this is the **unencrypted** proxy-file layout of paper §2.3
+    /// ("proxy credentials are stored unencrypted on the local file
+    /// system, protected only by file system permissions"). Long-term
+    /// keys at rest should instead go through
+    /// [`mp_crypto::ctr::SecretBox`], which is what the MyProxy
+    /// repository does.
+    pub fn to_pem(&self) -> String {
+        let mut out = pem::encode(label::CERTIFICATE, self.chain[0].to_der());
+        out.push_str(&pem::encode(label::RSA_PRIVATE_KEY, &keys::private_key_to_der(&self.key)));
+        for cert in &self.chain[1..] {
+            out.push_str(&pem::encode(label::CERTIFICATE, cert.to_der()));
+        }
+        out
+    }
+
+    /// Parse the Globus PEM layout back.
+    pub fn from_pem(text: &str) -> Result<Self> {
+        let blocks = pem::decode_all(text)?;
+        let mut certs = Vec::new();
+        let mut key = None;
+        for block in blocks {
+            match block.label.as_str() {
+                label::CERTIFICATE => certs.push(Certificate::from_der(&block.data)?),
+                label::RSA_PRIVATE_KEY => {
+                    if key.is_some() {
+                        return Err(GsiError::Protocol("multiple private keys in PEM".into()));
+                    }
+                    key = Some(keys::private_key_from_der(&block.data)?);
+                }
+                _ => {} // tolerate unknown blocks
+            }
+        }
+        let key = key.ok_or_else(|| GsiError::Protocol("no private key in PEM".into()))?;
+        Credential::new(certs, key)
+    }
+
+    /// DER of every certificate in the chain (for wire transfer).
+    pub fn chain_der(&self) -> Vec<Vec<u8>> {
+        self.chain.iter().map(|c| c.to_der().to_vec()).collect()
+    }
+}
+
+impl std::fmt::Debug for Credential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Credential(subject={}, chain_len={}, proxy={})",
+            self.subject(),
+            self.chain.len(),
+            self.is_proxy()
+        )
+    }
+}
+
+/// Parse a chain received on the wire (list of DER certs, leaf first).
+pub fn chain_from_der(ders: &[Vec<u8>]) -> Result<Vec<Certificate>> {
+    ders.iter()
+        .map(|d| Certificate::from_der(d).map_err(GsiError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_x509::test_util::test_rsa_key;
+    use mp_x509::CertificateAuthority;
+
+    fn make_user_credential() -> (CertificateAuthority, Credential) {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 500_000).unwrap();
+        (ca, Credential::new(vec![cert], key.clone()).unwrap())
+    }
+
+    #[test]
+    fn key_mismatch_rejected() {
+        let (_ca, cred) = make_user_credential();
+        let err = Credential::new(cred.chain().to_vec(), test_rsa_key(2).clone());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(Credential::new(vec![], test_rsa_key(0).clone()).is_err());
+    }
+
+    #[test]
+    fn pem_roundtrip() {
+        let (_ca, cred) = make_user_credential();
+        let pem = cred.to_pem();
+        let back = Credential::from_pem(&pem).unwrap();
+        assert_eq!(back.subject(), cred.subject());
+        assert_eq!(back.chain().len(), cred.chain().len());
+        // The restored key signs things the original key's cert verifies.
+        let sig = back.key().sign(b"test").unwrap();
+        cred.leaf().public_key().verify(b"test", &sig).unwrap();
+    }
+
+    #[test]
+    fn pem_without_key_rejected() {
+        let (_ca, cred) = make_user_credential();
+        let pem = mp_x509::pem::encode(label::CERTIFICATE, cred.leaf().to_der());
+        assert!(Credential::from_pem(&pem).is_err());
+    }
+
+    #[test]
+    fn validates_under_issuing_ca() {
+        let (ca, cred) = make_user_credential();
+        let roots = [ca.certificate().clone()];
+        let v = cred.validate(&roots, 100, &Default::default()).unwrap();
+        assert_eq!(&v.identity, cred.subject());
+    }
+
+    #[test]
+    fn remaining_lifetime_is_min_over_chain() {
+        let (_ca, cred) = make_user_credential();
+        assert_eq!(cred.remaining_lifetime(400_000), 100_000);
+        assert_eq!(cred.remaining_lifetime(600_000), 0);
+    }
+}

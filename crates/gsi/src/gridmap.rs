@@ -1,0 +1,144 @@
+//! The gridmap file: DN → local account mapping.
+//!
+//! Paper §2.1: "Resources then typically have local configuration for
+//! mapping the DN to a local identity (e.g. Unix hosts have a file
+//! containing DN and username pairs)." `mp-gram` consults this on every
+//! authenticated request.
+
+use mp_x509::Dn;
+use std::collections::HashMap;
+
+/// A DN → username map, parseable from the classic grid-mapfile format.
+///
+/// ```
+/// use mp_gsi::Gridmap;
+/// use mp_x509::Dn;
+/// let text = "# comments and blank lines ignored\n\"/O=Grid/OU=ANL/CN=Jason Novotny\" jnovotny\n";
+/// let map = Gridmap::parse(text).unwrap();
+/// let dn = Dn::parse("/O=Grid/OU=ANL/CN=Jason Novotny").unwrap();
+/// assert_eq!(map.lookup(&dn), Some("jnovotny"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gridmap {
+    entries: HashMap<String, String>,
+}
+
+impl Gridmap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a mapping.
+    pub fn add(&mut self, dn: &Dn, local_user: &str) {
+        self.entries.insert(dn.to_string(), local_user.to_string());
+    }
+
+    /// Look up the local account for a validated Grid identity.
+    pub fn lookup(&self, dn: &Dn) -> Option<&str> {
+        self.entries.get(&dn.to_string()).map(String::as_str)
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse the grid-mapfile text format. Lines are
+    /// `"<quoted DN>" <username>`; `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut map = Gridmap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix('"')
+                .ok_or_else(|| format!("line {}: DN must be quoted", lineno + 1))?;
+            let (dn_str, after) = rest
+                .split_once('"')
+                .ok_or_else(|| format!("line {}: unterminated quote", lineno + 1))?;
+            let user = after.trim();
+            if user.is_empty() || user.contains(char::is_whitespace) {
+                return Err(format!("line {}: expected exactly one username", lineno + 1));
+            }
+            let dn = Dn::parse(dn_str).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            map.add(&dn, user);
+        }
+        Ok(map)
+    }
+
+    /// Render back to the grid-mapfile format (sorted for determinism).
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(dn, user)| format!("\"{dn}\" {user}"))
+            .collect();
+        lines.sort();
+        lines.join("\n") + "\n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut map = Gridmap::new();
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        map.add(&dn, "alice");
+        assert_eq!(map.lookup(&dn), Some("alice"));
+        assert_eq!(map.lookup(&Dn::parse("/O=Grid/CN=bob").unwrap()), None);
+    }
+
+    #[test]
+    fn parse_classic_format() {
+        let text = r#"
+# Grid mapfile
+"/O=Grid/OU=ANL/CN=Jason Novotny" jnovotny
+"/O=Grid/CN=alice" alice
+
+"#;
+        let map = Gridmap::parse(text).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(
+            map.lookup(&Dn::parse("/O=Grid/OU=ANL/CN=Jason Novotny").unwrap()),
+            Some("jnovotny")
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Gridmap::parse("/O=Grid/CN=x alice").is_err()); // unquoted
+        assert!(Gridmap::parse("\"/O=Grid/CN=x alice").is_err()); // unterminated
+        assert!(Gridmap::parse("\"/O=Grid/CN=x\"").is_err()); // no user
+        assert!(Gridmap::parse("\"/O=Grid/CN=x\" a b").is_err()); // two users
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut map = Gridmap::new();
+        map.add(&Dn::parse("/O=Grid/CN=alice").unwrap(), "alice");
+        map.add(&Dn::parse("/O=Grid/CN=bob").unwrap(), "bob");
+        let map2 = Gridmap::parse(&map.to_text()).unwrap();
+        assert_eq!(map2.len(), 2);
+        assert_eq!(map2.lookup(&Dn::parse("/O=Grid/CN=bob").unwrap()), Some("bob"));
+    }
+
+    #[test]
+    fn proxy_subject_not_mapped_directly() {
+        // gridmaps hold user identities; proxies map via their effective
+        // identity after validation.
+        let mut map = Gridmap::new();
+        map.add(&Dn::parse("/O=Grid/CN=alice").unwrap(), "alice");
+        assert_eq!(map.lookup(&Dn::parse("/O=Grid/CN=alice/CN=proxy").unwrap()), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! `grid-proxy-init`: local proxy-credential creation (paper §2.3, §2.5).
+//!
+//! "A typical session with GSI would involve the user using their pass
+//! phrase and a GSI tool called grid-proxy-init to create a proxy
+//! credential from their long-term credential."
+
+use crate::credential::Credential;
+use crate::Result;
+use mp_crypto::rsa::RsaPrivateKey;
+use mp_x509::{CertBuilder, ProxyPolicy};
+use rand::Rng;
+
+/// Allowance for clock skew between hosts when back-dating notBefore.
+pub const CLOCK_SKEW_SLACK: u64 = 300;
+
+/// Options for proxy creation / delegation.
+#[derive(Clone, Debug)]
+pub struct ProxyOptions {
+    /// Requested proxy lifetime in seconds. Always clipped to the
+    /// remaining lifetime of the signing credential. Default 12 hours
+    /// ("usually on the order of hours or days", §2.3).
+    pub lifetime_secs: u64,
+    /// RSA modulus size for the fresh proxy key.
+    pub key_bits: usize,
+    /// Rights policy for the new proxy.
+    pub policy: ProxyPolicy,
+    /// Optional cap on further delegation depth below the new proxy.
+    pub path_len: Option<u64>,
+}
+
+impl Default for ProxyOptions {
+    fn default() -> Self {
+        ProxyOptions {
+            lifetime_secs: 12 * 3600,
+            key_bits: 512,
+            policy: ProxyPolicy::InheritAll,
+            path_len: None,
+        }
+    }
+}
+
+impl ProxyOptions {
+    /// Builder: set lifetime.
+    pub fn with_lifetime(mut self, secs: u64) -> Self {
+        self.lifetime_secs = secs;
+        self
+    }
+
+    /// Builder: set policy.
+    pub fn with_policy(mut self, policy: ProxyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The proxy CN component for this policy, following pre-RFC GSI
+    /// convention ("proxy" / "limited proxy").
+    pub fn proxy_cn(&self) -> &'static str {
+        match self.policy {
+            ProxyPolicy::Limited => "limited proxy",
+            ProxyPolicy::Restricted(_) => "restricted proxy",
+            _ => "proxy",
+        }
+    }
+}
+
+/// Create a proxy credential from `signer` — a fresh keypair and a proxy
+/// certificate signed by the signer's key. Works both for the user's
+/// local `grid-proxy-init` (signer = long-term credential) and for
+/// further chaining (signer = another proxy).
+pub fn grid_proxy_init<R: Rng + ?Sized>(
+    signer: &Credential,
+    opts: &ProxyOptions,
+    rng: &mut R,
+    now: u64,
+) -> Result<Credential> {
+    let proxy_key = RsaPrivateKey::generate(rng, opts.key_bits);
+    let cert = sign_proxy_cert(signer, opts, proxy_key.public_key(), rng, now)?;
+    let mut chain = Vec::with_capacity(signer.chain().len() + 1);
+    chain.push(cert);
+    chain.extend_from_slice(signer.chain());
+    Credential::new(chain, proxy_key)
+}
+
+/// Sign a proxy certificate binding `subject_key` below `signer`. This
+/// is the signing half of delegation: the key belongs to the *remote*
+/// party and never touches this host (paper §2.4).
+pub fn sign_proxy_cert<R: Rng + ?Sized>(
+    signer: &Credential,
+    opts: &ProxyOptions,
+    subject_key: &mp_crypto::rsa::RsaPublicKey,
+    rng: &mut R,
+    now: u64,
+) -> Result<mp_x509::Certificate> {
+    // A proxy can never outlive the credential that signs it.
+    let signer_expiry = signer
+        .chain()
+        .iter()
+        .map(|c| c.not_after())
+        .min()
+        .expect("credential chain nonempty");
+    let not_after = (now + opts.lifetime_secs).min(signer_expiry);
+    let not_before = now.saturating_sub(CLOCK_SKEW_SLACK);
+    let subject = signer.subject().with_cn(opts.proxy_cn());
+    Ok(CertBuilder::new(subject, not_before, not_after)
+        .random_serial(rng)
+        .proxy(opts.policy.clone(), opts.path_len)
+        .sign(signer.subject(), signer.key(), subject_key)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{validate_chain, CertificateAuthority, Dn};
+
+    fn user_credential() -> (CertificateAuthority, Credential) {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 500_000).unwrap();
+        (ca, Credential::new(vec![cert], key.clone()).unwrap())
+    }
+
+    #[test]
+    fn proxy_init_produces_valid_chain() {
+        let (ca, user) = user_credential();
+        let mut rng = test_drbg("proxy-init");
+        let proxy = grid_proxy_init(&user, &ProxyOptions::default(), &mut rng, 1000).unwrap();
+        assert!(proxy.is_proxy());
+        assert_eq!(proxy.chain().len(), 2);
+        let roots = [ca.certificate().clone()];
+        let v = validate_chain(proxy.chain(), &roots, 1000, &Default::default()).unwrap();
+        assert_eq!(&v.identity, user.subject());
+        assert_eq!(v.proxy_depth, 1);
+    }
+
+    #[test]
+    fn proxy_lifetime_clipped_to_signer() {
+        let (_ca, user) = user_credential();
+        let mut rng = test_drbg("clip");
+        let opts = ProxyOptions::default().with_lifetime(10_000_000);
+        let proxy = grid_proxy_init(&user, &opts, &mut rng, 1000).unwrap();
+        assert_eq!(proxy.leaf().not_after(), 500_000, "clipped to user cert expiry");
+    }
+
+    #[test]
+    fn proxy_notbefore_allows_clock_skew() {
+        let (_ca, user) = user_credential();
+        let mut rng = test_drbg("skew");
+        let proxy = grid_proxy_init(&user, &ProxyOptions::default(), &mut rng, 1000).unwrap();
+        assert_eq!(proxy.leaf().not_before(), 700);
+    }
+
+    #[test]
+    fn limited_proxy_gets_limited_cn_and_policy() {
+        let (ca, user) = user_credential();
+        let mut rng = test_drbg("limited");
+        let opts = ProxyOptions::default().with_policy(ProxyPolicy::Limited);
+        let proxy = grid_proxy_init(&user, &opts, &mut rng, 1000).unwrap();
+        assert_eq!(proxy.subject().last_cn(), Some("limited proxy"));
+        let roots = [ca.certificate().clone()];
+        let v = validate_chain(proxy.chain(), &roots, 1000, &Default::default()).unwrap();
+        assert!(v.is_limited);
+    }
+
+    #[test]
+    fn chained_proxy_init() {
+        let (ca, user) = user_credential();
+        let mut rng = test_drbg("chain");
+        let p1 = grid_proxy_init(&user, &ProxyOptions::default(), &mut rng, 1000).unwrap();
+        let p2 = grid_proxy_init(&p1, &ProxyOptions::default(), &mut rng, 1000).unwrap();
+        assert_eq!(p2.chain().len(), 3);
+        let roots = [ca.certificate().clone()];
+        let v = validate_chain(p2.chain(), &roots, 1000, &Default::default()).unwrap();
+        assert_eq!(v.proxy_depth, 2);
+        assert_eq!(&v.identity, user.subject());
+    }
+
+    #[test]
+    fn fresh_key_differs_from_signer_key() {
+        let (_ca, user) = user_credential();
+        let mut rng = test_drbg("freshkey");
+        let proxy = grid_proxy_init(&user, &ProxyOptions::default(), &mut rng, 1000).unwrap();
+        assert_ne!(proxy.key().public_key(), user.key().public_key());
+    }
+}

@@ -1,0 +1,210 @@
+//! Length-framed records, plaintext and sealed.
+//!
+//! The plaintext frames carry the handshake; after key agreement the
+//! [`SealedRecords`] layer gives the confidentiality + integrity +
+//! anti-replay properties SSL gives GSI (paper §2.2), via AES-CTR +
+//! HMAC-SHA256 with per-direction keys and sequence numbers.
+
+use crate::{GsiError, Result};
+use mp_crypto::ctr::KeyedBox;
+use std::io::{Read, Write};
+
+/// Cap on any record (handshake or data). Certificates and MyProxy
+/// payloads are small; this bounds a hostile peer.
+pub const MAX_RECORD: usize = 4 << 20;
+
+/// Write one `u32`-length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_RECORD {
+        return Err(GsiError::Protocol("outgoing record too large".into()));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_RECORD {
+        return Err(GsiError::Protocol("incoming record too large".into()));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Directional key material derived by the handshake.
+#[derive(Clone)]
+pub struct DirectionKeys {
+    /// AES-256 key.
+    pub enc: [u8; 32],
+    /// HMAC-SHA256 key.
+    pub mac: [u8; 32],
+}
+
+/// Sealing/opening of records for one side of a channel.
+///
+/// Each record is sealed with a nonce derived from the direction label
+/// and a monotonically increasing sequence number, and the sequence
+/// number is bound into the MAC (as AAD) — so replayed, reordered or
+/// cross-direction-reflected records all fail to open.
+pub struct SealedRecords {
+    send_keys: DirectionKeys,
+    recv_keys: DirectionKeys,
+    send_seq: u64,
+    recv_seq: u64,
+    send_label: u8,
+    recv_label: u8,
+}
+
+impl SealedRecords {
+    /// Build from handshake keys. `is_client` picks which direction is
+    /// which.
+    pub fn new(client_keys: DirectionKeys, server_keys: DirectionKeys, is_client: bool) -> Self {
+        let (send_keys, recv_keys, send_label, recv_label) = if is_client {
+            (client_keys, server_keys, b'C', b'S')
+        } else {
+            (server_keys, client_keys, b'S', b'C')
+        };
+        SealedRecords { send_keys, recv_keys, send_seq: 0, recv_seq: 0, send_label, recv_label }
+    }
+
+    fn nonce(label: u8, seq: u64) -> [u8; 16] {
+        let mut n = [0u8; 16];
+        n[0] = label;
+        n[8..].copy_from_slice(&seq.to_be_bytes());
+        n
+    }
+
+    /// Seal and send one record.
+    pub fn send<W: Write>(&mut self, w: &mut W, plaintext: &[u8]) -> Result<()> {
+        let nonce = Self::nonce(self.send_label, self.send_seq);
+        let aad = self.send_seq.to_be_bytes();
+        let sealed = KeyedBox::seal(&self.send_keys.enc, &self.send_keys.mac, &nonce, plaintext, &aad);
+        self.send_seq = self
+            .send_seq
+            .checked_add(1)
+            .ok_or_else(|| GsiError::Protocol("send sequence exhausted".into()))?;
+        write_frame(w, &sealed)
+    }
+
+    /// Receive and open one record.
+    pub fn recv<R: Read>(&mut self, r: &mut R) -> Result<Vec<u8>> {
+        let sealed = read_frame(r)?;
+        let nonce = Self::nonce(self.recv_label, self.recv_seq);
+        let aad = self.recv_seq.to_be_bytes();
+        let plaintext = KeyedBox::open(&self.recv_keys.enc, &self.recv_keys.mac, &nonce, &sealed, &aad)
+            .map_err(|_| GsiError::Crypto("record MAC verification failed"))?;
+        self.recv_seq += 1;
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex;
+
+    fn keys(tag: u8) -> DirectionKeys {
+        DirectionKeys { enc: [tag; 32], mac: [tag ^ 0xff; 32] }
+    }
+
+    fn pair() -> (SealedRecords, SealedRecords) {
+        (
+            SealedRecords::new(keys(1), keys(2), true),
+            SealedRecords::new(keys(1), keys(2), false),
+        )
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let (mut a, mut b) = duplex();
+        write_frame(&mut a, b"hello frames").unwrap();
+        assert_eq!(read_frame(&mut b).unwrap(), b"hello frames");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let (mut a, mut b) = duplex();
+        a.write_all(&(u32::MAX).to_be_bytes()).unwrap();
+        assert!(matches!(read_frame(&mut b), Err(GsiError::Protocol(_))));
+    }
+
+    #[test]
+    fn sealed_roundtrip_both_directions() {
+        let (mut c, mut s) = pair();
+        let (mut ct, mut st) = duplex();
+        c.send(&mut ct, b"from client").unwrap();
+        assert_eq!(s.recv(&mut st).unwrap(), b"from client");
+        s.send(&mut st, b"from server").unwrap();
+        assert_eq!(c.recv(&mut ct).unwrap(), b"from server");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut c, _s) = pair();
+        let (mut ct, mut st) = duplex();
+        c.send(&mut ct, b"TOP-SECRET-PASSPHRASE").unwrap();
+        let raw = read_frame(&mut st).unwrap();
+        assert!(!raw.windows(21).any(|w| w == b"TOP-SECRET-PASSPHRASE"));
+    }
+
+    #[test]
+    fn replayed_record_rejected() {
+        let (mut c, mut s) = pair();
+        let (mut ct, mut st) = duplex();
+        c.send(&mut ct, b"one").unwrap();
+        let raw = read_frame(&mut st).unwrap();
+        // Deliver it once legitimately...
+        let mut replay_buf = Vec::new();
+        replay_buf.extend_from_slice(&(raw.len() as u32).to_be_bytes());
+        replay_buf.extend_from_slice(&raw);
+        let mut cursor = std::io::Cursor::new(replay_buf.clone());
+        assert_eq!(s.recv(&mut cursor).unwrap(), b"one");
+        // ...then replay: the sequence number has advanced, MAC fails.
+        let mut cursor = std::io::Cursor::new(replay_buf);
+        assert!(s.recv(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let (mut c, mut s) = pair();
+        let (mut ct, mut st) = duplex();
+        c.send(&mut ct, b"payload").unwrap();
+        let mut raw = read_frame(&mut st).unwrap();
+        raw[0] ^= 1;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(raw.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&raw);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(s.recv(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn reflected_record_rejected() {
+        // A record sealed by the client cannot be opened by the client
+        // (direction label differs), blocking reflection attacks.
+        let (mut c, _s) = pair();
+        let (mut ct, mut st) = duplex();
+        c.send(&mut ct, b"to server").unwrap();
+        let raw = read_frame(&mut st).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(raw.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&raw);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(c.recv(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn wrong_keys_fail() {
+        let mut c = SealedRecords::new(keys(1), keys(2), true);
+        let mut s = SealedRecords::new(keys(3), keys(4), false);
+        let (mut ct, mut st) = duplex();
+        c.send(&mut ct, b"x").unwrap();
+        assert!(s.recv(&mut st).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Byte transports: anything `Read + Write + Send` works under the
+//! secure channel. Real deployments use TCP ([`std::net::TcpStream`]
+//! already qualifies); tests and benches use the in-memory [`duplex`]
+//! pipe; the §5.2 snooping experiments wrap either in a [`Tap`].
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// A bidirectional byte stream usable by the channel layer.
+pub trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// A boxed transport, for components (like the Grid portal) that are
+/// configured with connector closures rather than concrete stream types.
+pub type BoxedTransport = Box<dyn ReadWriteSend>;
+
+/// Object-safe supertrait bundle behind [`BoxedTransport`].
+pub trait ReadWriteSend: Read + Write + Send {}
+impl<T: Read + Write + Send> ReadWriteSend for T {}
+
+/// A connector: dials a fresh connection to some service.
+pub type Connector = std::sync::Arc<dyn Fn() -> std::io::Result<BoxedTransport> + Send + Sync>;
+
+/// Shared state of one direction of a [`duplex`] pipe.
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState { buf: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        st.buf.extend(data);
+        self.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        let mut st = self.state.lock();
+        while st.buf.is_empty() {
+            if st.closed {
+                return Ok(0); // EOF
+            }
+            self.readable.wait(&mut st);
+        }
+        let n = out.len().min(st.buf.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = st.buf.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One endpoint of an in-memory duplex connection.
+pub struct MemStream {
+    read_from: Arc<Pipe>,
+    write_to: Arc<Pipe>,
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.read_from.read(buf)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write_to.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for MemStream {
+    fn drop(&mut self) {
+        // Closing our write side EOFs the peer's reads; closing our read
+        // side makes the peer's writes fail fast.
+        self.write_to.close();
+        self.read_from.close();
+    }
+}
+
+/// Create a connected pair of in-memory streams. Blocking semantics
+/// mirror a TCP socket: reads wait for data, EOF on peer drop.
+pub fn duplex() -> (MemStream, MemStream) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    (
+        MemStream { read_from: b_to_a.clone(), write_to: a_to_b.clone() },
+        MemStream { read_from: a_to_b, write_to: b_to_a },
+    )
+}
+
+/// A wiretap: records every byte that passes in either direction.
+///
+/// Used by the security-property tests to play the network eavesdropper
+/// of paper §5.1/§5.2 ("all data passing to and from the server is
+/// encrypted") and to measure wire overhead in benches.
+pub struct Tap<T> {
+    inner: T,
+    log: Arc<Mutex<TapLog>>,
+}
+
+/// Everything a [`Tap`] captured.
+#[derive(Default, Clone)]
+pub struct TapLog {
+    /// Bytes written through the tap.
+    pub sent: Vec<u8>,
+    /// Bytes read through the tap.
+    pub received: Vec<u8>,
+}
+
+impl TapLog {
+    /// All captured bytes, both directions.
+    pub fn all(&self) -> Vec<u8> {
+        let mut v = self.sent.clone();
+        v.extend_from_slice(&self.received);
+        v
+    }
+
+    /// Does the capture contain `needle` as a substring?
+    pub fn contains(&self, needle: &[u8]) -> bool {
+        let all = self.all();
+        !needle.is_empty() && all.windows(needle.len()).any(|w| w == needle)
+    }
+}
+
+impl<T> Tap<T> {
+    /// Wrap `inner`, returning the tap and a handle to its capture log.
+    pub fn new(inner: T) -> (Self, Arc<Mutex<TapLog>>) {
+        let log = Arc::new(Mutex::new(TapLog::default()));
+        (Tap { inner, log: log.clone() }, log)
+    }
+}
+
+impl<T: Read> Read for Tap<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.log.lock().received.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for Tap<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.log.lock().sent.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn duplex_carries_bytes_both_ways() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn duplex_blocks_until_data_arrives() {
+        let (mut a, mut b) = duplex();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.write_all(b"later").unwrap();
+        assert_eq!(&t.join().unwrap(), b"later");
+    }
+
+    #[test]
+    fn drop_gives_eof() {
+        let (a, mut b) = duplex();
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_after_peer_drop_fails() {
+        let (mut a, b) = duplex();
+        drop(b);
+        assert!(a.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn tap_records_both_directions() {
+        let (a, mut b) = duplex();
+        let (mut tapped, log) = Tap::new(a);
+        tapped.write_all(b"secret-out").unwrap();
+        b.write_all(b"secret-in").unwrap();
+        let mut buf = [0u8; 9];
+        tapped.read_exact(&mut buf).unwrap();
+        let log = log.lock();
+        assert!(log.contains(b"secret-out"));
+        assert!(log.contains(b"secret-in"));
+        assert!(!log.contains(b"never-sent"));
+    }
+}

@@ -1,0 +1,129 @@
+//! A scriptable "standard web browser" (paper §3.1: "users must be able
+//! to use any standard web browser to access the Grid portals").
+//!
+//! Holds a cookie jar and nothing else — deliberately: the browser has
+//! *no Grid credentials and no GSI code* (§3.2), which is exactly the
+//! constraint MyProxy exists to bridge. It dials the portal through a
+//! connector, over plain HTTP or HTTPS-sim.
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::{tls, PortalError, Result};
+use mp_crypto::HmacDrbg;
+use mp_gsi::transport::Connector;
+use mp_x509::{Certificate, Dn};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+/// How the browser talks to the portal.
+pub enum BrowserMode {
+    /// Plain HTTP — snoopable; the §5.2 "what could go wrong" path.
+    Plain,
+    /// HTTPS-sim: validate the portal's certificate against these roots
+    /// (the browser's CA store), optionally pinning the DN.
+    Tls {
+        /// The browser's trusted CAs.
+        roots: Vec<Certificate>,
+        /// Pin the portal's identity.
+        expected: Option<Dn>,
+    },
+}
+
+/// The browser: cookie jar + connection mode.
+pub struct Browser {
+    connector: Connector,
+    mode: BrowserMode,
+    cookies: HashMap<String, String>,
+    rng: HmacDrbg,
+    /// Wall-clock for certificate validation.
+    pub now: u64,
+}
+
+impl Browser {
+    /// A browser dialing `connector` in `mode`.
+    pub fn new(connector: Connector, mode: BrowserMode, rng: HmacDrbg, now: u64) -> Self {
+        Browser { connector, mode, cookies: HashMap::new(), rng, now }
+    }
+
+    /// Send one request (one connection, HTTP/1.0 style), updating the
+    /// cookie jar from `Set-Cookie`.
+    pub fn request(&mut self, mut req: HttpRequest) -> Result<HttpResponse> {
+        if !self.cookies.is_empty() {
+            let jar = self
+                .cookies
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            req = req.with_header("cookie", &jar);
+        }
+        let transport = (self.connector)()?;
+        let resp = match &self.mode {
+            BrowserMode::Plain => {
+                let mut transport = transport;
+                transport.write_all(&req.to_bytes())?;
+                transport.flush()?;
+                let mut buf = Vec::new();
+                transport.read_to_end(&mut buf)?;
+                HttpResponse::from_bytes(&buf)?
+            }
+            BrowserMode::Tls { roots, expected } => {
+                let mut stream =
+                    tls::connect(transport, roots, expected.as_ref(), &mut self.rng, self.now)?;
+                stream.send(&req.to_bytes())?;
+                HttpResponse::from_bytes(&stream.recv()?)?
+            }
+        };
+        for (name, value) in &resp.headers {
+            if name == "set-cookie" {
+                if let Some((cookie, _attrs)) = value.split_once(';') {
+                    if let Some((k, v)) = cookie.trim().split_once('=') {
+                        self.cookies.insert(k.to_string(), v.to_string());
+                    }
+                } else if let Some((k, v)) = value.trim().split_once('=') {
+                    self.cookies.insert(k.to_string(), v.to_string());
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// GET a path.
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse> {
+        self.request(HttpRequest::get(path))
+    }
+
+    /// POST a form.
+    pub fn post(&mut self, path: &str, form: &[(&str, &str)]) -> Result<HttpResponse> {
+        self.request(HttpRequest::post_form(path, form))
+    }
+
+    /// Log in to the portal (Figure 3 step 1).
+    pub fn login(&mut self, username: &str, passphrase: &str) -> Result<HttpResponse> {
+        self.post("/login", &[("username", username), ("passphrase", passphrase)])
+    }
+
+    /// Log out (deletes the delegated credential portal-side, §4.3).
+    pub fn logout(&mut self) -> Result<HttpResponse> {
+        self.post("/logout", &[])
+    }
+
+    /// The current session cookie, if logged in.
+    pub fn session_cookie(&self) -> Option<&str> {
+        self.cookies.get(crate::session::COOKIE).map(String::as_str)
+    }
+
+    /// Forget all cookies (close the browser).
+    pub fn clear_cookies(&mut self) {
+        self.cookies.clear();
+    }
+}
+
+/// Convenience: check an HTTP response is a success, else surface the
+/// body as the error.
+pub fn expect_ok(resp: HttpResponse) -> Result<HttpResponse> {
+    if resp.status == 200 {
+        Ok(resp)
+    } else {
+        Err(PortalError::Http(format!("HTTP {}: {}", resp.status, resp.text())))
+    }
+}

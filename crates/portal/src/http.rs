@@ -1,0 +1,406 @@
+//! Minimal HTTP/1.0 messages: request line, headers, Content-Length
+//! bodies, cookies, and `application/x-www-form-urlencoded` forms.
+//! One request/response per connection (HTTP/1.0 style keeps the
+//! portal's connection handling trivial, as the 2001-era CGI portals
+//! did).
+
+use crate::{PortalError, Result};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// GET, POST, ...
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Raw body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Build a GET.
+    pub fn get(path_and_query: &str) -> Self {
+        let (path, query) = split_query(path_and_query);
+        HttpRequest { method: "GET".into(), path, query, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Build a POST with a form body.
+    pub fn post_form(path: &str, form: &[(&str, &str)]) -> Self {
+        let body = encode_form(form).into_bytes();
+        let (path, query) = split_query(path);
+        HttpRequest {
+            method: "POST".into(),
+            path,
+            query,
+            headers: vec![(
+                "content-type".into(),
+                "application/x-www-form-urlencoded".into(),
+            )],
+            body,
+        }
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of cookie `name` from the `Cookie:` header.
+    pub fn cookie(&self, name: &str) -> Option<String> {
+        let header = self.header("cookie")?;
+        for pair in header.split(';') {
+            let (k, v) = pair.trim().split_once('=')?;
+            if k == name {
+                return Some(v.to_string());
+            }
+        }
+        None
+    }
+
+    /// Parse the body as a urlencoded form.
+    pub fn form(&self) -> Vec<(String, String)> {
+        decode_form(std::str::from_utf8(&self.body).unwrap_or(""))
+    }
+
+    /// First form value by key.
+    pub fn form_value(&self, key: &str) -> Option<String> {
+        self.form().into_iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// First query value by key.
+    pub fn query_value(&self, key: &str) -> Option<String> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut target = self.path.clone();
+        if !self.query.is_empty() {
+            target.push('?');
+            target.push_str(&encode_form(
+                &self.query.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect::<Vec<_>>(),
+            ));
+        }
+        let mut out = format!("{} {} HTTP/1.0\r\n", self.method, target).into_bytes();
+        for (n, v) in &self.headers {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse wire bytes (a complete message).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.lines();
+        let request_line = lines
+            .next()
+            .ok_or_else(|| PortalError::Http("empty request".into()))?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| PortalError::Http("missing method".into()))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or_else(|| PortalError::Http("missing path".into()))?;
+        let (path, query) = split_query(target);
+        let headers = parse_headers(lines)?;
+        let body = limit_body(&headers, body)?;
+        Ok(HttpRequest { method, path, query, headers, body })
+    }
+}
+
+/// A response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// 200 with a text/html body.
+    pub fn ok_html(body: &str) -> Self {
+        HttpResponse {
+            status: 200,
+            headers: vec![("content-type".into(), "text/html".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// 200 with a text/plain body.
+    pub fn ok_text(body: &str) -> Self {
+        HttpResponse {
+            status: 200,
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// An error status with a plain-text body.
+    pub fn error(status: u16, message: &str) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_lowercase(), value.to_string()));
+        self
+    }
+
+    /// Set a session cookie.
+    pub fn with_cookie(self, name: &str, value: &str) -> Self {
+        self.with_header("set-cookie", &format!("{name}={value}; HttpOnly"))
+    }
+
+    /// First header by name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            302 => "Found",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            _ => "Status",
+        };
+        let mut out = format!("HTTP/1.0 {} {}\r\n", self.status, reason).into_bytes();
+        for (n, v) in &self.headers {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.lines();
+        let status_line = lines
+            .next()
+            .ok_or_else(|| PortalError::Http("empty response".into()))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PortalError::Http("malformed status line".into()))?;
+        let headers = parse_headers(lines)?;
+        let body = limit_body(&headers, body)?;
+        Ok(HttpResponse { status, headers, body })
+    }
+}
+
+fn split_head(bytes: &[u8]) -> Result<(String, Vec<u8>)> {
+    let sep = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| PortalError::Http("missing header terminator".into()))?;
+    let head = String::from_utf8(bytes[..sep].to_vec())
+        .map_err(|_| PortalError::Http("headers not UTF-8".into()))?;
+    Ok((head, bytes[sep + 4..].to_vec()))
+}
+
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (n, v) = line
+            .split_once(':')
+            .ok_or_else(|| PortalError::Http("malformed header".into()))?;
+        headers.push((n.trim().to_lowercase(), v.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn limit_body(headers: &[(String, String)], body: Vec<u8>) -> Result<Vec<u8>> {
+    let declared: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(body.len());
+    if declared > body.len() {
+        return Err(PortalError::Http("truncated body".into()));
+    }
+    let mut body = body;
+    body.truncate(declared);
+    Ok(body)
+}
+
+fn split_query(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        Some((path, q)) => (path.to_string(), decode_form(q)),
+        None => (target.to_string(), Vec::new()),
+    }
+}
+
+/// Percent-encode a form value.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-decode a form value.
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = std::str::from_utf8(&bytes[i + 1..(i + 3).min(bytes.len())]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(v) if hex.len() == 2 => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn encode_form(pairs: &[(&str, &str)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", url_encode(k), url_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+fn decode_form(s: &str) -> Vec<(String, String)> {
+    s.split('&')
+        .filter(|p| !p.is_empty())
+        .filter_map(|p| {
+            let (k, v) = p.split_once('=')?;
+            Some((url_decode(k), url_decode(v)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_form() {
+        let req = HttpRequest::post_form("/login", &[("username", "jdoe"), ("passphrase", "a b&c=d")]);
+        let bytes = req.to_bytes();
+        let back = HttpRequest::from_bytes(&bytes).unwrap();
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/login");
+        assert_eq!(back.form_value("username").as_deref(), Some("jdoe"));
+        assert_eq!(back.form_value("passphrase").as_deref(), Some("a b&c=d"));
+    }
+
+    #[test]
+    fn query_string_parsing() {
+        let req = HttpRequest::get("/job?id=42&verbose=1");
+        let bytes = req.to_bytes();
+        let back = HttpRequest::from_bytes(&bytes).unwrap();
+        assert_eq!(back.path, "/job");
+        assert_eq!(back.query_value("id").as_deref(), Some("42"));
+        assert_eq!(back.query_value("verbose").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn cookie_parsing() {
+        let req = HttpRequest::get("/").with_header("Cookie", "MPSESSION=abc123; other=x");
+        assert_eq!(req.cookie("MPSESSION").as_deref(), Some("abc123"));
+        assert_eq!(req.cookie("other").as_deref(), Some("x"));
+        assert!(req.cookie("missing").is_none());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok_html("<h1>hi</h1>").with_cookie("MPSESSION", "tok");
+        let back = HttpResponse::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.text(), "<h1>hi</h1>");
+        assert!(back.header("set-cookie").unwrap().starts_with("MPSESSION=tok"));
+    }
+
+    #[test]
+    fn url_encoding_roundtrip() {
+        for s in ["hello world", "a+b=c&d", "ünïcode", "100%"] {
+            assert_eq!(url_decode(&url_encode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(HttpRequest::from_bytes(b"GET /").is_err()); // no terminator
+        assert!(HttpRequest::from_bytes(b"\r\n\r\n").is_err()); // no method
+        assert!(HttpResponse::from_bytes(b"HTTP/1.0\r\n\r\n").is_err()); // no code
+        // Declared longer than actual body.
+        assert!(HttpRequest::from_bytes(b"GET / HTTP/1.0\r\ncontent-length: 99\r\n\r\nxx").is_err());
+    }
+
+    #[test]
+    fn body_respects_content_length() {
+        let bytes = b"GET / HTTP/1.0\r\ncontent-length: 2\r\n\r\nxxEXTRA";
+        let req = HttpRequest::from_bytes(bytes).unwrap();
+        assert_eq!(req.body, b"xx");
+    }
+}

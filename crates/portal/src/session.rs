@@ -1,0 +1,160 @@
+//! Web sessions: cookie → (user, delegated proxy).
+//!
+//! Paper §5.2: "it is the portal's responsibility to not only maintain
+//! the user's credentials while in use, but to map the credentials to
+//! the user's web session … often accomplished with cookies." And §4.3:
+//! "The operation of logging out of the portal deletes the user's
+//! delegated credential on the portal."
+
+use mp_gsi::Credential;
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One logged-in browser session.
+#[derive(Clone)]
+pub struct Session {
+    /// MyProxy account name the user logged in with.
+    pub username: String,
+    /// The proxy the repository delegated to the portal for this user.
+    pub proxy: Credential,
+    /// Login time.
+    pub created_at: u64,
+}
+
+/// Cookie-token session table.
+#[derive(Default)]
+pub struct SessionManager {
+    sessions: RwLock<HashMap<String, Session>>,
+}
+
+/// The session cookie name.
+pub const COOKIE: &str = "MPSESSION";
+
+impl SessionManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a session; returns the cookie token (128-bit hex).
+    pub fn create<R: Rng + ?Sized>(
+        &self,
+        username: &str,
+        proxy: Credential,
+        now: u64,
+        rng: &mut R,
+    ) -> String {
+        let mut raw = [0u8; 16];
+        rng.fill(&mut raw);
+        let token = mp_crypto::hex(&raw);
+        self.sessions.write().insert(
+            token.clone(),
+            Session { username: username.to_string(), proxy, created_at: now },
+        );
+        token
+    }
+
+    /// Look up a live session whose proxy is still valid at `now`.
+    /// Sessions with expired proxies are removed on sight ("if a user
+    /// forgets to log off, the credential will expire", §4.3).
+    pub fn get(&self, token: &str, now: u64) -> Option<Session> {
+        let mut sessions = self.sessions.write();
+        match sessions.get(token) {
+            Some(s) if s.proxy.remaining_lifetime(now) > 0 => Some(s.clone()),
+            Some(_) => {
+                sessions.remove(token);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Logout: delete the session and with it the delegated credential.
+    pub fn destroy(&self, token: &str) -> bool {
+        self.sessions.write().remove(token).is_some()
+    }
+
+    /// Number of live sessions (including possibly-expired ones not yet
+    /// touched).
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.read().is_empty()
+    }
+
+    /// Drop all sessions whose proxy has expired; returns count removed.
+    pub fn sweep(&self, now: u64) -> usize {
+        let mut sessions = self.sessions.write();
+        let before = sessions.len();
+        sessions.retain(|_, s| s.proxy.remaining_lifetime(now) > 0);
+        before - sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn};
+
+    fn proxy(not_after: u64) -> Credential {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, not_after).unwrap();
+        Credential::new(vec![cert], key.clone()).unwrap()
+    }
+
+    #[test]
+    fn create_get_destroy() {
+        let mgr = SessionManager::new();
+        let mut rng = test_drbg("sessions");
+        let token = mgr.create("alice", proxy(10_000), 100, &mut rng);
+        assert_eq!(token.len(), 32);
+        let s = mgr.get(&token, 200).unwrap();
+        assert_eq!(s.username, "alice");
+        assert!(mgr.destroy(&token));
+        assert!(mgr.get(&token, 200).is_none());
+        assert!(!mgr.destroy(&token));
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let mgr = SessionManager::new();
+        let mut rng = test_drbg("sessions uniq");
+        let t1 = mgr.create("a", proxy(10_000), 0, &mut rng);
+        let t2 = mgr.create("a", proxy(10_000), 0, &mut rng);
+        assert_ne!(t1, t2);
+        assert_eq!(mgr.len(), 2);
+    }
+
+    #[test]
+    fn expired_proxy_invalidates_session() {
+        let mgr = SessionManager::new();
+        let mut rng = test_drbg("sessions exp");
+        let token = mgr.create("alice", proxy(1000), 100, &mut rng);
+        assert!(mgr.get(&token, 500).is_some());
+        assert!(mgr.get(&token, 1500).is_none(), "proxy expired ⇒ session dead");
+        assert!(mgr.is_empty(), "expired session removed");
+    }
+
+    #[test]
+    fn sweep_collects_expired() {
+        let mgr = SessionManager::new();
+        let mut rng = test_drbg("sessions sweep");
+        mgr.create("a", proxy(1000), 0, &mut rng);
+        mgr.create("b", proxy(99_999), 0, &mut rng);
+        assert_eq!(mgr.sweep(2000), 1);
+        assert_eq!(mgr.len(), 1);
+    }
+}

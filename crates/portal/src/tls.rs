@@ -1,0 +1,314 @@
+//! HTTPS-sim: a one-way-authenticated encrypted pipe in the shape of
+//! web TLS.
+//!
+//! Paper §5.2: "The portal web server must currently be configured to
+//! only allow HTTP connections secured with SSL encryption (HTTPS),
+//! since transmitting the name and pass phrase over unencrypted HTTP
+//! would allow any intruder to snoop the pass phrase."
+//!
+//! The GSI channel (`mp_gsi::channel`) requires *mutual* certificate
+//! authentication — but a web browser has no Grid credentials; that gap
+//! is the whole reason MyProxy exists (§3.2). So the browser↔portal leg
+//! uses this module instead: the browser validates the portal's
+//! certificate and transports a premaster to it, exactly the
+//! server-auth-only shape of 2001-era HTTPS. Same primitives
+//! (RSA-PKCS#1 key transport, HMAC key schedule, sealed records), no
+//! client certificate.
+
+use crate::{PortalError, Result};
+use mp_crypto::hmac::HmacSha256;
+use mp_crypto::{ct_eq, Sha256};
+use mp_gsi::record::{read_frame, write_frame, DirectionKeys, SealedRecords};
+use mp_gsi::transport::Transport;
+use mp_gsi::wire::{WireReader, WireWriter};
+use mp_x509::{validate_chain, Certificate, Dn, ValidationOptions};
+use mp_crypto::rsa::RsaPrivateKey;
+use rand::Rng;
+
+/// An established HTTPS-sim connection (either side).
+pub struct TlsStream<T: Transport> {
+    transport: T,
+    records: SealedRecords,
+}
+
+impl<T: Transport> TlsStream<T> {
+    /// Send one message (e.g. a full HTTP request).
+    pub fn send(&mut self, data: &[u8]) -> Result<()> {
+        self.records
+            .send(&mut self.transport, data)
+            .map_err(|e| PortalError::Tls(e.to_string()))
+    }
+
+    /// Receive one message.
+    pub fn recv(&mut self) -> Result<Vec<u8>> {
+        self.records
+            .recv(&mut self.transport)
+            .map_err(|e| PortalError::Tls(e.to_string()))
+    }
+}
+
+fn derive(premaster: &[u8], rc: &[u8; 32], rs: &[u8; 32], label: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(premaster);
+    mac.update(label);
+    mac.update(rc);
+    mac.update(rs);
+    mac.finalize()
+}
+
+fn key_schedule(premaster: &[u8], rc: &[u8; 32], rs: &[u8; 32]) -> (DirectionKeys, DirectionKeys, [u8; 32]) {
+    (
+        DirectionKeys { enc: derive(premaster, rc, rs, b"web c2s enc"), mac: derive(premaster, rc, rs, b"web c2s mac") },
+        DirectionKeys { enc: derive(premaster, rc, rs, b"web s2c enc"), mac: derive(premaster, rc, rs, b"web s2c mac") },
+        derive(premaster, rc, rs, b"web master"),
+    )
+}
+
+/// Browser side: validate the server chain against `trust_roots` (the
+/// browser's CA store) and optionally pin the expected server DN.
+pub fn connect<T: Transport, R: Rng + ?Sized>(
+    mut transport: T,
+    trust_roots: &[Certificate],
+    expected_server: Option<&Dn>,
+    rng: &mut R,
+    now: u64,
+) -> Result<TlsStream<T>> {
+    let mut transcript = Sha256::new();
+
+    let mut random_c = [0u8; 32];
+    rng.fill(&mut random_c);
+    let mut hello = WireWriter::new();
+    hello.bytes(&random_c);
+    let hello = hello.into_bytes();
+    transcript.update(&hello);
+    write_frame(&mut transport, &hello).map_err(tls_err)?;
+
+    let server_hello = read_frame(&mut transport).map_err(tls_err)?;
+    transcript.update(&server_hello);
+    let mut r = WireReader::new(&server_hello);
+    let random_s: [u8; 32] = r
+        .bytes()
+        .map_err(tls_err)?
+        .try_into()
+        .map_err(|_| PortalError::Tls("bad server random".into()))?;
+    let chain_der = r.byte_list().map_err(tls_err)?;
+    r.finish().map_err(tls_err)?;
+    let chain: Vec<Certificate> = chain_der
+        .iter()
+        .map(|d| Certificate::from_der(d))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| PortalError::Tls(e.to_string()))?;
+    let validated = validate_chain(&chain, trust_roots, now, &ValidationOptions::default())
+        .map_err(|e| PortalError::Tls(format!("server certificate rejected: {e}")))?;
+    if let Some(expected) = expected_server {
+        if &validated.identity != expected {
+            return Err(PortalError::Tls(format!(
+                "server identity {} does not match expected {expected}",
+                validated.identity
+            )));
+        }
+    }
+
+    let mut premaster = [0u8; 48];
+    rng.fill(&mut premaster[..32]);
+    rng.fill(&mut premaster[32..]);
+    let enc = chain[0]
+        .public_key()
+        .encrypt(rng, &premaster)
+        .map_err(|_| PortalError::Tls("premaster encryption failed".into()))?;
+    let mut kx = WireWriter::new();
+    kx.bytes(&enc);
+    let kx = kx.into_bytes();
+    transcript.update(&kx);
+    write_frame(&mut transport, &kx).map_err(tls_err)?;
+
+    let (c2s, s2c, master) = key_schedule(&premaster, &random_c, &random_s);
+    let transcript_hash = transcript.finalize();
+
+    // Server Finished proves it decrypted the premaster (i.e. holds the
+    // certified key) — this is the entire server authentication.
+    let fin = read_frame(&mut transport).map_err(tls_err)?;
+    let expect = {
+        let mut m = HmacSha256::new(&master);
+        m.update(b"server finished");
+        m.update(&transcript_hash);
+        m.finalize()
+    };
+    if !ct_eq(&fin, &expect) {
+        return Err(PortalError::Tls("server Finished MAC mismatch".into()));
+    }
+    let mine = {
+        let mut m = HmacSha256::new(&master);
+        m.update(b"client finished");
+        m.update(&transcript_hash);
+        m.finalize()
+    };
+    write_frame(&mut transport, &mine).map_err(tls_err)?;
+
+    Ok(TlsStream { transport, records: SealedRecords::new(c2s, s2c, true) })
+}
+
+/// Portal side: present `chain` (leaf first) and `key`.
+pub fn accept<T: Transport, R: Rng + ?Sized>(
+    mut transport: T,
+    chain: &[Certificate],
+    key: &RsaPrivateKey,
+    rng: &mut R,
+) -> Result<TlsStream<T>> {
+    let mut transcript = Sha256::new();
+
+    let hello = read_frame(&mut transport).map_err(tls_err)?;
+    transcript.update(&hello);
+    let mut r = WireReader::new(&hello);
+    let random_c: [u8; 32] = r
+        .bytes()
+        .map_err(tls_err)?
+        .try_into()
+        .map_err(|_| PortalError::Tls("bad client random".into()))?;
+    r.finish().map_err(tls_err)?;
+
+    let mut random_s = [0u8; 32];
+    rng.fill(&mut random_s);
+    let mut sh = WireWriter::new();
+    sh.bytes(&random_s);
+    sh.byte_list(&chain.iter().map(|c| c.to_der().to_vec()).collect::<Vec<_>>());
+    let sh = sh.into_bytes();
+    transcript.update(&sh);
+    write_frame(&mut transport, &sh).map_err(tls_err)?;
+
+    let kx = read_frame(&mut transport).map_err(tls_err)?;
+    transcript.update(&kx);
+    let mut r = WireReader::new(&kx);
+    let enc = r.bytes().map_err(tls_err)?;
+    r.finish().map_err(tls_err)?;
+    let premaster = key
+        .decrypt(enc)
+        .map_err(|_| PortalError::Tls("premaster decryption failed".into()))?;
+    if premaster.len() != 48 {
+        return Err(PortalError::Tls("premaster wrong length".into()));
+    }
+
+    let (c2s, s2c, master) = key_schedule(&premaster, &random_c, &random_s);
+    let transcript_hash = transcript.finalize();
+
+    let mine = {
+        let mut m = HmacSha256::new(&master);
+        m.update(b"server finished");
+        m.update(&transcript_hash);
+        m.finalize()
+    };
+    write_frame(&mut transport, &mine).map_err(tls_err)?;
+    let fin = read_frame(&mut transport).map_err(tls_err)?;
+    let expect = {
+        let mut m = HmacSha256::new(&master);
+        m.update(b"client finished");
+        m.update(&transcript_hash);
+        m.finalize()
+    };
+    if !ct_eq(&fin, &expect) {
+        return Err(PortalError::Tls("client Finished MAC mismatch".into()));
+    }
+
+    Ok(TlsStream { transport, records: SealedRecords::new(c2s, s2c, false) })
+}
+
+fn tls_err(e: mp_gsi::GsiError) -> PortalError {
+    PortalError::Tls(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_gsi::transport::{duplex, Tap};
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn};
+
+    fn portal_chain() -> (CertificateAuthority, Vec<Certificate>, &'static RsaPrivateKey) {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=portal.sdsc.edu").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 500_000).unwrap();
+        (ca, vec![cert], key)
+    }
+
+    #[test]
+    fn browser_exchanges_data_with_portal() {
+        let (ca, chain, key) = portal_chain();
+        let (bt, pt) = duplex();
+        let chain2 = chain.clone();
+        let server = std::thread::spawn(move || {
+            let mut rng = test_drbg("tls server");
+            let mut s = accept(pt, &chain2, key, &mut rng).unwrap();
+            let req = s.recv().unwrap();
+            assert_eq!(req, b"GET /");
+            s.send(b"200 OK").unwrap();
+        });
+        let mut rng = test_drbg("tls client");
+        let roots = [ca.certificate().clone()];
+        let mut c = connect(bt, &roots, None, &mut rng, 100).unwrap();
+        c.send(b"GET /").unwrap();
+        assert_eq!(c.recv().unwrap(), b"200 OK");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn browser_rejects_untrusted_portal() {
+        let (_ca, chain, key) = portal_chain();
+        let other_ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Other/CN=CA").unwrap(),
+            test_rsa_key(5).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let (bt, pt) = duplex();
+        std::thread::spawn(move || {
+            let mut rng = test_drbg("tls server 2");
+            let _ = accept(pt, &chain, key, &mut rng);
+        });
+        let mut rng = test_drbg("tls client 2");
+        let roots = [other_ca.certificate().clone()];
+        assert!(matches!(connect(bt, &roots, None, &mut rng, 100), Err(PortalError::Tls(_))));
+    }
+
+    #[test]
+    fn browser_pins_expected_identity() {
+        let (ca, chain, key) = portal_chain();
+        let (bt, pt) = duplex();
+        std::thread::spawn(move || {
+            let mut rng = test_drbg("tls server 3");
+            let _ = accept(pt, &chain, key, &mut rng);
+        });
+        let mut rng = test_drbg("tls client 3");
+        let roots = [ca.certificate().clone()];
+        let wrong = Dn::parse("/O=Grid/CN=portal.evil.example").unwrap();
+        assert!(matches!(
+            connect(bt, &roots, Some(&wrong), &mut rng, 100),
+            Err(PortalError::Tls(_))
+        ));
+    }
+
+    #[test]
+    fn wire_hides_payload() {
+        let (ca, chain, key) = portal_chain();
+        let (bt, pt) = duplex();
+        let (bt_tapped, log) = Tap::new(bt);
+        let server = std::thread::spawn(move || {
+            let mut rng = test_drbg("tls server 4");
+            let mut s = accept(pt, &chain, key, &mut rng).unwrap();
+            s.recv().unwrap()
+        });
+        let mut rng = test_drbg("tls client 4");
+        let roots = [ca.certificate().clone()];
+        let mut c = connect(bt_tapped, &roots, None, &mut rng, 100).unwrap();
+        c.send(b"passphrase=super-secret-42").unwrap();
+        let got = server.join().unwrap();
+        assert_eq!(got, b"passphrase=super-secret-42");
+        assert!(!log.lock().contains(b"super-secret-42"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Route-level tests of the Grid portal: request handling, session
+//! plumbing, error paths, and the TLS-requirement policy — using
+//! `handle_request` directly (no transport) plus a wired MyProxy
+//! repository for the login path.
+
+use mp_crypto::HmacDrbg;
+use mp_gsi::transport::{BoxedTransport, Connector};
+use mp_gsi::Credential;
+use mp_myproxy::client::InitParams;
+use mp_myproxy::{MyProxyClient, MyProxyServer, ServerPolicy};
+use mp_portal::http::HttpRequest;
+use mp_portal::portal::{GridPortal, PortalConfig};
+use mp_portal::session::COOKIE;
+use mp_x509::test_util::{test_drbg, test_rsa_key};
+use mp_x509::{CertificateAuthority, Clock, Dn, SimClock};
+use std::sync::Arc;
+
+struct World {
+    portal: GridPortal,
+    clock: SimClock,
+}
+
+fn world(require_tls: bool) -> World {
+    let clock = SimClock::new(5000);
+    let mut ca = CertificateAuthority::new_root(
+        Dn::parse("/O=Grid/CN=CA").unwrap(),
+        test_rsa_key(0).clone(),
+        0,
+        100_000_000,
+    )
+    .unwrap();
+    let mk = |ca: &mut CertificateAuthority, i: usize, dn: &str| {
+        let key = test_rsa_key(i);
+        let dn = Dn::parse(dn).unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 50_000_000).unwrap();
+        Credential::new(vec![cert], key.clone()).unwrap()
+    };
+    let alice = mk(&mut ca, 1, "/O=Grid/CN=alice");
+    let portal_cred = mk(&mut ca, 2, "/O=Grid/CN=portal");
+    let server_cred = mk(&mut ca, 3, "/O=Grid/CN=myproxy");
+    let roots = vec![ca.certificate().clone()];
+
+    let myproxy = MyProxyServer::new(
+        server_cred,
+        roots.clone(),
+        ServerPolicy::permissive(),
+        Arc::new(clock.clone()),
+        HmacDrbg::new(b"portal routes myproxy"),
+    );
+    // Seed alice's credential.
+    let client = MyProxyClient::new(roots.clone(), None);
+    let mut rng = test_drbg("routes seed");
+    client
+        .init(
+            myproxy.connect_local(),
+            &alice,
+            &InitParams::new("alice", "route pass phrase"),
+            &mut rng,
+            clock.now(),
+        )
+        .unwrap();
+
+    let myproxy_conn: Connector = {
+        let s = myproxy.clone();
+        Arc::new(move || Ok(Box::new(s.connect_local()) as BoxedTransport))
+    };
+    let portal = GridPortal::new(PortalConfig {
+        credential: portal_cred,
+        trust_roots: roots,
+        myproxy: myproxy_conn,
+        myproxy_identity: Some(Dn::parse("/O=Grid/CN=myproxy").unwrap()),
+        jobmanager: None,
+        storage: None,
+        clock: Arc::new(clock.clone()),
+        require_tls,
+        rng: HmacDrbg::new(b"portal routes portal"),
+    });
+    World { portal, clock }
+}
+
+fn login(w: &World, secure: bool) -> mp_portal::http::HttpResponse {
+    let req = HttpRequest::post_form(
+        "/login",
+        &[("username", "alice"), ("passphrase", "route pass phrase")],
+    );
+    w.portal.handle_request(&req, secure)
+}
+
+fn cookie_of(resp: &mp_portal::http::HttpResponse) -> String {
+    let set = resp.header("set-cookie").expect("cookie expected");
+    set.split(';').next().unwrap().split_once('=').unwrap().1.to_string()
+}
+
+#[test]
+fn login_page_served_on_both_transports() {
+    let w = world(true);
+    for secure in [true, false] {
+        let resp = w.portal.handle_request(&HttpRequest::get("/"), secure);
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains("Grid Portal"));
+    }
+}
+
+#[test]
+fn tls_requirement_gates_login_only() {
+    let w = world(true);
+    assert_eq!(login(&w, false).status, 403);
+    assert_eq!(login(&w, true).status, 200);
+    // With require_tls = false (an intranet deployment), HTTP works too.
+    let w = world(false);
+    assert_eq!(login(&w, false).status, 200);
+}
+
+#[test]
+fn missing_form_fields_are_400() {
+    let w = world(true);
+    let resp = w
+        .portal
+        .handle_request(&HttpRequest::post_form("/login", &[("username", "alice")]), true);
+    assert_eq!(resp.status, 400);
+    let resp = w
+        .portal
+        .handle_request(&HttpRequest::post_form("/login", &[("passphrase", "x")]), true);
+    assert_eq!(resp.status, 400);
+}
+
+#[test]
+fn unknown_route_is_404() {
+    let w = world(true);
+    assert_eq!(w.portal.handle_request(&HttpRequest::get("/nope"), true).status, 404);
+    assert_eq!(
+        w.portal
+            .handle_request(&HttpRequest::post_form("/login2", &[]), true)
+            .status,
+        404
+    );
+}
+
+#[test]
+fn whoami_requires_session() {
+    let w = world(true);
+    assert_eq!(w.portal.handle_request(&HttpRequest::get("/whoami"), true).status, 401);
+
+    let resp = login(&w, true);
+    let token = cookie_of(&resp);
+    let req = HttpRequest::get("/whoami").with_header("cookie", &format!("{COOKIE}={token}"));
+    let resp = w.portal.handle_request(&req, true);
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("user=alice"));
+
+    // Garbage cookie.
+    let req = HttpRequest::get("/whoami").with_header("cookie", &format!("{COOKIE}=bogus"));
+    assert_eq!(w.portal.handle_request(&req, true).status, 401);
+}
+
+#[test]
+fn custom_lifetime_is_passed_through() {
+    let w = world(true);
+    let req = HttpRequest::post_form(
+        "/login",
+        &[
+            ("username", "alice"),
+            ("passphrase", "route pass phrase"),
+            ("lifetime", "600"),
+        ],
+    );
+    let resp = w.portal.handle_request(&req, true);
+    assert_eq!(resp.status, 200);
+    let token = cookie_of(&resp);
+    let session = w.portal.sessions().get(&token, w.clock.now()).unwrap();
+    assert_eq!(session.proxy.remaining_lifetime(w.clock.now()), 600);
+}
+
+#[test]
+fn job_routes_without_jobmanager_are_404() {
+    let w = world(true);
+    let resp = login(&w, true);
+    let token = cookie_of(&resp);
+    let cookie = format!("{COOKIE}={token}");
+    let req = HttpRequest::post_form("/submit", &[("name", "j")]).with_header("cookie", &cookie);
+    assert_eq!(w.portal.handle_request(&req, true).status, 404);
+    let req = HttpRequest::get("/job?id=1").with_header("cookie", &cookie);
+    assert_eq!(w.portal.handle_request(&req, true).status, 404);
+    let req = HttpRequest::post_form("/store", &[("filename", "f")]).with_header("cookie", &cookie);
+    assert_eq!(w.portal.handle_request(&req, true).status, 404);
+}
+
+#[test]
+fn logout_without_session_is_401_and_idempotence() {
+    let w = world(true);
+    assert_eq!(
+        w.portal.handle_request(&HttpRequest::post_form("/logout", &[]), true).status,
+        401
+    );
+    let resp = login(&w, true);
+    let token = cookie_of(&resp);
+    let req =
+        HttpRequest::post_form("/logout", &[]).with_header("cookie", &format!("{COOKIE}={token}"));
+    assert_eq!(w.portal.handle_request(&req, true).status, 200);
+    // Second logout with the same cookie fails.
+    let req =
+        HttpRequest::post_form("/logout", &[]).with_header("cookie", &format!("{COOKIE}={token}"));
+    assert_eq!(w.portal.handle_request(&req, true).status, 401);
+}
+
+#[test]
+fn sessions_expire_with_clock() {
+    let w = world(true);
+    let resp = login(&w, true);
+    let token = cookie_of(&resp);
+    let cookie = format!("{COOKIE}={token}");
+    let req = HttpRequest::get("/whoami").with_header("cookie", &cookie);
+    assert_eq!(w.portal.handle_request(&req, true).status, 200);
+    w.clock.advance(3 * 3600); // past the 2h proxy
+    let req = HttpRequest::get("/whoami").with_header("cookie", &cookie);
+    assert_eq!(w.portal.handle_request(&req, true).status, 401);
+}

@@ -1,0 +1,246 @@
+//! Certificate construction: a general builder plus the CA convenience
+//! wrapper used throughout tests, examples and benches.
+
+use crate::cert::{encode_tbs, Certificate};
+use crate::ext::{Extension, KeyUsage, ProxyPolicy};
+use crate::name::Dn;
+use crate::X509Error;
+use mp_bignum::BigUint;
+use mp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use rand::Rng;
+
+/// Fluent builder for X.509 v3 certificates.
+pub struct CertBuilder {
+    serial: BigUint,
+    issuer: Dn,
+    subject: Dn,
+    not_before: u64,
+    not_after: u64,
+    extensions: Vec<Extension>,
+}
+
+impl CertBuilder {
+    /// Start a certificate for `subject` valid `[not_before, not_after]`.
+    pub fn new(subject: Dn, not_before: u64, not_after: u64) -> Self {
+        CertBuilder {
+            serial: BigUint::from_u64(1),
+            issuer: Dn::new(),
+            subject,
+            not_before,
+            not_after,
+            extensions: Vec::new(),
+        }
+    }
+
+    /// Random 63-bit serial number.
+    pub fn random_serial<R: Rng + ?Sized>(mut self, rng: &mut R) -> Self {
+        self.serial = BigUint::from_u64(rng.gen::<u64>() >> 1 | 1);
+        self
+    }
+
+    /// Explicit serial.
+    pub fn serial(mut self, serial: BigUint) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Add an extension.
+    pub fn extension(mut self, ext: Extension) -> Self {
+        self.extensions.push(ext);
+        self
+    }
+
+    /// Mark as a CA certificate with optional path length.
+    pub fn ca(self, path_len: Option<u64>) -> Self {
+        self.extension(Extension::BasicConstraints { ca: true, path_len })
+            .extension(Extension::KeyUsage(KeyUsage::ca()))
+    }
+
+    /// Mark as an end-entity certificate.
+    pub fn end_entity(self) -> Self {
+        self.extension(Extension::BasicConstraints { ca: false, path_len: None })
+            .extension(Extension::KeyUsage(KeyUsage::end_entity()))
+    }
+
+    /// Mark as a GSI proxy certificate with the given policy.
+    pub fn proxy(self, policy: ProxyPolicy, path_len: Option<u64>) -> Self {
+        self.extension(Extension::ProxyCertInfo { path_len, policy })
+            .extension(Extension::KeyUsage(KeyUsage::end_entity()))
+    }
+
+    /// Sign with `issuer_key` on behalf of `issuer_dn`, binding
+    /// `subject_key` into the certificate.
+    pub fn sign(
+        mut self,
+        issuer_dn: &Dn,
+        issuer_key: &RsaPrivateKey,
+        subject_key: &RsaPublicKey,
+    ) -> Result<Certificate, X509Error> {
+        self.issuer = issuer_dn.clone();
+        let tbs = encode_tbs(
+            &self.serial,
+            &self.issuer,
+            self.not_before,
+            self.not_after,
+            &self.subject,
+            subject_key,
+            &self.extensions,
+        );
+        let sig = issuer_key
+            .sign(&tbs)
+            .map_err(|_| X509Error::Malformed("issuer key too small to sign"))?;
+        Certificate::assemble(tbs, sig)
+    }
+}
+
+/// A certificate authority: a self-signed root plus issuance helpers
+/// (the trusted third party of paper §2.1).
+pub struct CertificateAuthority {
+    dn: Dn,
+    key: RsaPrivateKey,
+    cert: Certificate,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Create a self-signed root CA.
+    pub fn new_root(
+        dn: Dn,
+        key: RsaPrivateKey,
+        not_before: u64,
+        not_after: u64,
+    ) -> Result<Self, X509Error> {
+        let cert = CertBuilder::new(dn.clone(), not_before, not_after)
+            .serial(BigUint::from_u64(1))
+            .ca(None)
+            .sign(&dn, &key, key.public_key())?;
+        Ok(CertificateAuthority { dn, key, cert, next_serial: 2 })
+    }
+
+    /// The CA's self-signed certificate (a trust root).
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The CA's DN.
+    pub fn dn(&self) -> &Dn {
+        &self.dn
+    }
+
+    /// The CA's private key — needed to build CRLs.
+    pub fn key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    /// Issue an end-entity certificate for `subject`.
+    pub fn issue_end_entity(
+        &mut self,
+        subject: &Dn,
+        subject_key: &RsaPublicKey,
+        not_before: u64,
+        not_after: u64,
+    ) -> Result<Certificate, X509Error> {
+        let serial = self.bump_serial();
+        CertBuilder::new(subject.clone(), not_before, not_after)
+            .serial(serial)
+            .end_entity()
+            .sign(&self.dn, &self.key, subject_key)
+    }
+
+    /// Issue an intermediate CA certificate.
+    pub fn issue_intermediate(
+        &mut self,
+        subject: &Dn,
+        subject_key: &RsaPublicKey,
+        not_before: u64,
+        not_after: u64,
+        path_len: Option<u64>,
+    ) -> Result<Certificate, X509Error> {
+        let serial = self.bump_serial();
+        CertBuilder::new(subject.clone(), not_before, not_after)
+            .serial(serial)
+            .ca(path_len)
+            .sign(&self.dn, &self.key, subject_key)
+    }
+
+    fn bump_serial(&mut self) -> BigUint {
+        let s = BigUint::from_u64(self.next_serial);
+        self.next_serial += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::test_rsa_key;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=Globus CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            10_000_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn root_is_self_signed_ca() {
+        let ca = ca();
+        let cert = ca.certificate();
+        assert_eq!(cert.subject(), cert.issuer());
+        assert!(cert.is_ca());
+        assert!(cert.verify_signature(test_rsa_key(0).public_key()));
+    }
+
+    #[test]
+    fn issued_end_entity_verifies_under_ca() {
+        let mut ca = ca();
+        let user_key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, user_key.public_key(), 0, 1000).unwrap();
+        assert!(cert.verify_signature(ca.certificate().public_key()));
+        assert!(!cert.is_ca());
+        assert!(!cert.is_proxy());
+        assert_eq!(cert.subject(), &dn);
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let mut ca = ca();
+        let dn = Dn::parse("/O=Grid/CN=x").unwrap();
+        let c1 = ca.issue_end_entity(&dn, test_rsa_key(1).public_key(), 0, 10).unwrap();
+        let c2 = ca.issue_end_entity(&dn, test_rsa_key(1).public_key(), 0, 10).unwrap();
+        assert_ne!(c1.serial(), c2.serial());
+    }
+
+    #[test]
+    fn proxy_builder_emits_proxy_cert_info() {
+        let user_key = test_rsa_key(1);
+        let proxy_key = test_rsa_key(2);
+        let user_dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let proxy = CertBuilder::new(user_dn.with_cn("proxy"), 0, 100)
+            .proxy(ProxyPolicy::Limited, Some(3))
+            .sign(&user_dn, user_key, proxy_key.public_key())
+            .unwrap();
+        let (policy, path_len) = proxy.proxy_info().unwrap();
+        assert_eq!(policy, &ProxyPolicy::Limited);
+        assert_eq!(path_len, Some(3));
+        assert!(proxy.is_proxy());
+        assert!(proxy.verify_signature(user_key.public_key()));
+    }
+
+    #[test]
+    fn intermediate_ca_chain() {
+        let mut root = ca();
+        let inter_key = test_rsa_key(3);
+        let inter_dn = Dn::parse("/O=Grid/OU=Sub/CN=Intermediate CA").unwrap();
+        let inter = root
+            .issue_intermediate(&inter_dn, inter_key.public_key(), 0, 1000, Some(0))
+            .unwrap();
+        assert!(inter.is_ca());
+        assert_eq!(inter.ca_path_len(), Some(0));
+        assert!(inter.verify_signature(root.certificate().public_key()));
+    }
+}

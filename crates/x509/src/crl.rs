@@ -1,0 +1,251 @@
+//! Certificate revocation lists.
+//!
+//! The paper's §2.1 notes a stolen long-term credential is dangerous
+//! "until the theft was discovered and the certificate revoked by the
+//! CA" — CRLs are that revocation mechanism. A trimmed X.509 v2 CRL:
+//! issuer, thisUpdate/nextUpdate, revoked serial numbers, signature.
+
+use crate::name::Dn;
+use crate::X509Error;
+use mp_asn1::{oid::known, Decoder, Encoder, Tag};
+use mp_bignum::BigUint;
+use mp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use std::collections::BTreeSet;
+
+/// A signed revocation list.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CertRevocationList {
+    der: Vec<u8>,
+    tbs_der: Vec<u8>,
+    issuer: Dn,
+    this_update: u64,
+    next_update: u64,
+    revoked: BTreeSet<Vec<u8>>, // big-endian serial bytes, ordered
+    signature: Vec<u8>,
+}
+
+impl CertRevocationList {
+    /// Build and sign a CRL over `revoked_serials`.
+    pub fn create(
+        issuer: &Dn,
+        issuer_key: &RsaPrivateKey,
+        this_update: u64,
+        next_update: u64,
+        revoked_serials: &[BigUint],
+        revocation_time: u64,
+    ) -> Result<Self, X509Error> {
+        let mut tbs = Encoder::new();
+        tbs.sequence(|t| {
+            t.uint_u64(1); // v2
+            t.sequence(|alg| {
+                alg.oid(&known::sha256_with_rsa());
+                alg.null();
+            });
+            issuer.encode(t);
+            t.generalized_time(this_update);
+            t.generalized_time(next_update);
+            if !revoked_serials.is_empty() {
+                t.sequence(|list| {
+                    for serial in revoked_serials {
+                        list.sequence(|entry| {
+                            entry.uint(serial);
+                            entry.generalized_time(revocation_time);
+                        });
+                    }
+                });
+            }
+        });
+        let tbs_der = tbs.into_bytes();
+        let signature = issuer_key
+            .sign(&tbs_der)
+            .map_err(|_| X509Error::Malformed("key too small to sign CRL"))?;
+        let mut enc = Encoder::new();
+        enc.sequence(|c| {
+            c.raw(&tbs_der);
+            c.sequence(|alg| {
+                alg.oid(&known::sha256_with_rsa());
+                alg.null();
+            });
+            c.bit_string(&signature);
+        });
+        Self::from_der(&enc.into_bytes())
+    }
+
+    /// Parse from DER.
+    pub fn from_der(der: &[u8]) -> Result<Self, X509Error> {
+        let mut outer = Decoder::new(der);
+        let mut crl = outer.sequence()?;
+        outer.finish()?;
+
+        let mut probe = crl.clone();
+        let (tag, tbs_raw) = probe.any_raw()?;
+        if tag != Tag::SEQUENCE {
+            return Err(X509Error::Malformed("tbsCertList not a SEQUENCE"));
+        }
+        let tbs_der = tbs_raw.to_vec();
+
+        let mut tbs = crl.sequence()?;
+        let version = tbs.uint_u64()?;
+        if version != 1 {
+            return Err(X509Error::Malformed("unsupported CRL version"));
+        }
+        let mut alg = tbs.sequence()?;
+        if alg.oid()? != known::sha256_with_rsa() {
+            return Err(X509Error::Malformed("unsupported CRL signature algorithm"));
+        }
+        alg.null()?;
+        alg.finish()?;
+        let issuer = Dn::decode(&mut tbs)?;
+        let this_update = tbs.time()?;
+        let next_update = tbs.time()?;
+        let mut revoked = BTreeSet::new();
+        if tbs.peek_tag() == Some(Tag::SEQUENCE) {
+            let mut list = tbs.sequence()?;
+            while !list.is_empty() {
+                let mut entry = list.sequence()?;
+                let serial = entry.uint()?;
+                let _when = entry.time()?;
+                entry.finish()?;
+                revoked.insert(serial.to_be_bytes());
+            }
+        }
+        tbs.finish()?;
+
+        let mut alg = crl.sequence()?;
+        if alg.oid()? != known::sha256_with_rsa() {
+            return Err(X509Error::Malformed("CRL signature algorithm mismatch"));
+        }
+        alg.null()?;
+        alg.finish()?;
+        let signature = crl.bit_string()?.to_vec();
+        crl.finish()?;
+
+        Ok(CertRevocationList { der: der.to_vec(), tbs_der, issuer, this_update, next_update, revoked, signature })
+    }
+
+    /// DER bytes.
+    pub fn to_der(&self) -> &[u8] {
+        &self.der
+    }
+
+    /// Issuing DN.
+    pub fn issuer(&self) -> &Dn {
+        &self.issuer
+    }
+
+    /// When this list was issued.
+    pub fn this_update(&self) -> u64 {
+        self.this_update
+    }
+
+    /// When the next list is promised.
+    pub fn next_update(&self) -> u64 {
+        self.next_update
+    }
+
+    /// Is `serial` on the list?
+    pub fn is_revoked(&self, serial: &BigUint) -> bool {
+        self.revoked.contains(&serial.to_be_bytes())
+    }
+
+    /// Number of revoked entries.
+    pub fn len(&self) -> usize {
+        self.revoked.len()
+    }
+
+    /// True when no serials are revoked.
+    pub fn is_empty(&self) -> bool {
+        self.revoked.is_empty()
+    }
+
+    /// Verify the CRL's signature under `issuer_key`.
+    pub fn verify_signature(&self, issuer_key: &RsaPublicKey) -> bool {
+        issuer_key.verify(&self.tbs_der, &self.signature).is_ok()
+    }
+}
+
+impl std::fmt::Debug for CertRevocationList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CertRevocationList(issuer={}, revoked={})", self.issuer, self.revoked.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::test_rsa_key;
+
+    fn dn() -> Dn {
+        Dn::parse("/O=Grid/CN=CA").unwrap()
+    }
+
+    #[test]
+    fn create_parse_check() {
+        let key = test_rsa_key(0);
+        let crl = CertRevocationList::create(
+            &dn(),
+            key,
+            1000,
+            2000,
+            &[BigUint::from_u64(5), BigUint::from_u64(9)],
+            1500,
+        )
+        .unwrap();
+        assert!(crl.is_revoked(&BigUint::from_u64(5)));
+        assert!(crl.is_revoked(&BigUint::from_u64(9)));
+        assert!(!crl.is_revoked(&BigUint::from_u64(6)));
+        assert_eq!(crl.len(), 2);
+        assert!(crl.verify_signature(key.public_key()));
+        assert!(!crl.verify_signature(test_rsa_key(1).public_key()));
+
+        let reparsed = CertRevocationList::from_der(crl.to_der()).unwrap();
+        assert_eq!(reparsed, crl);
+    }
+
+    #[test]
+    fn empty_crl_roundtrip() {
+        let key = test_rsa_key(0);
+        let crl = CertRevocationList::create(&dn(), key, 1000, 2000, &[], 0).unwrap();
+        assert!(crl.is_empty());
+        let reparsed = CertRevocationList::from_der(crl.to_der()).unwrap();
+        assert!(!reparsed.is_revoked(&BigUint::from_u64(1)));
+    }
+
+    #[test]
+    fn validation_honors_crl() {
+        use crate::builder::CertificateAuthority;
+        use crate::validate::{validate_chain, ChainError, ValidationOptions};
+        let mut ca = CertificateAuthority::new_root(dn(), test_rsa_key(0).clone(), 0, 1_000_000)
+            .unwrap();
+        let user_key = test_rsa_key(1);
+        let user_dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&user_dn, user_key.public_key(), 0, 500_000).unwrap();
+
+        let crl = CertRevocationList::create(
+            ca.dn(),
+            ca.key(),
+            0,
+            1_000_000,
+            &[cert.serial().clone()],
+            10,
+        )
+        .unwrap();
+        let roots = [ca.certificate().clone()];
+        let opts = ValidationOptions { crls: vec![crl], ..Default::default() };
+        let err = validate_chain(&[cert.clone()], &roots, 100, &opts).unwrap_err();
+        assert!(matches!(err, ChainError::Revoked { index: 0, .. }));
+
+        // A CRL forged by someone else must NOT revoke.
+        let forged = CertRevocationList::create(
+            ca.dn(),
+            test_rsa_key(2), // not the CA key
+            0,
+            1_000_000,
+            &[cert.serial().clone()],
+            10,
+        )
+        .unwrap();
+        let opts = ValidationOptions { crls: vec![forged], ..Default::default() };
+        assert!(validate_chain(&[cert], &roots, 100, &opts).is_ok());
+    }
+}

@@ -1,0 +1,164 @@
+//! PKCS#10-style certification requests.
+//!
+//! The delegation protocol (paper §2.4) is: receiver generates a fresh
+//! keypair, sends a signed request (proof it holds the new private key),
+//! and the delegator answers with a proxy certificate. The request
+//! format below is a trimmed PKCS#10: subject, SPKI, self-signature.
+
+use crate::keys::{decode_spki, encode_spki};
+use crate::name::Dn;
+use crate::X509Error;
+use mp_asn1::{oid::known, Decoder, Encoder, Tag};
+use mp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+
+/// A certification request: "please bind this DN to this key".
+#[derive(Clone, PartialEq, Eq)]
+pub struct CertRequest {
+    der: Vec<u8>,
+    info_der: Vec<u8>,
+    subject: Dn,
+    public_key: RsaPublicKey,
+    signature: Vec<u8>,
+}
+
+impl CertRequest {
+    /// Build and self-sign a request with the subject's new key.
+    pub fn create(subject: &Dn, key: &RsaPrivateKey) -> Result<Self, X509Error> {
+        let mut info = Encoder::new();
+        info.sequence(|i| {
+            i.uint_u64(0); // version
+            subject.encode(i);
+            encode_spki(key.public_key(), i);
+        });
+        let info_der = info.into_bytes();
+        let signature = key
+            .sign(&info_der)
+            .map_err(|_| X509Error::Malformed("key too small to sign CSR"))?;
+        let mut enc = Encoder::new();
+        enc.sequence(|csr| {
+            csr.raw(&info_der);
+            csr.sequence(|alg| {
+                alg.oid(&known::sha256_with_rsa());
+                alg.null();
+            });
+            csr.bit_string(&signature);
+        });
+        Self::from_der(&enc.into_bytes())
+    }
+
+    /// Parse from DER.
+    pub fn from_der(der: &[u8]) -> Result<Self, X509Error> {
+        let mut outer = Decoder::new(der);
+        let mut csr = outer.sequence()?;
+        outer.finish()?;
+
+        let mut probe = csr.clone();
+        let (info_tag, info_raw) = probe.any_raw()?;
+        if info_tag != Tag::SEQUENCE {
+            return Err(X509Error::Malformed("certificationRequestInfo not a SEQUENCE"));
+        }
+        let info_der = info_raw.to_vec();
+
+        let mut info = csr.sequence()?;
+        let version = info.uint_u64()?;
+        if version != 0 {
+            return Err(X509Error::Malformed("unsupported CSR version"));
+        }
+        let subject = Dn::decode(&mut info)?;
+        let public_key = decode_spki(&mut info)?;
+        info.finish()?;
+
+        let mut alg = csr.sequence()?;
+        if alg.oid()? != known::sha256_with_rsa() {
+            return Err(X509Error::Malformed("unsupported CSR signature algorithm"));
+        }
+        alg.null()?;
+        alg.finish()?;
+        let signature = csr.bit_string()?.to_vec();
+        csr.finish()?;
+
+        Ok(CertRequest { der: der.to_vec(), info_der, subject, public_key, signature })
+    }
+
+    /// DER bytes.
+    pub fn to_der(&self) -> &[u8] {
+        &self.der
+    }
+
+    /// Requested subject.
+    pub fn subject(&self) -> &Dn {
+        &self.subject
+    }
+
+    /// The key to bind.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public_key
+    }
+
+    /// Verify the proof-of-possession self-signature. A delegator MUST
+    /// check this before signing: it proves the requester actually holds
+    /// the private key it wants certified.
+    pub fn verify_pop(&self) -> bool {
+        self.public_key.verify(&self.info_der, &self.signature).is_ok()
+    }
+}
+
+impl std::fmt::Debug for CertRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CertRequest(subject={})", self.subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::test_rsa_key;
+
+    #[test]
+    fn create_parse_verify() {
+        let key = test_rsa_key(4);
+        let dn = Dn::parse("/O=Grid/CN=alice/CN=proxy").unwrap();
+        let csr = CertRequest::create(&dn, key).unwrap();
+        assert_eq!(csr.subject(), &dn);
+        assert_eq!(csr.public_key(), key.public_key());
+        assert!(csr.verify_pop());
+
+        let reparsed = CertRequest::from_der(csr.to_der()).unwrap();
+        assert_eq!(reparsed, csr);
+        assert!(reparsed.verify_pop());
+    }
+
+    #[test]
+    fn pop_fails_for_substituted_key() {
+        // An attacker replaying a CSR but claiming a different key must
+        // fail proof-of-possession.
+        let key = test_rsa_key(4);
+        let dn = Dn::parse("/CN=victim").unwrap();
+        let csr = CertRequest::create(&dn, key).unwrap();
+
+        // Rebuild the CSR with a different SPKI but the old signature.
+        let other = test_rsa_key(5);
+        let mut info = Encoder::new();
+        info.sequence(|i| {
+            i.uint_u64(0);
+            dn.encode(i);
+            encode_spki(other.public_key(), i);
+        });
+        let mut enc = Encoder::new();
+        enc.sequence(|c| {
+            c.raw(&info.into_bytes());
+            c.sequence(|alg| {
+                alg.oid(&known::sha256_with_rsa());
+                alg.null();
+            });
+            c.bit_string(csr.signature.as_slice());
+        });
+        let forged = CertRequest::from_der(&enc.into_bytes()).unwrap();
+        assert!(!forged.verify_pop());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(CertRequest::from_der(&[1, 2, 3]).is_err());
+    }
+}

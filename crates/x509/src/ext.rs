@@ -1,0 +1,317 @@
+//! X.509 v3 extensions: BasicConstraints, KeyUsage, and the GSI
+//! ProxyCertInfo extension (the paper's citations \[15\]/\[16\], later
+//! RFC 3820) including the *restricted* policy language of §6.5.
+
+use crate::X509Error;
+use mp_asn1::{oid::known, Decoder, Encoder, Oid, Tag};
+
+/// KeyUsage bit flags (RFC 5280 §4.2.1.3). Only the bits the GSI stack
+/// checks are named.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyUsage {
+    /// digitalSignature (bit 0).
+    pub digital_signature: bool,
+    /// keyEncipherment (bit 2).
+    pub key_encipherment: bool,
+    /// keyCertSign (bit 5).
+    pub key_cert_sign: bool,
+}
+
+impl KeyUsage {
+    /// Usage for end-entity and proxy certificates.
+    pub fn end_entity() -> Self {
+        KeyUsage { digital_signature: true, key_encipherment: true, key_cert_sign: false }
+    }
+
+    /// Usage for CA certificates.
+    pub fn ca() -> Self {
+        KeyUsage { digital_signature: true, key_encipherment: false, key_cert_sign: true }
+    }
+
+    fn to_bits(self) -> u8 {
+        let mut b = 0u8;
+        if self.digital_signature {
+            b |= 0x80;
+        }
+        if self.key_encipherment {
+            b |= 0x20;
+        }
+        if self.key_cert_sign {
+            b |= 0x04;
+        }
+        b
+    }
+
+    fn from_bits(b: u8) -> Self {
+        KeyUsage {
+            digital_signature: b & 0x80 != 0,
+            key_encipherment: b & 0x20 != 0,
+            key_cert_sign: b & 0x04 != 0,
+        }
+    }
+}
+
+/// The proxy policy carried in ProxyCertInfo: what rights the proxy
+/// inherits from its issuer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyPolicy {
+    /// Full impersonation (id-ppl-inheritAll): the common `grid-proxy-init`
+    /// case — the proxy can do anything the user can (paper §2.3).
+    InheritAll,
+    /// Limited proxy (pre-RFC GSI semantics): resources such as GRAM
+    /// refuse to start *new* jobs for limited proxies; file access still
+    /// works. Produced by `grid-proxy-init -limited`.
+    Limited,
+    /// Independent: no rights inherited (rarely used; included for
+    /// profile completeness).
+    Independent,
+    /// Restricted delegation (paper §6.5): a policy expression that
+    /// enforcement points evaluate. The expression grammar lives in
+    /// [`crate::validate::Restriction`]; here it is an opaque string.
+    Restricted(String),
+}
+
+impl ProxyPolicy {
+    /// The policy-language OID for this variant.
+    pub fn language_oid(&self) -> Oid {
+        match self {
+            ProxyPolicy::InheritAll => known::ppl_inherit_all(),
+            ProxyPolicy::Limited => known::ppl_limited(),
+            ProxyPolicy::Independent => known::ppl_independent(),
+            ProxyPolicy::Restricted(_) => known::ppl_restricted(),
+        }
+    }
+
+    /// True if this proxy may impersonate the user for *new* work
+    /// (GRAM's limited-proxy check keys off this).
+    pub fn is_limited(&self) -> bool {
+        matches!(self, ProxyPolicy::Limited)
+    }
+}
+
+/// A decoded certificate extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Extension {
+    /// BasicConstraints: CA flag and optional path length.
+    BasicConstraints {
+        /// May this certificate sign other certificates?
+        ca: bool,
+        /// Maximum depth of CA certs below this one.
+        path_len: Option<u64>,
+    },
+    /// KeyUsage bits.
+    KeyUsage(KeyUsage),
+    /// The GSI proxy-certificate extension. Its presence is what makes a
+    /// certificate a proxy certificate.
+    ProxyCertInfo {
+        /// Maximum number of proxies that may be chained below this one.
+        path_len: Option<u64>,
+        /// Rights-inheritance policy.
+        policy: ProxyPolicy,
+    },
+    /// Anything else, preserved verbatim.
+    Unknown {
+        /// Extension OID.
+        oid: Oid,
+        /// Criticality flag.
+        critical: bool,
+        /// Raw extnValue contents.
+        data: Vec<u8>,
+    },
+}
+
+impl Extension {
+    /// The extension's OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            Extension::BasicConstraints { .. } => known::basic_constraints(),
+            Extension::KeyUsage(_) => known::key_usage(),
+            Extension::ProxyCertInfo { .. } => known::proxy_cert_info(),
+            Extension::Unknown { oid, .. } => oid.clone(),
+        }
+    }
+
+    /// Criticality as emitted by the builder (RFC profiles: all three
+    /// known extensions are critical).
+    pub fn critical(&self) -> bool {
+        match self {
+            Extension::Unknown { critical, .. } => *critical,
+            _ => true,
+        }
+    }
+
+    /// Encode as the `Extension ::= SEQUENCE` element.
+    pub fn encode(&self, enc: &mut Encoder) {
+        let value = self.value_der();
+        enc.sequence(|e| {
+            e.oid(&self.oid());
+            if self.critical() {
+                e.boolean(true);
+            }
+            e.octet_string(&value);
+        });
+    }
+
+    /// DER of the extnValue contents.
+    fn value_der(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Extension::BasicConstraints { ca, path_len } => {
+                enc.sequence(|s| {
+                    if *ca {
+                        s.boolean(true);
+                    }
+                    if let Some(n) = path_len {
+                        s.uint_u64(*n);
+                    }
+                });
+            }
+            Extension::KeyUsage(ku) => {
+                // BIT STRING with explicit unused-bit count for the 8-bit
+                // usage byte; we emit 0 unused for simplicity.
+                enc.bit_string(&[ku.to_bits()]);
+            }
+            Extension::ProxyCertInfo { path_len, policy } => {
+                enc.sequence(|s| {
+                    if let Some(n) = path_len {
+                        s.uint_u64(*n);
+                    }
+                    s.sequence(|p| {
+                        p.oid(&policy.language_oid());
+                        if let ProxyPolicy::Restricted(expr) = policy {
+                            p.octet_string(expr.as_bytes());
+                        }
+                    });
+                });
+            }
+            Extension::Unknown { data, .. } => {
+                return data.clone();
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Parse one `Extension` element.
+    pub fn decode(dec: &mut Decoder) -> Result<Self, X509Error> {
+        let mut ext = dec.sequence()?;
+        let oid = ext.oid()?;
+        let critical = if ext.peek_tag() == Some(Tag::BOOLEAN) {
+            ext.boolean()?
+        } else {
+            false
+        };
+        let value = ext.octet_string()?;
+        ext.finish()?;
+
+        if oid == known::basic_constraints() {
+            let mut v = Decoder::new(value);
+            let mut s = v.sequence()?;
+            let ca = if s.peek_tag() == Some(Tag::BOOLEAN) { s.boolean()? } else { false };
+            let path_len = if !s.is_empty() { Some(s.uint_u64()?) } else { None };
+            s.finish()?;
+            v.finish()?;
+            Ok(Extension::BasicConstraints { ca, path_len })
+        } else if oid == known::key_usage() {
+            let mut v = Decoder::new(value);
+            let bits = v.bit_string()?;
+            let b = bits.first().copied().unwrap_or(0);
+            Ok(Extension::KeyUsage(KeyUsage::from_bits(b)))
+        } else if oid == known::proxy_cert_info() {
+            let mut v = Decoder::new(value);
+            let mut s = v.sequence()?;
+            let path_len = if s.peek_tag() == Some(Tag::INTEGER) {
+                Some(s.uint_u64()?)
+            } else {
+                None
+            };
+            let mut pol = s.sequence()?;
+            let lang = pol.oid()?;
+            let policy = if lang == known::ppl_inherit_all() {
+                ProxyPolicy::InheritAll
+            } else if lang == known::ppl_limited() {
+                ProxyPolicy::Limited
+            } else if lang == known::ppl_independent() {
+                ProxyPolicy::Independent
+            } else if lang == known::ppl_restricted() {
+                let expr = pol.octet_string()?;
+                ProxyPolicy::Restricted(
+                    String::from_utf8(expr.to_vec())
+                        .map_err(|_| X509Error::Malformed("restricted policy not UTF-8"))?,
+                )
+            } else {
+                return Err(X509Error::Malformed("unknown proxy policy language"));
+            };
+            pol.finish()?;
+            s.finish()?;
+            v.finish()?;
+            Ok(Extension::ProxyCertInfo { path_len, policy })
+        } else {
+            Ok(Extension::Unknown { oid, critical, data: value.to_vec() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ext: &Extension) -> Extension {
+        let mut enc = Encoder::new();
+        ext.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = Extension::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn basic_constraints_roundtrip() {
+        for ext in [
+            Extension::BasicConstraints { ca: true, path_len: Some(3) },
+            Extension::BasicConstraints { ca: true, path_len: None },
+            Extension::BasicConstraints { ca: false, path_len: None },
+        ] {
+            assert_eq!(roundtrip(&ext), ext);
+        }
+    }
+
+    #[test]
+    fn key_usage_roundtrip() {
+        for ku in [KeyUsage::ca(), KeyUsage::end_entity()] {
+            assert_eq!(roundtrip(&Extension::KeyUsage(ku)), Extension::KeyUsage(ku));
+        }
+    }
+
+    #[test]
+    fn proxy_cert_info_roundtrip_all_policies() {
+        for policy in [
+            ProxyPolicy::InheritAll,
+            ProxyPolicy::Limited,
+            ProxyPolicy::Independent,
+            ProxyPolicy::Restricted("lifetime<=3600;targets=storage".into()),
+        ] {
+            let ext = Extension::ProxyCertInfo { path_len: Some(5), policy: policy.clone() };
+            assert_eq!(roundtrip(&ext), ext);
+            let ext = Extension::ProxyCertInfo { path_len: None, policy };
+            assert_eq!(roundtrip(&ext), ext);
+        }
+    }
+
+    #[test]
+    fn unknown_extension_preserved() {
+        let ext = Extension::Unknown {
+            oid: Oid::new(&[1, 2, 3, 4]),
+            critical: false,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(roundtrip(&ext), ext);
+    }
+
+    #[test]
+    fn limited_flag() {
+        assert!(ProxyPolicy::Limited.is_limited());
+        assert!(!ProxyPolicy::InheritAll.is_limited());
+        assert!(!ProxyPolicy::Restricted("x".into()).is_limited());
+    }
+}

@@ -1,0 +1,162 @@
+//! DER serialization of RSA keys: `SubjectPublicKeyInfo` (RFC 5280) and
+//! PKCS#1 `RSAPrivateKey` — the on-disk format of Grid credentials.
+
+use crate::X509Error;
+use mp_asn1::{oid::known, Decoder, Encoder};
+use mp_bignum::BigUint;
+use mp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+
+/// Encode a public key as `SubjectPublicKeyInfo`.
+pub fn encode_spki(key: &RsaPublicKey, enc: &mut Encoder) {
+    enc.sequence(|spki| {
+        spki.sequence(|alg| {
+            alg.oid(&known::rsa_encryption());
+            alg.null();
+        });
+        let mut inner = Encoder::new();
+        inner.sequence(|rsa| {
+            rsa.uint(key.n());
+            rsa.uint(key.e());
+        });
+        spki.bit_string(&inner.into_bytes());
+    });
+}
+
+/// DER bytes of a `SubjectPublicKeyInfo`.
+pub fn spki_to_der(key: &RsaPublicKey) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_spki(key, &mut enc);
+    enc.into_bytes()
+}
+
+/// Parse a `SubjectPublicKeyInfo` from a decoder.
+pub fn decode_spki(dec: &mut Decoder) -> Result<RsaPublicKey, X509Error> {
+    let mut spki = dec.sequence()?;
+    let mut alg = spki.sequence()?;
+    let oid = alg.oid()?;
+    if oid != known::rsa_encryption() {
+        return Err(X509Error::Malformed("unsupported public key algorithm"));
+    }
+    alg.null()?;
+    alg.finish()?;
+    let key_bits = spki.bit_string()?;
+    spki.finish()?;
+    let mut key_dec = Decoder::new(key_bits);
+    let mut rsa = key_dec.sequence()?;
+    let n = rsa.uint()?;
+    let e = rsa.uint()?;
+    rsa.finish()?;
+    key_dec.finish()?;
+    if n.is_zero() || e.is_zero() {
+        return Err(X509Error::Malformed("zero RSA parameter"));
+    }
+    Ok(RsaPublicKey::new(n, e))
+}
+
+/// Encode a private key as PKCS#1 `RSAPrivateKey`
+/// (version, n, e, d, p, q, dP, dQ, qInv).
+pub fn private_key_to_der(key: &RsaPrivateKey) -> Vec<u8> {
+    let (p, q) = key.primes();
+    let one = BigUint::one();
+    let dp = key.d().rem_ref(&p.sub_ref(&one));
+    let dq = key.d().rem_ref(&q.sub_ref(&one));
+    let qinv = q.mod_inverse(p).expect("p, q coprime");
+    let mut enc = Encoder::new();
+    enc.sequence(|s| {
+        s.uint_u64(0);
+        s.uint(key.public_key().n());
+        s.uint(key.public_key().e());
+        s.uint(key.d());
+        s.uint(p);
+        s.uint(q);
+        s.uint(&dp);
+        s.uint(&dq);
+        s.uint(&qinv);
+    });
+    enc.into_bytes()
+}
+
+/// Parse a PKCS#1 `RSAPrivateKey`.
+pub fn private_key_from_der(der: &[u8]) -> Result<RsaPrivateKey, X509Error> {
+    let mut dec = Decoder::new(der);
+    let mut s = dec.sequence()?;
+    let version = s.uint_u64()?;
+    if version != 0 {
+        return Err(X509Error::Malformed("unsupported RSAPrivateKey version"));
+    }
+    let n = s.uint()?;
+    let e = s.uint()?;
+    let d = s.uint()?;
+    let p = s.uint()?;
+    let q = s.uint()?;
+    let _dp = s.uint()?;
+    let _dq = s.uint()?;
+    let _qinv = s.uint()?;
+    s.finish()?;
+    dec.finish()?;
+    if p.mul_ref(&q) != n {
+        return Err(X509Error::Malformed("RSA private key p*q != n"));
+    }
+    Ok(RsaPrivateKey::from_components(n, e, d, p, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::test_rsa_key;
+
+    #[test]
+    fn spki_roundtrip() {
+        let key = test_rsa_key(0);
+        let der = spki_to_der(key.public_key());
+        let mut dec = Decoder::new(&der);
+        let back = decode_spki(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(&back, key.public_key());
+    }
+
+    #[test]
+    fn private_key_roundtrip_signs_correctly() {
+        let key = test_rsa_key(0);
+        let der = private_key_to_der(key);
+        let back = private_key_from_der(&der).unwrap();
+        let sig = back.sign(b"roundtrip").unwrap();
+        key.public_key().verify(b"roundtrip", &sig).unwrap();
+    }
+
+    #[test]
+    fn private_key_rejects_inconsistent_primes() {
+        let key = test_rsa_key(0);
+        let other = test_rsa_key(1);
+        let mut enc = Encoder::new();
+        let (p, _q) = key.primes();
+        let (_, q2) = other.primes();
+        enc.sequence(|s| {
+            s.uint_u64(0);
+            s.uint(key.public_key().n());
+            s.uint(key.public_key().e());
+            s.uint(key.d());
+            s.uint(p);
+            s.uint(q2); // wrong q
+            s.uint_u64(1);
+            s.uint_u64(1);
+            s.uint_u64(1);
+        });
+        assert!(private_key_from_der(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn spki_rejects_foreign_algorithm() {
+        let mut enc = Encoder::new();
+        enc.sequence(|spki| {
+            spki.sequence(|alg| {
+                alg.oid(&mp_asn1::oid::known::sha256_with_rsa());
+                alg.null();
+            });
+            spki.bit_string(&[0x30, 0x00]);
+        });
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(decode_spki(&mut dec).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! X.509 certificates with the GSI proxy-certificate profile.
+//!
+//! This crate is the PKI substrate of the MyProxy reproduction (paper
+//! §2.1, §2.3): distinguished names, v3 certificates, a certificate
+//! authority and builder, certification requests (for delegation), the
+//! proxy-certificate profile (impersonation / limited / restricted
+//! proxies, per the drafts cited as \[15\] and \[16\] in the paper, which
+//! became RFC 3820), full chain validation including proxy chains, CRLs,
+//! and PEM armor.
+//!
+//! Time is `u64` unix seconds throughout, injected via [`time::Clock`]
+//! so tests and benches can advance a simulated clock to expire
+//! credentials deterministically.
+
+pub mod builder;
+pub mod cert;
+pub mod crl;
+pub mod csr;
+pub mod ext;
+pub mod keys;
+pub mod name;
+pub mod pem;
+pub mod test_util;
+pub mod time;
+pub mod validate;
+
+pub use builder::{CertBuilder, CertificateAuthority};
+pub use cert::Certificate;
+pub use crl::CertRevocationList;
+pub use csr::CertRequest;
+pub use ext::{Extension, KeyUsage, ProxyPolicy};
+pub use name::{Dn, RdnType};
+pub use time::{Clock, SimClock, SystemClock};
+pub use validate::{validate_chain, ChainError, ValidatedChain, ValidationOptions};
+
+/// Errors shared by the parsing/encoding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum X509Error {
+    /// Underlying DER problem.
+    Der(mp_asn1::DecodeError),
+    /// Structure parsed but violates X.509 rules.
+    Malformed(&'static str),
+    /// PEM armor problem.
+    Pem(&'static str),
+}
+
+impl From<mp_asn1::DecodeError> for X509Error {
+    fn from(e: mp_asn1::DecodeError) -> Self {
+        X509Error::Der(e)
+    }
+}
+
+impl std::fmt::Display for X509Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            X509Error::Der(e) => write!(f, "DER error: {e}"),
+            X509Error::Malformed(what) => write!(f, "malformed X.509 structure: {what}"),
+            X509Error::Pem(what) => write!(f, "PEM error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for X509Error {}

@@ -1,0 +1,300 @@
+//! X.500 distinguished names.
+//!
+//! In the GSI every entity is identified by a globally unique DN
+//! (paper §2.1), conventionally rendered in the OpenSSL one-line form
+//! the Globus gridmap file uses: `/O=Grid/OU=ANL/CN=Jason Novotny`.
+
+use crate::X509Error;
+use mp_asn1::{oid::known, Decoder, Encoder, Oid, Tag};
+
+/// Attribute types we understand by name; anything else is carried as a
+/// raw OID so unknown RDNs survive a parse/encode round trip.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RdnType {
+    /// CN
+    CommonName,
+    /// O
+    Organization,
+    /// OU
+    OrganizationalUnit,
+    /// C
+    Country,
+    /// Any other attribute type.
+    Other(Oid),
+}
+
+impl RdnType {
+    /// The attribute OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            RdnType::CommonName => known::common_name(),
+            RdnType::Organization => known::organization(),
+            RdnType::OrganizationalUnit => known::organizational_unit(),
+            RdnType::Country => known::country(),
+            RdnType::Other(oid) => oid.clone(),
+        }
+    }
+
+    /// From an OID.
+    pub fn from_oid(oid: Oid) -> Self {
+        if oid == known::common_name() {
+            RdnType::CommonName
+        } else if oid == known::organization() {
+            RdnType::Organization
+        } else if oid == known::organizational_unit() {
+            RdnType::OrganizationalUnit
+        } else if oid == known::country() {
+            RdnType::Country
+        } else {
+            RdnType::Other(oid)
+        }
+    }
+
+    /// Short label used in the one-line rendering.
+    pub fn label(&self) -> String {
+        match self {
+            RdnType::CommonName => "CN".into(),
+            RdnType::Organization => "O".into(),
+            RdnType::OrganizationalUnit => "OU".into(),
+            RdnType::Country => "C".into(),
+            RdnType::Other(oid) => oid.to_string_dotted(),
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "CN" => Some(RdnType::CommonName),
+            "O" => Some(RdnType::Organization),
+            "OU" => Some(RdnType::OrganizationalUnit),
+            "C" => Some(RdnType::Country),
+            _ => None,
+        }
+    }
+}
+
+/// A distinguished name: an ordered list of single-valued RDNs.
+///
+/// ```
+/// use mp_x509::Dn;
+/// let user = Dn::parse("/O=Grid/OU=ANL/CN=Jason Novotny").unwrap();
+/// let proxy = user.with_cn("proxy");
+/// assert!(proxy.is_proxy_subject_of(&user));
+/// assert_eq!(proxy.to_string(), "/O=Grid/OU=ANL/CN=Jason Novotny/CN=proxy");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dn {
+    rdns: Vec<(RdnType, String)>,
+}
+
+impl Dn {
+    /// Empty DN (only useful as a builder start).
+    pub fn new() -> Self {
+        Dn::default()
+    }
+
+    /// Parse the OpenSSL one-line form: `/O=Grid/OU=ANL/CN=Alice`.
+    pub fn parse(s: &str) -> Result<Self, X509Error> {
+        if !s.starts_with('/') {
+            return Err(X509Error::Malformed("DN must start with '/'"));
+        }
+        let mut rdns = Vec::new();
+        for part in s[1..].split('/') {
+            if part.is_empty() {
+                continue;
+            }
+            let (label, value) = part
+                .split_once('=')
+                .ok_or(X509Error::Malformed("RDN missing '='"))?;
+            let ty = RdnType::from_label(label)
+                .ok_or(X509Error::Malformed("unknown RDN label"))?;
+            if value.is_empty() {
+                return Err(X509Error::Malformed("empty RDN value"));
+            }
+            rdns.push((ty, value.to_string()));
+        }
+        if rdns.is_empty() {
+            return Err(X509Error::Malformed("empty DN"));
+        }
+        Ok(Dn { rdns })
+    }
+
+    /// Append an RDN (builder style).
+    pub fn with(mut self, ty: RdnType, value: impl Into<String>) -> Self {
+        self.rdns.push((ty, value.into()));
+        self
+    }
+
+    /// A copy with one extra CN component — exactly how a proxy
+    /// certificate's subject is derived from its issuer (paper §2.3:
+    /// "a short-term binding of the user's DN to an alternate private
+    /// key"; RFC 3820 requires issuer-DN + CN).
+    pub fn with_cn(&self, cn: &str) -> Dn {
+        let mut d = self.clone();
+        d.rdns.push((RdnType::CommonName, cn.to_string()));
+        d
+    }
+
+    /// The RDN list.
+    pub fn rdns(&self) -> &[(RdnType, String)] {
+        &self.rdns
+    }
+
+    /// Number of RDNs.
+    pub fn len(&self) -> usize {
+        self.rdns.len()
+    }
+
+    /// True for the empty DN.
+    pub fn is_empty(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// The last CN value, if any (proxy CN or the user's name).
+    pub fn last_cn(&self) -> Option<&str> {
+        self.rdns
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == RdnType::CommonName)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True iff `self` is exactly `parent` plus one trailing CN — the
+    /// proxy-subject rule.
+    pub fn is_proxy_subject_of(&self, parent: &Dn) -> bool {
+        self.rdns.len() == parent.rdns.len() + 1
+            && self.rdns[..parent.rdns.len()] == parent.rdns[..]
+            && self.rdns.last().map(|(t, _)| t) == Some(&RdnType::CommonName)
+    }
+
+    /// DER-encode as an X.501 `Name`.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|name| {
+            for (ty, value) in &self.rdns {
+                name.set(|set| {
+                    set.sequence(|atv| {
+                        atv.oid(&ty.oid());
+                        atv.utf8_string(value);
+                    });
+                });
+            }
+        });
+    }
+
+    /// DER bytes of the `Name`.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Parse a `Name` from a decoder positioned at its SEQUENCE.
+    pub fn decode(dec: &mut Decoder) -> Result<Self, X509Error> {
+        let mut name = dec.sequence()?;
+        let mut rdns = Vec::new();
+        while !name.is_empty() {
+            let mut set = name.set()?;
+            let mut atv = set.sequence()?;
+            let oid = atv.oid()?;
+            // Accept any of the standard string types.
+            let value = {
+                let (tag, content) = atv.any()?;
+                if ![Tag::UTF8_STRING, Tag::PRINTABLE_STRING, Tag::IA5_STRING].contains(&tag) {
+                    return Err(X509Error::Malformed("unsupported RDN string type"));
+                }
+                String::from_utf8(content.to_vec())
+                    .map_err(|_| X509Error::Malformed("RDN not UTF-8"))?
+            };
+            atv.finish()?;
+            set.finish()?;
+            rdns.push((RdnType::from_oid(oid), value));
+        }
+        Ok(Dn { rdns })
+    }
+}
+
+impl std::fmt::Display for Dn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (ty, value) in &self.rdns {
+            write!(f, "/{}={}", ty.label(), value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_dn() -> Dn {
+        Dn::parse("/O=Grid/OU=ANL/CN=Jason Novotny").unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let dn = grid_dn();
+        assert_eq!(dn.to_string(), "/O=Grid/OU=ANL/CN=Jason Novotny");
+        assert_eq!(dn.len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Dn::parse("O=Grid").is_err());
+        assert!(Dn::parse("/O=Grid/CN").is_err());
+        assert!(Dn::parse("/").is_err());
+        assert!(Dn::parse("/X=foo").is_err());
+        assert!(Dn::parse("/CN=").is_err());
+    }
+
+    #[test]
+    fn der_roundtrip() {
+        let dn = grid_dn();
+        let der = dn.to_der();
+        let mut dec = Decoder::new(&der);
+        let back = Dn::decode(&mut dec).unwrap();
+        assert_eq!(back, dn);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn with_cn_builds_proxy_subject() {
+        let user = grid_dn();
+        let proxy = user.with_cn("proxy");
+        assert_eq!(proxy.to_string(), "/O=Grid/OU=ANL/CN=Jason Novotny/CN=proxy");
+        assert!(proxy.is_proxy_subject_of(&user));
+        assert!(!user.is_proxy_subject_of(&proxy));
+        // Two levels deep.
+        let proxy2 = proxy.with_cn("proxy");
+        assert!(proxy2.is_proxy_subject_of(&proxy));
+        assert!(!proxy2.is_proxy_subject_of(&user));
+    }
+
+    #[test]
+    fn is_proxy_subject_rejects_divergent_prefix() {
+        let a = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let mallory = Dn::parse("/O=Grid/CN=mallory/CN=proxy").unwrap();
+        assert!(!mallory.is_proxy_subject_of(&a));
+    }
+
+    #[test]
+    fn is_proxy_subject_requires_cn_tail() {
+        let a = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let weird = Dn::parse("/O=Grid/CN=alice/OU=proxy").unwrap();
+        assert!(!weird.is_proxy_subject_of(&a));
+    }
+
+    #[test]
+    fn last_cn_finds_rightmost() {
+        let proxy = grid_dn().with_cn("proxy");
+        assert_eq!(proxy.last_cn(), Some("proxy"));
+        let no_cn = Dn::parse("/O=Grid").unwrap();
+        assert_eq!(no_cn.last_cn(), None);
+    }
+
+    #[test]
+    fn builder_style() {
+        let dn = Dn::new()
+            .with(RdnType::Organization, "Grid")
+            .with(RdnType::CommonName, "portal.ncsa.edu");
+        assert_eq!(dn.to_string(), "/O=Grid/CN=portal.ncsa.edu");
+    }
+}

@@ -1,0 +1,140 @@
+//! PEM armor: the on-disk format of Grid credentials (paper §3.2 — "Grid
+//! credentials are typically stored as files on a file system").
+
+use crate::X509Error;
+use mp_crypto::base64;
+
+/// One PEM block: a label and its decoded bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PemBlock {
+    /// The label, e.g. `CERTIFICATE` or `RSA PRIVATE KEY`.
+    pub label: String,
+    /// The DER payload.
+    pub data: Vec<u8>,
+}
+
+/// Standard labels used in this workspace.
+pub mod label {
+    /// An X.509 certificate.
+    pub const CERTIFICATE: &str = "CERTIFICATE";
+    /// A PKCS#1 RSA private key.
+    pub const RSA_PRIVATE_KEY: &str = "RSA PRIVATE KEY";
+    /// A certification request.
+    pub const CERTIFICATE_REQUEST: &str = "CERTIFICATE REQUEST";
+    /// A certificate revocation list.
+    pub const X509_CRL: &str = "X509 CRL";
+}
+
+/// Encode one block, wrapping base64 at 64 columns.
+pub fn encode(label: &str, data: &[u8]) -> String {
+    let b64 = base64::encode(data);
+    let mut out = String::with_capacity(b64.len() + label.len() * 2 + 64);
+    out.push_str("-----BEGIN ");
+    out.push_str(label);
+    out.push_str("-----\n");
+    for chunk in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(chunk).unwrap());
+        out.push('\n');
+    }
+    out.push_str("-----END ");
+    out.push_str(label);
+    out.push_str("-----\n");
+    out
+}
+
+/// Parse every PEM block in `text`, in order. Text outside blocks is
+/// ignored (matching OpenSSL's tolerance for header comments).
+pub fn decode_all(text: &str) -> Result<Vec<PemBlock>, X509Error> {
+    let mut blocks = Vec::new();
+    let mut label: Option<String> = None;
+    let mut body = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("-----BEGIN ") {
+            if label.is_some() {
+                return Err(X509Error::Pem("nested BEGIN"));
+            }
+            let l = rest.strip_suffix("-----").ok_or(X509Error::Pem("malformed BEGIN"))?;
+            label = Some(l.to_string());
+            body.clear();
+        } else if let Some(rest) = line.strip_prefix("-----END ") {
+            let l = rest.strip_suffix("-----").ok_or(X509Error::Pem("malformed END"))?;
+            let open = label.take().ok_or(X509Error::Pem("END without BEGIN"))?;
+            if open != l {
+                return Err(X509Error::Pem("mismatched BEGIN/END labels"));
+            }
+            let data = base64::decode(&body).ok_or(X509Error::Pem("invalid base64"))?;
+            blocks.push(PemBlock { label: open, data });
+        } else if label.is_some() {
+            body.push_str(line);
+        }
+    }
+    if label.is_some() {
+        return Err(X509Error::Pem("unterminated PEM block"));
+    }
+    Ok(blocks)
+}
+
+/// Parse the first block with the given label.
+pub fn decode_one(text: &str, want_label: &str) -> Result<Vec<u8>, X509Error> {
+    decode_all(text)?
+        .into_iter()
+        .find(|b| b.label == want_label)
+        .map(|b| b.data)
+        .ok_or(X509Error::Pem("no block with requested label"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_block() {
+        let data = (0u8..=255).collect::<Vec<_>>();
+        let pem = encode(label::CERTIFICATE, &data);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        assert!(pem.ends_with("-----END CERTIFICATE-----\n"));
+        let blocks = decode_all(&pem).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].label, "CERTIFICATE");
+        assert_eq!(blocks[0].data, data);
+    }
+
+    #[test]
+    fn multiple_blocks_preserve_order() {
+        // A proxy credential file: cert, key, then the chain (the Globus
+        // on-disk layout).
+        let mut text = encode(label::CERTIFICATE, b"proxy-cert");
+        text.push_str(&encode(label::RSA_PRIVATE_KEY, b"proxy-key"));
+        text.push_str(&encode(label::CERTIFICATE, b"user-cert"));
+        let blocks = decode_all(&text).unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].data, b"proxy-cert");
+        assert_eq!(blocks[1].label, "RSA PRIVATE KEY");
+        assert_eq!(blocks[2].data, b"user-cert");
+    }
+
+    #[test]
+    fn surrounding_text_ignored() {
+        let pem = format!("subject=/CN=alice\n{}", encode(label::CERTIFICATE, b"x"));
+        assert_eq!(decode_all(&pem).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_detected() {
+        assert!(decode_all("-----BEGIN CERTIFICATE-----\nAAAA").is_err());
+        assert!(decode_all("-----END CERTIFICATE-----").is_err());
+        let mismatched = "-----BEGIN CERTIFICATE-----\nAAAA\n-----END X509 CRL-----\n";
+        assert!(decode_all(mismatched).is_err());
+        let bad_b64 = "-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n";
+        assert!(decode_all(bad_b64).is_err());
+    }
+
+    #[test]
+    fn decode_one_by_label() {
+        let mut text = encode(label::CERTIFICATE, b"cert");
+        text.push_str(&encode(label::RSA_PRIVATE_KEY, b"key"));
+        assert_eq!(decode_one(&text, label::RSA_PRIVATE_KEY).unwrap(), b"key");
+        assert!(decode_one(&text, label::X509_CRL).is_err());
+    }
+}

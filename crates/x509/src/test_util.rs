@@ -1,0 +1,40 @@
+//! Shared test/bench fixtures.
+//!
+//! RSA key generation dominates test runtime, so the whole workspace
+//! draws deterministic 512-bit keys from this lazily-filled pool instead
+//! of generating per test. Not for production use — real deployments
+//! generate fresh keys from OS entropy (see `mp_crypto::HmacDrbg`).
+
+use mp_crypto::rsa::RsaPrivateKey;
+use mp_crypto::HmacDrbg;
+use std::sync::OnceLock;
+
+const POOL_SIZE: usize = 24;
+
+/// Deterministic 512-bit RSA key number `i` (i < 24). The same index
+/// always returns the same key, across crates and test binaries.
+pub fn test_rsa_key(i: usize) -> &'static RsaPrivateKey {
+    static POOL: OnceLock<Vec<OnceLock<RsaPrivateKey>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| (0..POOL_SIZE).map(|_| OnceLock::new()).collect());
+    pool[i].get_or_init(|| {
+        let mut drbg = HmacDrbg::new(format!("mp-x509 test key pool entry {i}").as_bytes());
+        RsaPrivateKey::generate(&mut drbg, 512)
+    })
+}
+
+/// A deterministic DRBG for tests that need randomness but reproducible
+/// failures.
+pub fn test_drbg(label: &str) -> HmacDrbg {
+    HmacDrbg::new(format!("mp-x509 test drbg: {label}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_deterministic_and_distinct() {
+        assert_eq!(test_rsa_key(0).public_key(), test_rsa_key(0).public_key());
+        assert_ne!(test_rsa_key(0).public_key(), test_rsa_key(1).public_key());
+    }
+}

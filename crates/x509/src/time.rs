@@ -1,0 +1,88 @@
+//! Clock abstraction: unix seconds, real or simulated.
+//!
+//! Credential lifetime is the paper's main defense-in-depth mechanism
+//! (§2.1, §2.3, §4.1, §4.3): stolen proxies are only useful until they
+//! expire. Every expiry decision in the workspace reads one of these
+//! clocks, so tests can advance time instead of sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A source of "now" in unix seconds.
+pub trait Clock: Send + Sync {
+    /// Current time, seconds since the unix epoch.
+    fn now(&self) -> u64;
+}
+
+/// The real system clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("system clock before unix epoch")
+            .as_secs()
+    }
+}
+
+/// A shared, manually-advanced clock for deterministic tests.
+#[derive(Clone, Debug)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Start the simulated clock at `start` unix seconds.
+    pub fn new(start: u64) -> Self {
+        SimClock { now: Arc::new(AtomicU64::new(start)) }
+    }
+
+    /// Advance by `secs`. All clones observe the change.
+    pub fn advance(&self, secs: u64) {
+        self.now.fetch_add(secs, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time.
+    pub fn set(&self, t: u64) {
+        self.now.store(t, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// 2001-08-06 00:00:00 UTC — the HPDC-10 conference week; a convenient
+/// deterministic "present" for tests and examples.
+pub const HPDC_2001: u64 = 997_056_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_and_shares_state() {
+        let c = SimClock::new(100);
+        let c2 = c.clone();
+        assert_eq!(c.now(), 100);
+        c.advance(50);
+        assert_eq!(c2.now(), 150);
+        c2.set(1000);
+        assert_eq!(c.now(), 1000);
+    }
+
+    #[test]
+    fn system_clock_is_post_2020() {
+        assert!(SystemClock.now() > 1_577_836_800);
+    }
+
+    #[test]
+    fn clock_trait_object_usable() {
+        let c: Arc<dyn Clock> = Arc::new(SimClock::new(HPDC_2001));
+        assert_eq!(c.now(), HPDC_2001);
+    }
+}

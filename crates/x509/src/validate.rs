@@ -1,0 +1,726 @@
+//! Certificate-chain validation with the GSI proxy-certificate rules.
+//!
+//! A GSI chain, leaf first, looks like:
+//!
+//! ```text
+//! [proxy_n] ... [proxy_1] [end-entity] [intermediate CA]* → trust root
+//! ```
+//!
+//! Proxies (paper §2.3/§2.4) are certificates whose *issuer is the user,
+//! not a CA*: each is signed by the key of the certificate above it, its
+//! subject is the issuer's subject plus one CN component, and the
+//! *effective identity* of the whole chain is the end-entity DN — which
+//! is exactly why a delegated proxy lets a portal "act as the user".
+
+use crate::cert::Certificate;
+use crate::crl::CertRevocationList;
+use crate::ext::{Extension, ProxyPolicy};
+use crate::name::Dn;
+use mp_bignum::BigUint;
+use mp_crypto::rsa::RsaPublicKey;
+
+/// Why a chain was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// No certificates supplied.
+    Empty,
+    /// Longer than [`ValidationOptions::max_chain_len`].
+    TooLong,
+    /// Certificate `index` is outside its validity window at `now`.
+    TimeInvalid { index: usize, now: u64 },
+    /// Certificate `index`'s signature did not verify under its issuer.
+    BadSignature { index: usize },
+    /// Certificate `index`'s issuer DN does not match the next subject.
+    IssuerMismatch { index: usize },
+    /// The chain does not terminate at any supplied trust root.
+    UntrustedRoot,
+    /// A proxy was issued by a CA certificate (forbidden: proxies are
+    /// issued by end entities or other proxies).
+    ProxyIssuedByCa { index: usize },
+    /// A non-proxy certificate appears below a proxy in the chain.
+    EntityBelowProxy { index: usize },
+    /// Proxy subject is not issuer-subject + one CN.
+    ProxySubjectMismatch { index: usize },
+    /// More proxies below a proxy than its pCPathLenConstraint allows.
+    ProxyPathLenExceeded { index: usize },
+    /// An issuing certificate is not a CA.
+    NotCa { index: usize },
+    /// A CA's BasicConstraints path length was exceeded.
+    CaPathLenExceeded { index: usize },
+    /// KeyUsage forbids what the certificate is doing in this chain.
+    KeyUsageViolation { index: usize },
+    /// Certificate `index` appears on a valid CRL.
+    Revoked { index: usize, serial: BigUint },
+    /// Chain is valid but ends in a limited proxy, and the caller said
+    /// limited proxies are unacceptable for this operation.
+    LimitedProxyRejected,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Empty => write!(f, "empty certificate chain"),
+            ChainError::TooLong => write!(f, "certificate chain too long"),
+            ChainError::TimeInvalid { index, now } => {
+                write!(f, "certificate {index} not valid at time {now}")
+            }
+            ChainError::BadSignature { index } => write!(f, "bad signature on certificate {index}"),
+            ChainError::IssuerMismatch { index } => {
+                write!(f, "issuer DN mismatch at certificate {index}")
+            }
+            ChainError::UntrustedRoot => write!(f, "chain does not reach a trust root"),
+            ChainError::ProxyIssuedByCa { index } => {
+                write!(f, "proxy certificate {index} issued by a CA")
+            }
+            ChainError::EntityBelowProxy { index } => {
+                write!(f, "non-proxy certificate {index} below a proxy")
+            }
+            ChainError::ProxySubjectMismatch { index } => {
+                write!(f, "proxy {index} subject is not issuer + CN")
+            }
+            ChainError::ProxyPathLenExceeded { index } => {
+                write!(f, "proxy path length exceeded at certificate {index}")
+            }
+            ChainError::NotCa { index } => write!(f, "certificate {index} is not a CA but issues"),
+            ChainError::CaPathLenExceeded { index } => {
+                write!(f, "CA path length exceeded at certificate {index}")
+            }
+            ChainError::KeyUsageViolation { index } => {
+                write!(f, "key usage violation at certificate {index}")
+            }
+            ChainError::Revoked { index, serial } => {
+                write!(f, "certificate {index} (serial {serial}) is revoked")
+            }
+            ChainError::LimitedProxyRejected => {
+                write!(f, "limited proxy not acceptable for this operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Knobs for [`validate_chain`].
+#[derive(Clone)]
+pub struct ValidationOptions {
+    /// Reject chains longer than this (DoS guard). Default 16.
+    pub max_chain_len: usize,
+    /// Whether a chain ending in a limited proxy is acceptable. GRAM job
+    /// startup says no; file access says yes (pre-RFC GSI semantics).
+    pub accept_limited: bool,
+    /// CRLs to consult. Each is checked only if its signature verifies
+    /// under the certificate that issued the cert being tested.
+    pub crls: Vec<CertRevocationList>,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions { max_chain_len: 16, accept_limited: true, crls: Vec::new() }
+    }
+}
+
+/// A parsed restriction from a restricted proxy policy (paper §6.5).
+///
+/// Grammar: `key=value;key=value` where `value` may be a `|`-separated
+/// alternative list, e.g. `targets=storage|jobmgr;actions=read`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Restriction {
+    clauses: Vec<(String, Vec<String>)>,
+    raw: String,
+}
+
+impl Restriction {
+    /// Parse a policy expression. Unparseable clauses make the whole
+    /// restriction deny-all (fail closed).
+    pub fn parse(expr: &str) -> Self {
+        let mut clauses = Vec::new();
+        for part in expr.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((k, v)) if !k.is_empty() => {
+                    clauses.push((
+                        k.trim().to_string(),
+                        v.split('|').map(|s| s.trim().to_string()).collect(),
+                    ));
+                }
+                _ => {
+                    // Fail closed: an unintelligible policy grants nothing.
+                    clauses.push(("__invalid__".into(), vec![]));
+                }
+            }
+        }
+        Restriction { clauses, raw: expr.to_string() }
+    }
+
+    /// Does this restriction allow `value` for `key`? Keys not mentioned
+    /// are unrestricted.
+    pub fn allows(&self, key: &str, value: &str) -> bool {
+        if self.clauses.iter().any(|(k, _)| k == "__invalid__") {
+            return false;
+        }
+        match self.clauses.iter().find(|(k, _)| k == key) {
+            None => true,
+            Some((_, alts)) => alts.iter().any(|a| a == value),
+        }
+    }
+
+    /// The original expression.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+}
+
+/// The result of a successful validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedChain {
+    /// The *effective identity*: the end-entity DN, no matter how many
+    /// proxies sit on top (this is what gets looked up in a gridmap).
+    pub identity: Dn,
+    /// The leaf certificate's subject.
+    pub subject: Dn,
+    /// Number of proxy certificates in the chain.
+    pub proxy_depth: usize,
+    /// True if any proxy in the chain is a limited proxy.
+    pub is_limited: bool,
+    /// True if any proxy carries the `independent` policy (no inherited
+    /// rights — enforcement points must grant nothing based on identity).
+    pub is_independent: bool,
+    /// All restricted-delegation policies in the chain; an operation must
+    /// satisfy every one of them (intersection semantics).
+    pub restrictions: Vec<Restriction>,
+    /// Earliest expiry across the chain: the real lifetime of this
+    /// credential.
+    pub not_after: u64,
+    /// The leaf public key (the channel peer must prove possession of
+    /// the matching private key).
+    pub leaf_key: RsaPublicKey,
+}
+
+impl ValidatedChain {
+    /// Check an (key, value) action against every restriction.
+    pub fn permits(&self, key: &str, value: &str) -> bool {
+        !self.is_independent && self.restrictions.iter().all(|r| r.allows(key, value))
+    }
+}
+
+/// Validate `chain` (leaf first) against `trust_roots` at time `now`.
+pub fn validate_chain(
+    chain: &[Certificate],
+    trust_roots: &[Certificate],
+    now: u64,
+    options: &ValidationOptions,
+) -> Result<ValidatedChain, ChainError> {
+    if chain.is_empty() {
+        return Err(ChainError::Empty);
+    }
+    if chain.len() > options.max_chain_len {
+        return Err(ChainError::TooLong);
+    }
+
+    // Locate the end entity: the first non-proxy certificate. Everything
+    // above it must be proxies; everything below must be CAs.
+    let ee_idx = chain
+        .iter()
+        .position(|c| !c.is_proxy())
+        .ok_or(ChainError::UntrustedRoot)?; // all-proxy chain can never reach a root
+    for (i, cert) in chain.iter().enumerate().skip(ee_idx + 1) {
+        if cert.is_proxy() {
+            return Err(ChainError::EntityBelowProxy { index: i });
+        }
+    }
+
+    // Pass 1: time, linkage, signatures, revocation.
+    for (i, cert) in chain.iter().enumerate() {
+        if !cert.is_time_valid(now) {
+            return Err(ChainError::TimeInvalid { index: i, now });
+        }
+        let issuer_key: &RsaPublicKey = if i + 1 < chain.len() {
+            let parent = &chain[i + 1];
+            if parent.subject() != cert.issuer() {
+                return Err(ChainError::IssuerMismatch { index: i });
+            }
+            parent.public_key()
+        } else {
+            // Top of the supplied chain: must be anchored in a trust root
+            // (either it *is* a root, or a root directly signed it).
+            match find_anchor(cert, trust_roots, now) {
+                Some(key) => key,
+                None => return Err(ChainError::UntrustedRoot),
+            }
+        };
+        if !cert.verify_signature(issuer_key) {
+            return Err(ChainError::BadSignature { index: i });
+        }
+        // Revocation: only CRLs legitimately signed by this cert's issuer
+        // count.
+        for crl in &options.crls {
+            if crl.issuer() == cert.issuer()
+                && crl.verify_signature(issuer_key)
+                && crl.is_revoked(cert.serial())
+            {
+                return Err(ChainError::Revoked { index: i, serial: cert.serial().clone() });
+            }
+        }
+    }
+
+    // Pass 2: proxy profile rules for chain[0..ee_idx].
+    for i in 0..ee_idx {
+        let proxy = &chain[i];
+        let parent = &chain[i + 1];
+        if parent.is_ca() {
+            return Err(ChainError::ProxyIssuedByCa { index: i });
+        }
+        if !proxy.subject().is_proxy_subject_of(parent.subject()) {
+            return Err(ChainError::ProxySubjectMismatch { index: i });
+        }
+        if let Some(Extension::KeyUsage(ku)) = parent
+            .extensions()
+            .iter()
+            .find(|e| matches!(e, Extension::KeyUsage(_)))
+        {
+            if !ku.digital_signature {
+                return Err(ChainError::KeyUsageViolation { index: i + 1 });
+            }
+        }
+    }
+    // pCPathLenConstraint: a proxy at index j allows at most `len`
+    // further proxies beneath it; there are exactly j of them.
+    for (j, cert) in chain.iter().enumerate().take(ee_idx + 1) {
+        if let Some((_, Some(max_below))) = cert.proxy_info() {
+            if (j as u64) > max_below {
+                return Err(ChainError::ProxyPathLenExceeded { index: j });
+            }
+        }
+    }
+
+    // Pass 3: CA rules for chain[ee_idx+1..].
+    for (i, cert) in chain.iter().enumerate().skip(ee_idx + 1) {
+        if !cert.is_ca() {
+            return Err(ChainError::NotCa { index: i });
+        }
+        if let Some(Extension::KeyUsage(ku)) = cert
+            .extensions()
+            .iter()
+            .find(|e| matches!(e, Extension::KeyUsage(_)))
+        {
+            if !ku.key_cert_sign {
+                return Err(ChainError::KeyUsageViolation { index: i });
+            }
+        }
+        // BasicConstraints path length: CA at index i has (i - ee_idx - 1)
+        // subordinate CAs beneath it in this chain.
+        if let Some(max) = cert.ca_path_len() {
+            let below = (i - ee_idx - 1) as u64;
+            if below > max {
+                return Err(ChainError::CaPathLenExceeded { index: i });
+            }
+        }
+    }
+
+    // Aggregate policy.
+    let mut is_limited = false;
+    let mut is_independent = false;
+    let mut restrictions = Vec::new();
+    for cert in &chain[..ee_idx] {
+        match cert.proxy_info() {
+            Some((ProxyPolicy::Limited, _)) => is_limited = true,
+            Some((ProxyPolicy::Independent, _)) => is_independent = true,
+            Some((ProxyPolicy::Restricted(expr), _)) => restrictions.push(Restriction::parse(expr)),
+            _ => {}
+        }
+    }
+    if is_limited && !options.accept_limited {
+        return Err(ChainError::LimitedProxyRejected);
+    }
+
+    let not_after = chain.iter().map(|c| c.not_after()).min().expect("nonempty");
+
+    Ok(ValidatedChain {
+        identity: chain[ee_idx].subject().clone(),
+        subject: chain[0].subject().clone(),
+        proxy_depth: ee_idx,
+        is_limited,
+        is_independent,
+        restrictions,
+        not_after,
+        leaf_key: chain[0].public_key().clone(),
+    })
+}
+
+/// Find the trust-root key that anchors `cert`: either `cert` is itself
+/// a listed root, or a listed, currently-valid root's DN matches its
+/// issuer.
+fn find_anchor<'a>(
+    cert: &Certificate,
+    trust_roots: &'a [Certificate],
+    now: u64,
+) -> Option<&'a RsaPublicKey> {
+    for root in trust_roots {
+        if !root.is_time_valid(now) {
+            continue;
+        }
+        if root.to_der() == cert.to_der() {
+            return Some(root.public_key()); // cert IS the root (self-signed)
+        }
+        if root.subject() == cert.issuer() {
+            return Some(root.public_key());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CertBuilder, CertificateAuthority};
+    use crate::test_util::test_rsa_key;
+    use mp_crypto::rsa::RsaPrivateKey;
+
+    struct World {
+        ca: CertificateAuthority,
+        user_cert: Certificate,
+        user_key: &'static RsaPrivateKey,
+        user_dn: Dn,
+    }
+
+    fn world() -> World {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let user_key = test_rsa_key(1);
+        let user_dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let user_cert = ca
+            .issue_end_entity(&user_dn, user_key.public_key(), 0, 500_000)
+            .unwrap();
+        World { ca, user_cert, user_key, user_dn }
+    }
+
+    fn make_proxy(
+        parent_dn: &Dn,
+        parent_key: &RsaPrivateKey,
+        key: &RsaPrivateKey,
+        policy: ProxyPolicy,
+        not_after: u64,
+    ) -> Certificate {
+        CertBuilder::new(parent_dn.with_cn("proxy"), 0, not_after)
+            .proxy(policy, None)
+            .sign(parent_dn, parent_key, key.public_key())
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_user_chain_validates() {
+        let w = world();
+        let roots = [w.ca.certificate().clone()];
+        let v = validate_chain(&[w.user_cert.clone()], &roots, 100, &Default::default()).unwrap();
+        assert_eq!(v.identity, w.user_dn);
+        assert_eq!(v.proxy_depth, 0);
+        assert!(!v.is_limited);
+        assert_eq!(v.not_after, 500_000);
+    }
+
+    #[test]
+    fn proxy_chain_validates_with_user_identity() {
+        let w = world();
+        let proxy_key = test_rsa_key(2);
+        let proxy = make_proxy(&w.user_dn, w.user_key, proxy_key, ProxyPolicy::InheritAll, 100_000);
+        let roots = [w.ca.certificate().clone()];
+        let chain = [proxy, w.user_cert.clone()];
+        let v = validate_chain(&chain, &roots, 100, &Default::default()).unwrap();
+        assert_eq!(v.identity, w.user_dn, "effective identity is the EE DN");
+        assert_eq!(v.proxy_depth, 1);
+        assert_eq!(v.not_after, 100_000, "proxy shortens effective lifetime");
+    }
+
+    #[test]
+    fn chained_delegation_two_levels() {
+        let w = world();
+        let p1_key = test_rsa_key(2);
+        let p1 = make_proxy(&w.user_dn, w.user_key, p1_key, ProxyPolicy::InheritAll, 100_000);
+        let p2_key = test_rsa_key(3);
+        let p2 = CertBuilder::new(p1.subject().with_cn("proxy"), 0, 50_000)
+            .proxy(ProxyPolicy::InheritAll, None)
+            .sign(p1.subject(), p1_key, p2_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let chain = [p2, p1, w.user_cert.clone()];
+        let v = validate_chain(&chain, &roots, 100, &Default::default()).unwrap();
+        assert_eq!(v.identity, w.user_dn);
+        assert_eq!(v.proxy_depth, 2);
+        assert_eq!(v.not_after, 50_000);
+    }
+
+    #[test]
+    fn expired_proxy_rejected() {
+        let w = world();
+        let proxy_key = test_rsa_key(2);
+        let proxy = make_proxy(&w.user_dn, w.user_key, proxy_key, ProxyPolicy::InheritAll, 1000);
+        let roots = [w.ca.certificate().clone()];
+        let chain = [proxy, w.user_cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &roots, 2000, &Default::default()),
+            Err(ChainError::TimeInvalid { index: 0, now: 2000 })
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let w = world();
+        let other_root = CertificateAuthority::new_root(
+            Dn::parse("/O=Evil/CN=CA").unwrap(),
+            test_rsa_key(5).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let roots = [other_root.certificate().clone()];
+        assert_eq!(
+            validate_chain(&[w.user_cert.clone()], &roots, 100, &Default::default()),
+            Err(ChainError::UntrustedRoot)
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let w = world();
+        // Mallory signs a cert claiming alice's CA as issuer.
+        let mallory_key = test_rsa_key(6);
+        let forged = CertBuilder::new(w.user_dn.clone(), 0, 500_000)
+            .end_entity()
+            .sign(w.ca.dn(), mallory_key, test_rsa_key(7).public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        assert_eq!(
+            validate_chain(&[forged], &roots, 100, &Default::default()),
+            Err(ChainError::BadSignature { index: 0 })
+        );
+    }
+
+    #[test]
+    fn proxy_subject_must_extend_issuer() {
+        let w = world();
+        let proxy_key = test_rsa_key(2);
+        // Subject does not extend the user's DN.
+        let bad = CertBuilder::new(Dn::parse("/O=Grid/CN=bob/CN=proxy").unwrap(), 0, 1000)
+            .proxy(ProxyPolicy::InheritAll, None)
+            .sign(&w.user_dn, w.user_key, proxy_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let chain = [bad, w.user_cert.clone()];
+        assert_eq!(
+            validate_chain(&chain, &roots, 100, &Default::default()),
+            Err(ChainError::ProxySubjectMismatch { index: 0 })
+        );
+    }
+
+    #[test]
+    fn proxy_issued_by_ca_rejected() {
+        let w = world();
+        // The CA key signs a "proxy" whose parent is the CA cert itself.
+        let proxy_key = test_rsa_key(2);
+        let bad = CertBuilder::new(w.ca.dn().with_cn("proxy"), 0, 1000)
+            .proxy(ProxyPolicy::InheritAll, None)
+            .sign(w.ca.dn(), test_rsa_key(0), proxy_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let chain = [bad, w.ca.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &roots, 100, &Default::default()),
+            Err(ChainError::ProxyIssuedByCa { index: 0 })
+        );
+    }
+
+    #[test]
+    fn limited_proxy_flag_and_rejection() {
+        let w = world();
+        let proxy_key = test_rsa_key(2);
+        let proxy = make_proxy(&w.user_dn, w.user_key, proxy_key, ProxyPolicy::Limited, 1000);
+        let roots = [w.ca.certificate().clone()];
+        let chain = [proxy, w.user_cert.clone()];
+        let v = validate_chain(&chain, &roots, 100, &Default::default()).unwrap();
+        assert!(v.is_limited);
+
+        let strict = ValidationOptions { accept_limited: false, ..Default::default() };
+        assert_eq!(
+            validate_chain(&chain, &roots, 100, &strict),
+            Err(ChainError::LimitedProxyRejected)
+        );
+    }
+
+    #[test]
+    fn limited_propagates_through_further_delegation() {
+        // Once limited, always limited: a full proxy under a limited one
+        // must still yield a limited chain.
+        let w = world();
+        let p1_key = test_rsa_key(2);
+        let p1 = make_proxy(&w.user_dn, w.user_key, p1_key, ProxyPolicy::Limited, 100_000);
+        let p2_key = test_rsa_key(3);
+        let p2 = CertBuilder::new(p1.subject().with_cn("proxy"), 0, 50_000)
+            .proxy(ProxyPolicy::InheritAll, None)
+            .sign(p1.subject(), p1_key, p2_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let v = validate_chain(&[p2, p1, w.user_cert.clone()], &roots, 100, &Default::default())
+            .unwrap();
+        assert!(v.is_limited);
+    }
+
+    #[test]
+    fn proxy_path_len_enforced() {
+        let w = world();
+        let p1_key = test_rsa_key(2);
+        // p1 says: zero further proxies below me.
+        let p1 = CertBuilder::new(w.user_dn.with_cn("proxy"), 0, 100_000)
+            .proxy(ProxyPolicy::InheritAll, Some(0))
+            .sign(&w.user_dn, w.user_key, p1_key.public_key())
+            .unwrap();
+        let p2_key = test_rsa_key(3);
+        let p2 = CertBuilder::new(p1.subject().with_cn("proxy"), 0, 50_000)
+            .proxy(ProxyPolicy::InheritAll, None)
+            .sign(p1.subject(), p1_key, p2_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let err = validate_chain(&[p2, p1, w.user_cert.clone()], &roots, 100, &Default::default())
+            .unwrap_err();
+        assert_eq!(err, ChainError::ProxyPathLenExceeded { index: 1 });
+    }
+
+    #[test]
+    fn restricted_policy_collected_and_enforced() {
+        let w = world();
+        let proxy_key = test_rsa_key(2);
+        let proxy = make_proxy(
+            &w.user_dn,
+            w.user_key,
+            proxy_key,
+            ProxyPolicy::Restricted("targets=storage;actions=read|stat".into()),
+            1000,
+        );
+        let roots = [w.ca.certificate().clone()];
+        let v = validate_chain(&[proxy, w.user_cert.clone()], &roots, 100, &Default::default())
+            .unwrap();
+        assert_eq!(v.restrictions.len(), 1);
+        assert!(v.permits("targets", "storage"));
+        assert!(!v.permits("targets", "jobmgr"));
+        assert!(v.permits("actions", "read"));
+        assert!(!v.permits("actions", "write"));
+        assert!(v.permits("anything-else", "x"), "unmentioned keys unrestricted");
+    }
+
+    #[test]
+    fn restriction_intersection_across_chain() {
+        let w = world();
+        let p1_key = test_rsa_key(2);
+        let p1 = make_proxy(
+            &w.user_dn,
+            w.user_key,
+            p1_key,
+            ProxyPolicy::Restricted("targets=storage|jobmgr".into()),
+            100_000,
+        );
+        let p2_key = test_rsa_key(3);
+        let p2 = CertBuilder::new(p1.subject().with_cn("proxy"), 0, 50_000)
+            .proxy(ProxyPolicy::Restricted("targets=storage".into()), None)
+            .sign(p1.subject(), p1_key, p2_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let v = validate_chain(&[p2, p1, w.user_cert.clone()], &roots, 100, &Default::default())
+            .unwrap();
+        assert!(v.permits("targets", "storage"));
+        assert!(!v.permits("targets", "jobmgr"), "must satisfy every restriction");
+    }
+
+    #[test]
+    fn independent_proxy_grants_nothing() {
+        let w = world();
+        let proxy_key = test_rsa_key(2);
+        let proxy = make_proxy(&w.user_dn, w.user_key, proxy_key, ProxyPolicy::Independent, 1000);
+        let roots = [w.ca.certificate().clone()];
+        let v = validate_chain(&[proxy, w.user_cert.clone()], &roots, 100, &Default::default())
+            .unwrap();
+        assert!(v.is_independent);
+        assert!(!v.permits("targets", "storage"));
+    }
+
+    #[test]
+    fn intermediate_ca_chain_validates() {
+        let mut root = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=Root CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let inter_key = test_rsa_key(8);
+        let inter_dn = Dn::parse("/O=Grid/CN=Inter CA").unwrap();
+        let inter = root
+            .issue_intermediate(&inter_dn, inter_key.public_key(), 0, 900_000, Some(0))
+            .unwrap();
+        let user_key = test_rsa_key(9);
+        let user_dn = Dn::parse("/O=Grid/CN=carol").unwrap();
+        let user = CertBuilder::new(user_dn.clone(), 0, 800_000)
+            .serial(BigUint::from_u64(77))
+            .end_entity()
+            .sign(&inter_dn, inter_key, user_key.public_key())
+            .unwrap();
+        let roots = [root.certificate().clone()];
+        let v = validate_chain(&[user, inter], &roots, 100, &Default::default()).unwrap();
+        assert_eq!(v.identity, user_dn);
+    }
+
+    #[test]
+    fn non_ca_cannot_issue_end_entity() {
+        let w = world();
+        // alice (EE) signs another EE cert for bob — must be rejected.
+        let bob_key = test_rsa_key(10);
+        let bob = CertBuilder::new(Dn::parse("/O=Grid/CN=bob").unwrap(), 0, 1000)
+            .end_entity()
+            .sign(&w.user_dn, w.user_key, bob_key.public_key())
+            .unwrap();
+        let roots = [w.ca.certificate().clone()];
+        let err =
+            validate_chain(&[bob, w.user_cert.clone()], &roots, 100, &Default::default())
+                .unwrap_err();
+        assert_eq!(err, ChainError::NotCa { index: 1 });
+    }
+
+    #[test]
+    fn chain_too_long_rejected() {
+        let w = world();
+        let opts = ValidationOptions { max_chain_len: 1, ..Default::default() };
+        let proxy_key = test_rsa_key(2);
+        let proxy = make_proxy(&w.user_dn, w.user_key, proxy_key, ProxyPolicy::InheritAll, 1000);
+        let roots = [w.ca.certificate().clone()];
+        assert_eq!(
+            validate_chain(&[proxy, w.user_cert.clone()], &roots, 100, &opts),
+            Err(ChainError::TooLong)
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert_eq!(
+            validate_chain(&[], &[], 0, &Default::default()),
+            Err(ChainError::Empty)
+        );
+    }
+
+    #[test]
+    fn restriction_parser_edge_cases() {
+        let r = Restriction::parse("");
+        assert!(r.allows("anything", "x"));
+        let r = Restriction::parse("targets=a|b;;actions=read");
+        assert!(r.allows("targets", "b"));
+        assert!(!r.allows("actions", "write"));
+        // Fail closed on garbage.
+        let r = Restriction::parse("no-equals-here");
+        assert!(!r.allows("anything", "x"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Edge cases of chain validation: deep CA hierarchies, path-length
+//! boundaries, far-future dates, revocation of intermediates, and
+//! proxies hanging off multi-level hierarchies.
+
+use mp_bignum::BigUint;
+use mp_x509::test_util::test_rsa_key;
+use mp_x509::{
+    validate_chain, CertBuilder, CertRevocationList, Certificate, CertificateAuthority,
+    ChainError, Dn, ProxyPolicy, ValidationOptions,
+};
+
+fn root() -> CertificateAuthority {
+    CertificateAuthority::new_root(
+        Dn::parse("/O=Grid/CN=Root").unwrap(),
+        test_rsa_key(0).clone(),
+        0,
+        100_000_000,
+    )
+    .unwrap()
+}
+
+#[test]
+fn two_level_ca_hierarchy_with_proxy_on_top() {
+    let mut root = root();
+    // Root (pathlen ∞) → inter1 (pathlen 1) → inter2 (pathlen 0) → user → proxy.
+    let i1_key = test_rsa_key(1);
+    let i1_dn = Dn::parse("/O=Grid/CN=Inter1").unwrap();
+    let i1 = root
+        .issue_intermediate(&i1_dn, i1_key.public_key(), 0, 90_000_000, Some(1))
+        .unwrap();
+    let i2_key = test_rsa_key(2);
+    let i2_dn = Dn::parse("/O=Grid/CN=Inter2").unwrap();
+    let i2 = CertBuilder::new(i2_dn.clone(), 0, 80_000_000)
+        .serial(BigUint::from_u64(100))
+        .ca(Some(0))
+        .sign(&i1_dn, i1_key, i2_key.public_key())
+        .unwrap();
+    let user_key = test_rsa_key(3);
+    let user_dn = Dn::parse("/O=Grid/CN=dave").unwrap();
+    let user = CertBuilder::new(user_dn.clone(), 0, 70_000_000)
+        .serial(BigUint::from_u64(101))
+        .end_entity()
+        .sign(&i2_dn, i2_key, user_key.public_key())
+        .unwrap();
+    let proxy_key = test_rsa_key(4);
+    let proxy = CertBuilder::new(user_dn.with_cn("proxy"), 0, 60_000_000)
+        .serial(BigUint::from_u64(102))
+        .proxy(ProxyPolicy::InheritAll, None)
+        .sign(&user_dn, user_key, proxy_key.public_key())
+        .unwrap();
+
+    let roots = [root.certificate().clone()];
+    let chain = [proxy, user, i2, i1];
+    let v = validate_chain(&chain, &roots, 1000, &Default::default()).unwrap();
+    assert_eq!(v.identity, user_dn);
+    assert_eq!(v.proxy_depth, 1);
+}
+
+#[test]
+fn ca_path_len_zero_blocks_sub_ca() {
+    let mut root = root();
+    // inter1 has pathlen 0: it may issue EEs but NOT another CA.
+    let i1_key = test_rsa_key(1);
+    let i1_dn = Dn::parse("/O=Grid/CN=Constrained").unwrap();
+    let i1 = root
+        .issue_intermediate(&i1_dn, i1_key.public_key(), 0, 90_000_000, Some(0))
+        .unwrap();
+    let i2_key = test_rsa_key(2);
+    let i2_dn = Dn::parse("/O=Grid/CN=Illegal Sub").unwrap();
+    let i2 = CertBuilder::new(i2_dn.clone(), 0, 80_000_000)
+        .serial(BigUint::from_u64(200))
+        .ca(None)
+        .sign(&i1_dn, i1_key, i2_key.public_key())
+        .unwrap();
+    let user_key = test_rsa_key(3);
+    let user_dn = Dn::parse("/O=Grid/CN=eve").unwrap();
+    let user = CertBuilder::new(user_dn, 0, 70_000_000)
+        .serial(BigUint::from_u64(201))
+        .end_entity()
+        .sign(&i2_dn, i2_key, user_key.public_key())
+        .unwrap();
+
+    let roots = [root.certificate().clone()];
+    let err = validate_chain(&[user, i2, i1], &roots, 1000, &Default::default()).unwrap_err();
+    assert!(matches!(err, ChainError::CaPathLenExceeded { index: 2 }));
+}
+
+#[test]
+fn end_entity_outliving_its_ca_dies_with_the_ca() {
+    let mut ca = CertificateAuthority::new_root(
+        Dn::parse("/O=Grid/CN=ShortRoot").unwrap(),
+        test_rsa_key(0).clone(),
+        0,
+        10_000, // root expires early
+    )
+    .unwrap();
+    let user_key = test_rsa_key(1);
+    let user_dn = Dn::parse("/O=Grid/CN=methuselah").unwrap();
+    // Misconfigured CA issues a cert outliving itself.
+    let user = ca
+        .issue_end_entity(&user_dn, user_key.public_key(), 0, 1_000_000)
+        .unwrap();
+    let roots = [ca.certificate().clone()];
+    assert!(validate_chain(&[user.clone()], &roots, 5_000, &Default::default()).is_ok());
+    // Past the root's expiry the anchor disappears: validation fails
+    // even though the leaf itself is still in-window.
+    let err = validate_chain(&[user], &roots, 20_000, &Default::default()).unwrap_err();
+    assert_eq!(err, ChainError::UntrustedRoot);
+}
+
+#[test]
+fn far_future_dates_roundtrip() {
+    // GeneralizedTime handles years past 2050 (UTCTime cannot).
+    let key = test_rsa_key(0);
+    let dn = Dn::parse("/CN=far future").unwrap();
+    let not_after = 4_102_444_800; // 2100-01-01
+    let cert = CertBuilder::new(dn.clone(), 0, not_after)
+        .end_entity()
+        .sign(&dn, key, key.public_key())
+        .unwrap();
+    let reparsed = Certificate::from_der(cert.to_der()).unwrap();
+    assert_eq!(reparsed.not_after(), not_after);
+}
+
+#[test]
+fn revoked_intermediate_kills_the_whole_chain() {
+    let mut root = root();
+    let i1_key = test_rsa_key(1);
+    let i1_dn = Dn::parse("/O=Grid/CN=Revoked Inter").unwrap();
+    let i1 = root
+        .issue_intermediate(&i1_dn, i1_key.public_key(), 0, 90_000_000, None)
+        .unwrap();
+    let user_key = test_rsa_key(2);
+    let user_dn = Dn::parse("/O=Grid/CN=innocent").unwrap();
+    let user = CertBuilder::new(user_dn, 0, 70_000_000)
+        .serial(BigUint::from_u64(300))
+        .end_entity()
+        .sign(&i1_dn, i1_key, user_key.public_key())
+        .unwrap();
+
+    let crl = CertRevocationList::create(
+        root.dn(),
+        root.key(),
+        0,
+        100_000_000,
+        &[i1.serial().clone()],
+        500,
+    )
+    .unwrap();
+    let roots = [root.certificate().clone()];
+    let opts = ValidationOptions { crls: vec![crl], ..Default::default() };
+    let err = validate_chain(&[user, i1], &roots, 1000, &opts).unwrap_err();
+    assert!(matches!(err, ChainError::Revoked { index: 1, .. }));
+}
+
+#[test]
+fn exact_max_chain_len_boundary() {
+    let mut root = root();
+    let user_key = test_rsa_key(1);
+    let user_dn = Dn::parse("/O=Grid/CN=boundary").unwrap();
+    let user = root
+        .issue_end_entity(&user_dn, user_key.public_key(), 0, 90_000_000)
+        .unwrap();
+    let roots = [root.certificate().clone()];
+    let at_limit = ValidationOptions { max_chain_len: 1, ..Default::default() };
+    assert!(validate_chain(&[user.clone()], &roots, 1000, &at_limit).is_ok());
+    let below = ValidationOptions { max_chain_len: 0, ..Default::default() };
+    assert_eq!(
+        validate_chain(&[user], &roots, 1000, &below),
+        Err(ChainError::TooLong)
+    );
+}
+
+#[test]
+fn validity_boundaries_are_inclusive() {
+    let key = test_rsa_key(0);
+    let dn = Dn::parse("/CN=edges").unwrap();
+    let cert = CertBuilder::new(dn.clone(), 1000, 2000)
+        .end_entity()
+        .sign(&dn, key, key.public_key())
+        .unwrap();
+    // Self-signed cert used as its own trust root.
+    let roots = [cert.clone()];
+    assert!(validate_chain(&[cert.clone()], &roots, 1000, &Default::default()).is_ok());
+    assert!(validate_chain(&[cert.clone()], &roots, 2000, &Default::default()).is_ok());
+    assert!(validate_chain(&[cert.clone()], &roots, 999, &Default::default()).is_err());
+    assert!(validate_chain(&[cert], &roots, 2001, &Default::default()).is_err());
+}
+
+#[test]
+fn self_signed_non_root_is_untrusted() {
+    let key = test_rsa_key(5);
+    let dn = Dn::parse("/O=Rogue/CN=self-made").unwrap();
+    let cert = CertBuilder::new(dn.clone(), 0, 1_000_000)
+        .end_entity()
+        .sign(&dn, key, key.public_key())
+        .unwrap();
+    let real_root = root();
+    let roots = [real_root.certificate().clone()];
+    assert_eq!(
+        validate_chain(&[cert], &roots, 1000, &Default::default()),
+        Err(ChainError::UntrustedRoot)
+    );
+}
+
+#[test]
+fn duplicate_subject_different_keys_rejected_by_signature() {
+    // A certificate claiming the root's DN but a different key cannot
+    // anchor: DN matching alone never suffices, the signature must
+    // verify under the real root key.
+    let real_root = root();
+    let fake_key = test_rsa_key(6);
+    let fake = CertBuilder::new(real_root.dn().clone(), 0, 1_000_000)
+        .ca(None)
+        .sign(real_root.dn(), fake_key, fake_key.public_key())
+        .unwrap();
+    let roots = [real_root.certificate().clone()];
+    let err = validate_chain(&[fake], &roots, 1000, &Default::default()).unwrap_err();
+    assert!(matches!(err, ChainError::BadSignature { index: 0 }));
+}

@@ -1,0 +1,106 @@
+//! §6.6: keeping a long-running job alive with MyProxy renewal.
+//!
+//! ```text
+//! cargo run --example condor_renewal
+//! ```
+//!
+//! Runs the same long job twice: once without renewal (it dies when its
+//! proxy expires before the output store) and once with the renewal
+//! agent polling the job manager and refreshing proxies through the
+//! RENEW protocol (challenge-response on the old proxy key — no pass
+//! phrase, no e-mailing the user as Condor-G did).
+
+use myproxy::gram::JobState;
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::myproxy::renewal::RenewalAgent;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+const PROXY_LIFETIME: u64 = 800;
+const TICKS: u64 = 5;
+const TICK_SECS: u64 = 300;
+
+fn run(renew: bool) -> (JobState, GridWorld) {
+    let w = GridWorld::new();
+    let mut rng = test_drbg("condor example");
+    // Renewable by "bob" (standing in for the Condor-G service host).
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.renewer = Some("/O=Grid/CN=bob".into());
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = PROXY_LIFETIME;
+    let user_proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+
+    let cfg = myproxy::gsi::ChannelConfig::new(vec![w.ca_cert.clone()]);
+    let id = myproxy::gram::job::client::submit(
+        w.jobmanager.connect_local(b"condor example"),
+        &user_proxy,
+        &cfg,
+        "overnight",
+        TICKS,
+        true,
+        true,
+        PROXY_LIFETIME,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+
+    let agent = RenewalAgent::new(TICK_SECS + 10);
+    for t in 1..=TICKS {
+        w.clock.advance(TICK_SECS);
+        if renew {
+            for (job_id, old) in w.jobmanager.jobs_needing_renewal(agent.threshold_secs) {
+                let fresh = agent
+                    .maybe_renew(
+                        &w.myproxy_client,
+                        w.myproxy.connect_local(),
+                        &w.bob,
+                        &old,
+                        "alice",
+                        None,
+                        &mut rng,
+                        w.clock.now(),
+                    )
+                    .unwrap()
+                    .unwrap();
+                println!(
+                    "  tick {t}: renewed job {job_id}'s proxy ({}s left -> {}s)",
+                    old.remaining_lifetime(w.clock.now()),
+                    fresh.remaining_lifetime(w.clock.now())
+                );
+                w.jobmanager.replace_proxy(job_id, fresh).unwrap();
+            }
+        }
+        w.jobmanager.tick(&mut rng);
+        let job = w.jobmanager.job(id).unwrap();
+        println!("  tick {t}: job state = {:?} ({}/{})", job.state, job.done_ticks, job.total_ticks);
+    }
+    (w.jobmanager.job(id).unwrap().state, w)
+}
+
+fn main() {
+    println!("== §6.6 long-running job, proxy lifetime {PROXY_LIFETIME}s, \
+              {TICKS} ticks x {TICK_SECS}s ==");
+    println!();
+    println!("-- run 1: no renewal (the Condor-G problem) --");
+    let (state, w) = run(false);
+    println!("result: {state:?}");
+    assert!(matches!(&state, JobState::Failed(why) if why.contains("expired")));
+    assert!(w.storage.peek("alice", "overnight.out").is_none());
+    println!();
+    println!("-- run 2: with the MyProxy renewal agent --");
+    let (state, w) = run(true);
+    println!("result: {state:?}");
+    assert_eq!(state, JobState::Completed);
+    assert!(w.storage.peek("alice", "overnight.out").is_some());
+    println!();
+    println!("ok: renewal carried the job past its original proxy lifetime.");
+}

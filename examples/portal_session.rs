@@ -1,0 +1,77 @@
+//! The paper's Figure 3, end to end: browser → portal → MyProxy → Grid.
+//!
+//! ```text
+//! cargo run --example portal_session
+//! ```
+//!
+//! A user initializes the repository from "her workstation", then logs
+//! into a Grid portal from "an airport kiosk" over HTTPS-sim, submits a
+//! job (with delegation), stores a file, and logs out. Also
+//! demonstrates the §5.2 rule: the portal refuses pass phrases over
+//! plain HTTP.
+
+use myproxy::portal::browser::expect_ok;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+
+fn main() {
+    let w = GridWorld::new();
+    println!("== Grid portal session (Figure 3) ==");
+
+    // Figure 1, earlier, from the workstation.
+    w.alice_init("correct horse battery").expect("myproxy-init failed");
+    println!("[workstation] alice ran myproxy-init (pass phrase chosen)");
+
+    // The kiosk browser has no Grid credentials — only a CA store.
+    let mut browser = w.browser("kiosk browser");
+    let home = expect_ok(browser.get("/").unwrap()).unwrap();
+    println!("[kiosk] GET /          -> {} bytes of login page", home.body.len());
+
+    // §5.2: plain HTTP login is refused by policy.
+    let mut insecure = w.browser_plain("insecure browser");
+    let refused = insecure.login("alice", "correct horse battery").unwrap();
+    println!("[kiosk] plain-HTTP login -> HTTP {} ({})", refused.status, refused.text());
+    assert_eq!(refused.status, 403);
+
+    // Step 1-3 over HTTPS-sim.
+    let resp = expect_ok(browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    println!("[kiosk] HTTPS login      -> HTTP {} (cookie set)", resp.status);
+    let who = expect_ok(browser.get("/whoami").unwrap()).unwrap();
+    println!("[portal] {}", who.text());
+
+    // Drive the Grid through the portal.
+    let resp = expect_ok(
+        browser
+            .post("/submit", &[("name", "climate-sim"), ("ticks", "3"), ("output", "1")])
+            .unwrap(),
+    )
+    .unwrap();
+    println!("[portal] submitted {}", resp.text());
+    let job_id: u64 = resp.text().strip_prefix("job=").unwrap().parse().unwrap();
+
+    let mut rng = test_drbg("portal example ticks");
+    for t in 1..=3 {
+        w.jobmanager.tick(&mut rng);
+        let status = expect_ok(browser.get(&format!("/job?id={job_id}")).unwrap()).unwrap();
+        println!("[jobmgr] tick {t}: {}", status.text());
+    }
+
+    expect_ok(
+        browser
+            .post("/store", &[("filename", "notes.txt"), ("content", "hello from the kiosk")])
+            .unwrap(),
+    )
+    .unwrap();
+    let files = expect_ok(browser.get("/files").unwrap()).unwrap();
+    println!("[storage] alice's files:");
+    for f in files.text().lines() {
+        println!("          - {f}");
+    }
+
+    // Logout deletes the delegated credential on the portal (§4.3).
+    expect_ok(browser.logout().unwrap()).unwrap();
+    println!("[portal] logged out; live sessions = {}", w.portal.sessions().len());
+    assert_eq!(w.portal.sessions().len(), 0);
+    println!();
+    println!("ok: full Figure-3 session completed.");
+}

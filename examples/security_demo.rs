@@ -1,0 +1,132 @@
+//! Interactive tour of the paper's §5 security analysis: each claimed
+//! protection demonstrated live, attacker's-eye view.
+//!
+//! ```text
+//! cargo run --example security_demo
+//! ```
+
+use myproxy::gsi::transport::Tap;
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::myproxy::otp::OtpGenerator;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+fn main() {
+    let w = GridWorld::new();
+    let mut rng = test_drbg("security demo");
+    println!("== §5 security walk-through ==\n");
+
+    // Seed: Figure 1.
+    w.myproxy_client
+        .init(
+            w.myproxy.connect_local(),
+            &w.alice,
+            &InitParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    println!("alice ran myproxy-init; the repository holds 1 credential.\n");
+
+    // Threat 1: dump the repository host.
+    println!("[threat] intruder dumps the repository host's storage:");
+    let blob = &w.myproxy.store().raw_dump()[0];
+    let visible = blob.windows(21).any(|x| x == b"BEGIN RSA PRIVATE KEY");
+    println!("  sealed blob: {} bytes; plaintext key material visible: {visible}", blob.len());
+    assert!(!visible);
+    println!("  => §5.1 holds: \"the repository encrypts the credentials that it holds\"\n");
+
+    // Threat 2: eavesdrop on a retrieval.
+    println!("[threat] eavesdropper taps a myproxy-get-delegation connection:");
+    let (tapped, log) = Tap::new(w.myproxy.connect_local());
+    w.myproxy_client
+        .get_delegation(
+            tapped,
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    let l = log.lock();
+    let saw_pass = l.contains(b"correct horse battery");
+    println!(
+        "  captured {} bytes; pass phrase visible: {saw_pass}",
+        l.sent.len() + l.received.len()
+    );
+    assert!(!saw_pass);
+    drop(l);
+    println!("  => §5.1 holds: \"all data passing to and from the server is encrypted\"\n");
+
+    // Threat 3: unauthorized retriever with a stolen pass phrase.
+    println!("[threat] bob stole the pass phrase but is not an authorized retriever:");
+    let mut strict = myproxy::myproxy::ServerPolicy::permissive();
+    strict.authorized_retrievers =
+        myproxy::gsi::AccessControlList::from_patterns([myproxy::testkit::dn::PORTAL]);
+    let w2 = GridWorld::with_policy(strict);
+    w2.alice_init("correct horse battery").unwrap();
+    let err = w2
+        .myproxy_client
+        .get_delegation(
+            w2.myproxy.connect_local(),
+            &w2.bob,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w2.clock.now(),
+        )
+        .unwrap_err();
+    println!("  server said: {err}");
+    println!("  => §5.1 holds: the retrievers ACL \"prevents unauthorized clients from");
+    println!("     retrieving a user proxy ... even if such clients [have] the user's");
+    println!("     MyProxy authentication information\"\n");
+
+    // Threat 4: replay of captured authentication data.
+    println!("[threat] compromised-but-authorized client replays (user, pass phrase):");
+    w.myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    println!("  base scheme: replay SUCCEEDS (the residual risk §5.1 concedes)");
+    let gen = OtpGenerator::new(b"alice device", b"seed", 3);
+    w.myproxy_client
+        .otp_setup(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &gen.anchor_hex(),
+            gen.chain_len,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    let mut params = GetParams::new("alice", "correct horse battery");
+    params.otp = Some(gen.password_hex(1));
+    w.myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &params, &mut rng, w.clock.now())
+        .unwrap();
+    let mut replay = GetParams::new("alice", "correct horse battery");
+    replay.otp = Some(gen.password_hex(1));
+    let err = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &replay, &mut rng, w.clock.now())
+        .unwrap_err();
+    println!("  with OTP (§6.3): first use ok, replay refused: {err}");
+    println!("  => the paper's proposed fix, implemented and effective\n");
+
+    // Threat 5: wait it out.
+    println!("[threat] attacker sits on stolen data and waits:");
+    w.clock.advance(8 * 24 * 3600);
+    let purged = w.myproxy.purge_expired();
+    println!("  8 days later the stored credential expired; purge removed {purged} entries");
+    println!("  => §5.1 holds: \"the required delay allows credentials to expire or for");
+    println!("     the intrusion to be detected\"\n");
+
+    println!("all demonstrated properties also run as assertions in tests/security_properties.rs");
+}

@@ -1,0 +1,92 @@
+//! §6.2: the credential wallet — several credentials, task-based
+//! selection, minimum-rights embedding.
+//!
+//! ```text
+//! cargo run --example wallet_selection
+//! ```
+
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::{validate_chain, Clock};
+
+fn main() {
+    let w = GridWorld::new();
+    let mut rng = test_drbg("wallet example");
+    println!("== §6.2 electronic wallet ==");
+
+    // Alice holds credentials from two CAs / for two purposes.
+    for (name, tags) in [
+        ("doe-compute", vec![("ca", "DOE"), ("purpose", "compute")]),
+        ("nasa-storage", vec![("ca", "NASA-IPG"), ("purpose", "storage")]),
+    ] {
+        let mut params = InitParams::new("alice", "correct horse battery");
+        params.cred_name = Some(name.into());
+        params.tags = tags.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        w.myproxy_client
+            .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+            .unwrap();
+        println!("stored wallet entry '{name}' with tags {tags:?}");
+    }
+
+    let infos = w
+        .myproxy_client
+        .info(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    println!("wallet now holds {} credentials", infos.len());
+    println!();
+
+    // A task arrives: store data at NERSC. The wallet picks the storage
+    // credential and embeds the minimum rights (targets=storage.nersc.gov).
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.task = vec![
+        ("purpose".into(), "storage".into()),
+        ("target".into(), "storage.nersc.gov".into()),
+    ];
+    let proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+    let v = validate_chain(proxy.chain(), &[w.ca_cert.clone()], w.clock.now(), &Default::default())
+        .unwrap();
+    println!("task {{purpose:storage, target:storage.nersc.gov}} selected a credential:");
+    println!("  identity:     {}", v.identity);
+    println!("  restrictions: {:?}", v.restrictions.iter().map(|r| r.raw()).collect::<Vec<_>>());
+
+    // Prove the restriction: storage accepts, job manager refuses.
+    let cfg = myproxy::gsi::ChannelConfig::new(vec![w.ca_cert.clone()]);
+    myproxy::gram::storage::client::store(
+        w.storage.connect_local(b"wallet example store"),
+        &proxy,
+        &cfg,
+        "task-output.dat",
+        b"minimal rights at work",
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    println!("  storage.nersc.gov: STORE allowed");
+    let denied = myproxy::gram::job::client::submit(
+        w.jobmanager.connect_local(b"wallet example submit"),
+        &proxy,
+        &cfg,
+        "sneaky",
+        1,
+        false,
+        false,
+        0,
+        &mut rng,
+        w.clock.now(),
+    );
+    println!("  jobmanager.ncsa.edu: SUBMIT {}", if denied.is_err() { "denied" } else { "ALLOWED?!" });
+    assert!(denied.is_err());
+    println!();
+    println!("ok: the wallet selected by task and scoped the delegation.");
+}

@@ -1,0 +1,149 @@
+//! Experiment C — §6.6 Condor-G support: a job that outlives its proxy,
+//! failed without renewal and saved by the renewal agent.
+
+use myproxy::gram::JobState;
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::myproxy::renewal::RenewalAgent;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+/// Submit a job as alice through the job manager, with a `lifetime`-
+/// second delegated proxy; job runs `ticks` ticks with `tick_secs`
+/// seconds between ticks.
+fn run_job(w: &GridWorld, lifetime: u64, ticks: u64, tick_secs: u64, renew: bool) -> JobState {
+    let mut rng = test_drbg("condor job");
+    // The portal (or Condor-G) fetched a short-lived proxy for alice.
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = lifetime;
+    let user_proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+
+    let cfg = myproxy::gsi::ChannelConfig::new(vec![w.ca_cert.clone()]);
+    let id = myproxy::gram::job::client::submit(
+        w.jobmanager.connect_local(b"condor submit"),
+        &user_proxy,
+        &cfg,
+        "longrun",
+        ticks,
+        true, // stores output at the end — needs a live credential then
+        true,
+        lifetime,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+
+    let agent = RenewalAgent::new(tick_secs + 10);
+    for _ in 0..ticks {
+        w.clock.advance(tick_secs);
+        if renew {
+            for (job_id, old_proxy) in w.jobmanager.jobs_needing_renewal(agent.threshold_secs) {
+                let fresh = agent
+                    .maybe_renew(
+                        &w.myproxy_client,
+                        w.myproxy.connect_local(),
+                        &w.bob, // stand-in: see renewers note below
+                        &old_proxy,
+                        "alice",
+                        None,
+                        &mut rng,
+                        w.clock.now(),
+                    )
+                    .expect("renewal protocol failed")
+                    .expect("agent decided renewal was needed");
+                w.jobmanager.replace_proxy(job_id, fresh).unwrap();
+            }
+        }
+        w.jobmanager.tick(&mut rng);
+    }
+    w.jobmanager.job(id).unwrap().state
+}
+
+fn init_renewable(w: &GridWorld, renewer: &str) {
+    let mut rng = test_drbg("condor init");
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.renewer = Some(renewer.to_string());
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+}
+
+#[test]
+fn job_outliving_proxy_fails_without_renewal() {
+    let w = GridWorld::new();
+    init_renewable(&w, "/O=Grid/CN=bob");
+    // 5 ticks × 300s = 1500s of work; proxy lives 800s.
+    let state = run_job(&w, 800, 5, 300, false);
+    assert!(
+        matches!(&state, JobState::Failed(why) if why.contains("expired")),
+        "without renewal the job must fail on output store: {state:?}"
+    );
+}
+
+#[test]
+fn renewal_agent_keeps_job_alive() {
+    let w = GridWorld::new();
+    // bob's identity plays the Condor-G renewal service here.
+    init_renewable(&w, "/O=Grid/CN=bob");
+    let state = run_job(&w, 800, 5, 300, true);
+    assert_eq!(state, JobState::Completed, "renewed proxies carry the job to completion");
+    assert!(w.storage.peek("alice", "longrun.out").is_some());
+}
+
+#[test]
+fn renewal_respects_renewer_acl() {
+    let w = GridWorld::new();
+    // Renewable only by some *other* service — bob's renewals must fail,
+    // and therefore the job must die.
+    init_renewable(&w, "/O=Grid/CN=someone-else");
+    let mut rng = test_drbg("acl renew");
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = 500;
+    let user_proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+    let err = w
+        .myproxy_client
+        .renew(
+            w.myproxy.connect_local(),
+            &w.bob,
+            &user_proxy,
+            "alice",
+            None,
+            512,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, myproxy::myproxy::MyProxyError::Refused(_)));
+}
+
+#[test]
+fn renewed_chain_still_validates_as_alice() {
+    let w = GridWorld::new();
+    init_renewable(&w, "/O=Grid/CN=bob");
+    let mut rng = test_drbg("renew identity");
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = 500;
+    let old = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+    let fresh = w
+        .myproxy_client
+        .renew(w.myproxy.connect_local(), &w.bob, &old, "alice", None, 512, &mut rng, w.clock.now())
+        .unwrap();
+    let v = myproxy::x509::validate_chain(
+        fresh.chain(),
+        &[w.ca_cert.clone()],
+        w.clock.now(),
+        &Default::default(),
+    )
+    .unwrap();
+    assert_eq!(v.identity.to_string(), "/O=Grid/CN=alice");
+    assert!(fresh.remaining_lifetime(w.clock.now()) > old.remaining_lifetime(w.clock.now()));
+}

@@ -1,0 +1,86 @@
+//! Experiment F1 — Figure 1: the `myproxy-init` flow.
+//!
+//! "A user would start by using the myproxy-init client program along
+//! with their permanent credentials to contact the repository and
+//! delegate a set of proxy credentials to the server along with
+//! authentication information and retrieval restrictions."
+
+use myproxy::myproxy::client::InitParams;
+use myproxy::testkit::{dn, GridWorld};
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+#[test]
+fn init_delegates_proxy_to_repository() {
+    let w = GridWorld::new();
+    let start = w.clock.now();
+    let not_after = w.alice_init("correct horse battery").unwrap();
+
+    // Default: one week (§4.1 "credentials delegated to the repository
+    // normally have a lifetime of a week").
+    assert_eq!(not_after, start + 7 * 24 * 3600);
+    assert_eq!(w.myproxy.store().len(), 1);
+
+    // What the repository holds is a *proxy* of alice, not her
+    // long-term key — and it is sealed under her pass phrase.
+    let (cred, entry) = w
+        .myproxy
+        .store()
+        .open("alice", "default", "correct horse battery")
+        .unwrap();
+    assert!(cred.is_proxy());
+    assert_eq!(entry.owner_identity, dn::ALICE);
+    assert_ne!(
+        cred.key().public_key(),
+        w.alice.key().public_key(),
+        "repository never receives the user's own private key"
+    );
+}
+
+#[test]
+fn init_with_custom_lifetime_and_restrictions() {
+    let w = GridWorld::new();
+    let mut rng = test_drbg("f1 custom");
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.lifetime_secs = 3600 * 24; // one day instead of a week
+    params.retrieval_max_lifetime = Some(1800);
+    let not_after = w
+        .myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(not_after, w.clock.now() + 3600 * 24);
+    let entry = w.myproxy.store().peek("alice", "default").unwrap();
+    assert_eq!(entry.retrieval_max_lifetime, 1800);
+}
+
+#[test]
+fn user_can_destroy_previously_delegated_credentials() {
+    // §4.1: "The user can also, at any point, use the myproxy-destroy
+    // client program to destroy any credentials they previously
+    // delegated to the repository."
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut rng = test_drbg("f1 destroy");
+    w.myproxy_client
+        .destroy(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            None,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(w.myproxy.store().len(), 0);
+}
+
+#[test]
+fn repeated_init_replaces_the_stored_credential() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    w.clock.advance(1000);
+    let second = w.alice_init("correct horse battery").unwrap();
+    assert_eq!(w.myproxy.store().len(), 1, "same (user, name) replaced, not duplicated");
+    assert_eq!(second, w.clock.now() + 7 * 24 * 3600);
+}

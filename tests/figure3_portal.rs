@@ -1,0 +1,155 @@
+//! Experiment F3 — Figure 3: the full portal flow.
+//!
+//! Step 1: browser sends authentication data to the portal (HTTPS).
+//! Step 2: portal authenticates to the repository with its own
+//!         credentials and presents the user's authentication data.
+//! Step 3: repository delegates the user's proxy to the portal.
+//! Then the user "directs the portal through the existing connection
+//! with the web browser" — jobs, files — and logout deletes the
+//! delegated credential (§4.3).
+
+use myproxy::gram::JobState;
+use myproxy::portal::browser::expect_ok;
+use myproxy::testkit::{dn, GridWorld};
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+#[test]
+fn full_portal_session() {
+    let w = GridWorld::new();
+    // Earlier, from her workstation: Figure 1.
+    w.alice_init("correct horse battery").unwrap();
+
+    // Later, from an airport kiosk (§3.1): any standard browser.
+    let mut browser = w.browser("kiosk");
+    let home = expect_ok(browser.get("/").unwrap()).unwrap();
+    assert!(home.text().contains("Grid Portal"));
+
+    // Step 1-3.
+    expect_ok(browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    assert!(browser.session_cookie().is_some());
+    assert_eq!(w.portal.sessions().len(), 1);
+
+    let who = expect_ok(browser.get("/whoami").unwrap()).unwrap();
+    assert!(who.text().contains("user=alice"));
+    assert!(who.text().contains(dn::ALICE));
+
+    // Direct the portal: submit a job that stores output, as alice.
+    let resp = expect_ok(
+        browser
+            .post("/submit", &[("name", "climate"), ("ticks", "2"), ("output", "1")])
+            .unwrap(),
+    )
+    .unwrap();
+    let job_id: u64 = resp.text().strip_prefix("job=").unwrap().parse().unwrap();
+
+    let mut rng = test_drbg("f3 ticks");
+    w.jobmanager.tick(&mut rng);
+    w.jobmanager.tick(&mut rng);
+    assert_eq!(w.jobmanager.job(job_id).unwrap().state, JobState::Completed);
+    // Output was written to mass storage under alice's account, via the
+    // delegated (and re-delegated) credential chain.
+    assert!(w.storage.peek("alice", "climate.out").is_some());
+
+    let status = expect_ok(browser.get(&format!("/job?id={job_id}")).unwrap()).unwrap();
+    assert!(status.text().contains("state=COMPLETED"));
+
+    // Store a file straight from the browser.
+    expect_ok(
+        browser
+            .post("/store", &[("filename", "notes.txt"), ("content", "from the kiosk")])
+            .unwrap(),
+    )
+    .unwrap();
+    let files = expect_ok(browser.get("/files").unwrap()).unwrap();
+    assert!(files.text().contains("notes.txt"));
+    assert!(files.text().contains("climate.out"));
+
+    // Logout deletes the delegated credential on the portal (§4.3).
+    expect_ok(browser.logout().unwrap()).unwrap();
+    assert_eq!(w.portal.sessions().len(), 0);
+    let resp = browser.get("/whoami").unwrap();
+    assert_eq!(resp.status, 401);
+}
+
+#[test]
+fn login_fails_with_bad_passphrase_or_before_init() {
+    let w = GridWorld::new();
+    let mut browser = w.browser("early bird");
+    // Nothing stored yet.
+    let resp = browser.login("alice", "correct horse battery").unwrap();
+    assert_eq!(resp.status, 401);
+
+    w.alice_init("correct horse battery").unwrap();
+    let resp = browser.login("alice", "wrong").unwrap();
+    assert_eq!(resp.status, 401);
+    assert_eq!(w.portal.sessions().len(), 0);
+}
+
+#[test]
+fn forgotten_logout_session_dies_with_proxy_expiry() {
+    // §4.3: "If a user forgets to log off, the credential will expire
+    // at the lifetime specified when requested from the MyProxy
+    // service."
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut browser = w.browser("forgetful");
+    expect_ok(browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    assert_eq!(expect_ok(browser.get("/whoami").unwrap()).unwrap().status, 200);
+
+    // The portal's proxy lives 2h by default.
+    w.clock.advance(2 * 3600 + 1);
+    let resp = browser.get("/whoami").unwrap();
+    assert_eq!(resp.status, 401, "session invalid once the proxy expired");
+    assert_eq!(w.portal.sessions().len(), 0, "expired session reaped");
+}
+
+#[test]
+fn two_users_get_independent_sessions() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut rng = test_drbg("bob init");
+    w.myproxy_client
+        .init(
+            w.myproxy.connect_local(),
+            &w.bob,
+            &myproxy::myproxy::client::InitParams::new("bob", "bobs-own-pass"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+
+    let mut alice_browser = w.browser("alice browser");
+    let mut bob_browser = w.browser("bob browser");
+    expect_ok(alice_browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    expect_ok(bob_browser.login("bob", "bobs-own-pass").unwrap()).unwrap();
+    assert_ne!(alice_browser.session_cookie(), bob_browser.session_cookie());
+
+    // Bob stores a file; it lands in bob's area, invisible to alice.
+    expect_ok(bob_browser.post("/store", &[("filename", "b.txt"), ("content", "b")]).unwrap())
+        .unwrap();
+    assert!(w.storage.peek("bob", "b.txt").is_some());
+    assert!(w.storage.peek("alice", "b.txt").is_none());
+    let alice_files = expect_ok(alice_browser.get("/files").unwrap()).unwrap();
+    assert!(!alice_files.text().contains("b.txt"));
+}
+
+#[test]
+fn stolen_cookie_after_logout_is_useless() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut browser = w.browser("victim");
+    expect_ok(browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    let stolen = browser.session_cookie().unwrap().to_string();
+    expect_ok(browser.logout().unwrap()).unwrap();
+
+    // Attacker replays the cookie.
+    let mut attacker = w.browser("attacker");
+    let resp = attacker
+        .request(
+            myproxy::portal::http::HttpRequest::get("/whoami")
+                .with_header("cookie", &format!("MPSESSION={stolen}")),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 401);
+}

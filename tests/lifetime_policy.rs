@@ -1,0 +1,160 @@
+//! Experiment L — lifetime policy end-to-end (§2.3, §4.1, §4.3): every
+//! credential in the system is bounded by the shortest-lived layer, and
+//! the simulated clock proves each bound actually bites.
+
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::myproxy::ServerPolicy;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+#[test]
+fn server_policy_caps_stored_lifetime() {
+    // §4.3: "The maximum lifetime of credentials delegated to the
+    // repository is set by policy on the repository server, but
+    // defaults to one week."
+    let mut policy = ServerPolicy::permissive();
+    policy.max_stored_lifetime_secs = 24 * 3600; // strict site: one day
+    let w = GridWorld::with_policy(policy);
+    let mut rng = test_drbg("cap stored");
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.lifetime_secs = 30 * 24 * 3600; // user asks for a month
+    let not_after = w
+        .myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(not_after, w.clock.now() + 24 * 3600, "server cap wins");
+}
+
+#[test]
+fn server_policy_caps_delegated_lifetime() {
+    let mut policy = ServerPolicy::permissive();
+    policy.max_delegated_lifetime_secs = 600;
+    let w = GridWorld::with_policy(policy);
+    w.alice_init("correct horse battery").unwrap();
+    let mut rng = test_drbg("cap delegated");
+    let mut params = GetParams::new("alice", "correct horse battery");
+    params.lifetime_secs = 999_999;
+    let proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &params, &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(proxy.remaining_lifetime(w.clock.now()), 600);
+}
+
+#[test]
+fn delegated_proxy_never_outlives_stored_credential() {
+    let w = GridWorld::new();
+    let mut rng = test_drbg("nest");
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.lifetime_secs = 1000; // short-lived stored credential
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.lifetime_secs = 7200;
+    let proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+    // The chain's effective expiry is min over certificates: the stored
+    // credential's 1000s, not the requested 7200s.
+    assert_eq!(proxy.remaining_lifetime(w.clock.now()), 1000);
+}
+
+#[test]
+fn every_layer_expires_in_order() {
+    // Build the full tower: user cert (1 year) > stored proxy (1 week)
+    // > portal proxy (2h), and watch each die in turn.
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut rng = test_drbg("tower");
+    let portal_proxy = w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+
+    let roots = [w.ca_cert.clone()];
+
+    // t + 1h: everything valid.
+    w.clock.advance(3600);
+    assert!(myproxy::x509::validate_chain(
+        portal_proxy.chain(),
+        &roots,
+        w.clock.now(),
+        &Default::default()
+    )
+    .is_ok());
+
+    // t + 3h: portal proxy expired; stored credential still retrievable.
+    w.clock.advance(2 * 3600);
+    assert!(myproxy::x509::validate_chain(
+        portal_proxy.chain(),
+        &roots,
+        w.clock.now(),
+        &Default::default()
+    )
+    .is_err());
+    let fresh = w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert!(fresh.remaining_lifetime(w.clock.now()) > 0);
+
+    // t + 8 days: stored credential expired; retrieval fails; alice
+    // must rerun myproxy-init from her workstation (§4.3).
+    w.clock.advance(8 * 24 * 3600);
+    assert!(w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .is_err());
+    w.alice_init("correct horse battery").unwrap();
+    assert!(w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .is_ok());
+}
+
+#[test]
+fn proxy_notbefore_tolerates_clock_skew() {
+    // A proxy minted "now" must be immediately usable by a validator
+    // whose clock runs slightly behind (the CLOCK_SKEW_SLACK backdate).
+    let w = GridWorld::new();
+    let mut rng = test_drbg("skew");
+    let proxy = myproxy::gsi::grid_proxy_init(
+        &w.alice,
+        &myproxy::gsi::ProxyOptions::default(),
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    let roots = [w.ca_cert.clone()];
+    let behind = w.clock.now() - 200;
+    assert!(
+        myproxy::x509::validate_chain(proxy.chain(), &roots, behind, &Default::default()).is_ok()
+    );
+}

@@ -1,0 +1,58 @@
+//! The full Figure-3 stack over real TCP sockets: the browser dials the
+//! portal's TCP port, the portal dials nothing else differently — same
+//! code paths as the in-memory tests, real kernel networking.
+
+use myproxy::crypto::HmacDrbg;
+use myproxy::gsi::transport::{BoxedTransport, Connector};
+use myproxy::portal::browser::{expect_ok, Browser, BrowserMode};
+use myproxy::testkit::GridWorld;
+use std::sync::Arc;
+
+fn tcp_connector(addr: std::net::SocketAddr) -> Connector {
+    Arc::new(move || {
+        let sock = std::net::TcpStream::connect(addr)?;
+        Ok(Box::new(sock) as BoxedTransport)
+    })
+}
+
+#[test]
+fn browser_to_portal_over_tcp() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    // Portal listens on real sockets: one TLS port, one plain port.
+    let tls_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let tls_addr = tls_listener.local_addr().unwrap();
+    let plain_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let plain_addr = plain_listener.local_addr().unwrap();
+    {
+        let portal = w.portal.clone();
+        std::thread::spawn(move || portal.serve_tcp_tls(tls_listener));
+        let portal = w.portal.clone();
+        std::thread::spawn(move || portal.serve_tcp_plain(plain_listener));
+    }
+
+    // An HTTPS browser session over TCP.
+    let mut browser = Browser::new(
+        tcp_connector(tls_addr),
+        BrowserMode::Tls { roots: vec![w.ca_cert.clone()], expected: None },
+        HmacDrbg::new(b"tcp browser"),
+        myproxy::x509::Clock::now(&w.clock),
+    );
+    expect_ok(browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    let who = expect_ok(browser.get("/whoami").unwrap()).unwrap();
+    assert!(who.text().contains("user=alice"));
+    expect_ok(browser.logout().unwrap()).unwrap();
+
+    // The plain port serves the home page but refuses logins (§5.2).
+    let mut plain_browser = Browser::new(
+        tcp_connector(plain_addr),
+        BrowserMode::Plain,
+        HmacDrbg::new(b"tcp plain browser"),
+        myproxy::x509::Clock::now(&w.clock),
+    );
+    let home = expect_ok(plain_browser.get("/").unwrap()).unwrap();
+    assert!(home.text().contains("Grid Portal"));
+    let refused = plain_browser.login("alice", "correct horse battery").unwrap();
+    assert_eq!(refused.status, 403);
+}

@@ -1,0 +1,178 @@
+//! Property-based fuzzing of every parser that faces hostile input:
+//! the MyProxy protocol, the GRAM KV codec, HTTP, DER/certificates,
+//! PEM, DNs, and the restriction grammar. The invariant under test is
+//! always the same pair: (a) no panic on arbitrary input, (b) valid
+//! values round-trip exactly.
+
+use myproxy::myproxy::proto::{parse_tags, render_tags, Command, Request, Response};
+use myproxy::portal::http::{HttpRequest, HttpResponse};
+use myproxy::x509::validate::Restriction;
+use myproxy::x509::{Certificate, CertRequest, Dn};
+use proptest::prelude::*;
+
+/// Field values legal in the line-oriented protocols (no newlines, no
+/// '=' in keys; values may contain '=').
+fn proto_value() -> impl Strategy<Value = String> {
+    "[ -~&&[^\n]]{0,40}".prop_map(|s| s.replace('\n', " "))
+}
+
+fn proto_key() -> impl Strategy<Value = String> {
+    "[A-Z_]{1,20}"
+}
+
+proptest! {
+    #[test]
+    fn request_from_text_never_panics(s in any::<String>()) {
+        let _ = Request::from_text(&s);
+    }
+
+    #[test]
+    fn response_from_text_never_panics(s in any::<String>()) {
+        let _ = Response::from_text(&s);
+    }
+
+    #[test]
+    fn request_roundtrip(
+        fields in proptest::collection::btree_map(proto_key(), proto_value(), 0..8)
+    ) {
+        let mut req = Request::new(Command::Get);
+        for (k, v) in &fields {
+            if k == "COMMAND" || k == "VERSION" {
+                continue;
+            }
+            req = req.field(k, v);
+        }
+        let back = Request::from_text(&req.to_text()).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn kv_from_text_never_panics(s in any::<String>()) {
+        let _ = myproxy::gram::kv::Kv::from_text(&s);
+    }
+
+    #[test]
+    fn http_request_from_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = HttpRequest::from_bytes(&data);
+    }
+
+    #[test]
+    fn http_response_from_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = HttpResponse::from_bytes(&data);
+    }
+
+    #[test]
+    fn http_form_roundtrip(
+        pairs in proptest::collection::vec(("[a-z]{1,10}", "[ -~]{0,30}"), 0..6)
+    ) {
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let req = HttpRequest::post_form("/x", &borrowed);
+        let back = HttpRequest::from_bytes(&req.to_bytes()).unwrap();
+        // Forms may repeat keys; compare the full multiset in order.
+        let got = back.form();
+        prop_assert_eq!(got.len(), pairs.len());
+        for ((gk, gv), (k, v)) in got.iter().zip(pairs.iter()) {
+            prop_assert_eq!(gk, k);
+            prop_assert_eq!(gv, v);
+        }
+    }
+
+    #[test]
+    fn certificate_from_der_never_panics(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Certificate::from_der(&data);
+    }
+
+    #[test]
+    fn csr_from_der_never_panics(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = CertRequest::from_der(&data);
+    }
+
+    #[test]
+    fn pem_decode_never_panics(s in any::<String>()) {
+        let _ = myproxy::x509::pem::decode_all(&s);
+    }
+
+    #[test]
+    fn pem_roundtrip(label in "[A-Z ]{1,20}", data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let label = label.trim();
+        prop_assume!(!label.is_empty());
+        let text = myproxy::x509::pem::encode(label, &data);
+        let blocks = myproxy::x509::pem::decode_all(&text).unwrap();
+        prop_assert_eq!(blocks.len(), 1);
+        prop_assert_eq!(blocks[0].label.as_str(), label);
+        prop_assert_eq!(&blocks[0].data, &data);
+    }
+
+    #[test]
+    fn dn_parse_never_panics(s in any::<String>()) {
+        let _ = Dn::parse(&s);
+    }
+
+    #[test]
+    fn dn_display_parse_roundtrip(
+        parts in proptest::collection::vec(("(CN|O|OU|C)", "[a-zA-Z0-9 .@-]{1,20}"), 1..5)
+    ) {
+        let rendered: String = parts
+            .iter()
+            .map(|(label, value)| format!("/{label}={}", value.trim()))
+            .collect();
+        prop_assume!(parts.iter().all(|(_, v)| !v.trim().is_empty()));
+        let dn = Dn::parse(&rendered).unwrap();
+        prop_assert_eq!(dn.to_string(), rendered);
+        // And the DER round trip preserves it too.
+        let der = dn.to_der();
+        let mut dec = mp_asn1::Decoder::new(&der);
+        let back = Dn::decode(&mut dec).unwrap();
+        prop_assert_eq!(back, dn);
+    }
+
+    #[test]
+    fn restriction_parse_never_panics_and_is_consistent(
+        expr in "[ -~]{0,60}",
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9.]{1,12}",
+    ) {
+        let r = Restriction::parse(&expr);
+        // Calling allows twice gives the same answer (pure function).
+        prop_assert_eq!(r.allows(&key, &value), r.allows(&key, &value));
+    }
+
+    #[test]
+    fn restriction_explicit_allow_works(
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9.]{1,12}",
+        other in "[a-z0-9.]{1,12}",
+    ) {
+        prop_assume!(value != other);
+        let r = Restriction::parse(&format!("{key}={value}"));
+        prop_assert!(r.allows(&key, &value));
+        prop_assert!(!r.allows(&key, &other));
+    }
+
+    #[test]
+    fn tags_roundtrip(
+        tags in proptest::collection::vec(("[a-z]{1,8}", "[a-zA-Z0-9._-]{1,12}"), 0..5)
+    ) {
+        let owned: Vec<(String, String)> =
+            tags.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let rendered = render_tags(&owned);
+        prop_assert_eq!(parse_tags(&rendered), owned);
+    }
+
+    #[test]
+    fn gridmap_parse_never_panics(s in any::<String>()) {
+        let _ = myproxy::gsi::Gridmap::parse(&s);
+    }
+
+    #[test]
+    fn store_entry_parse_never_panics(s in any::<String>()) {
+        let _ = myproxy::myproxy::persist::entry_from_text(&s);
+    }
+
+    #[test]
+    fn url_codec_roundtrip(s in "[ -~]{0,50}") {
+        use myproxy::portal::http::{url_decode, url_encode};
+        prop_assert_eq!(url_decode(&url_encode(&s)), s);
+    }
+}

@@ -1,0 +1,127 @@
+//! Revocation end-to-end (§2.1: a stolen credential is dangerous "until
+//! the theft was discovered and the certificate revoked by the CA"):
+//! the CA publishes a CRL, the repository installs it, and the revoked
+//! user's credential stops working everywhere — even with the right
+//! pass phrase.
+
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::myproxy::MyProxyError;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::{test_drbg, test_rsa_key};
+use myproxy::x509::{CertRevocationList, Clock, Dn};
+
+/// Rebuild the CA signing key used by the testkit world (key index 0)
+/// to issue a CRL, mimicking the CA's out-of-band revocation act.
+fn revoke(w: &GridWorld, serial: &mp_bignum::BigUint) -> CertRevocationList {
+    CertRevocationList::create(
+        &Dn::parse(myproxy::testkit::dn::CA).unwrap(),
+        test_rsa_key(0),
+        w.clock.now(),
+        w.clock.now() + 1_000_000,
+        &[serial.clone()],
+        w.clock.now(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn revoked_user_cannot_authenticate_to_repository() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    // Alice's cert is reported stolen; the CA revokes it and the
+    // repository operator installs the CRL.
+    let crl = revoke(&w, w.alice.leaf().serial());
+    w.myproxy.add_crl(crl);
+
+    // The thief holds alice's full credential file AND her pass phrase —
+    // but the channel handshake now rejects her certificate.
+    let mut rng = test_drbg("revoked init");
+    let err = w
+        .myproxy_client
+        .init(
+            w.myproxy.connect_local(),
+            &w.alice,
+            &InitParams::new("alice2", "stolen pass phrase"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Gsi(_)));
+
+    // Unrevoked users are unaffected.
+    w.myproxy_client
+        .init(
+            w.myproxy.connect_local(),
+            &w.bob,
+            &InitParams::new("bob", "bobs own pass"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+}
+
+#[test]
+fn revoking_the_portal_cuts_off_retrievals() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut rng = test_drbg("revoked portal");
+
+    // Before revocation the portal retrieves fine.
+    w.myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+
+    // The portal host is compromised; its certificate is revoked.
+    let crl = revoke(&w, w.portal_cred.leaf().serial());
+    w.myproxy.add_crl(crl);
+
+    let err = w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Gsi(_)));
+}
+
+#[test]
+fn forged_crl_is_ignored() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    // Mallory forges a CRL claiming the CA's DN but signing with her
+    // own key; validators must ignore it.
+    let forged = CertRevocationList::create(
+        &Dn::parse(myproxy::testkit::dn::CA).unwrap(),
+        test_rsa_key(9), // not the CA key
+        w.clock.now(),
+        w.clock.now() + 1_000_000,
+        &[w.alice.leaf().serial().clone()],
+        w.clock.now(),
+    )
+    .unwrap();
+    w.myproxy.add_crl(forged);
+
+    // Alice is unaffected.
+    let mut rng = test_drbg("forged crl");
+    w.myproxy_client
+        .init(
+            w.myproxy.connect_local(),
+            &w.alice,
+            &InitParams::new("alice-again", "another pass phrase"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+}

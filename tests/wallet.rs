@@ -1,0 +1,148 @@
+//! Experiment W — §6.2 "electronic wallet": several credentials per
+//! user, task-driven selection, minimum-rights embedding.
+
+use myproxy::myproxy::client::{GetParams, InitParams};
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+fn init_named(w: &GridWorld, name: &str, tags: &[(&str, &str)]) {
+    let mut rng = test_drbg("wallet init");
+    let mut params = InitParams::new("alice", "correct horse battery");
+    params.cred_name = Some(name.to_string());
+    params.tags = tags.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+}
+
+#[test]
+fn wallet_holds_multiple_credentials() {
+    let w = GridWorld::new();
+    init_named(&w, "default", &[]);
+    init_named(&w, "doe-compute", &[("ca", "DOE"), ("purpose", "compute")]);
+    init_named(&w, "nasa-storage", &[("ca", "NASA-IPG"), ("purpose", "storage")]);
+    assert_eq!(w.myproxy.store().len(), 3);
+
+    let mut rng = test_drbg("wallet info");
+    let infos = w
+        .myproxy_client
+        .info(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(infos.len(), 3);
+    let names: Vec<_> = infos.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, vec!["default", "doe-compute", "nasa-storage"]);
+}
+
+#[test]
+fn task_selects_the_right_credential() {
+    let w = GridWorld::new();
+    init_named(&w, "default", &[]);
+    init_named(&w, "doe-compute", &[("ca", "DOE"), ("purpose", "compute")]);
+    init_named(&w, "nasa-storage", &[("ca", "NASA-IPG"), ("purpose", "storage")]);
+
+    let mut rng = test_drbg("wallet select");
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.task = vec![("purpose".into(), "storage".into())];
+    let proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+    // The nasa-storage entry was minted later, so its leaf serial
+    // differs; cheaper check: ask INFO which names exist, then verify by
+    // explicit-name retrieval that the chain matches the task-selected
+    // one.
+    let mut explicit = GetParams::new("alice", "correct horse battery");
+    explicit.cred_name = Some("nasa-storage".into());
+    let expected = w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &explicit,
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    // Same *stored* credential under both proxies: compare the parent
+    // certificate (chain[1], the repository-held proxy).
+    assert_eq!(proxy.chain()[1].to_der(), expected.chain()[1].to_der());
+}
+
+#[test]
+fn task_target_embeds_minimum_rights() {
+    // "embed the minimum needed rights in those credentials" — a task
+    // naming a target produces a proxy restricted to that target, which
+    // other services then refuse.
+    let w = GridWorld::new();
+    init_named(&w, "default", &[]);
+    let mut rng = test_drbg("wallet rights");
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.task = vec![("target".into(), "storage.nersc.gov".into())];
+    let proxy = w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .unwrap();
+
+    let cfg = myproxy::gsi::ChannelConfig::new(vec![w.ca_cert.clone()]);
+    // Allowed at the named storage service.
+    myproxy::gram::storage::client::store(
+        w.storage.connect_local(b"wallet ok"),
+        &proxy,
+        &cfg,
+        "scoped.dat",
+        b"ok",
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    // Refused at the job manager.
+    let err = myproxy::gram::job::client::submit(
+        w.jobmanager.connect_local(b"wallet denied"),
+        &proxy,
+        &cfg,
+        "sneaky",
+        1,
+        false,
+        false,
+        0,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, myproxy::gram::GramError::Denied(_)));
+}
+
+#[test]
+fn per_credential_passphrases_are_independent() {
+    let w = GridWorld::new();
+    init_named(&w, "default", &[]);
+    // A second entry under a different pass phrase.
+    let mut rng = test_drbg("wallet second pass");
+    let mut params = InitParams::new("alice", "another pass phrase");
+    params.cred_name = Some("special".into());
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+
+    // Each opens only under its own pass phrase.
+    let mut get = GetParams::new("alice", "correct horse battery");
+    get.cred_name = Some("special".into());
+    assert!(w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .is_err());
+    let mut get = GetParams::new("alice", "another pass phrase");
+    get.cred_name = Some("special".into());
+    assert!(w
+        .myproxy_client
+        .get_delegation(w.myproxy.connect_local(), &w.portal_cred, &get, &mut rng, w.clock.now())
+        .is_ok());
+}
