@@ -130,11 +130,13 @@ impl Encoder {
 /// DER definite-length octets.
 fn write_len(out: &mut Vec<u8>, len: usize) {
     if len < 0x80 {
+        // lint:allow(R4) cannot truncate: len < 0x80 on this branch (DER short form)
         out.push(len as u8);
     } else {
         let bytes = len.to_be_bytes();
         let skip = bytes.iter().take_while(|&&b| b == 0).count();
         let sig = &bytes[skip..];
+        // lint:allow(R4) cannot truncate: sig is at most the 8 significant bytes of a usize, so sig.len() <= 8
         out.push(0x80 | sig.len() as u8);
         out.extend_from_slice(sig);
     }

@@ -12,6 +12,7 @@ use crate::{MyProxyError, Result};
 use mp_gsi::delegate::{accept_delegation, delegate, DelegationPolicy};
 use mp_gsi::transport::Transport;
 use mp_gsi::{ChannelConfig, Credential, SecureChannel};
+use mp_crypto::Secret;
 use mp_x509::{Certificate, Dn, ProxyPolicy};
 use rand::Rng;
 
@@ -21,7 +22,7 @@ pub struct InitParams {
     /// Repository account name.
     pub username: String,
     /// Retrieval pass phrase (chosen by the user, §4.1).
-    pub passphrase: String,
+    pub passphrase: Secret<String>,
     /// Lifetime of the credential delegated *to* the repository
     /// ("normally have a lifetime of a week", §4.1).
     pub lifetime_secs: u64,
@@ -41,7 +42,7 @@ impl InitParams {
     pub fn new(username: &str, passphrase: &str) -> Self {
         InitParams {
             username: username.to_string(),
-            passphrase: passphrase.to_string(),
+            passphrase: Secret::from(passphrase),
             lifetime_secs: 7 * 24 * 3600,
             retrieval_max_lifetime: None,
             cred_name: None,
@@ -53,7 +54,7 @@ impl InitParams {
     fn to_request(&self, command: Command) -> Request {
         let mut req = Request::new(command)
             .field(field::USERNAME, &self.username)
-            .field(field::PASSPHRASE, &self.passphrase)
+            .field(field::PASSPHRASE, self.passphrase.expose())
             .field(field::LIFETIME, &self.lifetime_secs.to_string());
         if let Some(r) = self.retrieval_max_lifetime {
             req = req.field("RETRIEVER_LIFETIME", &r.to_string());
@@ -77,7 +78,7 @@ pub struct GetParams {
     /// Repository account name.
     pub username: String,
     /// Retrieval pass phrase.
-    pub passphrase: String,
+    pub passphrase: Secret<String>,
     /// Requested proxy lifetime ("normally on the order of a few
     /// hours", §4.3).
     pub lifetime_secs: u64,
@@ -96,7 +97,7 @@ impl GetParams {
     pub fn new(username: &str, passphrase: &str) -> Self {
         GetParams {
             username: username.to_string(),
-            passphrase: passphrase.to_string(),
+            passphrase: Secret::from(passphrase),
             lifetime_secs: 2 * 3600,
             cred_name: None,
             task: Vec::new(),
@@ -109,7 +110,7 @@ impl GetParams {
         let command = if self.otp.is_some() { Command::OtpGet } else { Command::Get };
         let mut req = Request::new(command)
             .field(field::USERNAME, &self.username)
-            .field(field::PASSPHRASE, &self.passphrase)
+            .field(field::PASSPHRASE, self.passphrase.expose())
             .field(field::LIFETIME, &self.lifetime_secs.to_string());
         if let Some(n) = &self.cred_name {
             req = req.field(field::CRED_NAME, n);

@@ -16,14 +16,14 @@
 //! replaces the pass phrase *on the wire*, which is exactly the replay
 //! exposure §5.1 worries about.
 
-use mp_crypto::{ct_eq, hex, sha256};
+use mp_crypto::{ct_eq, hex, sha256, Secret};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Client-side generator: recomputes chain values from the secret.
 #[derive(Clone)]
 pub struct OtpGenerator {
-    secret: Vec<u8>,
+    secret: Secret<Vec<u8>>,
     seed: Vec<u8>,
     /// Chain length registered at setup.
     pub chain_len: u32,
@@ -33,13 +33,13 @@ impl OtpGenerator {
     /// Build a generator for a fresh chain of `chain_len` logins.
     pub fn new(secret: &[u8], seed: &[u8], chain_len: u32) -> Self {
         assert!(chain_len >= 1);
-        OtpGenerator { secret: secret.to_vec(), seed: seed.to_vec(), chain_len }
+        OtpGenerator { secret: Secret::new(secret.to_vec()), seed: seed.to_vec(), chain_len }
     }
 
     /// `h_i` for `i in 0..=chain_len`.
     fn chain_value(&self, i: u32) -> [u8; 32] {
         let mut v = {
-            let mut input = self.secret.clone();
+            let mut input = self.secret.expose().clone();
             input.extend_from_slice(&self.seed);
             sha256(&input)
         };

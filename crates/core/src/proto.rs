@@ -55,12 +55,38 @@ impl Command {
 }
 
 /// A client request: command plus `KEY=VALUE` fields.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Request {
     /// The operation.
     pub command: Command,
     /// All other fields (USERNAME, PASSPHRASE, LIFETIME, ...).
     pub fields: BTreeMap<String, String>,
+}
+
+/// Manual `Debug`: a request carries the retrieval pass phrase, which
+/// must never reach logs or panic messages. Secret-valued fields are
+/// printed as `[REDACTED]`.
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        struct RedactedFields<'a>(&'a BTreeMap<String, String>);
+        impl std::fmt::Debug for RedactedFields<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                let mut m = f.debug_map();
+                for (k, v) in self.0 {
+                    if field::is_secret(k) {
+                        m.entry(k, &"[REDACTED]");
+                    } else {
+                        m.entry(k, v);
+                    }
+                }
+                m.finish()
+            }
+        }
+        f.debug_struct("Request")
+            .field("command", &self.command)
+            .field("fields", &RedactedFields(&self.fields))
+            .finish()
+    }
 }
 
 impl Request {
@@ -71,7 +97,9 @@ impl Request {
 
     /// Add a field. Panics on embedded newlines (caller bug).
     pub fn field(mut self, key: &str, value: &str) -> Self {
+        // lint:allow(R1) builder runs client-side on the caller's own inputs before anything is sent; an embedded newline is a caller bug, not attacker data
         assert!(!key.contains('\n') && !value.contains('\n'), "newline in protocol field");
+        // lint:allow(R1) keys are the compile-time constants in `field`; '=' in one is a caller bug
         assert!(!key.contains('='), "'=' in protocol key");
         self.fields.insert(key.to_string(), value.to_string());
         self
@@ -165,6 +193,11 @@ pub mod field {
     pub const OTP_ANCHOR: &str = "OTP_ANCHOR";
     /// OTP chain length for OTP_SETUP.
     pub const OTP_COUNT: &str = "OTP_COUNT";
+
+    /// Field keys whose values are secrets and must never be printed.
+    pub fn is_secret(key: &str) -> bool {
+        matches!(key, "PASSPHRASE" | "NEW_PASSPHRASE" | "OTP")
+    }
 }
 
 /// A server response.
@@ -191,6 +224,7 @@ impl Response {
 
     /// Attach a field.
     pub fn with_field(mut self, key: &str, value: &str) -> Self {
+        // lint:allow(R1) keys are compile-time constants and values originate from newline-delimited parses (or local hex/base64), so the guard only trips on a caller bug
         assert!(!key.contains('\n') && !value.contains('\n'));
         self.fields.push((key.to_string(), value.to_string()));
         self

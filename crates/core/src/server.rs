@@ -13,7 +13,7 @@ use crate::proto::{field, parse_tags, render_tags, Command, Request, Response};
 use crate::store::{CredStore, AUTH_FAILED, DEFAULT_NAME};
 use crate::{wallet, MyProxyError};
 use mp_crypto::ctr::SecretBox;
-use mp_crypto::HmacDrbg;
+use mp_crypto::{HmacDrbg, Secret};
 use mp_gsi::acl::DnPattern;
 use mp_gsi::delegate::{accept_delegation, delegate, DelegationPolicy};
 use mp_gsi::transport::Transport;
@@ -52,7 +52,7 @@ struct ServerState {
     clock: Arc<dyn Clock>,
     rng: Mutex<HmacDrbg>,
     /// In-memory master key sealing renewal copies (see store docs).
-    master_key: [u8; 32],
+    master_key: Secret<[u8; 32]>,
     stats: ServerStats,
     /// Revocation lists consulted on every authentication; operators
     /// install fresh ones with [`MyProxyServer::add_crl`] while the
@@ -107,7 +107,7 @@ impl MyProxyServer {
                 otp: OtpRegistry::new(),
                 clock,
                 rng: Mutex::new(rng),
-                master_key,
+                master_key: Secret::new(master_key),
                 stats: ServerStats::default(),
                 crls: parking_lot::RwLock::new(Vec::new()),
             }),
@@ -303,7 +303,7 @@ impl MyProxyServer {
             let mut entropy = [0u8; 32];
             rng.generate(&mut entropy);
             let sealed =
-                SecretBox::seal(&st.master_key, credential.to_pem().as_bytes(), 1, &entropy);
+                SecretBox::seal(st.master_key.expose(), credential.to_pem().as_bytes(), 1, &entropy);
             st.store.make_renewable(&username, &name, &pattern, sealed);
         }
         st.stats.bump(&st.stats.puts);
@@ -566,11 +566,11 @@ impl MyProxyServer {
                 "presented proxy does not belong to the credential owner".into(),
             ));
         }
-        v.leaf_key
+        v.leaf_public_key
             .verify(&nonce, &signature)
             .map_err(|_| MyProxyError::Refused("renewal proof signature invalid".into()))?;
 
-        let (credential, entry) = st.store.open_for_renewal(&username, name, &st.master_key)?;
+        let (credential, entry) = st.store.open_for_renewal(&username, name, st.master_key.expose())?;
         if credential.remaining_lifetime(now) == 0 {
             return Err(MyProxyError::Refused("stored credential has expired".into()));
         }

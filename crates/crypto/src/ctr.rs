@@ -8,6 +8,7 @@
 use crate::aes::Aes;
 use crate::hmac::HmacSha256;
 use crate::pbkdf2::pbkdf2_hmac_sha256;
+use crate::secret::{Secret, Zeroize};
 use crate::{ct_eq, sha256};
 
 /// XOR `data` with the AES-CTR keystream for (`key`, `nonce`) starting at
@@ -93,8 +94,8 @@ impl SecretBox {
         out.extend_from_slice(&nonce);
         let ct_start = out.len();
         out.extend_from_slice(plaintext);
-        aes_ctr_xor(&enc_key, &nonce, &mut out[ct_start..]);
-        let mac = HmacSha256::mac(&mac_key, &out);
+        aes_ctr_xor(enc_key.expose(), &nonce, &mut out[ct_start..]);
+        let mac = HmacSha256::mac(mac_key.expose(), &out);
         out.extend_from_slice(&mac);
         out
     }
@@ -108,19 +109,28 @@ impl SecretBox {
         let salt: [u8; SALT_LEN] = body[..SALT_LEN].try_into().unwrap();
         let nonce: [u8; NONCE_LEN] = body[SALT_LEN..SALT_LEN + NONCE_LEN].try_into().unwrap();
         let (enc_key, mac_key) = Self::derive_keys(pass_phrase, &salt, iterations);
-        let expect = HmacSha256::mac(&mac_key, body);
+        let expect = HmacSha256::mac(mac_key.expose(), body);
         if !ct_eq(&expect, mac) {
             return Err(SealError::BadMac);
         }
         let mut plaintext = body[SALT_LEN + NONCE_LEN..].to_vec();
-        aes_ctr_xor(&enc_key, &nonce, &mut plaintext);
+        aes_ctr_xor(enc_key.expose(), &nonce, &mut plaintext);
         Ok(plaintext)
     }
 
-    fn derive_keys(pass: &[u8], salt: &[u8; SALT_LEN], iterations: u32) -> ([u8; 32], [u8; 32]) {
+    fn derive_keys(
+        pass: &[u8],
+        salt: &[u8; SALT_LEN],
+        iterations: u32,
+    ) -> (Secret<[u8; 32]>, Secret<[u8; 32]>) {
         let mut km = [0u8; 64];
         pbkdf2_hmac_sha256(pass, salt, iterations, &mut km);
-        (km[..32].try_into().unwrap(), km[32..].try_into().unwrap())
+        let mut enc = Secret::new([0u8; 32]);
+        let mut mac = Secret::new([0u8; 32]);
+        enc.expose_mut().copy_from_slice(&km[..32]);
+        mac.expose_mut().copy_from_slice(&km[32..]);
+        km.zeroize();
+        (enc, mac)
     }
 }
 

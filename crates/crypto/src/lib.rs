@@ -28,11 +28,13 @@ pub mod drbg;
 pub mod hmac;
 pub mod pbkdf2;
 pub mod rsa;
+pub mod secret;
 pub mod sha1;
 pub mod sha256;
 
 pub use digest::Digest;
 pub use drbg::HmacDrbg;
+pub use secret::{Secret, Zeroize};
 pub use sha1::Sha1;
 pub use sha256::Sha256;
 
@@ -42,12 +44,19 @@ pub use sha256::Sha256;
 /// equal lengths, runs in time independent of where the slices differ.
 /// Used everywhere a secret (pass phrase hash, MAC) is compared.
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (x, y) in a.iter().zip(b.iter()) {
-        diff |= x ^ y;
+    // Fold the length difference into the accumulator instead of
+    // early-returning, so the work done is a function of max(len) only
+    // and a length mismatch is not observable as a faster reject. Each
+    // byte is compared against the other slice's byte at the same index,
+    // with out-of-range reads replaced by a value that forces a diff.
+    let n = a.len().max(b.len());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..n {
+        // 0 / 0xff fillers past a slice's end guarantee a nonzero
+        // contribution for every excess index; within range this is x ^ y.
+        let x = a.get(i).copied().unwrap_or(0x00);
+        let y = b.get(i).copied().unwrap_or(0xff);
+        diff |= usize::from(x ^ y);
     }
     diff == 0
 }
@@ -86,6 +95,25 @@ mod tests {
         assert!(!ct_eq(b"abc", b"abd"));
         assert!(!ct_eq(b"abc", b"ab"));
         assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn ct_eq_equal_length_unequal_and_unequal_length() {
+        // Equal length, differing in exactly one byte position each.
+        let base = [0x5au8; 32];
+        for i in 0..32 {
+            let mut other = base;
+            other[i] ^= 0x01;
+            assert!(!ct_eq(&base, &other), "differed at byte {i}");
+        }
+        // Unequal lengths, including the prefix-match case and the
+        // filler edge case where the shorter slice ends in 0xff
+        // (x ^ filler would be 0; the length fold must still reject).
+        assert!(!ct_eq(&base, &base[..31]));
+        assert!(!ct_eq(&base[..31], &base));
+        assert!(!ct_eq(b"", b"x"));
+        assert!(!ct_eq(&[0xffu8; 8], &[0xffu8; 9]));
+        assert!(!ct_eq(&[0x00u8; 9], &[0x00u8; 8]));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Zeroize-on-drop container for key material and pass phrases.
+//!
+//! The paper's §5 analysis assumes the repository never leaks a pass
+//! phrase or private key except through the sanctioned protocol paths.
+//! Two unsanctioned paths exist in any long-running server: freed heap
+//! pages that still hold the bytes, and debug/log output. [`Secret`]
+//! closes both: the wrapped value is overwritten with zeros when
+//! dropped (via [`Zeroize`]), and its `Debug`/`Display` impls print
+//! `[REDACTED]` so a secret can never be formatted by accident.
+//!
+//! The zeroizing store uses `std::ptr::write_volatile` per byte so the
+//! compiler cannot elide the wipe as a dead store ahead of the free.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// Types whose memory can be overwritten in place.
+pub trait Zeroize {
+    fn zeroize(&mut self);
+}
+
+#[inline]
+fn wipe_bytes(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        // Volatile so the store survives dead-store elimination even
+        // though the buffer is about to be freed.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
+impl Zeroize for Vec<u8> {
+    fn zeroize(&mut self) {
+        wipe_bytes(self.as_mut_slice());
+        self.clear();
+    }
+}
+
+impl<const N: usize> Zeroize for [u8; N] {
+    fn zeroize(&mut self) {
+        wipe_bytes(self);
+    }
+}
+
+impl Zeroize for String {
+    fn zeroize(&mut self) {
+        // Wiping the buffer with zeros keeps it valid UTF-8 (NULs).
+        unsafe { wipe_bytes(self.as_mut_vec().as_mut_slice()) };
+        self.clear();
+    }
+}
+
+/// A value that is wiped on drop and cannot be `Debug`-formatted.
+///
+/// Read access is explicit: [`Secret::expose`] (or `Deref`) hands out a
+/// reference; the call site names the act of looking at the secret,
+/// which is what the R2 lint audits for.
+pub struct Secret<T: Zeroize>(T);
+
+impl<T: Zeroize> Secret<T> {
+    pub fn new(value: T) -> Self {
+        Secret(value)
+    }
+
+    /// Borrow the inner value. Named so uses are greppable.
+    pub fn expose(&self) -> &T {
+        &self.0
+    }
+
+    /// Mutable access (e.g. to fill a fresh key buffer in place).
+    pub fn expose_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+
+    /// Consume, wiping nothing — ownership of the secret transfers out.
+    /// Prefer `expose` unless the callee takes ownership.
+    pub fn into_inner(self) -> T {
+        // Move the value out without running our Drop (which would wipe
+        // the bytes being handed to the caller).
+        let me = std::mem::ManuallyDrop::new(self);
+        unsafe { std::ptr::read(&me.0) }
+    }
+}
+
+impl<T: Zeroize> Drop for Secret<T> {
+    fn drop(&mut self) {
+        self.0.zeroize();
+    }
+}
+
+impl<T: Zeroize> Deref for Secret<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Zeroize> From<T> for Secret<T> {
+    fn from(value: T) -> Self {
+        Secret(value)
+    }
+}
+
+impl From<&str> for Secret<String> {
+    fn from(value: &str) -> Self {
+        Secret(value.to_string())
+    }
+}
+
+impl<T: Zeroize + Clone> Clone for Secret<T> {
+    fn clone(&self) -> Self {
+        Secret(self.0.clone())
+    }
+}
+
+impl<T: Zeroize> fmt::Debug for Secret<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[REDACTED]")
+    }
+}
+
+impl<T: Zeroize> fmt::Display for Secret<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[REDACTED]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_and_display_redact() {
+        let s: Secret<String> = Secret::from("hunter2");
+        assert_eq!(format!("{s:?}"), "[REDACTED]");
+        assert_eq!(format!("{s}"), "[REDACTED]");
+        let k: Secret<[u8; 4]> = Secret::new([1, 2, 3, 4]);
+        assert_eq!(format!("{k:?}"), "[REDACTED]");
+    }
+
+    #[test]
+    fn expose_reads_through() {
+        let s: Secret<String> = Secret::from("pw");
+        assert_eq!(s.expose(), "pw");
+        assert_eq!(&*s, "pw");
+        let v: Secret<Vec<u8>> = Secret::new(vec![9, 9]);
+        assert_eq!(v.expose().as_slice(), &[9, 9]);
+    }
+
+    #[test]
+    fn zeroize_wipes_in_place() {
+        let mut v = vec![0xAAu8; 32];
+        v.zeroize();
+        assert!(v.is_empty());
+
+        let mut a = [0xBBu8; 16];
+        a.zeroize();
+        assert_eq!(a, [0u8; 16]);
+
+        let mut s = String::from("top secret");
+        s.zeroize();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn into_inner_hands_ownership_out() {
+        let s: Secret<Vec<u8>> = Secret::new(vec![1, 2, 3]);
+        let inner = s.into_inner();
+        assert_eq!(inner, vec![1, 2, 3]);
+    }
+}

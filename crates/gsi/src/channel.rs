@@ -182,9 +182,11 @@ impl<T: Transport> SecureChannel<T> {
 
         // -> KeyExchange
         let mut premaster = [0u8; 48];
-        rng.fill(&mut premaster[..32]);
-        rng.fill(&mut premaster[32..]);
-        let enc_premaster = server_chain[0]
+        rng.fill(&mut premaster);
+        let server_leaf = server_chain
+            .first()
+            .ok_or_else(|| GsiError::Protocol("empty server certificate chain".into()))?;
+        let enc_premaster = server_leaf
             .public_key()
             .encrypt(rng, &premaster)
             .map_err(|_| GsiError::Crypto("premaster encryption failed"))?;
@@ -292,7 +294,7 @@ impl<T: Transport> SecureChannel<T> {
         to_sign.update(&enc_premaster);
         let digest = to_sign.finalize();
         client_validated
-            .leaf_key
+            .leaf_public_key
             .verify(&digest, &signature)
             .map_err(|_| GsiError::Crypto("client transcript signature invalid"))?;
 

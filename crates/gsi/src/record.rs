@@ -18,7 +18,9 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
     if payload.len() > MAX_RECORD {
         return Err(GsiError::Protocol("outgoing record too large".into()));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| GsiError::Protocol("outgoing record too large".into()))?;
+    w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())

@@ -8,6 +8,10 @@ use crate::GsiError;
 /// bounds hostile inputs).
 pub const MAX_FIELD: usize = 1 << 20;
 
+/// Maximum entries in a byte-string list (a proxy chain is a handful of
+/// certificates; enforced symmetrically by writer and reader).
+pub const MAX_LIST: usize = 64;
+
 /// Append-only writer.
 #[derive(Default)]
 pub struct WireWriter {
@@ -45,7 +49,9 @@ impl WireWriter {
 
     /// Length-prefixed bytes.
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        // lint:allow(R1) local invariant, not attacker input: callers only write reader-bounded or locally built fields; a cap break is a bug best caught loudly
         assert!(v.len() <= MAX_FIELD, "wire field too large");
+        // lint:allow(R4) cannot truncate: v.len() <= MAX_FIELD (1 MiB) asserted on the line above
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
         self
@@ -58,6 +64,9 @@ impl WireWriter {
 
     /// A list of length-prefixed byte strings.
     pub fn byte_list(&mut self, items: &[Vec<u8>]) -> &mut Self {
+        // lint:allow(R1) mirrors the reader's MAX_LIST cap; a longer list is a local logic error
+        assert!(items.len() <= MAX_LIST, "wire list too long");
+        // lint:allow(R4) cannot truncate: items.len() <= MAX_LIST (64) asserted on the line above
         self.u32(items.len() as u32);
         for item in items {
             self.bytes(item);
@@ -82,9 +91,11 @@ impl<'a> WireReader<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| GsiError::Protocol("wire message truncated".into()))?;
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| GsiError::Protocol("wire message truncated".into()))?;
         self.pos = end;
         Ok(slice)
     }
@@ -96,12 +107,20 @@ impl<'a> WireReader<'a> {
 
     /// Big-endian u32.
     pub fn u32(&mut self) -> Result<u32, GsiError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let arr: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| GsiError::Protocol("wire message truncated".into()))?;
+        Ok(u32::from_be_bytes(arr))
     }
 
     /// Big-endian u64.
     pub fn u64(&mut self) -> Result<u64, GsiError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let arr: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| GsiError::Protocol("wire message truncated".into()))?;
+        Ok(u64::from_be_bytes(arr))
     }
 
     /// Length-prefixed bytes.

@@ -1,0 +1,176 @@
+//! # mp-lint — workspace security-hygiene analyzer
+//!
+//! A from-scratch static analyzer for this workspace, built on a
+//! purpose-built Rust lexer (no `syn`, no proc-macros, no dependencies
+//! at all). It enforces four rules derived from the MyProxy paper's §5
+//! security analysis:
+//!
+//! - **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/indexing in
+//!   the non-test code of the attacker-reachable files
+//!   (`mp-core::{server,store,proto}`, `mp-gsi::{channel,wire,transport}`).
+//! - **R2 secret hygiene** — secret-named values never flow into
+//!   `format!`-family macros, and secret-bearing structs either use the
+//!   zeroizing `mp_crypto::Secret` wrapper or implement `Drop`, and
+//!   never derive `Debug`.
+//! - **R3 constant-time discipline** — digests/MACs/tags are never
+//!   compared with `==`/`!=`; `mp_crypto::ct_eq` is the only accepted
+//!   comparison.
+//! - **R4 wire-length safety** — no truncating `as u8/u16/u32` casts on
+//!   length arithmetic in the DER encoder and the GSI wire layer.
+//!
+//! Violations can be waived per line with
+//! `// lint:allow(<rule>) <reason>` — the reason is mandatory; an
+//! allow without one is itself reported.
+//!
+//! The analyzer runs as a normal test: `cargo test -p mp-lint` walks
+//! the workspace from `CARGO_MANIFEST_DIR/../..` and fails listing
+//! every `file:line` finding.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_source, Diagnostic, RuleSet};
+
+use std::path::{Path, PathBuf};
+
+/// Decide which rules apply to a workspace-relative path (always with
+/// `/` separators). Returns an empty set for files the analyzer skips.
+pub fn rules_for_path(rel: &str) -> RuleSet {
+    // Out of scope entirely: vendored dependency shims, build output,
+    // the linter's own fixtures (they contain violations on purpose),
+    // and non-Rust files.
+    if !rel.ends_with(".rs")
+        || rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.contains("/fixtures/")
+        || rel.starts_with("crates/lint/")
+    {
+        return RuleSet::default();
+    }
+
+    let mut rs = RuleSet::default();
+
+    // R1: the six attacker-reachable files named by the gate.
+    const R1_FILES: [&str; 6] = [
+        "crates/core/src/server.rs",
+        "crates/core/src/store.rs",
+        "crates/core/src/proto.rs",
+        "crates/gsi/src/channel.rs",
+        "crates/gsi/src/wire.rs",
+        "crates/gsi/src/transport.rs",
+    ];
+    rs.r1 = R1_FILES.contains(&rel);
+
+    // R2: everywhere in first-party sources (library code and binaries;
+    // integration tests are exercised code, not shipped code).
+    rs.r2 = !rel.contains("/tests/") && !rel.starts_with("tests/");
+
+    // R3: crates handling key material or wire authentication.
+    rs.r3 = (rel.starts_with("crates/crypto/src/")
+        || rel.starts_with("crates/gsi/src/")
+        || rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
+    // R4: DER length encoding and the GSI framing layer.
+    rs.r4 = rel.starts_with("crates/asn1/src/")
+        || rel == "crates/gsi/src/wire.rs"
+        || rel == "crates/gsi/src/record.rs";
+
+    rs
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping directories
+/// the analyzer never looks at.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every in-scope `.rs` file under `root` (the workspace root).
+/// Returns all diagnostics, sorted by file then line.
+pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rules = rules_for_path(&rel);
+        if rules.none() {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        diags.extend(check_source(&rel, &src, rules));
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    diags
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_selection() {
+        let rs = rules_for_path("crates/core/src/server.rs");
+        assert!(rs.r1 && rs.r2 && rs.r3 && !rs.r4);
+
+        let rs = rules_for_path("crates/asn1/src/encode.rs");
+        assert!(!rs.r1 && rs.r2 && !rs.r3 && rs.r4);
+
+        let rs = rules_for_path("crates/gsi/src/wire.rs");
+        assert!(rs.r1 && rs.r2 && rs.r3 && rs.r4);
+
+        assert!(rules_for_path("vendor/rand/src/lib.rs").none());
+        assert!(rules_for_path("crates/lint/src/rules.rs").none());
+        assert!(rules_for_path("crates/lint/tests/fixtures/r1_panics.rs").none());
+        assert!(rules_for_path("README.md").none());
+    }
+
+    #[test]
+    fn walker_finds_scoped_files() {
+        let root = workspace_root();
+        let mut files = Vec::new();
+        collect_rs(&root, &mut files);
+        let rels: Vec<String> = files
+            .iter()
+            .map(|p| p.strip_prefix(&root).unwrap().to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(rels.iter().any(|r| r == "crates/core/src/server.rs"), "{rels:?}");
+        assert!(!rels.iter().any(|r| r.starts_with("vendor/")));
+        assert!(!rels.iter().any(|r| r.contains("/fixtures/")));
+    }
+}

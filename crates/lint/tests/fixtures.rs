@@ -1,0 +1,95 @@
+//! Fixture conformance: each seeded violation under `tests/fixtures/`
+//! must be reported with the correct rule at the correct `file:line`,
+//! exempt regions must stay silent, and the `lint:allow` escape hatch
+//! must behave exactly as documented.
+
+use mp_lint::{check_source, Diagnostic, RuleSet};
+use std::path::PathBuf;
+
+const ALL: RuleSet = RuleSet { r1: true, r2: true, r3: true, r4: true };
+
+fn run_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    check_source(name, &src, ALL)
+}
+
+/// (rule, line) pairs, sorted, for compact comparison.
+fn findings(diags: &[Diagnostic]) -> Vec<(&str, u32)> {
+    let mut v: Vec<(&str, u32)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn r1_fixture_flags_every_panic_class() {
+    let diags = run_fixture("r1_panics.rs");
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R1", 6),  // .unwrap()
+            ("R1", 10), // .expect(
+            ("R1", 15), // panic!
+            ("R1", 16), // unreachable!
+            ("R1", 17), // todo!
+            ("R1", 18), // unimplemented!
+            ("R1", 24), // assert!
+            ("R1", 28), // indexing
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r2_fixture_flags_flows_and_structs_only() {
+    let diags = run_fixture("r2_secret_flow.rs");
+    assert_eq!(
+        findings(&diags),
+        vec![("R2", 5), ("R2", 9), ("R2", 17), ("R2", 17)],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r3_fixture_flags_mac_compares_not_protocol_tags() {
+    let diags = run_fixture("r3_noncesense.rs");
+    assert_eq!(findings(&diags), vec![("R3", 5), ("R3", 9)], "diags: {diags:#?}");
+}
+
+#[test]
+fn r4_fixture_flags_length_truncations_only() {
+    let diags = run_fixture("r4_truncating_casts.rs");
+    assert_eq!(
+        findings(&diags),
+        vec![("R4", 5), ("R4", 9), ("R4", 13)],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn reasoned_allows_silence_everything() {
+    let diags = run_fixture("allowed_clean.rs");
+    assert!(diags.is_empty(), "expected clean, got: {diags:#?}");
+}
+
+#[test]
+fn allow_without_reason_is_flagged_and_does_not_suppress() {
+    let diags = run_fixture("allow_without_reason.rs");
+    let f = findings(&diags);
+    assert!(f.contains(&("allow", 5)), "missing allow finding: {diags:#?}");
+    assert!(f.contains(&("R4", 5)), "original finding suppressed: {diags:#?}");
+    assert_eq!(f.len(), 2, "unexpected extras: {diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let diags = run_fixture("r4_truncating_casts.rs");
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("r4_truncating_casts.rs:5: [R4]"),
+        "got: {rendered}"
+    );
+}

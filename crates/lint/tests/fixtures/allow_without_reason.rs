@@ -1,0 +1,6 @@
+// Fixture: a lint:allow with no reason is itself a violation, and it
+// does NOT suppress the finding it was attached to.
+
+fn sloppy(v: &[u8]) -> u8 {
+    v.len() as u8 // lint:allow(R4)
+}

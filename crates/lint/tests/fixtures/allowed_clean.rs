@@ -1,0 +1,20 @@
+// Fixture: every violation below carries a reasoned `lint:allow`, so
+// this file must produce ZERO findings.
+
+fn bounded_cast(v: &[u8]) -> u8 {
+    // lint:allow(R4) callers guarantee v.len() <= 255 via MAX_FIELD
+    v.len() as u8
+}
+
+fn guarded_index(xs: &[u8]) -> u8 {
+    xs[0] // lint:allow(R1) caller checked is_empty on the previous line
+}
+
+fn local_invariant(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(R1) Some by construction two lines up
+}
+
+fn public_tag_compare(tag_bytes: &[u8], expected: &[u8]) -> bool {
+    // lint:allow(R3) DER tags are public protocol constants, not secrets
+    tag_bytes == expected
+}

@@ -1,0 +1,40 @@
+// Fixture: every R1 panic-freedom violation class. Never compiled by
+// cargo (subdirectories of tests/ are not targets); consumed by
+// tests/fixtures.rs which asserts the exact file:line of each finding.
+
+fn takes_option(x: Option<u8>) -> u8 {
+    x.unwrap() // line 6: .unwrap()
+}
+
+fn takes_result(x: Result<u8, ()>) -> u8 {
+    x.expect("boom") // line 10: .expect(
+}
+
+fn explicit_panics(n: u8) -> u8 {
+    match n {
+        0 => panic!("zero"),       // line 15: panic!
+        1 => unreachable!(),       // line 16: unreachable!
+        2 => todo!(),              // line 17: todo!
+        3 => unimplemented!(),     // line 18: unimplemented!
+        _ => n,
+    }
+}
+
+fn asserts(n: usize) {
+    assert!(n < 10, "too big"); // line 24: assert!
+}
+
+fn indexes(buf: &[u8]) -> u8 {
+    buf[0] // line 28: indexing
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    #[test]
+    fn fine_here() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(v[0], 1);
+        Some(1u8).unwrap();
+    }
+}

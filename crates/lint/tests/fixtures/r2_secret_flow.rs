@@ -1,0 +1,29 @@
+// Fixture: R2 secret-hygiene violations — secrets flowing into
+// format-like macros, and secret-bearing structs without zeroization.
+
+fn logs_a_secret(passphrase: &str) {
+    println!("login with {passphrase}"); // line 5: passphrase into println!
+}
+
+fn formats_a_key(session_key: &[u8]) -> String {
+    format!("{session_key:?}") // line 9: *_key into format!
+}
+
+// line 14/15: derives Debug over a secret field AND stores it raw
+// (two findings on the field line).
+#[derive(Debug)]
+struct Login {
+    user: String,
+    passphrase: String, // line 17: Debug-derived + no Secret/Drop
+}
+
+// A scalar *about* a secret is not a secret: no finding here.
+#[derive(Debug)]
+struct Limits {
+    max_passphrase_len: usize,
+}
+
+// Mentioning the word in a string literal is prose, not a leak.
+fn prompt() {
+    println!("enter your passphrase: ");
+}

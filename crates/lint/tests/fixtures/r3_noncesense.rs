@@ -1,0 +1,24 @@
+// Fixture: R3 constant-time discipline — digest/MAC/tag equality via
+// `==`/`!=` leaks where the first differing byte is; ct_eq is required.
+
+fn verifies_mac(expected_mac: &[u8], got: &[u8]) -> bool {
+    expected_mac == got // line 5: MAC compared with ==
+}
+
+fn rejects_digest(digest: [u8; 32], other: [u8; 32]) -> bool {
+    digest != other // line 9: digest compared with !=
+}
+
+// Comparing a tag byte against a protocol constant is public data —
+// no finding on either of these.
+fn der_tag_ok(tag: u8) -> bool {
+    tag == 0x30
+}
+
+fn enum_tag_ok(tag: Tag) -> bool {
+    tag == Tag::Sequence
+}
+
+enum Tag {
+    Sequence,
+}

@@ -1,0 +1,23 @@
+// Fixture: R4 wire-length safety — truncating casts on length
+// arithmetic silently wrap and length-confuse the peer.
+
+fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32 // line 5: len cast to u32 without a bound
+}
+
+fn short_len(buf: &[u8]) -> u8 {
+    buf.len() as u8 // line 9: len cast to u8
+}
+
+fn header_size(count: usize) -> u16 {
+    count as u16 // line 13: count cast to u16
+}
+
+// Widening or non-length casts carry no risk: no findings below.
+fn widen(b: u8) -> u32 {
+    (b - 48) as u32
+}
+
+fn cast_up(n: u32) -> u64 {
+    n as u64
+}

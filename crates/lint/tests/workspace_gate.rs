@@ -1,0 +1,29 @@
+//! The gate: lint the entire workspace and fail on any finding.
+//!
+//! This is the test CI runs (`cargo test -p mp-lint`). A clean tree is
+//! the merge requirement; violations must be fixed or waived with a
+//! reasoned `// lint:allow(<rule>) <why>` at the offending line.
+
+use mp_lint::{run_workspace, workspace_root};
+
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = run_workspace(&root);
+    if !diags.is_empty() {
+        let mut report = String::new();
+        for d in &diags {
+            report.push_str(&format!("  {d}\n"));
+        }
+        panic!(
+            "mp-lint found {} violation(s):\n{report}\
+             fix the code or annotate with `// lint:allow(<rule>) <reason>`",
+            diags.len()
+        );
+    }
+}

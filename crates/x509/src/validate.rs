@@ -196,7 +196,7 @@ pub struct ValidatedChain {
     pub not_after: u64,
     /// The leaf public key (the channel peer must prove possession of
     /// the matching private key).
-    pub leaf_key: RsaPublicKey,
+    pub leaf_public_key: RsaPublicKey,
 }
 
 impl ValidatedChain {
@@ -346,7 +346,7 @@ pub fn validate_chain(
         is_independent,
         restrictions,
         not_after,
-        leaf_key: chain[0].public_key().clone(),
+        leaf_public_key: chain[0].public_key().clone(),
     })
 }
 

@@ -189,6 +189,90 @@ fn record_layer_hostile_lengths() {
     assert!(read_frame(&mut b).is_err());
 }
 
+/// Truncated and oversized wire-format messages must come back as
+/// typed protocol errors from every reader entry point — never a
+/// panic. This drives the exact paths the R1/R4 lint rules guard:
+/// `WireReader::{u32,u64,bytes,byte_list}` bounds and the frame cap.
+#[test]
+fn truncated_and_oversized_wire_messages_error_not_panic() {
+    use myproxy::gsi::wire::{WireReader, WireWriter, MAX_FIELD};
+
+    // Every strict prefix of a well-formed message is a clean error.
+    let mut w = WireWriter::new();
+    w.u8(7).u32(0xdead_beef).u64(42).bytes(b"payload").string("text");
+    let full = w.into_bytes();
+    for cut in 0..full.len() {
+        let truncated = &full[..cut];
+        let mut r = WireReader::new(truncated);
+        let outcome = r
+            .u8()
+            .and_then(|_| r.u32())
+            .and_then(|_| r.u64())
+            .and_then(|_| r.bytes().map(|_| ()))
+            .and_then(|_| r.string().map(|_| ()));
+        assert!(outcome.is_err(), "prefix of {cut} bytes must not parse");
+    }
+
+    // A length prefix larger than the remaining buffer.
+    let mut lying = Vec::new();
+    lying.extend_from_slice(&1000u32.to_be_bytes());
+    lying.extend_from_slice(b"short");
+    assert!(WireReader::new(&lying).bytes().is_err());
+
+    // A length prefix past the per-field cap.
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&((MAX_FIELD as u32) + 1).to_be_bytes());
+    assert!(WireReader::new(&huge).bytes().is_err());
+
+    // A list claiming more entries than the reader's cap.
+    let mut flood = Vec::new();
+    flood.extend_from_slice(&u32::MAX.to_be_bytes());
+    assert!(WireReader::new(&flood).byte_list().is_err());
+
+    // Trailing garbage is caught by finish().
+    let mut w = WireWriter::new();
+    w.u8(1);
+    let mut msg = w.into_bytes();
+    msg.push(0xEE);
+    let mut r = WireReader::new(&msg);
+    r.u8().unwrap();
+    assert!(r.finish().is_err());
+}
+
+/// The same hostile shapes pushed through a full server round-trip:
+/// a handshake frame whose inner wire message is truncated mid-field
+/// draws a protocol error, and the server stays up for the next client.
+#[test]
+fn truncated_handshake_message_rejected_server_survives() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    // Frame a ClientHello whose random is cut short mid-bytes.
+    let mut hello = Vec::new();
+    hello.push(1u8); // MSG_CLIENT_HELLO
+    hello.extend_from_slice(&32u32.to_be_bytes()); // claims 32 bytes...
+    hello.extend_from_slice(&[0xAB; 7]); // ...delivers 7
+    let mut conn = w.myproxy.connect_local();
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&(hello.len() as u32).to_be_bytes());
+    framed.extend_from_slice(&hello);
+    let _ = conn.write_all(&framed);
+    let mut buf = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut conn, &mut buf);
+    drop(conn);
+
+    // The server did not crash: a well-behaved client still succeeds.
+    let mut rng = test_drbg("after truncation");
+    let got = w.myproxy_client.get_delegation(
+        w.myproxy.connect_local(),
+        &w.portal_cred,
+        &GetParams::new("alice", "correct horse battery"),
+        &mut rng,
+        w.clock.now(),
+    );
+    assert!(got.is_ok(), "server must survive a truncated handshake: {got:?}");
+}
+
 /// Oversized usernames / pass phrases / field floods must be refused
 /// (or served) without memory blowups — the request is a single capped
 /// record.

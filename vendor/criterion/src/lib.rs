@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench *authoring* API this workspace uses (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `iter`, `iter_batched`, `Throughput`, `BatchSize`, `black_box`) so the
+//! bench suite compiles and runs offline. Measurement is deliberately
+//! simple: each benchmark runs a short warm-up then a fixed wall-clock
+//! budget, and the mean per-iteration time is printed. No statistics,
+//! no HTML reports, no comparison to baselines.
+//!
+//! `cargo test` also executes bench binaries (the targets set
+//! `harness = false`); in that mode (`--test` flag passed by cargo) every
+//! benchmark body runs exactly once, as a smoke test, matching real
+//! criterion's behavior.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// True unless cargo invoked this bench binary for real measurement:
+/// `cargo bench` passes `--bench`; `cargo test --benches` does not, and in
+/// that case (like real criterion) each body runs once as a smoke test.
+fn test_mode() -> bool {
+    !std::env::args().any(|a| a == "--bench")
+}
+
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: test_mode(),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            test_mode,
+        }
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one("", &name.to_string(), self.test_mode, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    test_mode: bool,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &name.to_string(), self.test_mode, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<S: std::fmt::Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        name: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut adapted = |b: &mut Bencher| f(b, input);
+        run_one(&self.name, &name.to_string(), self.test_mode, &mut adapted);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, test_mode: bool, f: &mut F) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let mut b = Bencher {
+        test_mode,
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok (smoke)");
+    } else if b.iters_done > 0 {
+        let per_iter = b.elapsed / (b.iters_done as u32).max(1);
+        println!("{label:<50} {per_iter:>12.2?}/iter ({} iters)", b.iters_done);
+    } else {
+        println!("{label:<50} (no measurement)");
+    }
+}
+
+pub struct Bencher {
+    test_mode: bool,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+/// Wall-clock budget per benchmark in measurement mode; short by design —
+/// this shim exists to keep benches runnable, not to publish numbers.
+const BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_ITERS: u64 = 2;
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters_done = 1;
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, T, S: FnMut() -> I, F: FnMut(I) -> T>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.iters_done = 1;
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let loop_start = Instant::now();
+        while loop_start.elapsed() < BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.elapsed = measured;
+    }
+
+    pub fn iter_batched_ref<I, T, S: FnMut() -> I, F: FnMut(&mut I) -> T>(
+        &mut self,
+        setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut adapted_setup = setup;
+        if self.test_mode {
+            let mut input = adapted_setup();
+            black_box(routine(&mut input));
+            self.iters_done = 1;
+            return;
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let loop_start = Instant::now();
+        while loop_start.elapsed() < BUDGET {
+            let mut input = adapted_setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.elapsed = measured;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5).throughput(Throughput::Bytes(1));
+            group.bench_function("f", |b| b.iter(|| ran += 1));
+            group.bench_function("batched", |b| {
+                b.iter_batched(|| 1u32, |x| black_box(x + 1), BatchSize::PerIteration)
+            });
+            group.finish();
+        }
+        assert!(ran >= 1);
+    }
+}

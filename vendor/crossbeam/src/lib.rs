@@ -1,0 +1,68 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope(|s| { s.spawn(|_| ...); })` returning `thread::Result<T>`),
+//! implemented over `std::thread::scope`, which has been stable since
+//! Rust 1.63 and offers the same structured-concurrency guarantee.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`, wrapping a std scope.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Stand-in for the `&Scope` argument crossbeam passes back into spawned
+    /// closures. Call sites in this workspace all ignore it (`|_| ...`);
+    /// nested spawning through it is not supported by this shim.
+    pub struct NestedScope;
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.0.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned through the scope are
+    /// joined before `scope` returns. Panics in spawned threads propagate out
+    /// of `std::thread::scope` directly — a strictly more eager failure mode
+    /// than crossbeam's captured error, and what call sites here (which
+    /// `.unwrap()` the result) want anyway.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

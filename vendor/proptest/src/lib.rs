@@ -1,0 +1,644 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses, on std plus
+//! the vendored `rand` shim:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(arg in strategy, ..) { body }`
+//!   items into deterministic randomized `#[test]`s (seeded per test name,
+//!   case count overridable via `PROPTEST_CASES`);
+//! * [`strategy::Strategy`] with `prop_map`, plus strategies for `any::<T>()`,
+//!   integer ranges, `&str` regex patterns (a generation-oriented subset:
+//!   char classes with ranges/escapes/`&&[^..]` subtraction, `(a|b)` literal
+//!   alternation, `{m,n}`/`{n}`/`*`/`+`/`?` quantifiers), tuples, and
+//!   [`collection::vec`] / [`collection::btree_map`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! assertion message and the seed-derived case index only.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject,
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drive one property: generate-and-check until `cases` accepted runs,
+    /// tolerating `prop_assume` rejections up to a global attempt budget.
+    pub fn run<F>(name: &str, mut property: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let cases = case_count();
+        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        let mut accepted = 0usize;
+        let mut attempts = 0usize;
+        let max_attempts = cases.saturating_mul(20).max(100);
+        while accepted < cases {
+            if attempts >= max_attempts {
+                panic!(
+                    "proptest '{name}': too many prop_assume rejections \
+                     ({accepted}/{cases} cases accepted after {attempts} attempts)"
+                );
+            }
+            attempts += 1;
+            match property(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed on case {accepted} (attempt {attempts}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy yielding one fixed value, like `proptest::strategy::Just`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Values with a canonical "any" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    // Bias toward edge values a little, as real proptest does.
+                    match rng.gen_range(0..16) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => 1 as $t,
+                        _ => rng.gen::<$t>(),
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Mostly ASCII, some multi-byte scalars, never surrogates.
+            match rng.gen_range(0..8) {
+                0 => char::from_u32(rng.gen_range(0x80..0xD800) as u32).unwrap_or('\u{FFFD}'),
+                1 => '\u{1F600}',
+                2 => '\0',
+                _ => (rng.gen_range(0x20..0x7F) as u8) as char,
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let len = rng.gen_range(0..48) as usize;
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let mut out = [0u8; N];
+            rng.fill(&mut out);
+            out
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.gen_range(self.start as u64..self.end as u64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    assert!(lo <= hi, "empty range strategy");
+                    if hi == u64::MAX {
+                        rng.gen::<u64>() as $t
+                    } else {
+                        rng.gen_range(lo..hi + 1) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+}
+
+/// Generation-oriented interpreter for the regex subset proptest accepts as
+/// string strategies. Supports literals, `[..]` char classes (ranges,
+/// escapes, leading `^` negation over printable ASCII, `&&[^..]`
+/// subtraction), `(lit|lit|..)` alternation over literal branches, and the
+/// quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` (unbounded forms capped at 8).
+pub mod pattern {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    enum Atom {
+        Class(Vec<char>),
+        Alt(Vec<String>),
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Parse the interior of `[...]` starting after `[`; returns (chars, idx
+    /// past `]`). Handles negation, ranges, escapes, and `&&[^...]`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        let mut subtract: Vec<char> = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '&' && chars.get(i + 1) == Some(&'&') && chars.get(i + 2) == Some(&'[') {
+                let inner_neg = chars.get(i + 3) == Some(&'^');
+                let (inner, ni) = parse_class(chars, i + 3 + usize::from(inner_neg));
+                if inner_neg {
+                    // [a&&[^b]] — intersect with complement: subtract b.
+                    subtract.extend(inner);
+                } else {
+                    // [a&&[b]] — plain intersection.
+                    set.retain(|c| inner.contains(c));
+                }
+                i = ni;
+                continue;
+            }
+            let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            if chars.get(i) == Some(&'-') && i + 1 < chars.len() && chars[i + 1] != ']' {
+                let hi = if chars[i + 1] == '\\' && i + 2 < chars.len() {
+                    i += 1;
+                    unescape(chars[i + 1])
+                } else {
+                    chars[i + 1]
+                };
+                i += 2;
+                let (lo, hi) = (lo as u32, hi as u32);
+                for cp in lo..=hi {
+                    if let Some(c) = char::from_u32(cp) {
+                        set.push(c);
+                    }
+                }
+            } else {
+                set.push(lo);
+            }
+        }
+        i += 1; // past ']'
+        if negated {
+            let complement: Vec<char> = (0x20u8..0x7F)
+                .map(|b| b as char)
+                .filter(|c| !set.contains(c))
+                .collect();
+            set = complement;
+        }
+        set.retain(|c| !subtract.contains(c));
+        (set, i)
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (set, ni) = parse_class(&chars, i + 1);
+                    i = ni;
+                    assert!(
+                        !set.is_empty(),
+                        "pattern shim: empty character class in {pattern:?}"
+                    );
+                    Atom::Class(set)
+                }
+                '(' => {
+                    let mut alts = vec![String::new()];
+                    i += 1;
+                    while i < chars.len() && chars[i] != ')' {
+                        match chars[i] {
+                            '|' => alts.push(String::new()),
+                            '\\' if i + 1 < chars.len() => {
+                                i += 1;
+                                let c = unescape(chars[i]);
+                                alts.last_mut().expect("alts never empty").push(c);
+                            }
+                            c => alts.last_mut().expect("alts never empty").push(c),
+                        }
+                        i += 1;
+                    }
+                    i += 1; // past ')'
+                    Atom::Alt(alts)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 1;
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("pattern shim: unclosed {{ in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((m, n)) = body.split_once(',') {
+                        let m: usize = m.trim().parse().unwrap_or(0);
+                        let n: usize = n.trim().parse().unwrap_or(m + 8);
+                        (m, n)
+                    } else {
+                        let n: usize = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let reps = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min as u64..piece.max as u64 + 1) as usize
+            };
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Class(set) => {
+                        out.push(set[rng.gen_range(0..set.len() as u64) as usize]);
+                    }
+                    Atom::Alt(alts) => {
+                        out.push_str(&alts[rng.gen_range(0..alts.len() as u64) as usize]);
+                    }
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.start as u64..self.size.end.max(self.size.start + 1) as u64)
+                as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.start as u64..self.size.end.max(self.size.start + 1) as u64)
+                as usize;
+            // Duplicate keys collapse, as in real proptest's btree_map.
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} at {}:{}", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                            stringify!($left), stringify!($right), __l, __r, file!(), line!()
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                            stringify!($left), stringify!($right), __l, file!(), line!()
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_subset_generates_matching_strings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::pattern::generate("[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = crate::pattern::generate("(CN|O|OU|C)", &mut rng);
+            assert!(["CN", "O", "OU", "C"].contains(&s.as_str()));
+
+            let s = crate::pattern::generate("[ -~&&[^\n]]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = crate::pattern::generate("[a-zA-Z0-9 .@-]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .@-".contains(c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_and_strategies_work(
+            n in 3u64..10,
+            bytes in crate::collection::vec(any::<u8>(), 0..5),
+            (k, v) in ("[a-z]{1,4}", any::<u64>()),
+            s in any::<String>(),
+        ) {
+            prop_assume!(n != 5);
+            prop_assert!(n >= 3 && n < 10 && n != 5);
+            prop_assert!(bytes.len() < 5);
+            prop_assert!((1..=4).contains(&k.len()));
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(n, 5);
+            let _ = s.len();
+        }
+    }
+}

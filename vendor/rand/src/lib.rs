@@ -1,0 +1,316 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The workspace's cryptographic entropy comes from its own HMAC-DRBG
+//! (`mp-crypto::drbg`), which only needs the `RngCore`/`CryptoRng` trait
+//! shapes from `rand`; deterministic test RNGs need `SeedableRng` and
+//! `StdRng`. This shim provides exactly that API surface on std alone:
+//!
+//! * [`RngCore`], [`CryptoRng`], [`Rng`] (blanket impl), [`SeedableRng`]
+//! * [`rngs::StdRng`] — xoshiro256** seeded via SplitMix64, deterministic
+//!   for a given seed (NOT the real StdRng's ChaCha12 stream, but all
+//!   in-repo uses treat seeded output as arbitrary, not as a fixture)
+//! * [`rngs::OsRng`] — reads `/dev/urandom`
+//! * [`Error`] and `Fill` for `rng.fill(&mut bytes)`
+
+use std::fmt;
+
+/// Error type matching `rand::Error`'s role. The std shim's sources are
+/// infallible except for `/dev/urandom` I/O failures.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand shim error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Marker trait: the generator is cryptographically strong.
+pub trait CryptoRng {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// Types producible by `Rng::gen` under the standard distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Destination buffers accepted by `Rng::fill`.
+pub trait Fill {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Result<(), Error>;
+}
+
+impl Fill for [u8] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Result<(), Error> {
+        rng.try_fill_bytes(self)
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Result<(), Error> {
+        rng.try_fill_bytes(self)
+    }
+}
+
+impl Fill for [u64] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Result<(), Error> {
+        for w in self.iter_mut() {
+            *w = rng.next_u64();
+        }
+        Ok(())
+    }
+}
+
+/// Convenience extension trait, blanket-implemented for every `RngCore`,
+/// mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.try_fill(self).expect("Rng::fill failed")
+    }
+
+    /// Uniform value in `[low, high)` — rejection-sampled, matching
+    /// `rand::Rng::gen_range(low..high)` for unsigned ranges.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + v % span;
+            }
+        }
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 stream expanded into the seed bytes, as real rand does.
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    fn from_entropy() -> Self {
+        let mut seed = Self::Seed::default();
+        rngs::OsRng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{CryptoRng, Error, RngCore, SeedableRng};
+    use std::io::Read;
+
+    /// Deterministic generator: xoshiro256** (Blackman & Vigna). Passes
+    /// BigCrush; NOT a drop-in for real StdRng's ChaCha12 output stream, but
+    /// every in-repo use treats seeded output as arbitrary test data.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *w = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E3779B97F4A7C15, 0xD1B54A32D192ED03, 0x8BB84B93962EACC9, 1];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl CryptoRng for StdRng {}
+
+    /// Operating-system entropy source backed by `/dev/urandom`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            self.fill_bytes(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            self.fill_bytes(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.try_fill_bytes(dest)
+                .expect("failed to read from /dev/urandom")
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            let mut f = std::fs::File::open("/dev/urandom").map_err(|_| Error {
+                msg: "open /dev/urandom",
+            })?;
+            f.read_exact(dest).map_err(|_| Error {
+                msg: "read /dev/urandom",
+            })
+        }
+    }
+
+    impl CryptoRng for OsRng {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{OsRng, StdRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_and_gen_cover_used_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 48];
+        rng.fill(&mut buf[..32]);
+        rng.fill(&mut buf);
+        let _: u8 = rng.gen();
+        let _: u64 = rng.gen();
+        let x = rng.gen::<usize>() % 700;
+        assert!(x < 700);
+        for _ in 0..64 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn os_rng_produces_bytes() {
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        OsRng.fill_bytes(&mut a);
+        OsRng.fill_bytes(&mut b);
+        assert_ne!(a, b, "32 bytes of urandom collided — astronomically unlikely");
+    }
+}
