@@ -68,7 +68,7 @@ impl InitParams {
         if let Some(r) = &self.renewer {
             req = req.field("RENEWER", r);
         }
-        req
+        req // lint:allow(R5) the PASSPHRASE field deliberately crosses here: the protocol carries it inside the mutually-authenticated encrypted channel (Figure 1, §5.1); callers only ever send this Request via SecureChannel
     }
 }
 
@@ -121,7 +121,7 @@ impl GetParams {
         if let Some(otp) = &self.otp {
             req = req.field(field::OTP, otp);
         }
-        req
+        req // lint:allow(R5) same as InitParams::to_request: the pass phrase/OTP ride the GET request only over the mutually-authenticated encrypted channel (Figure 2, §5.1)
     }
 }
 

@@ -29,6 +29,8 @@ pub mod proto;
 pub mod renewal;
 pub mod server;
 pub mod store;
+#[doc(hidden)]
+pub mod testutil;
 pub mod wallet;
 
 pub use client::MyProxyClient;

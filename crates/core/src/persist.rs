@@ -195,10 +195,8 @@ mod tests {
         Credential::new(vec![cert], key.clone()).unwrap()
     }
 
-    fn tmpdir(label: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("mp-persist-{label}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
+    fn tmpdir(label: &str) -> crate::testutil::TempDir {
+        crate::testutil::TempDir::new(&format!("persist-{label}"))
     }
 
     #[test]
@@ -243,7 +241,6 @@ mod tests {
         assert!(restored.open("alice", DEFAULT_NAME, "pass!").is_ok());
         assert!(restored.open("alice", DEFAULT_NAME, "wrong").is_err());
         assert!(restored.open("bob", "special", "bobpass").is_ok());
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -262,7 +259,6 @@ mod tests {
             })
             .collect();
         assert!(remaining.is_empty());
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -281,7 +277,6 @@ mod tests {
         let corrupt = restored.load_from_dir(&dir).unwrap();
         assert_eq!(corrupt.len(), 2, "two bad files reported");
         assert_eq!(restored.len(), 1, "good entry loaded");
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -302,7 +297,6 @@ mod tests {
         // The base64 of the *plaintext* PEM must not appear either.
         let pem_b64 = mp_crypto::base64::encode(cred.to_pem().as_bytes());
         assert!(!contents.contains(&pem_b64[..40]));
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct ServerStats {
     pub denials: AtomicU64,
     /// Connections that failed before a request was read.
     pub channel_failures: AtomicU64,
+    /// Error responses we could not deliver (peer gone mid-reply).
+    pub send_failures: AtomicU64,
+    /// Detached handler threads that ended in an error after the
+    /// response path was no longer available to report it.
+    pub handler_errors: AtomicU64,
 }
 
 impl ServerStats {
@@ -192,7 +197,12 @@ impl MyProxyServer {
         let request = match Request::from_text(&req_text) {
             Ok(r) => r,
             Err(e) => {
-                let _ = channel.send(Response::error(format!("{e}")).to_text().as_bytes());
+                if channel
+                    .send(Response::error(format!("{e}")).to_text().as_bytes())
+                    .is_err()
+                {
+                    self.state.stats.bump(&self.state.stats.send_failures);
+                }
                 return Err(e);
             }
         };
@@ -200,8 +210,14 @@ impl MyProxyServer {
         let result = self.dispatch(&mut channel, &request, &mut rng);
         if let Err(e) = &result {
             self.state.stats.bump(&self.state.stats.denials);
-            // Best-effort error response; the channel may already be gone.
-            let _ = channel.send(Response::error(format!("{e}")).to_text().as_bytes());
+            // Best-effort error response; the channel may already be gone,
+            // in which case the failure is still visible in the counters.
+            if channel
+                .send(Response::error(format!("{e}")).to_text().as_bytes())
+                .is_err()
+            {
+                self.state.stats.bump(&self.state.stats.send_failures);
+            }
         }
         result
     }
@@ -596,7 +612,9 @@ impl MyProxyServer {
         let (client_end, server_end) = mp_gsi::duplex();
         let server = self.clone();
         std::thread::spawn(move || {
-            let _ = server.handle(server_end);
+            if server.handle(server_end).is_err() {
+                server.state.stats.bump(&server.state.stats.handler_errors);
+            }
         });
         client_end
     }
@@ -609,7 +627,9 @@ impl MyProxyServer {
                 Ok(sock) => {
                     let server = self.clone();
                     std::thread::spawn(move || {
-                        let _ = server.handle(sock);
+                        if server.handle(sock).is_err() {
+                            server.state.stats.bump(&server.state.stats.handler_errors);
+                        }
                     });
                 }
                 Err(_) => break,

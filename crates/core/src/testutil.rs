@@ -1,0 +1,46 @@
+//! Small helpers for tests. Compiled into the library so sibling
+//! crates' tests can reuse them, but hidden from the public API.
+
+use std::path::{Path, PathBuf};
+
+/// RAII scratch directory: created empty on `new`, recursively removed
+/// on drop — so a failing assertion can no longer leak a directory the
+/// way ad-hoc `remove_dir_all` teardowns at the end of a test did.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<tmp>/mp-<label>-<pid>`, clearing any leftover from a
+    /// previous crashed run.
+    pub fn new(label: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("mp-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path); // lint:allow(R6) best-effort pre-clean; the directory usually does not exist
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path); // lint:allow(R6) teardown runs on the unwind path too; there is no caller to report a failed cleanup to
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::ops::Deref for TempDir {
+    type Target = Path;
+    fn deref(&self) -> &Path {
+        &self.path
+    }
+}

@@ -66,6 +66,9 @@ struct JmState {
     gridmap: Gridmap,
     jobs: RwLock<HashMap<u64, Job>>,
     next_id: AtomicU64,
+    /// Detached handler threads that ended in an error (protocol
+    /// failure or denial) with nobody left to report it to.
+    handler_errors: AtomicU64,
     /// Where completed jobs store output (in-process handle; the real
     /// system would dial a GridFTP server).
     storage: Option<(MassStorage, ChannelConfig)>,
@@ -98,6 +101,7 @@ impl JobManager {
                 gridmap,
                 jobs: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
+                handler_errors: AtomicU64::new(0),
                 storage,
             }),
         }
@@ -116,6 +120,12 @@ impl JobManager {
     /// Number of jobs ever submitted.
     pub fn job_count(&self) -> usize {
         self.inner.jobs.read().len()
+    }
+
+    /// Detached connections that ended in an error (`connect_local`
+    /// threads have no caller to return their `Result` to).
+    pub fn handler_errors(&self) -> u64 {
+        self.inner.handler_errors.load(Ordering::Relaxed)
     }
 
     /// Serve one connection (SUBMIT / STATUS / CANCEL).
@@ -177,8 +187,11 @@ impl JobManager {
             }
             "STATUS" => {
                 let id = req.get_u64("JOB", 0)?;
-                let jobs = st.jobs.read();
-                match jobs.get(&id) {
+                // Snapshot under a statement-scoped read guard; the lock
+                // must never be held across channel I/O — one slow peer
+                // would stall every submitter (mp-lint R7).
+                let snapshot = st.jobs.read().get(&id).cloned();
+                match snapshot {
                     Some(job) if job.owner_identity == peer.identity.to_string() => {
                         let state = match &job.state {
                             JobState::Running => "RUNNING".to_string(),
@@ -201,17 +214,23 @@ impl JobManager {
             }
             "CANCEL" => {
                 let id = req.get_u64("JOB", 0)?;
-                let mut jobs = st.jobs.write();
-                match jobs.get_mut(&id) {
-                    Some(job) if job.owner_identity == peer.identity.to_string() => {
-                        job.state = JobState::Failed("cancelled by user".into());
-                        job.proxy = None; // logout semantics: drop the credential
-                        channel.send(Kv::new().set("STATUS", "OK").to_text().as_bytes())?;
+                // Mutate inside a closed scope, then reply guard-free.
+                let cancelled = {
+                    let mut jobs = st.jobs.write();
+                    match jobs.get_mut(&id) {
+                        Some(job) if job.owner_identity == peer.identity.to_string() => {
+                            job.state = JobState::Failed("cancelled by user".into());
+                            job.proxy = None; // logout semantics: drop the credential
+                            true
+                        }
+                        _ => false,
                     }
-                    _ => {
-                        channel.send(Kv::new().set("STATUS", "NOTFOUND").to_text().as_bytes())?;
-                        return Err(GramError::NotFound(format!("job {id}")));
-                    }
+                };
+                if cancelled {
+                    channel.send(Kv::new().set("STATUS", "OK").to_text().as_bytes())?;
+                } else {
+                    channel.send(Kv::new().set("STATUS", "NOTFOUND").to_text().as_bytes())?;
+                    return Err(GramError::NotFound(format!("job {id}")));
                 }
             }
             other => {
@@ -229,23 +248,48 @@ impl JobManager {
     pub fn tick<R: Rng + ?Sized>(&self, rng: &mut R) {
         let st = &self.inner;
         let now = st.clock.now();
-        let mut jobs = st.jobs.write();
-        for job in jobs.values_mut() {
-            if job.state != JobState::Running {
-                continue;
-            }
-            job.done_ticks += 1;
-            if job.done_ticks < job.total_ticks {
-                continue;
-            }
-            // Finished computing; store output if requested.
-            if job.wants_output {
-                match self.store_output(job, rng, now) {
-                    Ok(()) => job.state = JobState::Completed,
-                    Err(e) => job.state = JobState::Failed(format!("output store failed: {e}")),
+        // Phase 1: advance counters under the lock and collect clones of
+        // jobs that just finished and want output. The guard must not be
+        // held across the storage sub-protocol below — that handshake
+        // round-trips on a channel, and a stalled storage server would
+        // block every SUBMIT/STATUS in the meantime (mp-lint R7).
+        let mut to_store: Vec<Job> = Vec::new();
+        {
+            let mut jobs = st.jobs.write();
+            for job in jobs.values_mut() {
+                if job.state != JobState::Running {
+                    continue;
                 }
-            } else {
-                job.state = JobState::Completed;
+                job.done_ticks += 1;
+                if job.done_ticks < job.total_ticks {
+                    continue;
+                }
+                if job.wants_output {
+                    to_store.push(job.clone());
+                } else {
+                    job.state = JobState::Completed;
+                }
+            }
+        }
+        // Phase 2: run the storage sub-protocol lock-free.
+        let mut outcomes: Vec<(u64, JobState)> = Vec::new();
+        for job in &to_store {
+            let state = match self.store_output(job, rng, now) {
+                Ok(()) => JobState::Completed,
+                Err(e) => JobState::Failed(format!("output store failed: {e}")),
+            };
+            outcomes.push((job.id, state));
+        }
+        // Phase 3: publish outcomes, unless something (e.g. CANCEL)
+        // already moved the job out of Running while we were storing.
+        if !outcomes.is_empty() {
+            let mut jobs = st.jobs.write();
+            for (id, state) in outcomes {
+                if let Some(job) = jobs.get_mut(&id) {
+                    if job.state == JobState::Running {
+                        job.state = state;
+                    }
+                }
             }
         }
     }
@@ -311,7 +355,9 @@ impl JobManager {
         let seed = rng_seed.to_vec();
         std::thread::spawn(move || {
             let mut rng = mp_crypto::HmacDrbg::new(&seed);
-            let _ = service.handle(server_end, &mut rng);
+            if service.handle(server_end, &mut rng).is_err() {
+                service.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+            }
         });
         client_end
     }

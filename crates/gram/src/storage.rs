@@ -16,6 +16,7 @@ use mp_x509::{Certificate, Clock};
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One stored file.
@@ -43,6 +44,9 @@ struct StorageState {
     gridmap: Gridmap,
     clock: Arc<dyn Clock>,
     files: RwLock<HashMap<(String, String), StoredFile>>, // (user, filename)
+    /// Detached handler threads that ended in an error (protocol
+    /// failure or denial) with nobody left to report it to.
+    handler_errors: AtomicU64,
 }
 
 impl MassStorage {
@@ -62,6 +66,7 @@ impl MassStorage {
                 gridmap,
                 clock,
                 files: RwLock::new(HashMap::new()),
+                handler_errors: AtomicU64::new(0),
             }),
         }
     }
@@ -74,6 +79,12 @@ impl MassStorage {
     /// Number of stored files (across all users).
     pub fn file_count(&self) -> usize {
         self.inner.files.read().len()
+    }
+
+    /// Detached connections that ended in an error (`connect_local`
+    /// threads have no caller to return their `Result` to).
+    pub fn handler_errors(&self) -> u64 {
+        self.inner.handler_errors.load(Ordering::Relaxed)
     }
 
     /// Direct (test) access to a stored file.
@@ -181,7 +192,9 @@ impl MassStorage {
         let seed = rng_seed.to_vec();
         std::thread::spawn(move || {
             let mut rng = mp_crypto::HmacDrbg::new(&seed);
-            let _ = service.handle(server_end, &mut rng);
+            if service.handle(server_end, &mut rng).is_err() {
+                service.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+            }
         });
         client_end
     }

@@ -1,0 +1,156 @@
+//! Committed-baseline and waiver-budget mechanics.
+//!
+//! The baseline (`lint-baseline.txt` at the workspace root) lists
+//! legacy findings that are tracked but do not fail the gate; anything
+//! *not* listed fails, and a listed entry that no longer fires is
+//! *stale* and fails too — the baseline can only shrink. The tree
+//! currently ships an **empty** baseline: every finding is either
+//! fixed or carries a reasoned `lint:allow`.
+//!
+//! The waiver budget (`lint-waivers.budget`) pins the total number of
+//! `lint:allow` annotations in scoped sources. Adding a waiver without
+//! raising the budget in the same commit fails CI, which forces the
+//! diff reviewer to see both together.
+
+use crate::rules::Diagnostic;
+use std::path::Path;
+
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+pub const BUDGET_FILE: &str = "lint-waivers.budget";
+
+/// The stable identity of a finding for baseline matching: exact
+/// file/line/rule, not the message (messages may be reworded).
+pub fn key(d: &Diagnostic) -> String {
+    format!("{}:{}: [{}]", d.file, d.line, d.rule)
+}
+
+/// Parse baseline text: one key per line, `#` comments and blank lines
+/// ignored.
+pub fn parse_baseline(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Load the workspace baseline; a missing file is an empty baseline.
+pub fn load(root: &Path) -> Vec<String> {
+    std::fs::read_to_string(root.join(BASELINE_FILE))
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default()
+}
+
+/// Outcome of matching findings against the baseline.
+pub struct BaselineSplit {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Diagnostic>,
+    /// Findings covered by the baseline — reported, not fatal.
+    pub baselined: Vec<Diagnostic>,
+    /// Baseline entries that matched nothing — fatal: the fix landed,
+    /// so the entry must be deleted.
+    pub stale: Vec<String>,
+}
+
+pub fn split(diags: Vec<Diagnostic>, baseline: &[String]) -> BaselineSplit {
+    let mut matched = vec![false; baseline.len()];
+    let mut new = Vec::new();
+    let mut baselined = Vec::new();
+    for d in diags {
+        let k = key(&d);
+        match baseline.iter().position(|b| *b == k) {
+            Some(i) => {
+                matched[i] = true;
+                baselined.push(d);
+            }
+            None => new.push(d),
+        }
+    }
+    let stale = baseline
+        .iter()
+        .zip(&matched)
+        .filter(|(_, m)| !**m)
+        .map(|(b, _)| b.clone())
+        .collect();
+    BaselineSplit { new, baselined, stale }
+}
+
+/// Count `lint:allow` annotations in every scoped source file (i.e.
+/// files where at least one rule applies — a waiver in an unscoped
+/// file is inert and not counted). Returns (total, per-file counts).
+pub fn count_waivers(root: &Path) -> (usize, Vec<(String, usize)>) {
+    let mut files = Vec::new();
+    crate::collect_rs(root, &mut files);
+    let mut per_file = Vec::new();
+    let mut total = 0usize;
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if crate::rules_for_path(&rel).none() {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let n = crate::lexer::lex(&src)
+            .comments
+            .iter()
+            .filter(|c| c.text.contains("lint:allow("))
+            .count();
+        if n > 0 {
+            per_file.push((rel, n));
+            total += n;
+        }
+    }
+    (total, per_file)
+}
+
+/// Read the committed waiver budget: first non-comment line of
+/// `lint-waivers.budget` as an integer.
+pub fn load_budget(root: &Path) -> Option<usize> {
+    let text = std::fs::read_to_string(root.join(BUDGET_FILE)).ok()?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic::new(file, line, rule, "m".into())
+    }
+
+    #[test]
+    fn keys_and_parse() {
+        let d = diag("crates/core/src/server.rs", 195, "R6");
+        assert_eq!(key(&d), "crates/core/src/server.rs:195: [R6]");
+        let b = parse_baseline("# legacy\n\ncrates/core/src/server.rs:195: [R6]\n");
+        assert_eq!(b, vec!["crates/core/src/server.rs:195: [R6]"]);
+    }
+
+    #[test]
+    fn split_classifies_new_baselined_stale() {
+        let baseline = vec![
+            "a.rs:1: [R5]".to_string(),
+            "gone.rs:9: [R6]".to_string(),
+        ];
+        let s = split(vec![diag("a.rs", 1, "R5"), diag("b.rs", 2, "R7")], &baseline);
+        assert_eq!(s.new.len(), 1);
+        assert_eq!(s.new[0].file, "b.rs");
+        assert_eq!(s.baselined.len(), 1);
+        assert_eq!(s.stale, vec!["gone.rs:9: [R6]"]);
+    }
+
+    #[test]
+    fn empty_baseline_means_everything_is_new() {
+        let s = split(vec![diag("a.rs", 1, "R5")], &[]);
+        assert_eq!(s.new.len(), 1);
+        assert!(s.baselined.is_empty() && s.stale.is_empty());
+    }
+}

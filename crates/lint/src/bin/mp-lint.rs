@@ -1,0 +1,121 @@
+//! The `mp-lint` CLI: the same workspace gate that runs under
+//! `cargo test -p mp-lint`, plus machine-readable output and the
+//! waiver-budget check CI uses.
+//!
+//! ```text
+//! mp-lint                        gate: exit 1 on new/stale findings
+//! mp-lint --json report.json     also write the SARIF-lite report
+//! mp-lint --check-waiver-budget  compare lint:allow count to budget
+//! mp-lint --root <dir>           lint a different tree (default:
+//!                                this workspace)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = mp_lint::workspace_root();
+    let mut json_out: Option<PathBuf> = None;
+    let mut check_budget = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let Some(p) = args.next() else {
+                    eprintln!("mp-lint: --json requires a path");
+                    return ExitCode::from(2);
+                };
+                json_out = Some(PathBuf::from(p));
+            }
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("mp-lint: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+            }
+            "--check-waiver-budget" => check_budget = true,
+            "--help" | "-h" => {
+                println!(
+                    "mp-lint: workspace security-hygiene gate (rules R1-R7)\n\
+                     \n\
+                     usage: mp-lint [--root DIR] [--json PATH] [--check-waiver-budget]\n\
+                     \n\
+                     --json PATH             write the SARIF-lite report to PATH\n\
+                     --check-waiver-budget   fail if lint:allow count != lint-waivers.budget\n\
+                     --root DIR              lint DIR instead of this workspace"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mp-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if check_budget {
+        let (total, per_file) = mp_lint::baseline::count_waivers(&root);
+        let Some(budget) = mp_lint::baseline::load_budget(&root) else {
+            eprintln!(
+                "mp-lint: missing or unreadable {} at {}",
+                mp_lint::baseline::BUDGET_FILE,
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        println!("lint:allow annotations in scoped sources: {total} (budget: {budget})");
+        for (file, n) in &per_file {
+            println!("  {file}: {n}");
+        }
+        if total != budget {
+            eprintln!(
+                "mp-lint: waiver count {total} does not match committed budget {budget}; \
+                 update {} in the same change that adds or removes a lint:allow",
+                mp_lint::baseline::BUDGET_FILE
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let result = mp_lint::gate_workspace(&root);
+
+    if let Some(path) = &json_out {
+        let text = result.sarif.pretty();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("mp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote SARIF-lite report: {}", path.display());
+    }
+
+    for d in &result.split.baselined {
+        println!("baselined: {d}");
+    }
+    for d in &result.split.new {
+        println!("{d}");
+        for s in &d.path {
+            println!("    taint: line {}: {}", s.line, s.note);
+        }
+    }
+    for s in &result.split.stale {
+        println!("stale baseline entry (fixed — delete it): {s}");
+    }
+
+    if result.passed() {
+        println!(
+            "mp-lint: clean ({} baselined finding(s) tracked)",
+            result.split.baselined.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "mp-lint: {} new finding(s), {} stale baseline entr(ies)",
+            result.split.new.len(),
+            result.split.stale.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,390 @@
+//! Minimal JSON value + parser + serializer. mp-lint stays
+//! dependency-free, so the SARIF-lite report and its schema validator
+//! bring their own (small, std-only) JSON layer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve no insertion order (BTreeMap keeps
+/// output deterministic, which the tests rely on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(n) => {
+                if n.fract() == 0.0 {
+                    "integer"
+                } else {
+                    "number"
+                }
+            }
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Serialize with 2-space indentation and `\n` line ends.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    v.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse error with byte offset for debuggability.
+#[derive(Debug, Clone)]
+pub struct JsonError {
+    pub offset: usize,
+    pub what: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.what)
+    }
+}
+
+/// Parse a JSON document. Strict enough for round-tripping our own
+/// output and checked-in schema files; rejects trailing garbage.
+pub fn parse(src: &str) -> Result<Value, JsonError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after document"));
+    }
+    Ok(v)
+}
+
+fn err(offset: usize, what: &str) -> JsonError {
+    JsonError { offset, what: what.into() }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(err(*pos, "unexpected end of input"));
+    };
+    match c {
+        b'{' => parse_obj(b, pos),
+        b'[' => parse_arr(b, pos),
+        b'"' => Ok(Value::Str(parse_string(b, pos)?)),
+        b't' => lit(b, pos, "true", Value::Bool(true)),
+        b'f' => lit(b, pos, "false", Value::Bool(false)),
+        b'n' => lit(b, pos, "null", Value::Null),
+        b'-' | b'0'..=b'9' => parse_num(b, pos),
+        _ => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, JsonError> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(err(*pos, "unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(err(*pos, "unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our data;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(err(*pos - 1, "unknown escape")),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 sequences.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&b[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            *pos = end;
+                        }
+                        Err(_) => return Err(err(start, "invalid utf-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        map.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(&b',') => {
+                *pos += 1;
+            }
+            Some(&b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(&b',') => {
+                *pos += 1;
+            }
+            Some(&b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"{"a": [1, 2.5, true, null], "b": {"nested": "x\ny"}, "c": "secret\"s"}"#;
+        let v = parse(src).expect("parse");
+        let printed = v.pretty();
+        let again = parse(&printed).expect("reparse");
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n": 3, "s": "hi", "a": [1]}"#).expect("parse");
+        assert_eq!(v.get("n").and_then(Value::as_num), Some(3.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("a").and_then(Value::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(v.get("n").map(Value::type_name), Some("integer"));
+    }
+
+    #[test]
+    fn utf8_strings_survive() {
+        let v = parse("{\"k\": \"héllo — ünïcode\"}").expect("parse");
+        assert_eq!(v.get("k").and_then(Value::as_str), Some("héllo — ünïcode"));
+    }
+}

@@ -260,6 +260,11 @@ pub fn lex(src: &str) -> Lexed {
             // Look ahead: 'x' or '\n' style?
             let is_char = if bytes.get(i + 1) == Some(&b'\\') {
                 true
+            } else if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+                // Any single byte between quotes is a char — covers
+                // punctuation chars like '"' and '{' that the identifier
+                // scan below would never close.
+                true
             } else {
                 // 'a' → char; 'a  (no close) → lifetime; '' is invalid.
                 let mut k = i + 1;
@@ -347,7 +352,13 @@ fn scan_cooked_string(src: &str, quote_at: usize) -> (String, usize, u32) {
     let mut newlines = 0u32;
     while j < bytes.len() {
         match bytes[j] {
-            b'\\' => j += 2,
+            b'\\' => {
+                // A `\` line continuation still ends the line.
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
             b'"' => {
                 return (src[quote_at + 1..j].to_string(), j + 1, newlines);
             }

@@ -1,9 +1,9 @@
 //! # mp-lint — workspace security-hygiene analyzer
 //!
 //! A from-scratch static analyzer for this workspace, built on a
-//! purpose-built Rust lexer (no `syn`, no proc-macros, no dependencies
-//! at all). It enforces four rules derived from the MyProxy paper's §5
-//! security analysis:
+//! purpose-built Rust lexer and statement-level parser (no `syn`, no
+//! proc-macros, no dependencies at all). It enforces seven rules
+//! derived from the MyProxy paper's §5 security analysis:
 //!
 //! - **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/indexing in
 //!   the non-test code of the attacker-reachable files
@@ -17,19 +17,40 @@
 //!   comparison.
 //! - **R4 wire-length safety** — no truncating `as u8/u16/u32` casts on
 //!   length arithmetic in the DER encoder and the GSI wire layer.
+//! - **R5 secret taint** ([`rules_v2`]) — values from `Secret::expose`,
+//!   secret-named parameters, or PBKDF2 output may not reach format
+//!   macros, wire writes, `#[derive(Debug)]` literals, or non-`Secret`
+//!   returns, even through renamed locals; findings carry the taint
+//!   path.
+//! - **R6 discarded fallible ops** — `let _ =` / trailing `.ok()` on
+//!   fallible protocol/channel/store calls in the service crates.
+//! - **R7 lock discipline** — no guard held across channel/disk I/O;
+//!   the merged lock-acquisition graph must be cycle-free.
 //!
 //! Violations can be waived per line with
 //! `// lint:allow(<rule>) <reason>` — the reason is mandatory; an
-//! allow without one is itself reported.
+//! allow without one is itself reported. The total waiver count is
+//! pinned by `lint-waivers.budget`; known pre-existing findings are
+//! tracked in `lint-baseline.txt` (new findings and stale entries both
+//! fail). [`gate_workspace`] also builds a SARIF-lite JSON report
+//! validated against `docs/mp-lint.sarif-lite.schema.json`.
 //!
 //! The analyzer runs as a normal test: `cargo test -p mp-lint` walks
 //! the workspace from `CARGO_MANIFEST_DIR/../..` and fails listing
-//! every `file:line` finding.
+//! every `file:line` finding. The same gate is available as a binary:
+//! `cargo run -p mp-lint` (`--json`, `--check-waiver-budget`).
 
+pub mod baseline;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod rules_v2;
+pub mod sarif;
+pub mod schema;
 
-pub use rules::{check_source, Diagnostic, RuleSet};
+pub use rules::{check_source, Diagnostic, RuleSet, TaintStep};
+pub use rules_v2::LockEdge;
 
 use std::path::{Path, PathBuf};
 
@@ -77,12 +98,38 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
         || rel == "crates/gsi/src/wire.rs"
         || rel == "crates/gsi/src/record.rs";
 
+    // R5 (secret taint): every crate that touches key material or the
+    // pass phrase — same blast radius as R3.
+    rs.r5 = (rel.starts_with("crates/crypto/src/")
+        || rel.starts_with("crates/gsi/src/")
+        || rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
+    // R6 (discarded fallible ops): the attacker-reachable service
+    // crates — a silently dropped send/store error is an invisible
+    // availability failure there.
+    rs.r6 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gsi/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
+    // R7 (lock discipline): the crates that share locks between
+    // connection threads. mp-gsi is deliberately out: its in-memory
+    // pipe *is* the transport primitive — the mutex/condvar rendezvous
+    // inside it is the I/O, not something held across I/O.
+    rs.r7 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
     rs
 }
 
 /// Recursively collect `.rs` files under `dir`, skipping directories
 /// the analyzer never looks at.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -103,14 +150,44 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Lint a set of in-memory sources with explicit rule sets, including
+/// the cross-file lock-graph pass. This is the engine behind
+/// [`run_workspace`]; tests use it directly to seed scratch trees.
+pub fn check_files(files: &[(String, String, RuleSet)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (rel, src, rules) in files {
+        diags.extend(check_source(rel, src, *rules));
+        if rules.r7 {
+            if let Ok(parsed) = parser::parse_source(src) {
+                edges.extend(rules_v2::lock_edges_for(rel, &parsed));
+            }
+        }
+    }
+    // Lock-order cycles only exist across the merged graph; apply
+    // waivers here since these diagnostics bypass check_source.
+    for d in rules_v2::cycle_diags(&edges) {
+        let waived = files
+            .iter()
+            .find(|(rel, _, _)| *rel == d.file)
+            .map(|(_, src, _)| rules::is_waived(src, d.rule, d.line))
+            .unwrap_or(false);
+        if !waived {
+            diags.push(d);
+        }
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    diags
+}
+
 /// Lint every in-scope `.rs` file under `root` (the workspace root).
 /// Returns all diagnostics, sorted by file then line.
 pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
-    let mut files = Vec::new();
-    collect_rs(root, &mut files);
+    let mut paths = Vec::new();
+    collect_rs(root, &mut paths);
 
-    let mut diags = Vec::new();
-    for path in files {
+    let mut files = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
@@ -123,10 +200,45 @@ pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
         let Ok(src) = std::fs::read_to_string(&path) else {
             continue;
         };
-        diags.extend(check_source(&rel, &src, rules));
+        files.push((rel, src, rules));
     }
-    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    diags
+    check_files(&files)
+}
+
+/// Gate outcome: what [`gate_workspace`] found after baseline matching.
+pub struct GateResult {
+    /// The baseline split (new findings fail; baselined are tracked;
+    /// stale entries fail).
+    pub split: baseline::BaselineSplit,
+    /// The full SARIF-lite document for all findings.
+    pub sarif: json::Value,
+}
+
+impl GateResult {
+    /// The gate passes iff nothing new fired and no baseline entry is
+    /// stale.
+    pub fn passed(&self) -> bool {
+        self.split.new.is_empty() && self.split.stale.is_empty()
+    }
+}
+
+/// Run the full workspace gate: lint, match against the committed
+/// baseline, and build the SARIF-lite report.
+pub fn gate_workspace(root: &Path) -> GateResult {
+    let diags = run_workspace(root);
+    let bl = baseline::load(root);
+    let split = baseline::split(diags, &bl);
+    let mut annotated: Vec<(Diagnostic, bool)> = split
+        .new
+        .iter()
+        .map(|d| (d.clone(), false))
+        .chain(split.baselined.iter().map(|d| (d.clone(), true)))
+        .collect();
+    annotated.sort_by(|a, b| {
+        (a.0.file.as_str(), a.0.line, a.0.rule).cmp(&(b.0.file.as_str(), b.0.line, b.0.rule))
+    });
+    let sarif = sarif::report(&annotated);
+    GateResult { split, sarif }
 }
 
 /// The workspace root, resolved from this crate's manifest directory.

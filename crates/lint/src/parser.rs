@@ -1,0 +1,533 @@
+//! A lightweight item/function-level Rust parser on top of the lexer.
+//!
+//! mp-lint v2's dataflow rules need more structure than a flat token
+//! stream: *which function am I in*, *what are its parameters and
+//! return type*, *where does one statement end and the next begin*.
+//! This module recovers exactly that — and nothing more. It does not
+//! build expression trees or resolve types; statements are token
+//! ranges with byte/line spans, which is enough for intra-procedural
+//! def-use chains and taint propagation (see `rules_v2`).
+//!
+//! Robustness contract (enforced by `tests/parser_corpus.rs`): every
+//! `.rs` file in the workspace parses without error, and every span
+//! round-trips — slicing the original source at a reported byte span
+//! yields the text the tokens came from.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A parse failure. The lexer tolerates anything, so the only failures
+/// are structural: a function body whose braces never balance.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// 1-based line where the unclosed construct starts.
+    pub line: u32,
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.what)
+    }
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (pattern idents joined; `self` receivers are skipped).
+    pub name: String,
+    /// Type text, tokens joined with spaces.
+    pub ty: String,
+    pub line: u32,
+}
+
+/// What a statement is, as far as the dataflow rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// Contains a top-level `let`. `pats` are the bound names (`_` is
+    /// kept — R6 needs it); `init` is the token index range of the
+    /// initializer expression, empty if there is none.
+    Let,
+    /// Any other expression/item fragment.
+    Expr,
+    /// A `{` was opened (block, match body, struct literal, closure body).
+    BlockOpen,
+    /// The matching `}` closed.
+    BlockClose,
+}
+
+/// One statement: a token index range into the file's token stream,
+/// plus its source position.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    /// Token index range `[start, end)` into the file token stream.
+    pub toks: (usize, usize),
+    /// Bound pattern names for `Let` statements (empty otherwise).
+    pub pats: Vec<String>,
+    /// Initializer token index range for `Let` statements (empty range
+    /// otherwise).
+    pub init: (usize, usize),
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// Byte span `[start, end)` into the source.
+    pub span: (usize, usize),
+}
+
+/// One parsed function.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<Param>,
+    /// Return type text ("" when the function returns `()`).
+    pub ret: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Byte span from the `fn` keyword through the body's closing brace.
+    pub span: (usize, usize),
+    /// Token index range of the body *contents* (inside the braces).
+    pub body: (usize, usize),
+    /// Flattened statement list (all nesting levels, in source order,
+    /// with BlockOpen/BlockClose markers preserving scope structure).
+    pub stmts: Vec<Stmt>,
+    /// True if the function sits in `#[test]`/`#[cfg(test)]` code.
+    pub is_test: bool,
+}
+
+/// A parsed file: the lex result, the test mask, and every function.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub lexed: Lexed,
+    pub test_mask: Vec<bool>,
+    pub functions: Vec<Function>,
+}
+
+/// Parse a source file. Never panics; returns `Err` only for functions
+/// whose brace structure does not balance before EOF.
+pub fn parse_source(src: &str) -> Result<ParsedFile, ParseError> {
+    let lexed = lex(src);
+    let test_mask = crate::rules::test_mask(&lexed.tokens);
+    let functions = parse_functions(&lexed.tokens, &test_mask)?;
+    Ok(ParsedFile { lexed, test_mask, functions })
+}
+
+fn parse_functions(tokens: &[Token], mask: &[bool]) -> Result<Vec<Function>, ParseError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // An item fn: `fn` followed by a name. `fn(u8) -> u8` type
+        // position has no name and is skipped naturally.
+        if !(tokens[i].is_ident("fn")
+            && tokens.get(i + 1).map(|t| t.kind == TokenKind::Ident).unwrap_or(false))
+        {
+            i += 1;
+            continue;
+        }
+        let fn_tok = i;
+        let name = tokens[i + 1].text.clone();
+        let mut j = i + 2;
+
+        // Skip generics `<...>`; a `>` that is the tail of a glued `->`
+        // (closure bounds like `Fn() -> u8`) does not close the list.
+        if tokens.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    let arrow = j > 0 && tokens[j - 1].is_punct('-') && tokens[j - 1].glues_with(t);
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+
+        // Parameter list.
+        let mut params = Vec::new();
+        if tokens.get(j).map(|t| t.is_punct('(')).unwrap_or(false) {
+            let open = j;
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < tokens.len() {
+                if tokens[k].is_punct('(') || tokens[k].is_punct('[') {
+                    depth += 1;
+                } else if tokens[k].is_punct(')') || tokens[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            params = parse_params(&tokens[open + 1..k.min(tokens.len())]);
+            j = k + 1;
+        }
+
+        // Return type: `-> ...` until `{`, `;`, or `where`.
+        let mut ret = String::new();
+        if tokens.get(j).map(|t| t.is_punct('-')).unwrap_or(false)
+            && tokens.get(j + 1).map(|t| t.is_punct('>')).unwrap_or(false)
+        {
+            j += 2;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                    break;
+                }
+                if !ret.is_empty() {
+                    ret.push(' ');
+                }
+                ret.push_str(&t.text);
+                j += 1;
+            }
+        }
+        // Where clause.
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            // Trait method declaration: no body to analyze.
+            i = j + 1;
+            continue;
+        }
+
+        // Body: match braces.
+        let body_open = j;
+        let mut depth = 0i32;
+        let mut k = j;
+        let mut body_close = None;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                depth += 1;
+            } else if tokens[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    body_close = Some(k);
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let Some(close) = body_close else {
+            return Err(ParseError {
+                line: tokens[body_open].line,
+                what: format!("unbalanced braces in body of fn {name}"),
+            });
+        };
+
+        let body = (body_open + 1, close);
+        let stmts = parse_stmts(tokens, body);
+        out.push(Function {
+            name,
+            params,
+            ret,
+            line: tokens[fn_tok].line,
+            span: (tokens[fn_tok].start, tokens[close].end),
+            body,
+            stmts,
+            is_test: mask.get(fn_tok).copied().unwrap_or(false),
+        });
+        // Continue from just inside the body so nested fns are found too.
+        i = body_open + 1;
+    }
+    Ok(out)
+}
+
+/// Split a parameter-list token slice at top-level commas and extract
+/// (pattern name, type) pairs. `self` receivers are skipped.
+fn parse_params(toks: &[Token]) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut chunks = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('>') {
+            let arrow = idx > 0 && toks[idx - 1].is_punct('-') && toks[idx - 1].glues_with(t);
+            if !arrow {
+                depth -= 1;
+            }
+        } else if t.is_punct(',') && depth == 0 {
+            chunks.push(&toks[start..idx]);
+            start = idx + 1;
+        }
+    }
+    if start < toks.len() {
+        chunks.push(&toks[start..]);
+    }
+    for chunk in chunks {
+        if chunk.iter().any(|t| t.is_ident("self")) {
+            continue;
+        }
+        // Pattern = idents before the top-level `:`, type = text after.
+        let mut colon = None;
+        let mut d = 0i32;
+        for (idx, t) in chunk.iter().enumerate() {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                d -= 1;
+            } else if t.is_punct(':') && d == 0 {
+                // `::` is a path, not the pattern/type separator.
+                let double = chunk.get(idx + 1).map(|n| n.is_punct(':') && t.glues_with(n)).unwrap_or(false)
+                    || (idx > 0 && chunk[idx - 1].is_punct(':') && chunk[idx - 1].glues_with(t));
+                if !double {
+                    colon = Some(idx);
+                    break;
+                }
+            }
+        }
+        let Some(c) = colon else { continue };
+        let name: Vec<String> = chunk[..c]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && !t.is_ident("mut") && !t.is_ident("ref"))
+            .map(|t| t.text.clone())
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let ty: Vec<String> = chunk[c + 1..].iter().map(|t| t.text.clone()).collect();
+        out.push(Param {
+            name: name.join("."),
+            ty: ty.join(" "),
+            line: chunk[0].line,
+        });
+    }
+    out
+}
+
+/// Flatten a body token range into a statement list. Statements split
+/// at top-level `;`, and `{`/`}` emit BlockOpen/BlockClose markers
+/// (the text before a `{` becomes its own header statement, so `match
+/// guard.get(..) {` is visible as a statement that *opens* a block).
+fn parse_stmts(tokens: &[Token], body: (usize, usize)) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut cur = body.0;
+    let mut paren_depth = 0i32;
+    let mut k = body.0;
+
+    let emit = |out: &mut Vec<Stmt>, kind_hint: Option<StmtKind>, s: usize, e: usize| {
+        if e <= s {
+            return;
+        }
+        let toks = &tokens[s..e];
+        let mut kind = StmtKind::Expr;
+        let mut pats = Vec::new();
+        let mut init = (e, e);
+        // A top-level `let` (also matches `if let` / `while let` /
+        // `let .. else` headers — the dataflow rules want those too).
+        let mut d = 0i32;
+        let mut let_at = None;
+        for (idx, t) in toks.iter().enumerate() {
+            if t.is_punct('(') || t.is_punct('[') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                d -= 1;
+            } else if t.is_ident("let") && d == 0 {
+                let_at = Some(idx);
+                break;
+            }
+        }
+        if let Some(l) = let_at {
+            // Find the top-level `=` after the pattern.
+            let mut d = 0i32;
+            let mut eq = None;
+            for idx in l + 1..toks.len() {
+                let t = &toks[idx];
+                if t.is_punct('(') || t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    d -= 1;
+                } else if t.is_punct('=') && d == 0 {
+                    let next_glued =
+                        toks.get(idx + 1).map(|n| (n.is_punct('=') || n.is_punct('>')) && t.glues_with(n)).unwrap_or(false);
+                    let prev_glued = idx > 0
+                        && toks[idx - 1].kind == TokenKind::Punct
+                        && !toks[idx - 1].is_punct(')')
+                        && !toks[idx - 1].is_punct(']')
+                        && toks[idx - 1].glues_with(t);
+                    if !next_glued && !prev_glued {
+                        eq = Some(idx);
+                        break;
+                    }
+                }
+            }
+            if let Some(eqi) = eq {
+                kind = StmtKind::Let;
+                pats = toks[l + 1..eqi]
+                    .iter()
+                    .take_while(|t| !t.is_punct(':') || t.text == "::")
+                    .filter(|t| {
+                        t.kind == TokenKind::Ident
+                            && !t.is_ident("mut")
+                            && !t.is_ident("ref")
+                            && !t.text.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+                    })
+                    .map(|t| t.text.clone())
+                    .collect();
+                // Initializer: after `=` to the end of the statement
+                // (minus a trailing `;`).
+                let mut end = toks.len();
+                if toks[end - 1].is_punct(';') {
+                    end -= 1;
+                }
+                init = (s + eqi + 1, s + end);
+            }
+        }
+        if let Some(k) = kind_hint {
+            kind = k;
+        }
+        let last = &tokens[e - 1];
+        out.push(Stmt {
+            kind,
+            toks: (s, e),
+            pats,
+            init,
+            line: tokens[s].line,
+            span: (tokens[s].start, last.end),
+        });
+    };
+
+    // Entering a `{` saves and resets the paren depth so `;` inside a
+    // closure body nested in a call's parens still splits statements
+    // (`thread::spawn(move || { a(); b(); })`).
+    let mut depth_stack: Vec<i32> = Vec::new();
+    while k < body.1 {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren_depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren_depth -= 1;
+        } else if t.is_punct('{') {
+            emit(&mut out, None, cur, k);
+            out.push(Stmt {
+                kind: StmtKind::BlockOpen,
+                toks: (k, k + 1),
+                pats: Vec::new(),
+                init: (k + 1, k + 1),
+                line: t.line,
+                span: (t.start, t.end),
+            });
+            depth_stack.push(paren_depth);
+            paren_depth = 0;
+            cur = k + 1;
+            k += 1;
+            continue;
+        } else if t.is_punct('}') {
+            emit(&mut out, None, cur, k);
+            out.push(Stmt {
+                kind: StmtKind::BlockClose,
+                toks: (k, k + 1),
+                pats: Vec::new(),
+                init: (k + 1, k + 1),
+                line: t.line,
+                span: (t.start, t.end),
+            });
+            paren_depth = depth_stack.pop().unwrap_or(0);
+            cur = k + 1;
+            k += 1;
+            continue;
+        } else if t.is_punct(';') && paren_depth <= 0 {
+            emit(&mut out, None, cur, k + 1);
+            cur = k + 1;
+            k += 1;
+            continue;
+        }
+        k += 1;
+    }
+    emit(&mut out, None, cur, body.1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_source(src).expect("parse")
+    }
+
+    #[test]
+    fn finds_functions_with_signatures() {
+        let p = parse(
+            "fn plain(a: u8, b: &str) -> u32 { 0 }\n\
+             impl Foo {\n    pub fn method<T: Clone>(&self, x: Vec<T>) -> Result<(), E> { Ok(()) }\n}\n",
+        );
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].name, "plain");
+        assert_eq!(p.functions[0].params.len(), 2);
+        assert_eq!(p.functions[0].params[0].name, "a");
+        assert_eq!(p.functions[0].params[1].ty, "& str");
+        assert_eq!(p.functions[0].ret, "u32");
+        assert_eq!(p.functions[1].name, "method");
+        assert_eq!(p.functions[1].params.len(), 1, "{:?}", p.functions[1].params);
+        assert_eq!(p.functions[1].params[0].name, "x");
+        assert!(p.functions[1].ret.contains("Result"));
+    }
+
+    #[test]
+    fn statements_split_and_classify() {
+        let p = parse(
+            "fn f() {\n    let x = 1;\n    let (a, b) = pair();\n    call(x);\n    if let Some(v) = opt {\n        use_it(v);\n    }\n}\n",
+        );
+        let f = &p.functions[0];
+        let lets: Vec<_> = f.stmts.iter().filter(|s| s.kind == StmtKind::Let).collect();
+        assert_eq!(lets.len(), 3, "{:#?}", f.stmts);
+        assert_eq!(lets[0].pats, vec!["x"]);
+        assert_eq!(lets[1].pats, vec!["a", "b"]);
+        assert_eq!(lets[2].pats, vec!["v"]); // Some filtered (uppercase)
+        assert!(f.stmts.iter().any(|s| s.kind == StmtKind::BlockOpen));
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        let src = "fn f(q: u8) -> u8 {\n    let y = q + 1;\n    y\n}\n";
+        let p = parse(src);
+        let f = &p.functions[0];
+        let text = &src[f.span.0..f.span.1];
+        assert!(text.starts_with("fn f"), "{text}");
+        assert!(text.ends_with('}'), "{text}");
+        for s in &f.stmts {
+            let slice = &src[s.span.0..s.span.1];
+            assert!(!slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn test_functions_are_marked() {
+        let p = parse("#[test]\nfn t() { assert!(true); }\nfn prod() {}\n");
+        assert!(p.functions[0].is_test);
+        assert!(!p.functions[1].is_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_functions() {
+        let p = parse("fn real(cb: fn(u8) -> u8) -> u8 { cb(1) }\n");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "real");
+    }
+
+    #[test]
+    fn unbalanced_body_is_an_error() {
+        assert!(parse_source("fn broken() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn compound_assign_is_not_let_eq() {
+        let p = parse("fn f() { let x = a <= b; let y = c == d; }\n");
+        let lets: Vec<_> = p.functions[0].stmts.iter().filter(|s| s.kind == StmtKind::Let).collect();
+        assert_eq!(lets.len(), 2);
+        assert_eq!(lets[0].pats, vec!["x"]);
+        assert_eq!(lets[1].pats, vec!["y"]);
+    }
+}

@@ -13,6 +13,17 @@
 
 use crate::lexer::{lex, Comment, Token, TokenKind};
 
+/// One hop in a taint path: how a secret value traveled from its
+/// origin to a sink (R5 attaches these; other rules leave it empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintStep {
+    /// 1-based line of the hop.
+    pub line: u32,
+    /// What happened at this hop ("secret exposed via `..`", "tainted
+    /// value bound to `x`", "reaches `println!`").
+    pub note: String,
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -20,10 +31,18 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id: "R1".."R4" or "allow" for malformed annotations.
+    /// Rule id: "R1".."R7" or "allow" for malformed annotations.
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// Origin-to-sink hops for dataflow findings (empty otherwise).
+    pub path: Vec<TaintStep>,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Diagnostic { file: file.into(), line, rule, message, path: Vec::new() }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -44,16 +63,30 @@ pub struct RuleSet {
     pub r2: bool,
     pub r3: bool,
     pub r4: bool,
+    /// v2 dataflow rules (see `rules_v2`).
+    pub r5: bool,
+    pub r6: bool,
+    pub r7: bool,
 }
 
 impl RuleSet {
     pub fn none(self) -> bool {
-        !(self.r1 || self.r2 || self.r3 || self.r4)
+        !(self.r1 || self.r2 || self.r3 || self.r4 || self.r5 || self.r6 || self.r7)
+    }
+
+    /// All rules on (fixtures and tests use this).
+    pub fn all() -> Self {
+        RuleSet { r1: true, r2: true, r3: true, r4: true, r5: true, r6: true, r7: true }
+    }
+
+    /// The v1 token-stream rules only.
+    pub fn v1() -> Self {
+        RuleSet { r1: true, r2: true, r3: true, r4: true, ..Default::default() }
     }
 }
 
 /// A parsed `// lint:allow(R1) reason` annotation.
-struct Allow {
+pub(crate) struct Allow {
     rule: String,
     /// Line the annotation suppresses: its own line for trailing
     /// comments, the next line for standalone comment lines.
@@ -63,7 +96,7 @@ struct Allow {
     comment_line: u32,
 }
 
-fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+pub(crate) fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in comments {
         let Some(pos) = c.text.find("lint:allow(") else {
@@ -93,7 +126,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
 }
 
 /// Identifier patterns treated as secret-bearing for R2/R3.
-fn is_secret_ident(ident: &str) -> bool {
+pub(crate) fn is_secret_ident(ident: &str) -> bool {
     let lower = ident.to_ascii_lowercase();
     lower.contains("passphrase")
         || lower.contains("pass_phrase")
@@ -117,7 +150,7 @@ fn is_digest_ident(ident: &str) -> bool {
 }
 
 /// Format/printing macros whose arguments R2 inspects.
-fn is_format_macro(ident: &str) -> bool {
+pub(crate) fn is_format_macro(ident: &str) -> bool {
     matches!(
         ident,
         "format" | "println" | "print" | "eprintln" | "eprint" | "write" | "writeln"
@@ -130,7 +163,7 @@ fn is_format_macro(ident: &str) -> bool {
 /// (any attribute containing the ident `test`, covering `#[test]` and
 /// `#[cfg(test)]`) followed by a `fn` or `mod` puts the entire
 /// following brace block in the test region.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -202,6 +235,7 @@ fn rule_r1(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, file: &
                 if after_dot && called {
                     diags.push(Diagnostic {
                         file: file.into(),
+                        path: Vec::new(),
                         line: t.line,
                         rule: "R1",
                         message: format!(
@@ -214,6 +248,7 @@ fn rule_r1(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, file: &
             "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => {
                 diags.push(Diagnostic {
                     file: file.into(),
+                    path: Vec::new(),
                     line: t.line,
                     rule: "R1",
                     message: format!(
@@ -225,6 +260,7 @@ fn rule_r1(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, file: &
             "assert" | "assert_eq" | "assert_ne" | "debug_assert" if next_bang => {
                 diags.push(Diagnostic {
                     file: file.into(),
+                    path: Vec::new(),
                     line: t.line,
                     rule: "R1",
                     message: format!(
@@ -249,6 +285,7 @@ fn rule_r1(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, file: &
                     {
                         diags.push(Diagnostic {
                             file: file.into(),
+                            path: Vec::new(),
                             line: next.line,
                             rule: "R1",
                             message: format!(
@@ -315,6 +352,7 @@ fn rule_r2_flow(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, fi
             } else if tj.kind == TokenKind::Ident && is_secret_ident(&tj.text) && !mask[j] {
                 diags.push(Diagnostic {
                     file: file.into(),
+                    path: Vec::new(),
                     line: tj.line,
                     rule: "R2",
                     message: format!(
@@ -328,6 +366,7 @@ fn rule_r2_flow(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, fi
                     if is_secret_ident(&cap) {
                         diags.push(Diagnostic {
                             file: file.into(),
+                            path: Vec::new(),
                             line: tj.line,
                             rule: "R2",
                             message: format!(
@@ -346,7 +385,7 @@ fn rule_r2_flow(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, fi
 
 /// Identifiers captured inline by a format string: `{name}`, `{name:?}`.
 /// `{{` is an escaped brace; positional/empty captures are skipped.
-fn format_captures(s: &str) -> Vec<String> {
+pub(crate) fn format_captures(s: &str) -> Vec<String> {
     let mut out = Vec::new();
     let bytes = s.as_bytes();
     let mut i = 0usize;
@@ -515,6 +554,7 @@ fn rule_r2_structs(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>,
                 if derives_debug && !zeroizing {
                     diags.push(Diagnostic {
                         file: file.into(),
+                        path: Vec::new(),
                         line: *fline,
                         rule: "R2",
                         message: format!(
@@ -526,6 +566,7 @@ fn rule_r2_structs(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>,
                 if !zeroizing && !has_drop.contains(&struct_name) {
                     diags.push(Diagnostic {
                         file: file.into(),
+                        path: Vec::new(),
                         line: *fline,
                         rule: "R2",
                         message: format!(
@@ -600,6 +641,7 @@ fn rule_r3(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, file: &
         }
         diags.push(Diagnostic {
             file: file.into(),
+            path: Vec::new(),
             line: a.line,
             rule: "R3",
             message: "digest/MAC/tag compared with == or !=; timing leaks where they differ — use mp_crypto::ct_eq"
@@ -638,6 +680,7 @@ fn rule_r4(tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>, file: &
         if lenish {
             diags.push(Diagnostic {
                 file: file.into(),
+                path: Vec::new(),
                 line: t.line,
                 rule: "R4",
                 message: format!(
@@ -668,6 +711,17 @@ pub fn check_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
     if rules.r4 {
         rule_r4(&lexed.tokens, &mask, &mut raw, file);
     }
+    if rules.r5 || rules.r6 || rules.r7 {
+        match crate::parser::parse_source(src) {
+            Ok(parsed) => crate::rules_v2::run_v2(file, &parsed, rules, &mut raw),
+            Err(e) => raw.push(Diagnostic::new(
+                file,
+                e.line,
+                "parse",
+                format!("mp-lint parser failed ({e}); dataflow rules not applied"),
+            )),
+        }
+    }
 
     // Apply lint:allow annotations.
     let allows = parse_allows(&lexed.comments);
@@ -676,6 +730,7 @@ pub fn check_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
         if !a.has_reason {
             out.push(Diagnostic {
                 file: file.into(),
+                path: Vec::new(),
                 line: a.comment_line,
                 rule: "allow",
                 message: if a.rule.is_empty() {
@@ -701,11 +756,29 @@ pub fn check_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
     out
 }
 
+/// Whether a finding of `rule` at `line` is waived (with a reason) by
+/// a `lint:allow` annotation in `src`. Used by the cross-file lock
+/// graph pass, whose diagnostics are produced outside [`check_source`].
+pub fn is_waived(src: &str, rule: &str, line: u32) -> bool {
+    let lexed = lex(src);
+    parse_allows(&lexed.comments)
+        .iter()
+        .any(|a| a.has_reason && a.target_line == line && (a.rule == rule || a.rule == "all"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const ALL: RuleSet = RuleSet { r1: true, r2: true, r3: true, r4: true };
+    const ALL: RuleSet = RuleSet {
+        r1: true,
+        r2: true,
+        r3: true,
+        r4: true,
+        r5: false,
+        r6: false,
+        r7: false,
+    };
 
     fn lines_with(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
         diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()

@@ -1,0 +1,95 @@
+//! SARIF-lite report emission: a small, stable JSON shape carrying
+//! rule id, location, message, taint path, and baseline status. The
+//! checked-in schema (`docs/mp-lint.sarif-lite.schema.json`) pins the
+//! shape; `tests/sarif_schema.rs` validates real output against it.
+
+use crate::json::Value;
+use crate::rules::Diagnostic;
+
+pub const TOOL_NAME: &str = "mp-lint";
+pub const TOOL_VERSION: &str = "2.0";
+
+/// Build the SARIF-lite document for a set of diagnostics.
+/// `baselined` marks findings present in the committed baseline (they
+/// are reported but do not fail the gate).
+pub fn report(findings: &[(Diagnostic, bool)]) -> Value {
+    let results: Vec<Value> = findings
+        .iter()
+        .map(|(d, baselined)| {
+            let mut pairs = vec![
+                ("ruleId", Value::Str(d.rule.to_string())),
+                ("level", Value::Str("error".into())),
+                ("message", Value::Str(d.message.clone())),
+                (
+                    "location",
+                    Value::obj(vec![
+                        ("file", Value::Str(d.file.clone())),
+                        ("line", Value::Num(d.line as f64)),
+                    ]),
+                ),
+                ("baselined", Value::Bool(*baselined)),
+            ];
+            if !d.path.is_empty() {
+                pairs.push((
+                    "taintPath",
+                    Value::Arr(
+                        d.path
+                            .iter()
+                            .map(|s| {
+                                Value::obj(vec![
+                                    ("line", Value::Num(s.line as f64)),
+                                    ("note", Value::Str(s.note.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Value::obj(pairs)
+        })
+        .collect();
+
+    Value::obj(vec![
+        ("$schema", Value::Str("docs/mp-lint.sarif-lite.schema.json".into())),
+        ("version", Value::Str("1".into())),
+        (
+            "tool",
+            Value::obj(vec![
+                ("name", Value::Str(TOOL_NAME.into())),
+                ("version", Value::Str(TOOL_VERSION.into())),
+            ]),
+        ),
+        ("results", Value::Arr(results)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::TaintStep;
+
+    #[test]
+    fn report_shape() {
+        let mut d = Diagnostic::new("crates/core/src/x.rs", 7, "R5", "leak".into());
+        d.path = vec![TaintStep { line: 3, note: "origin".into() }];
+        let v = report(&[(d, false)]);
+        let results = v.get("results").and_then(Value::as_arr).expect("results");
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.get("ruleId").and_then(Value::as_str), Some("R5"));
+        let loc = r.get("location").expect("location");
+        assert_eq!(loc.get("line").and_then(Value::as_num), Some(7.0));
+        let path = r.get("taintPath").and_then(Value::as_arr).expect("path");
+        assert_eq!(path[0].get("note").and_then(Value::as_str), Some("origin"));
+        // Round-trips through our own parser.
+        let text = v.pretty();
+        assert_eq!(crate::json::parse(&text).expect("reparse"), v);
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let v = report(&[]);
+        assert_eq!(v.get("results").and_then(Value::as_arr).map(|a| a.len()), Some(0));
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("1"));
+    }
+}

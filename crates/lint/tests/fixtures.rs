@@ -1,20 +1,42 @@
 //! Fixture conformance: each seeded violation under `tests/fixtures/`
-//! must be reported with the correct rule at the correct `file:line`,
-//! exempt regions must stay silent, and the `lint:allow` escape hatch
-//! must behave exactly as documented.
+//! must be reported with the correct rule at the correct `file:line`
+//! (for R5, with the correct taint path), exempt regions must stay
+//! silent, and the `lint:allow` escape hatch must behave exactly as
+//! documented for every rule family.
 
-use mp_lint::{check_source, Diagnostic, RuleSet};
+use mp_lint::{check_files, check_source, Diagnostic, RuleSet};
 use std::path::PathBuf;
 
-const ALL: RuleSet = RuleSet { r1: true, r2: true, r3: true, r4: true };
+const V1: RuleSet = RuleSet {
+    r1: true,
+    r2: true,
+    r3: true,
+    r4: true,
+    r5: false,
+    r6: false,
+    r7: false,
+};
+const R5_ONLY: RuleSet =
+    RuleSet { r1: false, r2: false, r3: false, r4: false, r5: true, r6: false, r7: false };
+const R6_ONLY: RuleSet =
+    RuleSet { r1: false, r2: false, r3: false, r4: false, r5: false, r6: true, r7: false };
+const R7_ONLY: RuleSet =
+    RuleSet { r1: false, r2: false, r3: false, r4: false, r5: false, r6: false, r7: true };
 
-fn run_fixture(name: &str) -> Vec<Diagnostic> {
+fn fixture_source(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    check_source(name, &src, ALL)
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn run_fixture_with(name: &str, rules: RuleSet) -> Vec<Diagnostic> {
+    check_source(name, &fixture_source(name), rules)
+}
+
+fn run_fixture(name: &str) -> Vec<Diagnostic> {
+    run_fixture_with(name, V1)
 }
 
 /// (rule, line) pairs, sorted, for compact comparison.
@@ -67,6 +89,72 @@ fn r4_fixture_flags_length_truncations_only() {
         vec![("R4", 5), ("R4", 9), ("R4", 13)],
         "diags: {diags:#?}"
     );
+}
+
+#[test]
+fn r5_fixture_flags_macro_wire_return_and_debug_sinks() {
+    let diags = run_fixture_with("r5_secret_taint.rs", R5_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R5", 8),  // println! on a renamed exposed secret
+            ("R5", 13), // write_all of a renamed pass phrase
+            ("R5", 18), // non-Secret return of a derived key
+            ("R5", 28), // Debug-deriving struct literal capturing an OTP
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r5_fixture_reports_the_taint_path() {
+    let diags = run_fixture_with("r5_secret_taint.rs", R5_ONLY);
+    let d = diags.iter().find(|d| d.line == 8).expect("macro-sink finding");
+    let path: Vec<(u32, &str)> = d.path.iter().map(|s| (s.line, s.note.as_str())).collect();
+    assert_eq!(
+        path,
+        vec![
+            (6, "secret exposed via `secret.expose()`"),
+            (6, "tainted value bound to `shown`"),
+            (7, "tainted value bound to `renamed`"),
+            (8, "capture `{renamed}` in `println!`"),
+        ],
+        "path: {path:#?}"
+    );
+}
+
+#[test]
+fn r6_fixture_flags_discarded_results_only() {
+    let diags = run_fixture_with("r6_discarded_fallible.rs", R6_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R6", 6),  // let _ = chan.send(..)
+            ("R6", 10), // chan.flush().ok()
+            ("R6", 14), // let _ = std::fs::remove_dir_all(..)
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r7_fixture_flags_held_guards_and_order_cycles() {
+    // Through check_files so the cross-function lock-graph pass runs.
+    let name = "r7_lock_discipline.rs".to_string();
+    let src = fixture_source(&name);
+    let diags = check_files(&[(name, src, R7_ONLY)]);
+    let f = findings(&diags);
+    assert!(f.contains(&("R7", 7)), "send under guard missing: {diags:#?}");
+    assert!(f.contains(&("R7", 12)), "disk write under guard missing: {diags:#?}");
+    let cycles: Vec<&Diagnostic> =
+        diags.iter().filter(|d| d.message.contains("cycle")).collect();
+    assert_eq!(cycles.len(), 1, "diags: {diags:#?}");
+    assert!(
+        cycles[0].message.contains("a -> b -> a") || cycles[0].message.contains("b -> a -> b"),
+        "cycle message: {}",
+        cycles[0].message
+    );
+    assert_eq!(f.len(), 3, "unexpected extras: {diags:#?}");
 }
 
 #[test]

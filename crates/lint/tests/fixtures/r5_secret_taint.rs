@@ -1,0 +1,44 @@
+//! R5 fixture: secret taint must follow renamed locals into macro,
+//! wire, return, and Debug-literal sinks; sanitized or Secret-wrapped
+//! flows must stay silent.
+
+fn logs_exposed_secret(secret: &Secret<String>) {
+    let shown = secret.expose();
+    let renamed = shown;
+    println!("secret is {renamed}");
+}
+
+fn writes_passphrase_to_wire(passphrase: &str, chan: &mut Chan) {
+    let line = passphrase;
+    chan.write_all(line.as_bytes()).unwrap_or_default();
+}
+
+fn returns_derived_key(passphrase: &str) -> String {
+    let key = derive(passphrase);
+    key
+}
+
+#[derive(Debug)]
+struct Audit {
+    who: String,
+    token: String,
+}
+
+fn builds_debug_record(otp: &str) -> Audit {
+    Audit { who: String::from("alice"), token: String::from(otp) }
+}
+
+fn hashed_secret_is_clean(secret: &Secret<String>) {
+    let digest = sha256(secret.expose().as_bytes());
+    println!("fingerprint {digest:?}");
+}
+
+fn rewrapped_secret_is_clean(passphrase: &str) -> Secret<String> {
+    let wrapped = Secret::from(String::from(passphrase));
+    wrapped
+}
+
+fn waived_log_is_clean(secret: &Secret<String>) {
+    let shown = secret.expose();
+    println!("secret is {shown}"); // lint:allow(R5) fixture: demonstration that reasoned waivers silence R5
+}

@@ -1,0 +1,34 @@
+//! R6 fixture: discarding the `Result` of a fallible protocol, channel
+//! or store operation must be flagged; handled results and discarded
+//! infallible calls must stay silent.
+
+fn discards_send_result(chan: &mut Chan) {
+    let _ = chan.send(b"hello");
+}
+
+fn discards_flush_via_ok(chan: &mut Chan) {
+    chan.flush().ok();
+}
+
+fn discards_store_teardown(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn propagates_properly(chan: &mut Chan) -> Result<(), Error> {
+    chan.send(b"hello")?;
+    Ok(())
+}
+
+fn matches_properly(chan: &mut Chan) {
+    if chan.flush().is_err() {
+        count_failure();
+    }
+}
+
+fn discarded_infallible_is_fine() {
+    let _ = widget_count();
+}
+
+fn waived_discard_is_clean(chan: &mut Chan) {
+    let _ = chan.send(b"bye"); // lint:allow(R6) fixture: demonstration that reasoned waivers silence R6
+}

@@ -1,0 +1,44 @@
+//! R7 fixture: guards held across channel or disk I/O must be flagged,
+//! as must inconsistent acquisition order between two locks; statement-
+//! scoped guards and I/O after `drop(guard)` must stay silent.
+
+fn sends_under_guard(state: &Mutex<Vec<u8>>, chan: &mut Chan) {
+    let guard = state.lock();
+    chan.send(&guard)?;
+}
+
+fn writes_disk_under_guard(state: &Mutex<Vec<u8>>, file: &mut File) {
+    let guard = state.lock();
+    file.write_all(&guard)?;
+}
+
+fn statement_scoped_guard_is_clean(state: &Mutex<Vec<u8>>, chan: &mut Chan) {
+    let snapshot = state.lock().clone();
+    chan.send(&snapshot)?;
+}
+
+fn io_after_drop_is_clean(state: &Mutex<Vec<u8>>, chan: &mut Chan) {
+    let guard = state.lock();
+    let snapshot = guard.clone();
+    drop(guard);
+    chan.send(&snapshot)?;
+}
+
+fn locks_in_ab_order(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+fn locks_in_ba_order(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock();
+    let ga = a.lock();
+    drop(ga);
+    drop(gb);
+}
+
+fn waived_send_under_guard_is_clean(state: &Mutex<Vec<u8>>, chan: &mut Chan) {
+    let guard = state.lock();
+    chan.send(&guard)?; // lint:allow(R7) fixture: demonstration that reasoned waivers silence R7
+}

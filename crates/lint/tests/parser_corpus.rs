@@ -1,0 +1,106 @@
+//! Corpus conformance: the statement parser must accept every `.rs`
+//! file in this workspace without a parse failure, and the spans it
+//! records must round-trip — the byte offset of every function and
+//! statement must land on the line number the parser reported.
+
+use mp_lint::parser::parse_source;
+use std::path::{Path, PathBuf};
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn line_of_offset(src: &str, offset: usize) -> u32 {
+    1 + src[..offset].bytes().filter(|b| *b == b'\n').count() as u32
+}
+
+#[test]
+fn every_workspace_file_parses_and_spans_round_trip() {
+    let root = mp_lint::workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() > 100,
+        "workspace walk looks broken: only {} files",
+        files.len()
+    );
+
+    let mut parsed_fns = 0usize;
+    let mut parsed_stmts = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let parsed = parse_source(&src).unwrap_or_else(|e| {
+            panic!("{}: parse failed at line {}: {}", path.display(), e.line, e.what)
+        });
+        for f in &parsed.functions {
+            assert!(
+                f.span.0 < f.span.1 && f.span.1 <= src.len(),
+                "{}: fn `{}` span {:?} out of range",
+                path.display(),
+                f.name,
+                f.span
+            );
+            // `f.line` is where the item starts (attributes included),
+            // so it may precede the span, which opens at `fn`; it must
+            // never follow it, and the spanned text must actually name
+            // the function.
+            let open = line_of_offset(&src, f.span.0);
+            let close = line_of_offset(&src, f.span.1 - 1);
+            assert!(
+                f.line <= open && open <= close,
+                "{}: fn `{}` declared at line {} after its span lines {open}..={close}",
+                path.display(),
+                f.name,
+                f.line
+            );
+            assert!(
+                src[f.span.0..f.span.1].contains(&f.name),
+                "{}: fn `{}` span does not contain its name",
+                path.display(),
+                f.name
+            );
+            parsed_fns += 1;
+            for s in &f.stmts {
+                assert!(
+                    s.span.0 <= s.span.1 && s.span.1 <= src.len(),
+                    "{}: stmt span {:?} out of range in `{}`",
+                    path.display(),
+                    s.span,
+                    f.name
+                );
+                assert_eq!(
+                    line_of_offset(&src, s.span.0),
+                    s.line,
+                    "{}: stmt at byte {} in `{}` does not land on line {}",
+                    path.display(),
+                    s.span.0,
+                    f.name,
+                    s.line
+                );
+                parsed_stmts += 1;
+            }
+        }
+    }
+    // The corpus is only meaningful if it actually exercised the parser.
+    assert!(parsed_fns > 500, "only {parsed_fns} functions parsed");
+    assert!(parsed_stmts > 2000, "only {parsed_stmts} statements parsed");
+}

@@ -1,0 +1,64 @@
+//! End-to-end gate check: a scratch workspace seeded with one
+//! deliberate violation of each dataflow rule (plus a v1 rule for good
+//! measure) must fail `gate_workspace`, attributing every finding to
+//! the right rule. This proves the walker, scoping, engine, and
+//! baseline plumbing work together — not just `check_source` in
+//! isolation.
+
+use mp_lint::gate_workspace;
+
+/// Named `server.rs` under `crates/core/src/` so the R1 file list and
+/// the R5/R6/R7 crate scoping both apply.
+const SEEDED: &str = r#"//! Deliberately broken scratch file.
+
+fn leaks_passphrase(passphrase: &str) {
+    let cleartext = passphrase;
+    println!("login with {cleartext}");
+}
+
+fn drops_send_error(chan: &mut Chan) {
+    let _ = chan.send(b"bye");
+}
+
+fn sends_under_guard(state: &Mutex<Vec<u8>>, chan: &mut Chan) {
+    let guard = state.lock();
+    chan.send(&guard).unwrap();
+}
+"#;
+
+#[test]
+fn seeded_violations_fail_the_gate() {
+    let dir = std::env::temp_dir().join(format!("mp-lint-seeded-{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::write(src_dir.join("server.rs"), SEEDED).expect("seed file");
+
+    let result = gate_workspace(&dir);
+    std::fs::remove_dir_all(&dir).expect("scratch teardown");
+
+    assert!(!result.passed(), "seeded gate unexpectedly passed");
+    let by_rule = |rule: &str| -> Vec<u32> {
+        result
+            .split
+            .new
+            .iter()
+            .filter(|d| d.rule == rule)
+            .map(|d| d.line)
+            .collect()
+    };
+    assert_eq!(by_rule("R5"), vec![5], "R5: {:#?}", result.split.new);
+    assert_eq!(by_rule("R6"), vec![9], "R6: {:#?}", result.split.new);
+    assert_eq!(by_rule("R7"), vec![14], "R7: {:#?}", result.split.new);
+    assert_eq!(by_rule("R1"), vec![14], "R1 unwrap: {:#?}", result.split.new);
+
+    // Every finding also lands in the SARIF report, none baselined.
+    let results = result
+        .sarif
+        .get("results")
+        .and_then(mp_lint::json::Value::as_arr)
+        .expect("sarif results");
+    assert_eq!(results.len(), result.split.new.len());
+    assert!(results
+        .iter()
+        .all(|r| r.get("baselined").and_then(mp_lint::json::Value::as_bool) == Some(false)));
+}

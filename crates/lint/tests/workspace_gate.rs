@@ -1,10 +1,13 @@
-//! The gate: lint the entire workspace and fail on any finding.
+//! The gate: lint the entire workspace and fail on anything the
+//! committed baseline does not already track.
 //!
-//! This is the test CI runs (`cargo test -p mp-lint`). A clean tree is
-//! the merge requirement; violations must be fixed or waived with a
-//! reasoned `// lint:allow(<rule>) <why>` at the offending line.
+//! This is the test CI runs (`cargo test -p mp-lint`). New findings
+//! must be fixed or waived with a reasoned
+//! `// lint:allow(<rule>) <why>` at the offending line; pre-existing
+//! findings live in `lint-baseline.txt` and stale entries there (for
+//! findings since fixed) fail too, so the baseline only ever shrinks.
 
-use mp_lint::{run_workspace, workspace_root};
+use mp_lint::{gate_workspace, workspace_root};
 
 #[test]
 fn workspace_is_clean() {
@@ -14,16 +17,37 @@ fn workspace_is_clean() {
         "workspace root not found at {}",
         root.display()
     );
-    let diags = run_workspace(&root);
-    if !diags.is_empty() {
+    let result = gate_workspace(&root);
+    if !result.passed() {
         let mut report = String::new();
-        for d in &diags {
+        for d in &result.split.new {
             report.push_str(&format!("  {d}\n"));
+            for s in &d.path {
+                report.push_str(&format!("      taint: line {}: {}\n", s.line, s.note));
+            }
+        }
+        for s in &result.split.stale {
+            report.push_str(&format!("  stale baseline entry (fixed — delete it): {s}\n"));
         }
         panic!(
-            "mp-lint found {} violation(s):\n{report}\
-             fix the code or annotate with `// lint:allow(<rule>) <reason>`",
-            diags.len()
+            "mp-lint gate failed — {} new finding(s), {} stale baseline entr(ies):\n{report}\
+             fix the code, annotate with `// lint:allow(<rule>) <reason>`, \
+             or prune lint-baseline.txt",
+            result.split.new.len(),
+            result.split.stale.len()
         );
     }
+}
+
+#[test]
+fn waiver_count_matches_committed_budget() {
+    let root = workspace_root();
+    let (total, per_file) = mp_lint::baseline::count_waivers(&root);
+    let budget = mp_lint::baseline::load_budget(&root)
+        .expect("lint-waivers.budget missing from the workspace root");
+    assert_eq!(
+        total, budget,
+        "lint:allow count changed ({total} found, budget says {budget}); \
+         update lint-waivers.budget in the same change — per file: {per_file:?}"
+    );
 }

@@ -21,6 +21,7 @@ use mp_myproxy::MyProxyClient;
 use mp_x509::{Certificate, Clock, Dn};
 use parking_lot::Mutex;
 use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Everything a portal needs to run.
@@ -54,6 +55,9 @@ pub struct GridPortal {
     myproxy_client: MyProxyClient,
     grid_cfg: ChannelConfig,
     rng: Mutex<HmacDrbg>,
+    /// Connections whose detached handler thread ended in an error
+    /// (malformed request, TLS failure) with nobody left to report to.
+    handler_errors: AtomicU64,
 }
 
 impl GridPortal {
@@ -72,12 +76,18 @@ impl GridPortal {
             myproxy_client,
             grid_cfg,
             rng: Mutex::new(HmacDrbg::new(&seed)),
+            handler_errors: AtomicU64::new(0),
         }
     }
 
     /// Session table (tests inspect it).
     pub fn sessions(&self) -> &SessionManager {
         &self.sessions
+    }
+
+    /// Accept-loop connections whose handler thread ended in an error.
+    pub fn handler_errors(&self) -> u64 {
+        self.handler_errors.load(Ordering::Relaxed)
     }
 
     fn req_rng(&self) -> HmacDrbg {
@@ -310,7 +320,9 @@ impl GridPortal {
                 Ok(sock) => {
                     let portal = self.clone();
                     std::thread::spawn(move || {
-                        let _ = portal.serve_tls(sock);
+                        if portal.serve_tls(sock).is_err() {
+                            portal.handler_errors.fetch_add(1, Ordering::Relaxed);
+                        }
                     });
                 }
                 Err(_) => break,
@@ -326,7 +338,9 @@ impl GridPortal {
                 Ok(sock) => {
                     let portal = self.clone();
                     std::thread::spawn(move || {
-                        let _ = portal.serve_plain(sock);
+                        if portal.serve_plain(sock).is_err() {
+                            portal.handler_errors.fetch_add(1, Ordering::Relaxed);
+                        }
                     });
                 }
                 Err(_) => break,
