@@ -17,10 +17,13 @@
 
 use mp_cli::{die, load_credential, load_trust_roots, usage_exit, Args};
 use mp_crypto::HmacDrbg;
+use mp_gsi::channel::send_busy;
+use mp_gsi::net::{self, NetConfig, Outcome, Service, TcpAcceptor};
 use mp_gsi::AccessControlList;
-use mp_myproxy::{MyProxyServer, ServerPolicy};
+use mp_myproxy::{MyProxyError, MyProxyServer, ServerPolicy};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
   myproxy-server --credential <server.pem> --trust-roots <dir> --port <port>
@@ -97,30 +100,84 @@ fn run(args: &Args) -> Result<(), String> {
         server.store().len()
     );
 
-    // Accept loop with a persistence hook after each connection.
-    for conn in listener.incoming() {
-        match conn {
-            Ok(sock) => {
-                let server = server.clone();
-                let store_dir = store_dir.clone();
-                std::thread::spawn(move || {
-                    let peer = sock.peer_addr().map(|a| a.to_string()).unwrap_or_default();
-                    match server.handle(sock) {
-                        Ok(()) => eprintln!("{peer}: ok"),
-                        Err(e) => eprintln!("{peer}: {e}"),
-                    }
-                    if let Some(dir) = store_dir {
-                        if let Err(e) = server.store().save_to_dir(&dir) {
-                            eprintln!("warning: store save failed: {e}");
-                        }
-                    }
-                });
-            }
-            Err(e) => {
-                eprintln!("accept error: {e}");
-                break;
+    // Bounded worker pool with a persistence hook after each connection
+    // and a periodic expired-credential sweep.
+    let service = Arc::new(PersistingService {
+        server,
+        store_dir,
+        persist_lock: std::sync::Mutex::new(()),
+    });
+    let acceptor = TcpAcceptor::new(listener).map_err(|e| format!("listener setup: {e}"))?;
+    let handle = net::serve(acceptor, service, NetConfig::default())
+        .map_err(|e| format!("cannot start worker pool: {e}"))?;
+    // Runs until the listener dies (fatal accept error); then drain.
+    let report = handle.join();
+    eprintln!(
+        "myproxy-server: accept loop ended (drained={}, aborted={})",
+        report.drained, report.aborted
+    );
+    Ok(())
+}
+
+/// The repository as a pool [`Service`], persisting the store after
+/// every connection and every purge sweep.
+struct PersistingService {
+    server: MyProxyServer,
+    store_dir: Option<PathBuf>,
+    // Pool workers finish connections concurrently; save_to_dir's
+    // tmp-file + stale-removal scheme is not safe to overlap, so
+    // persistence is serialized here.
+    persist_lock: std::sync::Mutex<()>,
+}
+
+impl PersistingService {
+    fn persist(&self) {
+        if let Some(dir) = &self.store_dir {
+            let _guard = match self.persist_lock.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Err(e) = self.server.store().save_to_dir(dir) {
+                eprintln!("warning: store save failed: {e}");
             }
         }
     }
-    Ok(())
+}
+
+impl Service<std::net::TcpStream> for PersistingService {
+    fn handle(&self, conn: std::net::TcpStream, idle_deadline: Option<Duration>) -> Outcome {
+        let peer = conn.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+        let result = self.server.handle_deadlined(conn, idle_deadline);
+        match &result {
+            Ok(()) => eprintln!("{peer}: ok"),
+            Err(e) => eprintln!("{peer}: {e}"),
+        }
+        self.persist();
+        match &result {
+            Ok(()) => Outcome::Ok,
+            Err(MyProxyError::Gsi(mp_gsi::GsiError::Io(e)))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                Outcome::Timeout
+            }
+            Err(_) => Outcome::Error,
+        }
+    }
+
+    fn shed(&self, mut conn: std::net::TcpStream) {
+        if let Err(e) = send_busy(&mut conn, "connection limit reached") {
+            eprintln!("warning: busy refusal failed: {e}");
+        }
+    }
+
+    fn sweep(&self) {
+        let purged = self.server.purge_expired();
+        if purged > 0 {
+            eprintln!("purged {purged} expired credentials");
+            self.persist();
+        }
+    }
 }

@@ -15,14 +15,20 @@ use crate::{wallet, MyProxyError};
 use mp_crypto::ctr::SecretBox;
 use mp_crypto::{HmacDrbg, Secret};
 use mp_gsi::acl::DnPattern;
+use mp_gsi::channel::send_busy;
 use mp_gsi::delegate::{accept_delegation, delegate, DelegationPolicy};
+use mp_gsi::net::{
+    self, accept_queue, BoxedConn, DeadlineControl, HandlerSet, NetConfig, Outcome, QueuePusher,
+    Service, ShutdownHandle, TcpAcceptor,
+};
 use mp_gsi::transport::Transport;
 use mp_gsi::wire::{WireReader, WireWriter};
-use mp_gsi::{ChannelConfig, Credential, SecureChannel};
+use mp_gsi::{ChannelConfig, Credential, GsiError, SecureChannel};
 use mp_x509::{validate_chain, Certificate, Clock, ProxyPolicy};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Operation counters, readable while the server runs.
 #[derive(Default)]
@@ -40,6 +46,9 @@ pub struct ServerStats {
     /// Detached handler threads that ended in an error after the
     /// response path was no longer available to report it.
     pub handler_errors: AtomicU64,
+    /// Expired credentials removed by the periodic sweep and the
+    /// INFO-path purge.
+    pub purged: AtomicU64,
 }
 
 impl ServerStats {
@@ -63,6 +72,9 @@ struct ServerState {
     /// install fresh ones with [`MyProxyServer::add_crl`] while the
     /// server runs (§2.1: revocation is the PKI's theft response).
     crls: parking_lot::RwLock<Vec<mp_x509::CertRevocationList>>,
+    /// Handler threads from [`MyProxyServer::connect_local`], tracked
+    /// so shutdown can join them instead of racing process exit.
+    local_handlers: HandlerSet,
 }
 
 /// The repository server. Cheap to clone (one `Arc`).
@@ -115,6 +127,7 @@ impl MyProxyServer {
                 master_key: Secret::new(master_key),
                 stats: ServerStats::default(),
                 crls: parking_lot::RwLock::new(Vec::new()),
+                local_handlers: HandlerSet::new(),
             }),
         }
     }
@@ -165,32 +178,67 @@ impl MyProxyServer {
         HmacDrbg::new(&seed)
     }
 
-    /// Purge expired credentials; returns how many were removed. Run
-    /// periodically by operators (the examples call it between clock
-    /// advances).
+    /// Purge expired credentials; returns how many were removed. The
+    /// serve pools run this on their sweep interval and on the INFO
+    /// path; removals are tallied in [`ServerStats::purged`].
     pub fn purge_expired(&self) -> usize {
-        self.state.store.purge_expired(self.state.clock.now())
+        let n = self.state.store.purge_expired(self.state.clock.now());
+        if n > 0 {
+            self.state.stats.purged.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
     }
 
     /// Serve one connection: handshake, one request, response (plus the
     /// delegation sub-protocol where the command calls for it).
     pub fn handle<T: Transport>(&self, transport: T) -> crate::Result<()> {
         let mut rng = self.conn_rng();
+        let mut channel = self.accept_conn(transport, &mut rng)?;
+        self.serve_channel(&mut channel, &mut rng)
+    }
+
+    /// Like [`handle`](Self::handle), but re-arms the transport with the
+    /// per-request idle deadline once the handshake has completed (the
+    /// pool arms the stricter handshake deadline before this runs).
+    pub fn handle_deadlined<T: Transport + DeadlineControl>(
+        &self,
+        transport: T,
+        idle_deadline: Option<Duration>,
+    ) -> crate::Result<()> {
+        let mut rng = self.conn_rng();
+        let mut channel = self.accept_conn(transport, &mut rng)?;
+        channel.transport_ref().set_deadlines(idle_deadline, idle_deadline);
+        self.serve_channel(&mut channel, &mut rng)
+    }
+
+    /// Handshake half of a connection; failures are counted.
+    fn accept_conn<T: Transport>(
+        &self,
+        transport: T,
+        rng: &mut HmacDrbg,
+    ) -> crate::Result<SecureChannel<T>> {
         let now = self.state.clock.now();
-        let mut channel = match SecureChannel::accept(
+        match SecureChannel::accept(
             transport,
             &self.state.credential,
             &self.conn_channel_cfg(),
-            &mut rng,
+            rng,
             now,
         ) {
-            Ok(ch) => ch,
+            Ok(ch) => Ok(ch),
             Err(e) => {
                 self.state.stats.bump(&self.state.stats.channel_failures);
-                return Err(e.into());
+                Err(e.into())
             }
-        };
+        }
+    }
 
+    /// Request half: one request, response, optional sub-protocol.
+    fn serve_channel<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        rng: &mut HmacDrbg,
+    ) -> crate::Result<()> {
         let req_text = channel.recv()?;
         let req_text = String::from_utf8(req_text)
             .map_err(|_| MyProxyError::Protocol("request not UTF-8".into()))?;
@@ -207,7 +255,7 @@ impl MyProxyServer {
             }
         };
 
-        let result = self.dispatch(&mut channel, &request, &mut rng);
+        let result = self.dispatch(channel, &request, rng);
         if let Err(e) = &result {
             self.state.stats.bump(&self.state.stats.denials);
             // Best-effort error response; the channel may already be gone,
@@ -457,6 +505,10 @@ impl MyProxyServer {
         request: &Request,
     ) -> crate::Result<()> {
         let st = &self.state;
+        // INFO reports the live view, so expired entries are purged
+        // here as well as on the periodic sweep (they must not linger
+        // in listings — or in the store — once dead).
+        self.purge_expired();
         let username = request.require(field::USERNAME)?.to_string();
         let passphrase = request.require(field::PASSPHRASE)?;
         let entries = st.store.list_authenticated(&username, passphrase);
@@ -607,34 +659,104 @@ impl MyProxyServer {
     }
 
     /// Spawn a thread serving one in-memory connection; returns the
-    /// client end. The handler thread detaches (errors land in stats).
+    /// client end. The handler thread is tracked in the server's
+    /// [`HandlerSet`] so [`drain_local_handlers`](Self::drain_local_handlers)
+    /// can join it; errors land in stats.
     pub fn connect_local(&self) -> mp_gsi::MemStream {
         let (client_end, server_end) = mp_gsi::duplex();
         let server = self.clone();
-        std::thread::spawn(move || {
+        let spawned = self.state.local_handlers.spawn("myproxy-conn", move || {
             if server.handle(server_end).is_err() {
                 server.state.stats.bump(&server.state.stats.handler_errors);
             }
         });
+        // A failed spawn drops the server end, so the client sees EOF;
+        // count it where detached-handler failures are counted.
+        if spawned.is_err() {
+            self.state.stats.bump(&self.state.stats.handler_errors);
+        }
         client_end
     }
 
-    /// Accept loop over TCP; spawns one thread per connection. Runs
-    /// until the listener errors (e.g. it is dropped/shutdown).
-    pub fn serve_tcp(&self, listener: std::net::TcpListener) {
-        for conn in listener.incoming() {
-            match conn {
-                Ok(sock) => {
-                    let server = self.clone();
-                    std::thread::spawn(move || {
-                        if server.handle(sock).is_err() {
-                            server.state.stats.bump(&server.state.stats.handler_errors);
-                        }
-                    });
-                }
-                Err(_) => break,
-            }
+    /// Join every handler thread started by
+    /// [`connect_local`](Self::connect_local); returns how many were
+    /// joined. Call before process exit so in-flight credential writes
+    /// cannot be cut off.
+    pub fn drain_local_handlers(&self) -> usize {
+        self.state.local_handlers.drain()
+    }
+
+    /// This server as a pool [`Service`] (shared by all workers).
+    pub fn service(&self) -> Arc<MyProxyService> {
+        Arc::new(MyProxyService { server: self.clone() })
+    }
+
+    /// Serve TCP connections on a bounded worker pool with default
+    /// [`NetConfig`] — deadlines armed, transient accept errors
+    /// retried, load shed at the connection cap. Returns immediately;
+    /// drop the handle to run detached, or keep it for
+    /// [`ShutdownHandle::shutdown`].
+    pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::io::Result<ShutdownHandle> {
+        self.serve_tcp_with(listener, NetConfig::default())
+    }
+
+    /// [`serve_tcp`](Self::serve_tcp) with explicit pool tuning.
+    pub fn serve_tcp_with(
+        &self,
+        listener: std::net::TcpListener,
+        cfg: NetConfig,
+    ) -> std::io::Result<ShutdownHandle> {
+        net::serve(TcpAcceptor::new(listener)?, self.service(), cfg)
+    }
+
+    /// Serve in-memory connections on the same pool machinery: push
+    /// transports (plain [`mp_gsi::MemStream`] or fault-wrapped) into
+    /// the returned queue and they are handled exactly like accepted
+    /// sockets.
+    pub fn serve_local(
+        &self,
+        cfg: NetConfig,
+    ) -> std::io::Result<(QueuePusher<BoxedConn>, ShutdownHandle)> {
+        let (push, acceptor) = accept_queue::<BoxedConn>();
+        let handle = net::serve(acceptor, self.service(), cfg)?;
+        Ok((push, handle))
+    }
+}
+
+/// [`Service`] adapter driving a [`MyProxyServer`] from a worker pool.
+pub struct MyProxyService {
+    server: MyProxyServer,
+}
+
+/// Classify a handler failure for the pool's accounting: deadline
+/// evictions are `Timeout`, everything else `Error`.
+fn outcome_of(result: &crate::Result<()>) -> Outcome {
+    match result {
+        Ok(()) => Outcome::Ok,
+        Err(MyProxyError::Gsi(GsiError::Io(e)))
+            if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) =>
+        {
+            Outcome::Timeout
         }
+        Err(_) => Outcome::Error,
+    }
+}
+
+impl<C: Transport + DeadlineControl + 'static> Service<C> for MyProxyService {
+    fn handle(&self, conn: C, idle_deadline: Option<Duration>) -> Outcome {
+        outcome_of(&self.server.handle_deadlined(conn, idle_deadline))
+    }
+
+    fn shed(&self, mut conn: C) {
+        // Refuse in-protocol so the client gets "server busy", not a
+        // hang; the peer may already be gone, which the counters show.
+        if send_busy(&mut conn, "connection limit reached").is_err() {
+            self.server.state.stats.bump(&self.server.state.stats.send_failures);
+        }
+    }
+
+    fn sweep(&self) {
+        self.server.purge_expired();
     }
 }
 

@@ -582,8 +582,7 @@ fn works_over_tcp() {
     let w = world();
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = w.server.clone();
-    std::thread::spawn(move || server.serve_tcp(listener));
+    let _pool = w.server.serve_tcp(listener).unwrap();
 
     let mut rng = test_drbg("tcp ops");
     let sock = std::net::TcpStream::connect(addr).unwrap();

@@ -14,15 +14,21 @@
 use crate::kv::Kv;
 use crate::storage::{client as storage_client, MassStorage};
 use crate::{GramError, Result};
+use mp_crypto::HmacDrbg;
+use mp_gsi::channel::send_busy;
 use mp_gsi::delegate::accept_delegation;
+use mp_gsi::net::{
+    self, DeadlineControl, HandlerSet, NetConfig, Outcome, Service, ShutdownHandle, TcpAcceptor,
+};
 use mp_gsi::transport::Transport;
 use mp_gsi::{ChannelConfig, Credential, Gridmap, SecureChannel};
 use mp_x509::{Certificate, Clock};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Lifecycle of a simulated job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +78,9 @@ struct JmState {
     /// Where completed jobs store output (in-process handle; the real
     /// system would dial a GridFTP server).
     storage: Option<(MassStorage, ChannelConfig)>,
+    /// Handler threads from `connect_local`, tracked so shutdown can
+    /// join them instead of racing process exit.
+    local_handlers: HandlerSet,
 }
 
 /// The job manager service.
@@ -103,6 +112,7 @@ impl JobManager {
                 next_id: AtomicU64::new(1),
                 handler_errors: AtomicU64::new(0),
                 storage,
+                local_handlers: HandlerSet::new(),
             }),
         }
     }
@@ -134,6 +144,31 @@ impl JobManager {
         let now = st.clock.now();
         let mut channel =
             SecureChannel::accept(transport, &st.credential, &st.channel_cfg, rng, now)?;
+        self.serve_channel(&mut channel, rng)
+    }
+
+    /// Like [`handle`](Self::handle), but re-arms the transport with the
+    /// per-request idle deadline once the handshake has completed.
+    pub fn handle_deadlined<T: Transport + DeadlineControl, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        rng: &mut R,
+        idle_deadline: Option<Duration>,
+    ) -> Result<()> {
+        let st = &self.inner;
+        let now = st.clock.now();
+        let mut channel =
+            SecureChannel::accept(transport, &st.credential, &st.channel_cfg, rng, now)?;
+        channel.transport_ref().set_deadlines(idle_deadline, idle_deadline);
+        self.serve_channel(&mut channel, rng)
+    }
+
+    fn serve_channel<T: Transport, R: Rng + ?Sized>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        rng: &mut R,
+    ) -> Result<()> {
+        let st = &self.inner;
         let peer = channel.peer().clone();
 
         // Read the request before any authorization verdict so the
@@ -164,7 +199,7 @@ impl JobManager {
                 let proxy = if wants_delegation {
                     let resp = Kv::new().set("STATUS", "SEND_DELEGATION");
                     channel.send(resp.to_text().as_bytes())?;
-                    Some(accept_delegation(&mut channel, u64::MAX, 512, rng)?)
+                    Some(accept_delegation(channel, u64::MAX, 512, rng)?)
                 } else {
                     None
                 };
@@ -348,18 +383,86 @@ impl JobManager {
         Ok(())
     }
 
-    /// Spawn a thread serving one in-memory connection.
+    /// Spawn a thread serving one in-memory connection. The handler is
+    /// tracked so [`drain_local_handlers`](Self::drain_local_handlers)
+    /// can join it.
     pub fn connect_local(&self, rng_seed: &[u8]) -> mp_gsi::MemStream {
         let (client_end, server_end) = mp_gsi::duplex();
         let service = self.clone();
         let seed = rng_seed.to_vec();
-        std::thread::spawn(move || {
-            let mut rng = mp_crypto::HmacDrbg::new(&seed);
+        let spawned = self.inner.local_handlers.spawn("gram-conn", move || {
+            let mut rng = HmacDrbg::new(&seed);
             if service.handle(server_end, &mut rng).is_err() {
                 service.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
             }
         });
+        if spawned.is_err() {
+            self.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+        }
         client_end
+    }
+
+    /// Join every handler thread started by
+    /// [`connect_local`](Self::connect_local); returns how many were
+    /// joined.
+    pub fn drain_local_handlers(&self) -> usize {
+        self.inner.local_handlers.drain()
+    }
+
+    /// This job manager as a pool [`Service`]. Per-connection DRBGs are
+    /// derived from a service DRBG seeded with `rng_seed`.
+    pub fn service(&self, rng_seed: &[u8]) -> Arc<JobManagerService> {
+        Arc::new(JobManagerService {
+            jm: self.clone(),
+            rng: Mutex::new(HmacDrbg::new(rng_seed)),
+        })
+    }
+
+    /// Serve TCP on a bounded worker pool with default [`NetConfig`].
+    pub fn serve_tcp(
+        &self,
+        listener: std::net::TcpListener,
+        rng_seed: &[u8],
+    ) -> std::io::Result<ShutdownHandle> {
+        self.serve_tcp_with(listener, rng_seed, NetConfig::default())
+    }
+
+    /// [`serve_tcp`](Self::serve_tcp) with explicit pool tuning.
+    pub fn serve_tcp_with(
+        &self,
+        listener: std::net::TcpListener,
+        rng_seed: &[u8],
+        cfg: NetConfig,
+    ) -> std::io::Result<ShutdownHandle> {
+        net::serve(TcpAcceptor::new(listener)?, self.service(rng_seed), cfg)
+    }
+}
+
+/// [`Service`] adapter driving a [`JobManager`] from a worker pool.
+pub struct JobManagerService {
+    jm: JobManager,
+    rng: Mutex<HmacDrbg>,
+}
+
+impl JobManagerService {
+    /// Derive an independent per-connection DRBG.
+    fn conn_rng(&self) -> HmacDrbg {
+        let mut seed = [0u8; 32];
+        self.rng.lock().generate(&mut seed);
+        HmacDrbg::new(&seed)
+    }
+}
+
+impl<C: Transport + DeadlineControl + 'static> Service<C> for JobManagerService {
+    fn handle(&self, conn: C, idle_deadline: Option<Duration>) -> Outcome {
+        let mut rng = self.conn_rng();
+        crate::outcome_of(&self.jm.handle_deadlined(conn, &mut rng, idle_deadline))
+    }
+
+    fn shed(&self, mut conn: C) {
+        if send_busy(&mut conn, "connection limit reached").is_err() {
+            self.jm.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

@@ -52,3 +52,21 @@ impl std::error::Error for GramError {}
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, GramError>;
+
+/// Classify a handler result for the worker pool's accounting:
+/// deadline evictions are timeouts, everything else an error.
+pub(crate) fn outcome_of(result: &Result<()>) -> mp_gsi::net::Outcome {
+    use mp_gsi::net::Outcome;
+    match result {
+        Ok(()) => Outcome::Ok,
+        Err(GramError::Gsi(GsiError::Io(e)))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) =>
+        {
+            Outcome::Timeout
+        }
+        Err(_) => Outcome::Error,
+    }
+}

@@ -10,14 +10,20 @@
 
 use crate::kv::Kv;
 use crate::{GramError, Result};
+use mp_crypto::HmacDrbg;
+use mp_gsi::channel::send_busy;
+use mp_gsi::net::{
+    self, DeadlineControl, HandlerSet, NetConfig, Outcome, Service, ShutdownHandle, TcpAcceptor,
+};
 use mp_gsi::transport::Transport;
 use mp_gsi::{ChannelConfig, Credential, Gridmap, SecureChannel};
 use mp_x509::{Certificate, Clock};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One stored file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +53,9 @@ struct StorageState {
     /// Detached handler threads that ended in an error (protocol
     /// failure or denial) with nobody left to report it to.
     handler_errors: AtomicU64,
+    /// Handler threads from `connect_local`, tracked so shutdown can
+    /// join them instead of racing process exit.
+    local_handlers: HandlerSet,
 }
 
 impl MassStorage {
@@ -67,6 +76,7 @@ impl MassStorage {
                 clock,
                 files: RwLock::new(HashMap::new()),
                 handler_errors: AtomicU64::new(0),
+                local_handlers: HandlerSet::new(),
             }),
         }
     }
@@ -102,6 +112,28 @@ impl MassStorage {
         let now = st.clock.now();
         let mut channel =
             SecureChannel::accept(transport, &st.credential, &st.channel_cfg, rng, now)?;
+        self.serve_channel(&mut channel)
+    }
+
+    /// Like [`handle`](Self::handle), but re-arms the transport with the
+    /// per-request idle deadline once the handshake has completed.
+    pub fn handle_deadlined<T: Transport + DeadlineControl, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        rng: &mut R,
+        idle_deadline: Option<Duration>,
+    ) -> Result<()> {
+        let st = &self.inner;
+        let now = st.clock.now();
+        let mut channel =
+            SecureChannel::accept(transport, &st.credential, &st.channel_cfg, rng, now)?;
+        channel.transport_ref().set_deadlines(idle_deadline, idle_deadline);
+        self.serve_channel(&mut channel)
+    }
+
+    fn serve_channel<T: Transport>(&self, channel: &mut SecureChannel<T>) -> Result<()> {
+        let st = &self.inner;
+        let now = st.clock.now();
         let peer = channel.peer().clone();
 
         // Read the request before any authorization verdict so the
@@ -185,18 +217,86 @@ impl MassStorage {
         Ok(())
     }
 
-    /// Spawn a thread serving one in-memory connection.
+    /// Spawn a thread serving one in-memory connection. The handler is
+    /// tracked so [`drain_local_handlers`](Self::drain_local_handlers)
+    /// can join it.
     pub fn connect_local(&self, rng_seed: &[u8]) -> mp_gsi::MemStream {
         let (client_end, server_end) = mp_gsi::duplex();
         let service = self.clone();
         let seed = rng_seed.to_vec();
-        std::thread::spawn(move || {
-            let mut rng = mp_crypto::HmacDrbg::new(&seed);
+        let spawned = self.inner.local_handlers.spawn("storage-conn", move || {
+            let mut rng = HmacDrbg::new(&seed);
             if service.handle(server_end, &mut rng).is_err() {
                 service.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
             }
         });
+        if spawned.is_err() {
+            self.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+        }
         client_end
+    }
+
+    /// Join every handler thread started by
+    /// [`connect_local`](Self::connect_local); returns how many were
+    /// joined.
+    pub fn drain_local_handlers(&self) -> usize {
+        self.inner.local_handlers.drain()
+    }
+
+    /// This storage service as a pool [`Service`]. Per-connection DRBGs
+    /// are derived from a service DRBG seeded with `rng_seed`.
+    pub fn service(&self, rng_seed: &[u8]) -> Arc<MassStorageService> {
+        Arc::new(MassStorageService {
+            storage: self.clone(),
+            rng: Mutex::new(HmacDrbg::new(rng_seed)),
+        })
+    }
+
+    /// Serve TCP on a bounded worker pool with default [`NetConfig`].
+    pub fn serve_tcp(
+        &self,
+        listener: std::net::TcpListener,
+        rng_seed: &[u8],
+    ) -> std::io::Result<ShutdownHandle> {
+        self.serve_tcp_with(listener, rng_seed, NetConfig::default())
+    }
+
+    /// [`serve_tcp`](Self::serve_tcp) with explicit pool tuning.
+    pub fn serve_tcp_with(
+        &self,
+        listener: std::net::TcpListener,
+        rng_seed: &[u8],
+        cfg: NetConfig,
+    ) -> std::io::Result<ShutdownHandle> {
+        net::serve(TcpAcceptor::new(listener)?, self.service(rng_seed), cfg)
+    }
+}
+
+/// [`Service`] adapter driving a [`MassStorage`] from a worker pool.
+pub struct MassStorageService {
+    storage: MassStorage,
+    rng: Mutex<HmacDrbg>,
+}
+
+impl MassStorageService {
+    /// Derive an independent per-connection DRBG.
+    fn conn_rng(&self) -> HmacDrbg {
+        let mut seed = [0u8; 32];
+        self.rng.lock().generate(&mut seed);
+        HmacDrbg::new(&seed)
+    }
+}
+
+impl<C: Transport + DeadlineControl + 'static> Service<C> for MassStorageService {
+    fn handle(&self, conn: C, idle_deadline: Option<Duration>) -> Outcome {
+        let mut rng = self.conn_rng();
+        crate::outcome_of(&self.storage.handle_deadlined(conn, &mut rng, idle_deadline))
+    }
+
+    fn shed(&self, mut conn: C) {
+        if send_busy(&mut conn, "connection limit reached").is_err() {
+            self.storage.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

@@ -208,19 +208,7 @@ fn services_work_over_tcp() {
     let mut rng = test_drbg("gram tcp");
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let jm = w.jm.clone();
-    std::thread::spawn(move || {
-        let mut n = 0u64;
-        for conn in listener.incoming() {
-            let Ok(sock) = conn else { break };
-            let jm = jm.clone();
-            n += 1;
-            std::thread::spawn(move || {
-                let mut rng = HmacDrbg::new(format!("tcp conn {n}").as_bytes());
-                let _ = jm.handle(sock, &mut rng);
-            });
-        }
-    });
+    let _pool = w.jm.serve_tcp(listener, b"gram tcp pool").unwrap();
     let sock = std::net::TcpStream::connect(addr).unwrap();
     let id = job_client::submit(
         sock,

@@ -38,6 +38,22 @@ const MSG_SERVER_HELLO: u8 = 2;
 const MSG_KEY_EXCHANGE: u8 = 3;
 const MSG_FINISHED_SERVER: u8 = 4;
 const MSG_FINISHED_CLIENT: u8 = 5;
+/// Pre-handshake refusal: an overloaded server answers the ClientHello
+/// with this frame instead of a ServerHello, so clients get a clean
+/// "server busy" error rather than a hang or an opaque disconnect.
+const MSG_BUSY: u8 = 6;
+
+/// Server-side load shed: answer a just-accepted connection's
+/// ClientHello with a BUSY frame carrying `reason`. No key material is
+/// involved — this happens before any handshake state exists.
+pub fn send_busy<T: Transport>(transport: &mut T, reason: &str) -> Result<()> {
+    let _hello = read_frame(transport)?; // consume the ClientHello
+    let mut busy = WireWriter::new();
+    busy.u8(MSG_BUSY);
+    busy.bytes(reason.as_bytes());
+    write_frame(transport, &busy.into_bytes())?;
+    Ok(())
+}
 
 /// How a channel endpoint validates its peer.
 #[derive(Clone)]
@@ -167,8 +183,13 @@ impl<T: Transport> SecureChannel<T> {
         transcript.update(&hello);
         write_frame(&mut transport, &hello)?;
 
-        // <- ServerHello
+        // <- ServerHello (or a pre-handshake BUSY refusal)
         let server_hello = read_frame(&mut transport)?;
+        if let Some((&MSG_BUSY, rest)) = server_hello.split_first() {
+            let mut r = WireReader::new(rest);
+            let reason = String::from_utf8_lossy(r.bytes()?).into_owned();
+            return Err(GsiError::Denied(format!("server busy: {reason}")));
+        }
         transcript.update(&server_hello);
         let body = expect_msg(&server_hello, MSG_SERVER_HELLO)?;
         let mut r = WireReader::new(body);
@@ -351,6 +372,17 @@ impl<T: Transport> SecureChannel<T> {
     pub fn peer(&self) -> &ValidatedChain {
         &self.peer
     }
+
+    /// Borrow the underlying transport (e.g. to adjust deadlines after
+    /// the handshake has completed).
+    pub fn transport_ref(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutably borrow the underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
 }
 
 #[cfg(test)]
@@ -525,6 +557,28 @@ mod tests {
         let received = s_thread.join().unwrap();
         assert_eq!(received, b"PASSPHRASE=swordfish-9000");
         assert!(!log.lock().contains(b"swordfish-9000"), "secret leaked in cleartext");
+    }
+
+    #[test]
+    fn busy_refusal_reaches_client_as_denied() {
+        let p = pki();
+        let cfg = ChannelConfig::new(vec![p.ca.certificate().clone()]);
+        let (ct, mut st) = duplex();
+        let s_thread = std::thread::spawn(move || {
+            send_busy(&mut st, "connection limit reached").unwrap();
+        });
+        let mut rng = test_drbg("busy client");
+        let Err(err) = SecureChannel::connect(ct, &p.alice, &cfg, &mut rng, 100) else {
+            panic!("handshake against a BUSY server unexpectedly succeeded");
+        };
+        match err {
+            GsiError::Denied(msg) => {
+                assert!(msg.contains("busy"), "{msg}");
+                assert!(msg.contains("connection limit reached"), "{msg}");
+            }
+            other => panic!("expected Denied, got {other}"),
+        }
+        s_thread.join().unwrap();
     }
 
     #[test]

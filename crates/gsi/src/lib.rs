@@ -15,12 +15,16 @@
 //!   delegator signs a proxy certificate over an established channel
 //! * [`acl`] / [`gridmap`] — authorization: DN pattern lists (the two
 //!   MyProxy ACLs of §5.1) and DN→local-account mapping (§2.1)
+//! * [`net`] — the shared service substrate every daemon runs on:
+//!   bounded worker pools with load shedding, per-phase deadlines,
+//!   resilient accept loops, graceful shutdown, fault injection
 
 pub mod acl;
 pub mod channel;
 pub mod credential;
 pub mod delegate;
 pub mod gridmap;
+pub mod net;
 pub mod proxy;
 pub mod record;
 pub mod transport;
@@ -31,6 +35,10 @@ pub use channel::{ChannelConfig, SecureChannel};
 pub use credential::Credential;
 pub use delegate::{accept_delegation, delegate, DelegationPolicy};
 pub use gridmap::Gridmap;
+pub use net::{
+    accept_queue, serve, BoxedConn, DeadlineControl, FaultyTransport, HandlerSet, NetConfig,
+    NetStats, Outcome, Service, ShutdownHandle, ShutdownReport, TcpAcceptor,
+};
 pub use proxy::{grid_proxy_init, ProxyOptions};
 pub use transport::{duplex, MemStream, Tap};
 

@@ -4,9 +4,11 @@
 //! pipe; the §5.2 snooping experiments wrap either in a [`Tap`].
 
 use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A bidirectional byte stream usable by the channel layer.
 pub trait Transport: Read + Write + Send {}
@@ -52,13 +54,28 @@ impl Pipe {
         Ok(data.len())
     }
 
-    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+    fn read(&self, out: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        // A deadline, not a per-wait timeout: spurious wakeups and
+        // partial waits never extend the total blocking time.
+        let deadline = timeout.and_then(|t| Instant::now().checked_add(t));
         let mut st = self.state.lock();
         while st.buf.is_empty() {
             if st.closed {
                 return Ok(0); // EOF
             }
-            self.readable.wait(&mut st);
+            match deadline {
+                None => self.readable.wait(&mut st),
+                Some(dl) => {
+                    let left = dl.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "read deadline exceeded",
+                        ));
+                    }
+                    let _ = self.readable.wait_for(&mut st, left);
+                }
+            }
         }
         let n = out.len().min(st.buf.len());
         for (slot, byte) in out.iter_mut().zip(st.buf.drain(..n)) {
@@ -75,14 +92,45 @@ impl Pipe {
 }
 
 /// One endpoint of an in-memory duplex connection.
+///
+/// Mirrors [`std::net::TcpStream`]'s deadline surface: an optional
+/// read timeout turns a blocked read into `ErrorKind::TimedOut`, so
+/// in-memory tests exercise the same eviction paths as real sockets.
 pub struct MemStream {
     read_from: Arc<Pipe>,
     write_to: Arc<Pipe>,
+    read_timeout: Cell<Option<Duration>>,
+    write_timeout: Cell<Option<Duration>>,
+}
+
+impl MemStream {
+    /// Cap how long a read may block (`None` = block forever), like
+    /// [`std::net::TcpStream::set_read_timeout`] but infallible.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) {
+        self.read_timeout.set(timeout);
+    }
+
+    /// Mirror of [`std::net::TcpStream::set_write_timeout`]. The pipe's
+    /// buffer is unbounded so writes never block; the value is stored
+    /// for API parity and introspection.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) {
+        self.write_timeout.set(timeout);
+    }
+
+    /// The currently configured read timeout.
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout.get()
+    }
+
+    /// The currently configured write timeout.
+    pub fn write_timeout(&self) -> Option<Duration> {
+        self.write_timeout.get()
+    }
 }
 
 impl Read for MemStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        self.read_from.read(buf)
+        self.read_from.read(buf, self.read_timeout.get())
     }
 }
 
@@ -111,8 +159,18 @@ pub fn duplex() -> (MemStream, MemStream) {
     let a_to_b = Pipe::new();
     let b_to_a = Pipe::new();
     (
-        MemStream { read_from: b_to_a.clone(), write_to: a_to_b.clone() },
-        MemStream { read_from: a_to_b, write_to: b_to_a },
+        MemStream {
+            read_from: b_to_a.clone(),
+            write_to: a_to_b.clone(),
+            read_timeout: Cell::new(None),
+            write_timeout: Cell::new(None),
+        },
+        MemStream {
+            read_from: a_to_b,
+            write_to: b_to_a,
+            read_timeout: Cell::new(None),
+            write_timeout: Cell::new(None),
+        },
     )
 }
 
@@ -212,6 +270,30 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         a.write_all(b"later").unwrap();
         assert_eq!(&t.join().unwrap(), b"later");
+    }
+
+    #[test]
+    fn read_timeout_fires_on_idle_pipe() {
+        let (mut a, _b) = duplex();
+        a.set_read_timeout(Some(std::time::Duration::from_millis(10)));
+        let mut buf = [0u8; 1];
+        let err = a.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        // Clearing the timeout restores blocking reads (data already
+        // queued, so this returns immediately).
+        a.set_read_timeout(None);
+        drop(_b);
+        assert_eq!(a.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_timeout_does_not_drop_buffered_data() {
+        let (mut a, mut b) = duplex();
+        b.write_all(b"x").unwrap();
+        a.set_read_timeout(Some(std::time::Duration::from_millis(1)));
+        let mut buf = [0u8; 1];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+        assert_eq!(&buf, b"x");
     }
 
     #[test]

@@ -71,14 +71,15 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
 
     let mut rs = RuleSet::default();
 
-    // R1: the six attacker-reachable files named by the gate.
-    const R1_FILES: [&str; 6] = [
+    // R1: the attacker-reachable files named by the gate.
+    const R1_FILES: [&str; 7] = [
         "crates/core/src/server.rs",
         "crates/core/src/store.rs",
         "crates/core/src/proto.rs",
         "crates/gsi/src/channel.rs",
         "crates/gsi/src/wire.rs",
         "crates/gsi/src/transport.rs",
+        "crates/gsi/src/net.rs",
     ];
     rs.r1 = R1_FILES.contains(&rel);
 
@@ -116,13 +117,15 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
         && !rel.contains("/tests/");
 
     // R7 (lock discipline): the crates that share locks between
-    // connection threads. mp-gsi is deliberately out: its in-memory
-    // pipe *is* the transport primitive — the mutex/condvar rendezvous
-    // inside it is the I/O, not something held across I/O.
-    rs.r7 = (rel.starts_with("crates/core/src/")
+    // connection threads, plus the worker-pool module itself. The rest
+    // of mp-gsi is deliberately out: its in-memory pipe *is* the
+    // transport primitive — the mutex/condvar rendezvous inside it is
+    // the I/O, not something held across I/O.
+    rs.r7 = ((rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/gram/src/")
         || rel.starts_with("crates/portal/src/"))
-        && !rel.contains("/tests/");
+        && !rel.contains("/tests/"))
+        || rel == "crates/gsi/src/net.rs";
 
     rs
 }
@@ -265,6 +268,11 @@ mod tests {
 
         let rs = rules_for_path("crates/gsi/src/wire.rs");
         assert!(rs.r1 && rs.r2 && rs.r3 && rs.r4);
+
+        let rs = rules_for_path("crates/gsi/src/net.rs");
+        assert!(rs.r1 && rs.r6 && rs.r7, "worker pool is in the gate");
+        let rs = rules_for_path("crates/gsi/src/transport.rs");
+        assert!(!rs.r7, "in-memory pipe internals stay out of R7");
 
         assert!(rules_for_path("vendor/rand/src/lib.rs").none());
         assert!(rules_for_path("crates/lint/src/rules.rs").none());

@@ -14,6 +14,9 @@ use crate::session::{SessionManager, COOKIE};
 use crate::{tls, PortalError, Result};
 use mp_crypto::HmacDrbg;
 use mp_gram::{job, storage};
+use mp_gsi::net::{
+    self, DeadlineControl, NetConfig, Outcome, Service, ShutdownHandle, TcpAcceptor,
+};
 use mp_gsi::transport::{Connector, Transport};
 use mp_gsi::{ChannelConfig, Credential};
 use mp_myproxy::client::GetParams;
@@ -311,41 +314,64 @@ impl GridPortal {
         Ok(())
     }
 
-    /// Accept loop over TCP, HTTPS-sim framing; one thread per
-    /// connection, until the listener errors. Call from an
-    /// `Arc<GridPortal>` clone on its own thread.
-    pub fn serve_tcp_tls(self: &std::sync::Arc<Self>, listener: std::net::TcpListener) {
-        for conn in listener.incoming() {
-            match conn {
-                Ok(sock) => {
-                    let portal = self.clone();
-                    std::thread::spawn(move || {
-                        if portal.serve_tls(sock).is_err() {
-                            portal.handler_errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    });
-                }
-                Err(_) => break,
-            }
-        }
+    /// Like [`serve_plain`](Self::serve_plain), but arms the transport
+    /// with the per-request idle deadline first (plain HTTP has no
+    /// handshake phase, so the whole exchange runs under it).
+    pub fn serve_plain_deadlined<T: Transport + DeadlineControl>(
+        &self,
+        transport: T,
+        idle_deadline: Option<std::time::Duration>,
+    ) -> Result<()> {
+        transport.set_deadlines(idle_deadline, idle_deadline);
+        self.serve_plain(transport)
     }
 
-    /// Accept loop over TCP, plain HTTP (static pages / health checks;
-    /// logins will be refused when `require_tls` is set).
-    pub fn serve_tcp_plain(self: &std::sync::Arc<Self>, listener: std::net::TcpListener) {
-        for conn in listener.incoming() {
-            match conn {
-                Ok(sock) => {
-                    let portal = self.clone();
-                    std::thread::spawn(move || {
-                        if portal.serve_plain(sock).is_err() {
-                            portal.handler_errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    });
-                }
-                Err(_) => break,
-            }
-        }
+    /// Serve TCP with HTTPS-sim framing on a bounded worker pool with
+    /// default [`NetConfig`]. Call from an `Arc<GridPortal>`.
+    pub fn serve_tcp_tls(
+        self: &std::sync::Arc<Self>,
+        listener: std::net::TcpListener,
+    ) -> std::io::Result<ShutdownHandle> {
+        self.serve_tcp_tls_with(listener, NetConfig::default())
+    }
+
+    /// [`serve_tcp_tls`](Self::serve_tcp_tls) with explicit pool tuning.
+    pub fn serve_tcp_tls_with(
+        self: &std::sync::Arc<Self>,
+        listener: std::net::TcpListener,
+        cfg: NetConfig,
+    ) -> std::io::Result<ShutdownHandle> {
+        net::serve(TcpAcceptor::new(listener)?, self.tls_service(), cfg)
+    }
+
+    /// Serve TCP with plain HTTP (static pages / health checks; logins
+    /// will be refused when `require_tls` is set) on a bounded worker
+    /// pool with default [`NetConfig`].
+    pub fn serve_tcp_plain(
+        self: &std::sync::Arc<Self>,
+        listener: std::net::TcpListener,
+    ) -> std::io::Result<ShutdownHandle> {
+        self.serve_tcp_plain_with(listener, NetConfig::default())
+    }
+
+    /// [`serve_tcp_plain`](Self::serve_tcp_plain) with explicit pool
+    /// tuning.
+    pub fn serve_tcp_plain_with(
+        self: &std::sync::Arc<Self>,
+        listener: std::net::TcpListener,
+        cfg: NetConfig,
+    ) -> std::io::Result<ShutdownHandle> {
+        net::serve(TcpAcceptor::new(listener)?, self.plain_service(), cfg)
+    }
+
+    /// This portal's HTTPS-sim side as a pool [`Service`].
+    pub fn tls_service(self: &std::sync::Arc<Self>) -> Arc<PortalTlsService> {
+        Arc::new(PortalTlsService { portal: self.clone() })
+    }
+
+    /// This portal's plain-HTTP side as a pool [`Service`].
+    pub fn plain_service(self: &std::sync::Arc<Self>) -> Arc<PortalPlainService> {
+        Arc::new(PortalPlainService { portal: self.clone() })
     }
 
     /// Serve one HTTPS-sim connection.
@@ -357,11 +383,104 @@ impl GridPortal {
             self.config.credential.key(),
             &mut rng,
         )?;
+        self.serve_tls_stream(&mut stream)
+    }
+
+    /// Like [`serve_tls`](Self::serve_tls), but re-arms the transport
+    /// with the per-request idle deadline once the TLS handshake has
+    /// completed.
+    pub fn serve_tls_deadlined<T: Transport + DeadlineControl>(
+        &self,
+        transport: T,
+        idle_deadline: Option<std::time::Duration>,
+    ) -> Result<()> {
+        let mut rng = self.req_rng();
+        let mut stream = tls::accept(
+            transport,
+            self.config.credential.chain(),
+            self.config.credential.key(),
+            &mut rng,
+        )?;
+        stream.transport_ref().set_deadlines(idle_deadline, idle_deadline);
+        self.serve_tls_stream(&mut stream)
+    }
+
+    fn serve_tls_stream<T: Transport>(&self, stream: &mut tls::TlsStream<T>) -> Result<()> {
         let bytes = stream.recv()?;
         let req = HttpRequest::from_bytes(&bytes)?;
         let resp = self.handle_request(&req, true);
         stream.send(&resp.to_bytes())?;
         Ok(())
+    }
+}
+
+/// Classify a handler result for the worker pool's accounting: deadline
+/// evictions are timeouts, everything else an error.
+fn outcome_of(result: &Result<()>) -> Outcome {
+    match result {
+        Ok(()) => Outcome::Ok,
+        Err(PortalError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) =>
+        {
+            Outcome::Timeout
+        }
+        Err(_) => Outcome::Error,
+    }
+}
+
+/// [`Service`] adapter driving a [`GridPortal`]'s HTTPS-sim side from a
+/// worker pool.
+pub struct PortalTlsService {
+    portal: Arc<GridPortal>,
+}
+
+impl<C: Transport + DeadlineControl + 'static> Service<C> for PortalTlsService {
+    fn handle(&self, conn: C, idle_deadline: Option<std::time::Duration>) -> Outcome {
+        outcome_of(&self.portal.serve_tls_deadlined(conn, idle_deadline))
+    }
+
+    fn shed(&self, mut conn: C) {
+        if tls::send_busy(&mut conn, "connection limit reached").is_err() {
+            self.portal.handler_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn sweep(&self) {
+        self.portal.sessions.sweep(self.portal.config.clock.now());
+    }
+}
+
+/// [`Service`] adapter driving a [`GridPortal`]'s plain-HTTP side from
+/// a worker pool.
+pub struct PortalPlainService {
+    portal: Arc<GridPortal>,
+}
+
+impl PortalPlainService {
+    /// HTTP-level load-shed: a 503 the browser can render.
+    fn refuse_busy<C: std::io::Write>(conn: &mut C) -> std::io::Result<()> {
+        let resp = HttpResponse::error(503, "server busy: connection limit reached");
+        conn.write_all(&resp.to_bytes())?;
+        conn.flush()
+    }
+}
+
+impl<C: Transport + DeadlineControl + 'static> Service<C> for PortalPlainService {
+    fn handle(&self, conn: C, idle_deadline: Option<std::time::Duration>) -> Outcome {
+        outcome_of(&self.portal.serve_plain_deadlined(conn, idle_deadline))
+    }
+
+    fn shed(&self, mut conn: C) {
+        if Self::refuse_busy(&mut conn).is_err() {
+            self.portal.handler_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn sweep(&self) {
+        self.portal.sessions.sweep(self.portal.config.clock.now());
     }
 }
 

@@ -25,6 +25,11 @@ use mp_x509::{validate_chain, Certificate, Dn, ValidationOptions};
 use mp_crypto::rsa::RsaPrivateKey;
 use rand::Rng;
 
+/// First byte of a busy-refusal frame sent in place of ServerHello. A
+/// real ServerHello starts with a 4-byte big-endian length prefix whose
+/// first byte is far below 0xFF, so the marker is unambiguous.
+const BUSY_MARKER: u8 = 0xFF;
+
 /// An established HTTPS-sim connection (either side).
 pub struct TlsStream<T: Transport> {
     transport: T,
@@ -34,17 +39,30 @@ pub struct TlsStream<T: Transport> {
 impl<T: Transport> TlsStream<T> {
     /// Send one message (e.g. a full HTTP request).
     pub fn send(&mut self, data: &[u8]) -> Result<()> {
-        self.records
-            .send(&mut self.transport, data)
-            .map_err(|e| PortalError::Tls(e.to_string()))
+        self.records.send(&mut self.transport, data).map_err(tls_err)
     }
 
     /// Receive one message.
     pub fn recv(&mut self) -> Result<Vec<u8>> {
-        self.records
-            .recv(&mut self.transport)
-            .map_err(|e| PortalError::Tls(e.to_string()))
+        self.records.recv(&mut self.transport).map_err(tls_err)
     }
+
+    /// Borrow the underlying transport (to re-arm deadlines after the
+    /// handshake).
+    pub fn transport_ref(&self) -> &T {
+        &self.transport
+    }
+}
+
+/// Server-side load-shed: consume the ClientHello, then refuse with a
+/// busy frame instead of a ServerHello. [`connect`] surfaces this to
+/// the browser as a distinguishable "server busy" error.
+pub fn send_busy<T: Transport>(transport: &mut T, reason: &str) -> Result<()> {
+    let _hello = read_frame(transport).map_err(tls_err)?;
+    let mut w = WireWriter::new();
+    w.u8(BUSY_MARKER);
+    w.bytes(reason.as_bytes());
+    write_frame(transport, &w.into_bytes()).map_err(tls_err)
 }
 
 fn derive(premaster: &[u8], rc: &[u8; 32], rs: &[u8; 32], label: &[u8]) -> [u8; 32] {
@@ -83,6 +101,11 @@ pub fn connect<T: Transport, R: Rng + ?Sized>(
     write_frame(&mut transport, &hello).map_err(tls_err)?;
 
     let server_hello = read_frame(&mut transport).map_err(tls_err)?;
+    if let Some((&BUSY_MARKER, rest)) = server_hello.split_first() {
+        let mut r = WireReader::new(rest);
+        let reason = String::from_utf8_lossy(r.bytes().map_err(tls_err)?).into_owned();
+        return Err(PortalError::Tls(format!("server busy: {reason}")));
+    }
     transcript.update(&server_hello);
     let mut r = WireReader::new(&server_hello);
     let random_s: [u8; 32] = r
@@ -211,8 +234,13 @@ pub fn accept<T: Transport, R: Rng + ?Sized>(
     Ok(TlsStream { transport, records: SealedRecords::new(c2s, s2c, false) })
 }
 
+/// Map a channel error; transport I/O (including deadline timeouts)
+/// keeps its [`std::io::Error`] so callers can classify it.
 fn tls_err(e: mp_gsi::GsiError) -> PortalError {
-    PortalError::Tls(e.to_string())
+    match e {
+        mp_gsi::GsiError::Io(io) => PortalError::Io(io),
+        other => PortalError::Tls(other.to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +319,20 @@ mod tests {
             connect(bt, &roots, Some(&wrong), &mut rng, 100),
             Err(PortalError::Tls(_))
         ));
+    }
+
+    #[test]
+    fn busy_refusal_reaches_browser() {
+        let (ca, _chain, _key) = portal_chain();
+        let (bt, mut pt) = duplex();
+        let server = std::thread::spawn(move || send_busy(&mut pt, "maintenance"));
+        let mut rng = test_drbg("tls busy");
+        let roots = [ca.certificate().clone()];
+        let Err(err) = connect(bt, &roots, None, &mut rng, 100) else {
+            panic!("handshake against a busy server unexpectedly succeeded");
+        };
+        assert!(err.to_string().contains("server busy: maintenance"), "got: {err}");
+        server.join().unwrap().unwrap();
     }
 
     #[test]

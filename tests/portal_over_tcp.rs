@@ -25,12 +25,8 @@ fn browser_to_portal_over_tcp() {
     let tls_addr = tls_listener.local_addr().unwrap();
     let plain_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let plain_addr = plain_listener.local_addr().unwrap();
-    {
-        let portal = w.portal.clone();
-        std::thread::spawn(move || portal.serve_tcp_tls(tls_listener));
-        let portal = w.portal.clone();
-        std::thread::spawn(move || portal.serve_tcp_plain(plain_listener));
-    }
+    let _tls_pool = w.portal.serve_tcp_tls(tls_listener).unwrap();
+    let _plain_pool = w.portal.serve_tcp_plain(plain_listener).unwrap();
 
     // An HTTPS browser session over TCP.
     let mut browser = Browser::new(

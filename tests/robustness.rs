@@ -1,0 +1,487 @@
+//! Robustness of the shared service substrate (`mp_gsi::net`).
+//!
+//! Every accept loop in the stack — the MyProxy repository, the GRAM
+//! job manager, mass storage, and the Grid portal (HTTPS-sim and plain
+//! HTTP) — runs on the same bounded worker pool. These tests drive each
+//! of them through the four behaviors the pool guarantees:
+//!
+//! 1. transient accept errors (`ECONNABORTED`, `EMFILE`) are retried
+//!    with backoff instead of killing the loop;
+//! 2. half-open peers are evicted at the handshake deadline, freeing
+//!    their slot;
+//! 3. connections beyond the cap are refused *in protocol* (BUSY frame
+//!    or HTTP 503), not silently dropped;
+//! 4. shutdown stops accepting, drains in-flight handlers, and joins
+//!    every thread.
+//!
+//! Plus the `FaultyTransport` scenarios: mid-handshake and
+//! mid-delegation disconnects must leave the credential store unchanged,
+//! and maximal read fragmentation must not confuse the framing layer.
+
+use myproxy::crypto::HmacDrbg;
+use myproxy::gram::{job, storage, GramError};
+use myproxy::gsi::net::{self, accept_queue, BoxedConn, FaultyTransport, NetConfig, QueuePusher};
+use myproxy::gsi::transport::{BoxedTransport, Connector};
+use myproxy::gsi::{duplex, ChannelConfig, GsiError, MemStream};
+use myproxy::myproxy::client::InitParams;
+use myproxy::myproxy::MyProxyError;
+use myproxy::portal::browser::{expect_ok, Browser, BrowserMode};
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deliberately tiny pool: one worker, one connection slot, short
+/// deadlines, fast backoff — so every limit is reachable in a test.
+fn tight_cfg() -> NetConfig {
+    NetConfig {
+        workers: 1,
+        max_connections: 1,
+        handshake_deadline: Some(Duration::from_millis(400)),
+        idle_deadline: Some(Duration::from_millis(600)),
+        shutdown_grace: Duration::from_secs(2),
+        poll_interval: Duration::from_millis(1),
+        accept_backoff_start: Duration::from_millis(1),
+        accept_backoff_max: Duration::from_millis(10),
+        sweep_interval: None,
+    }
+}
+
+/// Dial the pool: push the server end of a fresh duplex pipe into its
+/// accept queue and return the client end.
+fn dial(push: &QueuePusher<BoxedConn>) -> MemStream {
+    let (client, server) = duplex();
+    push.push(Box::new(server)).expect("accept queue open");
+    client
+}
+
+/// Dial with the server end wrapped in a configured [`FaultyTransport`].
+fn dial_faulty<F>(push: &QueuePusher<BoxedConn>, arm: F) -> MemStream
+where
+    F: FnOnce(FaultyTransport<MemStream>) -> FaultyTransport<MemStream>,
+{
+    let (client, server) = duplex();
+    push.push(Box::new(arm(FaultyTransport::new(server)))).expect("accept queue open");
+    client
+}
+
+/// Spin until `cond` holds (counters are updated by pool threads).
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Inject an `ECONNABORTED` and an `EMFILE` accept failure, then wait
+/// until the loop has retried past both.
+fn inject_accept_faults(push: &QueuePusher<BoxedConn>, stats: &net::NetStats) {
+    push.push_err(std::io::Error::new(
+        std::io::ErrorKind::ConnectionAborted,
+        "connection aborted before accept",
+    ));
+    push.push_err(std::io::Error::from_raw_os_error(24)); // EMFILE
+    wait_until("accept retries", || stats.accept_retries() >= 2);
+}
+
+const PASS: &str = "correct horse battery";
+
+#[test]
+fn myproxy_pool_survives_faults_sheds_and_drains() {
+    let w = GridWorld::new();
+    let (push, handle) = w.myproxy.serve_local(tight_cfg()).unwrap();
+    let stats = handle.stats();
+    let mut rng = test_drbg("robust myproxy");
+
+    // 1. Transient accept errors must not kill the loop.
+    inject_accept_faults(&push, &stats);
+
+    // 2. A half-open client occupies the only slot...
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    // 3. ...so the next client is refused in protocol, not hung.
+    let refused = w.myproxy_client.init(
+        dial(&push),
+        &w.alice,
+        &InitParams::new("alice", PASS),
+        &mut rng,
+        w.clock.now(),
+    );
+    let Err(MyProxyError::Gsi(GsiError::Denied(msg))) = refused else {
+        panic!("expected a busy refusal, got {refused:?}");
+    };
+    assert!(msg.contains("server busy"), "got: {msg}");
+    assert_eq!(stats.shed(), 1);
+
+    // 4. The handshake deadline evicts the half-open peer and frees
+    //    the slot; the loop it survived (1) keeps serving.
+    wait_until("half-open evicted", || stats.timeouts() >= 1 && stats.active() == 0);
+    w.myproxy_client
+        .init(dial(&push), &w.alice, &InitParams::new("alice", PASS), &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(w.myproxy.store().len(), 1);
+
+    // 5. Shutdown drains in-flight work and joins every thread.
+    let report = handle.shutdown();
+    assert!(report.drained, "pool should drain within the grace period");
+    assert_eq!(report.workers_joined, 1);
+    assert_eq!(report.aborted, 0);
+    assert_eq!(w.myproxy.store().len(), 1, "stored credential survives shutdown");
+}
+
+#[test]
+fn jobmanager_pool_survives_faults_sheds_and_drains() {
+    let w = GridWorld::new();
+    let cfg = ChannelConfig::new(vec![w.ca_cert.clone()]);
+    let (push, acceptor) = accept_queue::<BoxedConn>();
+    let handle = net::serve(acceptor, w.jobmanager.service(b"robust jm pool"), tight_cfg()).unwrap();
+    let stats = handle.stats();
+    let mut rng = test_drbg("robust jm");
+
+    inject_accept_faults(&push, &stats);
+
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    let refused = job::client::submit(
+        dial(&push),
+        &w.alice,
+        &cfg,
+        "shed-job",
+        1,
+        false,
+        false,
+        0,
+        &mut rng,
+        w.clock.now(),
+    );
+    let Err(GramError::Gsi(GsiError::Denied(msg))) = refused else {
+        panic!("expected a busy refusal, got {refused:?}");
+    };
+    assert!(msg.contains("server busy"), "got: {msg}");
+    assert_eq!(stats.shed(), 1);
+
+    wait_until("half-open evicted", || stats.timeouts() >= 1 && stats.active() == 0);
+    job::client::submit(
+        dial(&push),
+        &w.alice,
+        &cfg,
+        "ok-job",
+        1,
+        false,
+        false,
+        0,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+
+    let report = handle.shutdown();
+    assert!(report.drained);
+    assert_eq!(report.workers_joined, 1);
+}
+
+#[test]
+fn storage_pool_survives_faults_sheds_and_drains() {
+    let w = GridWorld::new();
+    let cfg = ChannelConfig::new(vec![w.ca_cert.clone()]);
+    let (push, acceptor) = accept_queue::<BoxedConn>();
+    let handle = net::serve(acceptor, w.storage.service(b"robust st pool"), tight_cfg()).unwrap();
+    let stats = handle.stats();
+    let mut rng = test_drbg("robust storage");
+
+    inject_accept_faults(&push, &stats);
+
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    let refused = storage::client::store(
+        dial(&push),
+        &w.alice,
+        &cfg,
+        "shed.dat",
+        b"refused",
+        &mut rng,
+        w.clock.now(),
+    );
+    let Err(GramError::Gsi(GsiError::Denied(msg))) = refused else {
+        panic!("expected a busy refusal, got {refused:?}");
+    };
+    assert!(msg.contains("server busy"), "got: {msg}");
+    assert_eq!(stats.shed(), 1);
+    assert_eq!(w.storage.file_count(), 0, "refused store must not write");
+
+    wait_until("half-open evicted", || stats.timeouts() >= 1 && stats.active() == 0);
+    storage::client::store(
+        dial(&push),
+        &w.alice,
+        &cfg,
+        "ok.dat",
+        b"stored",
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    assert_eq!(w.storage.file_count(), 1);
+
+    let report = handle.shutdown();
+    assert!(report.drained);
+    assert_eq!(report.workers_joined, 1);
+    assert_eq!(w.storage.file_count(), 1, "stored file survives shutdown");
+}
+
+/// A [`Connector`] dialing a pool's accept queue (for the browser).
+fn pool_connector(push: &QueuePusher<BoxedConn>) -> Connector {
+    let push = push.clone();
+    Arc::new(move || {
+        let (client, server) = duplex();
+        push.push(Box::new(server))?;
+        Ok(Box::new(client) as BoxedTransport)
+    })
+}
+
+#[test]
+fn portal_tls_pool_survives_faults_sheds_and_drains() {
+    let w = GridWorld::new();
+    let (push, acceptor) = accept_queue::<BoxedConn>();
+    let handle = net::serve(acceptor, w.portal.tls_service(), tight_cfg()).unwrap();
+    let stats = handle.stats();
+
+    inject_accept_faults(&push, &stats);
+
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    // Refusal arrives as a distinguishable TLS-level busy error.
+    let mut rng = test_drbg("robust portal tls shed");
+    let roots = [w.ca_cert.clone()];
+    let Err(err) = myproxy::portal::tls::connect(dial(&push), &roots, None, &mut rng, w.clock.now())
+    else {
+        panic!("handshake against a full pool unexpectedly succeeded");
+    };
+    assert!(err.to_string().contains("server busy"), "got: {err}");
+    assert_eq!(stats.shed(), 1);
+
+    wait_until("half-open evicted", || stats.timeouts() >= 1 && stats.active() == 0);
+
+    // A whole browser round trip over the pool still works.
+    let mut browser = Browser::new(
+        pool_connector(&push),
+        BrowserMode::Tls { roots: vec![w.ca_cert.clone()], expected: None },
+        HmacDrbg::new(b"robust tls browser"),
+        w.clock.now(),
+    );
+    let home = expect_ok(browser.get("/").unwrap()).unwrap();
+    assert!(home.text().contains("Grid Portal"));
+
+    let report = handle.shutdown();
+    assert!(report.drained);
+    assert_eq!(report.workers_joined, 1);
+}
+
+#[test]
+fn portal_plain_pool_survives_faults_sheds_and_drains() {
+    let w = GridWorld::new();
+    let (push, acceptor) = accept_queue::<BoxedConn>();
+    let handle = net::serve(acceptor, w.portal.plain_service(), tight_cfg()).unwrap();
+    let stats = handle.stats();
+
+    inject_accept_faults(&push, &stats);
+
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    // Refusal arrives as a real HTTP 503, not a dropped socket.
+    let mut refused = dial(&push);
+    let mut raw = Vec::new();
+    refused.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.contains("503"), "expected an HTTP 503, got: {text}");
+    assert!(text.contains("server busy"), "got: {text}");
+    assert_eq!(stats.shed(), 1);
+
+    wait_until("half-open evicted", || stats.timeouts() >= 1 && stats.active() == 0);
+
+    let mut browser = Browser::new(
+        pool_connector(&push),
+        BrowserMode::Plain,
+        HmacDrbg::new(b"robust plain browser"),
+        w.clock.now(),
+    );
+    let home = expect_ok(browser.get("/").unwrap()).unwrap();
+    assert!(home.text().contains("Grid Portal"));
+
+    let report = handle.shutdown();
+    assert!(report.drained);
+    assert_eq!(report.workers_joined, 1);
+}
+
+#[test]
+fn mid_handshake_disconnect_is_counted_and_survived() {
+    let w = GridWorld::new();
+    let (push, handle) = w.myproxy.serve_local(tight_cfg()).unwrap();
+    let stats = handle.stats();
+    let mut rng = test_drbg("robust handshake eof");
+
+    // The server reads the ClientHello (frame 1), then the peer is gone.
+    let conn = dial_faulty(&push, |f| f.eof_after_read_frames(1));
+    let res = w.myproxy_client.init(
+        conn,
+        &w.alice,
+        &InitParams::new("alice", PASS),
+        &mut rng,
+        w.clock.now(),
+    );
+    assert!(res.is_err(), "client must observe the broken handshake");
+    wait_until("channel failure counted", || {
+        w.myproxy.stats().channel_failures.load(Ordering::Relaxed) >= 1
+    });
+    wait_until("handler error counted", || stats.handler_errors() >= 1);
+    assert_eq!(w.myproxy.store().len(), 0);
+
+    // The pool is still alive afterwards.
+    w.myproxy_client
+        .init(dial(&push), &w.alice, &InitParams::new("alice", PASS), &mut rng, w.clock.now())
+        .unwrap();
+    drop(push);
+    let report = handle.join();
+    assert!(report.drained);
+}
+
+#[test]
+fn mid_delegation_disconnect_leaves_store_unchanged() {
+    let w = GridWorld::new();
+    let (push, handle) = w.myproxy.serve_local(tight_cfg()).unwrap();
+    let stats = handle.stats();
+    let mut rng = test_drbg("robust delegation eof");
+
+    // Server-side reads on a PUT: ClientHello, KeyExchange, client
+    // Finished, then the request record — the peer vanishes exactly
+    // when the delegation frames should follow.
+    let conn = dial_faulty(&push, |f| f.eof_after_read_frames(4));
+    let res = w.myproxy_client.init(
+        conn,
+        &w.alice,
+        &InitParams::new("alice", PASS),
+        &mut rng,
+        w.clock.now(),
+    );
+    assert!(res.is_err(), "client must observe the aborted delegation");
+    wait_until("handler error counted", || stats.handler_errors() >= 1);
+    assert_eq!(w.myproxy.store().len(), 0, "aborted PUT must not store anything");
+
+    drop(push);
+    let report = handle.join();
+    assert!(report.drained);
+    assert_eq!(w.myproxy.store().len(), 0);
+}
+
+#[test]
+fn maximal_fragmentation_does_not_break_framing() {
+    let w = GridWorld::new();
+    let (push, handle) = w.myproxy.serve_local(tight_cfg()).unwrap();
+    let mut rng = test_drbg("robust short reads");
+
+    // One byte per server-side read call: the framing layer must
+    // reassemble everything.
+    let conn = dial_faulty(&push, |f| f.short_reads());
+    w.myproxy_client
+        .init(conn, &w.alice, &InitParams::new("alice", PASS), &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(w.myproxy.store().len(), 1);
+
+    drop(push);
+    handle.join();
+}
+
+#[test]
+fn periodic_sweep_purges_expired_credentials() {
+    let w = GridWorld::new();
+    let mut cfg = tight_cfg();
+    cfg.sweep_interval = Some(Duration::from_millis(20));
+    let (push, handle) = w.myproxy.serve_local(cfg).unwrap();
+    let mut rng = test_drbg("robust sweep");
+
+    let mut params = InitParams::new("alice", PASS);
+    params.lifetime_secs = 100;
+    w.myproxy_client.init(dial(&push), &w.alice, &params, &mut rng, w.clock.now()).unwrap();
+    assert_eq!(w.myproxy.store().len(), 1);
+
+    // Expire the credential; the accept thread's sweep collects it
+    // without any client traffic.
+    w.clock.advance(1_000);
+    wait_until("sweep purge", || w.myproxy.store().len() == 0);
+    assert!(w.myproxy.stats().purged.load(Ordering::Relaxed) >= 1);
+
+    drop(push);
+    handle.shutdown();
+}
+
+#[test]
+fn info_path_purges_expired_credentials() {
+    let w = GridWorld::new();
+    let mut rng = test_drbg("robust info purge");
+
+    let mut params = InitParams::new("alice", PASS);
+    params.lifetime_secs = 100;
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &params, &mut rng, w.clock.now())
+        .unwrap();
+    let mut long = InitParams::new("alice", PASS);
+    long.cred_name = Some("longlived".into());
+    w.myproxy_client
+        .init(w.myproxy.connect_local(), &w.alice, &long, &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(w.myproxy.store().len(), 2);
+
+    w.clock.advance(1_000); // first credential now expired
+    let listed = w
+        .myproxy_client
+        .info(w.myproxy.connect_local(), &w.alice, "alice", PASS, &mut rng, w.clock.now())
+        .unwrap();
+    assert_eq!(listed.len(), 1, "INFO must not list the expired entry");
+    assert_eq!(w.myproxy.store().len(), 1, "INFO purges, not just filters");
+    assert!(w.myproxy.stats().purged.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn local_handler_threads_are_joined_not_leaked() {
+    let w = GridWorld::new();
+    let cfg = ChannelConfig::new(vec![w.ca_cert.clone()]);
+    let mut rng = test_drbg("robust drain");
+
+    w.alice_init(PASS).unwrap();
+    assert!(w.myproxy.drain_local_handlers() >= 1);
+
+    storage::client::store(
+        w.storage.connect_local(b"drain st"),
+        &w.alice,
+        &cfg,
+        "drain.dat",
+        b"x",
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    assert!(w.storage.drain_local_handlers() >= 1);
+
+    job::client::submit(
+        w.jobmanager.connect_local(b"drain jm"),
+        &w.alice,
+        &cfg,
+        "drain-job",
+        1,
+        false,
+        false,
+        0,
+        &mut rng,
+        w.clock.now(),
+    )
+    .unwrap();
+    assert!(w.jobmanager.drain_local_handlers() >= 1);
+}

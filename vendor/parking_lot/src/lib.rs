@@ -175,6 +175,19 @@ pub struct Condvar {
     inner: std::sync::Condvar,
 }
 
+/// Result of a [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed?
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 impl Condvar {
     pub const fn new() -> Self {
         Condvar {
@@ -190,6 +203,24 @@ impl Condvar {
             Err(p) => p.into_inner(),
         };
         guard.inner = Some(inner);
+    }
+
+    /// parking_lot-style timed wait. Returns a [`WaitTimeoutResult`]
+    /// telling the caller whether the wait hit the timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard already taken");
+        let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     pub fn notify_one(&self) -> bool {
@@ -224,6 +255,18 @@ mod tests {
         }
         assert!(*ready);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        // Guard is usable again after the timed wait.
+        drop(g);
+        let _ = m.lock();
     }
 
     #[test]
