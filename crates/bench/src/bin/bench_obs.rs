@@ -1,0 +1,99 @@
+//! `bench-obs`: smoke-run one iteration of every benchmark scenario
+//! in-process and dump the resulting mp-obs registry as
+//! `BENCH_obs.json`.
+//!
+//! CI runs this to guarantee two things the full criterion sweeps are
+//! too slow to gate on: (a) every instrumented hot path still records
+//! into its histogram (a zero-sample histogram fails the run), and
+//! (b) the latency catalog below stays in sync with the code — a
+//! renamed span shows up here as a missing histogram, not as a
+//! silently empty dashboard.
+
+use mp_bench::{bench_rng, GridWorld};
+use mp_myproxy::client::GetParams;
+use mp_portal::browser::expect_ok;
+use mp_x509::Clock;
+
+/// Span histograms every release must keep feeding: the GSI handshake
+/// phases, the delegation rounds, RSA primitives, the credential
+/// store, and the per-request service histograms.
+const CATALOG: &[&str] = &[
+    "gsi.handshake.client",
+    "gsi.handshake.server",
+    "gsi.handshake.validate",
+    "gsi.handshake.kex",
+    "gsi.delegate.issue",
+    "gsi.delegate.accept",
+    "crypto.rsa.sign",
+    "crypto.rsa.verify",
+    "crypto.rsa.keygen",
+    "store.put",
+    "store.open",
+    "myproxy.request",
+    "portal.request",
+];
+
+fn main() {
+    let w = GridWorld::new();
+    let mut rng = bench_rng("bench obs");
+
+    // F1: myproxy-init — handshake, PUT, delegation to the repository.
+    w.alice_init("bench pass phrase correct horse").expect("init");
+
+    // F2: myproxy-get-delegation — handshake, pass-phrase open, proxy
+    // delegation back out of the repository.
+    w.myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &GetParams::new("alice", "bench pass phrase correct horse"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .expect("get-delegation");
+
+    // F3: the portal round trip — login (which drives MyProxy GET on
+    // the user's behalf), a session page, logout.
+    let mut browser = w.browser("bench obs browser");
+    expect_ok(browser.login("alice", "bench pass phrase correct horse").expect("login io"))
+        .expect("login");
+    expect_ok(browser.get("/whoami").expect("whoami io")).expect("whoami");
+    expect_ok(browser.logout().expect("logout io")).expect("logout");
+
+    // One merged view: the repository's and portal's instance
+    // registries plus the process-global ambient span registry. Each
+    // source is merged exactly once — no double counting.
+    let snap = mp_obs::global()
+        .snapshot()
+        .merged(&w.myproxy.obs().snapshot())
+        .merged(&w.portal.obs().snapshot());
+
+    let mut failed = false;
+    for name in CATALOG {
+        match snap.histograms.get(*name) {
+            Some(h) if h.count > 0 => {
+                println!(
+                    "{name}: count={} p50={}us p99={}us max={}us",
+                    h.count,
+                    h.p50(),
+                    h.p99(),
+                    h.max
+                );
+            }
+            Some(_) => {
+                eprintln!("FAIL {name}: histogram exists but recorded zero samples");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL {name}: histogram missing from merged snapshot");
+                failed = true;
+            }
+        }
+    }
+
+    std::fs::write("BENCH_obs.json", snap.to_json()).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json ({} histograms)", snap.histograms.len());
+    if failed {
+        std::process::exit(1);
+    }
+}

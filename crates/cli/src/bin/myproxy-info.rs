@@ -10,7 +10,9 @@ use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
 const USAGE: &str = "usage:
   myproxy-info --server <host:port> --credential <user.pem> --trust-roots <dir>
                --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
-               [--server-dn <DN>]";
+               [--server-dn <DN>] [--metrics]
+
+  --metrics   also print the server's metrics snapshot (one line per metric)";
 
 fn main() {
     let args = match Args::from_env() {
@@ -29,17 +31,33 @@ fn run(args: &Args) -> Result<(), String> {
     let mut setup = ClientSetup::from_args(args)?;
     let username = args.require("username")?;
     let transport = setup.connect()?;
-    let infos = setup
-        .client
-        .info(
-            transport,
-            &setup.credential,
-            username,
-            &passphrase(args)?,
-            &mut setup.rng,
-            setup.now,
-        )
-        .map_err(|e| e.to_string())?;
+    let want_metrics = args.has("metrics");
+    let (infos, metrics) = if want_metrics {
+        setup
+            .client
+            .info_with_metrics(
+                transport,
+                &setup.credential,
+                username,
+                &passphrase(args)?,
+                &mut setup.rng,
+                setup.now,
+            )
+            .map_err(|e| e.to_string())?
+    } else {
+        let infos = setup
+            .client
+            .info(
+                transport,
+                &setup.credential,
+                username,
+                &passphrase(args)?,
+                &mut setup.rng,
+                setup.now,
+            )
+            .map_err(|e| e.to_string())?;
+        (infos, Vec::new())
+    };
     println!("{} credential(s) stored for '{username}':", infos.len());
     for i in infos {
         println!(
@@ -51,6 +69,12 @@ fn run(args: &Args) -> Result<(), String> {
             if i.long_term { " [long-term]" } else { "" },
             if i.renewable { " [renewable]" } else { "" },
         );
+    }
+    if want_metrics {
+        println!("server metrics:");
+        for line in metrics {
+            println!("  {line}");
+        }
     }
     Ok(())
 }

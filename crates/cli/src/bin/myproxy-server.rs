@@ -101,14 +101,17 @@ fn run(args: &Args) -> Result<(), String> {
     );
 
     // Bounded worker pool with a persistence hook after each connection
-    // and a periodic expired-credential sweep.
+    // and a periodic expired-credential sweep. Pool counters intern into
+    // the server's registry as `net.myproxy.*`, so `INFO` with
+    // `METRICS=1` reports them alongside the request counters.
+    let obs = server.obs().clone();
     let service = Arc::new(PersistingService {
         server,
         store_dir,
         persist_lock: std::sync::Mutex::new(()),
     });
     let acceptor = TcpAcceptor::new(listener).map_err(|e| format!("listener setup: {e}"))?;
-    let handle = net::serve(acceptor, service, NetConfig::default())
+    let handle = net::serve_scoped(acceptor, service, NetConfig::default(), &obs, "myproxy")
         .map_err(|e| format!("cannot start worker pool: {e}"))?;
     // Runs until the listener dies (fatal accept error); then drain.
     let report = handle.join();

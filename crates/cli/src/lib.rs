@@ -25,7 +25,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["help", "limited", "verbose"];
+const SWITCHES: &[&str] = &["help", "limited", "verbose", "metrics"];
 
 impl Args {
     /// Parse `std::env::args()`.

@@ -276,6 +276,30 @@ impl MyProxyClient {
         resp.all("CRED").iter().map(|line| parse_cred_info(line)).collect()
     }
 
+    /// `myproxy-info --metrics`: the INFO listing plus the server's
+    /// registry snapshot, one compact `name value`/percentile line per
+    /// metric (see [`mp_obs::render_compact`] for the line shapes).
+    pub fn info_with_metrics<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<(Vec<CredInfo>, Vec<String>)> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let req = Request::new(Command::Info)
+            .field(field::USERNAME, username)
+            .field(field::PASSPHRASE, passphrase)
+            .field("METRICS", "1");
+        let resp = Self::transact(&mut channel, &req)?;
+        let infos: Result<Vec<CredInfo>> =
+            resp.all("CRED").iter().map(|line| parse_cred_info(line)).collect();
+        let metrics = resp.all("METRIC").iter().map(|s| s.to_string()).collect();
+        Ok((infos?, metrics))
+    }
+
     /// `myproxy-destroy` (§4.1): remove a stored credential.
     pub fn destroy<T: Transport, R: Rng + ?Sized>(
         &self,

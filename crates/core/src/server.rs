@@ -24,36 +24,49 @@ use mp_gsi::net::{
 use mp_gsi::transport::Transport;
 use mp_gsi::wire::{WireReader, WireWriter};
 use mp_gsi::{ChannelConfig, Credential, GsiError, SecureChannel};
+use mp_obs::{Counter, Histogram, Registry, Snapshot};
 use mp_x509::{validate_chain, Certificate, Clock, ProxyPolicy};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Operation counters, readable while the server runs.
-#[derive(Default)]
+///
+/// Each counter is an `mp_obs` handle interned into the server's own
+/// [`Registry`] under `myproxy.*`, so the same cells feed both these
+/// accessors and the INFO metrics snapshot. Reads and writes use
+/// mp-obs's single documented ordering (`Relaxed`).
+#[derive(Clone)]
 pub struct ServerStats {
     /// Successful PUT/STORE operations.
-    pub puts: AtomicU64,
+    pub puts: Counter,
     /// Successful GET/OTP_GET/RENEW delegations.
-    pub gets: AtomicU64,
+    pub gets: Counter,
     /// Requests refused for any reason.
-    pub denials: AtomicU64,
+    pub denials: Counter,
     /// Connections that failed before a request was read.
-    pub channel_failures: AtomicU64,
+    pub channel_failures: Counter,
     /// Error responses we could not deliver (peer gone mid-reply).
-    pub send_failures: AtomicU64,
+    pub send_failures: Counter,
     /// Detached handler threads that ended in an error after the
     /// response path was no longer available to report it.
-    pub handler_errors: AtomicU64,
+    pub handler_errors: Counter,
     /// Expired credentials removed by the periodic sweep and the
     /// INFO-path purge.
-    pub purged: AtomicU64,
+    pub purged: Counter,
 }
 
 impl ServerStats {
-    fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn registered(obs: &Registry) -> Self {
+        ServerStats {
+            puts: obs.counter("myproxy.puts"),
+            gets: obs.counter("myproxy.gets"),
+            denials: obs.counter("myproxy.denials"),
+            channel_failures: obs.counter("myproxy.channel_failures"),
+            send_failures: obs.counter("myproxy.send_failures"),
+            handler_errors: obs.counter("myproxy.handler_errors"),
+            purged: obs.counter("myproxy.purged"),
+        }
     }
 }
 
@@ -67,7 +80,15 @@ struct ServerState {
     rng: Mutex<HmacDrbg>,
     /// In-memory master key sealing renewal copies (see store docs).
     master_key: Secret<[u8; 32]>,
+    /// Per-instance metrics registry: `myproxy.*` counters, the
+    /// `myproxy.request` latency histogram, and (via `serve_scoped`)
+    /// this server's pool counters. Kept per instance, not global, so
+    /// parallel tests with several servers in one process stay
+    /// isolated; ambient spans land in [`mp_obs::global`] and the two
+    /// are merged at scrape time.
+    obs: Arc<Registry>,
     stats: ServerStats,
+    request_hist: Histogram,
     /// Revocation lists consulted on every authentication; operators
     /// install fresh ones with [`MyProxyServer::add_crl`] while the
     /// server runs (§2.1: revocation is the PKI's theft response).
@@ -115,6 +136,9 @@ impl MyProxyServer {
         master_key: [u8; 32],
     ) -> Self {
         let store = CredStore::new(policy.pbkdf2_iterations);
+        let obs = Arc::new(Registry::new());
+        let stats = ServerStats::registered(&obs);
+        let request_hist = obs.histogram("myproxy.request");
         MyProxyServer {
             state: Arc::new(ServerState {
                 credential,
@@ -125,7 +149,9 @@ impl MyProxyServer {
                 clock,
                 rng: Mutex::new(rng),
                 master_key: Secret::new(master_key),
-                stats: ServerStats::default(),
+                obs,
+                stats,
+                request_hist,
                 crls: parking_lot::RwLock::new(Vec::new()),
                 local_handlers: HandlerSet::new(),
             }),
@@ -166,6 +192,20 @@ impl MyProxyServer {
         &self.state.stats
     }
 
+    /// This server's metrics registry (counters, request latency, pool
+    /// stats when served via the pool helpers).
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.state.obs
+    }
+
+    /// Everything observable about this server: its instance registry
+    /// merged with the process-global ambient spans (handshake phases,
+    /// delegation rounds, RSA timing, store latencies). This is what
+    /// the extended INFO response renders.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.state.obs.snapshot().merged(&mp_obs::global().snapshot())
+    }
+
     /// The server's identity DN (clients pin this).
     pub fn identity(&self) -> mp_x509::Dn {
         self.state.credential.subject().clone()
@@ -184,7 +224,7 @@ impl MyProxyServer {
     pub fn purge_expired(&self) -> usize {
         let n = self.state.store.purge_expired(self.state.clock.now());
         if n > 0 {
-            self.state.stats.purged.fetch_add(n as u64, Ordering::Relaxed);
+            self.state.stats.purged.add(n as u64);
         }
         n
     }
@@ -227,7 +267,7 @@ impl MyProxyServer {
         ) {
             Ok(ch) => Ok(ch),
             Err(e) => {
-                self.state.stats.bump(&self.state.stats.channel_failures);
+                self.state.stats.channel_failures.inc();
                 Err(e.into())
             }
         }
@@ -239,6 +279,9 @@ impl MyProxyServer {
         channel: &mut SecureChannel<T>,
         rng: &mut HmacDrbg,
     ) -> crate::Result<()> {
+        // Whole-request latency (parse + dispatch + sub-protocols),
+        // recorded for error paths too.
+        let _timer = self.state.request_hist.timer();
         let req_text = channel.recv()?;
         let req_text = String::from_utf8(req_text)
             .map_err(|_| MyProxyError::Protocol("request not UTF-8".into()))?;
@@ -249,7 +292,7 @@ impl MyProxyServer {
                     .send(Response::error(format!("{e}")).to_text().as_bytes())
                     .is_err()
                 {
-                    self.state.stats.bump(&self.state.stats.send_failures);
+                    self.state.stats.send_failures.inc();
                 }
                 return Err(e);
             }
@@ -257,14 +300,14 @@ impl MyProxyServer {
 
         let result = self.dispatch(channel, &request, rng);
         if let Err(e) = &result {
-            self.state.stats.bump(&self.state.stats.denials);
+            self.state.stats.denials.inc();
             // Best-effort error response; the channel may already be gone,
             // in which case the failure is still visible in the counters.
             if channel
                 .send(Response::error(format!("{e}")).to_text().as_bytes())
                 .is_err()
             {
-                self.state.stats.bump(&self.state.stats.send_failures);
+                self.state.stats.send_failures.inc();
             }
         }
         result
@@ -370,7 +413,7 @@ impl MyProxyServer {
                 SecretBox::seal(st.master_key.expose(), credential.to_pem().as_bytes(), 1, &entropy);
             st.store.make_renewable(&username, &name, &pattern, sealed);
         }
-        st.stats.bump(&st.stats.puts);
+        st.stats.puts.inc();
 
         let not_after = credential
             .chain()
@@ -469,7 +512,7 @@ impl MyProxyServer {
             path_len: None,
         };
         delegate(channel, &credential, &deleg_policy, rng, now)?;
-        st.stats.bump(&st.stats.gets);
+        st.stats.gets.inc();
         Ok(())
     }
 
@@ -498,7 +541,10 @@ impl MyProxyServer {
         Ok(())
     }
 
-    /// INFO (`myproxy-info`).
+    /// INFO (`myproxy-info`). With `METRICS=1` in the request, the
+    /// response additionally carries one `METRIC` field per registered
+    /// metric — the same registry snapshot `GET /metrics` renders on
+    /// the portal, in [`mp_obs::render_compact`] form.
     fn handle_info<T: Transport>(
         &self,
         channel: &mut SecureChannel<T>,
@@ -533,6 +579,11 @@ impl MyProxyServer {
                     render_tags(&e.tags),
                 ),
             );
+        }
+        if request.get("METRICS") == Some("1") {
+            for line in mp_obs::render_compact(&self.metrics_snapshot()) {
+                resp = resp.with_field("METRIC", &line);
+            }
         }
         channel.send(resp.to_text().as_bytes())?;
         Ok(())
@@ -654,7 +705,7 @@ impl MyProxyServer {
             path_len: None,
         };
         delegate(channel, &credential, &deleg_policy, rng, now)?;
-        st.stats.bump(&st.stats.gets);
+        st.stats.gets.inc();
         Ok(())
     }
 
@@ -667,13 +718,13 @@ impl MyProxyServer {
         let server = self.clone();
         let spawned = self.state.local_handlers.spawn("myproxy-conn", move || {
             if server.handle(server_end).is_err() {
-                server.state.stats.bump(&server.state.stats.handler_errors);
+                server.state.stats.handler_errors.inc();
             }
         });
         // A failed spawn drops the server end, so the client sees EOF;
         // count it where detached-handler failures are counted.
         if spawned.is_err() {
-            self.state.stats.bump(&self.state.stats.handler_errors);
+            self.state.stats.handler_errors.inc();
         }
         client_end
     }
@@ -706,7 +757,7 @@ impl MyProxyServer {
         listener: std::net::TcpListener,
         cfg: NetConfig,
     ) -> std::io::Result<ShutdownHandle> {
-        net::serve(TcpAcceptor::new(listener)?, self.service(), cfg)
+        net::serve_scoped(TcpAcceptor::new(listener)?, self.service(), cfg, &self.state.obs, "myproxy")
     }
 
     /// Serve in-memory connections on the same pool machinery: push
@@ -718,7 +769,7 @@ impl MyProxyServer {
         cfg: NetConfig,
     ) -> std::io::Result<(QueuePusher<BoxedConn>, ShutdownHandle)> {
         let (push, acceptor) = accept_queue::<BoxedConn>();
-        let handle = net::serve(acceptor, self.service(), cfg)?;
+        let handle = net::serve_scoped(acceptor, self.service(), cfg, &self.state.obs, "myproxy")?;
         Ok((push, handle))
     }
 }
@@ -751,7 +802,7 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for MyProxyService {
         // Refuse in-protocol so the client gets "server busy", not a
         // hang; the peer may already be gone, which the counters show.
         if send_busy(&mut conn, "connection limit reached").is_err() {
-            self.server.state.stats.bump(&self.server.state.stats.send_failures);
+            self.server.state.stats.send_failures.inc();
         }
     }
 

@@ -14,6 +14,7 @@
 use crate::MyProxyError;
 use mp_crypto::ctr::SecretBox;
 use mp_gsi::Credential;
+use mp_obs::Span;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::HashMap;
@@ -91,6 +92,8 @@ impl CredStore {
         tags: Vec<(String, String)>,
         rng: &mut R,
     ) {
+        // Dominated by the PBKDF2 seal; `store.put` tracks it.
+        let _span = Span::enter("store.put");
         let pem = credential.to_pem();
         let mut entropy = [0u8; 32];
         rng.fill(&mut entropy);
@@ -176,6 +179,9 @@ impl CredStore {
         name: &str,
         passphrase: &str,
     ) -> Result<(Credential, StoredCredential), MyProxyError> {
+        // Auth failures record too — a brute-force attempt shows up as
+        // a pile of `store.open` samples next to bumped denials.
+        let _span = Span::enter("store.open");
         let entries = self.entries.read();
         let entry = entries
             .get(&(username.to_string(), name.to_string()))
@@ -251,6 +257,7 @@ impl CredStore {
     /// were removed. (The paper's backstop: stolen repository contents
     /// age out, §4.3.)
     pub fn purge_expired(&self, now: u64) -> usize {
+        let _span = Span::enter("store.purge");
         let mut entries = self.entries.write();
         let before = entries.len();
         entries.retain(|_, e| e.not_after > now);

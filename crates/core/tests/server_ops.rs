@@ -81,7 +81,7 @@ fn figure1_myproxy_init_stores_sealed_credential() {
     let not_after = do_init(&w, &InitParams::new("alice", "correct horse battery")).unwrap();
     assert_eq!(not_after, 1000 + 7 * 24 * 3600, "one-week default (§4.1)");
     assert_eq!(w.server.store().len(), 1);
-    assert_eq!(w.server.stats().puts.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(w.server.stats().puts.get(), 1);
 
     // §5.1: what's on the server is sealed — no plaintext PEM markers.
     for blob in w.server.store().raw_dump() {
@@ -643,7 +643,7 @@ fn concurrent_retrievals_scale() {
     // Counters bump in handler threads after the client completes; poll.
     let mut gets = 0;
     for _ in 0..100 {
-        gets = w.server.stats().gets.load(std::sync::atomic::Ordering::Relaxed);
+        gets = w.server.stats().gets.get();
         if gets == 8 {
             break;
         }

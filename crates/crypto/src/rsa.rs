@@ -7,6 +7,7 @@
 
 use crate::sha256;
 use mp_bignum::{gen_prime, BigUint};
+use mp_obs::Span;
 use rand::Rng;
 
 /// DER prefix of `DigestInfo` for SHA-256 (RFC 8017 §9.2 note 1).
@@ -77,6 +78,7 @@ impl RsaPublicKey {
 
     /// Verify a PKCS#1 v1.5 SHA-256 signature over `message`.
     pub fn verify(&self, message: &[u8], signature: &[u8]) -> Result<(), RsaError> {
+        let _span = Span::enter("crypto.rsa.verify");
         let k = self.size_bytes();
         if signature.len() != k {
             return Err(RsaError::Invalid);
@@ -128,6 +130,7 @@ impl RsaPrivateKey {
     /// deployments use 1024+ — tests use small keys for speed, and the
     /// `op_latency` bench sweeps 512..2048).
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        let _span = Span::enter("crypto.rsa.keygen");
         assert!(bits >= 256, "RSA modulus below 256 bits cannot frame PKCS#1 blocks");
         assert!(bits.is_multiple_of(2), "modulus bits must be even");
         let e = BigUint::from_u64(65537);
@@ -196,6 +199,7 @@ impl RsaPrivateKey {
 
     /// Sign `message` with RSASSA-PKCS1-v1_5 / SHA-256.
     pub fn sign(&self, message: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let _span = Span::enter("crypto.rsa.sign");
         let k = self.public.size_bytes();
         let em = emsa_pkcs1_v15(message, k)?;
         let m = BigUint::from_be_bytes(&em);

@@ -22,6 +22,7 @@ use mp_gsi::net::{
 };
 use mp_gsi::transport::Transport;
 use mp_gsi::{ChannelConfig, Credential, Gridmap, SecureChannel};
+use mp_obs::{Counter, Registry};
 use mp_x509::{Certificate, Clock};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
@@ -71,10 +72,15 @@ struct JmState {
     clock: Arc<dyn Clock>,
     gridmap: Gridmap,
     jobs: RwLock<HashMap<u64, Job>>,
+    /// ID allocator — deliberately NOT an mp-obs metric: it is program
+    /// state (uniqueness matters, observability does not).
     next_id: AtomicU64,
+    /// This service's metrics registry (`gram.job.*`; pool counters
+    /// land here via `serve_scoped`).
+    obs: Arc<Registry>,
     /// Detached handler threads that ended in an error (protocol
     /// failure or denial) with nobody left to report it to.
-    handler_errors: AtomicU64,
+    handler_errors: Counter,
     /// Where completed jobs store output (in-process handle; the real
     /// system would dial a GridFTP server).
     storage: Option<(MassStorage, ChannelConfig)>,
@@ -101,6 +107,7 @@ impl JobManager {
     ) -> Self {
         // Job managers refuse limited proxies (pre-RFC GSI semantics).
         let channel_cfg = ChannelConfig::new(trust_roots).rejecting_limited();
+        let obs = Arc::new(Registry::new());
         JobManager {
             inner: Arc::new(JmState {
                 name: name.to_string(),
@@ -110,7 +117,8 @@ impl JobManager {
                 gridmap,
                 jobs: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
-                handler_errors: AtomicU64::new(0),
+                handler_errors: obs.counter("gram.job.handler_errors"),
+                obs,
                 storage,
                 local_handlers: HandlerSet::new(),
             }),
@@ -135,7 +143,12 @@ impl JobManager {
     /// Detached connections that ended in an error (`connect_local`
     /// threads have no caller to return their `Result` to).
     pub fn handler_errors(&self) -> u64 {
-        self.inner.handler_errors.load(Ordering::Relaxed)
+        self.inner.handler_errors.get()
+    }
+
+    /// This job manager's metrics registry.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.inner.obs
     }
 
     /// Serve one connection (SUBMIT / STATUS / CANCEL).
@@ -393,11 +406,11 @@ impl JobManager {
         let spawned = self.inner.local_handlers.spawn("gram-conn", move || {
             let mut rng = HmacDrbg::new(&seed);
             if service.handle(server_end, &mut rng).is_err() {
-                service.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+                service.inner.handler_errors.inc();
             }
         });
         if spawned.is_err() {
-            self.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.handler_errors.inc();
         }
         client_end
     }
@@ -434,7 +447,13 @@ impl JobManager {
         rng_seed: &[u8],
         cfg: NetConfig,
     ) -> std::io::Result<ShutdownHandle> {
-        net::serve(TcpAcceptor::new(listener)?, self.service(rng_seed), cfg)
+        net::serve_scoped(
+            TcpAcceptor::new(listener)?,
+            self.service(rng_seed),
+            cfg,
+            &self.inner.obs,
+            "gram.job",
+        )
     }
 }
 
@@ -461,7 +480,7 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for JobManagerService 
 
     fn shed(&self, mut conn: C) {
         if send_busy(&mut conn, "connection limit reached").is_err() {
-            self.jm.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+            self.jm.inner.handler_errors.inc();
         }
     }
 }

@@ -17,11 +17,11 @@ use mp_gsi::net::{
 };
 use mp_gsi::transport::Transport;
 use mp_gsi::{ChannelConfig, Credential, Gridmap, SecureChannel};
+use mp_obs::{Counter, Registry};
 use mp_x509::{Certificate, Clock};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -50,9 +50,12 @@ struct StorageState {
     gridmap: Gridmap,
     clock: Arc<dyn Clock>,
     files: RwLock<HashMap<(String, String), StoredFile>>, // (user, filename)
+    /// This service's metrics registry (`gram.storage.*`; pool
+    /// counters land here via `serve_scoped`).
+    obs: Arc<Registry>,
     /// Detached handler threads that ended in an error (protocol
     /// failure or denial) with nobody left to report it to.
-    handler_errors: AtomicU64,
+    handler_errors: Counter,
     /// Handler threads from `connect_local`, tracked so shutdown can
     /// join them instead of racing process exit.
     local_handlers: HandlerSet,
@@ -67,6 +70,7 @@ impl MassStorage {
         gridmap: Gridmap,
         clock: Arc<dyn Clock>,
     ) -> Self {
+        let obs = Arc::new(Registry::new());
         MassStorage {
             inner: Arc::new(StorageState {
                 name: name.to_string(),
@@ -75,7 +79,8 @@ impl MassStorage {
                 gridmap,
                 clock,
                 files: RwLock::new(HashMap::new()),
-                handler_errors: AtomicU64::new(0),
+                handler_errors: obs.counter("gram.storage.handler_errors"),
+                obs,
                 local_handlers: HandlerSet::new(),
             }),
         }
@@ -94,7 +99,12 @@ impl MassStorage {
     /// Detached connections that ended in an error (`connect_local`
     /// threads have no caller to return their `Result` to).
     pub fn handler_errors(&self) -> u64 {
-        self.inner.handler_errors.load(Ordering::Relaxed)
+        self.inner.handler_errors.get()
+    }
+
+    /// This storage service's metrics registry.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.inner.obs
     }
 
     /// Direct (test) access to a stored file.
@@ -227,11 +237,11 @@ impl MassStorage {
         let spawned = self.inner.local_handlers.spawn("storage-conn", move || {
             let mut rng = HmacDrbg::new(&seed);
             if service.handle(server_end, &mut rng).is_err() {
-                service.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+                service.inner.handler_errors.inc();
             }
         });
         if spawned.is_err() {
-            self.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.handler_errors.inc();
         }
         client_end
     }
@@ -268,7 +278,13 @@ impl MassStorage {
         rng_seed: &[u8],
         cfg: NetConfig,
     ) -> std::io::Result<ShutdownHandle> {
-        net::serve(TcpAcceptor::new(listener)?, self.service(rng_seed), cfg)
+        net::serve_scoped(
+            TcpAcceptor::new(listener)?,
+            self.service(rng_seed),
+            cfg,
+            &self.inner.obs,
+            "gram.storage",
+        )
     }
 }
 
@@ -295,7 +311,7 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for MassStorageService
 
     fn shed(&self, mut conn: C) {
         if send_busy(&mut conn, "connection limit reached").is_err() {
-            self.storage.inner.handler_errors.fetch_add(1, Ordering::Relaxed);
+            self.storage.inner.handler_errors.inc();
         }
     }
 }

@@ -30,6 +30,7 @@ use crate::wire::{WireReader, WireWriter};
 use crate::{GsiError, Result};
 use mp_crypto::hmac::HmacSha256;
 use mp_crypto::{ct_eq, Sha256};
+use mp_obs::Span;
 use mp_x509::{validate_chain, Certificate, CertRevocationList, Dn, ValidatedChain, ValidationOptions};
 use rand::Rng;
 
@@ -171,6 +172,9 @@ impl<T: Transport> SecureChannel<T> {
         rng: &mut R,
         now: u64,
     ) -> Result<Self> {
+        // Records into `gsi.handshake.client` on every exit — success
+        // or error — so refused/aborted handshakes still show up.
+        let _span = Span::enter("gsi.handshake.client");
         let mut transcript = Sha256::new();
 
         // -> ClientHello
@@ -199,9 +203,13 @@ impl<T: Transport> SecureChannel<T> {
             .map_err(|_| GsiError::Protocol("bad server random".into()))?;
         let server_chain_der = r.byte_list()?;
         r.finish()?;
-        let (server_validated, server_chain) = validate_peer(&server_chain_der, config, now)?;
+        let (server_validated, server_chain) = {
+            let _v = Span::enter("gsi.handshake.validate");
+            validate_peer(&server_chain_der, config, now)?
+        };
 
         // -> KeyExchange
+        let kex_span = Span::enter("gsi.handshake.kex");
         let mut premaster = [0u8; 48];
         rng.fill(&mut premaster);
         let server_leaf = server_chain
@@ -224,6 +232,7 @@ impl<T: Transport> SecureChannel<T> {
             .key()
             .sign(&digest)
             .map_err(|_| GsiError::Crypto("transcript signing failed"))?;
+        drop(kex_span); // premaster made+encrypted, transcript signed
 
         let mut kx = WireWriter::new();
         kx.u8(MSG_KEY_EXCHANGE);
@@ -270,6 +279,8 @@ impl<T: Transport> SecureChannel<T> {
         rng: &mut R,
         now: u64,
     ) -> Result<Self> {
+        // Records into `gsi.handshake.server` on every exit path.
+        let _span = Span::enter("gsi.handshake.server");
         let mut transcript = Sha256::new();
 
         // <- ClientHello
@@ -304,8 +315,12 @@ impl<T: Transport> SecureChannel<T> {
         let signature = r.bytes()?.to_vec();
         r.finish()?;
 
-        let (client_validated, _client_chain) = validate_peer(&client_chain_der, config, now)?;
+        let (client_validated, _client_chain) = {
+            let _v = Span::enter("gsi.handshake.validate");
+            validate_peer(&client_chain_der, config, now)?
+        };
 
+        let kex_span = Span::enter("gsi.handshake.kex");
         // Verify the client's transcript signature with its leaf key —
         // this is its proof of possession.
         let mut to_sign = transcript.clone();
@@ -328,6 +343,7 @@ impl<T: Transport> SecureChannel<T> {
         if premaster.len() != 48 {
             return Err(GsiError::Crypto("premaster has wrong length"));
         }
+        drop(kex_span); // client proof verified, premaster recovered
 
         let keys = derive_keys(&premaster, &random_c, &random_s);
         let transcript_hash = transcript.finalize();

@@ -17,6 +17,7 @@ use crate::transport::Transport;
 use crate::wire::{WireReader, WireWriter};
 use crate::{GsiError, Result};
 use mp_crypto::rsa::RsaPrivateKey;
+use mp_obs::Span;
 use mp_x509::{Certificate, CertRequest, ProxyPolicy};
 use rand::Rng;
 
@@ -50,6 +51,8 @@ pub fn accept_delegation<T: Transport, R: Rng + ?Sized>(
     key_bits: usize,
     rng: &mut R,
 ) -> Result<Credential> {
+    // One delegation round on the receiving side, keygen included.
+    let _span = Span::enter("gsi.delegate.accept");
     let key = RsaPrivateKey::generate(rng, key_bits);
     // The CSR subject is advisory — the delegator constructs the real
     // subject from its own DN. We request under our eventual parent's
@@ -93,6 +96,8 @@ pub fn delegate<T: Transport, R: Rng + ?Sized>(
     rng: &mut R,
     now: u64,
 ) -> Result<Certificate> {
+    // One delegation round on the issuing side (refusals included).
+    let _span = Span::enter("gsi.delegate.issue");
     let req = channel.recv()?;
     let mut r = WireReader::new(&req);
     let requested = r.u64()?;

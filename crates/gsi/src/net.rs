@@ -30,11 +30,12 @@
 //! boundaries, used by `tests/robustness.rs` to prove the above.
 
 use crate::transport::MemStream;
+use mp_obs::{Counter, Gauge, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -85,60 +86,80 @@ impl Default for NetConfig {
 
 /// Counters exported by a pool. All monotonic except `active`, which is
 /// a gauge of connections admitted but not yet finished.
-#[derive(Default)]
+///
+/// These are `mp_obs` metric handles: [`serve`] gives each pool a
+/// private detached set, while [`serve_scoped`] interns them into a
+/// caller-supplied [`Registry`] under `net.<scope>.*` so they show up
+/// on that service's scrape surface. Either way the cells follow
+/// mp-obs's one documented ordering (`Relaxed`) — this replaced the
+/// previous `AcqRel`/`Acquire` pairing here, which implied a
+/// cross-memory synchronization guarantee no reader may rely on.
+#[derive(Clone, Default)]
 pub struct NetStats {
-    accepted: AtomicU64,
-    active: AtomicU64,
-    shed: AtomicU64,
-    timeouts: AtomicU64,
-    handler_errors: AtomicU64,
-    accept_retries: AtomicU64,
-    completed: AtomicU64,
-    aborted: AtomicU64,
-    panics: AtomicU64,
+    accepted: Counter,
+    active: Gauge,
+    shed: Counter,
+    timeouts: Counter,
+    handler_errors: Counter,
+    accept_retries: Counter,
+    completed: Counter,
+    aborted: Counter,
+    panics: Counter,
 }
 
 impl NetStats {
+    /// Intern this stat set into `registry` as `net.<scope>.*`.
+    pub fn scoped(registry: &Registry, scope: &str) -> Self {
+        let m = |field: &str| registry.counter(&format!("net.{scope}.{field}"));
+        NetStats {
+            accepted: m("accepted"),
+            active: registry.gauge(&format!("net.{scope}.active")),
+            shed: m("shed"),
+            timeouts: m("timeouts"),
+            handler_errors: m("handler_errors"),
+            accept_retries: m("accept_retries"),
+            completed: m("completed"),
+            aborted: m("aborted"),
+            panics: m("panics"),
+        }
+    }
+
     /// Connections the listener handed us (including ones later shed).
     pub fn accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Acquire)
+        self.accepted.get()
     }
     /// Connections admitted and not yet finished (queued + in flight).
     pub fn active(&self) -> u64 {
-        self.active.load(Ordering::Acquire)
+        self.active.get()
     }
     /// Connections refused at the cap with a BUSY frame.
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Acquire)
+        self.shed.get()
     }
     /// Handlers that ended by deadline eviction.
     pub fn timeouts(&self) -> u64 {
-        self.timeouts.load(Ordering::Acquire)
+        self.timeouts.get()
     }
     /// Handlers that ended in a non-timeout error.
     pub fn handler_errors(&self) -> u64 {
-        self.handler_errors.load(Ordering::Acquire)
+        self.handler_errors.get()
     }
     /// Transient accept errors survived via backoff.
     pub fn accept_retries(&self) -> u64 {
-        self.accept_retries.load(Ordering::Acquire)
+        self.accept_retries.get()
     }
     /// Handlers that completed cleanly.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Acquire)
+        self.completed.get()
     }
     /// Connections dropped from the queue at shutdown, never served.
     pub fn aborted(&self) -> u64 {
-        self.aborted.load(Ordering::Acquire)
+        self.aborted.get()
     }
     /// Pool threads (accept or worker) that terminated by panicking.
     pub fn panics(&self) -> u64 {
-        self.panics.load(Ordering::Acquire)
+        self.panics.get()
     }
-}
-
-fn bump(counter: &AtomicU64) {
-    counter.fetch_add(1, Ordering::AcqRel);
 }
 
 /// How one handled connection ended, for the pool's accounting.
@@ -420,8 +441,8 @@ impl<C: Send> PoolControl for PoolShared<C> {
             n
         };
         for _ in 0..dropped {
-            bump(&self.stats.aborted);
-            self.stats.active.fetch_sub(1, Ordering::AcqRel);
+            self.stats.aborted.inc();
+            self.stats.active.dec();
         }
         dropped
     }
@@ -453,11 +474,11 @@ where
         // any pool lock.
         let outcome = service.handle(conn, idle);
         match outcome {
-            Outcome::Ok => bump(&shared.stats.completed),
-            Outcome::Timeout => bump(&shared.stats.timeouts),
-            Outcome::Error => bump(&shared.stats.handler_errors),
+            Outcome::Ok => shared.stats.completed.inc(),
+            Outcome::Timeout => shared.stats.timeouts.inc(),
+            Outcome::Error => shared.stats.handler_errors.inc(),
         }
-        shared.stats.active.fetch_sub(1, Ordering::AcqRel);
+        shared.stats.active.dec();
     }
 }
 
@@ -482,16 +503,16 @@ where
         match acceptor.poll_accept() {
             Ok(conn) => {
                 backoff = cfg.accept_backoff_start;
-                bump(&shared.stats.accepted);
+                shared.stats.accepted.inc();
                 // Arm the handshake deadline before the connection can
                 // block anyone — including the shed path right below.
                 conn.set_deadlines(cfg.handshake_deadline, cfg.handshake_deadline);
                 if shared.stats.active() >= cfg.max_connections as u64 {
-                    bump(&shared.stats.shed);
+                    shared.stats.shed.inc();
                     service.shed(conn);
                     continue;
                 }
-                shared.stats.active.fetch_add(1, Ordering::AcqRel);
+                shared.stats.active.inc();
                 {
                     let mut q = shared.queue.lock();
                     q.push_back(conn);
@@ -501,7 +522,7 @@ where
             Err(e) => match classify_accept_error(&e) {
                 AcceptDisposition::Idle => std::thread::sleep(cfg.poll_interval),
                 AcceptDisposition::Transient => {
-                    bump(&shared.stats.accept_retries);
+                    shared.stats.accept_retries.inc();
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2).min(cfg.accept_backoff_max);
                 }
@@ -597,7 +618,7 @@ impl ShutdownHandle {
 /// [`NetStats::panics`] rather than silently discarded.
 fn join_counting_panics(h: JoinHandle<()>, stats: &NetStats) {
     if h.join().is_err() {
-        bump(&stats.panics);
+        stats.panics.inc();
     }
 }
 
@@ -610,14 +631,49 @@ impl Drop for ShutdownHandle {
 }
 
 /// Start a pool: one accept thread polling `acceptor`, `cfg.workers`
-/// worker threads driving `service`.
+/// worker threads driving `service`. The pool's [`NetStats`] are
+/// private to the returned handle; use [`serve_scoped`] to surface them
+/// on a service's scrape registry.
 pub fn serve<A, S>(acceptor: A, service: Arc<S>, cfg: NetConfig) -> io::Result<ShutdownHandle>
 where
     A: Acceptor,
     A::Conn: DeadlineControl,
     S: Service<A::Conn>,
 {
-    let stats = Arc::new(NetStats::default());
+    serve_with_stats(acceptor, service, cfg, Arc::new(NetStats::default()))
+}
+
+/// [`serve`], with the pool's counters interned into `registry` as
+/// `net.<scope>.*` so a `/metrics` scrape or GSI INFO snapshot sees
+/// them. Each pool needs its own `scope` — two pools sharing one
+/// (notably the `active` gauge, which enforces the connection cap)
+/// would corrupt each other's accounting.
+pub fn serve_scoped<A, S>(
+    acceptor: A,
+    service: Arc<S>,
+    cfg: NetConfig,
+    registry: &Registry,
+    scope: &str,
+) -> io::Result<ShutdownHandle>
+where
+    A: Acceptor,
+    A::Conn: DeadlineControl,
+    S: Service<A::Conn>,
+{
+    serve_with_stats(acceptor, service, cfg, Arc::new(NetStats::scoped(registry, scope)))
+}
+
+fn serve_with_stats<A, S>(
+    acceptor: A,
+    service: Arc<S>,
+    cfg: NetConfig,
+    stats: Arc<NetStats>,
+) -> io::Result<ShutdownHandle>
+where
+    A: Acceptor,
+    A::Conn: DeadlineControl,
+    S: Service<A::Conn>,
+{
     let shared = Arc::new(PoolShared {
         queue: Mutex::new(VecDeque::new()),
         work_ready: Condvar::new(),
@@ -866,18 +922,18 @@ impl<T: DeadlineControl> DeadlineControl for FaultyTransport<T> {
 #[derive(Default)]
 pub struct HandlerSet {
     handles: Mutex<Vec<JoinHandle<()>>>,
-    panicked: AtomicU64,
+    panicked: Counter,
 }
 
 impl HandlerSet {
     /// An empty set.
     pub fn new() -> Self {
-        HandlerSet { handles: Mutex::new(Vec::new()), panicked: AtomicU64::new(0) }
+        HandlerSet::default()
     }
 
     /// Handlers that terminated by panicking (observed at drain time).
     pub fn panicked(&self) -> u64 {
-        self.panicked.load(Ordering::Acquire)
+        self.panicked.get()
     }
 
     /// Spawn a named handler thread and track its handle. Finished
@@ -902,7 +958,7 @@ impl HandlerSet {
         let n = handles.len();
         for h in handles {
             if h.join().is_err() {
-                bump(&self.panicked);
+                self.panicked.inc();
             }
         }
         n
@@ -1044,6 +1100,7 @@ mod tests {
 
     #[test]
     fn handler_set_joins_all() {
+        use std::sync::atomic::AtomicU64;
         let set = HandlerSet::new();
         let counter = Arc::new(AtomicU64::new(0));
         for i in 0..4 {

@@ -71,7 +71,9 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
 
     let mut rs = RuleSet::default();
 
-    // R1: the attacker-reachable files named by the gate.
+    // R1: the attacker-reachable files named by the gate, plus all of
+    // mp-obs — the metrics layer runs inside every request handler, so
+    // a panic there takes the connection down with it.
     const R1_FILES: [&str; 7] = [
         "crates/core/src/server.rs",
         "crates/core/src/store.rs",
@@ -81,7 +83,7 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
         "crates/gsi/src/transport.rs",
         "crates/gsi/src/net.rs",
     ];
-    rs.r1 = R1_FILES.contains(&rel);
+    rs.r1 = R1_FILES.contains(&rel) || rel.starts_with("crates/obs/src/");
 
     // R2: everywhere in first-party sources (library code and binaries;
     // integration tests are exercised code, not shipped code).
@@ -100,11 +102,14 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
         || rel == "crates/gsi/src/record.rs";
 
     // R5 (secret taint): every crate that touches key material or the
-    // pass phrase — same blast radius as R3.
+    // pass phrase — same blast radius as R3 — plus mp-obs, because a
+    // metric name or trace label derived from a secret would leak it
+    // on every scrape.
     rs.r5 = (rel.starts_with("crates/crypto/src/")
         || rel.starts_with("crates/gsi/src/")
         || rel.starts_with("crates/core/src/")
-        || rel.starts_with("crates/portal/src/"))
+        || rel.starts_with("crates/portal/src/")
+        || rel.starts_with("crates/obs/src/"))
         && !rel.contains("/tests/");
 
     // R6 (discarded fallible ops): the attacker-reachable service
@@ -273,6 +278,10 @@ mod tests {
         assert!(rs.r1 && rs.r6 && rs.r7, "worker pool is in the gate");
         let rs = rules_for_path("crates/gsi/src/transport.rs");
         assert!(!rs.r7, "in-memory pipe internals stay out of R7");
+
+        let rs = rules_for_path("crates/obs/src/registry.rs");
+        assert!(rs.r1 && rs.r5, "metrics layer is panic-free and taint-checked");
+        assert!(!rs.r3 && !rs.r4, "mp-obs holds no keys and no DER");
 
         assert!(rules_for_path("vendor/rand/src/lib.rs").none());
         assert!(rules_for_path("crates/lint/src/rules.rs").none());

@@ -1,0 +1,275 @@
+//! Text exposition of a [`Snapshot`]: deterministic render, a strict
+//! parser that round-trips it (pinned by golden + property tests), and
+//! a compact one-line-per-metric form for the GSI INFO response.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+
+/// First line of every exposition document; bump on format changes.
+pub const HEADER: &str = "# myproxy-obs exposition v1";
+
+/// Why an exposition document failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A `# TYPE` line was malformed (line number, content).
+    BadType(usize, String),
+    /// A sample line did not fit the section it appeared in.
+    BadSample(usize, String),
+    /// A sample appeared before any `# TYPE` section.
+    OrphanSample(usize, String),
+    /// Histogram bucket lines were inconsistent (non-monotone
+    /// cumulative counts or `+Inf` disagreeing with `count`).
+    BadHistogram(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or unsupported exposition header"),
+            ParseError::BadType(n, l) => write!(f, "line {n}: bad TYPE line: {l}"),
+            ParseError::BadSample(n, l) => write!(f, "line {n}: bad sample line: {l}"),
+            ParseError::OrphanSample(n, l) => {
+                write!(f, "line {n}: sample outside any TYPE section: {l}")
+            }
+            ParseError::BadHistogram(name) => {
+                write!(f, "histogram {name}: inconsistent bucket lines")
+            }
+        }
+    }
+}
+
+/// Render a snapshot to the exposition text format. Deterministic: the
+/// snapshot's maps are ordered, so identical snapshots render to
+/// byte-identical text (the golden test pins this).
+///
+/// Counters and gauges emit one `name value` line each. Histograms emit
+/// Prometheus-style cumulative buckets `name{le="<bound>"} n` ending in
+/// `+Inf`, then `name.count` / `name.sum` / `name.max`, then derived
+/// `name.p50` / `name.p90` / `name.p99` lines which [`parse`] ignores
+/// (they are recomputable from the buckets).
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for (name, v) in &snap.counters {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" counter\n");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" gauge\n");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" histogram\n");
+        let cum = h.cumulative();
+        for (bound, c) in h.bounds.iter().zip(cum.iter()) {
+            out.push_str(name);
+            out.push_str("{le=\"");
+            out.push_str(&bound.to_string());
+            out.push_str("\"} ");
+            out.push_str(&c.to_string());
+            out.push('\n');
+        }
+        out.push_str(name);
+        out.push_str("{le=\"+Inf\"} ");
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+        for (suffix, v) in [
+            (".count", h.count),
+            (".sum", h.sum),
+            (".max", h.max),
+            (".p50", h.p50()),
+            (".p90", h.p90()),
+            (".p99", h.p99()),
+        ] {
+            out.push_str(name);
+            out.push_str(suffix);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One-line-per-metric compact form for the GSI `INFO` response: each
+/// returned string is `name value` for counters/gauges and
+/// `name count=N sum=S max=M p50=A p90=B p99=C` for histograms.
+/// Protocol-safe by construction: sanitized names and decimal values
+/// mean no `\n` and no `=`-ambiguity inside a response field value.
+pub fn render_compact(snap: &Snapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, v) in &snap.counters {
+        out.push(format!("{name} {v}"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push(format!("{name} {v}"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push(format!(
+            "{name} count={} sum={} max={} p50={} p90={} p99={}",
+            h.count,
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        ));
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Accumulates a histogram section's lines before reconstruction.
+#[derive(Default)]
+struct HistLines {
+    /// (bound, cumulative count) from `{le="..."}` lines, render order.
+    cum: Vec<(u64, u64)>,
+    inf: Option<u64>,
+    count: Option<u64>,
+    sum: Option<u64>,
+    max: Option<u64>,
+}
+
+/// Parse an exposition document back into a [`Snapshot`]. Strict about
+/// structure (header, TYPE sections, sample shape), tolerant about the
+/// derived `.p50`/`.p90`/`.p99` lines which are skipped. Round-trips
+/// [`render`] exactly: `parse(&render(&s)) == Ok(s)`.
+pub fn parse(text: &str) -> Result<Snapshot, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l == HEADER => {}
+        _ => return Err(ParseError::BadHeader),
+    }
+
+    let mut snap = Snapshot::default();
+    let mut hists: BTreeMap<String, HistLines> = BTreeMap::new();
+    // (name, kind) of the section the cursor is inside.
+    let mut section: Option<(String, Kind)> = None;
+
+    for (idx, line) in lines {
+        let lineno = idx.saturating_add(1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = match (it.next(), it.next(), it.next()) {
+                (Some(n), Some("counter"), None) => (n, Kind::Counter),
+                (Some(n), Some("gauge"), None) => (n, Kind::Gauge),
+                (Some(n), Some("histogram"), None) => (n, Kind::Histogram),
+                _ => return Err(ParseError::BadType(lineno, line.to_string())),
+            };
+            section = Some((name.to_string(), kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are ignorable
+        }
+        let Some((name, kind)) = section.as_ref() else {
+            return Err(ParseError::OrphanSample(lineno, line.to_string()));
+        };
+        let bad = || ParseError::BadSample(lineno, line.to_string());
+        match kind {
+            Kind::Counter | Kind::Gauge => {
+                let (n, v) = line.split_once(' ').ok_or_else(bad)?;
+                if n != name {
+                    return Err(bad());
+                }
+                let v: u64 = v.trim().parse().map_err(|_| bad())?;
+                if *kind == Kind::Counter {
+                    snap.counters.insert(n.to_string(), v);
+                } else {
+                    snap.gauges.insert(n.to_string(), v);
+                }
+            }
+            Kind::Histogram => {
+                let h = hists.entry(name.clone()).or_default();
+                if let Some(rest) = line.strip_prefix(name.as_str()) {
+                    if let Some(rest) = rest.strip_prefix("{le=\"") {
+                        let (le, rest) = rest.split_once("\"} ").ok_or_else(bad)?;
+                        let v: u64 = rest.trim().parse().map_err(|_| bad())?;
+                        if le == "+Inf" {
+                            h.inf = Some(v);
+                        } else {
+                            let bound: u64 = le.parse().map_err(|_| bad())?;
+                            h.cum.push((bound, v));
+                        }
+                    } else if let Some(rest) = rest.strip_prefix('.') {
+                        let (field, v) = rest.split_once(' ').ok_or_else(bad)?;
+                        let v: u64 = v.trim().parse().map_err(|_| bad())?;
+                        match field {
+                            "count" => h.count = Some(v),
+                            "sum" => h.sum = Some(v),
+                            "max" => h.max = Some(v),
+                            // Derived on render; recomputed, not stored.
+                            "p50" | "p90" | "p99" => {}
+                            _ => return Err(bad()),
+                        }
+                    } else {
+                        return Err(bad());
+                    }
+                } else {
+                    return Err(bad());
+                }
+            }
+        }
+    }
+
+    for (name, h) in hists {
+        let count = h.count.unwrap_or(0);
+        if h.inf.unwrap_or(count) != count {
+            return Err(ParseError::BadHistogram(name));
+        }
+        let mut bounds = Vec::with_capacity(h.cum.len());
+        let mut buckets = Vec::with_capacity(h.cum.len().saturating_add(1));
+        let mut prev = 0u64;
+        for (bound, cum) in &h.cum {
+            if *cum < prev || bounds.last().is_some_and(|b| bound <= b) {
+                return Err(ParseError::BadHistogram(name));
+            }
+            bounds.push(*bound);
+            buckets.push(cum.saturating_sub(prev));
+            prev = *cum;
+        }
+        if count < prev {
+            return Err(ParseError::BadHistogram(name));
+        }
+        buckets.push(count.saturating_sub(prev)); // overflow bucket
+        snap.histograms.insert(
+            name,
+            HistogramSnapshot {
+                bounds,
+                buckets,
+                count,
+                sum: h.sum.unwrap_or(0),
+                max: h.max.unwrap_or(0),
+            },
+        );
+    }
+    Ok(snap)
+}

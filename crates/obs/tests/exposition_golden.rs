@@ -1,0 +1,115 @@
+//! Golden + property coverage for the text exposition format.
+//!
+//! The golden test pins the rendered bytes of a known snapshot so any
+//! format drift is a deliberate, reviewed change (bump `HEADER` when
+//! the shape changes). The property tests establish that `parse` is a
+//! left inverse of `render` for arbitrary registry contents.
+
+use mp_obs::{parse, render, render_compact, Histogram, ParseError, Registry, Snapshot};
+use proptest::prelude::*;
+
+/// A snapshot exercising every sample shape: counter, gauge, and a
+/// small-bound histogram with overflow samples.
+fn golden_snapshot() -> Snapshot {
+    let r = Registry::new();
+    r.counter("myproxy.puts").add(3);
+    r.counter("myproxy.gets").add(41);
+    r.gauge("net.myproxy.active").set(2);
+    let h = Histogram::with_bounds(&[10, 100, 1000]);
+    for v in [5, 7, 90, 250, 4000] {
+        h.record(v);
+    }
+    let mut snap = r.snapshot();
+    snap.histograms.insert("myproxy.request".to_string(), h.snapshot());
+    snap
+}
+
+const GOLDEN: &str = "\
+# myproxy-obs exposition v1
+# TYPE myproxy.gets counter
+myproxy.gets 41
+# TYPE myproxy.puts counter
+myproxy.puts 3
+# TYPE net.myproxy.active gauge
+net.myproxy.active 2
+# TYPE myproxy.request histogram
+myproxy.request{le=\"10\"} 2
+myproxy.request{le=\"100\"} 3
+myproxy.request{le=\"1000\"} 4
+myproxy.request{le=\"+Inf\"} 5
+myproxy.request.count 5
+myproxy.request.sum 4352
+myproxy.request.max 4000
+myproxy.request.p50 100
+myproxy.request.p90 4000
+myproxy.request.p99 4000
+";
+
+#[test]
+fn render_is_byte_identical_to_golden() {
+    assert_eq!(render(&golden_snapshot()), GOLDEN);
+}
+
+#[test]
+fn golden_round_trips() {
+    let snap = golden_snapshot();
+    assert_eq!(parse(&render(&snap)).unwrap(), snap);
+}
+
+#[test]
+fn compact_lines_have_no_newlines() {
+    for line in render_compact(&golden_snapshot()) {
+        assert!(!line.contains('\n'), "protocol-unsafe line: {line:?}");
+        assert!(!line.is_empty());
+    }
+}
+
+#[test]
+fn parse_rejects_garbage() {
+    assert_eq!(parse("not an exposition"), Err(ParseError::BadHeader));
+    assert!(matches!(
+        parse("# myproxy-obs exposition v1\nstray 3"),
+        Err(ParseError::OrphanSample(..))
+    ));
+    assert!(matches!(
+        parse("# myproxy-obs exposition v1\n# TYPE x widget\n"),
+        Err(ParseError::BadType(..))
+    ));
+    // Non-monotone cumulative buckets must not reconstruct.
+    let bad = "# myproxy-obs exposition v1\n# TYPE h histogram\n\
+               h{le=\"10\"} 5\nh{le=\"20\"} 3\nh{le=\"+Inf\"} 5\nh.count 5\n";
+    assert!(matches!(parse(bad), Err(ParseError::BadHistogram(_))));
+}
+
+/// Metric names as the sanitizer guarantees them.
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._]{0,20}"
+}
+
+proptest! {
+    #[test]
+    fn render_parse_round_trip(
+        counters in proptest::collection::btree_map(name(), any::<u64>(), 0..6),
+        gauges in proptest::collection::btree_map(name(), any::<u64>(), 0..6),
+        samples in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let r = Registry::new();
+        for (k, v) in &counters {
+            r.counter(k).add(*v);
+        }
+        for (k, v) in &gauges {
+            r.gauge(k).set(*v);
+        }
+        let h = r.histogram("lat.test");
+        for s in &samples {
+            h.record(*s);
+        }
+        let snap = r.snapshot();
+        prop_assert_eq!(parse(&render(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn parse_never_panics(text in any::<String>()) {
+        let _ = parse(&text);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for histogram algebra: merge is monotone,
+//! commutative, and associative over identical bounds, and the
+//! quantile estimator never exceeds the largest recorded sample.
+
+use mp_obs::{Histogram, HistogramSnapshot, DEFAULT_BOUNDS};
+use proptest::prelude::*;
+
+fn recorded(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for s in samples {
+        h.record(*s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_monotone(
+        a in proptest::collection::vec(any::<u64>(), 0..30),
+        b in proptest::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let (sa, sb) = (recorded(&a), recorded(&b));
+        let m = sa.merge(&sb).unwrap();
+        prop_assert_eq!(m.count, sa.count + sb.count);
+        prop_assert!(m.max >= sa.max && m.max >= sb.max);
+        // Every cumulative entry grows (or stays) under merge.
+        for ((ma, ca), cb) in m
+            .cumulative()
+            .iter()
+            .zip(sa.cumulative().iter())
+            .zip(sb.cumulative().iter())
+        {
+            prop_assert!(ma >= ca && ma >= cb);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..30),
+        b in proptest::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let (sa, sb) = (recorded(&a), recorded(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..20),
+        b in proptest::collection::vec(any::<u64>(), 0..20),
+        c in proptest::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let (sa, sb, sc) = (recorded(&a), recorded(&b), recorded(&c));
+        let left = sa.merge(&sb).unwrap().merge(&sc);
+        let right = sa.merge(&sb.merge(&sc).unwrap());
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_refuses_mismatched_bounds(
+        a in proptest::collection::vec(any::<u64>(), 0..10),
+    ) {
+        let sa = recorded(&a);
+        let other = Histogram::with_bounds(&[1, 2, 3]).snapshot();
+        prop_assert_eq!(sa.merge(&other), None);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_max_sample(
+        samples in proptest::collection::vec(any::<u64>(), 1..60),
+        q in 0u32..=100,
+    ) {
+        let snap = recorded(&samples);
+        let biggest = samples.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(snap.max, biggest);
+        let v = snap.quantile(f64::from(q) / 100.0);
+        prop_assert!(v <= biggest, "q{} = {} > max {}", q, v, biggest);
+        prop_assert!(snap.p99() <= biggest);
+        prop_assert!(snap.p50() <= snap.p99());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero(q in 0u32..=100) {
+        let snap = HistogramSnapshot::empty(&DEFAULT_BOUNDS);
+        prop_assert_eq!(snap.quantile(f64::from(q) / 100.0), 0);
+        prop_assert_eq!(snap.count, 0);
+    }
+}

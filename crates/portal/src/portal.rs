@@ -21,10 +21,10 @@ use mp_gsi::transport::{Connector, Transport};
 use mp_gsi::{ChannelConfig, Credential};
 use mp_myproxy::client::GetParams;
 use mp_myproxy::MyProxyClient;
+use mp_obs::{Counter, Histogram, Registry, Snapshot};
 use mp_x509::{Certificate, Clock, Dn};
 use parking_lot::Mutex;
 use std::io::Read;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Everything a portal needs to run.
@@ -58,9 +58,18 @@ pub struct GridPortal {
     myproxy_client: MyProxyClient,
     grid_cfg: ChannelConfig,
     rng: Mutex<HmacDrbg>,
+    /// Per-portal metrics registry: `portal.*` counters, the
+    /// `portal.request` latency histogram, and the counters of both
+    /// pools (TLS / plain) when served via the pool helpers. What
+    /// `GET /metrics` renders, merged with the global span registry.
+    obs: Arc<Registry>,
+    /// Requests routed through [`GridPortal::handle_request`].
+    requests: Counter,
+    /// Per-request handling latency (routing + backend round-trips).
+    request_hist: Histogram,
     /// Connections whose detached handler thread ended in an error
     /// (malformed request, TLS failure) with nobody left to report to.
-    handler_errors: AtomicU64,
+    handler_errors: Counter,
 }
 
 impl GridPortal {
@@ -73,13 +82,17 @@ impl GridPortal {
         let grid_cfg = ChannelConfig::new(config.trust_roots.clone());
         let mut seed = [0u8; 32];
         config.rng.generate(&mut seed);
+        let obs = Arc::new(Registry::new());
         GridPortal {
             config,
             sessions: SessionManager::new(),
             myproxy_client,
             grid_cfg,
             rng: Mutex::new(HmacDrbg::new(&seed)),
-            handler_errors: AtomicU64::new(0),
+            requests: obs.counter("portal.requests"),
+            request_hist: obs.histogram("portal.request"),
+            handler_errors: obs.counter("portal.handler_errors"),
+            obs,
         }
     }
 
@@ -90,7 +103,23 @@ impl GridPortal {
 
     /// Accept-loop connections whose handler thread ended in an error.
     pub fn handler_errors(&self) -> u64 {
-        self.handler_errors.load(Ordering::Relaxed)
+        self.handler_errors.get()
+    }
+
+    /// This portal's metrics registry.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// Everything observable about this portal: its instance registry
+    /// merged with the process-global ambient spans.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.obs.snapshot().merged(&mp_obs::global().snapshot())
+    }
+
+    /// The `GET /metrics` scrape body (mp-obs text exposition).
+    pub fn metrics_text(&self) -> String {
+        mp_obs::render(&self.metrics_snapshot())
     }
 
     fn req_rng(&self) -> HmacDrbg {
@@ -102,12 +131,19 @@ impl GridPortal {
     /// Route one HTTP request. `secure` says whether it arrived over
     /// HTTPS-sim.
     pub fn handle_request(&self, req: &HttpRequest, secure: bool) -> HttpResponse {
+        self.requests.inc();
+        let _timer = self.request_hist.timer();
         let mut rng = self.req_rng();
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/") => HttpResponse::ok_html(LOGIN_PAGE),
             ("POST", "/login") => self.login(req, secure, &mut rng),
             ("POST", "/logout") => self.logout(req),
             ("GET", "/whoami") => self.whoami(req),
+            // The scrape surface: readable without a session (metric
+            // names and u64s only — no credential material to protect),
+            // so operators' monitoring works even while login is
+            // load-shedding.
+            ("GET", "/metrics") => HttpResponse::ok_text(&self.metrics_text()),
             ("POST", "/submit") => self.submit(req, &mut rng),
             ("GET", "/job") => self.job_status(req, &mut rng),
             ("POST", "/store") => self.store_file(req, &mut rng),
@@ -341,7 +377,7 @@ impl GridPortal {
         listener: std::net::TcpListener,
         cfg: NetConfig,
     ) -> std::io::Result<ShutdownHandle> {
-        net::serve(TcpAcceptor::new(listener)?, self.tls_service(), cfg)
+        net::serve_scoped(TcpAcceptor::new(listener)?, self.tls_service(), cfg, &self.obs, "portal.tls")
     }
 
     /// Serve TCP with plain HTTP (static pages / health checks; logins
@@ -361,7 +397,7 @@ impl GridPortal {
         listener: std::net::TcpListener,
         cfg: NetConfig,
     ) -> std::io::Result<ShutdownHandle> {
-        net::serve(TcpAcceptor::new(listener)?, self.plain_service(), cfg)
+        net::serve_scoped(TcpAcceptor::new(listener)?, self.plain_service(), cfg, &self.obs, "portal.plain")
     }
 
     /// This portal's HTTPS-sim side as a pool [`Service`].
@@ -444,7 +480,7 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for PortalTlsService {
 
     fn shed(&self, mut conn: C) {
         if tls::send_busy(&mut conn, "connection limit reached").is_err() {
-            self.portal.handler_errors.fetch_add(1, Ordering::Relaxed);
+            self.portal.handler_errors.inc();
         }
     }
 
@@ -475,7 +511,7 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for PortalPlainService
 
     fn shed(&self, mut conn: C) {
         if Self::refuse_busy(&mut conn).is_err() {
-            self.portal.handler_errors.fetch_add(1, Ordering::Relaxed);
+            self.portal.handler_errors.inc();
         }
     }
 

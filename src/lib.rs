@@ -15,8 +15,11 @@
 //!   repository (server + clients + extensions)
 //! * [`gram`] — simulated Grid resources (job manager, mass storage)
 //! * [`portal`] — the Grid portal, HTTP(S)-sim and browser simulation
+//! * [`obs`] — metrics registry, span timing and the scrape formats
+//!   shared by all of the above
 
 pub use mp_asn1 as asn1;
+pub use mp_obs as obs;
 pub use mp_bignum as bignum;
 pub use mp_crypto as crypto;
 pub use mp_gram as gram;

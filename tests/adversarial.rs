@@ -30,8 +30,8 @@ fn garbage_bytes_rejected_cleanly() {
         let _ = std::io::Read::read_to_end(&mut conn, &mut buf);
     }
     // No successful operations were recorded beyond the initial PUT.
-    assert_eq!(w.myproxy.stats().gets.load(std::sync::atomic::Ordering::Relaxed), 0);
-    assert_eq!(w.myproxy.stats().puts.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(w.myproxy.stats().gets.get(), 0);
+    assert_eq!(w.myproxy.stats().puts.get(), 1);
 }
 
 /// A client that completes the handshake but then speaks garbage inside
@@ -77,8 +77,7 @@ fn half_open_handshake_cleans_up() {
         failures = w
             .myproxy
             .stats()
-            .channel_failures
-            .load(std::sync::atomic::Ordering::Relaxed);
+            .channel_failures.get();
         if failures >= 5 {
             break;
         }

@@ -59,7 +59,7 @@ fn many_portals_one_repository() {
     // Counters bump in handler threads; poll briefly.
     let mut gets = 0;
     for _ in 0..100 {
-        gets = w.myproxy.stats().gets.load(std::sync::atomic::Ordering::Relaxed);
+        gets = w.myproxy.stats().gets.get();
         if gets == 5 {
             break;
         }

@@ -1,0 +1,140 @@
+//! End-to-end coverage of the mp-obs layer: every service feeds one
+//! registry scheme, the portal exposes `GET /metrics`, and the GSI
+//! `INFO` command returns the repository's metrics when asked.
+//!
+//! Span histograms (`gsi.*`, `crypto.*`, `store.*`) land in the
+//! process-global ambient registry which every scrape merges in, so
+//! assertions on them are `>=` — other tests in this binary may run
+//! concurrently and record into the same histograms.
+
+use myproxy::obs;
+use myproxy::portal::browser::expect_ok;
+use myproxy::testkit::GridWorld;
+use myproxy::x509::test_util::test_drbg;
+use myproxy::x509::Clock;
+
+#[test]
+fn portal_metrics_scrape_reports_request_latency() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    let mut browser = w.browser("scraper");
+    expect_ok(browser.login("alice", "correct horse battery").unwrap()).unwrap();
+    expect_ok(browser.get("/whoami").unwrap()).unwrap();
+
+    let body = expect_ok(browser.get("/metrics").unwrap()).unwrap();
+    let snap = obs::parse(&body.text()).expect("scrape body parses");
+
+    // The portal's own request counters: login + whoami + this scrape.
+    assert!(*snap.counters.get("portal.requests").unwrap() >= 3);
+    let req = snap.histograms.get("portal.request").expect("request histogram");
+    // The scrape request itself is still in flight (its timer records
+    // on drop, after the body renders), so only login + whoami count.
+    assert!(req.count >= 2);
+    assert!(req.max >= req.p99());
+    assert!(req.p50() <= req.p99());
+
+    // Login drove a GSI handshake against the repository, so the
+    // ambient span histograms must be merged into the scrape.
+    let hs = snap
+        .histograms
+        .get("gsi.handshake.client")
+        .expect("handshake span histogram in scrape");
+    assert!(hs.count >= 1);
+    assert!(snap.histograms.contains_key("crypto.rsa.sign"));
+}
+
+#[test]
+fn metrics_scrape_needs_no_session() {
+    let w = GridWorld::new();
+    let mut browser = w.browser("anon scraper");
+    let body = expect_ok(browser.get("/metrics").unwrap()).unwrap();
+    let snap = obs::parse(&body.text()).expect("anonymous scrape parses");
+    // Exactly this one request so far.
+    assert!(*snap.counters.get("portal.requests").unwrap() >= 1);
+}
+
+#[test]
+fn info_command_returns_repository_metrics() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    let mut rng = test_drbg("info metrics");
+    let (infos, metrics) = w
+        .myproxy_client
+        .info_with_metrics(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(infos.len(), 1);
+    assert!(!metrics.is_empty(), "METRICS=1 must return METRIC fields");
+
+    // The init PUT and this INFO both went through serve_channel.
+    let puts = metrics
+        .iter()
+        .find(|l| l.starts_with("myproxy.puts "))
+        .expect("puts counter line");
+    assert_eq!(puts.trim(), "myproxy.puts 1");
+    let req = metrics
+        .iter()
+        .find(|l| l.starts_with("myproxy.request "))
+        .expect("request histogram line");
+    // Compact histogram form carries the percentiles.
+    for key in ["count=", "sum=", "max=", "p50=", "p90=", "p99="] {
+        assert!(req.contains(key), "{req:?} missing {key}");
+    }
+    // The PUT stored a credential, so the store.put span must be
+    // visible through the repository's merged snapshot too.
+    assert!(metrics.iter().any(|l| l.starts_with("store.put ")));
+}
+
+#[test]
+fn plain_info_omits_metrics() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+    let mut rng = test_drbg("plain info");
+    let infos = w
+        .myproxy_client
+        .info(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(infos.len(), 1);
+}
+
+#[test]
+fn delegation_round_trip_lands_in_span_histograms() {
+    let w = GridWorld::new();
+    w.alice_init("correct horse battery").unwrap();
+
+    // Figure 2: retrieve a delegated proxy from the repository.
+    let mut rng = test_drbg("obs get");
+    let cred = w
+        .myproxy_client
+        .get_delegation(
+            w.myproxy.connect_local(),
+            &w.portal_cred,
+            &myproxy::myproxy::client::GetParams::new("alice", "correct horse battery"),
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+    assert!(!cred.chain().is_empty());
+
+    let global = obs::global().snapshot();
+    for name in ["gsi.delegate.issue", "gsi.delegate.accept", "store.open"] {
+        let h = global.histograms.get(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!(h.count >= 1, "{name} never recorded");
+        assert!(h.p99() <= h.max, "{name}: p99 above max");
+    }
+}

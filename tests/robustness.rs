@@ -30,7 +30,6 @@ use myproxy::testkit::GridWorld;
 use myproxy::x509::test_util::test_drbg;
 use myproxy::x509::Clock;
 use std::io::Read;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -339,7 +338,7 @@ fn mid_handshake_disconnect_is_counted_and_survived() {
     );
     assert!(res.is_err(), "client must observe the broken handshake");
     wait_until("channel failure counted", || {
-        w.myproxy.stats().channel_failures.load(Ordering::Relaxed) >= 1
+        w.myproxy.stats().channel_failures.get() >= 1
     });
     wait_until("handler error counted", || stats.handler_errors() >= 1);
     assert_eq!(w.myproxy.store().len(), 0);
@@ -416,7 +415,7 @@ fn periodic_sweep_purges_expired_credentials() {
     // without any client traffic.
     w.clock.advance(1_000);
     wait_until("sweep purge", || w.myproxy.store().len() == 0);
-    assert!(w.myproxy.stats().purged.load(Ordering::Relaxed) >= 1);
+    assert!(w.myproxy.stats().purged.get() >= 1);
 
     drop(push);
     handle.shutdown();
@@ -446,7 +445,7 @@ fn info_path_purges_expired_credentials() {
         .unwrap();
     assert_eq!(listed.len(), 1, "INFO must not list the expired entry");
     assert_eq!(w.myproxy.store().len(), 1, "INFO purges, not just filters");
-    assert!(w.myproxy.stats().purged.load(Ordering::Relaxed) >= 1);
+    assert!(w.myproxy.stats().purged.get() >= 1);
 }
 
 #[test]
@@ -484,4 +483,83 @@ fn local_handler_threads_are_joined_not_leaked() {
     )
     .unwrap();
     assert!(w.jobmanager.drain_local_handlers() >= 1);
+}
+
+#[test]
+fn metrics_scrape_during_load_shed_reports_shed_counter() {
+    let w = GridWorld::new();
+    let (push, acceptor) = accept_queue::<BoxedConn>();
+    // Scoped into the portal's own registry, so the `/metrics` scrape
+    // sees this pool's counters as `net.portal.plain.*`.
+    let handle = net::serve_scoped(
+        acceptor,
+        w.portal.plain_service(),
+        tight_cfg(),
+        w.portal.obs(),
+        "portal.plain",
+    )
+    .unwrap();
+    let stats = handle.stats();
+
+    // Fill the single slot, then overflow it: the extra connection is
+    // refused with a real HTTP 503 and counted as shed.
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+    let mut refused = dial(&push);
+    let mut raw = Vec::new();
+    refused.read_to_end(&mut raw).unwrap();
+    assert!(String::from_utf8_lossy(&raw).contains("503"));
+    wait_until("shed counted", || stats.shed() >= 1);
+
+    // Scrape through a dedicated handler thread (not the full pool):
+    // load-shedding the login path must not blind the monitoring path.
+    let mut browser = w.browser_plain("shed scraper");
+    let body = expect_ok(browser.get("/metrics").unwrap()).unwrap();
+    let snap = myproxy::obs::parse(&body.text()).expect("scrape parses mid-shed");
+    assert!(*snap.counters.get("net.portal.plain.shed").unwrap() >= 1);
+    assert_eq!(*snap.gauges.get("net.portal.plain.active").unwrap(), 1);
+
+    let report = handle.shutdown();
+    assert!(report.drained);
+}
+
+#[test]
+fn metrics_scrape_during_grace_drain_is_coherent() {
+    let w = GridWorld::new();
+    let (push, acceptor) = accept_queue::<BoxedConn>();
+    let mut cfg = tight_cfg();
+    // Long enough that the half-open handler is still in flight while
+    // we scrape, short enough that the drain finishes inside the grace.
+    cfg.handshake_deadline = Some(Duration::from_millis(800));
+    let handle = net::serve_scoped(
+        acceptor,
+        w.portal.plain_service(),
+        cfg,
+        w.portal.obs(),
+        "portal.drain",
+    )
+    .unwrap();
+    let stats = handle.stats();
+
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    // Graceful shutdown on another thread: stops accepting, then waits
+    // out the in-flight handler.
+    let drainer = std::thread::spawn(move || handle.shutdown());
+
+    // While the pool drains, the scrape must answer without hanging and
+    // its numbers must be a coherent point-in-time view.
+    let mut browser = w.browser_plain("drain scraper");
+    let body = expect_ok(browser.get("/metrics").unwrap()).unwrap();
+    let snap = myproxy::obs::parse(&body.text()).expect("scrape parses mid-drain");
+    let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    let accepted = c("net.portal.drain.accepted");
+    assert!(accepted >= 1, "half-open connection was accepted");
+    assert!(c("net.portal.drain.completed") <= accepted);
+    assert!(c("net.portal.drain.shed") <= accepted);
+    assert!(*snap.gauges.get("net.portal.drain.active").unwrap() <= 1);
+
+    let report = drainer.join().unwrap();
+    assert!(report.drained, "half-open peer evicted within the grace period");
 }

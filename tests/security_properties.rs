@@ -393,26 +393,22 @@ fn recorded_session_cannot_be_replayed() {
     std::io::Write::write_all(&mut replay_conn, &recording).unwrap();
     let mut response = Vec::new();
     let _ = std::io::Read::read_to_end(&mut replay_conn, &mut response);
-    // The server's fresh random makes the recorded KeyExchange signature
-    // and Finished MAC invalid: no delegation response can appear.
-    let gets_before =
-        w.myproxy.stats().gets.load(std::sync::atomic::Ordering::Relaxed);
-    assert_eq!(gets_before, 1, "replay must not produce a second delegation");
-    // The failure counter is bumped just after the handler thread drops
-    // the transport, so poll briefly rather than racing it.
-    let mut failures = 0;
+    // Both counters are bumped by the handler thread just before it
+    // drops the transport, which can land after the client returns —
+    // poll briefly rather than racing it.
+    let mut counted = false;
     for _ in 0..100 {
-        failures = w
-            .myproxy
-            .stats()
-            .channel_failures
-            .load(std::sync::atomic::Ordering::Relaxed);
-        if failures >= 1 {
+        counted = w.myproxy.stats().channel_failures.get() >= 1
+            && w.myproxy.stats().gets.get() >= 1;
+        if counted {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
-    assert!(failures >= 1, "replayed handshake recorded as failure");
+    assert!(counted, "replayed handshake recorded as failure");
+    // The server's fresh random makes the recorded KeyExchange signature
+    // and Finished MAC invalid: no delegation response can appear.
+    assert_eq!(w.myproxy.stats().gets.get(), 1, "replay must not produce a second delegation");
 }
 
 /// Sanity for the whole threat model: a user who never ran myproxy-init
