@@ -102,7 +102,9 @@ fn pbkdf2_sealing_ablation(c: &mut Criterion) {
             mp_gsi::Credential::new(vec![cert], key.clone()).unwrap()
         };
         let mut rng = bench_rng("sealing ablation");
-        store.put("alice", "default", "pass phrase", &cred, 3600, 0, false, vec![], &mut rng);
+        store
+            .put("alice", "default", "pass phrase", &cred, 3600, 0, false, vec![], &mut rng)
+            .unwrap();
         group.bench_function(format!("open_pbkdf2_{iters}"), |b| {
             b.iter(|| store.open("alice", "default", "pass phrase").unwrap())
         });

@@ -6,17 +6,23 @@
 //!                        --username NAME (--passphrase ... ) --out proxy.pem
 //!                        [--server-dn DN] [--lifetime-hours 2] [--cred-name NAME]
 //!                        [--task k:v,k:v] [--otp HEX] [--bits N]
+//!                        [--retries N] [--retry-base-ms N]
 //! ```
+//!
+//! GET is idempotent, so `--retries N` retries transparently (capped
+//! jittered backoff, honoring the server's BUSY retry-after hint) when
+//! the server sheds load or the connection fails transiently.
 
-use mp_cli::{die, passphrase, save_credential, usage_exit, Args, ClientSetup};
-use mp_myproxy::client::GetParams;
+use mp_cli::{die, explain, passphrase, save_credential, usage_exit, Args, ClientSetup};
+use mp_myproxy::client::{GetParams, RetryPolicy};
 use std::path::Path;
 
 const USAGE: &str = "usage:
   myproxy-get-delegation --server <host:port> --credential <client.pem> --trust-roots <dir>
                          --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
                          --out <proxy.pem> [--server-dn <DN>] [--lifetime-hours N]
-                         [--cred-name <name>] [--task k:v,k:v] [--otp <hex>] [--bits N]";
+                         [--cred-name <name>] [--task k:v,k:v] [--otp <hex>] [--bits N]
+                         [--retries N] [--retry-base-ms N]";
 
 fn main() {
     let args = match Args::from_env() {
@@ -43,11 +49,31 @@ fn run(args: &Args) -> Result<(), String> {
     params.otp = args.get("otp").map(str::to_string);
     params.key_bits = args.get_u64("bits", 512)? as usize;
 
-    let transport = setup.connect()?;
-    let proxy = setup
-        .client
-        .get_delegation(transport, &setup.credential, &params, &mut setup.rng, setup.now)
-        .map_err(|e| e.to_string())?;
+    let retries = args.get_u64("retries", 0)?;
+    let proxy = if retries > 0 {
+        let policy = RetryPolicy {
+            max_attempts: retries as u32 + 1,
+            base_delay_ms: args.get_u64("retry-base-ms", 50)?,
+            ..RetryPolicy::default()
+        };
+        setup
+            .client
+            .get_delegation_retrying(
+                &setup.connector(),
+                &setup.credential,
+                &params,
+                &policy,
+                &mut setup.rng,
+                setup.now,
+            )
+            .map_err(|e| explain(&e))?
+    } else {
+        let transport = setup.connect()?;
+        setup
+            .client
+            .get_delegation(transport, &setup.credential, &params, &mut setup.rng, setup.now)
+            .map_err(|e| explain(&e))?
+    };
     save_credential(out, &proxy)?;
     println!("received a proxy credential:");
     println!("  subject:  {}", proxy.subject());

@@ -8,7 +8,7 @@
 //!              [--cred-name NAME] [--tags k:v,k:v] [--renewer DN-pattern]
 //! ```
 
-use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
+use mp_cli::{die, explain, passphrase, usage_exit, Args, ClientSetup};
 use mp_myproxy::client::InitParams;
 
 const USAGE: &str = "usage:
@@ -45,10 +45,12 @@ fn run(args: &Args) -> Result<(), String> {
     params.renewer = args.get("renewer").map(str::to_string);
 
     let transport = setup.connect()?;
+    // PUT is not idempotent, so init never auto-retries; a BUSY shed is
+    // surfaced with its retry-after hint for the user to act on.
     let not_after = setup
         .client
         .init(transport, &setup.credential, &params, &mut setup.rng, setup.now)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| explain(&e))?;
     println!(
         "a proxy valid until unix time {not_after} ({}h) is now stored for '{}'",
         (not_after - setup.now) / 3600,

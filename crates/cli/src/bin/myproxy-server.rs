@@ -10,16 +10,22 @@
 //!                [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]
 //! ```
 //!
-//! With `--store-dir` the credential store is loaded at startup and
-//! written after every mutating operation, so the repository survives
-//! restarts. Run it on a tightly secured host (§5.1: "comparable to a
-//! Kerberos Domain Controller").
+//! With `--store-dir` the credential store is durable: startup loads
+//! the snapshot and replays the write-ahead journal (truncating a torn
+//! tail from a crash mid-append), and every mutation is journaled with
+//! fsync-on-commit *before* it is acknowledged — a kill -9 at any
+//! moment loses nothing that was acked. The journal is folded into the
+//! one-file-per-credential snapshot every `--wal-compact-every`
+//! mutations. Run the server on a tightly secured host (§5.1:
+//! "comparable to a Kerberos Domain Controller").
 
 use mp_cli::{die, load_credential, load_trust_roots, usage_exit, Args};
 use mp_crypto::HmacDrbg;
 use mp_gsi::channel::send_busy;
 use mp_gsi::net::{self, NetConfig, Outcome, Service, TcpAcceptor};
 use mp_gsi::AccessControlList;
+use mp_myproxy::server::BUSY_SHED_REASON;
+use mp_myproxy::wal::WalConfig;
 use mp_myproxy::{MyProxyError, MyProxyServer, ServerPolicy};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -27,7 +33,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   myproxy-server --credential <server.pem> --trust-roots <dir> --port <port>
-                 [--store-dir <dir>] [--accept-pattern P]... [--retriever-pattern P]...
+                 [--store-dir <dir>] [--wal-compact-every N]
+                 [--accept-pattern P]... [--retriever-pattern P]...
                  [--renewer-pattern P]... [--max-stored-hours N] [--max-delegated-hours N]
                  [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]";
 
@@ -82,13 +89,23 @@ fn run(args: &Args) -> Result<(), String> {
 
     let store_dir: Option<PathBuf> = args.get("store-dir").map(PathBuf::from);
     if let Some(dir) = &store_dir {
-        if dir.exists() {
-            let corrupt = server.store().load_from_dir(dir).map_err(|e| e.to_string())?;
-            for c in &corrupt {
-                eprintln!("warning: skipped corrupt store file: {c}");
-            }
-            eprintln!("loaded {} credentials from {}", server.store().len(), dir.display());
+        let cfg = WalConfig { compact_every: args.get_u64("wal-compact-every", 256)? };
+        let report = server
+            .enable_durability(dir, cfg)
+            .map_err(|e| format!("cannot open store under {}: {e}", dir.display()))?;
+        for c in &report.corrupt {
+            eprintln!("warning: skipped corrupt store file: {c}");
         }
+        if report.truncated_tail {
+            eprintln!("warning: truncated torn journal tail (crash mid-append recovered)");
+        }
+        eprintln!(
+            "loaded {} credentials from {} ({} snapshot, {} journal records replayed)",
+            server.store().len(),
+            dir.display(),
+            report.loaded,
+            report.replayed
+        );
     }
 
     let listener = std::net::TcpListener::bind(("0.0.0.0", port))
@@ -100,16 +117,13 @@ fn run(args: &Args) -> Result<(), String> {
         server.store().len()
     );
 
-    // Bounded worker pool with a persistence hook after each connection
-    // and a periodic expired-credential sweep. Pool counters intern into
-    // the server's registry as `net.myproxy.*`, so `INFO` with
+    // Bounded worker pool with a periodic expired-credential sweep.
+    // Durability needs no per-connection hook any more: the store
+    // journals each mutation itself, write-ahead. Pool counters intern
+    // into the server's registry as `net.myproxy.*`, so `INFO` with
     // `METRICS=1` reports them alongside the request counters.
     let obs = server.obs().clone();
-    let service = Arc::new(PersistingService {
-        server,
-        store_dir,
-        persist_lock: std::sync::Mutex::new(()),
-    });
+    let service = Arc::new(LoggingService { server });
     let acceptor = TcpAcceptor::new(listener).map_err(|e| format!("listener setup: {e}"))?;
     let handle = net::serve_scoped(acceptor, service, NetConfig::default(), &obs, "myproxy")
         .map_err(|e| format!("cannot start worker pool: {e}"))?;
@@ -122,32 +136,14 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The repository as a pool [`Service`], persisting the store after
-/// every connection and every purge sweep.
-struct PersistingService {
+/// The repository as a pool [`Service`]. Persistence lives inside the
+/// store's write-ahead journal now; this wrapper only adds per-peer
+/// logging and the periodic sweep.
+struct LoggingService {
     server: MyProxyServer,
-    store_dir: Option<PathBuf>,
-    // Pool workers finish connections concurrently; save_to_dir's
-    // tmp-file + stale-removal scheme is not safe to overlap, so
-    // persistence is serialized here.
-    persist_lock: std::sync::Mutex<()>,
 }
 
-impl PersistingService {
-    fn persist(&self) {
-        if let Some(dir) = &self.store_dir {
-            let _guard = match self.persist_lock.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            if let Err(e) = self.server.store().save_to_dir(dir) {
-                eprintln!("warning: store save failed: {e}");
-            }
-        }
-    }
-}
-
-impl Service<std::net::TcpStream> for PersistingService {
+impl Service<std::net::TcpStream> for LoggingService {
     fn handle(&self, conn: std::net::TcpStream, idle_deadline: Option<Duration>) -> Outcome {
         let peer = conn.peer_addr().map(|a| a.to_string()).unwrap_or_default();
         let result = self.server.handle_deadlined(conn, idle_deadline);
@@ -155,7 +151,6 @@ impl Service<std::net::TcpStream> for PersistingService {
             Ok(()) => eprintln!("{peer}: ok"),
             Err(e) => eprintln!("{peer}: {e}"),
         }
-        self.persist();
         match &result {
             Ok(()) => Outcome::Ok,
             Err(MyProxyError::Gsi(mp_gsi::GsiError::Io(e)))
@@ -171,7 +166,7 @@ impl Service<std::net::TcpStream> for PersistingService {
     }
 
     fn shed(&self, mut conn: std::net::TcpStream) {
-        if let Err(e) = send_busy(&mut conn, "connection limit reached") {
+        if let Err(e) = send_busy(&mut conn, BUSY_SHED_REASON) {
             eprintln!("warning: busy refusal failed: {e}");
         }
     }
@@ -180,7 +175,6 @@ impl Service<std::net::TcpStream> for PersistingService {
         let purged = self.server.purge_expired();
         if purged > 0 {
             eprintln!("purged {purged} expired credentials");
-            self.persist();
         }
     }
 }

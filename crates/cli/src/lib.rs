@@ -197,6 +197,32 @@ impl ClientSetup {
         std::net::TcpStream::connect(&self.server_addr)
             .map_err(|e| format!("cannot connect to {}: {e}", self.server_addr))
     }
+
+    /// A re-dialing [`mp_gsi::transport::Connector`] for the retrying
+    /// client operations: every retry attempt gets a fresh TCP
+    /// connection.
+    pub fn connector(&self) -> mp_gsi::transport::Connector {
+        let addr = self.server_addr.clone();
+        std::sync::Arc::new(move || {
+            std::net::TcpStream::connect(&addr)
+                .map(|s| Box::new(s) as mp_gsi::transport::BoxedTransport)
+        })
+    }
+}
+
+/// Render a client error for the terminal; BUSY sheds get an explicit
+/// retry hint so the user knows the refusal is transient.
+pub fn explain(e: &mp_myproxy::MyProxyError) -> String {
+    match e {
+        mp_myproxy::MyProxyError::Busy { reason, retry_after_ms } => {
+            let hint = match retry_after_ms {
+                Some(ms) => format!("transient — retry in ~{ms} ms"),
+                None => "transient — retry shortly".to_string(),
+            };
+            format!("server busy: {reason} ({hint})")
+        }
+        other => other.to_string(),
+    }
 }
 
 /// Print usage and exit(2) if `--help` was asked or `err` is Some.

@@ -262,28 +262,12 @@ fn store_dir_survives_server_restart() {
         cmd.args(client_args(&dir, "alice.pem", port));
         cmd.args(["--username", "alice", "--passphrase", "durable pass"]);
         run_ok(&mut cmd);
-        // Persistence is written after the connection is served; wait
-        // for a completed (.cred, not .tmp) file before killing the
-        // server.
-        let cred_file_present = || {
-            std::fs::read_dir(dir.path("store"))
-                .map(|d| {
-                    d.filter_map(|e| e.ok())
-                        .any(|e| e.path().extension().and_then(|x| x.to_str()) == Some("cred"))
-                })
-                .unwrap_or(false)
-        };
-        let mut ok = false;
-        for _ in 0..200 {
-            if cred_file_present() {
-                ok = true;
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(25));
-        }
-        assert!(ok, "store file never appeared");
-        // One extra beat in case a concurrent save is mid-rename.
-        std::thread::sleep(std::time::Duration::from_millis(100));
+        // The PUT is journaled and fsynced *before* the server acks,
+        // so once myproxy-init returns the credential is durable — no
+        // polling for snapshot files needed.
+        let journal = dir.path("store").join("journal.wal");
+        let journal_len = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        assert!(journal_len > 0, "acked PUT must already be journaled");
     } // server killed here
 
     // A new server on a new port loads the store and serves the GET.
@@ -301,6 +285,54 @@ fn store_dir_survives_server_restart() {
     ]);
     let out = run_ok(&mut cmd);
     assert!(out.contains("received a proxy credential"), "{out}");
+}
+
+#[test]
+fn sigkill_mid_burst_loses_no_acked_credentials() {
+    let dir = TempDir::new("sigkill");
+    setup_pki(&dir);
+    let port = free_port();
+
+    let names = ["burst-0", "burst-1", "burst-2"];
+    {
+        let mut server = start_server(&dir, port, true);
+        for name in names {
+            let mut cmd = bin("myproxy-init");
+            cmd.args(client_args(&dir, "alice.pem", port));
+            cmd.args([
+                "--username",
+                "alice",
+                "--passphrase",
+                "burst pass",
+                "--cred-name",
+                name,
+            ]);
+            run_ok(&mut cmd);
+        }
+        // SIGKILL, not a graceful shutdown: no flush hook runs, the
+        // journal on disk is all the next process gets.
+        server.0.kill().expect("SIGKILL failed");
+        let _ = server.0.wait();
+    }
+
+    let port2 = free_port();
+    let _server = start_server(&dir, port2, true);
+    for name in names {
+        let mut cmd = bin("myproxy-get-delegation");
+        cmd.args(client_args(&dir, "portal.pem", port2));
+        cmd.args([
+            "--username",
+            "alice",
+            "--passphrase",
+            "burst pass",
+            "--cred-name",
+            name,
+            "--out",
+            dir.path(&format!("{name}.pem")).to_str().unwrap(),
+        ]);
+        let out = run_ok(&mut cmd);
+        assert!(out.contains("received a proxy credential"), "{name}: {out}");
+    }
 }
 
 #[test]

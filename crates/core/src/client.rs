@@ -10,11 +10,115 @@ use crate::proto::{field, render_tags, Command, Request, Response};
 use crate::server::build_renewal_proof;
 use crate::{MyProxyError, Result};
 use mp_gsi::delegate::{accept_delegation, delegate, DelegationPolicy};
-use mp_gsi::transport::Transport;
-use mp_gsi::{ChannelConfig, Credential, SecureChannel};
+use mp_gsi::transport::{Connector, Transport};
+use mp_gsi::{ChannelConfig, Credential, GsiError, SecureChannel};
 use mp_crypto::Secret;
 use mp_x509::{Certificate, Dn, ProxyPolicy};
 use rand::Rng;
+
+/// Map a channel-layer error onto [`MyProxyError`], recognizing the
+/// server's BUSY shed frame (which the channel reports as
+/// `Denied("server busy: <reason>")`) as the typed transient
+/// [`MyProxyError::Busy`].
+fn busy_aware(e: GsiError) -> MyProxyError {
+    if let GsiError::Denied(msg) = &e {
+        if let Some(reason) = msg.strip_prefix("server busy: ") {
+            return MyProxyError::busy(reason);
+        }
+    }
+    MyProxyError::Gsi(e)
+}
+
+/// Capped, jittered exponential backoff for **idempotent** operations
+/// (GET/INFO). Retries fire on the server's BUSY shed and on transient
+/// connect/timeout I/O errors; anything else — including every
+/// non-idempotent op, which has no retrying variant at all — surfaces
+/// immediately.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so 1 = no retry).
+    pub max_attempts: u32,
+    /// First backoff delay; later attempts double it.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter (tests fix it).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 5, base_delay_ms: 50, max_delay_ms: 2_000, jitter_seed: 1 }
+    }
+}
+
+/// splitmix64: tiny deterministic PRNG for jitter (no entropy needed —
+/// jitter only has to decorrelate concurrent clients).
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    *state = z ^ (z >> 31);
+}
+
+impl RetryPolicy {
+    /// Is this error worth another attempt?
+    pub fn retryable(e: &MyProxyError) -> bool {
+        match e {
+            MyProxyError::Busy { .. } => true,
+            MyProxyError::Gsi(GsiError::Io(io)) => matches!(
+                io.kind(),
+                std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::NotConnected
+            ),
+            _ => false,
+        }
+    }
+
+    /// Backoff before attempt `attempt` (1-based count of failures so
+    /// far): capped exponential with jitter in the upper half, floored
+    /// by the server's retry-after hint when one was sent.
+    fn delay_ms(&self, attempt: u32, state: &mut u64, server_hint_ms: Option<u64>) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.max_delay_ms);
+        splitmix64(state);
+        let jittered = exp / 2 + if exp > 1 { *state % (exp / 2 + 1) } else { 0 };
+        jittered.max(server_hint_ms.unwrap_or(0)).min(self.max_delay_ms)
+    }
+
+    /// Run `op` (one full dial-and-transact) up to `max_attempts`
+    /// times, sleeping between attempts. Callers pass a closure that
+    /// re-dials per attempt; a half-finished connection is never
+    /// reused.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut jitter = self.jitter_seed;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.max_attempts.max(1) || !Self::retryable(&e) {
+                        return Err(e);
+                    }
+                    let hint = match &e {
+                        MyProxyError::Busy { retry_after_ms, .. } => *retry_after_ms,
+                        _ => None,
+                    };
+                    let delay = self.delay_ms(attempt, &mut jitter, hint);
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+            }
+        }
+    }
+}
 
 /// Parameters for `myproxy-init` (PUT) and STORE_LONG_TERM.
 #[derive(Clone, Debug)]
@@ -165,7 +269,7 @@ impl MyProxyClient {
         rng: &mut R,
         now: u64,
     ) -> Result<SecureChannel<T>> {
-        Ok(SecureChannel::connect(transport, cred, &self.channel_cfg, rng, now)?)
+        SecureChannel::connect(transport, cred, &self.channel_cfg, rng, now).map_err(busy_aware)
     }
 
     fn transact<T: Transport>(
@@ -257,6 +361,26 @@ impl MyProxyClient {
         )?)
     }
 
+    /// [`get_delegation`](Self::get_delegation) with retries. GET is
+    /// idempotent (it mutates nothing server-side), so re-sending after
+    /// a BUSY shed or a transient connect failure is always safe; each
+    /// attempt re-dials through `connector`. PUT-shaped operations
+    /// deliberately have no retrying variant.
+    pub fn get_delegation_retrying<R: Rng + ?Sized>(
+        &self,
+        connector: &Connector,
+        cred: &Credential,
+        params: &GetParams,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Credential> {
+        policy.run(|| {
+            let transport = connector().map_err(|e| MyProxyError::Gsi(GsiError::Io(e)))?;
+            self.get_delegation(transport, cred, params, rng, now)
+        })
+    }
+
     /// `myproxy-info`: list stored credentials (pass-phrase
     /// authenticated).
     pub fn info<T: Transport, R: Rng + ?Sized>(
@@ -274,6 +398,25 @@ impl MyProxyClient {
             .field(field::PASSPHRASE, passphrase);
         let resp = Self::transact(&mut channel, &req)?;
         resp.all("CRED").iter().map(|line| parse_cred_info(line)).collect()
+    }
+
+    /// [`info`](Self::info) with retries (INFO is read-only, so always
+    /// idempotent); each attempt re-dials through `connector`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn info_retrying<R: Rng + ?Sized>(
+        &self,
+        connector: &Connector,
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Vec<CredInfo>> {
+        policy.run(|| {
+            let transport = connector().map_err(|e| MyProxyError::Gsi(GsiError::Io(e)))?;
+            self.info(transport, cred, username, passphrase, rng, now)
+        })
     }
 
     /// `myproxy-info --metrics`: the INFO listing plus the server's
@@ -457,5 +600,94 @@ mod tests {
     #[test]
     fn cred_info_requires_name() {
         assert!(parse_cred_info("owner=/O=Grid/CN=x").is_err());
+    }
+
+    #[test]
+    fn busy_error_parses_retry_after_hint() {
+        let e = MyProxyError::busy("connection limit reached; retry-after-ms=200");
+        match &e {
+            MyProxyError::Busy { retry_after_ms, .. } => assert_eq!(*retry_after_ms, Some(200)),
+            other => panic!("expected Busy, got {other}"),
+        }
+        assert!(e.is_busy());
+        let no_hint = MyProxyError::busy("go away");
+        match no_hint {
+            MyProxyError::Busy { retry_after_ms, .. } => assert_eq!(retry_after_ms, None),
+            other => panic!("expected Busy, got {other}"),
+        }
+    }
+
+    #[test]
+    fn busy_aware_maps_shed_frame_and_passes_others_through() {
+        let shed = GsiError::Denied("server busy: connection limit reached; retry-after-ms=200".into());
+        assert!(busy_aware(shed).is_busy());
+        let denied = GsiError::Denied("bad certificate".into());
+        assert!(!busy_aware(denied).is_busy());
+    }
+
+    #[test]
+    fn retry_policy_retries_busy_then_succeeds() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter_seed: 7,
+        };
+        let mut calls = 0;
+        let result: Result<u32> = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(MyProxyError::busy("retry-after-ms=0"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_at_max_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter_seed: 7,
+        };
+        let mut calls = 0;
+        let result: Result<u32> = policy.run(|| {
+            calls += 1;
+            Err(MyProxyError::busy("still busy"))
+        });
+        assert!(result.unwrap_err().is_busy());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_never_retries_permanent_errors() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let result: Result<u32> = policy.run(|| {
+            calls += 1;
+            Err(MyProxyError::Refused("authentication failed".into()))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1, "a refusal is permanent; one attempt only");
+    }
+
+    #[test]
+    fn retry_delay_honors_server_hint_and_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            jitter_seed: 3,
+        };
+        let mut state = policy.jitter_seed;
+        let d = policy.delay_ms(1, &mut state, Some(60));
+        assert!(d >= 60, "server hint is a floor, got {d}");
+        assert!(d <= 100, "cap still applies, got {d}");
+        let d_late = policy.delay_ms(30, &mut state, None);
+        assert!(d_late <= 100, "exponent overflow clamped, got {d_late}");
     }
 }

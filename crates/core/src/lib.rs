@@ -31,6 +31,7 @@ pub mod server;
 pub mod store;
 #[doc(hidden)]
 pub mod testutil;
+pub mod wal;
 pub mod wallet;
 
 pub use client::MyProxyClient;
@@ -52,6 +53,32 @@ pub enum MyProxyError {
     Refused(String),
     /// Malformed protocol data.
     Protocol(String),
+    /// The server shed the connection at its concurrency cap (the GSI
+    /// BUSY frame from PR 3). Transient by construction — retrying
+    /// after a short backoff is the expected client reaction.
+    Busy {
+        /// The server's refusal reason, verbatim.
+        reason: String,
+        /// Parsed `retry-after-ms=N` hint, if the server sent one.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl MyProxyError {
+    /// Build a [`MyProxyError::Busy`] from a server busy reason,
+    /// extracting a `retry-after-ms=N` token if present.
+    pub fn busy(reason: &str) -> Self {
+        let retry_after_ms = reason
+            .split(|c: char| c == ';' || c == ' ')
+            .filter_map(|tok| tok.trim().strip_prefix("retry-after-ms="))
+            .find_map(|v| v.parse().ok());
+        MyProxyError::Busy { reason: reason.to_string(), retry_after_ms }
+    }
+
+    /// Is this a transient BUSY shed?
+    pub fn is_busy(&self) -> bool {
+        matches!(self, MyProxyError::Busy { .. })
+    }
 }
 
 impl From<GsiError> for MyProxyError {
@@ -66,6 +93,7 @@ impl std::fmt::Display for MyProxyError {
             MyProxyError::Gsi(e) => write!(f, "GSI error: {e}"),
             MyProxyError::Refused(why) => write!(f, "server refused: {why}"),
             MyProxyError::Protocol(what) => write!(f, "protocol error: {what}"),
+            MyProxyError::Busy { reason, .. } => write!(f, "server busy: {reason}"),
         }
     }
 }

@@ -13,12 +13,29 @@
 //! renewal entries degrade gracefully to pass-phrase-only entries.
 
 use crate::store::{CredStore, StoredCredential};
+use crate::wal::{RealVfs, Vfs, JOURNAL_FILE};
 use crate::MyProxyError;
 use mp_crypto::base64;
-use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &str = "MYPROXY-STORE-V1";
+
+/// One store file that failed to parse at load time. Fail-soft: the
+/// entry is skipped (and counted under `store.load.corrupt`), the rest
+/// of the repository loads normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorruptEntry {
+    /// The offending file name (not the full path).
+    pub file: String,
+    /// Why it failed to parse.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CorruptEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.reason)
+    }
+}
 
 /// Serialize one entry to the on-disk text format.
 pub fn entry_to_text(e: &StoredCredential) -> String {
@@ -127,49 +144,82 @@ pub fn entry_filename(username: &str, name: &str) -> String {
 }
 
 impl CredStore {
-    /// Write every entry to `dir` (created if absent). Files for
-    /// entries that no longer exist are removed.
-    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
+    /// Write every entry to `dir` (created if absent) through `vfs`
+    /// with full durability discipline: each entry goes tmp-file →
+    /// data fsync → rename → directory fsync, so a crash leaves either
+    /// the old file or the new one, never a torn half. Files for
+    /// entries that no longer exist are removed (and the removal made
+    /// durable by the same directory fsync).
+    pub fn save_snapshot(&self, dir: &Path, vfs: &dyn Vfs) -> std::io::Result<()> {
+        vfs.create_dir_all(dir)?;
         let mut expected = std::collections::HashSet::new();
+        let mut dirty = false;
         for e in self.all_entries() {
             let filename = entry_filename(&e.username, &e.name);
             expected.insert(filename.clone());
             let tmp = dir.join(format!("{filename}.tmp"));
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(entry_to_text(&e).as_bytes())?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, dir.join(&filename))?;
+            vfs.write_file(&tmp, entry_to_text(&e).as_bytes())?;
+            vfs.sync_file(&tmp)?;
+            vfs.rename(&tmp, &dir.join(&filename))?;
+            dirty = true;
         }
-        for existing in std::fs::read_dir(dir)? {
-            let existing = existing?;
-            let fname = existing.file_name().to_string_lossy().into_owned();
+        for fname in vfs.list_dir(dir)? {
             if fname.ends_with(".cred") && !expected.contains(&fname) {
-                std::fs::remove_file(existing.path())?;
+                vfs.remove_file(&dir.join(&fname))?;
+                dirty = true;
             }
+        }
+        if dirty {
+            // One directory fsync covers every rename and removal above.
+            vfs.sync_dir(dir)?;
         }
         Ok(())
     }
 
-    /// Load every `.cred` file from `dir` into this store, replacing
-    /// entries with the same key. Corrupt files are skipped and
-    /// reported in the returned list (fail-soft: one bad file must not
-    /// take the repository down).
-    pub fn load_from_dir(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+    /// Load every `.cred` file from `dir` into this store through
+    /// `vfs`, replacing entries with the same key. Corrupt files are
+    /// skipped and reported (fail-soft: one bad file must not take the
+    /// repository down). Stale `*.tmp` litter from a crash mid-save is
+    /// swept here.
+    pub fn load_snapshot(&self, dir: &Path, vfs: &dyn Vfs) -> std::io::Result<Vec<CorruptEntry>> {
         let mut corrupt = Vec::new();
-        for dirent in std::fs::read_dir(dir)? {
-            let dirent = dirent?;
-            let path = dirent.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("cred") {
+        let mut swept = false;
+        for fname in vfs.list_dir(dir)? {
+            let path = dir.join(&fname);
+            if fname.ends_with(".tmp") {
+                // A crash between tmp-write and rename (or a buggy
+                // rename) strands these; they were never acknowledged
+                // as durable, so deleting is always correct.
+                vfs.remove_file(&path)?;
+                swept = true;
                 continue;
             }
-            let text = std::fs::read_to_string(&path)?;
-            match entry_from_text(&text) {
+            if fname == JOURNAL_FILE || !fname.ends_with(".cred") {
+                continue;
+            }
+            let raw = vfs.read(&path)?;
+            let parsed = String::from_utf8(raw)
+                .map_err(|_| MyProxyError::Protocol("store file is not UTF-8".into()))
+                .and_then(|text| entry_from_text(&text));
+            match parsed {
                 Ok(entry) => self.insert_entry(entry),
-                Err(e) => corrupt.push(format!("{}: {e}", path.display())),
+                Err(e) => corrupt.push(CorruptEntry { file: fname, reason: e.to_string() }),
             }
         }
+        if swept {
+            vfs.sync_dir(dir)?;
+        }
         Ok(corrupt)
+    }
+
+    /// [`CredStore::save_snapshot`] over the real filesystem.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        self.save_snapshot(dir, &RealVfs)
+    }
+
+    /// [`CredStore::load_snapshot`] over the real filesystem.
+    pub fn load_from_dir(&self, dir: &Path) -> std::io::Result<Vec<CorruptEntry>> {
+        self.load_snapshot(dir, &RealVfs)
     }
 }
 
@@ -203,18 +253,20 @@ mod tests {
     fn entry_text_roundtrip() {
         let store = CredStore::new(10);
         let mut rng = test_drbg("persist rt");
-        store.put(
-            "alice",
-            DEFAULT_NAME,
-            "pass!",
-            &credential(),
-            7200,
-            100,
-            false,
-            vec![("ca".into(), "DOE".into())],
-            &mut rng,
-        );
-        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice");
+        store
+            .put(
+                "alice",
+                DEFAULT_NAME,
+                "pass!",
+                &credential(),
+                7200,
+                100,
+                false,
+                vec![("ca".into(), "DOE".into())],
+                &mut rng,
+            )
+            .unwrap();
+        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice").unwrap();
         let entry = store.peek("alice", DEFAULT_NAME).unwrap();
         let text = entry_to_text(&entry);
         let back = entry_from_text(&text).unwrap();
@@ -229,8 +281,12 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let store = CredStore::new(10);
         let mut rng = test_drbg("persist save");
-        store.put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng);
-        store.put("bob", "special", "bobpass", &credential(), 100, 200, true, vec![], &mut rng);
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store
+            .put("bob", "special", "bobpass", &credential(), 100, 200, true, vec![], &mut rng)
+            .unwrap();
         store.save_to_dir(&dir).unwrap();
 
         // A fresh store (same PBKDF2 iterations) loads everything back.
@@ -248,7 +304,9 @@ mod tests {
         let dir = tmpdir("stale");
         let store = CredStore::new(10);
         let mut rng = test_drbg("persist stale");
-        store.put("alice", DEFAULT_NAME, "pass!!", &credential(), 1, 1, false, vec![], &mut rng);
+        store
+            .put("alice", DEFAULT_NAME, "pass!!", &credential(), 1, 1, false, vec![], &mut rng)
+            .unwrap();
         store.save_to_dir(&dir).unwrap();
         store.destroy("alice", DEFAULT_NAME, "pass!!").unwrap();
         store.save_to_dir(&dir).unwrap();
@@ -266,7 +324,9 @@ mod tests {
         let dir = tmpdir("corrupt");
         let store = CredStore::new(10);
         let mut rng = test_drbg("persist corrupt");
-        store.put("ok", DEFAULT_NAME, "pass!!", &credential(), 1, 1, false, vec![], &mut rng);
+        store
+            .put("ok", DEFAULT_NAME, "pass!!", &credential(), 1, 1, false, vec![], &mut rng)
+            .unwrap();
         store.save_to_dir(&dir).unwrap();
         // Corruption appears after the save (save_to_dir sweeps files it
         // does not own, so write these afterwards).
@@ -285,7 +345,9 @@ mod tests {
         let store = CredStore::new(10);
         let mut rng = test_drbg("persist sealed");
         let cred = credential();
-        store.put("alice", DEFAULT_NAME, "pass!!", &cred, 1, 1, false, vec![], &mut rng);
+        store
+            .put("alice", DEFAULT_NAME, "pass!!", &cred, 1, 1, false, vec![], &mut rng)
+            .unwrap();
         store.save_to_dir(&dir).unwrap();
         let file = std::fs::read_dir(&dir)
             .unwrap()

@@ -54,6 +54,9 @@ pub struct ServerStats {
     /// Expired credentials removed by the periodic sweep and the
     /// INFO-path purge.
     pub purged: Counter,
+    /// Journal commits that failed (the mutation was refused and the
+    /// client told; the in-memory store did not change).
+    pub wal_failures: Counter,
 }
 
 impl ServerStats {
@@ -66,9 +69,19 @@ impl ServerStats {
             send_failures: obs.counter("myproxy.send_failures"),
             handler_errors: obs.counter("myproxy.handler_errors"),
             purged: obs.counter("myproxy.purged"),
+            wal_failures: obs.counter("myproxy.wal_failures"),
         }
     }
 }
+
+/// How long a shed client should wait before retrying, advertised in
+/// the BUSY refusal so [`crate::client::RetryPolicy`] can honor it.
+pub const BUSY_RETRY_AFTER_MS: u64 = 200;
+
+/// The in-protocol refusal sent when the connection cap sheds a peer.
+/// The `retry-after-ms` token is parsed back out by
+/// [`MyProxyError::busy`](crate::MyProxyError::busy).
+pub const BUSY_SHED_REASON: &str = "connection limit reached; retry-after-ms=200";
 
 struct ServerState {
     credential: Credential,
@@ -222,11 +235,43 @@ impl MyProxyServer {
     /// serve pools run this on their sweep interval and on the INFO
     /// path; removals are tallied in [`ServerStats::purged`].
     pub fn purge_expired(&self) -> usize {
-        let n = self.state.store.purge_expired(self.state.clock.now());
-        if n > 0 {
-            self.state.stats.purged.add(n as u64);
+        match self.state.store.purge_expired(self.state.clock.now()) {
+            Ok(n) => {
+                if n > 0 {
+                    self.state.stats.purged.add(n as u64);
+                }
+                n
+            }
+            Err(_) => {
+                // Journal append failed; nothing was removed. The
+                // entries stay until a later sweep succeeds.
+                self.state.stats.wal_failures.inc();
+                0
+            }
         }
-        n
+    }
+
+    /// Make the credential store durable under `dir`: load the
+    /// snapshot, replay the journal, and journal every mutation from
+    /// here on (see [`crate::wal`]). `store.wal.*` and
+    /// `store.load.corrupt` metrics intern into this server's registry.
+    pub fn enable_durability(
+        &self,
+        dir: &std::path::Path,
+        cfg: crate::wal::WalConfig,
+    ) -> std::io::Result<crate::wal::DurabilityReport> {
+        self.enable_durability_with(dir, Arc::new(crate::wal::RealVfs), cfg)
+    }
+
+    /// [`enable_durability`](Self::enable_durability) with an explicit
+    /// [`Vfs`](crate::wal::Vfs) — the crash harness injects faults here.
+    pub fn enable_durability_with(
+        &self,
+        dir: &std::path::Path,
+        vfs: Arc<dyn crate::wal::Vfs>,
+        cfg: crate::wal::WalConfig,
+    ) -> std::io::Result<crate::wal::DurabilityReport> {
+        self.state.store.attach_durable(dir, vfs, cfg, &self.state.obs)
     }
 
     /// Serve one connection: handshake, one request, response (plus the
@@ -394,6 +439,9 @@ impl MyProxyServer {
             accept_delegation(channel, stored_lifetime, st.policy.key_bits, rng)?
         };
 
+        // Each store call commits write-ahead when durability is on; a
+        // journal failure refuses the PUT before the success response,
+        // so the client never holds an ack the disk does not.
         st.store.put(
             &username,
             &name,
@@ -404,14 +452,14 @@ impl MyProxyServer {
             long_term,
             tags,
             rng,
-        );
-        st.store.set_owner(&username, &name, &peer.identity.to_string());
+        )?;
+        st.store.set_owner(&username, &name, &peer.identity.to_string())?;
         if let Some(pattern) = renewer {
             let mut entropy = [0u8; 32];
             rng.generate(&mut entropy);
             let sealed =
                 SecretBox::seal(st.master_key.expose(), credential.to_pem().as_bytes(), 1, &entropy);
-            st.store.make_renewable(&username, &name, &pattern, sealed);
+            st.store.make_renewable(&username, &name, &pattern, sealed)?;
         }
         st.stats.puts.inc();
 
@@ -801,7 +849,7 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for MyProxyService {
     fn shed(&self, mut conn: C) {
         // Refuse in-protocol so the client gets "server busy", not a
         // hang; the peer may already be gone, which the counters show.
-        if send_busy(&mut conn, "connection limit reached").is_err() {
+        if send_busy(&mut conn, BUSY_SHED_REASON).is_err() {
             self.server.state.stats.send_failures.inc();
         }
     }

@@ -11,6 +11,7 @@
 //! successful decryption, so the store on disk contains nothing easier
 //! to attack than the sealed blobs themselves.
 
+use crate::wal::{Wal, WalRecord};
 use crate::MyProxyError;
 use mp_crypto::ctr::SecretBox;
 use mp_gsi::Credential;
@@ -18,6 +19,7 @@ use mp_obs::Span;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Key of one entry: (username, credential name).
 pub type EntryKey = (String, String);
@@ -26,7 +28,7 @@ pub type EntryKey = (String, String);
 pub const DEFAULT_NAME: &str = "default";
 
 /// Metadata + sealed blob for one stored credential.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoredCredential {
     /// Repository account name (hand-typed, not the DN — §4.1).
     pub username: String,
@@ -65,16 +67,78 @@ pub struct StoredCredential {
 pub const AUTH_FAILED: &str = "authentication failed (bad username, credential name, or pass phrase)";
 
 /// Thread-safe credential store.
+///
+/// Without a journal attached the store is memory-only and mutations
+/// apply directly. After [`CredStore::attach_durable`]
+/// (see [`crate::wal`]) every mutation is a [`WalRecord`] committed
+/// write-ahead: journaled and fsynced **before** the in-memory state
+/// changes, so an acknowledged operation survives a crash.
 #[derive(Default)]
 pub struct CredStore {
     entries: RwLock<HashMap<EntryKey, StoredCredential>>,
     pbkdf2_iterations: u32,
+    wal: RwLock<Option<Arc<Wal>>>,
 }
 
 impl CredStore {
     /// Empty store sealing with `pbkdf2_iterations`.
     pub fn new(pbkdf2_iterations: u32) -> Self {
-        CredStore { entries: RwLock::new(HashMap::new()), pbkdf2_iterations }
+        CredStore {
+            entries: RwLock::new(HashMap::new()),
+            pbkdf2_iterations,
+            wal: RwLock::new(None),
+        }
+    }
+
+    /// Attach a journal; from here on every mutation commits through
+    /// it. ([`CredStore::attach_durable`] is the public entry point.)
+    pub(crate) fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.wal.write() = Some(wal);
+    }
+
+    /// Apply one replayed/committed record to the in-memory map without
+    /// logging it. Returns how many entries were touched. Replay calls
+    /// this directly; live mutations go through [`CredStore::commit`].
+    pub(crate) fn apply(&self, rec: &WalRecord) -> usize {
+        match rec {
+            WalRecord::Upsert(e) => {
+                self.insert_entry(e.clone());
+                1
+            }
+            WalRecord::Remove { username, name } => {
+                let removed = self.entries.write().remove(&(username.clone(), name.clone()));
+                usize::from(removed.is_some())
+            }
+            WalRecord::Purge { now } => {
+                let mut entries = self.entries.write();
+                let before = entries.len();
+                entries.retain(|_, e| e.not_after > *now);
+                before - entries.len()
+            }
+        }
+    }
+
+    /// Route a mutation through the journal when one is attached,
+    /// directly to memory otherwise.
+    fn commit(&self, rec: WalRecord) -> crate::Result<usize> {
+        let wal = self.wal.read().clone();
+        match wal {
+            Some(w) => w.commit(self, rec),
+            None => Ok(self.apply(&rec)),
+        }
+    }
+
+    /// Fold the attached journal into the snapshot now. Returns false
+    /// if the store is memory-only.
+    pub fn compact_journal(&self) -> std::io::Result<bool> {
+        let wal = self.wal.read().clone();
+        match wal {
+            Some(w) => {
+                w.compact(self)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Seal and insert a credential, replacing any entry with the same
@@ -91,7 +155,7 @@ impl CredStore {
         long_term: bool,
         tags: Vec<(String, String)>,
         rng: &mut R,
-    ) {
+    ) -> crate::Result<()> {
         // Dominated by the PBKDF2 seal; `store.put` tracks it.
         let _span = Span::enter("store.put");
         let pem = credential.to_pem();
@@ -107,7 +171,7 @@ impl CredStore {
         let entry = StoredCredential {
             username: username.to_string(),
             name: name.to_string(),
-            owner_identity: String::new(), // set by with_owner below or server
+            owner_identity: String::new(), // set by set_owner below or server
             sealed,
             retrieval_max_lifetime,
             not_after,
@@ -117,22 +181,27 @@ impl CredStore {
             renewable_by: None,
             sealed_for_renewal: None,
         };
-        self.entries
-            .write()
-            .insert((username.to_string(), name.to_string()), entry);
+        self.commit(WalRecord::Upsert(entry))?;
+        Ok(())
     }
 
     /// Mark an entry renewable by clients matching `pattern`, attaching
-    /// the master-key-sealed copy the renewal path decrypts.
-    pub fn make_renewable(&self, username: &str, name: &str, pattern: &str, master_sealed: Vec<u8>) {
-        if let Some(e) = self
-            .entries
-            .write()
-            .get_mut(&(username.to_string(), name.to_string()))
-        {
-            e.renewable_by = Some(pattern.to_string());
-            e.sealed_for_renewal = Some(master_sealed);
-        }
+    /// the master-key-sealed copy the renewal path decrypts. A missing
+    /// entry is a silent no-op (matching the pre-WAL behavior).
+    pub fn make_renewable(
+        &self,
+        username: &str,
+        name: &str,
+        pattern: &str,
+        master_sealed: Vec<u8>,
+    ) -> crate::Result<()> {
+        let Some(mut e) = self.peek(username, name) else {
+            return Ok(());
+        };
+        e.renewable_by = Some(pattern.to_string());
+        e.sealed_for_renewal = Some(master_sealed);
+        self.commit(WalRecord::Upsert(e))?;
+        Ok(())
     }
 
     /// Open the renewal copy of an entry with the server master key.
@@ -161,14 +230,14 @@ impl CredStore {
 
     /// Set the owner identity recorded for an entry (the server calls
     /// this with the channel's validated identity right after `put`).
-    pub fn set_owner(&self, username: &str, name: &str, owner: &str) {
-        if let Some(e) = self
-            .entries
-            .write()
-            .get_mut(&(username.to_string(), name.to_string()))
-        {
-            e.owner_identity = owner.to_string();
-        }
+    /// A missing entry is a silent no-op.
+    pub fn set_owner(&self, username: &str, name: &str, owner: &str) -> crate::Result<()> {
+        let Some(mut e) = self.peek(username, name) else {
+            return Ok(());
+        };
+        e.owner_identity = owner.to_string();
+        self.commit(WalRecord::Upsert(e))?;
+        Ok(())
     }
 
     /// Open (decrypt) an entry. Wrong pass phrase, wrong name and
@@ -222,9 +291,10 @@ impl CredStore {
     /// (`myproxy-destroy`, §4.1).
     pub fn destroy(&self, username: &str, name: &str, passphrase: &str) -> Result<(), MyProxyError> {
         self.open(username, name, passphrase)?;
-        self.entries
-            .write()
-            .remove(&(username.to_string(), name.to_string()));
+        self.commit(WalRecord::Remove {
+            username: username.to_string(),
+            name: name.to_string(),
+        })?;
         Ok(())
     }
 
@@ -237,11 +307,7 @@ impl CredStore {
         new_passphrase: &str,
         rng: &mut R,
     ) -> Result<(), MyProxyError> {
-        let (cred, _) = self.open(username, name, old_passphrase)?;
-        let mut entries = self.entries.write();
-        let entry = entries
-            .get_mut(&(username.to_string(), name.to_string()))
-            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
+        let (cred, mut entry) = self.open(username, name, old_passphrase)?;
         let mut entropy = [0u8; 32];
         rng.fill(&mut entropy);
         entry.sealed = SecretBox::seal(
@@ -250,18 +316,26 @@ impl CredStore {
             self.pbkdf2_iterations,
             &entropy,
         );
+        self.commit(WalRecord::Upsert(entry))?;
         Ok(())
     }
 
     /// Remove entries whose stored chain has expired. Returns how many
     /// were removed. (The paper's backstop: stolen repository contents
-    /// age out, §4.3.)
-    pub fn purge_expired(&self, now: u64) -> usize {
+    /// age out, §4.3.) A sweep that would remove nothing writes no
+    /// journal record.
+    pub fn purge_expired(&self, now: u64) -> crate::Result<usize> {
         let _span = Span::enter("store.purge");
-        let mut entries = self.entries.write();
-        let before = entries.len();
-        entries.retain(|_, e| e.not_after > now);
-        before - entries.len()
+        let expired = self
+            .entries
+            .read()
+            .values()
+            .filter(|e| e.not_after <= now)
+            .count();
+        if expired == 0 {
+            return Ok(0);
+        }
+        self.commit(WalRecord::Purge { now })
     }
 
     /// Number of stored entries.
@@ -326,8 +400,10 @@ mod tests {
     fn store_with_alice() -> CredStore {
         let store = CredStore::new(10);
         let mut rng = test_drbg("store");
-        store.put("alice", DEFAULT_NAME, "hunter2!", &credential(), 7200, 100, false, vec![], &mut rng);
-        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice");
+        store
+            .put("alice", DEFAULT_NAME, "hunter2!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice").unwrap();
         store
     }
 
@@ -374,8 +450,8 @@ mod tests {
     #[test]
     fn purge_expired_removes_only_expired() {
         let store = store_with_alice();
-        assert_eq!(store.purge_expired(100), 0);
-        assert_eq!(store.purge_expired(600_001), 1);
+        assert_eq!(store.purge_expired(100).unwrap(), 0);
+        assert_eq!(store.purge_expired(600_001).unwrap(), 1);
         assert!(store.is_empty());
     }
 
@@ -398,7 +474,9 @@ mod tests {
     fn list_authenticated_filters_by_passphrase() {
         let store = store_with_alice();
         let mut rng = test_drbg("second");
-        store.put("alice", "compute", "other-pass", &credential(), 100, 100, false, vec![], &mut rng);
+        store
+            .put("alice", "compute", "other-pass", &credential(), 100, 100, false, vec![], &mut rng)
+            .unwrap();
         let listed = store.list_authenticated("alice", "hunter2!");
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].name, DEFAULT_NAME);
@@ -409,7 +487,9 @@ mod tests {
     fn replace_same_key_overwrites() {
         let store = store_with_alice();
         let mut rng = test_drbg("replace");
-        store.put("alice", DEFAULT_NAME, "newpass!", &credential(), 60, 200, false, vec![], &mut rng);
+        store
+            .put("alice", DEFAULT_NAME, "newpass!", &credential(), 60, 200, false, vec![], &mut rng)
+            .unwrap();
         assert_eq!(store.len(), 1);
         assert!(store.open("alice", DEFAULT_NAME, "hunter2!").is_err());
         assert!(store.open("alice", DEFAULT_NAME, "newpass!").is_ok());

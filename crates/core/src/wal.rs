@@ -1,0 +1,1074 @@
+//! Write-ahead journal and pluggable filesystem for the credential
+//! store.
+//!
+//! The paper sells the repository as a *reliable* home for credentials
+//! (§3, §5.1) — which means an acknowledged PUT must survive a power
+//! cut. The store therefore runs over a small durable engine:
+//!
+//! * every mutating operation is appended to `journal.wal` as a
+//!   length-prefixed, CRC32-framed record and fsynced **before** the
+//!   in-memory map changes (and so before any response is sent);
+//! * every `compact_every` appends, the journal is folded into the
+//!   one-file-per-credential snapshot format of [`crate::persist`]
+//!   (tmp file → fsync → rename → directory fsync) and truncated;
+//! * startup is snapshot-load + journal-replay. A torn final record —
+//!   the signature of a crash mid-append — is truncated, not an error.
+//!
+//! All file I/O goes through the object-safe [`Vfs`] trait so the
+//! [`CrashVfs`] fault injector (the filesystem sibling of
+//! `mp_gsi::net::FaultyTransport`) can cut power after any single
+//! filesystem operation, drop unsynced bytes, skip fsyncs, or
+//! duplicate renames; `crates/core/tests/crash_matrix.rs` sweeps every
+//! injection point and asserts prefix-consistent recovery.
+//!
+//! Replay is idempotent: records are full-entry upserts, removals and
+//! purges, so replaying a journal over a snapshot that already folded
+//! it reproduces the same state. That property is what makes the
+//! compaction crash-window (snapshot written, journal not yet
+//! truncated) safe, and it is pinned by a proptest.
+
+use crate::persist::CorruptEntry;
+use crate::store::{CredStore, StoredCredential};
+use crate::MyProxyError;
+use mp_obs::{Counter, Registry};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Journal file name inside the store directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Upper bound on one record's payload; anything larger in the framing
+/// is treated as corruption (a credential entry is a few KB).
+const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// VFS
+// ---------------------------------------------------------------------
+
+/// Minimal filesystem surface the durable engine needs. Object-safe and
+/// path-based so a fault injector can sit where `std::fs` would be.
+pub trait Vfs: Send + Sync {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create-or-truncate a file with `data` (no implicit fsync).
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Append `data` to a file, creating it if absent.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Truncate a file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// fsync a file's contents.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// fsync a directory (makes renames/creates within it durable).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and its ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) of a directory's entries.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Does the path exist?
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// [`Vfs`] over the real filesystem.
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        // fsync through a fresh descriptor: fsync(2) flushes the file,
+        // not the descriptor, so this covers writes made elsewhere.
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::fs::File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for dirent in std::fs::read_dir(dir)? {
+            names.push(dirent?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------
+// CrashVfs fault injector
+// ---------------------------------------------------------------------
+
+/// One in-memory file: everything written so far, and the bytes that
+/// had been fsynced when the lights went out.
+#[derive(Clone, Default)]
+struct VFile {
+    data: Vec<u8>,
+    synced: Vec<u8>,
+}
+
+#[derive(Default)]
+struct CrashState {
+    files: BTreeMap<PathBuf, VFile>,
+    dirs: BTreeSet<PathBuf>,
+    /// Count of mutating operations performed so far.
+    mutations: u64,
+    /// Power-cut after this many mutating operations complete; the
+    /// operation that would exceed the budget is interrupted mid-way.
+    cut_after: Option<u64>,
+    /// Set once the cut fires: every later operation fails.
+    dead: bool,
+    /// Lying disk: `sync_file` reports success without syncing.
+    skip_fsyncs: bool,
+    /// Buggy filesystem: `rename` copies to the target but leaves the
+    /// source behind (exercises the stale-`.tmp` sweep).
+    duplicate_renames: bool,
+    /// Silently drop the bytes of any single write beyond this count
+    /// while still reporting success (a disk that lies about extent).
+    write_limit: Option<usize>,
+}
+
+/// Deterministic in-memory [`Vfs`] with fault injection, for the
+/// crash-recovery matrix. The durability model:
+///
+/// * each file tracks `data` (all completed writes) and `synced` (its
+///   content at the last `sync_file`);
+/// * a power cut interrupts the current operation — an interrupted
+///   write applies only a prefix (a torn record), interrupted
+///   rename/remove/truncate/sync apply nothing — and every operation
+///   after the cut fails;
+/// * [`CrashVfs::image_torn`] is the optimistic post-crash disk (all
+///   completed writes survived), [`CrashVfs::image_synced`] the
+///   pessimistic one (only fsynced bytes survived). Renames and
+///   removals are modeled as durable once performed; the `sync_dir`
+///   calls are still exercised for the real-filesystem path.
+///
+/// Recovery must hold under **both** images at **every** cut point.
+#[derive(Default)]
+pub struct CrashVfs {
+    state: Mutex<CrashState>,
+}
+
+fn power_failure() -> io::Error {
+    io::Error::other("injected power failure")
+}
+
+impl CrashVfs {
+    /// A healthy in-memory filesystem (no faults armed).
+    pub fn new() -> Self {
+        CrashVfs::default()
+    }
+
+    /// Rebuild a filesystem from a crash image, as if the machine
+    /// rebooted: what was durable is now both written and synced.
+    pub fn from_image(image: BTreeMap<PathBuf, Vec<u8>>) -> Self {
+        let mut st = CrashState::default();
+        for (path, bytes) in image {
+            let mut dir = path.parent();
+            while let Some(d) = dir {
+                st.dirs.insert(d.to_path_buf());
+                dir = d.parent();
+            }
+            st.files.insert(path, VFile { data: bytes.clone(), synced: bytes });
+        }
+        CrashVfs { state: Mutex::new(st) }
+    }
+
+    /// Arm a power cut after `n` mutating operations (the `n+1`-th is
+    /// interrupted mid-way; `n = 0` interrupts the very first).
+    pub fn set_cut_after(&self, n: u64) {
+        self.state.lock().cut_after = Some(n);
+    }
+
+    /// Make `sync_file` lie (report success, sync nothing).
+    pub fn set_skip_fsyncs(&self, on: bool) {
+        self.state.lock().skip_fsyncs = on;
+    }
+
+    /// Make `rename` leave the source file behind.
+    pub fn set_duplicate_renames(&self, on: bool) {
+        self.state.lock().duplicate_renames = on;
+    }
+
+    /// Silently drop bytes of any single write beyond `n`.
+    pub fn set_write_limit(&self, n: usize) {
+        self.state.lock().write_limit = Some(n);
+    }
+
+    /// Mutating operations performed so far (sweep drivers read this
+    /// off a dry run to enumerate the injection points).
+    pub fn mutations(&self) -> u64 {
+        self.state.lock().mutations
+    }
+
+    /// Optimistic crash image: every completed write survived, fsynced
+    /// or not, including the torn prefix of an interrupted write.
+    pub fn image_torn(&self) -> BTreeMap<PathBuf, Vec<u8>> {
+        let st = self.state.lock();
+        st.files.iter().map(|(p, f)| (p.clone(), f.data.clone())).collect()
+    }
+
+    /// Pessimistic crash image: only bytes fsynced by `sync_file`
+    /// survived.
+    pub fn image_synced(&self) -> BTreeMap<PathBuf, Vec<u8>> {
+        let st = self.state.lock();
+        st.files.iter().map(|(p, f)| (p.clone(), f.synced.clone())).collect()
+    }
+
+    /// Account one mutating op; `Ok(true)` means this op is the one
+    /// being interrupted by the power cut.
+    fn begin_mutation(st: &mut CrashState) -> io::Result<bool> {
+        if st.dead {
+            return Err(power_failure());
+        }
+        st.mutations += 1;
+        if let Some(cut) = st.cut_after {
+            if st.mutations > cut {
+                st.dead = true;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl Vfs for CrashVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let st = self.state.lock();
+        if st.dead {
+            return Err(power_failure());
+        }
+        match st.files.get(path) {
+            Some(f) => Ok(f.data.clone()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        let limit = st.write_limit.unwrap_or(usize::MAX);
+        let keep = if torn { data.len() / 2 } else { data.len() }.min(limit);
+        let kept = data.get(..keep).unwrap_or(data).to_vec();
+        let f = st.files.entry(path.to_path_buf()).or_default();
+        f.data = kept;
+        if torn {
+            return Err(power_failure());
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        let limit = st.write_limit.unwrap_or(usize::MAX);
+        let keep = if torn { data.len() / 2 } else { data.len() }.min(limit);
+        let kept = data.get(..keep).unwrap_or(data);
+        let f = st.files.entry(path.to_path_buf()).or_default();
+        f.data.extend_from_slice(kept);
+        if torn {
+            return Err(power_failure());
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        if torn {
+            return Err(power_failure());
+        }
+        match st.files.get_mut(path) {
+            Some(f) => {
+                f.data.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        if torn {
+            return Err(power_failure());
+        }
+        if st.skip_fsyncs {
+            return Ok(());
+        }
+        match st.files.get_mut(path) {
+            Some(f) => {
+                f.synced = f.data.clone();
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        if torn {
+            return Err(power_failure());
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        if torn {
+            return Err(power_failure());
+        }
+        let duplicate = st.duplicate_renames;
+        let f = match if duplicate { st.files.get(from).cloned() } else { st.files.remove(from) } {
+            Some(f) => f,
+            None => return Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        };
+        st.files.insert(to.to_path_buf(), f);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        if torn {
+            return Err(power_failure());
+        }
+        match st.files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let torn = Self::begin_mutation(&mut st)?;
+        if torn {
+            return Err(power_failure());
+        }
+        let mut cur = Some(dir);
+        while let Some(d) = cur {
+            st.dirs.insert(d.to_path_buf());
+            cur = d.parent();
+        }
+        Ok(())
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let st = self.state.lock();
+        if st.dead {
+            return Err(power_failure());
+        }
+        let mut names: Vec<String> = st
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = self.state.lock();
+        st.files.contains_key(path) || st.dirs.contains(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------
+
+/// One durable mutation. Upserts carry the full sealed entry, so put,
+/// owner updates, renewal marking and pass-phrase changes all collapse
+/// to the same replayable shape.
+#[derive(Clone, Debug)]
+pub enum WalRecord {
+    /// Insert-or-replace one entry.
+    Upsert(StoredCredential),
+    /// Remove one entry (destroy).
+    Remove {
+        /// Repository account name.
+        username: String,
+        /// Wallet name.
+        name: String,
+    },
+    /// Drop every entry with `not_after <= now` (the purge sweep).
+    Purge {
+        /// The sweep's reference clock.
+        now: u64,
+    },
+}
+
+const TAG_UPSERT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_PURGE: u8 = 3;
+
+/// IEEE CRC-32 (the zlib polynomial), bitwise — journal records are a
+/// few KB, table-free is plenty.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    let head = buf.get(..n)?;
+    *buf = buf.get(n..)?;
+    Some(head)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    let bytes: [u8; 4] = take(buf, 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = take(buf, 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+fn take_str(buf: &mut &[u8]) -> Option<String> {
+    let len = take_u32(buf)? as usize;
+    let raw = take(buf, len)?;
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        WalRecord::Upsert(e) => {
+            out.push(TAG_UPSERT);
+            out.extend_from_slice(crate::persist::entry_to_text(e).as_bytes());
+        }
+        WalRecord::Remove { username, name } => {
+            out.push(TAG_REMOVE);
+            push_str(&mut out, username);
+            push_str(&mut out, name);
+        }
+        WalRecord::Purge { now } => {
+            out.push(TAG_PURGE);
+            out.extend_from_slice(&now.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let (&tag, mut rest) = payload.split_first()?;
+    match tag {
+        TAG_UPSERT => {
+            let text = std::str::from_utf8(rest).ok()?;
+            let entry = crate::persist::entry_from_text(text).ok()?;
+            Some(WalRecord::Upsert(entry))
+        }
+        TAG_REMOVE => {
+            let username = take_str(&mut rest)?;
+            let name = take_str(&mut rest)?;
+            if rest.is_empty() {
+                Some(WalRecord::Remove { username, name })
+            } else {
+                None
+            }
+        }
+        TAG_PURGE => {
+            let now = take_u64(&mut rest)?;
+            if rest.is_empty() {
+                Some(WalRecord::Purge { now })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `[u32 payload-len][u32 crc32(payload)][payload]`, all little-endian.
+fn encode_frame(payload: &[u8]) -> io::Result<Vec<u8>> {
+    if payload.len() > MAX_RECORD_LEN {
+        return Err(io::Error::other("journal record too large"));
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// Parse a journal byte-for-byte. Returns the decodable records, the
+/// byte length of that clean prefix, and whether a torn/corrupt tail
+/// followed it (truncated by the caller, never replayed).
+fn parse_journal(raw: &[u8]) -> (Vec<WalRecord>, usize, bool) {
+    let mut records = Vec::new();
+    let mut good = 0usize;
+    let mut cur: &[u8] = raw;
+    loop {
+        if cur.is_empty() {
+            return (records, good, false);
+        }
+        let mut probe = cur;
+        let header = (take_u32(&mut probe), take_u32(&mut probe));
+        let (Some(len), Some(crc)) = header else {
+            return (records, good, true);
+        };
+        let len = len as usize;
+        if len > MAX_RECORD_LEN {
+            return (records, good, true);
+        }
+        let Some(payload) = take(&mut probe, len) else {
+            return (records, good, true);
+        };
+        if crc32(payload) != crc {
+            return (records, good, true);
+        }
+        let Some(rec) = decode_payload(payload) else {
+            return (records, good, true);
+        };
+        records.push(rec);
+        good += 8 + len;
+        cur = probe;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The journal
+// ---------------------------------------------------------------------
+
+/// `store.wal.*` counters (interned into the owning server's registry,
+/// so they ride the INFO metrics snapshot and `/metrics` scrapes).
+#[derive(Clone)]
+pub struct WalMetrics {
+    /// Records appended.
+    pub appends: Counter,
+    /// fsyncs issued on the journal file.
+    pub fsyncs: Counter,
+    /// Records replayed at startup.
+    pub replayed: Counter,
+    /// Torn/corrupt journal tails truncated at startup.
+    pub truncated_tail: Counter,
+    /// Snapshot compactions folded and truncated.
+    pub compactions: Counter,
+    /// Compaction attempts that failed (the journal keeps the data
+    /// safe; the fold is retried on a later commit).
+    pub compact_failures: Counter,
+}
+
+impl WalMetrics {
+    /// Intern the counters into `obs`.
+    pub fn registered(obs: &Registry) -> Self {
+        WalMetrics {
+            appends: obs.counter("store.wal.appends"),
+            fsyncs: obs.counter("store.wal.fsyncs"),
+            replayed: obs.counter("store.wal.replayed"),
+            truncated_tail: obs.counter("store.wal.truncated_tail"),
+            compactions: obs.counter("store.wal.compactions"),
+            compact_failures: obs.counter("store.wal.compact_failures"),
+        }
+    }
+}
+
+/// Journal tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Fold the journal into the snapshot every this many appends
+    /// (0 = never compact automatically).
+    pub compact_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { compact_every: 1024 }
+    }
+}
+
+/// What startup recovery found.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Journal records replayed over the snapshot.
+    pub records: u64,
+    /// Whether a torn tail was truncated.
+    pub truncated: bool,
+}
+
+/// Combined result of [`CredStore::attach_durable`].
+#[derive(Debug, Default)]
+pub struct DurabilityReport {
+    /// Entries loaded from the snapshot (before replay).
+    pub loaded: usize,
+    /// Journal records replayed.
+    pub replayed: u64,
+    /// Whether a torn journal tail was truncated.
+    pub truncated_tail: bool,
+    /// Snapshot files that failed to parse (skipped, counted under
+    /// `store.load.corrupt`).
+    pub corrupt: Vec<CorruptEntry>,
+}
+
+/// The write-ahead journal a [`CredStore`] commits through.
+///
+/// The `pending` mutex is the commit lock: append + fsync + in-memory
+/// apply + (maybe) compaction run under it, so journal order equals
+/// memory order and a concurrent compaction can never fold state whose
+/// records it is about to truncate.
+pub struct Wal {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    journal: PathBuf,
+    cfg: WalConfig,
+    metrics: WalMetrics,
+    /// Appends since the last successful compaction.
+    pending: Mutex<u64>,
+}
+
+fn wal_error(e: io::Error) -> MyProxyError {
+    MyProxyError::Gsi(mp_gsi::GsiError::Io(e))
+}
+
+impl Wal {
+    /// Open (and replay) the journal under `dir` into `store`. The
+    /// caller loads the snapshot first; replay applies the journal's
+    /// younger records over it.
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        cfg: WalConfig,
+        obs: &Registry,
+        store: &CredStore,
+    ) -> io::Result<(Arc<Wal>, ReplayReport)> {
+        let metrics = WalMetrics::registered(obs);
+        let journal = dir.join(JOURNAL_FILE);
+        let mut report = ReplayReport::default();
+        if vfs.exists(&journal) {
+            let raw = vfs.read(&journal)?;
+            let (records, good_len, torn) = parse_journal(&raw);
+            if torn {
+                // A partial final record is the expected shape of a
+                // crash mid-append: drop the tail, keep the prefix.
+                vfs.truncate(&journal, good_len as u64)?;
+                vfs.sync_file(&journal)?;
+                metrics.truncated_tail.inc();
+                report.truncated = true;
+            }
+            for rec in &records {
+                store.apply(rec);
+            }
+            report.records = records.len() as u64;
+            metrics.replayed.add(report.records);
+        }
+        let wal = Wal {
+            vfs,
+            dir: dir.to_path_buf(),
+            journal,
+            cfg,
+            metrics,
+            pending: Mutex::new(report.records),
+        };
+        Ok((Arc::new(wal), report))
+    }
+
+    /// Durably log `rec`, then apply it to `store`. The record is on
+    /// disk (appended **and** fsynced) before the in-memory state —
+    /// and therefore before any acknowledgment — changes. Returns how
+    /// many entries the apply touched.
+    pub fn commit(&self, store: &CredStore, rec: WalRecord) -> crate::Result<usize> {
+        let mut pending = self.pending.lock();
+        self.append_record(&rec).map_err(wal_error)?;
+        let touched = store.apply(&rec);
+        *pending += 1;
+        if self.cfg.compact_every > 0 && *pending >= self.cfg.compact_every {
+            // A failed fold is not a failed commit: the record is
+            // already durable in the journal. Count it and retry on
+            // the next commit.
+            match self.fold(store) {
+                Ok(()) => *pending = 0,
+                Err(_) => self.metrics.compact_failures.inc(),
+            }
+        }
+        Ok(touched)
+    }
+
+    /// Fold the journal into the snapshot now and truncate it.
+    pub fn compact(&self, store: &CredStore) -> io::Result<()> {
+        let mut pending = self.pending.lock();
+        self.fold(store)?;
+        *pending = 0;
+        Ok(())
+    }
+
+    /// This journal's counters.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
+    }
+
+    fn append_record(&self, rec: &WalRecord) -> io::Result<()> {
+        let frame = encode_frame(&encode_payload(rec))?;
+        self.vfs.append(&self.journal, &frame)?;
+        self.metrics.appends.inc();
+        self.vfs.sync_file(&self.journal)?;
+        self.metrics.fsyncs.inc();
+        Ok(())
+    }
+
+    /// Snapshot-then-truncate, caller holds the commit lock. A crash
+    /// anywhere in here is safe: the snapshot write path is
+    /// tmp → fsync → rename → dir-fsync per entry, the journal is
+    /// truncated only after the fold is durable, and replaying the
+    /// whole journal over its own fold is idempotent.
+    fn fold(&self, store: &CredStore) -> io::Result<()> {
+        store.save_snapshot(&self.dir, self.vfs.as_ref())?;
+        self.vfs.truncate(&self.journal, 0)?;
+        self.vfs.sync_file(&self.journal)?;
+        self.metrics.compactions.inc();
+        Ok(())
+    }
+}
+
+impl CredStore {
+    /// Make this store durable under `dir`: load the snapshot, replay
+    /// the journal (truncating a torn tail), and attach the journal so
+    /// every later mutation is logged with fsync-on-commit before it
+    /// is applied. `store.wal.*` and `store.load.corrupt` intern into
+    /// `obs`.
+    pub fn attach_durable(
+        &self,
+        dir: &Path,
+        vfs: Arc<dyn Vfs>,
+        cfg: WalConfig,
+        obs: &Registry,
+    ) -> io::Result<DurabilityReport> {
+        vfs.create_dir_all(dir)?;
+        let corrupt = self.load_snapshot(dir, vfs.as_ref())?;
+        obs.counter("store.load.corrupt").add(corrupt.len() as u64);
+        let loaded = self.len();
+        let (wal, replay) = Wal::open(vfs, dir, cfg, obs, self)?;
+        self.attach_wal(wal);
+        Ok(DurabilityReport {
+            loaded,
+            replayed: replay.records,
+            truncated_tail: replay.truncated,
+            corrupt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DEFAULT_NAME;
+    use mp_x509::test_util::{test_drbg, test_rsa_key};
+    use mp_x509::{CertificateAuthority, Dn};
+
+    fn credential() -> mp_gsi::Credential {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(1);
+        let dn = Dn::parse("/O=Grid/CN=alice").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 600_000).unwrap();
+        mp_gsi::Credential::new(vec![cert], key.clone()).unwrap()
+    }
+
+    fn durable_store(vfs: Arc<CrashVfs>, compact_every: u64) -> (CredStore, DurabilityReport) {
+        let store = CredStore::new(10);
+        let report = store
+            .attach_durable(Path::new("/store"), vfs, WalConfig { compact_every }, &Registry::new())
+            .unwrap();
+        (store, report)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_all_record_kinds() {
+        let mut rng = test_drbg("wal frame");
+        let store = CredStore::new(10);
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        let entry = store.peek("alice", DEFAULT_NAME).unwrap();
+        let records = [
+            WalRecord::Upsert(entry),
+            WalRecord::Remove { username: "alice".into(), name: "x".into() },
+            WalRecord::Purge { now: 123_456 },
+        ];
+        let mut raw = Vec::new();
+        for rec in &records {
+            raw.extend_from_slice(&encode_frame(&encode_payload(rec)).unwrap());
+        }
+        let (parsed, good, torn) = parse_journal(&raw);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(good, raw.len());
+        assert!(!torn);
+        match (&parsed[0], &parsed[1], &parsed[2]) {
+            (
+                WalRecord::Upsert(e),
+                WalRecord::Remove { username, name },
+                WalRecord::Purge { now },
+            ) => {
+                assert_eq!(e.username, "alice");
+                assert_eq!(username, "alice");
+                assert_eq!(name, "x");
+                assert_eq!(*now, 123_456);
+            }
+            _ => panic!("record kinds did not round-trip"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let rec = WalRecord::Purge { now: 7 };
+        let mut raw = encode_frame(&encode_payload(&rec)).unwrap();
+        let clean = raw.len();
+        let mut second = encode_frame(&encode_payload(&rec)).unwrap();
+        second.truncate(second.len() - 3); // torn mid-payload
+        raw.extend_from_slice(&second);
+        let (parsed, good, torn) = parse_journal(&raw);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(good, clean);
+        assert!(torn);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_at_prefix() {
+        let rec = WalRecord::Purge { now: 7 };
+        let mut raw = encode_frame(&encode_payload(&rec)).unwrap();
+        let mut bad = encode_frame(&encode_payload(&rec)).unwrap();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // payload bit-flip: CRC mismatch
+        raw.extend_from_slice(&bad);
+        let (parsed, good, torn) = parse_journal(&raw);
+        assert_eq!(parsed.len(), 1);
+        assert!(torn);
+        assert_eq!(good, raw.len() - bad.len());
+    }
+
+    #[test]
+    fn put_survives_reopen_without_compaction() {
+        let vfs = Arc::new(CrashVfs::new());
+        let (store, _) = durable_store(vfs.clone(), 0);
+        let mut rng = test_drbg("wal reopen");
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice").unwrap();
+
+        let reopened_vfs = Arc::new(CrashVfs::from_image(vfs.image_synced()));
+        let (restored, report) = durable_store(reopened_vfs, 0);
+        assert_eq!(report.loaded, 0, "nothing compacted yet; all from journal");
+        assert_eq!(report.replayed, 2);
+        let (_, entry) = restored.open("alice", DEFAULT_NAME, "pass!").unwrap();
+        assert_eq!(entry.owner_identity, "/O=Grid/CN=alice");
+    }
+
+    #[test]
+    fn compaction_folds_journal_and_roundtrips_raw_dump() {
+        let vfs = Arc::new(CrashVfs::new());
+        let (store, _) = durable_store(vfs.clone(), 0);
+        let mut rng = test_drbg("wal compact");
+        store
+            .put("alice", DEFAULT_NAME, "pass-a", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store
+            .put("bob", DEFAULT_NAME, "pass-b", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store.destroy("alice", DEFAULT_NAME, "pass-a").unwrap();
+        let mut dump_before = store.raw_dump();
+        dump_before.sort();
+
+        store.compact_journal().unwrap();
+        let journal = vfs.read(Path::new("/store/journal.wal")).unwrap();
+        assert!(journal.is_empty(), "compaction truncates the journal");
+
+        let reopened = Arc::new(CrashVfs::from_image(vfs.image_synced()));
+        let (restored, report) = durable_store(reopened, 0);
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.replayed, 0);
+        let mut dump_after = restored.raw_dump();
+        dump_after.sort();
+        assert_eq!(dump_before, dump_after, "snapshot+journal equals pre-crash state");
+        assert!(restored.open("bob", DEFAULT_NAME, "pass-b").is_ok());
+        assert!(restored.open("alice", DEFAULT_NAME, "pass-a").is_err());
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_threshold() {
+        let vfs = Arc::new(CrashVfs::new());
+        let (store, _) = durable_store(vfs.clone(), 3);
+        let mut rng = test_drbg("wal auto");
+        for (i, user) in ["u1", "u2", "u3"].iter().enumerate() {
+            store
+                .put(user, DEFAULT_NAME, "pass!!", &credential(), 7200, i as u64, false, vec![], &mut rng)
+                .unwrap();
+        }
+        let journal = vfs.read(Path::new("/store/journal.wal")).unwrap();
+        assert!(journal.is_empty(), "third append crossed the threshold");
+        let reopened = Arc::new(CrashVfs::from_image(vfs.image_synced()));
+        let (restored, report) = durable_store(reopened, 3);
+        assert_eq!(report.loaded, 3);
+        assert!(restored.open("u2", DEFAULT_NAME, "pass!!").is_ok());
+    }
+
+    #[test]
+    fn skipped_fsyncs_lose_unsynced_data_without_corrupting_recovery() {
+        let vfs = Arc::new(CrashVfs::new());
+        vfs.set_skip_fsyncs(true);
+        let (store, _) = durable_store(vfs.clone(), 0);
+        let mut rng = test_drbg("wal liar");
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        // The lying disk dropped everything unsynced; recovery must
+        // still come up cleanly (empty, but not corrupt or panicking).
+        let reopened = Arc::new(CrashVfs::from_image(vfs.image_synced()));
+        let store2 = CredStore::new(10);
+        let report = store2
+            .attach_durable(Path::new("/store"), reopened, WalConfig::default(), &Registry::new())
+            .unwrap();
+        assert_eq!(report.replayed, 0);
+        assert!(store2.is_empty());
+    }
+
+    #[test]
+    fn duplicate_renames_leave_tmp_litter_that_recovery_sweeps() {
+        let vfs = Arc::new(CrashVfs::new());
+        vfs.set_duplicate_renames(true);
+        let (store, _) = durable_store(vfs.clone(), 0);
+        let mut rng = test_drbg("wal duprename");
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store.compact_journal().unwrap();
+        let names = vfs.list_dir(Path::new("/store")).unwrap();
+        assert!(names.iter().any(|n| n.ends_with(".tmp")), "rename left the source");
+
+        let reopened = Arc::new(CrashVfs::from_image(vfs.image_synced()));
+        let (restored, report) = durable_store(reopened.clone(), 0);
+        assert!(report.corrupt.is_empty());
+        assert!(restored.open("alice", DEFAULT_NAME, "pass!").is_ok());
+        let names = reopened.list_dir(Path::new("/store")).unwrap();
+        assert!(!names.iter().any(|n| n.ends_with(".tmp")), "stale tmp swept on load");
+    }
+
+    #[test]
+    fn write_limited_disk_truncates_tail_on_recovery() {
+        let vfs = Arc::new(CrashVfs::new());
+        let (store, _) = durable_store(vfs.clone(), 0);
+        let mut rng = test_drbg("wal limit");
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        // From now on the disk silently keeps only 10 bytes per write:
+        // the next record lands torn even though the API said ok.
+        vfs.set_write_limit(10);
+        store
+            .put("bob", DEFAULT_NAME, "pass-b", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+
+        let reopened = Arc::new(CrashVfs::from_image(vfs.image_torn()));
+        let obs = Registry::new();
+        let store2 = CredStore::new(10);
+        let report = store2
+            .attach_durable(Path::new("/store"), reopened, WalConfig::default(), &obs)
+            .unwrap();
+        assert!(report.truncated_tail, "short record detected and dropped");
+        assert_eq!(report.replayed, 1, "clean prefix only");
+        assert!(store2.open("alice", DEFAULT_NAME, "pass!").is_ok());
+        assert!(store2.open("bob", DEFAULT_NAME, "pass-b").is_err());
+        assert_eq!(obs.snapshot().counters.get("store.wal.truncated_tail"), Some(&1));
+    }
+
+    #[test]
+    fn real_vfs_roundtrip_on_disk() {
+        let dir = crate::testutil::TempDir::new("wal-realvfs");
+        let store = CredStore::new(10);
+        let report = store
+            .attach_durable(&dir, Arc::new(RealVfs), WalConfig { compact_every: 0 }, &Registry::new())
+            .unwrap();
+        assert_eq!(report.loaded + report.replayed as usize, 0);
+        let mut rng = test_drbg("wal real");
+        store
+            .put("alice", DEFAULT_NAME, "pass!", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        store.compact_journal().unwrap();
+        store
+            .put("bob", DEFAULT_NAME, "pass-b", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+
+        let restored = CredStore::new(10);
+        let report = restored
+            .attach_durable(&dir, Arc::new(RealVfs), WalConfig { compact_every: 0 }, &Registry::new())
+            .unwrap();
+        assert_eq!(report.loaded, 1, "alice from snapshot");
+        assert_eq!(report.replayed, 1, "bob from journal");
+        assert!(restored.open("alice", DEFAULT_NAME, "pass!").is_ok());
+        assert!(restored.open("bob", DEFAULT_NAME, "pass-b").is_ok());
+    }
+}

@@ -74,10 +74,11 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
     // R1: the attacker-reachable files named by the gate, plus all of
     // mp-obs — the metrics layer runs inside every request handler, so
     // a panic there takes the connection down with it.
-    const R1_FILES: [&str; 7] = [
+    const R1_FILES: [&str; 8] = [
         "crates/core/src/server.rs",
         "crates/core/src/store.rs",
         "crates/core/src/proto.rs",
+        "crates/core/src/wal.rs",
         "crates/gsi/src/channel.rs",
         "crates/gsi/src/wire.rs",
         "crates/gsi/src/transport.rs",

@@ -47,6 +47,7 @@ const FALLIBLE: &[&str] = &[
     "send", "recv", "handle", "serve_tls", "serve_plain", "write_all", "flush", "sync_all",
     "rename", "remove_file", "remove_dir_all", "create_dir_all", "set_permissions",
     "save_to_dir", "load_from_dir", "destroy", "change_passphrase", "join", "store_output",
+    "sync_file", "sync_dir", "append_record", "replay_journal", "save_snapshot", "load_snapshot",
 ];
 
 /// Method calls R7 treats as I/O a lock guard must not be held across:

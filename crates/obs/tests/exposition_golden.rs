@@ -14,6 +14,12 @@ fn golden_snapshot() -> Snapshot {
     let r = Registry::new();
     r.counter("myproxy.puts").add(3);
     r.counter("myproxy.gets").add(41);
+    r.counter("store.load.corrupt").add(0);
+    r.counter("store.wal.appends").add(7);
+    r.counter("store.wal.compactions").add(1);
+    r.counter("store.wal.fsyncs").add(7);
+    r.counter("store.wal.replayed").add(4);
+    r.counter("store.wal.truncated_tail").add(1);
     r.gauge("net.myproxy.active").set(2);
     let h = Histogram::with_bounds(&[10, 100, 1000]);
     for v in [5, 7, 90, 250, 4000] {
@@ -30,6 +36,18 @@ const GOLDEN: &str = "\
 myproxy.gets 41
 # TYPE myproxy.puts counter
 myproxy.puts 3
+# TYPE store.load.corrupt counter
+store.load.corrupt 0
+# TYPE store.wal.appends counter
+store.wal.appends 7
+# TYPE store.wal.compactions counter
+store.wal.compactions 1
+# TYPE store.wal.fsyncs counter
+store.wal.fsyncs 7
+# TYPE store.wal.replayed counter
+store.wal.replayed 4
+# TYPE store.wal.truncated_tail counter
+store.wal.truncated_tail 1
 # TYPE net.myproxy.active gauge
 net.myproxy.active 2
 # TYPE myproxy.request histogram

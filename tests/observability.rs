@@ -94,6 +94,51 @@ fn info_command_returns_repository_metrics() {
 }
 
 #[test]
+fn durable_server_reports_wal_metrics_through_info() {
+    let w = GridWorld::new();
+    let vfs = std::sync::Arc::new(myproxy::myproxy::wal::CrashVfs::new());
+    w.myproxy
+        .enable_durability_with(
+            std::path::Path::new("/store"),
+            vfs,
+            myproxy::myproxy::wal::WalConfig { compact_every: 1 },
+        )
+        .unwrap();
+    w.alice_init("correct horse battery").unwrap();
+
+    let mut rng = test_drbg("wal metrics");
+    let (_, metrics) = w
+        .myproxy_client
+        .info_with_metrics(
+            w.myproxy.connect_local(),
+            &w.alice,
+            "alice",
+            "correct horse battery",
+            &mut rng,
+            w.clock.now(),
+        )
+        .unwrap();
+
+    // The PUT journals two records (the credential upsert, then the
+    // owner-identity update), each fsynced; compact_every=1 folds the
+    // journal into a snapshot after each commit.
+    let counter = |name: &str| -> u64 {
+        metrics
+            .iter()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing counter {name} in {metrics:?}"))
+    };
+    assert_eq!(counter("store.wal.appends"), 2);
+    assert!(counter("store.wal.fsyncs") >= 2);
+    assert_eq!(counter("store.wal.compactions"), 2);
+    assert_eq!(counter("store.wal.replayed"), 0);
+    assert_eq!(counter("store.wal.truncated_tail"), 0);
+    assert_eq!(counter("store.load.corrupt"), 0);
+}
+
+#[test]
 fn plain_info_omits_metrics() {
     let w = GridWorld::new();
     w.alice_init("correct horse battery").unwrap();

@@ -23,8 +23,9 @@ use myproxy::gram::{job, storage, GramError};
 use myproxy::gsi::net::{self, accept_queue, BoxedConn, FaultyTransport, NetConfig, QueuePusher};
 use myproxy::gsi::transport::{BoxedTransport, Connector};
 use myproxy::gsi::{duplex, ChannelConfig, GsiError, MemStream};
-use myproxy::myproxy::client::InitParams;
-use myproxy::myproxy::MyProxyError;
+use myproxy::myproxy::client::{GetParams, InitParams, RetryPolicy};
+use myproxy::myproxy::wal::{CrashVfs, WalConfig};
+use myproxy::myproxy::{CredStore, MyProxyError, ServerPolicy};
 use myproxy::portal::browser::{expect_ok, Browser, BrowserMode};
 use myproxy::testkit::GridWorld;
 use myproxy::x509::test_util::test_drbg;
@@ -103,7 +104,9 @@ fn myproxy_pool_survives_faults_sheds_and_drains() {
     let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
     wait_until("half-open admitted", || stats.active() == 1);
 
-    // 3. ...so the next client is refused in protocol, not hung.
+    // 3. ...so the next client is refused in protocol, not hung. The
+    //    refusal surfaces as the typed transient error, carrying the
+    //    server's retry-after hint.
     let refused = w.myproxy_client.init(
         dial(&push),
         &w.alice,
@@ -111,10 +114,11 @@ fn myproxy_pool_survives_faults_sheds_and_drains() {
         &mut rng,
         w.clock.now(),
     );
-    let Err(MyProxyError::Gsi(GsiError::Denied(msg))) = refused else {
-        panic!("expected a busy refusal, got {refused:?}");
+    let Err(MyProxyError::Busy { reason, retry_after_ms }) = refused else {
+        panic!("expected a typed busy refusal, got {refused:?}");
     };
-    assert!(msg.contains("server busy"), "got: {msg}");
+    assert!(reason.contains("connection limit"), "got: {reason}");
+    assert_eq!(retry_after_ms, Some(200), "shed frame must carry the retry hint");
     assert_eq!(stats.shed(), 1);
 
     // 4. The handshake deadline evicts the half-open peer and frees
@@ -521,6 +525,116 @@ fn metrics_scrape_during_load_shed_reports_shed_counter() {
 
     let report = handle.shutdown();
     assert!(report.drained);
+}
+
+#[test]
+fn retrying_client_rides_out_shedding_while_plain_client_sees_busy() {
+    let w = GridWorld::new();
+    let (push, handle) = w.myproxy.serve_local(tight_cfg()).unwrap();
+    let stats = handle.stats();
+    let mut rng = test_drbg("robust retry shed");
+
+    // Store alice's credential while the single slot is free.
+    w.myproxy_client
+        .init(dial(&push), &w.alice, &InitParams::new("alice", PASS), &mut rng, w.clock.now())
+        .unwrap();
+    wait_until("init connection drained", || stats.active() == 0);
+
+    // A half-open peer now occupies the only slot until the handshake
+    // deadline (400 ms) evicts it.
+    let _half_open = dial_faulty(&push, |f| f.stall_after_read_frames(0));
+    wait_until("half-open admitted", || stats.active() == 1);
+
+    // A client without a retry policy surfaces the typed Busy at once.
+    let plain = w.myproxy_client.get_delegation(
+        dial(&push),
+        &w.portal_cred,
+        &GetParams::new("alice", PASS),
+        &mut rng,
+        w.clock.now(),
+    );
+    let Err(MyProxyError::Busy { retry_after_ms, .. }) = plain else {
+        panic!("expected a typed busy refusal, got {plain:?}");
+    };
+    assert_eq!(retry_after_ms, Some(200));
+
+    // A client with a retry policy re-dials after the hinted delay and
+    // succeeds once the eviction frees the slot. GET is idempotent, so
+    // the re-sends are safe by construction (PUT has no retrying
+    // variant at all).
+    let policy = RetryPolicy { max_attempts: 8, base_delay_ms: 50, max_delay_ms: 400, jitter_seed: 7 };
+    let delegated = w
+        .myproxy_client
+        .get_delegation_retrying(
+            &pool_connector(&push),
+            &w.portal_cred,
+            &GetParams::new("alice", PASS),
+            &policy,
+            &mut rng,
+            w.clock.now(),
+        )
+        .expect("retrying client must ride out the shed window");
+    assert!(delegated.subject().to_string().starts_with("/O=Grid/CN=alice/CN="));
+    assert!(stats.shed() >= 1, "at least the plain client was shed");
+
+    let report = handle.shutdown();
+    assert!(report.drained);
+}
+
+#[test]
+fn power_cut_mid_burst_preserves_acked_credentials_on_restart() {
+    let w = GridWorld::new();
+    let vfs = Arc::new(CrashVfs::new());
+    w.myproxy
+        .enable_durability_with(
+            std::path::Path::new("/store"),
+            vfs.clone(),
+            WalConfig { compact_every: 0 },
+        )
+        .unwrap();
+    let mut rng = test_drbg("robust crash burst");
+
+    let init_named = |name: &str, rng: &mut myproxy::crypto::HmacDrbg| {
+        let mut params = InitParams::new("alice", PASS);
+        params.cred_name = Some(name.into());
+        w.myproxy_client.init(w.myproxy.connect_local(), &w.alice, &params, rng, w.clock.now())
+    };
+
+    // Two PUTs land durably, then the "disk" dies one mutation into the
+    // third (its journal append survives unsynced, the fsync never
+    // happens — so the server must NOT have acked it).
+    init_named("cred-0", &mut rng).unwrap();
+    init_named("cred-1", &mut rng).unwrap();
+    vfs.set_cut_after(vfs.mutations() + 1);
+
+    let mut acked = vec!["cred-0", "cred-1"];
+    for name in ["cred-2", "cred-3"] {
+        match init_named(name, &mut rng) {
+            Ok(_) => acked.push(name),
+            Err(_) => break,
+        }
+    }
+    assert_eq!(acked, ["cred-0", "cred-1"], "no ack may follow the power cut");
+
+    // "Restart": recover a fresh store from the pessimistic crash image
+    // (only fsynced bytes survived). Every acked credential must open;
+    // the torn in-flight PUT must not resurrect as a corrupt entry.
+    let restarted = CredStore::new(ServerPolicy::permissive().pbkdf2_iterations);
+    let report = restarted
+        .attach_durable(
+            std::path::Path::new("/store"),
+            Arc::new(CrashVfs::from_image(vfs.image_synced())),
+            WalConfig { compact_every: 0 },
+            &myproxy::obs::Registry::new(),
+        )
+        .unwrap();
+    assert!(report.corrupt.is_empty(), "recovery must be clean: {:?}", report.corrupt);
+    for name in &acked {
+        restarted.open("alice", name, PASS).unwrap_or_else(|e| {
+            panic!("acked credential {name} lost after power cut: {e}");
+        });
+    }
+    assert_eq!(restarted.len(), acked.len(), "unacked PUT must not reappear");
 }
 
 #[test]
