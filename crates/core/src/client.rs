@@ -158,7 +158,7 @@ impl InitParams {
     fn to_request(&self, command: Command) -> Request {
         let mut req = Request::new(command)
             .field(field::USERNAME, &self.username)
-            .field(field::PASSPHRASE, self.passphrase.expose())
+            .secret_field(field::PASSPHRASE, &self.passphrase)
             .field(field::LIFETIME, &self.lifetime_secs.to_string());
         if let Some(r) = self.retrieval_max_lifetime {
             req = req.field("RETRIEVER_LIFETIME", &r.to_string());
@@ -172,7 +172,7 @@ impl InitParams {
         if let Some(r) = &self.renewer {
             req = req.field("RENEWER", r);
         }
-        req // lint:allow(R5) the PASSPHRASE field deliberately crosses here: the protocol carries it inside the mutually-authenticated encrypted channel (Figure 1, §5.1); callers only ever send this Request via SecureChannel
+        req
     }
 }
 
@@ -214,7 +214,7 @@ impl GetParams {
         let command = if self.otp.is_some() { Command::OtpGet } else { Command::Get };
         let mut req = Request::new(command)
             .field(field::USERNAME, &self.username)
-            .field(field::PASSPHRASE, self.passphrase.expose())
+            .secret_field(field::PASSPHRASE, &self.passphrase)
             .field(field::LIFETIME, &self.lifetime_secs.to_string());
         if let Some(n) = &self.cred_name {
             req = req.field(field::CRED_NAME, n);
@@ -225,7 +225,7 @@ impl GetParams {
         if let Some(otp) = &self.otp {
             req = req.field(field::OTP, otp);
         }
-        req // lint:allow(R5) same as InitParams::to_request: the pass phrase/OTP ride the GET request only over the mutually-authenticated encrypted channel (Figure 2, §5.1)
+        req
     }
 }
 

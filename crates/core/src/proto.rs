@@ -6,6 +6,7 @@
 //! PUT/GET by the delegation sub-protocol of `mp_gsi::delegate`.
 
 use crate::MyProxyError;
+use mp_crypto::Secret;
 use std::collections::BTreeMap;
 
 /// Protocol version string.
@@ -95,13 +96,32 @@ impl Request {
         Request { command, fields: BTreeMap::new() }
     }
 
-    /// Add a field. Panics on embedded newlines (caller bug).
-    pub fn field(mut self, key: &str, value: &str) -> Self {
+    /// Shared insert path for [`field`](Self::field) and
+    /// [`secret_field`](Self::secret_field). Panics on embedded
+    /// newlines (caller bug).
+    fn insert_checked(&mut self, key: &str, value: &str) {
         // lint:allow(R1) builder runs client-side on the caller's own inputs before anything is sent; an embedded newline is a caller bug, not attacker data
         assert!(!key.contains('\n') && !value.contains('\n'), "newline in protocol field");
         // lint:allow(R1) keys are the compile-time constants in `field`; '=' in one is a caller bug
         assert!(!key.contains('='), "'=' in protocol key");
         self.fields.insert(key.to_string(), value.to_string());
+    }
+
+    /// Add a field. Panics on embedded newlines (caller bug).
+    pub fn field(mut self, key: &str, value: &str) -> Self {
+        self.insert_checked(key, value);
+        self
+    }
+
+    /// Add a field carrying secret material (pass phrase, OTP). The
+    /// secret deliberately crosses into the request here: the protocol
+    /// sends it only inside the mutually-authenticated encrypted
+    /// channel (Figures 1–2, §5.1). Exposing it at this single point —
+    /// without binding the exposed string or returning a value derived
+    /// from it — keeps every caller's builder chain untainted, so
+    /// request constructors need no per-site R5 waivers.
+    pub fn secret_field(mut self, key: &str, value: &Secret<String>) -> Self {
+        self.insert_checked(key, value.expose());
         self
     }
 

@@ -765,7 +765,11 @@ impl MyProxyServer {
         let (client_end, server_end) = mp_gsi::duplex();
         let server = self.clone();
         let spawned = self.state.local_handlers.spawn("myproxy-conn", move || {
-            if server.handle(server_end).is_err() {
+            // Mirror the pool's deadline discipline: handshake deadline
+            // armed before any I/O, idle deadline once it completes.
+            let cfg = NetConfig::default();
+            server_end.set_deadlines(cfg.handshake_deadline, cfg.handshake_deadline);
+            if server.handle_deadlined(server_end, cfg.idle_deadline).is_err() {
                 server.state.stats.handler_errors.inc();
             }
         });

@@ -405,7 +405,11 @@ impl JobManager {
         let seed = rng_seed.to_vec();
         let spawned = self.inner.local_handlers.spawn("gram-conn", move || {
             let mut rng = HmacDrbg::new(&seed);
-            if service.handle(server_end, &mut rng).is_err() {
+            // Mirror the pool's deadline discipline: handshake deadline
+            // armed before any I/O, idle deadline once it completes.
+            let cfg = NetConfig::default();
+            server_end.set_deadlines(cfg.handshake_deadline, cfg.handshake_deadline);
+            if service.handle_deadlined(server_end, &mut rng, cfg.idle_deadline).is_err() {
                 service.inner.handler_errors.inc();
             }
         });

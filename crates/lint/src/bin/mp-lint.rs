@@ -38,7 +38,7 @@ fn main() -> ExitCode {
             "--check-waiver-budget" => check_budget = true,
             "--help" | "-h" => {
                 println!(
-                    "mp-lint: workspace security-hygiene gate (rules R1-R7)\n\
+                    "mp-lint: workspace security-hygiene gate (rules R1-R11)\n\
                      \n\
                      usage: mp-lint [--root DIR] [--json PATH] [--check-waiver-budget]\n\
                      \n\

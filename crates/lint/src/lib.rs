@@ -2,7 +2,7 @@
 //!
 //! A from-scratch static analyzer for this workspace, built on a
 //! purpose-built Rust lexer and statement-level parser (no `syn`, no
-//! proc-macros, no dependencies at all). It enforces seven rules
+//! proc-macros, no dependencies at all). It enforces eleven rules
 //! derived from the MyProxy paper's §5 security analysis:
 //!
 //! - **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/indexing in
@@ -26,6 +26,18 @@
 //!   fallible protocol/channel/store calls in the service crates.
 //! - **R7 lock discipline** — no guard held across channel/disk I/O;
 //!   the merged lock-acquisition graph must be cycle-free.
+//! - **R8 worker-pool blocking discipline** ([`rules_v3`], on the
+//!   [`callgraph`] engine) — nothing reachable from a pool worker
+//!   handler may spawn threads, read without bound, or fsync under a
+//!   lock, outside the audited `mp_gsi::net` substrate.
+//! - **R9 durability ordering** — mutating store paths that answer a
+//!   client must order WAL-append → fsync → ack; renames on
+//!   persistence paths need a directory fsync behind them.
+//! - **R10 atomic-ordering discipline** — the mp-obs/stats counters
+//!   are a documented `Relaxed`-only regime; stronger or mixed
+//!   orderings on the same atomic are findings.
+//! - **R11 deadline coverage** — socket I/O reachable from a serve
+//!   loop must be dominated by a deadline arm/re-arm.
 //!
 //! Violations can be waived per line with
 //! `// lint:allow(<rule>) <reason>` — the reason is mandatory; an
@@ -41,11 +53,13 @@
 //! `cargo run -p mp-lint` (`--json`, `--check-waiver-budget`).
 
 pub mod baseline;
+pub mod callgraph;
 pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 pub mod rules_v2;
+pub mod rules_v3;
 pub mod sarif;
 pub mod schema;
 
@@ -133,6 +147,41 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
         && !rel.contains("/tests/"))
         || rel == "crates/gsi/src/net.rs";
 
+    // R8 (pool blocking discipline): every crate whose code can run on
+    // a pool worker thread. This is also the call-graph-building scope
+    // for the inter-procedural pass — gsi is included so helper
+    // summaries (channel, delegation) resolve, with the net.rs
+    // substrate's own blocking effects barriered inside it.
+    rs.r8 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gsi/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/")
+        || rel.starts_with("crates/cli/src/"))
+        && !rel.contains("/tests/");
+
+    // R9 (durability ordering): the crates that own WAL/store state
+    // and answer clients about it.
+    rs.r9 = (rel.starts_with("crates/core/src/") || rel.starts_with("crates/gram/src/"))
+        && !rel.contains("/tests/");
+
+    // R10 (atomic orderings): the stats/metrics regime — mp-obs plus
+    // the service crates whose counters feed it. The lock-free
+    // channels in mp-gsi and the serial cache in mp-x509 use
+    // Acquire/Release on purpose and are out of scope.
+    rs.r10 = (rel.starts_with("crates/obs/src/")
+        || rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
+    // R11 (deadline coverage): everything that serves or spawns
+    // connection handlers.
+    rs.r11 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/")
+        || rel.starts_with("crates/cli/src/"))
+        && !rel.contains("/tests/");
+
     rs
 }
 
@@ -165,23 +214,47 @@ pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 pub fn check_files(files: &[(String, String, RuleSet)]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut edges: Vec<LockEdge> = Vec::new();
-    for (rel, src, rules) in files {
+    // Parses retained for the v3 inter-procedural pass (files are
+    // parsed once here, shared by R7's edge collection and R8–R11).
+    let mut parsed_files: Vec<(usize, parser::ParsedFile)> = Vec::new();
+    for (idx, (rel, src, rules)) in files.iter().enumerate() {
         diags.extend(check_source(rel, src, *rules));
-        if rules.r7 {
+        if rules.r7 || rules.r8 || rules.r9 || rules.r10 || rules.r11 {
             if let Ok(parsed) = parser::parse_source(src) {
-                edges.extend(rules_v2::lock_edges_for(rel, &parsed));
+                if rules.r7 {
+                    edges.extend(rules_v2::lock_edges_for(rel, &parsed));
+                }
+                if rules.r8 || rules.r9 || rules.r10 || rules.r11 {
+                    parsed_files.push((idx, parsed));
+                }
             }
         }
     }
-    // Lock-order cycles only exist across the merged graph; apply
-    // waivers here since these diagnostics bypass check_source.
-    for d in rules_v2::cycle_diags(&edges) {
-        let waived = files
+    // Cross-file passes bypass check_source, so waivers are applied
+    // here: lock-order cycles (R7) and the inter-procedural families
+    // (R8–R11) both anchor findings at a line the waiver can sit on.
+    let waived = |d: &Diagnostic| {
+        files
             .iter()
             .find(|(rel, _, _)| *rel == d.file)
             .map(|(_, src, _)| rules::is_waived(src, d.rule, d.line))
-            .unwrap_or(false);
-        if !waived {
+            .unwrap_or(false)
+    };
+    for d in rules_v2::cycle_diags(&edges) {
+        if !waived(&d) {
+            diags.push(d);
+        }
+    }
+    let v3_inputs: Vec<rules_v3::V3Input<'_>> = parsed_files
+        .iter()
+        .map(|(idx, parsed)| rules_v3::V3Input {
+            rel: files[*idx].0.clone(),
+            parsed,
+            rules: files[*idx].2,
+        })
+        .collect();
+    for d in rules_v3::run_v3(&v3_inputs) {
+        if !waived(&d) {
             diags.push(d);
         }
     }
@@ -283,6 +356,18 @@ mod tests {
         let rs = rules_for_path("crates/obs/src/registry.rs");
         assert!(rs.r1 && rs.r5, "metrics layer is panic-free and taint-checked");
         assert!(!rs.r3 && !rs.r4, "mp-obs holds no keys and no DER");
+        assert!(rs.r10 && !rs.r8 && !rs.r9 && !rs.r11, "obs: atomics regime only");
+
+        let rs = rules_for_path("crates/core/src/server.rs");
+        assert!(rs.r8 && rs.r9 && rs.r10 && rs.r11, "server is fully v3-scoped");
+        let rs = rules_for_path("crates/gsi/src/net.rs");
+        assert!(rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "net: in the graph, R8 scope");
+        let rs = rules_for_path("crates/cli/src/bin/myproxy.rs");
+        assert!(rs.r8 && rs.r11 && !rs.r9 && !rs.r10, "cli serves nothing but spawns");
+        let rs = rules_for_path("crates/crypto/src/lib.rs");
+        assert!(!rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "crypto out of v3 scope");
+        let rs = rules_for_path("crates/core/tests/robustness.rs");
+        assert!(!rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "integration tests out");
 
         assert!(rules_for_path("vendor/rand/src/lib.rs").none());
         assert!(rules_for_path("crates/lint/src/rules.rs").none());

@@ -91,6 +91,11 @@ pub struct Function {
     pub stmts: Vec<Stmt>,
     /// True if the function sits in `#[test]`/`#[cfg(test)]` code.
     pub is_test: bool,
+    /// Trait name when the function sits inside an `impl Trait for
+    /// Type` block (`Some("Service")` for pool-worker entry points);
+    /// `None` for free functions and inherent impls. The tightest
+    /// enclosing impl block wins.
+    pub impl_trait: Option<String>,
 }
 
 /// A parsed file: the lex result, the test mask, and every function.
@@ -111,6 +116,7 @@ pub fn parse_source(src: &str) -> Result<ParsedFile, ParseError> {
 }
 
 fn parse_functions(tokens: &[Token], mask: &[bool]) -> Result<Vec<Function>, ParseError> {
+    let ranges = impl_ranges(tokens);
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -233,11 +239,113 @@ fn parse_functions(tokens: &[Token], mask: &[bool]) -> Result<Vec<Function>, Par
             body,
             stmts,
             is_test: mask.get(fn_tok).copied().unwrap_or(false),
+            impl_trait: ranges
+                .iter()
+                .filter(|(open, close, _)| *open < fn_tok && fn_tok < *close)
+                .min_by_key(|(open, close, _)| close - open)
+                .map(|(_, _, name)| name.clone()),
         });
         // Continue from just inside the body so nested fns are found too.
         i = body_open + 1;
     }
     Ok(out)
+}
+
+/// Find every `impl Trait for Type { .. }` block and report its body
+/// token range plus the trait name (the last angle-depth-0 path ident
+/// before the `for`). Inherent impls (`impl Type { .. }`) have no
+/// `for` and are not reported. Used to tag functions with the trait
+/// they implement — the call-graph engine keys pool-worker roots off
+/// `impl Service for ..` blocks.
+fn impl_ranges(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip generics `<...>` right after `impl`.
+        if tokens.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    let arrow = j > 0 && tokens[j - 1].is_punct('-') && tokens[j - 1].glues_with(t);
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan the trait path up to a depth-0 `for`; `impl Trait` in
+        // type position never reaches a `for` before `{`/`;` and is
+        // skipped because `saw_for` stays false.
+        let mut depth = 0i32;
+        let mut last_ident: Option<String> = None;
+        let mut saw_for = false;
+        let mut k = j;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_ident("for") && depth == 0 {
+                saw_for = true;
+                break;
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                let arrow = k > 0 && tokens[k - 1].is_punct('-') && tokens[k - 1].glues_with(t);
+                if !arrow {
+                    depth -= 1;
+                }
+            } else if t.kind == TokenKind::Ident && depth == 0 && !t.is_ident("dyn") {
+                last_ident = Some(t.text.clone());
+            }
+            k += 1;
+        }
+        // Advance to the body `{` (past the implementing type / where
+        // clause) and match its braces.
+        while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+            k += 1;
+        }
+        if k >= tokens.len() || tokens[k].is_punct(';') {
+            i = k.min(tokens.len().saturating_sub(1)) + 1;
+            continue;
+        }
+        let open = k;
+        let mut bd = 0i32;
+        let mut close = None;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                bd += 1;
+            } else if tokens[k].is_punct('}') {
+                bd -= 1;
+                if bd == 0 {
+                    close = Some(k);
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if let (true, Some(name), Some(c)) = (saw_for, last_ident, close) {
+            out.push((open, c, name));
+        }
+        // Continue scanning from just inside the body so nested impls
+        // (inside fns) are found too.
+        i = open + 1;
+    }
+    out
 }
 
 /// Split a parameter-list token slice at top-level commas and extract
@@ -520,6 +628,25 @@ mod tests {
     #[test]
     fn unbalanced_body_is_an_error() {
         assert!(parse_source("fn broken() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn impl_trait_is_tagged() {
+        let p = parse(
+            "impl<C: Transport> Service<C> for MyService {\n\
+                 fn handle(&self, conn: C) -> Outcome { Outcome::Ok }\n\
+             }\n\
+             impl MyService {\n    fn helper(&self) {}\n}\n\
+             impl fmt::Display for MyService {\n\
+                 fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n\
+             }\n\
+             fn free() -> impl Iterator<Item = u8> { std::iter::empty() }\n",
+        );
+        let by_name = |n: &str| p.functions.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("handle").impl_trait.as_deref(), Some("Service"));
+        assert_eq!(by_name("helper").impl_trait, None);
+        assert_eq!(by_name("fmt").impl_trait.as_deref(), Some("Display"));
+        assert_eq!(by_name("free").impl_trait, None);
     }
 
     #[test]

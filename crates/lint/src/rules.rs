@@ -67,16 +67,44 @@ pub struct RuleSet {
     pub r5: bool,
     pub r6: bool,
     pub r7: bool,
+    /// v3 inter-procedural rules (see `rules_v3`): these run in the
+    /// cross-file pass (`check_files`), never per-file.
+    pub r8: bool,
+    pub r9: bool,
+    pub r10: bool,
+    pub r11: bool,
 }
 
 impl RuleSet {
     pub fn none(self) -> bool {
-        !(self.r1 || self.r2 || self.r3 || self.r4 || self.r5 || self.r6 || self.r7)
+        !(self.r1
+            || self.r2
+            || self.r3
+            || self.r4
+            || self.r5
+            || self.r6
+            || self.r7
+            || self.r8
+            || self.r9
+            || self.r10
+            || self.r11)
     }
 
     /// All rules on (fixtures and tests use this).
     pub fn all() -> Self {
-        RuleSet { r1: true, r2: true, r3: true, r4: true, r5: true, r6: true, r7: true }
+        RuleSet {
+            r1: true,
+            r2: true,
+            r3: true,
+            r4: true,
+            r5: true,
+            r6: true,
+            r7: true,
+            r8: true,
+            r9: true,
+            r10: true,
+            r11: true,
+        }
     }
 
     /// The v1 token-stream rules only.
@@ -778,6 +806,10 @@ mod tests {
         r5: false,
         r6: false,
         r7: false,
+        r8: false,
+        r9: false,
+        r10: false,
+        r11: false,
     };
 
     fn lines_with(diags: &[Diagnostic], rule: &str) -> Vec<u32> {

@@ -1,0 +1,395 @@
+//! mp-lint v3: inter-procedural rule families on top of [`crate::callgraph`].
+//!
+//! * **R8 — worker-pool blocking discipline.** Nothing reachable from a
+//!   pool worker entry point (`impl Service for ..` `handle`/`shed`)
+//!   may spawn a thread, perform an unbounded read/accept, or fsync
+//!   while holding a lock — outside the audited `mp_gsi::net`
+//!   substrate, which owns the pool mechanism itself.
+//! * **R9 — durability ordering.** On every mutating store path that
+//!   writes a response the order must be WAL-append → fsync → ack: an
+//!   ack with an unfsynced append behind it is a finding, as is a
+//!   store mutation after the final ack, as is a `rename` on a
+//!   persistence path with no directory fsync behind it.
+//! * **R10 — atomic-ordering discipline.** The mp-obs/stats counters
+//!   are documented as a `Relaxed`-only regime: any other ordering in
+//!   scope is a finding, and so are mixed orderings on the same atomic
+//!   (grouped by receiver identifier across files).
+//! * **R11 — deadline coverage.** Every socket read/write reachable
+//!   from a serve-loop entry point must be dominated by a deadline
+//!   arm/re-arm. Pool workers enter *armed* (the accept loop arms the
+//!   handshake deadline before dispatch); functions that spawn their
+//!   own handler thread enter *unarmed* and must arm before I/O.
+//!
+//! Findings anchor at the first call hop inside the checked function
+//! (so a `lint:allow` waiver sits at the call site) and carry the full
+//! inter-procedural trace down to the primitive, R5-taint-path style.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::{CallGraph, Effect, EffectKind};
+use crate::parser::ParsedFile;
+use crate::rules::{Diagnostic, RuleSet, TaintStep};
+
+/// One file handed to the v3 pass: workspace-relative path, its parse,
+/// and which rules apply to it.
+pub struct V3Input<'a> {
+    pub rel: String,
+    pub parsed: &'a ParsedFile,
+    pub rules: RuleSet,
+}
+
+/// Run R8–R11 across the workspace. Waivers are applied by the caller
+/// (`check_files`), mirroring the R7 cross-file pass.
+pub fn run_v3(inputs: &[V3Input<'_>]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let graph_files: Vec<(String, &ParsedFile)> = inputs
+        .iter()
+        .filter(|f| f.rules.r8 || f.rules.r9 || f.rules.r11)
+        .map(|f| (f.rel.clone(), f.parsed))
+        .collect();
+    if !graph_files.is_empty() {
+        let graph = CallGraph::build(&graph_files);
+        let rules_of: HashMap<&str, RuleSet> =
+            inputs.iter().map(|f| (f.rel.as_str(), f.rules)).collect();
+        diags.extend(r8_pool_blocking(&graph, &rules_of));
+        diags.extend(r9_durability(&graph, &rules_of));
+        diags.extend(r11_deadlines(&graph, &rules_of));
+    }
+
+    diags.extend(r10_atomics(inputs));
+
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Pool worker entry points: `handle`/`shed` inside `impl Service`.
+fn is_pool_root(g: &CallGraph, i: usize) -> bool {
+    let f = &g.fns[i];
+    f.impl_trait.as_deref() == Some("Service") && matches!(f.name.as_str(), "handle" | "shed")
+}
+
+/// Anchor line for an effect inside the checked function's file: the
+/// first call hop if the effect was spliced in, else the effect site.
+fn anchor_line(e: &Effect) -> u32 {
+    e.trace.first().map(|s| s.line).unwrap_or(e.line)
+}
+
+/// Render an effect's call path plus a terminal step at the primitive.
+fn path_of(e: &Effect, what: &str) -> Vec<TaintStep> {
+    let mut steps = e.trace.clone();
+    steps.push(TaintStep {
+        line: e.line,
+        note: format!("{what}: {} [{}:{}]", e.note, e.file, e.line),
+    });
+    steps
+}
+
+fn r8_pool_blocking(g: &CallGraph, rules_of: &HashMap<&str, RuleSet>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<(String, u32, EffectKind, String, u32)> = HashSet::new();
+    for i in 0..g.fns.len() {
+        let f = &g.fns[i];
+        if !rules_of.get(f.file.as_str()).map(|r| r.r8).unwrap_or(false) {
+            continue;
+        }
+        if !is_pool_root(g, i) || f.is_substrate() {
+            continue;
+        }
+        for e in g.summary(i) {
+            if !matches!(
+                e.kind,
+                EffectKind::Spawn | EffectKind::UnboundedRead | EffectKind::FsyncUnderLock
+            ) {
+                continue;
+            }
+            let line = anchor_line(e);
+            if !seen.insert((f.file.clone(), line, e.kind, e.file.clone(), e.line)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: f.file.clone(),
+                line,
+                rule: "R8",
+                message: format!(
+                    "pool worker `{}::{}` reaches a {} at {}:{} — blocking work must \
+                     stay off pool worker threads (mp_gsi::net substrate excepted)",
+                    f.impl_trait.as_deref().unwrap_or("?"),
+                    f.name,
+                    e.kind.label(),
+                    e.file,
+                    e.line
+                ),
+                path: path_of(e, "blocking operation"),
+            });
+        }
+    }
+    out
+}
+
+fn r9_durability(g: &CallGraph, rules_of: &HashMap<&str, RuleSet>) -> Vec<Diagnostic> {
+    // Candidates keyed for global dedup (the same underlying violation
+    // shows up in every caller whose summary contains both events);
+    // the shortest path wins.
+    let mut cands: HashMap<(u8, String, u32, String, u32), Diagnostic> = HashMap::new();
+    let mut keep = |key: (u8, String, u32, String, u32), d: Diagnostic| {
+        match cands.get(&key) {
+            Some(old) if old.path.len() <= d.path.len() => {}
+            _ => {
+                cands.insert(key, d);
+            }
+        }
+    };
+    for i in 0..g.fns.len() {
+        let f = &g.fns[i];
+        if !rules_of.get(f.file.as_str()).map(|r| r.r9).unwrap_or(false) {
+            continue;
+        }
+        if f.is_substrate() {
+            continue;
+        }
+        let s = g.summary(i);
+
+        // (a) a WAL append followed by an ack with no fsync between:
+        // the response acknowledges state that is not yet durable.
+        // Appends covered by a later fsync were already fused to
+        // `DurableAppend` on the *uncompressed* stream (callgraph), so
+        // a raw `WalAppend` here genuinely has no covering fsync
+        // before the next ack — any later ack is the violation.
+        for (ai, append) in s.iter().enumerate().filter(|(_, e)| e.kind == EffectKind::WalAppend) {
+            let Some(ack) = s[ai + 1..].iter().find(|e| e.kind == EffectKind::Ack) else {
+                continue;
+            };
+            let mut path = path_of(append, "WAL append");
+            path.extend(path_of(ack, "acknowledged before fsync"));
+            keep(
+                (b'a', append.file.clone(), append.line, ack.file.clone(), ack.line),
+                Diagnostic {
+                    file: f.file.clone(),
+                    line: anchor_line(ack),
+                    rule: "R9",
+                    message: format!(
+                        "response acknowledged before the WAL append at {}:{} is fsynced \
+                         — durability order must be append → fsync → ack",
+                        append.file, append.line
+                    ),
+                    path,
+                },
+            );
+        }
+
+        // (b) a store mutation after the final ack: a crash between
+        // them leaves the client holding an ack for unapplied state.
+        if let Some(ki) = s.iter().rposition(|e| e.kind == EffectKind::Ack) {
+            let ack = &s[ki];
+            for m in s[ki + 1..].iter().filter(|e| e.kind == EffectKind::Mutate) {
+                let mut path = path_of(ack, "final response ack");
+                path.extend(path_of(m, "mutation after ack"));
+                keep(
+                    (b'b', m.file.clone(), m.line, ack.file.clone(), ack.line),
+                    Diagnostic {
+                        file: f.file.clone(),
+                        line: anchor_line(m),
+                        rule: "R9",
+                        message: format!(
+                            "store mutation at {}:{} happens after the response was \
+                             acknowledged at {}:{} — mutate and make durable first, ack last",
+                            m.file, m.line, ack.file, ack.line
+                        ),
+                        path,
+                    },
+                );
+            }
+        }
+
+        // (c) a local rename on a persistence path with no directory
+        // fsync behind it: the new directory entry may not survive a
+        // crash. Checked where the rename is *local* so the one
+        // responsible function is flagged, not every caller.
+        for (ri, ren) in s
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == EffectKind::Rename && e.trace.is_empty())
+        {
+            if s[ri + 1..].iter().any(|e| e.kind == EffectKind::DirFsync) {
+                continue;
+            }
+            keep(
+                (b'c', ren.file.clone(), ren.line, String::new(), 0),
+                Diagnostic {
+                    file: f.file.clone(),
+                    line: ren.line,
+                    rule: "R9",
+                    message: format!(
+                        "`rename` in `{}` has no directory fsync after it — the new \
+                         directory entry is not durable until the directory is synced",
+                        f.name
+                    ),
+                    path: path_of(ren, "rename"),
+                },
+            );
+        }
+    }
+    cands.into_values().collect()
+}
+
+/// Atomic-ordering variants (whitelist keeps `cmp::Ordering::Less`
+/// and friends out of scope).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+fn r10_atomics(inputs: &[V3Input<'_>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // receiver ident -> [(variant, file, line)] across all files.
+    let mut by_recv: HashMap<String, Vec<(String, String, u32)>> = HashMap::new();
+    for f in inputs.iter().filter(|f| f.rules.r10) {
+        let toks = &f.parsed.lexed.tokens;
+        let mask = &f.parsed.test_mask;
+        for i in 0..toks.len() {
+            if mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            // `Ordering :: <Variant>`
+            if !(toks[i].is_ident("Ordering")
+                && toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false))
+            {
+                continue;
+            }
+            let Some(var) = toks.get(i + 3) else { continue };
+            if !ATOMIC_ORDERINGS.contains(&var.text.as_str()) {
+                continue;
+            }
+            let variant = var.text.clone();
+            if variant != "Relaxed" {
+                out.push(Diagnostic {
+                    file: f.rel.clone(),
+                    line: var.line,
+                    rule: "R10",
+                    message: format!(
+                        "`Ordering::{variant}` on a stats atomic — the mp-obs counter \
+                         regime is documented Relaxed-only (counters are monotonic and \
+                         independently meaningful; stronger orderings buy nothing here)"
+                    ),
+                    path: Vec::new(),
+                });
+            }
+            // Attribute the ordering to the atomic receiver: the ident
+            // before the `.` before the nearest preceding atomic method.
+            let lo = i.saturating_sub(40);
+            let recv = (lo..i).rev().find_map(|j| {
+                let t = &toks[j];
+                if t.kind == crate::lexer::TokenKind::Ident
+                    && ATOMIC_METHODS.contains(&t.text.as_str())
+                    && j > 1
+                    && toks[j - 1].is_punct('.')
+                    && toks[j - 2].kind == crate::lexer::TokenKind::Ident
+                {
+                    Some(toks[j - 2].text.clone())
+                } else {
+                    None
+                }
+            });
+            if let Some(r) = recv {
+                by_recv.entry(r).or_default().push((variant, f.rel.clone(), var.line));
+            }
+        }
+    }
+    for (recv, mut uses) in by_recv {
+        let distinct: HashSet<&str> = uses.iter().map(|(v, _, _)| v.as_str()).collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+        uses.sort_by(|a, b| (a.1.as_str(), a.2).cmp(&(b.1.as_str(), b.2)));
+        let listed = uses
+            .iter()
+            .map(|(v, fl, ln)| format!("{v} at {fl}:{ln}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        // Anchor at the second site: the first use establishes the
+        // regime, the second diverges (or proves the mix).
+        let (_, file, line) = uses[1].clone();
+        out.push(Diagnostic {
+            file,
+            line,
+            rule: "R10",
+            message: format!(
+                "atomic `{recv}` is accessed with mixed memory orderings ({listed}) — \
+                 pick one regime per atomic"
+            ),
+            path: Vec::new(),
+        });
+    }
+    out
+}
+
+fn r11_deadlines(g: &CallGraph, rules_of: &HashMap<&str, RuleSet>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..g.fns.len() {
+        let f = &g.fns[i];
+        if !rules_of.get(f.file.as_str()).map(|r| r.r11).unwrap_or(false) {
+            continue;
+        }
+        if f.is_substrate() {
+            continue;
+        }
+        let pool_root = is_pool_root(g, i);
+        let spawn_root = !pool_root && f.has_local_spawn();
+        if !pool_root && !spawn_root {
+            continue;
+        }
+        // Pool workers enter armed: the accept loop arms the handshake
+        // deadline on every connection before dispatch (mp_gsi::net).
+        // Self-spawned handler threads enter with nothing armed.
+        let mut armed = pool_root;
+        for e in g.summary(i) {
+            match e.kind {
+                EffectKind::DeadlineArm => armed = true,
+                EffectKind::SocketRead
+                | EffectKind::SocketWrite
+                | EffectKind::UnboundedRead
+                | EffectKind::Ack
+                    if !armed =>
+                {
+                    out.push(Diagnostic {
+                        file: f.file.clone(),
+                        line: anchor_line(e),
+                        rule: "R11",
+                        message: format!(
+                            "socket I/O ({} at {}:{}) reachable from `{}` before any \
+                             deadline is armed — a stalled peer parks this thread forever; \
+                             arm read/write deadlines first",
+                            e.kind.label(),
+                            e.file,
+                            e.line,
+                            f.name
+                        ),
+                        path: path_of(e, "undeadlined socket I/O"),
+                    });
+                    // One finding per serve root: the fix (arm on
+                    // entry) covers everything downstream of it.
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}

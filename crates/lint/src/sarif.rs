@@ -7,7 +7,17 @@ use crate::json::Value;
 use crate::rules::Diagnostic;
 
 pub const TOOL_NAME: &str = "mp-lint";
-pub const TOOL_VERSION: &str = "2.0";
+pub const TOOL_VERSION: &str = "3.0";
+
+/// Rules whose finding counts are summarized at the document top level
+/// (`summary."lint.findings.<rule>"`) so dashboards can trend the
+/// inter-procedural families without walking `results`.
+const SUMMARY_RULES: &[(&str, &str)] = &[
+    ("lint.findings.r8", "R8"),
+    ("lint.findings.r9", "R9"),
+    ("lint.findings.r10", "R10"),
+    ("lint.findings.r11", "R11"),
+];
 
 /// Build the SARIF-lite document for a set of diagnostics.
 /// `baselined` marks findings present in the committed baseline (they
@@ -49,9 +59,19 @@ pub fn report(findings: &[(Diagnostic, bool)]) -> Value {
         })
         .collect();
 
+    // Summary counts include baselined findings: the summary trends
+    // total rule pressure, the gate decides pass/fail separately.
+    let summary: Vec<(&str, Value)> = SUMMARY_RULES
+        .iter()
+        .map(|(key, rule)| {
+            let n = findings.iter().filter(|(d, _)| d.rule == *rule).count();
+            (*key, Value::Num(n as f64))
+        })
+        .collect();
+
     Value::obj(vec![
         ("$schema", Value::Str("docs/mp-lint.sarif-lite.schema.json".into())),
-        ("version", Value::Str("1".into())),
+        ("version", Value::Str("2".into())),
         (
             "tool",
             Value::obj(vec![
@@ -59,6 +79,7 @@ pub fn report(findings: &[(Diagnostic, bool)]) -> Value {
                 ("version", Value::Str(TOOL_VERSION.into())),
             ]),
         ),
+        ("summary", Value::obj(summary)),
         ("results", Value::Arr(results)),
     ])
 }
@@ -90,6 +111,26 @@ mod tests {
     fn empty_report_is_valid() {
         let v = report(&[]);
         assert_eq!(v.get("results").and_then(Value::as_arr).map(|a| a.len()), Some(0));
-        assert_eq!(v.get("version").and_then(Value::as_str), Some("1"));
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("2"));
+        let summary = v.get("summary").expect("summary");
+        for (key, _) in SUMMARY_RULES {
+            assert_eq!(summary.get(key).and_then(Value::as_num), Some(0.0), "{key}");
+        }
+    }
+
+    #[test]
+    fn summary_counts_by_rule_including_baselined() {
+        let findings = vec![
+            (Diagnostic::new("a.rs", 1, "R8", "x".into()), false),
+            (Diagnostic::new("a.rs", 2, "R9", "x".into()), true),
+            (Diagnostic::new("a.rs", 3, "R9", "x".into()), false),
+            (Diagnostic::new("a.rs", 4, "R1", "x".into()), false),
+        ];
+        let v = report(&findings);
+        let s = v.get("summary").expect("summary");
+        assert_eq!(s.get("lint.findings.r8").and_then(Value::as_num), Some(1.0));
+        assert_eq!(s.get("lint.findings.r9").and_then(Value::as_num), Some(2.0));
+        assert_eq!(s.get("lint.findings.r10").and_then(Value::as_num), Some(0.0));
+        assert_eq!(s.get("lint.findings.r11").and_then(Value::as_num), Some(0.0));
     }
 }

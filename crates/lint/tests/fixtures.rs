@@ -7,21 +7,27 @@
 use mp_lint::{check_files, check_source, Diagnostic, RuleSet};
 use std::path::PathBuf;
 
-const V1: RuleSet = RuleSet {
-    r1: true,
-    r2: true,
-    r3: true,
-    r4: true,
+const NONE: RuleSet = RuleSet {
+    r1: false,
+    r2: false,
+    r3: false,
+    r4: false,
     r5: false,
     r6: false,
     r7: false,
+    r8: false,
+    r9: false,
+    r10: false,
+    r11: false,
 };
-const R5_ONLY: RuleSet =
-    RuleSet { r1: false, r2: false, r3: false, r4: false, r5: true, r6: false, r7: false };
-const R6_ONLY: RuleSet =
-    RuleSet { r1: false, r2: false, r3: false, r4: false, r5: false, r6: true, r7: false };
-const R7_ONLY: RuleSet =
-    RuleSet { r1: false, r2: false, r3: false, r4: false, r5: false, r6: false, r7: true };
+const V1: RuleSet = RuleSet { r1: true, r2: true, r3: true, r4: true, ..NONE };
+const R5_ONLY: RuleSet = RuleSet { r5: true, ..NONE };
+const R6_ONLY: RuleSet = RuleSet { r6: true, ..NONE };
+const R7_ONLY: RuleSet = RuleSet { r7: true, ..NONE };
+const R8_ONLY: RuleSet = RuleSet { r8: true, ..NONE };
+const R9_ONLY: RuleSet = RuleSet { r9: true, ..NONE };
+const R10_ONLY: RuleSet = RuleSet { r10: true, ..NONE };
+const R11_ONLY: RuleSet = RuleSet { r11: true, ..NONE };
 
 fn fixture_source(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -155,6 +161,105 @@ fn r7_fixture_flags_held_guards_and_order_cycles() {
         cycles[0].message
     );
     assert_eq!(f.len(), 3, "unexpected extras: {diags:#?}");
+}
+
+/// Run one fixture through the cross-file pass (the only place the
+/// inter-procedural R8–R11 families execute).
+fn run_v3_fixture(name: &str, rules: RuleSet) -> Vec<Diagnostic> {
+    let src = fixture_source(name);
+    check_files(&[(name.to_string(), src, rules)])
+}
+
+#[test]
+fn r8_fixture_flags_blocking_reachable_from_pool_workers() {
+    let diags = run_v3_fixture("r8_pool_blocking.rs", R8_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R8", 16), // cross-function: handle -> drain_all -> read_to_end
+            ("R8", 22), // local: spawn on a pool worker thread
+            ("R8", 28), // cross-function: handle -> flush_under_lock (fsync under lock)
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r8_fixture_carries_the_call_path() {
+    let diags = run_v3_fixture("r8_pool_blocking.rs", R8_ONLY);
+    let d = diags.iter().find(|d| d.line == 16).expect("drain_all finding");
+    assert!(
+        d.path.iter().any(|s| s.note.contains("drain_all")),
+        "path misses the call hop: {:#?}",
+        d.path
+    );
+    assert!(
+        d.path.last().expect("terminal step").note.contains("read_to_end"),
+        "path misses the primitive: {:#?}",
+        d.path
+    );
+}
+
+#[test]
+fn r9_fixture_flags_ack_order_mutation_order_and_bare_rename() {
+    let diags = run_v3_fixture("r9_durability.rs", R9_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R9", 14), // ack before the fsync covering the WAL append
+            ("R9", 26), // store mutation after the final ack
+            ("R9", 36), // rename with no directory fsync behind it
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r9_fixture_traces_the_append_across_functions() {
+    let diags = run_v3_fixture("r9_durability.rs", R9_ONLY);
+    let d = diags.iter().find(|d| d.line == 14).expect("ack-before-fsync finding");
+    assert!(
+        d.path.iter().any(|s| s.note.contains("journal_append")),
+        "path misses the cross-function append hop: {:#?}",
+        d.path
+    );
+    assert!(
+        d.path.iter().any(|s| s.note.contains("acknowledged before fsync")),
+        "path misses the ack step: {:#?}",
+        d.path
+    );
+}
+
+#[test]
+fn r10_fixture_flags_strong_and_mixed_orderings() {
+    let diags = run_v3_fixture("r10_atomics.rs", R10_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R10", 6),  // SeqCst on a stats counter
+            ("R10", 10), // Acquire on `mixed`
+            ("R10", 14), // mixed regime on `mixed` (anchored at the second site)
+        ],
+        "diags: {diags:#?}"
+    );
+    let mixed = diags.iter().find(|d| d.line == 14).expect("mixed finding");
+    assert!(mixed.message.contains("mixed"), "message: {}", mixed.message);
+}
+
+#[test]
+fn r11_fixture_flags_unarmed_spawned_handlers_only() {
+    let diags = run_v3_fixture("r11_deadlines.rs", R11_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![("R11", 14)], // serve_bad -> read_request before any arm
+        "diags: {diags:#?}"
+    );
+    let d = &diags[0];
+    assert!(
+        d.path.iter().any(|s| s.note.contains("read_request")),
+        "path misses the cross-function hop: {:#?}",
+        d.path
+    );
 }
 
 #[test]

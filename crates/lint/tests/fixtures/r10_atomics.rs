@@ -1,0 +1,15 @@
+//! R10 fixture: stats atomics are a Relaxed-only regime; mixed
+//! orderings on one atomic are flagged wherever they occur.
+
+fn bump(stats: &Stats) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    stats.errors.fetch_add(1, Ordering::SeqCst);
+}
+
+fn read_side(stats: &Stats) {
+    let _ = stats.mixed.load(Ordering::Acquire);
+}
+
+fn write_side(stats: &Stats) {
+    stats.mixed.store(0, Ordering::Relaxed);
+}

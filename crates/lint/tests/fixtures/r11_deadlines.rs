@@ -1,0 +1,30 @@
+//! R11 fixture: socket I/O reachable from a serve root must be
+//! dominated by a deadline arm. Pool workers enter armed (the accept
+//! loop arms the handshake deadline); self-spawned handlers do not.
+
+fn read_request(conn: &mut Conn) -> Vec<u8> {
+    let mut buf = [0u8; 64];
+    conn.read_exact(&mut buf);
+    buf.to_vec()
+}
+
+fn serve_bad(listener: &Listener) {
+    spawn(move || {
+        let mut conn = listener.accept_one();
+        read_request(&mut conn);
+    });
+}
+
+fn serve_good(listener: &Listener) {
+    spawn(move || {
+        let mut conn = listener.accept_one();
+        conn.set_deadlines(t, t);
+        read_request(&mut conn);
+    });
+}
+
+impl Service for PoolEcho {
+    fn handle(&self, conn: &mut Conn) {
+        read_request(conn);
+    }
+}

@@ -1,0 +1,37 @@
+//! R8 fixture: blocking primitives must not be reachable from pool
+//! worker entry points (`impl Service` `handle`/`shed`).
+
+fn drain_all(conn: &mut Conn) -> usize {
+    let mut buf = Vec::new();
+    conn.read_to_end(&mut buf)
+}
+
+fn flush_under_lock(store: &Store) {
+    let g = store.inner.lock();
+    g.file.sync_all();
+}
+
+impl Service for BadDrain {
+    fn handle(&self, conn: &mut Conn) {
+        let n = drain_all(conn);
+    }
+}
+
+impl Service for BadSpawn {
+    fn handle(&self, conn: &mut Conn) {
+        spawn(move || ());
+    }
+}
+
+impl Service for BadFsyncLock {
+    fn handle(&self, store: &Store) {
+        flush_under_lock(store);
+    }
+}
+
+impl Service for GoodBounded {
+    fn handle(&self, conn: &mut Conn) {
+        let mut buf = [0u8; 16];
+        conn.read_exact(&mut buf);
+    }
+}

@@ -1,0 +1,42 @@
+//! R9 fixture: durability ordering — WAL append → fsync → ack; no
+//! mutation after the final ack; rename needs a directory fsync.
+
+fn journal_append(wal: &mut Wal, rec: &[u8]) {
+    wal.log.append(rec, true);
+}
+
+fn journal_sync(wal: &mut Wal) {
+    wal.file.sync_all();
+}
+
+fn handle_store_bad(wal: &mut Wal, chan: &mut Chan, rec: &[u8]) {
+    journal_append(wal, rec);
+    chan.send(b"OK");
+    journal_sync(wal);
+}
+
+fn handle_store_good(wal: &mut Wal, chan: &mut Chan, rec: &[u8]) {
+    journal_append(wal, rec);
+    journal_sync(wal);
+    chan.send(b"OK");
+}
+
+fn handle_update_bad(store: &mut Store, chan: &mut Chan, rec: &[u8]) {
+    chan.send(b"DONE");
+    store.put(rec);
+}
+
+fn handle_update_good(store: &mut Store, chan: &mut Chan, rec: &[u8]) {
+    store.put(rec);
+    journal_sync(store);
+    chan.send(b"DONE");
+}
+
+fn persist_bad(vfs: &Vfs, tmp: &str, dst: &str) {
+    vfs.rename(tmp, dst);
+}
+
+fn persist_good(vfs: &Vfs, tmp: &str, dst: &str) {
+    vfs.rename(tmp, dst);
+    vfs.sync_dir(dst);
+}

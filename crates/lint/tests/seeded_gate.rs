@@ -26,6 +26,77 @@ fn sends_under_guard(state: &Mutex<Vec<u8>>, chan: &mut Chan) {
 }
 "#;
 
+/// The ISSUE acceptance scenario: a seeded durability bug whose append
+/// and ack live in *different functions* must be caught by the gate
+/// with the full inter-procedural call path in the SARIF-lite output.
+const SEEDED_JOURNAL: &str = r#"//! Seeded ack-before-fsync: the WAL append in `journal_append` is
+//! only fsynced after the response ack in `handle_store`.
+
+fn journal_append(j: &mut Journal, rec: &[u8]) {
+    j.log.append(rec, true);
+}
+
+fn journal_sync(j: &mut Journal) {
+    j.file.sync_all();
+}
+
+fn handle_store(j: &mut Journal, chan: &mut Chan, rec: &[u8]) {
+    journal_append(j, rec);
+    chan.send(b"OK");
+    journal_sync(j);
+}
+"#;
+
+#[test]
+fn seeded_ack_before_fsync_is_caught_with_a_call_path() {
+    let dir = std::env::temp_dir().join(format!("mp-lint-journal-{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::write(src_dir.join("journal.rs"), SEEDED_JOURNAL).expect("seed file");
+
+    let result = gate_workspace(&dir);
+    std::fs::remove_dir_all(&dir).expect("scratch teardown");
+
+    assert!(!result.passed(), "seeded durability bug passed the gate");
+    let r9: Vec<_> = result.split.new.iter().filter(|d| d.rule == "R9").collect();
+    assert_eq!(r9.len(), 1, "findings: {:#?}", result.split.new);
+    let d = r9[0];
+    // Anchored at the ack site in `handle_store`, not inside the
+    // helper that did the append.
+    assert_eq!((d.file.as_str(), d.line), ("crates/core/src/journal.rs", 14), "{d:#?}");
+    assert!(
+        d.path.iter().any(|s| s.note.contains("journal_append")),
+        "path misses the cross-function append hop: {:#?}",
+        d.path
+    );
+
+    // The same call path rides the SARIF-lite report as `taintPath`,
+    // and the summary counts the finding under the R9 key.
+    let sarif_r9 = result
+        .sarif
+        .get("results")
+        .and_then(mp_lint::json::Value::as_arr)
+        .expect("sarif results")
+        .iter()
+        .find(|r| r.get("ruleId").and_then(mp_lint::json::Value::as_str) == Some("R9"))
+        .expect("R9 in sarif")
+        .clone();
+    let steps = sarif_r9
+        .get("taintPath")
+        .and_then(mp_lint::json::Value::as_arr)
+        .expect("taintPath present")
+        .len();
+    assert!(steps >= 3, "expected a multi-hop path, got {steps} steps");
+    assert_eq!(
+        result
+            .sarif
+            .get("summary")
+            .and_then(|s| s.get("lint.findings.r9"))
+            .and_then(mp_lint::json::Value::as_num),
+        Some(1.0)
+    );
+}
+
 #[test]
 fn seeded_violations_fail_the_gate() {
     let dir = std::env::temp_dir().join(format!("mp-lint-seeded-{}", std::process::id()));
