@@ -276,6 +276,12 @@ impl MyProxyClient {
         channel: &mut SecureChannel<T>,
         request: &Request,
     ) -> Result<Response> {
+        // The one audited send point: a field that cannot be framed
+        // (embedded newline, '=' in a key) is a typed error here, not
+        // a panic in the builder.
+        if let Some(why) = request.framing_violation() {
+            return Err(MyProxyError::Protocol(why));
+        }
         channel.send(request.to_text().as_bytes())?;
         let resp = channel.recv()?;
         let resp = String::from_utf8(resp)

@@ -11,11 +11,22 @@ use std::io::{Read, Write};
 
 /// Cap on any record (handshake or data). Certificates and MyProxy
 /// payloads are small; this bounds a hostile peer.
-pub const MAX_RECORD: usize = 4 << 20;
+pub const MAX_RECORD_LEN: usize = 4 << 20;
+
+/// Validate a wire-decoded length prefix *while it is still a `u32`*,
+/// before any widening cast or allocation sees it. Returns the clamped
+/// value as `usize` only once it is known to fit under
+/// [`MAX_RECORD_LEN`].
+pub fn checked_record_len(wire: u32) -> Result<usize> {
+    if wire as u64 > MAX_RECORD_LEN as u64 {
+        return Err(GsiError::Protocol("incoming record too large".into()));
+    }
+    Ok(wire as usize)
+}
 
 /// Write one `u32`-length-prefixed frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
-    if payload.len() > MAX_RECORD {
+    if payload.len() > MAX_RECORD_LEN {
         return Err(GsiError::Protocol("outgoing record too large".into()));
     }
     let len = u32::try_from(payload.len())
@@ -30,10 +41,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_RECORD {
-        return Err(GsiError::Protocol("incoming record too large".into()));
-    }
+    let len = checked_record_len(u32::from_be_bytes(len_buf))?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(payload)
@@ -134,6 +142,35 @@ mod tests {
         let (mut a, mut b) = duplex();
         a.write_all(&(u32::MAX).to_be_bytes()).unwrap();
         assert!(matches!(read_frame(&mut b), Err(GsiError::Protocol(_))));
+    }
+
+    #[test]
+    fn record_len_boundary() {
+        // Exactly the cap is fine; one past it is rejected while the
+        // value is still a u32 — no allocation sees the raw length.
+        assert_eq!(checked_record_len(MAX_RECORD_LEN as u32).unwrap(), MAX_RECORD_LEN);
+        assert!(matches!(
+            checked_record_len(MAX_RECORD_LEN as u32 + 1),
+            Err(GsiError::Protocol(_))
+        ));
+        assert!(matches!(checked_record_len(u32::MAX), Err(GsiError::Protocol(_))));
+        assert_eq!(checked_record_len(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn adversarial_length_prefix_never_allocates() {
+        // A hostile peer advertising a huge frame must be cut off at
+        // the length prefix: `read_frame` errors without ever asking
+        // for the advertised buffer (the body bytes are absent, so a
+        // pre-check allocation would hang or OOM instead of erroring).
+        for adv in [MAX_RECORD_LEN as u32 + 1, 1 << 30, u32::MAX] {
+            let (mut a, mut b) = duplex();
+            a.write_all(&adv.to_be_bytes()).unwrap();
+            assert!(
+                matches!(read_frame(&mut b), Err(GsiError::Protocol(_))),
+                "length {adv} was not rejected"
+            );
+        }
     }
 
     #[test]

@@ -18,19 +18,32 @@ use std::path::Path;
 pub const BASELINE_FILE: &str = "lint-baseline.txt";
 pub const BUDGET_FILE: &str = "lint-waivers.budget";
 
+/// Canonical workspace-relative form of a path for baseline matching:
+/// forward slashes, no `./` prefix. Entries written on Windows or
+/// copy-pasted with a leading `./` must still match the gate's keys.
+pub fn normalize_path(p: &str) -> String {
+    let mut p = p.replace('\\', "/");
+    while let Some(rest) = p.strip_prefix("./") {
+        p = rest.to_string();
+    }
+    p
+}
+
 /// The stable identity of a finding for baseline matching: exact
 /// file/line/rule, not the message (messages may be reworded).
 pub fn key(d: &Diagnostic) -> String {
-    format!("{}:{}: [{}]", d.file, d.line, d.rule)
+    format!("{}:{}: [{}]", normalize_path(&d.file), d.line, d.rule)
 }
 
 /// Parse baseline text: one key per line, `#` comments and blank lines
-/// ignored.
+/// ignored. The path portion of each entry is normalized so e.g.
+/// `.\crates\core\src\server.rs:1: [R5]` matches the same finding as
+/// `crates/core/src/server.rs:1: [R5]`.
 pub fn parse_baseline(text: &str) -> Vec<String> {
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_string)
+        .map(normalize_path)
         .collect()
 }
 
@@ -145,6 +158,34 @@ mod tests {
         assert_eq!(s.new[0].file, "b.rs");
         assert_eq!(s.baselined.len(), 1);
         assert_eq!(s.stale, vec!["gone.rs:9: [R6]"]);
+    }
+
+    #[test]
+    fn baseline_entries_are_path_normalized() {
+        // `./`-prefixed and backslash-separated entries must match the
+        // gate's workspace-relative forward-slash keys.
+        let baseline = parse_baseline(
+            "./crates/core/src/server.rs:195: [R6]\n\
+             .\\crates\\gsi\\src\\net.rs:7: [R2]\n",
+        );
+        let s = split(
+            vec![
+                diag("crates/core/src/server.rs", 195, "R6"),
+                diag("crates/gsi/src/net.rs", 7, "R2"),
+            ],
+            &baseline,
+        );
+        assert!(s.new.is_empty(), "new: {:#?}", s.new);
+        assert_eq!(s.baselined.len(), 2);
+        assert!(s.stale.is_empty(), "stale: {:#?}", s.stale);
+        // And a diagnostic that somehow carries a `./` prefix still
+        // matches a clean entry.
+        let s = split(
+            vec![diag("./crates/core/src/server.rs", 195, "R6")],
+            &["crates/core/src/server.rs:195: [R6]".to_string()],
+        );
+        assert_eq!(s.baselined.len(), 1);
+        assert!(s.new.is_empty() && s.stale.is_empty());
     }
 
     #[test]

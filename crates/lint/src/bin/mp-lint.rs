@@ -5,6 +5,8 @@
 //! ```text
 //! mp-lint                        gate: exit 1 on new/stale findings
 //! mp-lint --json report.json     also write the SARIF-lite report
+//! mp-lint --bench-json BENCH_lint.json
+//!                                also record gate wall-clock + counts
 //! mp-lint --check-waiver-budget  compare lint:allow count to budget
 //! mp-lint --root <dir>           lint a different tree (default:
 //!                                this workspace)
@@ -16,6 +18,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = mp_lint::workspace_root();
     let mut json_out: Option<PathBuf> = None;
+    let mut bench_out: Option<PathBuf> = None;
     let mut check_budget = false;
 
     let mut args = std::env::args().skip(1);
@@ -35,14 +38,23 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(p);
             }
+            "--bench-json" => {
+                let Some(p) = args.next() else {
+                    eprintln!("mp-lint: --bench-json requires a path");
+                    return ExitCode::from(2);
+                };
+                bench_out = Some(PathBuf::from(p));
+            }
             "--check-waiver-budget" => check_budget = true,
             "--help" | "-h" => {
                 println!(
-                    "mp-lint: workspace security-hygiene gate (rules R1-R11)\n\
+                    "mp-lint: workspace security-hygiene gate (rules R1-R15)\n\
                      \n\
-                     usage: mp-lint [--root DIR] [--json PATH] [--check-waiver-budget]\n\
+                     usage: mp-lint [--root DIR] [--json PATH] [--bench-json PATH] \
+                     [--check-waiver-budget]\n\
                      \n\
                      --json PATH             write the SARIF-lite report to PATH\n\
+                     --bench-json PATH       record gate wall-clock + finding counts to PATH\n\
                      --check-waiver-budget   fail if lint:allow count != lint-waivers.budget\n\
                      --root DIR              lint DIR instead of this workspace"
                 );
@@ -80,7 +92,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let started = std::time::Instant::now();
     let result = mp_lint::gate_workspace(&root);
+    let gate_wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    if let Some(path) = &bench_out {
+        use mp_lint::json::Value;
+        let doc = Value::obj(vec![
+            ("tool", Value::Str(mp_lint::sarif::TOOL_NAME.into())),
+            ("version", Value::Str(mp_lint::sarif::TOOL_VERSION.into())),
+            ("lint.gate_wall_ms", Value::Num(gate_wall_ms)),
+            ("lint.findings.new", Value::Num(result.split.new.len() as f64)),
+            ("lint.findings.baselined", Value::Num(result.split.baselined.len() as f64)),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("mp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote lint bench record: {} ({gate_wall_ms:.0} ms)", path.display());
+    }
 
     if let Some(path) = &json_out {
         let text = result.sarif.pretty();

@@ -106,6 +106,35 @@ pub enum EffectKind {
     /// `set_deadlines` / `set_read_timeout` / `set_write_timeout` —
     /// socket deadlines armed or re-armed.
     DeadlineArm,
+    /// Multi-argument `connect(..)`/`accept(..)` — a channel handshake
+    /// establishing the session (v4 typestate: nothing may be sent on
+    /// the channel before this).
+    Handshake,
+    /// `send_busy(..)` — the BUSY/shed frame. Terminal for the
+    /// connection: no further traffic may follow it.
+    BusyShed,
+    /// `attach_durable`/`attach_wal`/`enable_durability[_with]` — the
+    /// store gains its WAL-backed durability. Mutations before this
+    /// point are not journaled.
+    WalAttach,
+    /// A `*_retrying(..)` call or `policy.run(..)` — work wrapped in a
+    /// retry policy (v4: only idempotent operations may be wrapped).
+    RetryWrap,
+    /// A non-idempotent client operation (`init`, `store_long_term`,
+    /// `otp_setup`, `change_passphrase`) — must never sit under a
+    /// retry wrapper.
+    NonIdemOp,
+    /// A `.tmp` staging file is created (`write_file`/`create` with a
+    /// tmp-marked argument). Must be paired with a later rename or
+    /// removal somewhere, else early returns leak it.
+    TmpCreate,
+    /// `remove_file(..)` — a file unlinked (pairs with TmpCreate).
+    FileRemove,
+    /// Named two-argument `.spawn(name, f)` — a handler registered in
+    /// a handler set (must be drained somewhere in the owning crate).
+    Register,
+    /// Zero-argument `.drain()` — a handler set drained/joined.
+    Drain,
 }
 
 impl EffectKind {
@@ -124,6 +153,15 @@ impl EffectKind {
             EffectKind::SocketRead => "socket read",
             EffectKind::SocketWrite => "socket write",
             EffectKind::DeadlineArm => "deadline arm",
+            EffectKind::Handshake => "channel handshake",
+            EffectKind::BusyShed => "BUSY/shed frame",
+            EffectKind::WalAttach => "WAL durability attach",
+            EffectKind::RetryWrap => "retry-policy wrap",
+            EffectKind::NonIdemOp => "non-idempotent operation",
+            EffectKind::TmpCreate => "tmp-file create",
+            EffectKind::FileRemove => "file removal",
+            EffectKind::Register => "handler registration",
+            EffectKind::Drain => "handler-set drain",
         }
     }
 }
@@ -143,13 +181,37 @@ pub struct Effect {
     /// empty for the function's own local effects. Hop lines are call
     /// sites; the first hop is in the summarized function's file.
     pub trace: Vec<TaintStep>,
+    /// Enclosing-block path of the site: one id per nested block, ids
+    /// unique per function, extended through call splices with the
+    /// callee's own path. Two effects whose paths diverge sit in
+    /// *sibling* blocks (match arms, if/else branches) — textual
+    /// stream order is not execution order there, and the linear
+    /// typestate checks must not compare them. See
+    /// [`ordered_branches`].
+    pub branch: Vec<u32>,
+}
+
+/// Are two effect sites execution-ordered by their stream positions?
+/// True when one branch path encloses the other (or they share a
+/// block); false when the paths diverge — sibling `match`/`if` arms
+/// run on mutually exclusive paths.
+pub fn ordered_branches(a: &[u32], b: &[u32]) -> bool {
+    let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    common == a.len() || common == b.len()
 }
 
 /// What local extraction records per function, in source token order.
 #[derive(Debug, Clone)]
 enum LocalItem {
     Effect(Effect),
-    Call { name: String, line: u32, under_guard: bool, args: usize, dot: bool },
+    Call {
+        name: String,
+        line: u32,
+        under_guard: bool,
+        args: usize,
+        dot: bool,
+        branch: Vec<u32>,
+    },
 }
 
 /// One function node.
@@ -164,6 +226,9 @@ pub struct CgFn {
     /// Parameter count (`self` excluded) — calls resolve only to
     /// arity-compatible candidates.
     pub params: usize,
+    /// True if the body contains a loop (v4 skips linear-order checks
+    /// over flattened loop bodies; see `parser::Function::has_loop`).
+    pub has_loop: bool,
     items: Vec<LocalItem>,
 }
 
@@ -250,6 +315,7 @@ impl CallGraph {
                     line: f.line,
                     impl_trait: f.impl_trait.clone(),
                     params: f.params.len(),
+                    has_loop: f.has_loop,
                     items: extract(rel, pf, f),
                 });
             }
@@ -353,7 +419,7 @@ fn expand_one(
     for item in &me.items {
         match item {
             LocalItem::Effect(e) => out.push(e.clone()),
-            LocalItem::Call { name, line, under_guard, args, dot } => {
+            LocalItem::Call { name, line, under_guard, args, dot, branch } => {
                 let Some(cands) = by_name.get(name) else { continue };
                 if cands.len() > CANDIDATE_CAP {
                     // Conservative fallback: too ambiguous to resolve.
@@ -389,6 +455,15 @@ fn expand_one(
                         });
                         trace.extend(e.trace.iter().cloned());
                         trace.truncate(TRACE_CAP);
+                        // The spliced effect's branch path: the call
+                        // site's path, extended with the callee's own —
+                        // sibling arms *inside* the callee stay
+                        // recognizably exclusive in the caller's view.
+                        let mut spliced_branch =
+                            Vec::with_capacity(branch.len() + e.branch.len());
+                        spliced_branch.extend_from_slice(branch);
+                        spliced_branch.extend_from_slice(&e.branch);
+                        spliced_branch.truncate(16);
                         if *under_guard
                             && matches!(e.kind, EffectKind::Fsync | EffectKind::DirFsync)
                         {
@@ -401,6 +476,7 @@ fn expand_one(
                                     name, me.name
                                 ),
                                 trace: trace.clone(),
+                                branch: spliced_branch.clone(),
                             });
                         }
                         out.push(Effect {
@@ -409,6 +485,7 @@ fn expand_one(
                             line: e.line,
                             note: e.note.clone(),
                             trace,
+                            branch: spliced_branch,
                         });
                     }
                 }
@@ -441,7 +518,7 @@ const KEYWORDS: &[&str] = &[
 /// reach but prevents absurd cross-crate unions (a `HashMap::get`
 /// splicing in some unrelated `fn get`). Part of the documented
 /// conservative fallback.
-const RESOLVE_BLOCKLIST: &[&str] = &[
+pub(crate) const RESOLVE_BLOCKLIST: &[&str] = &[
     "get", "get_mut", "insert", "remove", "take", "contains", "contains_key",
     "all", "any", "find", "filter", "map", "parse", "push", "pop", "iter",
     "next", "len", "is_empty", "clone", "clear", "entry", "extend", "retain",
@@ -481,6 +558,36 @@ fn primitive_kind(name: &str, dot: bool, args: usize, in_fn: &str) -> Option<Eff
     Some(kind)
 }
 
+/// Names whose call marks the store as WAL-attached (v4 R13: store
+/// mutations must happen after one of these, or carry an explicit
+/// opt-out waiver).
+const WAL_ATTACH_MARKERS: &[&str] =
+    &["attach_durable", "attach_wal", "enable_durability", "enable_durability_with"];
+
+/// Non-idempotent client operations (v4 R13: never retry-wrapped).
+pub(crate) const NON_IDEM_MARKERS: &[&str] =
+    &["init", "store_long_term", "otp_setup", "change_passphrase"];
+
+/// Receiver ident of the dot-call at `i` names a retry policy
+/// (`policy.run(..)`, `self.retry.run(..)`).
+fn is_retry_receiver(toks: &[Token], i: usize) -> bool {
+    i >= 2 && toks[i - 1].is_punct('.') && toks[i - 2].kind == TokenKind::Ident && {
+        let r = toks[i - 2].text.to_ascii_lowercase();
+        r.contains("retry") || r.contains("policy")
+    }
+}
+
+/// Any token in the call's argument region names a tmp staging path:
+/// a `tmp`-containing identifier or a `.tmp` string literal.
+fn args_mention_tmp(toks: &[Token], open: usize, limit: usize) -> bool {
+    let Some(close) = close_paren(toks, open, limit) else { return false };
+    toks[open + 1..close].iter().any(|t| match t.kind {
+        TokenKind::Ident => t.text.to_ascii_lowercase().contains("tmp"),
+        TokenKind::Str => t.text.contains(".tmp"),
+        _ => false,
+    })
+}
+
 /// `.lock()` / `.read()` / `.write()` with *no* arguments — a lock
 /// guard acquisition (argument-taking `.read(buf)` is socket I/O).
 fn is_guard_acquisition(toks: &[Token], i: usize) -> bool {
@@ -494,7 +601,7 @@ fn is_guard_acquisition(toks: &[Token], i: usize) -> bool {
 }
 
 /// Find the `)` matching the `(` at `open`.
-fn close_paren(toks: &[Token], open: usize, limit: usize) -> Option<usize> {
+pub(crate) fn close_paren(toks: &[Token], open: usize, limit: usize) -> Option<usize> {
     let mut depth = 0i32;
     let mut j = open;
     while j < limit.min(toks.len()) {
@@ -512,7 +619,7 @@ fn close_paren(toks: &[Token], open: usize, limit: usize) -> Option<usize> {
 }
 
 /// Top-level argument count of the call whose `(` is at `open`.
-fn count_args(toks: &[Token], open: usize, limit: usize) -> usize {
+pub(crate) fn count_args(toks: &[Token], open: usize, limit: usize) -> usize {
     let Some(close) = close_paren(toks, open, limit) else { return 0 };
     if close == open + 1 {
         return 0;
@@ -556,21 +663,54 @@ fn acquisition_survives(toks: &[Token], acq: usize, limit: usize) -> bool {
     }
 }
 
+/// One locally-extracted event, as exposed to tests and corpus
+/// tooling: either a primitive/marker effect or a call that the graph
+/// would try to resolve by name.
+#[derive(Debug, Clone)]
+pub enum LocalEvent {
+    Effect(Effect),
+    Call { name: String, line: u32, args: usize, dot: bool },
+}
+
+/// Extract one function's local event stream without building a graph.
+/// This is the v4 typestate extractor's public surface: the proptest
+/// corpus drives it over generated method-chain and closure-body
+/// statements, asserting transition order against the parser's spans.
+pub fn local_events(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalEvent> {
+    extract(rel, pf, f)
+        .into_iter()
+        .map(|it| match it {
+            LocalItem::Effect(e) => LocalEvent::Effect(e),
+            LocalItem::Call { name, line, args, dot, .. } => {
+                LocalEvent::Call { name, line, args, dot }
+            }
+        })
+        .collect()
+}
+
 /// Walk one function's statements, producing its ordered local stream.
 fn extract(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalItem> {
     let toks = &pf.lexed.tokens;
     let mut items = Vec::new();
     let mut depth = 0usize;
+    // Enclosing-block path: every block gets a function-unique id, so
+    // sibling blocks (match arms, if/else) yield diverging paths that
+    // `ordered_branches` recognizes as mutually exclusive.
+    let mut branch_ctr = 0u32;
+    let mut branch: Vec<u32> = Vec::new();
     // (binding name, block depth at declaration)
     let mut guards: Vec<(Option<String>, usize)> = Vec::new();
     for s in &f.stmts {
         match s.kind {
             StmtKind::BlockOpen => {
                 depth += 1;
+                branch_ctr += 1;
+                branch.push(branch_ctr);
                 continue;
             }
             StmtKind::BlockClose => {
                 depth = depth.saturating_sub(1);
+                branch.pop();
                 guards.retain(|(_, d)| *d <= depth);
                 continue;
             }
@@ -608,6 +748,56 @@ fn extract(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalItem> {
             let dot = i > 0 && toks[i - 1].is_punct('.');
             let args = count_args(toks, i + 1, en);
             let name = t.text.as_str();
+            // v4 protocol-state markers. Emitted *in addition* to the
+            // primitive / call handling below: marker-bearing calls
+            // whose internals matter (connect, attach, *_retrying)
+            // still resolve; terminal protocol events (send_busy,
+            // remove_file, drain) are handled with the primitives.
+            // Same-named wrappers never observe their own marker.
+            if name != f.name {
+                let mark = |kind: EffectKind, what: &str| {
+                    LocalItem::Effect(Effect {
+                        kind,
+                        file: rel.to_string(),
+                        line: t.line,
+                        note: format!("`{what}` in `{}`", f.name),
+                        trace: Vec::new(),
+                        branch: branch.clone(),
+                    })
+                };
+                if !dot && args >= 2 && (name == "connect" || name == "accept") {
+                    items.push(mark(EffectKind::Handshake, &format!("{name}(..) handshake")));
+                }
+                if WAL_ATTACH_MARKERS.contains(&name) {
+                    items.push(mark(EffectKind::WalAttach, &format!("{name}(..)")));
+                }
+                if name.ends_with("_retrying")
+                    || (dot && name == "run" && args == 1 && is_retry_receiver(toks, i))
+                {
+                    items.push(mark(EffectKind::RetryWrap, &format!("{name}(..) retry wrap")));
+                }
+                if dot && NON_IDEM_MARKERS.contains(&name) {
+                    items.push(mark(EffectKind::NonIdemOp, &format!(".{name}(..)")));
+                }
+                if matches!(name, "write_file" | "create") && args_mention_tmp(toks, i + 1, en) {
+                    items.push(mark(EffectKind::TmpCreate, &format!("{name}(..) tmp staging")));
+                }
+                if dot && name == "spawn" && args == 2 {
+                    items.push(mark(EffectKind::Register, ".spawn(name, ..) registration"));
+                }
+                if name == "send_busy" && args >= 1 {
+                    items.push(mark(EffectKind::BusyShed, "send_busy(..)"));
+                    continue; // terminal: the shed frame ends the connection
+                }
+                if name == "remove_file" {
+                    items.push(mark(EffectKind::FileRemove, "remove_file(..)"));
+                    continue; // terminal: the unlink is the whole story
+                }
+                if dot && name == "drain" && args == 0 {
+                    items.push(mark(EffectKind::Drain, ".drain() handler-set drain"));
+                    continue; // terminal (range-taking Vec::drain has args >= 1)
+                }
+            }
             if let Some(kind) = primitive_kind(name, dot, args, &f.name) {
                 items.push(LocalItem::Effect(Effect {
                     kind,
@@ -620,6 +810,7 @@ fn extract(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalItem> {
                         f.name
                     ),
                     trace: Vec::new(),
+                    branch: branch.clone(),
                 }));
                 if matches!(kind, EffectKind::Fsync) && under {
                     items.push(LocalItem::Effect(Effect {
@@ -628,6 +819,7 @@ fn extract(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalItem> {
                         line: t.line,
                         note: format!("`{}(..)` while a lock guard is live in `{}`", name, f.name),
                         trace: Vec::new(),
+                        branch: branch.clone(),
                     }));
                 }
                 continue; // terminal: primitives are never resolved
@@ -639,6 +831,7 @@ fn extract(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalItem> {
                     line: t.line,
                     note: format!("`.{}(..)` store mutation in `{}`", name, f.name),
                     trace: Vec::new(),
+                    branch: branch.clone(),
                 }));
                 // fall through: the marker also resolves, so the
                 // callee's WAL/fsync stream splices in behind it.
@@ -654,6 +847,7 @@ fn extract(rel: &str, pf: &ParsedFile, f: &Function) -> Vec<LocalItem> {
                     under_guard: under,
                     args,
                     dot,
+                    branch: branch.clone(),
                 });
             }
         }

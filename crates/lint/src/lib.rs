@@ -2,7 +2,7 @@
 //!
 //! A from-scratch static analyzer for this workspace, built on a
 //! purpose-built Rust lexer and statement-level parser (no `syn`, no
-//! proc-macros, no dependencies at all). It enforces eleven rules
+//! proc-macros, no dependencies at all). It enforces fifteen rules
 //! derived from the MyProxy paper's §5 security analysis:
 //!
 //! - **R1 panic-freedom** — no `unwrap`/`expect`/`panic!`/indexing in
@@ -38,6 +38,20 @@
 //!   orderings on the same atomic are findings.
 //! - **R11 deadline coverage** — socket I/O reachable from a serve
 //!   loop must be dominated by a deadline arm/re-arm.
+//! - **R12 wire-bounds taint** ([`rules_v4`]) — lengths decoded from
+//!   the wire must pass a clamp before reaching an allocation
+//!   (`with_capacity`, `vec![_; n]`, `reserve`/`resize`, `read_exact`),
+//!   traced inter-procedurally with the decode-to-allocation path.
+//! - **R13 channel/WAL/retry typestate** — handshake before payload,
+//!   BUSY/shed terminal, no store mutation before WAL attach on paths
+//!   where the attach is visible, retry wrappers only around
+//!   idempotent operations.
+//! - **R14 dispatch exhaustiveness** — every `Command` dispatcher
+//!   handles all variants or answers the rest with an explicit error
+//!   arm; a silent catch-all is a finding.
+//! - **R15 resource leaks** — `.tmp` staging files without a
+//!   rename/removal behind them, handler registrations in crates that
+//!   never drain, request I/O under a stale pre-handshake deadline.
 //!
 //! Violations can be waived per line with
 //! `// lint:allow(<rule>) <reason>` — the reason is mandatory; an
@@ -60,6 +74,7 @@ pub mod parser;
 pub mod rules;
 pub mod rules_v2;
 pub mod rules_v3;
+pub mod rules_v4;
 pub mod sarif;
 pub mod schema;
 
@@ -182,6 +197,35 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
         || rel.starts_with("crates/cli/src/"))
         && !rel.contains("/tests/");
 
+    // R12 (wire-bounds taint): every crate that decodes frames or
+    // feeds decoded lengths into allocations — the protocol surface
+    // plus the gsi framing helpers the flows pass through.
+    rs.r12 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gsi/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
+    // R13 (channel/WAL/retry typestate): the crates that drive
+    // channels, mutate stores, or wrap calls in retry policies.
+    rs.r13 = rs.r12;
+
+    // R14 (dispatch exhaustiveness): everywhere a `Command` value is
+    // matched — the server, the gateways, and the CLI client.
+    rs.r14 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/")
+        || rel.starts_with("crates/cli/src/"))
+        && !rel.contains("/tests/");
+
+    // R15 (resource leaks): the crates that stage tmp files, register
+    // handlers, or arm deadlines.
+    rs.r15 = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gsi/src/")
+        || rel.starts_with("crates/gram/src/")
+        || rel.starts_with("crates/portal/src/"))
+        && !rel.contains("/tests/");
+
     rs
 }
 
@@ -214,17 +258,25 @@ pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 pub fn check_files(files: &[(String, String, RuleSet)]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut edges: Vec<LockEdge> = Vec::new();
-    // Parses retained for the v3 inter-procedural pass (files are
-    // parsed once here, shared by R7's edge collection and R8–R11).
+    // Parses retained for the v3/v4 inter-procedural passes (files are
+    // parsed once here, shared by R7's edge collection and R8–R15).
     let mut parsed_files: Vec<(usize, parser::ParsedFile)> = Vec::new();
     for (idx, (rel, src, rules)) in files.iter().enumerate() {
         diags.extend(check_source(rel, src, *rules));
-        if rules.r7 || rules.r8 || rules.r9 || rules.r10 || rules.r11 {
+        let cross = rules.r8
+            || rules.r9
+            || rules.r10
+            || rules.r11
+            || rules.r12
+            || rules.r13
+            || rules.r14
+            || rules.r15;
+        if rules.r7 || cross {
             if let Ok(parsed) = parser::parse_source(src) {
                 if rules.r7 {
                     edges.extend(rules_v2::lock_edges_for(rel, &parsed));
                 }
-                if rules.r8 || rules.r9 || rules.r10 || rules.r11 {
+                if cross {
                     parsed_files.push((idx, parsed));
                 }
             }
@@ -232,7 +284,7 @@ pub fn check_files(files: &[(String, String, RuleSet)]) -> Vec<Diagnostic> {
     }
     // Cross-file passes bypass check_source, so waivers are applied
     // here: lock-order cycles (R7) and the inter-procedural families
-    // (R8–R11) both anchor findings at a line the waiver can sit on.
+    // (R8–R15) all anchor findings at a line the waiver can sit on.
     let waived = |d: &Diagnostic| {
         files
             .iter()
@@ -253,7 +305,24 @@ pub fn check_files(files: &[(String, String, RuleSet)]) -> Vec<Diagnostic> {
             rules: files[*idx].2,
         })
         .collect();
-    for d in rules_v3::run_v3(&v3_inputs) {
+    // One call graph, shared by both inter-procedural passes. Its
+    // scope is the union of the graph-walking rules' scopes: files
+    // only in R10/R12/R14 scope (token/dataflow passes) stay out.
+    let graph_files: Vec<(String, &parser::ParsedFile)> = v3_inputs
+        .iter()
+        .filter(|f| {
+            f.rules.r8 || f.rules.r9 || f.rules.r11 || f.rules.r13 || f.rules.r15
+        })
+        .map(|f| (f.rel.clone(), f.parsed))
+        .collect();
+    let graph =
+        (!graph_files.is_empty()).then(|| callgraph::CallGraph::build(&graph_files));
+    for d in rules_v3::run_v3(&v3_inputs, graph.as_ref()) {
+        if !waived(&d) {
+            diags.push(d);
+        }
+    }
+    for d in rules_v4::run_v4(&v3_inputs, graph.as_ref()) {
         if !waived(&d) {
             diags.push(d);
         }
@@ -368,6 +437,17 @@ mod tests {
         assert!(!rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "crypto out of v3 scope");
         let rs = rules_for_path("crates/core/tests/robustness.rs");
         assert!(!rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "integration tests out");
+
+        let rs = rules_for_path("crates/core/src/server.rs");
+        assert!(rs.r12 && rs.r13 && rs.r14 && rs.r15, "server is fully v4-scoped");
+        let rs = rules_for_path("crates/gsi/src/record.rs");
+        assert!(rs.r12 && rs.r13 && rs.r15 && !rs.r14, "framing: taint but no dispatch");
+        let rs = rules_for_path("crates/cli/src/bin/myproxy.rs");
+        assert!(rs.r14 && !rs.r12 && !rs.r15, "cli dispatches but decodes no frames");
+        let rs = rules_for_path("crates/obs/src/registry.rs");
+        assert!(!rs.r12 && !rs.r13 && !rs.r14 && !rs.r15, "obs out of v4 scope");
+        let rs = rules_for_path("crates/core/tests/robustness.rs");
+        assert!(!rs.r12 && !rs.r13 && !rs.r14 && !rs.r15, "integration tests out of v4");
 
         assert!(rules_for_path("vendor/rand/src/lib.rs").none());
         assert!(rules_for_path("crates/lint/src/rules.rs").none());

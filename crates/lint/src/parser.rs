@@ -91,6 +91,11 @@ pub struct Function {
     pub stmts: Vec<Stmt>,
     /// True if the function sits in `#[test]`/`#[cfg(test)]` code.
     pub is_test: bool,
+    /// True if the body contains a `loop`/`while`/`for` at any depth.
+    /// The typestate rules (v4) use this to skip linear-order checks
+    /// that a flattened loop body would violate spuriously (a retry
+    /// loop legitimately revisits "terminal" protocol states).
+    pub has_loop: bool,
     /// Trait name when the function sits inside an `impl Trait for
     /// Type` block (`Some("Service")` for pool-worker entry points);
     /// `None` for free functions and inherent impls. The tightest
@@ -230,6 +235,9 @@ fn parse_functions(tokens: &[Token], mask: &[bool]) -> Result<Vec<Function>, Par
 
         let body = (body_open + 1, close);
         let stmts = parse_stmts(tokens, body);
+        let has_loop = tokens[body.0..body.1]
+            .iter()
+            .any(|t| t.is_ident("loop") || t.is_ident("while") || t.is_ident("for"));
         out.push(Function {
             name,
             params,
@@ -239,6 +247,7 @@ fn parse_functions(tokens: &[Token], mask: &[bool]) -> Result<Vec<Function>, Par
             body,
             stmts,
             is_test: mask.get(fn_tok).copied().unwrap_or(false),
+            has_loop,
             impl_trait: ranges
                 .iter()
                 .filter(|(open, close, _)| *open < fn_tok && fn_tok < *close)
@@ -647,6 +656,19 @@ mod tests {
         assert_eq!(by_name("helper").impl_trait, None);
         assert_eq!(by_name("fmt").impl_trait.as_deref(), Some("Display"));
         assert_eq!(by_name("free").impl_trait, None);
+    }
+
+    #[test]
+    fn loop_bodies_are_annotated() {
+        let p = parse(
+            "fn straight(x: u8) -> u8 { x + 1 }\n\
+             fn looped(xs: &[u8]) -> u8 {\n    let mut s = 0;\n    for x in xs { s += x; }\n    s\n}\n\
+             fn retries(c: &mut Chan) {\n    loop {\n        if c.try_once() { break; }\n    }\n}\n",
+        );
+        let by_name = |n: &str| p.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("straight").has_loop);
+        assert!(by_name("looped").has_loop);
+        assert!(by_name("retries").has_loop);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id: "R1".."R7" or "allow" for malformed annotations.
+    /// Rule id: "R1".."R15" or "allow" for malformed annotations.
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -73,6 +73,12 @@ pub struct RuleSet {
     pub r9: bool,
     pub r10: bool,
     pub r11: bool,
+    /// v4 typestate/protocol rules (see `rules_v4`): like v3 these run
+    /// in the cross-file pass only.
+    pub r12: bool,
+    pub r13: bool,
+    pub r14: bool,
+    pub r15: bool,
 }
 
 impl RuleSet {
@@ -87,7 +93,11 @@ impl RuleSet {
             || self.r8
             || self.r9
             || self.r10
-            || self.r11)
+            || self.r11
+            || self.r12
+            || self.r13
+            || self.r14
+            || self.r15)
     }
 
     /// All rules on (fixtures and tests use this).
@@ -104,6 +114,10 @@ impl RuleSet {
             r9: true,
             r10: true,
             r11: true,
+            r12: true,
+            r13: true,
+            r14: true,
+            r15: true,
         }
     }
 
@@ -810,6 +824,10 @@ mod tests {
         r9: false,
         r10: false,
         r11: false,
+        r12: false,
+        r13: false,
+        r14: false,
+        r15: false,
     };
 
     fn lines_with(diags: &[Diagnostic], rule: &str) -> Vec<u32> {

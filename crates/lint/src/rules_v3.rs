@@ -39,22 +39,18 @@ pub struct V3Input<'a> {
 }
 
 /// Run R8–R11 across the workspace. Waivers are applied by the caller
-/// (`check_files`), mirroring the R7 cross-file pass.
-pub fn run_v3(inputs: &[V3Input<'_>]) -> Vec<Diagnostic> {
+/// (`check_files`), mirroring the R7 cross-file pass. The call graph
+/// is built once by the caller and shared with the v4 pass
+/// (`rules_v4`); `None` means no graph-scoped file was present.
+pub fn run_v3(inputs: &[V3Input<'_>], graph: Option<&CallGraph>) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
-    let graph_files: Vec<(String, &ParsedFile)> = inputs
-        .iter()
-        .filter(|f| f.rules.r8 || f.rules.r9 || f.rules.r11)
-        .map(|f| (f.rel.clone(), f.parsed))
-        .collect();
-    if !graph_files.is_empty() {
-        let graph = CallGraph::build(&graph_files);
+    if let Some(graph) = graph {
         let rules_of: HashMap<&str, RuleSet> =
             inputs.iter().map(|f| (f.rel.as_str(), f.rules)).collect();
-        diags.extend(r8_pool_blocking(&graph, &rules_of));
-        diags.extend(r9_durability(&graph, &rules_of));
-        diags.extend(r11_deadlines(&graph, &rules_of));
+        diags.extend(r8_pool_blocking(graph, &rules_of));
+        diags.extend(r9_durability(graph, &rules_of));
+        diags.extend(r11_deadlines(graph, &rules_of));
     }
 
     diags.extend(r10_atomics(inputs));
@@ -74,12 +70,12 @@ fn is_pool_root(g: &CallGraph, i: usize) -> bool {
 
 /// Anchor line for an effect inside the checked function's file: the
 /// first call hop if the effect was spliced in, else the effect site.
-fn anchor_line(e: &Effect) -> u32 {
+pub(crate) fn anchor_line(e: &Effect) -> u32 {
     e.trace.first().map(|s| s.line).unwrap_or(e.line)
 }
 
 /// Render an effect's call path plus a terminal step at the primitive.
-fn path_of(e: &Effect, what: &str) -> Vec<TaintStep> {
+pub(crate) fn path_of(e: &Effect, what: &str) -> Vec<TaintStep> {
     let mut steps = e.trace.clone();
     steps.push(TaintStep {
         line: e.line,

@@ -7,7 +7,7 @@ use crate::json::Value;
 use crate::rules::Diagnostic;
 
 pub const TOOL_NAME: &str = "mp-lint";
-pub const TOOL_VERSION: &str = "3.0";
+pub const TOOL_VERSION: &str = "4.0";
 
 /// Rules whose finding counts are summarized at the document top level
 /// (`summary."lint.findings.<rule>"`) so dashboards can trend the
@@ -17,6 +17,10 @@ const SUMMARY_RULES: &[(&str, &str)] = &[
     ("lint.findings.r9", "R9"),
     ("lint.findings.r10", "R10"),
     ("lint.findings.r11", "R11"),
+    ("lint.findings.r12", "R12"),
+    ("lint.findings.r13", "R13"),
+    ("lint.findings.r14", "R14"),
+    ("lint.findings.r15", "R15"),
 ];
 
 /// Build the SARIF-lite document for a set of diagnostics.
@@ -71,7 +75,7 @@ pub fn report(findings: &[(Diagnostic, bool)]) -> Value {
 
     Value::obj(vec![
         ("$schema", Value::Str("docs/mp-lint.sarif-lite.schema.json".into())),
-        ("version", Value::Str("2".into())),
+        ("version", Value::Str("3".into())),
         (
             "tool",
             Value::obj(vec![
@@ -111,7 +115,7 @@ mod tests {
     fn empty_report_is_valid() {
         let v = report(&[]);
         assert_eq!(v.get("results").and_then(Value::as_arr).map(|a| a.len()), Some(0));
-        assert_eq!(v.get("version").and_then(Value::as_str), Some("2"));
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("3"));
         let summary = v.get("summary").expect("summary");
         for (key, _) in SUMMARY_RULES {
             assert_eq!(summary.get(key).and_then(Value::as_num), Some(0.0), "{key}");

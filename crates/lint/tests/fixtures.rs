@@ -19,6 +19,10 @@ const NONE: RuleSet = RuleSet {
     r9: false,
     r10: false,
     r11: false,
+    r12: false,
+    r13: false,
+    r14: false,
+    r15: false,
 };
 const V1: RuleSet = RuleSet { r1: true, r2: true, r3: true, r4: true, ..NONE };
 const R5_ONLY: RuleSet = RuleSet { r5: true, ..NONE };
@@ -28,6 +32,10 @@ const R8_ONLY: RuleSet = RuleSet { r8: true, ..NONE };
 const R9_ONLY: RuleSet = RuleSet { r9: true, ..NONE };
 const R10_ONLY: RuleSet = RuleSet { r10: true, ..NONE };
 const R11_ONLY: RuleSet = RuleSet { r11: true, ..NONE };
+const R12_ONLY: RuleSet = RuleSet { r12: true, ..NONE };
+const R13_ONLY: RuleSet = RuleSet { r13: true, ..NONE };
+const R14_ONLY: RuleSet = RuleSet { r14: true, ..NONE };
+const R15_ONLY: RuleSet = RuleSet { r15: true, ..NONE };
 
 fn fixture_source(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -260,6 +268,130 @@ fn r11_fixture_flags_unarmed_spawned_handlers_only() {
         "path misses the cross-function hop: {:#?}",
         d.path
     );
+}
+
+#[test]
+fn r12_fixture_flags_unclamped_flows_only() {
+    let diags = run_v3_fixture("r12_wire_bounds.rs", R12_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R12", 16), // cross-function: read_len -> decode_bad -> alloc_payload
+            ("R12", 21), // local: vec![0u8; len] straight from the decode
+            ("R12", 27), // read_exact bounded by the raw decoded length
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r12_fixture_carries_the_decode_to_allocation_path() {
+    let diags = run_v3_fixture("r12_wire_bounds.rs", R12_ONLY);
+    let d = diags.iter().find(|d| d.line == 16).expect("cross-function flow finding");
+    assert!(
+        d.path.first().expect("origin step").note.contains("wire"),
+        "path misses the decode origin: {:#?}",
+        d.path
+    );
+    assert!(
+        d.path.iter().any(|s| s.note.contains("bound to `len`")),
+        "path misses the binding hop: {:#?}",
+        d.path
+    );
+    assert!(
+        d.path.iter().any(|s| s.note.contains("alloc_payload")),
+        "path misses the call hop: {:#?}",
+        d.path
+    );
+    assert!(
+        d.path.last().expect("sink step").note.contains("with_capacity"),
+        "path misses the allocation sink: {:#?}",
+        d.path
+    );
+}
+
+#[test]
+fn r13_fixture_flags_typestate_violations_only() {
+    let diags = run_v3_fixture("r13_typestate.rs", R13_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R13", 9),  // cross-function: payload via send_hello before connect
+            ("R13", 20), // traffic after the BUSY/shed frame
+            ("R13", 28), // store mutation before attach_durable
+            ("R13", 38), // put_retrying reaches a store mutation
+            ("R13", 46), // .put inside a retry-policy closure
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn r13_fixture_handshake_finding_is_cross_function() {
+    let diags = run_v3_fixture("r13_typestate.rs", R13_ONLY);
+    let d = diags.iter().find(|d| d.line == 9).expect("pre-handshake finding");
+    assert!(
+        d.path.iter().any(|s| s.note.contains("send_hello")),
+        "path misses the call hop: {:#?}",
+        d.path
+    );
+    assert!(
+        d.path.last().expect("terminal step").note.contains("write_all"),
+        "path misses the primitive: {:#?}",
+        d.path
+    );
+}
+
+#[test]
+fn r14_fixture_flags_swallowed_and_missing_commands() {
+    // Two files: the enum declaration and the dispatchers, so the
+    // cross-file global-declaration fallback is what resolves variants.
+    let decl = "r14_commands.rs".to_string();
+    let disp = "r14_dispatch.rs".to_string();
+    let diags = check_files(&[
+        (decl.clone(), fixture_source(&decl), R14_ONLY),
+        (disp.clone(), fixture_source(&disp), R14_ONLY),
+    ]);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R14", 8),  // silent `_ => {}` with Info/Destroy unhandled
+            ("R14", 13), // no catch-all, Destroy missing
+        ],
+        "diags: {diags:#?}"
+    );
+    assert!(diags.iter().all(|d| d.file == disp), "diags: {diags:#?}");
+    let missing = diags.iter().find(|d| d.line == 13).expect("missing-variant finding");
+    assert!(missing.message.contains("Destroy"), "message: {}", missing.message);
+}
+
+#[test]
+fn r15_fixture_flags_leaks_only() {
+    let diags = run_v3_fixture("r15_leaks.rs", R15_ONLY);
+    assert_eq!(
+        findings(&diags),
+        vec![
+            ("R15", 6),  // cross-function: tmp created via write_tmp, never renamed
+            ("R15", 23), // registration with no drain anywhere in the crate
+            ("R15", 29), // request I/O under the stale pre-handshake deadline
+        ],
+        "diags: {diags:#?}"
+    );
+    let d = diags.iter().find(|d| d.line == 6).expect("tmp-leak finding");
+    assert!(
+        d.path.iter().any(|s| s.note.contains("write_tmp")),
+        "path misses the call hop: {:#?}",
+        d.path
+    );
+}
+
+#[test]
+fn r15_drained_registrations_are_clean() {
+    let src = "fn register_ok(set: &mut HandlerSet, conn: Conn) {\n    \
+               set.spawn(\"conn\", conn);\n}\n\
+               fn shutdown(set: &mut HandlerSet) {\n    set.drain();\n}\n";
+    let diags = check_files(&[("crates/core/src/x.rs".to_string(), src.to_string(), R15_ONLY)]);
+    assert!(diags.is_empty(), "drained crate should be clean: {diags:#?}");
 }
 
 #[test]

@@ -1,0 +1,55 @@
+//! R12 fixture: wire-decoded lengths must pass a clamp before they
+//! reach an allocation, including across call boundaries.
+
+fn read_len(hdr: &[u8; 4]) -> usize {
+    let n = u32::from_be_bytes(*hdr) as usize;
+    n
+}
+
+fn alloc_payload(n: usize) -> Vec<u8> {
+    let buf = Vec::with_capacity(n);
+    buf
+}
+
+fn decode_bad(hdr: &[u8; 4]) -> Vec<u8> {
+    let len = read_len(hdr);
+    alloc_payload(len)
+}
+
+fn decode_local_bad(hdr: &[u8; 4]) -> Vec<u8> {
+    let len = u32::from_be_bytes(*hdr) as usize;
+    let buf = vec![0u8; len];
+    buf
+}
+
+fn read_body_bad(r: &mut Reader, hdr: &[u8; 4], buf: &mut [u8]) {
+    let len = u32::from_be_bytes(*hdr) as usize;
+    r.read_exact(&mut buf[..len]);
+}
+
+fn decode_good(hdr: &[u8; 4]) -> Vec<u8> {
+    let len = u32::from_be_bytes(*hdr) as usize;
+    if len > MAX_FRAME {
+        return Vec::new();
+    }
+    let buf = vec![0u8; len];
+    buf
+}
+
+fn decode_clamped(hdr: &[u8; 4]) -> Vec<u8> {
+    let len = read_len(hdr);
+    let n = len.min(MAX_FRAME);
+    alloc_payload(n)
+}
+
+fn check_len(n: usize) -> usize {
+    if n as u64 > MAX_FRAME as u64 {
+        return 0;
+    }
+    n
+}
+
+fn decode_validated(hdr: &[u8; 4]) -> Vec<u8> {
+    let len = check_len(read_len(hdr));
+    alloc_payload(len)
+}

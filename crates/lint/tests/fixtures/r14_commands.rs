@@ -1,0 +1,9 @@
+//! R14 fixture (declaration half): the protocol command set lives in
+//! one file; dispatchers elsewhere resolve it via the global fallback.
+
+pub enum Command {
+    Get,
+    Put,
+    Info,
+    Destroy,
+}

@@ -1,0 +1,44 @@
+//! R14 fixture (dispatch half): every `Command` match either handles
+//! all variants or answers the rest with an explicit error arm.
+
+fn dispatch_swallows(cmd: Command, chan: &mut Chan) {
+    match cmd {
+        Command::Get => chan.send(b"GET"),
+        Command::Put => chan.send(b"PUT"),
+        _ => {}
+    }
+}
+
+fn dispatch_missing(cmd: Command, chan: &mut Chan) {
+    match cmd {
+        Command::Get => chan.send(b"GET"),
+        Command::Put => chan.send(b"PUT"),
+        Command::Info => chan.send(b"INFO"),
+    }
+}
+
+fn dispatch_good(cmd: Command, chan: &mut Chan) {
+    match cmd {
+        Command::Get => chan.send(b"GET"),
+        Command::Put => chan.send(b"PUT"),
+        Command::Info => chan.send(b"INFO"),
+        other => respond_error(chan, other),
+    }
+}
+
+fn dispatch_exhaustive(cmd: Command, chan: &mut Chan) {
+    match cmd {
+        Command::Get => chan.send(b"GET"),
+        Command::Put => chan.send(b"PUT"),
+        Command::Info => chan.send(b"INFO"),
+        Command::Destroy => chan.send(b"DESTROY"),
+    }
+}
+
+fn from_wire(code: u32) -> Option<Command> {
+    match code {
+        1 => Some(Command::Get),
+        2 => Some(Command::Put),
+        _ => None,
+    }
+}

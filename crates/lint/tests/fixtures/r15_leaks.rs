@@ -1,0 +1,37 @@
+//! R15 fixture: tmp staging files need a rename/removal behind them,
+//! registered handlers need a drain, and the pre-handshake deadline
+//! must be re-armed before request I/O.
+
+fn stage_via_helper_bad(vfs: &Vfs, tmp_path: &str, data: &[u8]) {
+    write_tmp(vfs, tmp_path, data);
+}
+
+fn write_tmp(vfs: &Vfs, tmp_path: &str, data: &[u8]) {
+    vfs.write_file(tmp_path, data);
+}
+
+fn stage_via_helper_good(vfs: &Vfs, tmp2_path: &str, dst: &str, data: &[u8]) {
+    write_tmp2(vfs, tmp2_path, data);
+    vfs.rename(tmp2_path, dst);
+}
+
+fn write_tmp2(vfs: &Vfs, tmp2_path: &str, data: &[u8]) {
+    vfs.write_file(tmp2_path, data);
+}
+
+fn register_bad(set: &mut HandlerSet, conn: Conn) {
+    set.spawn("conn", conn);
+}
+
+fn serve_stale(chan: &mut Chan, dl: &Deadline, cfg: &Cfg) {
+    dl.set_deadlines(chan);
+    accept(chan, cfg);
+    chan.write_all(b"RESP");
+}
+
+fn serve_rearmed(chan: &mut Chan, dl: &Deadline, cfg: &Cfg) {
+    dl.set_deadlines(chan);
+    accept(chan, cfg);
+    dl.set_deadlines(chan);
+    chan.write_all(b"RESP");
+}

@@ -97,6 +97,79 @@ fn seeded_ack_before_fsync_is_caught_with_a_call_path() {
     );
 }
 
+/// The v4 acceptance scenario: a wire-decoded length that crosses a
+/// function boundary before feeding an allocation must be caught by
+/// R12, with the decode→bind→call→allocation path in the SARIF output.
+const SEEDED_FRAME: &str = r#"//! Seeded unclamped wire length: the length decoded in `frame_len`
+//! reaches the allocation in `read_frame` with no bound check.
+
+fn frame_len(hdr: &[u8; 4]) -> usize {
+    let n = u32::from_be_bytes(*hdr) as usize;
+    n
+}
+
+fn read_frame(hdr: &[u8; 4]) -> Vec<u8> {
+    let len = frame_len(hdr);
+    let buf = Vec::with_capacity(len);
+    buf
+}
+"#;
+
+#[test]
+fn seeded_unclamped_wire_length_is_caught_with_a_taint_path() {
+    let dir = std::env::temp_dir().join(format!("mp-lint-frame-{}", std::process::id()));
+    let src_dir = dir.join("crates/gsi/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::write(src_dir.join("frame.rs"), SEEDED_FRAME).expect("seed file");
+
+    let result = gate_workspace(&dir);
+    std::fs::remove_dir_all(&dir).expect("scratch teardown");
+
+    assert!(!result.passed(), "seeded wire-bounds bug passed the gate");
+    let r12: Vec<_> = result.split.new.iter().filter(|d| d.rule == "R12").collect();
+    assert_eq!(r12.len(), 1, "findings: {:#?}", result.split.new);
+    let d = r12[0];
+    // Anchored at the allocation in `read_frame`, not the decode in
+    // the helper.
+    assert_eq!((d.file.as_str(), d.line), ("crates/gsi/src/frame.rs", 11), "{d:#?}");
+    // The path walks the whole flow: wire decode in `frame_len`, the
+    // tainted return crossing back into `read_frame`, the `len`
+    // binding, and the allocation it reaches.
+    assert!(d.path.first().is_some_and(|s| s.note.contains("wire")), "{:#?}", d.path);
+    assert!(d.path.iter().any(|s| s.note.contains("frame_len")), "{:#?}", d.path);
+    assert!(
+        d.path.last().is_some_and(|s| s.note.contains("reaches allocation")),
+        "{:#?}",
+        d.path
+    );
+
+    // The same flow rides the SARIF-lite report as `taintPath`, and
+    // the summary counts the finding under the R12 key.
+    let sarif_r12 = result
+        .sarif
+        .get("results")
+        .and_then(mp_lint::json::Value::as_arr)
+        .expect("sarif results")
+        .iter()
+        .find(|r| r.get("ruleId").and_then(mp_lint::json::Value::as_str) == Some("R12"))
+        .expect("R12 in sarif")
+        .clone();
+    let steps = sarif_r12
+        .get("taintPath")
+        .and_then(mp_lint::json::Value::as_arr)
+        .expect("taintPath present")
+        .len();
+    assert!(steps >= 3, "expected a multi-hop taint path, got {steps} steps");
+    assert_eq!(
+        result
+            .sarif
+            .get("summary")
+            .and_then(|s| s.get("lint.findings.r12"))
+            .and_then(mp_lint::json::Value::as_num),
+        Some(1.0)
+    );
+}
+
 #[test]
 fn seeded_violations_fail_the_gate() {
     let dir = std::env::temp_dir().join(format!("mp-lint-seeded-{}", std::process::id()));
