@@ -14,10 +14,14 @@
 //! the snapshot and replays the write-ahead journal (truncating a torn
 //! tail from a crash mid-append), and every mutation is journaled with
 //! fsync-on-commit *before* it is acknowledged — a kill -9 at any
-//! moment loses nothing that was acked. The journal is folded into the
-//! one-file-per-credential snapshot every `--wal-compact-every`
-//! mutations. Run the server on a tightly secured host (§5.1:
-//! "comparable to a Kerberos Domain Controller").
+//! moment loses nothing that was acked. The store and its journal are
+//! sharded by user hash (`--wal-shards`, default 8): concurrent
+//! committers to one shard share a single group-commit fsync, and
+//! writers to different shards do not contend at all. Each shard's
+//! journal is folded into the one-file-per-credential snapshot every
+//! `--wal-compact-every` mutations, off the ack path. Run the server
+//! on a tightly secured host (§5.1: "comparable to a Kerberos Domain
+//! Controller").
 
 use mp_cli::{die, load_credential, load_trust_roots, usage_exit, Args};
 use mp_crypto::HmacDrbg;
@@ -33,7 +37,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   myproxy-server --credential <server.pem> --trust-roots <dir> --port <port>
-                 [--store-dir <dir>] [--wal-compact-every N]
+                 [--store-dir <dir>] [--wal-compact-every N] [--wal-shards N]
                  [--accept-pattern P]... [--retriever-pattern P]...
                  [--renewer-pattern P]... [--max-stored-hours N] [--max-delegated-hours N]
                  [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]";
@@ -77,6 +81,8 @@ fn run(args: &Args) -> Result<(), String> {
         authorized_renewers: acl(args.all("renewer-pattern")),
         pbkdf2_iterations: args.get_u64("pbkdf2-iters", 10_000)? as u32,
         key_bits: args.get_u64("bits", 512)? as usize,
+        store_shards: args.get_u64("wal-shards", mp_myproxy::store::DEFAULT_SHARDS as u64)?
+            as usize,
     };
 
     let server = MyProxyServer::new(
@@ -89,7 +95,10 @@ fn run(args: &Args) -> Result<(), String> {
 
     let store_dir: Option<PathBuf> = args.get("store-dir").map(PathBuf::from);
     if let Some(dir) = &store_dir {
-        let cfg = WalConfig { compact_every: args.get_u64("wal-compact-every", 256)? };
+        let cfg = WalConfig {
+            compact_every: args.get_u64("wal-compact-every", 256)?,
+            ..WalConfig::default()
+        };
         let report = server
             .enable_durability(dir, cfg)
             .map_err(|e| format!("cannot open store under {}: {e}", dir.display()))?;

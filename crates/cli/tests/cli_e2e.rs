@@ -264,9 +264,18 @@ fn store_dir_survives_server_restart() {
         run_ok(&mut cmd);
         // The PUT is journaled and fsynced *before* the server acks,
         // so once myproxy-init returns the credential is durable — no
-        // polling for snapshot files needed.
-        let journal = dir.path("store").join("journal.wal");
-        let journal_len = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        // polling for snapshot files needed. The journal is sharded
+        // (journal-<i>.wal); alice's records all land in one shard.
+        let journal_len: u64 = std::fs::read_dir(dir.path("store"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with("journal") && n.ends_with(".wal")
+            })
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum();
         assert!(journal_len > 0, "acked PUT must already be journaled");
     } // server killed here
 

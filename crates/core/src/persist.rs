@@ -176,6 +176,30 @@ impl CredStore {
         Ok(())
     }
 
+    /// Write one shard's entries to `dir` with the same tmp → fsync →
+    /// rename discipline as [`CredStore::save_snapshot`], but no stale
+    /// sweep and no directory fsync: the journal fold that calls this
+    /// deletes its own tombstoned files and issues the covering
+    /// directory fsync itself, so each shard's fold touches only its
+    /// own keys and folds of different shards cannot race on a global
+    /// sweep.
+    pub fn save_shard_snapshot(
+        &self,
+        dir: &Path,
+        vfs: &dyn Vfs,
+        shard: usize,
+    ) -> std::io::Result<()> {
+        vfs.create_dir_all(dir)?;
+        for e in self.shard_entries(shard) {
+            let filename = entry_filename(&e.username, &e.name);
+            let tmp = dir.join(format!("{filename}.tmp"));
+            vfs.write_file(&tmp, entry_to_text(&e).as_bytes())?;
+            vfs.sync_file(&tmp)?;
+            vfs.rename(&tmp, &dir.join(&filename))?;
+        }
+        Ok(())
+    }
+
     /// Load every `.cred` file from `dir` into this store through
     /// `vfs`, replacing entries with the same key. Corrupt files are
     /// skipped and reported (fail-soft: one bad file must not take the

@@ -58,6 +58,10 @@ pub struct ServerPolicy {
     pub pbkdf2_iterations: u32,
     /// RSA modulus bits for proxies the server mints during PUT.
     pub key_bits: usize,
+    /// Shard count for the credential store and its journal
+    /// (`--wal-shards`). More shards = more commit concurrency, more
+    /// journal files.
+    pub store_shards: usize,
 }
 
 impl Default for ServerPolicy {
@@ -71,6 +75,7 @@ impl Default for ServerPolicy {
             authorized_renewers: AccessControlList::deny_all(),
             pbkdf2_iterations: 1_000,
             key_bits: 512,
+            store_shards: crate::store::DEFAULT_SHARDS,
         }
     }
 }

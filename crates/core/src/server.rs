@@ -148,7 +148,7 @@ impl MyProxyServer {
         rng: HmacDrbg,
         master_key: [u8; 32],
     ) -> Self {
-        let store = CredStore::new(policy.pbkdf2_iterations);
+        let store = CredStore::with_shards(policy.pbkdf2_iterations, policy.store_shards);
         let obs = Arc::new(Registry::new());
         let stats = ServerStats::registered(&obs);
         let request_hist = obs.histogram("myproxy.request");

@@ -10,6 +10,18 @@
 //! deliberately **no separate pass-phrase hash**: verification *is*
 //! successful decryption, so the store on disk contains nothing easier
 //! to attack than the sealed blobs themselves.
+//!
+//! The in-memory map is sharded by user hash ([`shard_index`]): every
+//! entry of a user lives in one shard, so user-keyed reads lock one
+//! shard and concurrent writers to different users never contend. The
+//! attached journal (see [`crate::wal`]) shards the same way.
+//!
+//! Mutations that modify an existing entry (`set_owner`,
+//! `make_renewable`, `change_passphrase`) commit *delta* records, not
+//! full upserts: the delta is applied under the shard lock against the
+//! entry's state at apply time, so a concurrent `put`/`destroy` to the
+//! same key can no longer be silently overwritten by a stale clone
+//! (the classic read-modify-write lost update).
 
 use crate::wal::{Wal, WalRecord};
 use crate::MyProxyError;
@@ -26,6 +38,35 @@ pub type EntryKey = (String, String);
 
 /// The default credential name when the wallet feature is unused.
 pub const DEFAULT_NAME: &str = "default";
+
+/// Default shard count for the in-memory map and the journal. Eight
+/// shards decorrelate the commit fsyncs of a portal-scale writer mix
+/// without scattering a small store across many files.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Which shard a username lives in, out of `shards` (FNV-1a 64). Also
+/// the scope predicate of a sharded purge record: the mapping depends
+/// only on `(username, shards)`, never on the store instance, so
+/// journals replay correctly across restarts and re-shardings.
+pub fn shard_index(username: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in username.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// SHA-256 of a sealed blob — the compare-and-swap guard carried by
+/// [`WalRecord::Reseal`].
+pub(crate) fn sealed_digest(sealed: &[u8]) -> Vec<u8> {
+    let mut h = mp_crypto::Sha256::new();
+    h.update(sealed);
+    h.finalize().to_vec()
+}
 
 /// Metadata + sealed blob for one stored credential.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,28 +107,68 @@ pub struct StoredCredential {
 /// repository leaks nothing about which usernames exist.
 pub const AUTH_FAILED: &str = "authentication failed (bad username, credential name, or pass phrase)";
 
-/// Thread-safe credential store.
+/// What applying one [`WalRecord`] did: how many entries changed, and
+/// which keys were removed (the journal fold tombstones these so it
+/// can delete their snapshot files — the file name is a hash, so the
+/// fold cannot reconstruct it from a directory listing).
+pub(crate) struct ApplyOutcome {
+    pub touched: usize,
+    pub removed: Vec<EntryKey>,
+}
+
+impl ApplyOutcome {
+    fn touched(n: usize) -> Self {
+        ApplyOutcome { touched: n, removed: Vec::new() }
+    }
+}
+
+/// Thread-safe, sharded credential store.
 ///
 /// Without a journal attached the store is memory-only and mutations
 /// apply directly. After [`CredStore::attach_durable`]
 /// (see [`crate::wal`]) every mutation is a [`WalRecord`] committed
 /// write-ahead: journaled and fsynced **before** the in-memory state
 /// changes, so an acknowledged operation survives a crash.
-#[derive(Default)]
 pub struct CredStore {
-    entries: RwLock<HashMap<EntryKey, StoredCredential>>,
+    shards: Vec<RwLock<HashMap<EntryKey, StoredCredential>>>,
     pbkdf2_iterations: u32,
     wal: RwLock<Option<Arc<Wal>>>,
 }
 
+impl Default for CredStore {
+    fn default() -> Self {
+        CredStore::with_shards(0, DEFAULT_SHARDS)
+    }
+}
+
 impl CredStore {
-    /// Empty store sealing with `pbkdf2_iterations`.
+    /// Empty store sealing with `pbkdf2_iterations`, [`DEFAULT_SHARDS`]
+    /// shards.
     pub fn new(pbkdf2_iterations: u32) -> Self {
+        CredStore::with_shards(pbkdf2_iterations, DEFAULT_SHARDS)
+    }
+
+    /// Empty store with an explicit shard count (clamped to 1..=1024).
+    pub fn with_shards(pbkdf2_iterations: u32, shards: usize) -> Self {
+        let n = shards.clamp(1, 1024);
         CredStore {
-            entries: RwLock::new(HashMap::new()),
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             pbkdf2_iterations,
             wal: RwLock::new(None),
         }
+    }
+
+    /// Number of shards (the attached journal mirrors this).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `username`'s entries. `None` is unreachable
+    /// (`with_shards` allocates ≥ 1 shard and [`shard_index`] returns
+    /// `< len`), but callers fold it into "not found" rather than
+    /// panicking.
+    fn shard_for(&self, username: &str) -> Option<&RwLock<HashMap<EntryKey, StoredCredential>>> {
+        self.shards.get(shard_index(username, self.shards.len()))
     }
 
     /// Attach a journal; from here on every mutation commits through
@@ -96,35 +177,110 @@ impl CredStore {
         *self.wal.write() = Some(wal);
     }
 
+    /// The attached journal, if any (tests and benches drive
+    /// [`Wal::commit_many`] through this).
+    pub fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
+    }
+
     /// Apply one replayed/committed record to the in-memory map without
-    /// logging it. Returns how many entries were touched. Replay calls
-    /// this directly; live mutations go through [`CredStore::commit`].
-    pub(crate) fn apply(&self, rec: &WalRecord) -> usize {
+    /// logging it. Each arm takes its shard's write lock once, so the
+    /// mutation is atomic with respect to every other reader/writer of
+    /// that shard. Replay calls this directly; live mutations go
+    /// through [`CredStore::commit`].
+    pub(crate) fn apply(&self, rec: &WalRecord) -> ApplyOutcome {
         match rec {
             WalRecord::Upsert(e) => {
                 self.insert_entry(e.clone());
-                1
+                ApplyOutcome::touched(1)
             }
             WalRecord::Remove { username, name } => {
-                let removed = self.entries.write().remove(&(username.clone(), name.clone()));
-                usize::from(removed.is_some())
+                let key = (username.clone(), name.clone());
+                let removed = self
+                    .shard_for(username)
+                    .and_then(|lock| lock.write().remove(&key));
+                match removed {
+                    Some(_) => ApplyOutcome { touched: 1, removed: vec![key] },
+                    None => ApplyOutcome::touched(0),
+                }
             }
-            WalRecord::Purge { now } => {
-                let mut entries = self.entries.write();
-                let before = entries.len();
-                entries.retain(|_, e| e.not_after > *now);
-                before - entries.len()
+            WalRecord::SetOwner { username, name, owner } => {
+                let Some(lock) = self.shard_for(username) else {
+                    return ApplyOutcome::touched(0);
+                };
+                let mut map = lock.write();
+                match map.get_mut(&(username.clone(), name.clone())) {
+                    Some(e) => {
+                        e.owner_identity = owner.clone();
+                        ApplyOutcome::touched(1)
+                    }
+                    None => ApplyOutcome::touched(0),
+                }
+            }
+            WalRecord::SetRenewable { username, name, pattern, sealed } => {
+                let Some(lock) = self.shard_for(username) else {
+                    return ApplyOutcome::touched(0);
+                };
+                let mut map = lock.write();
+                match map.get_mut(&(username.clone(), name.clone())) {
+                    Some(e) => {
+                        e.renewable_by = Some(pattern.clone());
+                        e.sealed_for_renewal = Some(sealed.clone());
+                        ApplyOutcome::touched(1)
+                    }
+                    None => ApplyOutcome::touched(0),
+                }
+            }
+            WalRecord::Reseal { username, name, expect, sealed } => {
+                let Some(lock) = self.shard_for(username) else {
+                    return ApplyOutcome::touched(0);
+                };
+                let mut map = lock.write();
+                match map.get_mut(&(username.clone(), name.clone())) {
+                    // The CAS guard: only replace the seal this record
+                    // was derived from. On replay over a snapshot that
+                    // already folded it, the digest no longer matches
+                    // and the record is a clean no-op.
+                    Some(e) if sealed_digest(&e.sealed) == *expect => {
+                        e.sealed = sealed.clone();
+                        ApplyOutcome::touched(1)
+                    }
+                    _ => ApplyOutcome::touched(0),
+                }
+            }
+            WalRecord::Purge { now, shard, of } => {
+                let mut touched = 0usize;
+                let mut removed = Vec::new();
+                for lock in &self.shards {
+                    let mut map = lock.write();
+                    let doomed: Vec<EntryKey> = map
+                        .iter()
+                        .filter(|(key, e)| {
+                            e.not_after <= *now
+                                && (*of == 0
+                                    || shard_index(&key.0, *of as usize) == *shard as usize)
+                        })
+                        .map(|(key, _)| key.clone())
+                        .collect();
+                    for key in doomed {
+                        if map.remove(&key).is_some() {
+                            touched += 1;
+                            removed.push(key);
+                        }
+                    }
+                }
+                ApplyOutcome { touched, removed }
             }
         }
     }
 
     /// Route a mutation through the journal when one is attached,
-    /// directly to memory otherwise.
+    /// directly to memory otherwise. Returns how many entries changed.
     fn commit(&self, rec: WalRecord) -> crate::Result<usize> {
         let wal = self.wal.read().clone();
         match wal {
             Some(w) => w.commit(self, rec),
-            None => Ok(self.apply(&rec)),
+            None => Ok(self.apply(&rec).touched),
         }
     }
 
@@ -187,7 +343,10 @@ impl CredStore {
 
     /// Mark an entry renewable by clients matching `pattern`, attaching
     /// the master-key-sealed copy the renewal path decrypts. A missing
-    /// entry is a silent no-op (matching the pre-WAL behavior).
+    /// entry is a silent no-op (matching the pre-WAL behavior). The
+    /// delta record applies under the shard lock, so a concurrent
+    /// `put`/`destroy` of the same key is never clobbered by stale
+    /// state.
     pub fn make_renewable(
         &self,
         username: &str,
@@ -195,12 +354,12 @@ impl CredStore {
         pattern: &str,
         master_sealed: Vec<u8>,
     ) -> crate::Result<()> {
-        let Some(mut e) = self.peek(username, name) else {
-            return Ok(());
-        };
-        e.renewable_by = Some(pattern.to_string());
-        e.sealed_for_renewal = Some(master_sealed);
-        self.commit(WalRecord::Upsert(e))?;
+        self.commit(WalRecord::SetRenewable {
+            username: username.to_string(),
+            name: name.to_string(),
+            pattern: pattern.to_string(),
+            sealed: master_sealed,
+        })?;
         Ok(())
     }
 
@@ -212,7 +371,10 @@ impl CredStore {
         name: &str,
         master_key: &[u8],
     ) -> Result<(Credential, StoredCredential), MyProxyError> {
-        let entries = self.entries.read();
+        let entries = self
+            .shard_for(username)
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?
+            .read();
         let entry = entries
             .get(&(username.to_string(), name.to_string()))
             .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
@@ -230,13 +392,14 @@ impl CredStore {
 
     /// Set the owner identity recorded for an entry (the server calls
     /// this with the channel's validated identity right after `put`).
-    /// A missing entry is a silent no-op.
+    /// A missing entry is a silent no-op. Commits a delta record —
+    /// applied atomically under the shard lock, never a stale clone.
     pub fn set_owner(&self, username: &str, name: &str, owner: &str) -> crate::Result<()> {
-        let Some(mut e) = self.peek(username, name) else {
-            return Ok(());
-        };
-        e.owner_identity = owner.to_string();
-        self.commit(WalRecord::Upsert(e))?;
+        self.commit(WalRecord::SetOwner {
+            username: username.to_string(),
+            name: name.to_string(),
+            owner: owner.to_string(),
+        })?;
         Ok(())
     }
 
@@ -251,7 +414,10 @@ impl CredStore {
         // Auth failures record too — a brute-force attempt shows up as
         // a pile of `store.open` samples next to bumped denials.
         let _span = Span::enter("store.open");
-        let entries = self.entries.read();
+        let entries = self
+            .shard_for(username)
+            .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?
+            .read();
         let entry = entries
             .get(&(username.to_string(), name.to_string()))
             .ok_or_else(|| MyProxyError::Refused(AUTH_FAILED.into()))?;
@@ -267,7 +433,10 @@ impl CredStore {
     /// All entries for `username` that open under `passphrase`
     /// (myproxy-info semantics: you must authenticate to enumerate).
     pub fn list_authenticated(&self, username: &str, passphrase: &str) -> Vec<StoredCredential> {
-        let entries = self.entries.read();
+        let Some(lock) = self.shard_for(username) else {
+            return Vec::new();
+        };
+        let entries = lock.read();
         entries
             .values()
             .filter(|e| e.username == username)
@@ -281,7 +450,7 @@ impl CredStore {
     /// Entry metadata by exact key without authentication — internal use
     /// (renewal checks the owner identity instead of a pass phrase).
     pub fn peek(&self, username: &str, name: &str) -> Option<StoredCredential> {
-        self.entries
+        self.shard_for(username)?
             .read()
             .get(&(username.to_string(), name.to_string()))
             .cloned()
@@ -299,6 +468,10 @@ impl CredStore {
     }
 
     /// Re-seal under a new pass phrase (`myproxy-change-pass-phrase`).
+    /// The commit carries a digest of the seal being replaced: if a
+    /// concurrent writer changed the entry between our decrypt and the
+    /// commit, the record applies to nothing and the caller gets a
+    /// retryable refusal instead of silently reviving stale state.
     pub fn change_passphrase<R: Rng + ?Sized>(
         &self,
         username: &str,
@@ -307,69 +480,100 @@ impl CredStore {
         new_passphrase: &str,
         rng: &mut R,
     ) -> Result<(), MyProxyError> {
-        let (cred, mut entry) = self.open(username, name, old_passphrase)?;
+        let (cred, entry) = self.open(username, name, old_passphrase)?;
+        let expect = sealed_digest(&entry.sealed);
         let mut entropy = [0u8; 32];
         rng.fill(&mut entropy);
-        entry.sealed = SecretBox::seal(
+        let sealed = SecretBox::seal(
             new_passphrase.as_bytes(),
             cred.to_pem().as_bytes(),
             self.pbkdf2_iterations,
             &entropy,
         );
-        self.commit(WalRecord::Upsert(entry))?;
+        let touched = self.commit(WalRecord::Reseal {
+            username: username.to_string(),
+            name: name.to_string(),
+            expect,
+            sealed,
+        })?;
+        if touched == 0 {
+            return Err(MyProxyError::Refused(
+                "credential changed concurrently; retry".into(),
+            ));
+        }
         Ok(())
     }
 
     /// Remove entries whose stored chain has expired. Returns how many
     /// were removed. (The paper's backstop: stolen repository contents
-    /// age out, §4.3.) A sweep that would remove nothing writes no
+    /// age out, §4.3.) Each shard with expired entries journals its own
+    /// scoped purge record, so the sweep never serializes the whole
+    /// store behind one record and replay order across shard journals
+    /// cannot matter. A sweep that would remove nothing writes no
     /// journal record.
     pub fn purge_expired(&self, now: u64) -> crate::Result<usize> {
         let _span = Span::enter("store.purge");
-        let expired = self
-            .entries
-            .read()
-            .values()
-            .filter(|e| e.not_after <= now)
-            .count();
-        if expired == 0 {
-            return Ok(0);
+        let of = self.shards.len() as u32;
+        let mut total = 0usize;
+        for (si, lock) in self.shards.iter().enumerate() {
+            let expired = lock.read().values().any(|e| e.not_after <= now);
+            if !expired {
+                continue;
+            }
+            total += self.commit(WalRecord::Purge { now, shard: si as u32, of })?;
         }
-        self.commit(WalRecord::Purge { now })
+        Ok(total)
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when no entries are stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Raw sealed blobs (what an intruder dumping the host sees).
     /// Exposed for the §5.1 security-property tests.
     pub fn raw_dump(&self) -> Vec<Vec<u8>> {
-        self.entries.read().values().map(|e| e.sealed.clone()).collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().values().map(|e| e.sealed.clone()).collect::<Vec<_>>())
+            .collect()
     }
 
     /// Snapshot of every entry (persistence uses this).
     pub fn all_entries(&self) -> Vec<StoredCredential> {
-        self.entries.read().values().cloned().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Snapshot of one shard's entries (the per-shard fold uses this).
+    pub fn shard_entries(&self, shard: usize) -> Vec<StoredCredential> {
+        self.shards
+            .get(shard)
+            .map(|s| s.read().values().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Insert an already-sealed entry (persistence uses this).
     pub fn insert_entry(&self, entry: StoredCredential) {
-        self.entries
-            .write()
-            .insert((entry.username.clone(), entry.name.clone()), entry);
+        if let Some(lock) = self.shard_for(&entry.username) {
+            lock.write()
+                .insert((entry.username.clone(), entry.name.clone()), entry);
+        }
     }
 
     /// All entries of a user (metadata only) — wallet listing.
     pub fn entries_for(&self, username: &str) -> Vec<StoredCredential> {
-        self.entries
-            .read()
+        let Some(lock) = self.shard_for(username) else {
+            return Vec::new();
+        };
+        lock.read()
             .values()
             .filter(|e| e.username == username)
             .cloned()
@@ -418,6 +622,21 @@ mod tests {
     }
 
     #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for n in [1usize, 2, 8, 64] {
+            for user in ["alice", "bob", "carol", "", "日本語"] {
+                let i = shard_index(user, n);
+                assert!(i < n);
+                assert_eq!(i, shard_index(user, n), "deterministic");
+            }
+        }
+        // Different users spread (not a proof — a sanity anchor).
+        let spread: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_index(&format!("user-{i}"), 8)).collect();
+        assert!(spread.len() > 1, "users land in more than one shard");
+    }
+
+    #[test]
     fn wrong_passphrase_and_missing_user_indistinguishable() {
         let store = store_with_alice();
         let e1 = store.open("alice", DEFAULT_NAME, "wrong").unwrap_err();
@@ -448,10 +667,47 @@ mod tests {
     }
 
     #[test]
+    fn set_owner_after_replacement_put_applies_to_current_entry() {
+        // The lost-update shape, single-threaded: the delta must apply
+        // to whatever the entry is at apply time, not to a stale clone.
+        let store = store_with_alice();
+        let mut rng = test_drbg("rmw");
+        store
+            .put("alice", DEFAULT_NAME, "newpass!", &credential(), 60, 200, false, vec![], &mut rng)
+            .unwrap();
+        store.set_owner("alice", DEFAULT_NAME, "/O=Grid/CN=alice2").unwrap();
+        let entry = store.peek("alice", DEFAULT_NAME).unwrap();
+        assert_eq!(entry.owner_identity, "/O=Grid/CN=alice2");
+        assert!(store.open("alice", DEFAULT_NAME, "newpass!").is_ok(), "put not clobbered");
+    }
+
+    #[test]
+    fn set_owner_and_make_renewable_missing_entry_are_noops() {
+        let store = CredStore::new(10);
+        store.set_owner("ghost", DEFAULT_NAME, "/O=Grid/CN=ghost").unwrap();
+        store.make_renewable("ghost", DEFAULT_NAME, "/O=Grid/*", vec![1]).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
     fn purge_expired_removes_only_expired() {
         let store = store_with_alice();
         assert_eq!(store.purge_expired(100).unwrap(), 0);
         assert_eq!(store.purge_expired(600_001).unwrap(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn purge_spans_all_shards() {
+        let store = CredStore::new(10);
+        let mut rng = test_drbg("purge shards");
+        for i in 0..16 {
+            store
+                .put(&format!("user-{i}"), DEFAULT_NAME, "p!", &credential(), 1, 1, false, vec![], &mut rng)
+                .unwrap();
+        }
+        assert_eq!(store.len(), 16);
+        assert_eq!(store.purge_expired(600_001).unwrap(), 16);
         assert!(store.is_empty());
     }
 

@@ -2,43 +2,90 @@
 //! store.
 //!
 //! The paper sells the repository as a *reliable* home for credentials
-//! (§3, §5.1) — which means an acknowledged PUT must survive a power
-//! cut. The store therefore runs over a small durable engine:
+//! (§3, §5.1) that must also "serve heavy traffic from many portals"
+//! (§3.3) — an acknowledged PUT must survive a power cut, and many
+//! portals commit at once. The store therefore runs over a small
+//! durable engine built for concurrency:
 //!
-//! * every mutating operation is appended to `journal.wal` as a
+//! * the store is sharded by user hash ([`crate::store::shard_index`]);
+//!   shard `i` journals to its own `journal-<i>.wal`, so writers to
+//!   different users never contend on one file or one lock;
+//! * every mutating operation is appended to its shard's journal as a
 //!   length-prefixed, CRC32-framed record and fsynced **before** the
 //!   in-memory map changes (and so before any response is sent);
-//! * every `compact_every` appends, the journal is folded into the
-//!   one-file-per-credential snapshot format of [`crate::persist`]
-//!   (tmp file → fsync → rename → directory fsync) and truncated;
-//! * startup is snapshot-load + journal-replay. A torn final record —
-//!   the signature of a crash mid-append — is truncated, not an error.
+//! * concurrent committers to one shard ride a **group-commit
+//!   barrier**: each stages its frame, one leader appends and fsyncs
+//!   the whole batch with a single write + single fsync, then applies
+//!   the records in journal order and wakes the followers. Every acked
+//!   record is still on disk and fsynced before its ack — the batch
+//!   just shares the fsync;
+//! * every `compact_every` appends a shard's journal is folded into
+//!   the one-file-per-credential snapshot of [`crate::persist`] — off
+//!   the ack path: the journal is first *rotated* aside (rename to
+//!   `journal-<i>.old`), so commits continue into a fresh journal
+//!   while the fold writes the snapshot. A failed fold defers the next
+//!   attempt (`fold_gate`) instead of retrying on every commit;
+//! * startup is snapshot-load + journal-replay (rotated segment first,
+//!   then the live journal, per shard). A torn tail — the signature of
+//!   a crash mid-append — is truncated, not an error; a torn *batch*
+//!   replays as a clean prefix of the batch. A layout change (legacy
+//!   single `journal.wal`, or more journal files than shards) is
+//!   migrated by folding everything into the snapshot.
 //!
 //! All file I/O goes through the object-safe [`Vfs`] trait so the
 //! [`CrashVfs`] fault injector (the filesystem sibling of
 //! `mp_gsi::net::FaultyTransport`) can cut power after any single
 //! filesystem operation, drop unsynced bytes, skip fsyncs, or
 //! duplicate renames; `crates/core/tests/crash_matrix.rs` sweeps every
-//! injection point and asserts prefix-consistent recovery.
+//! injection point and asserts prefix-consistent recovery per shard.
 //!
-//! Replay is idempotent: records are full-entry upserts, removals and
-//! purges, so replaying a journal over a snapshot that already folded
-//! it reproduces the same state. That property is what makes the
-//! compaction crash-window (snapshot written, journal not yet
-//! truncated) safe, and it is pinned by a proptest.
+//! Replay is idempotent: full-entry upserts, removals, purges and the
+//! delta records ([`WalRecord::SetOwner`], [`WalRecord::SetRenewable`],
+//! [`WalRecord::Reseal`] — the latter guarded by a digest of the seal
+//! it replaces, so a replayed reseal can never double-apply) reproduce
+//! the same state when replayed over a snapshot that already folded
+//! them. That property is what makes the rotation crash-window
+//! (snapshot written, rotated segment not yet deleted) safe, and it is
+//! pinned by a proptest.
 
 use crate::persist::CorruptEntry;
-use crate::store::{CredStore, StoredCredential};
+use crate::store::{shard_index, CredStore, EntryKey, StoredCredential};
 use crate::MyProxyError;
-use mp_obs::{Counter, Registry};
-use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet};
+use mp_obs::{Counter, Histogram, Registry};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// Journal file name inside the store directory.
+/// Legacy (pre-sharding) journal file name inside the store directory.
+/// Found only when a store written by an older version is opened; its
+/// records are replayed and folded into the snapshot on first open.
 pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Journal file name for one shard.
+pub fn shard_journal_name(shard: usize) -> String {
+    format!("journal-{shard}.wal")
+}
+
+/// Rotated-aside segment name for one shard (exists only while a fold
+/// is in progress, or after a fold failed/crashed mid-way).
+pub fn shard_rotated_name(shard: usize) -> String {
+    format!("journal-{shard}.old")
+}
+
+/// `journal-<i>.wal` / `journal-<i>.old` → `(i, is_rotated)`.
+fn shard_file_index(name: &str) -> Option<(usize, bool)> {
+    let rest = name.strip_prefix("journal-")?;
+    if let Some(idx) = rest.strip_suffix(".wal") {
+        return idx.parse().ok().map(|i| (i, false));
+    }
+    if let Some(idx) = rest.strip_suffix(".old") {
+        return idx.parse().ok().map(|i| (i, true));
+    }
+    None
+}
 
 /// Upper bound on one record's payload; anything larger in the framing
 /// is treated as corruption (a credential entry is a few KB).
@@ -427,9 +474,14 @@ impl Vfs for CrashVfs {
 // Record codec
 // ---------------------------------------------------------------------
 
-/// One durable mutation. Upserts carry the full sealed entry, so put,
-/// owner updates, renewal marking and pass-phrase changes all collapse
-/// to the same replayable shape.
+/// One durable mutation.
+///
+/// `Upsert` carries the full sealed entry; the delta records
+/// (`SetOwner`, `SetRenewable`, `Reseal`) mutate one entry *at apply
+/// time*, under the shard lock — that is the lost-update fix: a
+/// mutator no longer clones an entry outside the lock and commits the
+/// stale clone as a full upsert, it commits the delta and the delta is
+/// applied atomically against whatever the entry is by then.
 #[derive(Clone, Debug)]
 pub enum WalRecord {
     /// Insert-or-replace one entry.
@@ -441,16 +493,63 @@ pub enum WalRecord {
         /// Wallet name.
         name: String,
     },
-    /// Drop every entry with `not_after <= now` (the purge sweep).
+    /// Set the owner identity of one entry (no-op if absent).
+    SetOwner {
+        /// Repository account name.
+        username: String,
+        /// Wallet name.
+        name: String,
+        /// The channel-validated DN to record.
+        owner: String,
+    },
+    /// Mark one entry renewable and attach the master-key seal
+    /// (no-op if absent).
+    SetRenewable {
+        /// Repository account name.
+        username: String,
+        /// Wallet name.
+        name: String,
+        /// DN pattern of clients allowed to renew.
+        pattern: String,
+        /// The master-key-sealed renewal copy.
+        sealed: Vec<u8>,
+    },
+    /// Replace the pass-phrase seal of one entry, guarded by a digest
+    /// of the seal it replaces: applies only if the entry's current
+    /// seal hashes to `expect`. The guard makes replay deterministic
+    /// and turns a concurrent overwrite into a clean no-op the live
+    /// caller can detect (compare-and-swap, not last-writer-wins).
+    Reseal {
+        /// Repository account name.
+        username: String,
+        /// Wallet name.
+        name: String,
+        /// SHA-256 of the sealed blob being replaced.
+        expect: Vec<u8>,
+        /// The new sealed blob.
+        sealed: Vec<u8>,
+    },
+    /// Drop expired entries (`not_after <= now`). Scoped: with
+    /// `of > 0` only keys whose user hashes to `shard` modulo `of` are
+    /// purged — so each shard journals its own purge and replay order
+    /// across journal files cannot matter. `of == 0` is the legacy
+    /// global form (store-wide sweep), decoded from old journals.
     Purge {
         /// The sweep's reference clock.
         now: u64,
+        /// Scope: purge keys with `shard_index(user, of) == shard`.
+        shard: u32,
+        /// Scope modulus (0 = global legacy sweep).
+        of: u32,
     },
 }
 
 const TAG_UPSERT: u8 = 1;
 const TAG_REMOVE: u8 = 2;
 const TAG_PURGE: u8 = 3;
+const TAG_SET_OWNER: u8 = 4;
+const TAG_SET_RENEWABLE: u8 = 5;
+const TAG_RESEAL: u8 = 6;
 
 /// IEEE CRC-32 (the zlib polynomial), bitwise — journal records are a
 /// few KB, table-free is plenty.
@@ -469,6 +568,11 @@ fn crc32(data: &[u8]) -> u32 {
 fn push_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
 }
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
@@ -493,6 +597,11 @@ fn take_str(buf: &mut &[u8]) -> Option<String> {
     String::from_utf8(raw.to_vec()).ok()
 }
 
+fn take_bytes(buf: &mut &[u8]) -> Option<Vec<u8>> {
+    let len = take_u32(buf)? as usize;
+    Some(take(buf, len)?.to_vec())
+}
+
 fn encode_payload(rec: &WalRecord) -> Vec<u8> {
     let mut out = Vec::new();
     match rec {
@@ -505,9 +614,35 @@ fn encode_payload(rec: &WalRecord) -> Vec<u8> {
             push_str(&mut out, username);
             push_str(&mut out, name);
         }
-        WalRecord::Purge { now } => {
+        WalRecord::SetOwner { username, name, owner } => {
+            out.push(TAG_SET_OWNER);
+            push_str(&mut out, username);
+            push_str(&mut out, name);
+            push_str(&mut out, owner);
+        }
+        WalRecord::SetRenewable { username, name, pattern, sealed } => {
+            out.push(TAG_SET_RENEWABLE);
+            push_str(&mut out, username);
+            push_str(&mut out, name);
+            push_str(&mut out, pattern);
+            push_bytes(&mut out, sealed);
+        }
+        WalRecord::Reseal { username, name, expect, sealed } => {
+            out.push(TAG_RESEAL);
+            push_str(&mut out, username);
+            push_str(&mut out, name);
+            push_bytes(&mut out, expect);
+            push_bytes(&mut out, sealed);
+        }
+        WalRecord::Purge { now, shard, of } => {
             out.push(TAG_PURGE);
             out.extend_from_slice(&now.to_le_bytes());
+            if *of > 0 {
+                // Legacy journals end after `now`; the scoped form
+                // appends its shard coordinates.
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&of.to_le_bytes());
+            }
         }
     }
     out
@@ -530,10 +665,48 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
                 None
             }
         }
+        TAG_SET_OWNER => {
+            let username = take_str(&mut rest)?;
+            let name = take_str(&mut rest)?;
+            let owner = take_str(&mut rest)?;
+            if rest.is_empty() {
+                Some(WalRecord::SetOwner { username, name, owner })
+            } else {
+                None
+            }
+        }
+        TAG_SET_RENEWABLE => {
+            let username = take_str(&mut rest)?;
+            let name = take_str(&mut rest)?;
+            let pattern = take_str(&mut rest)?;
+            let sealed = take_bytes(&mut rest)?;
+            if rest.is_empty() {
+                Some(WalRecord::SetRenewable { username, name, pattern, sealed })
+            } else {
+                None
+            }
+        }
+        TAG_RESEAL => {
+            let username = take_str(&mut rest)?;
+            let name = take_str(&mut rest)?;
+            let expect = take_bytes(&mut rest)?;
+            let sealed = take_bytes(&mut rest)?;
+            if rest.is_empty() {
+                Some(WalRecord::Reseal { username, name, expect, sealed })
+            } else {
+                None
+            }
+        }
         TAG_PURGE => {
             let now = take_u64(&mut rest)?;
             if rest.is_empty() {
-                Some(WalRecord::Purge { now })
+                // Legacy global purge.
+                return Some(WalRecord::Purge { now, shard: 0, of: 0 });
+            }
+            let shard = take_u32(&mut rest)?;
+            let of = take_u32(&mut rest)?;
+            if rest.is_empty() && of > 0 {
+                Some(WalRecord::Purge { now, shard, of })
             } else {
                 None
             }
@@ -593,14 +766,21 @@ fn parse_journal(raw: &[u8]) -> (Vec<WalRecord>, usize, bool) {
 // The journal
 // ---------------------------------------------------------------------
 
-/// `store.wal.*` counters (interned into the owning server's registry,
+/// `store.wal.*` metrics (interned into the owning server's registry,
 /// so they ride the INFO metrics snapshot and `/metrics` scrapes).
 #[derive(Clone)]
 pub struct WalMetrics {
     /// Records appended.
     pub appends: Counter,
-    /// fsyncs issued on the journal file.
+    /// fsyncs issued on journal files by the commit path.
     pub fsyncs: Counter,
+    /// Group-commit barrier flushes (one shared fsync each).
+    pub group_fsyncs: Counter,
+    /// Records per group-commit batch.
+    pub batch_size: Histogram,
+    /// Time a committer spends staged at the barrier (µs), including
+    /// its own turn as leader.
+    pub commit_stall: Histogram,
     /// Records replayed at startup.
     pub replayed: Counter,
     /// Torn/corrupt journal tails truncated at startup.
@@ -608,16 +788,19 @@ pub struct WalMetrics {
     /// Snapshot compactions folded and truncated.
     pub compactions: Counter,
     /// Compaction attempts that failed (the journal keeps the data
-    /// safe; the fold is retried on a later commit).
+    /// safe; the next attempt is deferred by `fold_gate`).
     pub compact_failures: Counter,
 }
 
 impl WalMetrics {
-    /// Intern the counters into `obs`.
+    /// Intern the metrics into `obs`.
     pub fn registered(obs: &Registry) -> Self {
         WalMetrics {
             appends: obs.counter("store.wal.appends"),
             fsyncs: obs.counter("store.wal.fsyncs"),
+            group_fsyncs: obs.counter("store.wal.group_fsyncs"),
+            batch_size: obs.histogram("store.wal.batch_size"),
+            commit_stall: obs.histogram("store.wal.commit_stall"),
             replayed: obs.counter("store.wal.replayed"),
             truncated_tail: obs.counter("store.wal.truncated_tail"),
             compactions: obs.counter("store.wal.compactions"),
@@ -629,14 +812,19 @@ impl WalMetrics {
 /// Journal tuning.
 #[derive(Clone, Copy, Debug)]
 pub struct WalConfig {
-    /// Fold the journal into the snapshot every this many appends
-    /// (0 = never compact automatically).
+    /// Fold a shard's journal into the snapshot every this many appends
+    /// to that shard (0 = never compact automatically).
     pub compact_every: u64,
+    /// Batch concurrent commits to one shard into a single
+    /// append+fsync (the group-commit barrier). Off = one fsync per
+    /// record, the pre-batching behavior — kept for the before/after
+    /// bench and as an operational escape hatch.
+    pub group_commit: bool,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
-        WalConfig { compact_every: 1024 }
+        WalConfig { compact_every: 1024, group_commit: true }
     }
 }
 
@@ -663,30 +851,118 @@ pub struct DurabilityReport {
     pub corrupt: Vec<CorruptEntry>,
 }
 
-/// The write-ahead journal a [`CredStore`] commits through.
+/// One committer's seat at the group-commit barrier: filled by the
+/// batch leader under the group lock, read back by the committer.
+#[derive(Default)]
+struct CommitSlot {
+    done: Mutex<Option<Result<usize, String>>>,
+}
+
+/// A staged record waiting for a leader to flush it.
+struct Staged {
+    rec: WalRecord,
+    frame: Vec<u8>,
+    slot: Arc<CommitSlot>,
+}
+
+/// Barrier + compaction state of one shard, guarded by `WalShard::group`.
+#[derive(Default)]
+struct GroupState {
+    /// Frames staged since the last batch was taken.
+    queue: Vec<Staged>,
+    /// A leader is currently flushing a batch.
+    leader_active: bool,
+    /// A fold of this shard is in progress (or queued on a leader).
+    folding: bool,
+    /// Appends since the last successful fold.
+    appends_since_fold: u64,
+    /// After a failed fold: don't retry until `appends_since_fold`
+    /// reaches this (backoff — a broken disk must not turn every
+    /// commit into a full snapshot attempt).
+    fold_gate: u64,
+    /// Keys removed since the last fold. The snapshot file name is a
+    /// hash ([`crate::persist::entry_filename`]) — not invertible — so
+    /// the fold deletes exactly these instead of sweeping the
+    /// directory (which would need every shard's entries).
+    tombstones: HashSet<EntryKey>,
+}
+
+/// One shard of the journal.
 ///
-/// The `pending` mutex is the commit lock: append + fsync + in-memory
-/// apply + (maybe) compaction run under it, so journal order equals
-/// memory order and a concurrent compaction can never fold state whose
-/// records it is about to truncate.
+/// Lock order (outer to inner): `io` → `group` → a slot's `done` /
+/// the store's shard map. The leader holds `io` across append + fsync
+/// + apply so a concurrent fold can never rotate a journal whose tail
+/// has not been applied to memory yet.
+struct WalShard {
+    journal: PathBuf,
+    rotated: PathBuf,
+    /// Serializes file I/O on this shard's journal (append/fsync by
+    /// the leader, rotation by the fold).
+    io: Mutex<()>,
+    group: Mutex<GroupState>,
+    /// Wakes barrier followers (batch flushed) and fold waiters.
+    wake: Condvar,
+}
+
+/// The write-ahead journal a [`CredStore`] commits through. One
+/// [`WalShard`] per store shard; a record commits to the shard its
+/// username hashes to.
 pub struct Wal {
     vfs: Arc<dyn Vfs>,
     dir: PathBuf,
-    journal: PathBuf,
     cfg: WalConfig,
     metrics: WalMetrics,
-    /// Appends since the last successful compaction.
-    pending: Mutex<u64>,
+    shards: Vec<WalShard>,
 }
 
 fn wal_error(e: io::Error) -> MyProxyError {
     MyProxyError::Gsi(mp_gsi::GsiError::Io(e))
 }
 
+/// Replay one journal file into `store`, truncating a torn tail and
+/// collecting removal tombstones per shard. Returns the record count.
+fn replay_file(
+    vfs: &dyn Vfs,
+    path: &Path,
+    store: &CredStore,
+    metrics: &WalMetrics,
+    report: &mut ReplayReport,
+    tombstones: &mut [HashSet<EntryKey>],
+) -> io::Result<u64> {
+    if !vfs.exists(path) {
+        return Ok(0);
+    }
+    let raw = vfs.read(path)?;
+    let (records, good_len, torn) = parse_journal(&raw);
+    if torn {
+        // A partial final record is the expected shape of a crash
+        // mid-append: drop the tail, keep the prefix. A torn group
+        // batch truncates the same way — its clean prefix replays.
+        vfs.truncate(path, good_len as u64)?;
+        vfs.sync_file(path)?;
+        metrics.truncated_tail.inc();
+        report.truncated = true;
+    }
+    let n = tombstones.len();
+    for rec in &records {
+        let outcome = store.apply(rec);
+        for key in outcome.removed {
+            if let Some(set) = tombstones.get_mut(shard_index(&key.0, n)) {
+                set.insert(key);
+            }
+        }
+    }
+    Ok(records.len() as u64)
+}
+
 impl Wal {
-    /// Open (and replay) the journal under `dir` into `store`. The
-    /// caller loads the snapshot first; replay applies the journal's
-    /// younger records over it.
+    /// Open (and replay) the journals under `dir` into `store`. The
+    /// caller loads the snapshot first; replay applies the journals'
+    /// younger records over it — rotated segment before live journal,
+    /// per shard. A legacy single `journal.wal`, or journal files for
+    /// more shards than the store has, are folded into the snapshot
+    /// and removed (layout migration; safe because replaying a journal
+    /// over its own fold is idempotent).
     pub fn open(
         vfs: Arc<dyn Vfs>,
         dir: &Path,
@@ -695,96 +971,513 @@ impl Wal {
         store: &CredStore,
     ) -> io::Result<(Arc<Wal>, ReplayReport)> {
         let metrics = WalMetrics::registered(obs);
-        let journal = dir.join(JOURNAL_FILE);
+        let n = store.shard_count();
         let mut report = ReplayReport::default();
-        if vfs.exists(&journal) {
-            let raw = vfs.read(&journal)?;
-            let (records, good_len, torn) = parse_journal(&raw);
-            if torn {
-                // A partial final record is the expected shape of a
-                // crash mid-append: drop the tail, keep the prefix.
-                vfs.truncate(&journal, good_len as u64)?;
-                vfs.sync_file(&journal)?;
-                metrics.truncated_tail.inc();
-                report.truncated = true;
+        let mut per_shard = vec![0u64; n];
+        let mut tombstones: Vec<HashSet<EntryKey>> = vec![HashSet::new(); n];
+
+        let legacy_path = dir.join(JOURNAL_FILE);
+        let legacy = vfs.exists(&legacy_path);
+        // idx -> (has live journal, has rotated segment)
+        let mut indices: BTreeMap<usize, (bool, bool)> = BTreeMap::new();
+        for name in vfs.list_dir(dir)? {
+            if let Some((i, rotated)) = shard_file_index(&name) {
+                let entry = indices.entry(i).or_insert((false, false));
+                if rotated {
+                    entry.1 = true;
+                } else {
+                    entry.0 = true;
+                }
             }
-            for rec in &records {
-                store.apply(rec);
-            }
-            report.records = records.len() as u64;
-            metrics.replayed.add(report.records);
         }
-        let wal = Wal {
-            vfs,
-            dir: dir.to_path_buf(),
-            journal,
-            cfg,
-            metrics,
-            pending: Mutex::new(report.records),
-        };
+
+        let mut total = 0u64;
+        if legacy {
+            total +=
+                replay_file(vfs.as_ref(), &legacy_path, store, &metrics, &mut report, &mut tombstones)?;
+        }
+        let mut migrate = legacy;
+        let mut dir_dirty = false;
+        for (&i, &(has_wal, has_old)) in &indices {
+            let wal_path = dir.join(shard_journal_name(i));
+            let old_path = dir.join(shard_rotated_name(i));
+            let mut count = 0u64;
+            if has_old {
+                count +=
+                    replay_file(vfs.as_ref(), &old_path, store, &metrics, &mut report, &mut tombstones)?;
+            }
+            if has_wal {
+                count +=
+                    replay_file(vfs.as_ref(), &wal_path, store, &metrics, &mut report, &mut tombstones)?;
+            }
+            total += count;
+            if i >= n {
+                // More journal files than shards: the store was
+                // re-sharded. Fold everything below.
+                migrate = true;
+                continue;
+            }
+            if let Some(slot) = per_shard.get_mut(i) {
+                *slot = count;
+            }
+            if has_old {
+                // A fold crashed (or failed) between rotation and
+                // cleanup. Re-join the segments into one clean journal
+                // — replay above already applied both in order, and
+                // replaying the joined file later is idempotent even
+                // if we crash between the write and the remove.
+                let mut bytes = vfs.read(&old_path)?;
+                if has_wal {
+                    bytes.extend_from_slice(&vfs.read(&wal_path)?);
+                }
+                vfs.write_file(&wal_path, &bytes)?;
+                vfs.sync_file(&wal_path)?;
+                vfs.remove_file(&old_path)?;
+                dir_dirty = true;
+            }
+        }
+        report.records = total;
+        metrics.replayed.add(total);
+
+        if migrate {
+            store.save_snapshot(dir, vfs.as_ref())?;
+            for i in 0..n {
+                let p = dir.join(shard_journal_name(i));
+                if vfs.exists(&p) {
+                    vfs.truncate(&p, 0)?;
+                    vfs.sync_file(&p)?;
+                }
+            }
+            if legacy {
+                vfs.remove_file(&legacy_path)?;
+                dir_dirty = true;
+            }
+            for (&i, &(has_wal, has_old)) in &indices {
+                if i < n {
+                    continue;
+                }
+                if has_wal {
+                    vfs.remove_file(&dir.join(shard_journal_name(i)))?;
+                }
+                if has_old {
+                    vfs.remove_file(&dir.join(shard_rotated_name(i)))?;
+                }
+                dir_dirty = true;
+            }
+            metrics.compactions.inc();
+            per_shard = vec![0; n];
+            tombstones = vec![HashSet::new(); n];
+        }
+        if dir_dirty {
+            vfs.sync_dir(dir)?;
+        }
+
+        let shards = per_shard
+            .into_iter()
+            .zip(tombstones)
+            .enumerate()
+            .map(|(i, (appends, tombs))| WalShard {
+                journal: dir.join(shard_journal_name(i)),
+                rotated: dir.join(shard_rotated_name(i)),
+                io: Mutex::new(()),
+                group: Mutex::new(GroupState {
+                    appends_since_fold: appends,
+                    tombstones: tombs,
+                    ..GroupState::default()
+                }),
+                wake: Condvar::new(),
+            })
+            .collect();
+        let wal = Wal { vfs, dir: dir.to_path_buf(), cfg, metrics, shards };
         Ok((Arc::new(wal), report))
+    }
+
+    /// Which shard a record commits to.
+    fn record_shard(&self, rec: &WalRecord) -> usize {
+        let n = self.shards.len();
+        match rec {
+            WalRecord::Upsert(e) => shard_index(&e.username, n),
+            WalRecord::Remove { username, .. }
+            | WalRecord::SetOwner { username, .. }
+            | WalRecord::SetRenewable { username, .. }
+            | WalRecord::Reseal { username, .. } => shard_index(username, n),
+            WalRecord::Purge { shard, of, .. } => {
+                if *of == 0 {
+                    0
+                } else {
+                    (*shard as usize) % n.max(1)
+                }
+            }
+        }
     }
 
     /// Durably log `rec`, then apply it to `store`. The record is on
     /// disk (appended **and** fsynced) before the in-memory state —
-    /// and therefore before any acknowledgment — changes. Returns how
-    /// many entries the apply touched.
+    /// and therefore before any acknowledgment — changes. Under
+    /// concurrency the fsync may be shared with other records of the
+    /// same batch; it still strictly precedes this record's return.
+    /// Returns how many entries the apply touched.
     pub fn commit(&self, store: &CredStore, rec: WalRecord) -> crate::Result<usize> {
-        let mut pending = self.pending.lock();
-        self.append_record(&rec).map_err(wal_error)?;
-        let touched = store.apply(&rec);
-        *pending += 1;
-        if self.cfg.compact_every > 0 && *pending >= self.cfg.compact_every {
-            // A failed fold is not a failed commit: the record is
-            // already durable in the journal. Count it and retry on
-            // the next commit.
-            match self.fold(store) {
-                Ok(()) => *pending = 0,
-                Err(_) => self.metrics.compact_failures.inc(),
+        let si = self.record_shard(&rec);
+        let mut out = self.commit_batch(store, si, vec![rec])?;
+        Ok(out.pop().unwrap_or(0))
+    }
+
+    /// Commit several records at once. Records are grouped by shard;
+    /// each shard's sub-batch is staged as one unit, so it lands in
+    /// the journal contiguously (and replays as an atomic prefix if
+    /// the batch append is torn by a crash). Returns the touched-count
+    /// per record, in input order. On error, records of earlier shards
+    /// may already be durable — callers treat this like any partially
+    /// acked sequence.
+    pub fn commit_many(&self, store: &CredStore, recs: Vec<WalRecord>) -> crate::Result<Vec<usize>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (pos, rec) in recs.iter().enumerate() {
+            if let Some(bucket) = by_shard.get_mut(self.record_shard(rec)) {
+                bucket.push(pos);
             }
+        }
+        let mut results = vec![0usize; recs.len()];
+        let mut staged: Vec<Option<WalRecord>> = recs.into_iter().map(Some).collect();
+        for (si, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut batch = Vec::with_capacity(positions.len());
+            for &p in positions {
+                if let Some(rec) = staged.get_mut(p).and_then(Option::take) {
+                    batch.push(rec);
+                }
+            }
+            let outs = self.commit_batch(store, si, batch)?;
+            for (&p, touched) in positions.iter().zip(outs) {
+                if let Some(slot) = results.get_mut(p) {
+                    *slot = touched;
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    fn commit_batch(
+        &self,
+        store: &CredStore,
+        si: usize,
+        recs: Vec<WalRecord>,
+    ) -> crate::Result<Vec<usize>> {
+        if recs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut frames = Vec::with_capacity(recs.len());
+        for rec in &recs {
+            frames.push(encode_frame(&encode_payload(rec)).map_err(wal_error)?);
+        }
+        if self.cfg.group_commit {
+            self.commit_grouped(store, si, recs, frames)
+        } else {
+            self.commit_serial(store, si, recs, frames)
+        }
+    }
+
+    /// Pre-batching behavior: one append + one fsync per record, all
+    /// under the shard's io lock.
+    fn commit_serial(
+        &self,
+        store: &CredStore,
+        si: usize,
+        recs: Vec<WalRecord>,
+        frames: Vec<Vec<u8>>,
+    ) -> crate::Result<Vec<usize>> {
+        let Some(shard) = self.shards.get(si) else {
+            return Err(wal_error(io::Error::other("shard out of range")));
+        };
+        let io = shard.io.lock();
+        let mut touched = Vec::with_capacity(recs.len());
+        let mut fold_due = false;
+        for (rec, frame) in recs.iter().zip(&frames) {
+            self.vfs.append(&shard.journal, frame).map_err(wal_error)?;
+            self.metrics.appends.inc();
+            self.vfs.sync_file(&shard.journal).map_err(wal_error)?;
+            self.metrics.fsyncs.inc();
+            let outcome = store.apply(rec);
+            let mut g = shard.group.lock();
+            for key in outcome.removed {
+                g.tombstones.insert(key);
+            }
+            g.appends_since_fold += 1;
+            if self.fold_due(&g) {
+                g.folding = true;
+                fold_due = true;
+            }
+            drop(g);
+            touched.push(outcome.touched);
+        }
+        drop(io);
+        if fold_due {
+            self.fold_shard_guarded(store, si);
         }
         Ok(touched)
     }
 
-    /// Fold the journal into the snapshot now and truncate it.
-    pub fn compact(&self, store: &CredStore) -> io::Result<()> {
-        let mut pending = self.pending.lock();
-        self.fold(store)?;
-        *pending = 0;
-        Ok(())
+    /// Group commit: stage the frames at the shard barrier; whoever
+    /// finds no active leader becomes one and flushes the whole queue
+    /// with a single append + fsync; everyone else waits for their
+    /// slot to be filled.
+    fn commit_grouped(
+        &self,
+        store: &CredStore,
+        si: usize,
+        recs: Vec<WalRecord>,
+        frames: Vec<Vec<u8>>,
+    ) -> crate::Result<Vec<usize>> {
+        let Some(shard) = self.shards.get(si) else {
+            return Err(wal_error(io::Error::other("shard out of range")));
+        };
+        let start = Instant::now();
+        let slots: Vec<Arc<CommitSlot>> =
+            (0..recs.len()).map(|_| Arc::new(CommitSlot::default())).collect();
+        let mut g = shard.group.lock();
+        for ((rec, frame), slot) in recs.into_iter().zip(frames).zip(&slots) {
+            g.queue.push(Staged { rec, frame, slot: Arc::clone(slot) });
+        }
+        // All our records entered the queue under one lock hold, so
+        // one batch takes them together: the last slot filled means
+        // all of ours are.
+        loop {
+            let done = match slots.last() {
+                Some(slot) => slot.done.lock().is_some(),
+                None => true,
+            };
+            if done {
+                break;
+            }
+            if g.leader_active {
+                shard.wake.wait(&mut g);
+            } else {
+                g.leader_active = true;
+                drop(g);
+                self.flush_group(store, si);
+                g = shard.group.lock();
+            }
+        }
+        drop(g);
+        self.metrics.commit_stall.record_since(start);
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            match slot.done.lock().take() {
+                Some(Ok(touched)) => out.push(touched),
+                Some(Err(msg)) => return Err(wal_error(io::Error::other(msg))),
+                None => return Err(wal_error(io::Error::other("commit slot left unfilled"))),
+            }
+        }
+        Ok(out)
     }
 
-    /// This journal's counters.
+    /// Leader duty: take the staged queue, append + fsync it as one
+    /// batch, apply in journal order, fill the slots, hand off. The io
+    /// lock is held across fsync *and* apply so the fold cannot rotate
+    /// journal bytes whose records are not yet in memory.
+    fn flush_group(&self, store: &CredStore, si: usize) {
+        let Some(shard) = self.shards.get(si) else {
+            return;
+        };
+        let io = shard.io.lock();
+        let mut g = shard.group.lock();
+        let batch = std::mem::take(&mut g.queue);
+        drop(g);
+        let mut fold_due = false;
+        if batch.is_empty() {
+            let mut g = shard.group.lock();
+            g.leader_active = false;
+            shard.wake.notify_all();
+            drop(g);
+            drop(io);
+            return;
+        }
+        let mut buf = Vec::new();
+        for staged in &batch {
+            buf.extend_from_slice(&staged.frame);
+        }
+        let flushed = self
+            .vfs
+            .append(&shard.journal, &buf)
+            .and_then(|()| self.vfs.sync_file(&shard.journal));
+        let mut g = shard.group.lock();
+        match flushed {
+            Ok(()) => {
+                self.metrics.appends.add(batch.len() as u64);
+                self.metrics.fsyncs.inc();
+                self.metrics.group_fsyncs.inc();
+                self.metrics.batch_size.record(batch.len() as u64);
+                for staged in &batch {
+                    let outcome = store.apply(&staged.rec);
+                    for key in outcome.removed {
+                        g.tombstones.insert(key);
+                    }
+                    *staged.slot.done.lock() = Some(Ok(outcome.touched));
+                }
+                g.appends_since_fold += batch.len() as u64;
+                if self.fold_due(&g) {
+                    g.folding = true;
+                    fold_due = true;
+                }
+            }
+            Err(e) => {
+                // Nothing was acked and nothing was applied: the batch
+                // fails as a unit (its journal bytes, if any landed,
+                // replay idempotently or truncate as a torn tail).
+                let msg = e.to_string();
+                for staged in &batch {
+                    *staged.slot.done.lock() = Some(Err(msg.clone()));
+                }
+            }
+        }
+        g.leader_active = false;
+        shard.wake.notify_all();
+        drop(g);
+        drop(io);
+        if fold_due {
+            self.fold_shard_guarded(store, si);
+        }
+    }
+
+    /// Auto-compaction trigger, callers hold the group lock. The gate
+    /// defers retries after a failure.
+    fn fold_due(&self, g: &GroupState) -> bool {
+        self.cfg.compact_every > 0
+            && !g.folding
+            && g.appends_since_fold >= self.cfg.compact_every.max(g.fold_gate)
+    }
+
+    /// Fold every shard's journal into the snapshot now.
+    pub fn compact(&self, store: &CredStore) -> io::Result<()> {
+        let mut first_err: Option<io::Error> = None;
+        for si in 0..self.shards.len() {
+            if let Some(shard) = self.shards.get(si) {
+                let mut g = shard.group.lock();
+                while g.folding {
+                    shard.wake.wait(&mut g);
+                }
+                g.folding = true;
+                drop(g);
+                if let Err(e) = self.finish_fold(store, si) {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// This journal's metrics.
     pub fn metrics(&self) -> &WalMetrics {
         &self.metrics
     }
 
-    fn append_record(&self, rec: &WalRecord) -> io::Result<()> {
-        let frame = encode_frame(&encode_payload(rec))?;
-        self.vfs.append(&self.journal, &frame)?;
-        self.metrics.appends.inc();
-        self.vfs.sync_file(&self.journal)?;
-        self.metrics.fsyncs.inc();
-        Ok(())
+    /// A failed fold is not a failed commit: the records are already
+    /// durable in the journal (or its rotated segment). The failure is
+    /// counted and the next attempt deferred inside `finish_fold`.
+    fn fold_shard_guarded(&self, store: &CredStore, si: usize) {
+        if self.finish_fold(store, si).is_err() {
+            // Counted under store.wal.compact_failures; fold_gate set.
+        }
     }
 
-    /// Snapshot-then-truncate, caller holds the commit lock. A crash
-    /// anywhere in here is safe: the snapshot write path is
-    /// tmp → fsync → rename → dir-fsync per entry, the journal is
-    /// truncated only after the fold is durable, and replaying the
-    /// whole journal over its own fold is idempotent.
-    fn fold(&self, store: &CredStore) -> io::Result<()> {
-        store.save_snapshot(&self.dir, self.vfs.as_ref())?;
-        self.vfs.truncate(&self.journal, 0)?;
-        self.vfs.sync_file(&self.journal)?;
+    /// Run one shard fold (caller set `folding`), then publish the
+    /// outcome: on success reset the counters and drop exactly the
+    /// tombstones that were folded; on failure count it and push the
+    /// next attempt out by `compact_every` more appends.
+    fn finish_fold(&self, store: &CredStore, si: usize) -> io::Result<()> {
+        let res = self.fold_shard(store, si);
+        let Some(shard) = self.shards.get(si) else {
+            return res.map(|_| ());
+        };
+        let mut g = shard.group.lock();
+        g.folding = false;
+        match &res {
+            Ok(folded) => {
+                g.appends_since_fold = 0;
+                g.fold_gate = 0;
+                for key in folded {
+                    g.tombstones.remove(key);
+                }
+            }
+            Err(_) => {
+                self.metrics.compact_failures.inc();
+                g.fold_gate =
+                    g.appends_since_fold.saturating_add(self.cfg.compact_every.max(1));
+            }
+        }
+        shard.wake.notify_all();
+        drop(g);
+        res.map(|_| ())
+    }
+
+    /// The fold itself, off the commit path. Rotation (under the io
+    /// lock, brief) moves the journal aside so commits continue into a
+    /// fresh file; then — with no commit lock held — tombstoned files
+    /// are deleted, the shard's entries are snapshotted
+    /// (tmp → fsync → rename each), the directory is fsynced, and only
+    /// then is the rotated segment dropped (and the drop fsynced). A
+    /// crash anywhere leaves either the rotated segment or the live
+    /// journal (or both) replayable over the snapshot — idempotently.
+    /// Returns the tombstones this fold made durable.
+    fn fold_shard(&self, store: &CredStore, si: usize) -> io::Result<Vec<EntryKey>> {
+        let Some(shard) = self.shards.get(si) else {
+            return Ok(Vec::new());
+        };
+        {
+            let io = shard.io.lock();
+            if self.vfs.exists(&shard.rotated) {
+                // A previous fold failed after rotating: absorb the
+                // live journal into the rotated segment so this fold
+                // covers both. Replaying duplicates is idempotent, so
+                // the crash windows in between stay safe.
+                if self.vfs.exists(&shard.journal) {
+                    let bytes = self.vfs.read(&shard.journal)?;
+                    if !bytes.is_empty() {
+                        self.vfs.append(&shard.rotated, &bytes)?;
+                        self.vfs.sync_file(&shard.rotated)?;
+                        self.vfs.truncate(&shard.journal, 0)?;
+                        self.vfs.sync_file(&shard.journal)?;
+                    }
+                }
+            } else if self.vfs.exists(&shard.journal) {
+                self.vfs.rename(&shard.journal, &shard.rotated)?;
+            }
+            drop(io);
+        }
+        let tombs: Vec<EntryKey> = shard.group.lock().tombstones.iter().cloned().collect();
+        for (username, name) in &tombs {
+            let path = self.dir.join(crate::persist::entry_filename(username, name));
+            match self.vfs.remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        store.save_shard_snapshot(&self.dir, self.vfs.as_ref(), si)?;
+        // Snapshot renames + tombstone removals durable *before* the
+        // rotated segment (the only other copy of those records) goes.
+        self.vfs.sync_dir(&self.dir)?;
+        match self.vfs.remove_file(&shard.rotated) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.vfs.sync_dir(&self.dir)?;
         self.metrics.compactions.inc();
-        Ok(())
+        Ok(tombs)
     }
 }
 
 impl CredStore {
     /// Make this store durable under `dir`: load the snapshot, replay
-    /// the journal (truncating a torn tail), and attach the journal so
+    /// the journals (truncating torn tails), and attach the journal so
     /// every later mutation is logged with fsync-on-commit before it
     /// is applied. `store.wal.*` and `store.load.corrupt` intern into
     /// `obs`.
@@ -834,9 +1527,28 @@ mod tests {
     fn durable_store(vfs: Arc<CrashVfs>, compact_every: u64) -> (CredStore, DurabilityReport) {
         let store = CredStore::new(10);
         let report = store
-            .attach_durable(Path::new("/store"), vfs, WalConfig { compact_every }, &Registry::new())
+            .attach_durable(
+                Path::new("/store"),
+                vfs,
+                WalConfig { compact_every, ..WalConfig::default() },
+                &Registry::new(),
+            )
             .unwrap();
         (store, report)
+    }
+
+    /// Concatenated bytes of every shard journal (live + rotated).
+    fn journal_bytes(vfs: &CrashVfs, shards: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..shards {
+            for name in [shard_rotated_name(i), shard_journal_name(i)] {
+                let p = Path::new("/store").join(name);
+                if vfs.exists(&p) {
+                    out.extend_from_slice(&vfs.read(&p).unwrap());
+                }
+            }
+        }
+        out
     }
 
     #[test]
@@ -857,34 +1569,74 @@ mod tests {
         let records = [
             WalRecord::Upsert(entry),
             WalRecord::Remove { username: "alice".into(), name: "x".into() },
-            WalRecord::Purge { now: 123_456 },
+            WalRecord::SetOwner {
+                username: "alice".into(),
+                name: "x".into(),
+                owner: "/O=Grid/CN=alice".into(),
+            },
+            WalRecord::SetRenewable {
+                username: "alice".into(),
+                name: "x".into(),
+                pattern: "/O=Grid/CN=*".into(),
+                sealed: vec![1, 2, 3],
+            },
+            WalRecord::Reseal {
+                username: "alice".into(),
+                name: "x".into(),
+                expect: vec![9; 32],
+                sealed: vec![4, 5],
+            },
+            WalRecord::Purge { now: 123_456, shard: 0, of: 0 },
+            WalRecord::Purge { now: 99, shard: 3, of: 8 },
         ];
         let mut raw = Vec::new();
         for rec in &records {
             raw.extend_from_slice(&encode_frame(&encode_payload(rec)).unwrap());
         }
         let (parsed, good, torn) = parse_journal(&raw);
-        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.len(), records.len());
         assert_eq!(good, raw.len());
         assert!(!torn);
         match (&parsed[0], &parsed[1], &parsed[2]) {
             (
                 WalRecord::Upsert(e),
                 WalRecord::Remove { username, name },
-                WalRecord::Purge { now },
+                WalRecord::SetOwner { owner, .. },
             ) => {
                 assert_eq!(e.username, "alice");
                 assert_eq!(username, "alice");
                 assert_eq!(name, "x");
-                assert_eq!(*now, 123_456);
+                assert_eq!(owner, "/O=Grid/CN=alice");
             }
             _ => panic!("record kinds did not round-trip"),
+        }
+        match (&parsed[3], &parsed[4]) {
+            (
+                WalRecord::SetRenewable { pattern, sealed, .. },
+                WalRecord::Reseal { expect, sealed: new_sealed, .. },
+            ) => {
+                assert_eq!(pattern, "/O=Grid/CN=*");
+                assert_eq!(sealed, &vec![1, 2, 3]);
+                assert_eq!(expect, &vec![9; 32]);
+                assert_eq!(new_sealed, &vec![4, 5]);
+            }
+            _ => panic!("delta records did not round-trip"),
+        }
+        match (&parsed[5], &parsed[6]) {
+            (
+                WalRecord::Purge { now: n1, of: 0, .. },
+                WalRecord::Purge { now: n2, shard: 3, of: 8 },
+            ) => {
+                assert_eq!(*n1, 123_456);
+                assert_eq!(*n2, 99);
+            }
+            _ => panic!("purge scope did not round-trip"),
         }
     }
 
     #[test]
     fn torn_tail_is_truncated_not_fatal() {
-        let rec = WalRecord::Purge { now: 7 };
+        let rec = WalRecord::Purge { now: 7, shard: 0, of: 0 };
         let mut raw = encode_frame(&encode_payload(&rec)).unwrap();
         let clean = raw.len();
         let mut second = encode_frame(&encode_payload(&rec)).unwrap();
@@ -898,7 +1650,7 @@ mod tests {
 
     #[test]
     fn corrupt_crc_stops_replay_at_prefix() {
-        let rec = WalRecord::Purge { now: 7 };
+        let rec = WalRecord::Purge { now: 7, shard: 0, of: 0 };
         let mut raw = encode_frame(&encode_payload(&rec)).unwrap();
         let mut bad = encode_frame(&encode_payload(&rec)).unwrap();
         let last = bad.len() - 1;
@@ -932,6 +1684,7 @@ mod tests {
     fn compaction_folds_journal_and_roundtrips_raw_dump() {
         let vfs = Arc::new(CrashVfs::new());
         let (store, _) = durable_store(vfs.clone(), 0);
+        let shards = store.shard_count();
         let mut rng = test_drbg("wal compact");
         store
             .put("alice", DEFAULT_NAME, "pass-a", &credential(), 7200, 100, false, vec![], &mut rng)
@@ -944,8 +1697,10 @@ mod tests {
         dump_before.sort();
 
         store.compact_journal().unwrap();
-        let journal = vfs.read(Path::new("/store/journal.wal")).unwrap();
-        assert!(journal.is_empty(), "compaction truncates the journal");
+        assert!(
+            journal_bytes(&vfs, shards).is_empty(),
+            "compaction folds every shard journal"
+        );
 
         let reopened = Arc::new(CrashVfs::from_image(vfs.image_synced()));
         let (restored, report) = durable_store(reopened, 0);
@@ -962,18 +1717,191 @@ mod tests {
     fn auto_compaction_triggers_on_threshold() {
         let vfs = Arc::new(CrashVfs::new());
         let (store, _) = durable_store(vfs.clone(), 3);
+        let shards = store.shard_count();
         let mut rng = test_drbg("wal auto");
-        for (i, user) in ["u1", "u2", "u3"].iter().enumerate() {
+        // Three wallets of one user: same shard, so the per-shard
+        // threshold of 3 is crossed by the third append.
+        for (i, name) in ["one", "two", "three"].iter().enumerate() {
             store
-                .put(user, DEFAULT_NAME, "pass!!", &credential(), 7200, i as u64, false, vec![], &mut rng)
+                .put("u1", name, "pass!!", &credential(), 7200, i as u64, false, vec![], &mut rng)
                 .unwrap();
         }
-        let journal = vfs.read(Path::new("/store/journal.wal")).unwrap();
-        assert!(journal.is_empty(), "third append crossed the threshold");
+        assert!(
+            journal_bytes(&vfs, shards).is_empty(),
+            "third append crossed the shard threshold"
+        );
         let reopened = Arc::new(CrashVfs::from_image(vfs.image_synced()));
         let (restored, report) = durable_store(reopened, 3);
         assert_eq!(report.loaded, 3);
-        assert!(restored.open("u2", DEFAULT_NAME, "pass!!").is_ok());
+        assert!(restored.open("u1", "two", "pass!!").is_ok());
+    }
+
+    #[test]
+    fn failed_fold_defers_retry_instead_of_storming() {
+        /// Delegates to an inner [`CrashVfs`] but fails `rename` while
+        /// armed — the first fold operation off the commit path.
+        struct FlakyRename {
+            inner: CrashVfs,
+            fail_renames: std::sync::atomic::AtomicBool,
+        }
+        impl Vfs for FlakyRename {
+            fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+                self.inner.read(p)
+            }
+            fn write_file(&self, p: &Path, d: &[u8]) -> io::Result<()> {
+                self.inner.write_file(p, d)
+            }
+            fn append(&self, p: &Path, d: &[u8]) -> io::Result<()> {
+                self.inner.append(p, d)
+            }
+            fn truncate(&self, p: &Path, l: u64) -> io::Result<()> {
+                self.inner.truncate(p, l)
+            }
+            fn sync_file(&self, p: &Path) -> io::Result<()> {
+                self.inner.sync_file(p)
+            }
+            fn sync_dir(&self, d: &Path) -> io::Result<()> {
+                self.inner.sync_dir(d)
+            }
+            fn rename(&self, f: &Path, t: &Path) -> io::Result<()> {
+                if self.fail_renames.load(std::sync::atomic::Ordering::SeqCst) {
+                    return Err(io::Error::other("injected rename failure"));
+                }
+                self.inner.rename(f, t)
+            }
+            fn remove_file(&self, p: &Path) -> io::Result<()> {
+                self.inner.remove_file(p)
+            }
+            fn create_dir_all(&self, d: &Path) -> io::Result<()> {
+                self.inner.create_dir_all(d)
+            }
+            fn list_dir(&self, d: &Path) -> io::Result<Vec<String>> {
+                self.inner.list_dir(d)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                self.inner.exists(p)
+            }
+        }
+
+        let vfs = Arc::new(FlakyRename {
+            inner: CrashVfs::new(),
+            fail_renames: std::sync::atomic::AtomicBool::new(false),
+        });
+        let store = CredStore::new(10);
+        let obs = Registry::new();
+        store
+            .attach_durable(
+                Path::new("/store"),
+                vfs.clone(),
+                WalConfig { compact_every: 2, ..WalConfig::default() },
+                &obs,
+            )
+            .unwrap();
+        let counter = |name: &str| obs.snapshot().counters.get(name).copied().unwrap_or(0);
+        let mut rng = test_drbg("wal backoff");
+        let mut put = |name: &str, rng: &mut mp_crypto::HmacDrbg| {
+            store
+                .put("u1", name, "pass!!", &credential(), 7200, 1, false, vec![], rng)
+                .unwrap();
+        };
+
+        vfs.fail_renames.store(true, std::sync::atomic::Ordering::SeqCst);
+        put("w1", &mut rng);
+        put("w2", &mut rng); // threshold 2 -> fold attempt -> fails
+        assert_eq!(counter("store.wal.compact_failures"), 1);
+        put("w3", &mut rng); // 3 < gate (2+2=4): no retry storm
+        assert_eq!(counter("store.wal.compact_failures"), 1, "no inline retry per commit");
+        put("w4", &mut rng); // 4 >= gate: one deferred retry, fails again
+        assert_eq!(counter("store.wal.compact_failures"), 2);
+
+        vfs.fail_renames.store(false, std::sync::atomic::Ordering::SeqCst);
+        put("w5", &mut rng);
+        put("w6", &mut rng); // 6 >= gate (4+2): retry succeeds
+        assert_eq!(counter("store.wal.compact_failures"), 2);
+        assert!(counter("store.wal.compactions") >= 1, "deferred fold eventually ran");
+        // Every wallet survives a reopen regardless of the fold drama.
+        let reopened = Arc::new(CrashVfs::from_image(vfs.inner.image_synced()));
+        let (restored, _) = durable_store(reopened, 0);
+        for name in ["w1", "w2", "w3", "w4", "w5", "w6"] {
+            assert!(restored.open("u1", name, "pass!!").is_ok(), "{name} lost");
+        }
+    }
+
+    #[test]
+    fn commit_many_batches_one_fsync_per_shard() {
+        let vfs = Arc::new(CrashVfs::new());
+        let store = CredStore::new(10);
+        let obs = Registry::new();
+        store
+            .attach_durable(Path::new("/store"), vfs, WalConfig::default(), &obs)
+            .unwrap();
+        let counter = |name: &str| obs.snapshot().counters.get(name).copied().unwrap_or(0);
+        let mut rng = test_drbg("wal many");
+        store
+            .put("u1", "seed", "pass!!", &credential(), 7200, 1, false, vec![], &mut rng)
+            .unwrap();
+        let base_appends = counter("store.wal.appends");
+        let base_fsyncs = counter("store.wal.fsyncs");
+
+        let entry = store.peek("u1", "seed").unwrap();
+        let recs: Vec<WalRecord> = (0..5)
+            .map(|i| {
+                let mut e = entry.clone();
+                e.name = format!("w{i}");
+                WalRecord::Upsert(e)
+            })
+            .collect();
+        let wal = store.wal_handle().expect("durable store has a wal");
+        let touched = wal.commit_many(&store, recs).unwrap();
+        assert_eq!(touched, vec![1; 5]);
+        assert_eq!(counter("store.wal.appends"), base_appends + 5);
+        assert_eq!(
+            counter("store.wal.fsyncs"),
+            base_fsyncs + 1,
+            "five same-shard records share one group fsync"
+        );
+        assert!(counter("store.wal.group_fsyncs") >= 1);
+        for i in 0..5 {
+            assert!(store.open("u1", &format!("w{i}"), "pass!!").is_ok());
+        }
+    }
+
+    #[test]
+    fn legacy_single_journal_migrates_to_sharded_layout() {
+        // Hand-write a legacy layout: one journal.wal holding every
+        // record, global-scope purge included.
+        let vfs = Arc::new(CrashVfs::new());
+        let seed = CredStore::new(10);
+        let mut rng = test_drbg("wal legacy");
+        seed.put("alice", DEFAULT_NAME, "pass-a", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        seed.put("bob", DEFAULT_NAME, "pass-b", &credential(), 7200, 100, false, vec![], &mut rng)
+            .unwrap();
+        let mut raw = Vec::new();
+        for e in seed.all_entries() {
+            raw.extend_from_slice(&encode_frame(&encode_payload(&WalRecord::Upsert(e))).unwrap());
+        }
+        raw.extend_from_slice(
+            &encode_frame(&encode_payload(&WalRecord::Purge { now: 1, shard: 0, of: 0 })).unwrap(),
+        );
+        vfs.create_dir_all(Path::new("/store")).unwrap();
+        vfs.append(Path::new("/store/journal.wal"), &raw).unwrap();
+        vfs.sync_file(Path::new("/store/journal.wal")).unwrap();
+
+        let (restored, report) = durable_store(vfs.clone(), 0);
+        assert_eq!(report.replayed, 3, "legacy records replayed");
+        assert!(restored.open("alice", DEFAULT_NAME, "pass-a").is_ok());
+        assert!(restored.open("bob", DEFAULT_NAME, "pass-b").is_ok());
+        assert!(
+            !vfs.exists(Path::new("/store/journal.wal")),
+            "legacy journal folded away on first open"
+        );
+        // And the migrated layout survives another reopen.
+        let again = Arc::new(CrashVfs::from_image(vfs.image_synced()));
+        let (second, report) = durable_store(again, 0);
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.replayed, 0);
+        assert!(second.open("alice", DEFAULT_NAME, "pass-a").is_ok());
     }
 
     #[test]
@@ -1050,7 +1978,12 @@ mod tests {
         let dir = crate::testutil::TempDir::new("wal-realvfs");
         let store = CredStore::new(10);
         let report = store
-            .attach_durable(&dir, Arc::new(RealVfs), WalConfig { compact_every: 0 }, &Registry::new())
+            .attach_durable(
+                &dir,
+                Arc::new(RealVfs),
+                WalConfig { compact_every: 0, ..WalConfig::default() },
+                &Registry::new(),
+            )
             .unwrap();
         assert_eq!(report.loaded + report.replayed as usize, 0);
         let mut rng = test_drbg("wal real");
@@ -1064,7 +1997,12 @@ mod tests {
 
         let restored = CredStore::new(10);
         let report = restored
-            .attach_durable(&dir, Arc::new(RealVfs), WalConfig { compact_every: 0 }, &Registry::new())
+            .attach_durable(
+                &dir,
+                Arc::new(RealVfs),
+                WalConfig { compact_every: 0, ..WalConfig::default() },
+                &Registry::new(),
+            )
             .unwrap();
         assert_eq!(report.loaded, 1, "alice from snapshot");
         assert_eq!(report.replayed, 1, "bob from journal");

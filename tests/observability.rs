@@ -101,7 +101,10 @@ fn durable_server_reports_wal_metrics_through_info() {
         .enable_durability_with(
             std::path::Path::new("/store"),
             vfs,
-            myproxy::myproxy::wal::WalConfig { compact_every: 1 },
+            myproxy::myproxy::wal::WalConfig {
+                compact_every: 1,
+                ..myproxy::myproxy::wal::WalConfig::default()
+            },
         )
         .unwrap();
     w.alice_init("correct horse battery").unwrap();

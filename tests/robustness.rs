@@ -589,7 +589,7 @@ fn power_cut_mid_burst_preserves_acked_credentials_on_restart() {
         .enable_durability_with(
             std::path::Path::new("/store"),
             vfs.clone(),
-            WalConfig { compact_every: 0 },
+            WalConfig { compact_every: 0, ..WalConfig::default() },
         )
         .unwrap();
     let mut rng = test_drbg("robust crash burst");
@@ -624,7 +624,7 @@ fn power_cut_mid_burst_preserves_acked_credentials_on_restart() {
         .attach_durable(
             std::path::Path::new("/store"),
             Arc::new(CrashVfs::from_image(vfs.image_synced())),
-            WalConfig { compact_every: 0 },
+            WalConfig { compact_every: 0, ..WalConfig::default() },
             &myproxy::obs::Registry::new(),
         )
         .unwrap();
