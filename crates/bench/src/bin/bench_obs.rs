@@ -1,13 +1,14 @@
-//! `bench-obs`: smoke-run one iteration of every benchmark scenario
-//! in-process and dump the resulting mp-obs registry as
-//! `BENCH_obs.json`.
+//! `bench-obs`: smoke-run every benchmark scenario in-process
+//! (`--iters N` times, default 1) and dump the resulting mp-obs
+//! registry as `BENCH_obs.json`.
 //!
 //! CI runs this to guarantee two things the full criterion sweeps are
 //! too slow to gate on: (a) every instrumented hot path still records
 //! into its histogram (a zero-sample histogram fails the run), and
 //! (b) the latency catalog below stays in sync with the code — a
 //! renamed span shows up here as a missing histogram, not as a
-//! silently empty dashboard.
+//! silently empty dashboard. CI passes `--iters 10` so the recorded
+//! percentiles summarize a population, not a single cold-start sample.
 
 use mp_bench::{bench_rng, GridWorld};
 use mp_myproxy::client::GetParams;
@@ -33,32 +34,62 @@ const CATALOG: &[&str] = &[
     "portal.request",
 ];
 
+fn parse_iters() -> u32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut iters = 1u32;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters wants a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    iters.max(1)
+}
+
 fn main() {
+    let iters = parse_iters();
     let w = GridWorld::new();
     let mut rng = bench_rng("bench obs");
 
-    // F1: myproxy-init — handshake, PUT, delegation to the repository.
-    w.alice_init("bench pass phrase correct horse").expect("init");
+    for iter in 0..iters {
+        // F1: myproxy-init — handshake, PUT, delegation to the
+        // repository.
+        w.alice_init("bench pass phrase correct horse").expect("init");
 
-    // F2: myproxy-get-delegation — handshake, pass-phrase open, proxy
-    // delegation back out of the repository.
-    w.myproxy_client
-        .get_delegation(
-            w.myproxy.connect_local(),
-            &w.portal_cred,
-            &GetParams::new("alice", "bench pass phrase correct horse"),
-            &mut rng,
-            w.clock.now(),
-        )
-        .expect("get-delegation");
+        // F2: myproxy-get-delegation — handshake, pass-phrase open,
+        // proxy delegation back out of the repository.
+        w.myproxy_client
+            .get_delegation(
+                w.myproxy.connect_local(),
+                &w.portal_cred,
+                &GetParams::new("alice", "bench pass phrase correct horse"),
+                &mut rng,
+                w.clock.now(),
+            )
+            .expect("get-delegation");
 
-    // F3: the portal round trip — login (which drives MyProxy GET on
-    // the user's behalf), a session page, logout.
-    let mut browser = w.browser("bench obs browser");
-    expect_ok(browser.login("alice", "bench pass phrase correct horse").expect("login io"))
-        .expect("login");
-    expect_ok(browser.get("/whoami").expect("whoami io")).expect("whoami");
-    expect_ok(browser.logout().expect("logout io")).expect("logout");
+        // F3: the portal round trip — login (which drives MyProxy GET
+        // on the user's behalf), a session page, logout.
+        let mut browser = w.browser(&format!("bench obs browser {iter}"));
+        expect_ok(browser.login("alice", "bench pass phrase correct horse").expect("login io"))
+            .expect("login");
+        expect_ok(browser.get("/whoami").expect("whoami io")).expect("whoami");
+        expect_ok(browser.logout().expect("logout io")).expect("logout");
+    }
 
     // One merged view: the repository's and portal's instance
     // registries plus the process-global ambient span registry. Each

@@ -97,16 +97,24 @@ impl RetryPolicy {
     /// times, sleeping between attempts. Callers pass a closure that
     /// re-dials per attempt; a half-finished connection is never
     /// reused.
-    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    pub fn run<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.run_counted(op).0
+    }
+
+    /// [`run`](Self::run), also reporting how many attempts were spent
+    /// (1 = the first try sufficed; retries used = attempts − 1). Load
+    /// harnesses use the count to charge retries against a global
+    /// budget so a Busy storm cannot inflate offered load unboundedly.
+    pub fn run_counted<T>(&self, mut op: impl FnMut() -> Result<T>) -> (Result<T>, u32) {
         let mut jitter = self.jitter_seed;
         let mut attempt = 0u32;
         loop {
             match op() {
-                Ok(v) => return Ok(v),
+                Ok(v) => return (Ok(v), attempt.saturating_add(1)),
                 Err(e) => {
                     attempt += 1;
                     if attempt >= self.max_attempts.max(1) || !Self::retryable(&e) {
-                        return Err(e);
+                        return (Err(e), attempt);
                     }
                     let hint = match &e {
                         MyProxyError::Busy { retry_after_ms, .. } => *retry_after_ms,
@@ -667,6 +675,30 @@ mod tests {
         });
         assert!(result.unwrap_err().is_busy());
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_counted_reports_attempts_spent() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter_seed: 7,
+        };
+        let mut calls = 0;
+        let (res, used): (Result<u32>, u32) = policy.run_counted(|| {
+            calls += 1;
+            if calls < 3 { Err(MyProxyError::busy("b")) } else { Ok(9) }
+        });
+        assert_eq!(res.unwrap(), 9);
+        assert_eq!(used, 3);
+        let (res, used): (Result<u32>, u32) =
+            policy.run_counted(|| Err::<u32, _>(MyProxyError::busy("b")));
+        assert!(res.is_err());
+        assert_eq!(used, policy.max_attempts);
+        let (res, used): (Result<u32>, u32) = policy.run_counted(|| Ok(1));
+        assert_eq!(res.unwrap(), 1);
+        assert_eq!(used, 1, "first try sufficed");
     }
 
     #[test]

@@ -1,7 +1,71 @@
 //! Small helpers for tests. Compiled into the library so sibling
 //! crates' tests can reuse them, but hidden from the public API.
 
+use crate::wal::{CrashVfs, WalConfig};
+use crate::CredStore;
+use mp_obs::Registry;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Lost-update oracle shared by the WAL concurrency tests and the
+/// `mp-loadgen` soak run: replay the *synced* crash image into a fresh
+/// store mounted at `dir` and compare entry-for-entry with the live
+/// one. Every committed mutation must be in the journal in an order
+/// that reproduces exactly what memory says. Returns `None` when the
+/// two states agree, or a human-readable description of the first
+/// divergence (the load harness reports it; the tests panic on it).
+pub fn replay_divergence(
+    store: &CredStore,
+    vfs: &CrashVfs,
+    dir: &Path,
+    pbkdf2_iters: u32,
+) -> Option<String> {
+    let replayed = CredStore::new(pbkdf2_iters);
+    if let Err(e) = replayed.attach_durable(
+        dir,
+        Arc::new(CrashVfs::from_image(vfs.image_synced())),
+        WalConfig { compact_every: 0, ..WalConfig::default() },
+        &Registry::new(),
+    ) {
+        return Some(format!("replaying the synced journal image failed: {e}"));
+    }
+    let sort = |mut v: Vec<crate::StoredCredential>| {
+        v.sort_by(|a, b| (&a.username, &a.name).cmp(&(&b.username, &b.name)));
+        v
+    };
+    let live = sort(store.all_entries());
+    let from_journal = sort(replayed.all_entries());
+    if live == from_journal {
+        return None;
+    }
+    if live.len() != from_journal.len() {
+        return Some(format!(
+            "journal replay diverges from live state: {} live entries vs {} replayed",
+            live.len(),
+            from_journal.len()
+        ));
+    }
+    let first = live
+        .iter()
+        .zip(from_journal.iter())
+        .find(|(a, b)| a != b)
+        .map(|(a, _)| format!("{}/{}", a.username, a.name))
+        .unwrap_or_default();
+    Some(format!("journal replay diverges from live state at entry {first}"))
+}
+
+/// [`replay_divergence`], panicking on any divergence — the form the
+/// concurrency tests use as an assertion.
+pub fn assert_replay_matches_live(
+    store: &CredStore,
+    vfs: &CrashVfs,
+    dir: &Path,
+    pbkdf2_iters: u32,
+) {
+    if let Some(diff) = replay_divergence(store, vfs, dir, pbkdf2_iters) {
+        panic!("{diff}");
+    }
+}
 
 /// RAII scratch directory: created empty on `new`, recursively removed
 /// on drop — so a failing assertion can no longer leak a directory the

@@ -55,28 +55,9 @@ fn durable_store(vfs: Arc<CrashVfs>) -> Arc<CredStore> {
     store
 }
 
-/// Replay the synced image into a fresh store and compare entry-for-
-/// entry with the live one: every committed mutation must be in the
-/// journal in an order that reproduces exactly what memory says.
+/// Replay-equivalence oracle, shared with the `mp-loadgen` soak run.
 fn assert_replay_matches_live(store: &CredStore, vfs: &CrashVfs) {
-    let replayed = CredStore::new(PBKDF2_ITERS);
-    replayed
-        .attach_durable(
-            Path::new("/store"),
-            Arc::new(CrashVfs::from_image(vfs.image_synced())),
-            WalConfig { compact_every: 0, ..WalConfig::default() },
-            &Registry::new(),
-        )
-        .unwrap();
-    let sort = |mut v: Vec<mp_myproxy::StoredCredential>| {
-        v.sort_by(|a, b| (&a.username, &a.name).cmp(&(&b.username, &b.name)));
-        v
-    };
-    assert_eq!(
-        sort(store.all_entries()),
-        sort(replayed.all_entries()),
-        "journal replay diverges from live state"
-    );
+    mp_myproxy::testutil::assert_replay_matches_live(store, vfs, Path::new("/store"), PBKDF2_ITERS);
 }
 
 #[test]

@@ -98,6 +98,7 @@ impl Default for NetConfig {
 pub struct NetStats {
     accepted: Counter,
     active: Gauge,
+    queued: Gauge,
     shed: Counter,
     timeouts: Counter,
     handler_errors: Counter,
@@ -114,6 +115,7 @@ impl NetStats {
         NetStats {
             accepted: m("accepted"),
             active: registry.gauge(&format!("net.{scope}.active")),
+            queued: registry.gauge(&format!("net.{scope}.queue_depth")),
             shed: m("shed"),
             timeouts: m("timeouts"),
             handler_errors: m("handler_errors"),
@@ -131,6 +133,11 @@ impl NetStats {
     /// Connections admitted and not yet finished (queued + in flight).
     pub fn active(&self) -> u64 {
         self.active.get()
+    }
+    /// Connections sitting in the worker queue, not yet picked up.
+    /// `active - queue_depth` is therefore the in-flight handler count.
+    pub fn queue_depth(&self) -> u64 {
+        self.queued.get()
     }
     /// Connections refused at the cap with a BUSY frame.
     pub fn shed(&self) -> u64 {
@@ -443,6 +450,7 @@ impl<C: Send> PoolControl for PoolShared<C> {
         for _ in 0..dropped {
             self.stats.aborted.inc();
             self.stats.active.dec();
+            self.stats.queued.dec();
         }
         dropped
     }
@@ -461,6 +469,7 @@ where
             let mut q = shared.queue.lock();
             loop {
                 if let Some(c) = q.pop_front() {
+                    shared.stats.queued.dec();
                     break Some(c);
                 }
                 if shared.stop.load(Ordering::Acquire) {
@@ -516,6 +525,7 @@ where
                 {
                     let mut q = shared.queue.lock();
                     q.push_back(conn);
+                    shared.stats.queued.inc();
                 }
                 shared.work_ready.notify_one();
             }

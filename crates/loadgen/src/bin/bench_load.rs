@@ -1,0 +1,172 @@
+//! `bench-load`: the open-loop capacity sweep as a CI step.
+//!
+//! Runs the seeded plan at each requested arrival rate against a live
+//! in-process repository (bounded pool, durable store, portal in the
+//! mix), writes `BENCH_load.json`, and — when a committed baseline is
+//! given — gates on it: throughput-at-SLO collapse, shed-behavior
+//! regression, lost determinism (digest drift at identical config) or
+//! a failed soak (WAL replay diverging from the live store) all exit
+//! non-zero.
+//!
+//! ```text
+//! bench-load [--rates 15,40] [--duration-s 2.0] [--seed 1] [--users 16]
+//!            [--workers 4] [--max-connections 32]
+//!            [--slo-p 0.99] [--slo-ms 50]
+//!            [--out BENCH_load.json] [--baseline FILE] [--write-baseline FILE]
+//! ```
+
+use mp_loadgen::{capacity_sweep, gate_against_baseline, GateConfig, SweepConfig};
+
+fn parse_args() -> (SweepConfig, Args) {
+    let mut sweep = SweepConfig::default();
+    let mut extra = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rates" => {
+                sweep.rates = take(&mut i)
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().expect("--rates wants comma-separated numbers"))
+                    .collect();
+            }
+            "--duration-s" => sweep.duration_s = take(&mut i).parse().expect("--duration-s"),
+            "--seed" => sweep.seed = take(&mut i).parse().expect("--seed"),
+            "--users" => sweep.users = take(&mut i).parse().expect("--users"),
+            "--workers" => sweep.fixture.workers = take(&mut i).parse().expect("--workers"),
+            "--max-connections" => {
+                sweep.fixture.max_connections = take(&mut i).parse().expect("--max-connections");
+            }
+            "--slo-p" => sweep.slo.quantile = take(&mut i).parse().expect("--slo-p"),
+            "--slo-ms" => {
+                sweep.slo.bound_us =
+                    take(&mut i).parse::<u64>().expect("--slo-ms").saturating_mul(1_000);
+            }
+            "--out" => extra.out = take(&mut i),
+            "--baseline" => extra.baseline = Some(take(&mut i)),
+            "--write-baseline" => extra.write_baseline = Some(take(&mut i)),
+            "--min-rate-frac" => {
+                extra.gate.min_rate_frac = take(&mut i).parse().expect("--min-rate-frac");
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if sweep.rates.is_empty() {
+        eprintln!("need at least one rate");
+        std::process::exit(2);
+    }
+    (sweep, extra)
+}
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    gate: GateConfig,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_load.json".to_string(),
+            baseline: None,
+            write_baseline: None,
+            gate: GateConfig::default(),
+        }
+    }
+}
+
+fn main() {
+    let (sweep, args) = parse_args();
+    println!(
+        "bench-load: seed {}, {} users (zipf s={}), rates {:?} ops/s x {:.1}s, SLO p{:.0} <= {} ms",
+        sweep.seed,
+        sweep.users,
+        sweep.zipf_exponent,
+        sweep.rates,
+        sweep.duration_s,
+        sweep.slo.quantile * 100.0,
+        sweep.slo.bound_us / 1_000,
+    );
+    let report = capacity_sweep(&sweep);
+
+    for r in &report.rates {
+        let o = &r.outcome;
+        println!(
+            "rate {:>6.1}/s  ok {:>4}  busy {:>3}  err {:>3}  retries {:>3}  late {:>3}  \
+             shed_rate {:.3}  p50 {:>7}us  p99 {:>7}us  slo_met {}",
+            r.rate_per_sec,
+            o.ok,
+            o.busy,
+            o.errors,
+            o.retries,
+            o.late,
+            o.shed_rate(),
+            o.overall.p50(),
+            o.overall.p99(),
+            r.slo_met,
+        );
+    }
+    println!(
+        "max sustainable rate at SLO: {:.1}/s   plan digest: {}   soak: {} ops, replay matches = {}",
+        report.max_rate_at_slo,
+        report.plan_digest,
+        report.soak.ops,
+        report.soak.wal_replay_matches,
+    );
+
+    let json = report.to_json();
+    std::fs::write(&args.out, &json).expect("write report JSON");
+    println!("wrote {}", args.out);
+    if let Some(path) = &args.write_baseline {
+        std::fs::write(path, &json).expect("write baseline JSON");
+        println!("wrote baseline {path}");
+    }
+
+    let mut failed = false;
+    if !report.soak.wal_replay_matches {
+        eprintln!(
+            "FAIL: soak oracle — WAL replay diverged from live store: {}",
+            report.soak.divergence.as_deref().unwrap_or("no detail")
+        );
+        failed = true;
+    }
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => match gate_against_baseline(&report, &baseline, &args.gate) {
+                Ok(failures) if failures.is_empty() => {
+                    println!("baseline gate: PASS ({path})");
+                }
+                Ok(failures) => {
+                    for f in &failures {
+                        eprintln!("FAIL: {f}");
+                    }
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("FAIL: cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

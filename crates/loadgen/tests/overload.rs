@@ -1,0 +1,112 @@
+//! Drive the open-loop generator well past a deliberately tiny pool
+//! (one worker, admission cap 2) and check the RetryPolicy × shedding
+//! contract: the server sheds, GET/INFO ride BUSY out with retries,
+//! PUT and portal logins never retry, the global retry budget is a
+//! hard cap, accounting balances exactly, the queue drains on quiesce,
+//! and — even under heavy shedding — the WAL replay soak oracle holds:
+//! overload loses requests, never updates.
+
+use mp_loadgen::{run, Fixture, FixtureConfig, OpKind, Plan, PlanConfig, RunConfig};
+
+fn overload_plan(seed: u64) -> Plan {
+    Plan::generate(&PlanConfig {
+        seed,
+        users: 4,
+        zipf_exponent: 1.0,
+        rate_per_sec: 250.0,
+        total_ops: 80,
+        ..PlanConfig::default()
+    })
+}
+
+fn tiny_pool() -> FixtureConfig {
+    FixtureConfig { workers: 1, max_connections: 2, users: 4 }
+}
+
+fn kind(outcome: &mp_loadgen::RunOutcome, k: OpKind) -> &mp_loadgen::KindStats {
+    outcome
+        .per_kind
+        .iter()
+        .find(|s| s.kind == k)
+        .unwrap_or_else(|| panic!("missing per-kind stats for {}", k.name()))
+}
+
+#[test]
+fn overload_sheds_retries_and_keeps_the_store_consistent() {
+    let mut fixture = Fixture::new(tiny_pool());
+    let plan = overload_plan(11);
+    let cfg = RunConfig::default();
+    let outcome = run(&fixture, &plan, &cfg);
+
+    // Offered load 250/s against a one-worker pool capped at 2: the
+    // server must shed, and some operations must terminally fail BUSY.
+    assert!(outcome.shed > 0, "no sheds under 2.5x overload: {outcome:?}");
+    assert!(outcome.busy > 0, "no terminal BUSY under overload: {outcome:?}");
+    // But the repository is never fully starved either.
+    assert!(outcome.ok > 0, "nothing succeeded: {outcome:?}");
+
+    // Accounting balances exactly: every planned op was issued and
+    // landed in exactly one terminal bucket.
+    assert_eq!(outcome.issued, plan.ops.len() as u64);
+    assert_eq!(outcome.ok + outcome.busy + outcome.errors, outcome.issued);
+
+    // Idempotent traffic rides BUSY out with retries...
+    let idempotent_retries =
+        kind(&outcome, OpKind::Get).retries + kind(&outcome, OpKind::Info).retries;
+    assert!(idempotent_retries > 0, "GET/INFO never retried under shedding: {outcome:?}");
+    // ...while the non-idempotent kinds never retry, by construction.
+    assert_eq!(kind(&outcome, OpKind::Put).retries, 0, "PUT must never retry");
+    assert_eq!(kind(&outcome, OpKind::PortalLogin).retries, 0, "portal login must never retry");
+    // And the global budget bounds total retry spend.
+    assert!(
+        outcome.retries <= cfg.retry_budget,
+        "retries {} blew the budget {}",
+        outcome.retries,
+        cfg.retry_budget
+    );
+
+    // Quiesce drains everything: no connection left in the queue.
+    fixture.quiesce();
+    assert_eq!(fixture.net_queue_depth(), 0, "worker queue did not drain on quiesce");
+
+    // The soak oracle: shedding may lose *requests*, never *updates* —
+    // the journal's synced image replays to exactly the live store.
+    assert_eq!(fixture.soak_divergence(), None);
+    // Seeded users are still there regardless of how the run went.
+    assert!(fixture.store_entries() >= 4, "seeded credentials vanished");
+}
+
+#[test]
+fn retry_budget_is_a_hard_cap() {
+    let mut fixture = Fixture::new(tiny_pool());
+    let plan = overload_plan(13);
+    let cfg = RunConfig { retry_budget: 3, ..RunConfig::default() };
+    let outcome = run(&fixture, &plan, &cfg);
+    assert!(
+        outcome.retries <= 3,
+        "retries {} exceeded the hard budget of 3",
+        outcome.retries
+    );
+    fixture.quiesce();
+    assert_eq!(fixture.soak_divergence(), None);
+}
+
+#[test]
+fn uncontended_run_needs_no_retries_and_sheds_nothing() {
+    // The control group: the same machinery at a rate the pool serves
+    // comfortably must not shed, retry, or lose anything.
+    let mut fixture = Fixture::new(FixtureConfig::default());
+    let plan = Plan::generate(&PlanConfig {
+        seed: 17,
+        users: 4,
+        rate_per_sec: 10.0,
+        total_ops: 8,
+        ..PlanConfig::default()
+    });
+    let outcome = run(&fixture, &plan, &RunConfig::default());
+    assert_eq!(outcome.ok, outcome.issued, "uncontended ops failed: {outcome:?}");
+    assert_eq!(outcome.shed, 0);
+    assert_eq!(outcome.retries, 0);
+    fixture.quiesce();
+    assert_eq!(fixture.soak_divergence(), None);
+}

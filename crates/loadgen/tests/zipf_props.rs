@@ -1,0 +1,82 @@
+//! Property tests for the zipfian user sampler: seeded determinism
+//! (same seed ⇒ the identical draw sequence), range safety, and
+//! statistical fidelity (empirical rank frequencies track the
+//! analytical zipf probabilities within tolerance).
+
+use mp_loadgen::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn same_seed_means_identical_draws(
+        seed in any::<u64>(),
+        n in 1usize..64,
+        s_milli in 0u32..3000,
+    ) {
+        let zipf = Zipf::new(n, f64::from(s_milli) / 1000.0);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn draws_stay_in_population(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        s_milli in 0u32..3000,
+    ) {
+        let zipf = Zipf::new(n, f64::from(s_milli) / 1000.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_rank_monotone(
+        n in 1usize..50,
+        s_milli in 0u32..3000,
+    ) {
+        // Higher rank (less popular) never gets more probability mass.
+        let zipf = Zipf::new(n, f64::from(s_milli) / 1000.0);
+        for k in 1..n {
+            prop_assert!(zipf.probability(k - 1) >= zipf.probability(k));
+        }
+    }
+
+    #[test]
+    fn empirical_rank_frequency_tracks_analytical(seed in any::<u64>()) {
+        // n = 20 at the classic s = 1: draw 20k samples and require
+        // every rank's empirical frequency to sit within a tolerance of
+        // its analytical probability. Tolerance is max(0.02, 6σ) for a
+        // binomial with that rank's p — wide enough to never flake,
+        // tight enough that a broken CDF (off-by-one rank, unnormalized
+        // weights, biased uniform) lands far outside it.
+        const N: usize = 20;
+        const DRAWS: usize = 20_000;
+        let zipf = Zipf::new(N, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = [0u32; N];
+        for _ in 0..DRAWS {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let p = zipf.probability(k);
+            let freq = f64::from(c) / DRAWS as f64;
+            let sigma = (p * (1.0 - p) / DRAWS as f64).sqrt();
+            let tol = (6.0 * sigma).max(0.02);
+            prop_assert!(
+                (freq - p).abs() <= tol,
+                "rank {}: empirical {:.4} vs analytical {:.4} (tol {:.4})",
+                k, freq, p, tol
+            );
+        }
+        // The head must dominate: rank 0 is the most frequent draw.
+        let head = counts[0];
+        prop_assert!(counts.iter().all(|&c| c <= head));
+    }
+}

@@ -297,6 +297,36 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// SLO helper: the fraction of recorded samples *provably* at or
+    /// below `bound_us` — the cumulative share of the buckets whose
+    /// upper bound does not exceed `bound_us`. Samples in the bucket
+    /// straddling the bound are not counted, so the estimate is
+    /// conservative (a lower bound on compliance); a bound at or above
+    /// the recorded maximum is exact. An empty histogram reports 1.0 —
+    /// no sample violated the objective.
+    pub fn fraction_within(&self, bound_us: u64) -> f64 {
+        if self.count == 0 || bound_us >= self.max {
+            return 1.0;
+        }
+        let mut within = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            match self.bounds.get(i) {
+                Some(upper) if *upper <= bound_us => within = within.saturating_add(*b),
+                _ => break,
+            }
+        }
+        within as f64 / self.count as f64
+    }
+
+    /// Does this histogram meet the latency objective "the `q`-th
+    /// quantile is at most `bound_us`"? This is the predicate the
+    /// capacity sweep regresses on (`p99 ≤ SLO`); it shares
+    /// [`quantile`](Self::quantile)'s clamp to the recorded maximum,
+    /// so an SLO at or above the worst sample always passes.
+    pub fn meets_slo(&self, q: f64, bound_us: u64) -> bool {
+        self.quantile(q) <= bound_us
+    }
+
     /// Median.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)

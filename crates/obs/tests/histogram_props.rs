@@ -84,4 +84,49 @@ proptest! {
         prop_assert_eq!(snap.quantile(f64::from(q) / 100.0), 0);
         prop_assert_eq!(snap.count, 0);
     }
+
+    #[test]
+    fn fraction_within_is_monotone_and_exact_at_max(
+        samples in proptest::collection::vec(0u64..20_000_000, 1..60),
+        lo in 0u64..20_000_000,
+        hi in 0u64..20_000_000,
+    ) {
+        let snap = recorded(&samples);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        // Monotone non-decreasing in the bound.
+        prop_assert!(snap.fraction_within(lo) <= snap.fraction_within(hi));
+        // At the recorded max (and beyond) compliance is total.
+        prop_assert_eq!(snap.fraction_within(snap.max), 1.0);
+        prop_assert_eq!(snap.fraction_within(u64::MAX), 1.0);
+        // Bounded to [0, 1] everywhere.
+        let f = snap.fraction_within(lo);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn fraction_within_implies_quantile_slo(
+        samples in proptest::collection::vec(0u64..20_000_000, 1..60),
+        bound in 0u64..20_000_000,
+        q in 1u32..=100,
+    ) {
+        // fraction_within is conservative: if it already certifies a
+        // q-share of samples at or below the bound, the quantile
+        // estimator must agree the SLO is met.
+        let snap = recorded(&samples);
+        let q = f64::from(q) / 100.0;
+        if snap.fraction_within(bound) >= q {
+            prop_assert!(
+                snap.meets_slo(q, bound),
+                "fraction certifies q={} at {}us but quantile says {}",
+                q, bound, snap.quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_meets_every_slo(bound in 0u64..20_000_000, q in 0u32..=100) {
+        let snap = HistogramSnapshot::empty(&DEFAULT_BOUNDS);
+        prop_assert_eq!(snap.fraction_within(bound), 1.0);
+        prop_assert!(snap.meets_slo(f64::from(q) / 100.0, bound));
+    }
 }
