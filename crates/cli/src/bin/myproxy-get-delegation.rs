@@ -7,11 +7,14 @@
 //!                        [--server-dn DN] [--lifetime-hours 2] [--cred-name NAME]
 //!                        [--task k:v,k:v] [--otp HEX] [--bits N]
 //!                        [--retries N] [--retry-base-ms N]
+//!                        [--repositories host:port,host:port]
 //! ```
 //!
 //! GET is idempotent, so `--retries N` retries transparently (capped
 //! jittered backoff, honoring the server's BUSY retry-after hint) when
-//! the server sheds load or the connection fails transiently.
+//! the server sheds load or the connection fails transiently. With
+//! `--repositories` each retry also rotates to the next repository in
+//! the list, so a dead primary fails over to its warm standby.
 
 use mp_cli::{die, explain, passphrase, save_credential, usage_exit, Args, ClientSetup};
 use mp_myproxy::client::{GetParams, RetryPolicy};
@@ -22,7 +25,8 @@ const USAGE: &str = "usage:
                          --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
                          --out <proxy.pem> [--server-dn <DN>] [--lifetime-hours N]
                          [--cred-name <name>] [--task k:v,k:v] [--otp <hex>] [--bits N]
-                         [--retries N] [--retry-base-ms N]";
+                         [--retries N] [--retry-base-ms N]
+                         [--repositories <host:port,host:port>]";
 
 fn main() {
     let args = match Args::from_env() {
@@ -50,7 +54,27 @@ fn run(args: &Args) -> Result<(), String> {
     params.key_bits = args.get_u64("bits", 512)? as usize;
 
     let retries = args.get_u64("retries", 0)?;
-    let proxy = if retries > 0 {
+    let proxy = if setup.multi_repository() {
+        // Give every repository at least one attempt even when the
+        // user did not ask for retries.
+        let attempts = (retries as u32 + 1).max(setup.repositories.len() as u32);
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_delay_ms: args.get_u64("retry-base-ms", 50)?,
+            ..RetryPolicy::default()
+        };
+        setup
+            .client
+            .get_delegation_failover(
+                &setup.repository_connectors(),
+                &setup.credential,
+                &params,
+                &policy,
+                &mut setup.rng,
+                setup.now,
+            )
+            .map_err(|e| explain(&e))?
+    } else if retries > 0 {
         let policy = RetryPolicy {
             max_attempts: retries as u32 + 1,
             base_delay_ms: args.get_u64("retry-base-ms", 50)?,

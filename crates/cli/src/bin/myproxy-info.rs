@@ -3,16 +3,27 @@
 //! ```text
 //! myproxy-info --server host:port --credential user.pem --trust-roots dir/
 //!              --username NAME (--passphrase ...) [--server-dn DN]
+//!              [--repositories host:port,host:port]
 //! ```
+//!
+//! Against a replicated deployment the first line reports which role
+//! the answering repository holds (primary / standby / promoting) and
+//! its replication epoch, so an operator can tell at a glance whether
+//! a promotion has happened. `--repositories` fails over across the
+//! list when the first repository is down.
 
 use mp_cli::{die, passphrase, usage_exit, Args, ClientSetup};
+use mp_myproxy::client::RetryPolicy;
 
 const USAGE: &str = "usage:
   myproxy-info --server <host:port> --credential <user.pem> --trust-roots <dir>
                --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
-               [--server-dn <DN>] [--metrics]
+               [--server-dn <DN>] [--repositories <host:port,host:port>]
+               [--retries N] [--retry-base-ms N] [--metrics]
 
-  --metrics   also print the server's metrics snapshot (one line per metric)";
+  --repositories  ordered failover list; INFO is read-only and may be
+                  served by any replica
+  --metrics       also print the server's metrics snapshot (one line per metric)";
 
 fn main() {
     let args = match Args::from_env() {
@@ -30,10 +41,30 @@ fn main() {
 fn run(args: &Args) -> Result<(), String> {
     let mut setup = ClientSetup::from_args(args)?;
     let username = args.require("username")?;
-    let transport = setup.connect()?;
     let want_metrics = args.has("metrics");
-    let (infos, metrics) = if want_metrics {
+    let mut metrics = Vec::new();
+    let infos = if setup.multi_repository() {
+        // Read-only, so INFO may fail over freely across the list.
+        let policy = RetryPolicy {
+            max_attempts: args.get_u64("retries", 4)? as u32,
+            base_delay_ms: args.get_u64("retry-base-ms", 50)?,
+            ..RetryPolicy::default()
+        };
         setup
+            .client
+            .info_failover(
+                &setup.repository_connectors(),
+                &setup.credential,
+                username,
+                &passphrase(args)?,
+                &policy,
+                &mut setup.rng,
+                setup.now,
+            )
+            .map_err(|e| e.to_string())?
+    } else if want_metrics {
+        let transport = setup.connect()?;
+        let (infos, m) = setup
             .client
             .info_with_metrics(
                 transport,
@@ -43,11 +74,14 @@ fn run(args: &Args) -> Result<(), String> {
                 &mut setup.rng,
                 setup.now,
             )
-            .map_err(|e| e.to_string())?
+            .map_err(|e| e.to_string())?;
+        metrics = m;
+        infos
     } else {
-        let infos = setup
+        let transport = setup.connect()?;
+        let (infos, status) = setup
             .client
-            .info(
+            .info_with_status(
                 transport,
                 &setup.credential,
                 username,
@@ -56,7 +90,8 @@ fn run(args: &Args) -> Result<(), String> {
                 setup.now,
             )
             .map_err(|e| e.to_string())?;
-        (infos, Vec::new())
+        println!("repository {}: role={} epoch={}", setup.server_addr, status.role, status.epoch);
+        infos
     };
     println!("{} credential(s) stored for '{username}':", infos.len());
     for i in infos {

@@ -6,7 +6,12 @@
 //!              --username NAME (--passphrase P | --passphrase-env VAR | --passphrase-file F)
 //!              [--server-dn DN] [--lifetime-hours 168] [--retriever-hours N]
 //!              [--cred-name NAME] [--tags k:v,k:v] [--renewer DN-pattern]
+//!              [--repositories host:port,host:port]
 //! ```
+//!
+//! PUT is not idempotent, so `--repositories` fails over only when the
+//! dial itself is refused — never after a request is in flight, where
+//! a blind retry against the next repository could double-store.
 
 use mp_cli::{die, explain, passphrase, usage_exit, Args, ClientSetup};
 use mp_myproxy::client::InitParams;
@@ -15,7 +20,8 @@ const USAGE: &str = "usage:
   myproxy-init --server <host:port> --credential <user.pem> --trust-roots <dir>
                --username <name> (--passphrase <p> | --passphrase-env <VAR> | --passphrase-file <f>)
                [--server-dn <DN>] [--lifetime-hours N] [--retriever-hours N]
-               [--cred-name <name>] [--tags k:v,k:v] [--renewer <DN-pattern>]";
+               [--cred-name <name>] [--tags k:v,k:v] [--renewer <DN-pattern>]
+               [--repositories <host:port,host:port>]";
 
 fn main() {
     let args = match Args::from_env() {
@@ -44,13 +50,27 @@ fn run(args: &Args) -> Result<(), String> {
     }
     params.renewer = args.get("renewer").map(str::to_string);
 
-    let transport = setup.connect()?;
     // PUT is not idempotent, so init never auto-retries; a BUSY shed is
-    // surfaced with its retry-after hint for the user to act on.
-    let not_after = setup
-        .client
-        .init(transport, &setup.credential, &params, &mut setup.rng, setup.now)
-        .map_err(|e| explain(&e))?;
+    // surfaced with its retry-after hint for the user to act on. A
+    // repository list moves on only when the dial is refused outright.
+    let not_after = if setup.multi_repository() {
+        setup
+            .client
+            .init_failover(
+                &setup.repository_connectors(),
+                &setup.credential,
+                &params,
+                &mut setup.rng,
+                setup.now,
+            )
+            .map_err(|e| explain(&e))?
+    } else {
+        let transport = setup.connect()?;
+        setup
+            .client
+            .init(transport, &setup.credential, &params, &mut setup.rng, setup.now)
+            .map_err(|e| explain(&e))?
+    };
     println!(
         "a proxy valid until unix time {not_after} ({}h) is now stored for '{}'",
         (not_after - setup.now) / 3600,

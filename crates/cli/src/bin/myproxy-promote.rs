@@ -1,0 +1,42 @@
+//! `myproxy-promote`: order a warm standby to take over as primary.
+//!
+//! ```text
+//! myproxy-promote --server standby-host:7512 --credential admin.pem --trust-roots dir/
+//!                 [--server-dn DN]
+//! ```
+//!
+//! The caller's identity must match the standby's `--replication-peer`
+//! ACL. Promotion bumps the replication epoch, so a later restart of
+//! the old primary is fenced off: its stale journal tail is refused
+//! and it demotes itself to standby instead of split-braining the
+//! store.
+
+use mp_cli::{die, explain, usage_exit, Args, ClientSetup};
+
+const USAGE: &str = "usage:
+  myproxy-promote --server <standby host:port> --credential <admin.pem> --trust-roots <dir>
+                  [--server-dn <DN>]";
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => usage_exit(USAGE, Some(e)),
+    };
+    if args.has("help") {
+        usage_exit(USAGE, None);
+    }
+    if let Err(e) = run(&args) {
+        die(e);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut setup = ClientSetup::from_args(args)?;
+    let transport = setup.connect()?;
+    let status = setup
+        .client
+        .promote(transport, &setup.credential, &mut setup.rng, setup.now)
+        .map_err(|e| explain(&e))?;
+    println!("{} is now role={} epoch={}", setup.server_addr, status.role, status.epoch);
+    Ok(())
+}

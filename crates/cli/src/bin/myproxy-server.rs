@@ -10,6 +10,16 @@
 //!                [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]
 //! ```
 //!
+//! Replication (warm standby, paper §5.1's single-point-of-failure
+//! mitigation): a primary adds `--replicate-to standby-host:7512` to
+//! ship every committed journal record to a standby after the
+//! group-commit fsync — acked, then shipped, never the reverse. The
+//! standby runs with `--standby [--takeover-secs N]`: it replays
+//! shipped segments into its own durable store, refuses mutations, and
+//! promotes itself either on an operator `PROMOTE` (`myproxy-promote`)
+//! or automatically once the primary's shipper heartbeats have been
+//! silent for N seconds. Both roles require `--store-dir`.
+//!
 //! With `--store-dir` the credential store is durable: startup loads
 //! the snapshot and replays the write-ahead journal (truncating a torn
 //! tail from a crash mid-append), and every mutation is journaled with
@@ -28,6 +38,7 @@ use mp_crypto::HmacDrbg;
 use mp_gsi::channel::send_busy;
 use mp_gsi::net::{self, NetConfig, Outcome, Service, TcpAcceptor};
 use mp_gsi::AccessControlList;
+use mp_myproxy::repl::ReplConfig;
 use mp_myproxy::server::BUSY_SHED_REASON;
 use mp_myproxy::wal::WalConfig;
 use mp_myproxy::{MyProxyError, MyProxyServer, ServerPolicy};
@@ -40,7 +51,14 @@ const USAGE: &str = "usage:
                  [--store-dir <dir>] [--wal-compact-every N] [--wal-shards N]
                  [--accept-pattern P]... [--retriever-pattern P]...
                  [--renewer-pattern P]... [--max-stored-hours N] [--max-delegated-hours N]
-                 [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]";
+                 [--min-passphrase-len N] [--pbkdf2-iters N] [--bits N]
+                 [--replication-peer P]...
+                 [--replicate-to <host:port>] [--repl-ring N] [--ship-interval-ms N]
+                 [--standby] [--takeover-secs N]
+
+  --replicate-to   ship committed journal records to this standby (needs --store-dir)
+  --standby        replay shipped records; refuse mutations until promoted
+  --takeover-secs  auto-promote after N s without a primary heartbeat (0 = manual only)";
 
 fn main() {
     let args = match Args::from_env() {
@@ -79,6 +97,7 @@ fn run(args: &Args) -> Result<(), String> {
         accepted_credentials: acl(args.all("accept-pattern")),
         authorized_retrievers: acl(args.all("retriever-pattern")),
         authorized_renewers: acl(args.all("renewer-pattern")),
+        replication_peers: acl(args.all("replication-peer")),
         pbkdf2_iterations: args.get_u64("pbkdf2-iters", 10_000)? as u32,
         key_bits: args.get_u64("bits", 512)? as usize,
         store_shards: args.get_u64("wal-shards", mp_myproxy::store::DEFAULT_SHARDS as u64)?
@@ -117,13 +136,70 @@ fn run(args: &Args) -> Result<(), String> {
         );
     }
 
+    let replicate_to = args.get("replicate-to").map(str::to_string);
+    let standby = args.has("standby");
+    if standby && replicate_to.is_some() {
+        return Err("--standby and --replicate-to are mutually exclusive".into());
+    }
+    if (standby || replicate_to.is_some()) && store_dir.is_none() {
+        return Err("replication requires --store-dir (there is no journal to ship or replay)".into());
+    }
+
+    let repl_cfg = ReplConfig {
+        ring_capacity: args.get_u64("repl-ring", 1024)? as usize,
+        takeover_timeout_secs: args.get_u64("takeover-secs", 0)?,
+    };
+    if standby {
+        server.configure_standby(&repl_cfg);
+        match repl_cfg.takeover_timeout_secs {
+            0 => eprintln!("standby: promotion is manual (myproxy-promote)"),
+            t => eprintln!("standby: auto-promote after {t}s without a primary heartbeat"),
+        }
+    }
+    if let Some(target) = replicate_to {
+        server
+            .enable_replication(&repl_cfg)
+            .map_err(|e| format!("cannot enable replication: {e}"))?;
+        let ship_interval = Duration::from_millis(args.get_u64("ship-interval-ms", 1000)?);
+        let connector: mp_gsi::transport::Connector = {
+            let target = target.clone();
+            Arc::new(move || {
+                let s = std::net::TcpStream::connect(&target)?;
+                // A stalled standby must time the session out, never
+                // park the shipper thread forever.
+                s.set_read_timeout(Some(Duration::from_secs(30)))?;
+                s.set_write_timeout(Some(Duration::from_secs(30)))?;
+                Ok(Box::new(s) as mp_gsi::transport::BoxedTransport)
+            })
+        };
+        let shipper = server.shipper(connector);
+        eprintln!("replicating committed journal records to {target}");
+        std::thread::spawn(move || loop {
+            match shipper.run_once() {
+                Ok(report) => {
+                    if report.demoted {
+                        eprintln!("shipper: standby fenced us off (stale epoch) — now a standby");
+                        return;
+                    }
+                    if report.resyncs > 0 {
+                        eprintln!("shipper: standby resynced via full snapshot");
+                    }
+                }
+                Err(e) => eprintln!("shipper: {target}: {e}"),
+            }
+            std::thread::sleep(ship_interval);
+        });
+    }
+
     let listener = std::net::TcpListener::bind(("0.0.0.0", port))
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+    let (role, epoch) = server.replication_status();
     eprintln!(
-        "myproxy-server: {} listening on port {} ({} stored credentials)",
+        "myproxy-server: {} listening on port {} ({} stored credentials, role={} epoch={epoch})",
         server.identity(),
         port,
-        server.store().len()
+        server.store().len(),
+        role.as_str(),
     );
 
     // Bounded worker pool with a periodic expired-credential sweep.
@@ -184,6 +260,12 @@ impl Service<std::net::TcpStream> for LoggingService {
         let purged = self.server.purge_expired();
         if purged > 0 {
             eprintln!("purged {purged} expired credentials");
+        }
+        // Standby primary-loss detection rides the same tick; on a
+        // primary (or a standby with manual promotion) this is a no-op.
+        if self.server.check_auto_promote() {
+            let (_, epoch) = self.server.replication_status();
+            eprintln!("primary heartbeat lost: promoted to primary (epoch {epoch})");
         }
     }
 }

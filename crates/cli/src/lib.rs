@@ -25,7 +25,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["help", "limited", "verbose", "metrics"];
+const SWITCHES: &[&str] = &["help", "limited", "verbose", "metrics", "standby"];
 
 impl Args {
     /// Parse `std::env::args()`.
@@ -156,10 +156,26 @@ pub fn passphrase(args: &Args) -> Result<String, String> {
     Err("supply --passphrase, --passphrase-env or --passphrase-file".into())
 }
 
+/// Split a `--repositories host:port,host:port` list. Empty segments
+/// (stray commas) are dropped.
+pub fn split_repositories(list: &str) -> Vec<String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
 /// Standard client-side setup shared by every `myproxy-*` client tool.
 pub struct ClientSetup {
-    /// The dialled server address.
+    /// The dialled server address (the first repository when only
+    /// `--repositories` was given).
     pub server_addr: String,
+    /// The full repository list for client-side failover: the
+    /// `--repositories` value if present, otherwise just `--server`.
+    /// Replicated repositories present one service identity, so a
+    /// single `--server-dn` pin covers the whole list.
+    pub repositories: Vec<String>,
     /// The caller's credential.
     pub credential: Credential,
     /// The MyProxy client (trust roots + optional pinned identity).
@@ -171,11 +187,28 @@ pub struct ClientSetup {
 }
 
 impl ClientSetup {
-    /// Build from the conventional flags: `--server host:port`,
-    /// `--credential file.pem`, `--trust-roots dir`,
-    /// `[--server-dn DN]`.
+    /// Build from the conventional flags: `--server host:port` and/or
+    /// `--repositories host:port,host:port`, `--credential file.pem`,
+    /// `--trust-roots dir`, `[--server-dn DN]`.
     pub fn from_args(args: &Args) -> Result<Self, String> {
-        let server_addr = args.require("server")?.to_string();
+        let repositories = match args.get("repositories") {
+            Some(list) => {
+                let repos = split_repositories(list);
+                if repos.is_empty() {
+                    return Err("--repositories must list at least one host:port".into());
+                }
+                repos
+            }
+            None => Vec::new(),
+        };
+        let server_addr = match args.get("server") {
+            Some(s) => s.to_string(),
+            None => repositories
+                .first()
+                .cloned()
+                .ok_or_else(|| "missing required flag --server (or --repositories)".to_string())?,
+        };
+        let repositories = if repositories.is_empty() { vec![server_addr.clone()] } else { repositories };
         let credential = load_credential(Path::new(args.require("credential")?))?;
         let roots = load_trust_roots(Path::new(args.require("trust-roots")?))?;
         let expected = match args.get("server-dn") {
@@ -185,11 +218,18 @@ impl ClientSetup {
         let client = mp_myproxy::MyProxyClient::new(roots, expected);
         Ok(ClientSetup {
             server_addr,
+            repositories,
             credential,
             client,
             rng: HmacDrbg::from_os_entropy(),
             now: mp_x509::Clock::now(&mp_x509::SystemClock),
         })
+    }
+
+    /// True when the user gave a multi-repository list: the tools then
+    /// route through the `*_failover` client operations.
+    pub fn multi_repository(&self) -> bool {
+        self.repositories.len() > 1
     }
 
     /// Dial the server.
@@ -202,7 +242,16 @@ impl ClientSetup {
     /// client operations: every retry attempt gets a fresh TCP
     /// connection.
     pub fn connector(&self) -> mp_gsi::transport::Connector {
-        let addr = self.server_addr.clone();
+        Self::tcp_connector(self.server_addr.clone())
+    }
+
+    /// One re-dialing connector per configured repository, in list
+    /// order — the argument shape the `*_failover` operations take.
+    pub fn repository_connectors(&self) -> Vec<mp_gsi::transport::Connector> {
+        self.repositories.iter().cloned().map(Self::tcp_connector).collect()
+    }
+
+    fn tcp_connector(addr: String) -> mp_gsi::transport::Connector {
         std::sync::Arc::new(move || {
             std::net::TcpStream::connect(&addr)
                 .map(|s| Box::new(s) as mp_gsi::transport::BoxedTransport)
@@ -292,6 +341,13 @@ mod tests {
         assert_eq!(passphrase(&a).unwrap(), "direct");
         let a = parse(&[]);
         assert!(passphrase(&a).is_err());
+    }
+
+    #[test]
+    fn repositories_split() {
+        assert_eq!(split_repositories("a:7512,b:7512"), vec!["a:7512", "b:7512"]);
+        assert_eq!(split_repositories(" a:1 , ,b:2,"), vec!["a:1", "b:2"]);
+        assert!(split_repositories(",").is_empty());
     }
 
     #[test]

@@ -256,6 +256,17 @@ pub struct CredInfo {
     pub renewable: bool,
 }
 
+/// Replication role and epoch of the repository that answered an INFO
+/// (see [`crate::repl`]): operators and the failover suite read this
+/// to tell a standby from the primary it shadows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoStatus {
+    /// "primary", "standby" or "promoting".
+    pub role: String,
+    /// Replication generation number.
+    pub epoch: u64,
+}
+
 /// A MyProxy client: trust configuration + the expected server identity.
 pub struct MyProxyClient {
     channel_cfg: ChannelConfig,
@@ -433,6 +444,123 @@ impl MyProxyClient {
         })
     }
 
+    /// [`info`](Self::info) plus the answering repository's
+    /// replication role and epoch (`myproxy-info` prints these so an
+    /// operator can confirm which side of a failover they reached).
+    pub fn info_with_status<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<(Vec<CredInfo>, RepoStatus)> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let req = Request::new(Command::Info)
+            .field(field::USERNAME, username)
+            .field(field::PASSPHRASE, passphrase);
+        let resp = Self::transact(&mut channel, &req)?;
+        let status = parse_repo_status(&resp);
+        let infos: Result<Vec<CredInfo>> =
+            resp.all("CRED").iter().map(|line| parse_cred_info(line)).collect();
+        Ok((infos?, status))
+    }
+
+    /// PROMOTE (admin, restricted by the `replication_peers` ACL): ask
+    /// a standby to take over as primary — the explicit half of
+    /// failover, see [`crate::repl`]. Returns the repository's
+    /// post-promotion role and epoch.
+    pub fn promote<T: Transport, R: Rng + ?Sized>(
+        &self,
+        transport: T,
+        cred: &Credential,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<RepoStatus> {
+        let mut channel = self.open_channel(transport, cred, rng, now)?;
+        let resp = Self::transact(&mut channel, &Request::new(Command::Promote))?;
+        Ok(parse_repo_status(&resp))
+    }
+
+    /// [`get_delegation`](Self::get_delegation) across a repository
+    /// list (`--repositories a:7512,b:7512`). GET is idempotent, so it
+    /// fails over freely: every retry the [`RetryPolicy`] grants moves
+    /// to the next repository in order, wrapping around, until one
+    /// answers or attempts run out.
+    pub fn get_delegation_failover<R: Rng + ?Sized>(
+        &self,
+        connectors: &[Connector],
+        cred: &Credential,
+        params: &GetParams,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Credential> {
+        let mut next = 0usize;
+        policy.run(|| {
+            let connector = connectors
+                .get(next % connectors.len().max(1))
+                .ok_or_else(|| MyProxyError::Protocol("empty repository list".into()))?;
+            next += 1;
+            let transport = connector().map_err(|e| MyProxyError::Gsi(GsiError::Io(e)))?;
+            self.get_delegation(transport, cred, params, rng, now)
+        })
+    }
+
+    /// [`info`](Self::info) across a repository list; same free
+    /// failover as [`get_delegation_failover`](Self::get_delegation_failover).
+    #[allow(clippy::too_many_arguments)]
+    pub fn info_failover<R: Rng + ?Sized>(
+        &self,
+        connectors: &[Connector],
+        cred: &Credential,
+        username: &str,
+        passphrase: &str,
+        policy: &RetryPolicy,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Vec<CredInfo>> {
+        let mut next = 0usize;
+        policy.run(|| {
+            let connector = connectors
+                .get(next % connectors.len().max(1))
+                .ok_or_else(|| MyProxyError::Protocol("empty repository list".into()))?;
+            next += 1;
+            let transport = connector().map_err(|e| MyProxyError::Gsi(GsiError::Io(e)))?;
+            self.info(transport, cred, username, passphrase, rng, now)
+        })
+    }
+
+    /// [`init`](Self::init) across a repository list. PUT mutates, so
+    /// failover is deliberately narrow: a repository is skipped only
+    /// when the *dial* is refused (nothing was sent); the first
+    /// repository that accepts a connection gets the one and only PUT,
+    /// and any failure after that surfaces immediately — the PR 5
+    /// non-retry invariant for non-idempotent operations holds across
+    /// a repository list too.
+    pub fn init_failover<R: Rng + ?Sized>(
+        &self,
+        connectors: &[Connector],
+        cred: &Credential,
+        params: &InitParams,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<u64> {
+        let mut last_err: Option<MyProxyError> = None;
+        for connector in connectors {
+            match connector() {
+                Ok(transport) => return self.init(transport, cred, params, rng, now),
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    last_err = Some(MyProxyError::Gsi(GsiError::Io(e)));
+                }
+                Err(e) => return Err(MyProxyError::Gsi(GsiError::Io(e))),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| MyProxyError::Protocol("empty repository list".into())))
+    }
+
     /// `myproxy-info --metrics`: the INFO listing plus the server's
     /// registry snapshot, one compact `name value`/percentile line per
     /// metric (see [`mp_obs::render_compact`] for the line shapes).
@@ -559,6 +687,19 @@ impl MyProxyClient {
         channel.send(&proof)?;
         Self::read_response(&mut channel)?; // proof verdict
         Ok(accept_delegation(&mut channel, u64::MAX, key_bits, rng)?)
+    }
+}
+
+/// ROLE/EPOCH response fields → [`RepoStatus`]. Servers predating
+/// replication send neither; they are primaries at epoch 0.
+fn parse_repo_status(resp: &Response) -> RepoStatus {
+    RepoStatus {
+        role: resp
+            .all("ROLE")
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "primary".to_string()),
+        epoch: resp.all("EPOCH").first().and_then(|v| v.parse().ok()).unwrap_or(0),
     }
 }
 

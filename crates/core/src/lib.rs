@@ -27,6 +27,7 @@ pub mod persist;
 pub mod policy;
 pub mod proto;
 pub mod renewal;
+pub mod repl;
 pub mod server;
 pub mod store;
 #[doc(hidden)]

@@ -54,6 +54,12 @@ pub struct ServerPolicy {
     pub authorized_retrievers: AccessControlList,
     /// Clients allowed to RENEW (§6.6; typically job managers).
     pub authorized_renewers: AccessControlList,
+    /// Peer repositories allowed to open a replication stream
+    /// (REPLICATE) or promote this instance (PROMOTE). Defaults
+    /// closed: replication is an operator-configured trust
+    /// relationship between repositories, never something an ordinary
+    /// client identity may touch (§3.3 many-repositories topology).
+    pub replication_peers: AccessControlList,
     /// PBKDF2 iteration count for sealing stored credentials.
     pub pbkdf2_iterations: u32,
     /// RSA modulus bits for proxies the server mints during PUT.
@@ -73,6 +79,7 @@ impl Default for ServerPolicy {
             accepted_credentials: AccessControlList::deny_all(),
             authorized_retrievers: AccessControlList::deny_all(),
             authorized_renewers: AccessControlList::deny_all(),
+            replication_peers: AccessControlList::deny_all(),
             pbkdf2_iterations: 1_000,
             key_bits: 512,
             store_shards: crate::store::DEFAULT_SHARDS,
@@ -89,6 +96,7 @@ impl ServerPolicy {
             accepted_credentials: AccessControlList::from_patterns(["*"]),
             authorized_retrievers: AccessControlList::from_patterns(["*"]),
             authorized_renewers: AccessControlList::from_patterns(["*"]),
+            replication_peers: AccessControlList::from_patterns(["*"]),
             pbkdf2_iterations: 10,
             ..Default::default()
         }

@@ -35,6 +35,11 @@ pub enum Command {
     /// §6.6: renew — retrieve a fresh proxy authenticating with an
     /// existing (still valid) proxy instead of a pass phrase.
     Renew = 8,
+    /// Extension (§3.3 many-repositories): open a replication stream —
+    /// a primary ships committed journal frames to this standby.
+    Replicate = 9,
+    /// Extension: administratively promote a standby to primary.
+    Promote = 10,
 }
 
 impl Command {
@@ -50,6 +55,8 @@ impl Command {
             6 => Command::OtpSetup,
             7 => Command::OtpGet,
             8 => Command::Renew,
+            9 => Command::Replicate,
+            10 => Command::Promote,
             _ => return None,
         })
     }
@@ -399,6 +406,8 @@ mod tests {
             Command::OtpSetup,
             Command::OtpGet,
             Command::Renew,
+            Command::Replicate,
+            Command::Promote,
         ] {
             let req = Request::new(cmd);
             assert_eq!(Request::from_text(&req.to_text()).unwrap().command, cmd);

@@ -10,7 +10,11 @@
 use crate::otp::{decode_hex32, OtpOutcome, OtpRegistry};
 use crate::policy::ServerPolicy;
 use crate::proto::{field, parse_tags, render_tags, Command, Request, Response};
+use crate::repl::{
+    self, EpochStore, ReplConfig, ReplLog, ReplMetrics, ReplState, Role, Shipper,
+};
 use crate::store::{CredStore, AUTH_FAILED, DEFAULT_NAME};
+use crate::wal::{parse_journal, WalRecord};
 use crate::{wallet, MyProxyError};
 use mp_crypto::ctr::SecretBox;
 use mp_crypto::{HmacDrbg, Secret};
@@ -21,7 +25,7 @@ use mp_gsi::net::{
     self, accept_queue, BoxedConn, DeadlineControl, HandlerSet, NetConfig, Outcome, QueuePusher,
     Service, ShutdownHandle, TcpAcceptor,
 };
-use mp_gsi::transport::Transport;
+use mp_gsi::transport::{Connector, Transport};
 use mp_gsi::wire::{WireReader, WireWriter};
 use mp_gsi::{ChannelConfig, Credential, GsiError, SecureChannel};
 use mp_obs::{Counter, Histogram, Registry, Snapshot};
@@ -109,6 +113,10 @@ struct ServerState {
     /// Handler threads from [`MyProxyServer::connect_local`], tracked
     /// so shutdown can join them instead of racing process exit.
     local_handlers: HandlerSet,
+    /// Replication role/epoch/progress (see [`crate::repl`]). Always
+    /// present; a non-replicated deployment is simply a standalone
+    /// primary at epoch 0.
+    repl: Arc<ReplState>,
 }
 
 /// The repository server. Cheap to clone (one `Arc`).
@@ -167,6 +175,7 @@ impl MyProxyServer {
                 request_hist,
                 crls: parking_lot::RwLock::new(Vec::new()),
                 local_handlers: HandlerSet::new(),
+                repl: Arc::new(ReplState::new()),
             }),
         }
     }
@@ -234,7 +243,14 @@ impl MyProxyServer {
     /// Purge expired credentials; returns how many were removed. The
     /// serve pools run this on their sweep interval and on the INFO
     /// path; removals are tallied in [`ServerStats::purged`].
+    ///
+    /// A standby never purges on its own: the primary's purge records
+    /// arrive through the replication stream, keeping both sides'
+    /// journals byte-compatible for the divergence oracle.
     pub fn purge_expired(&self) -> usize {
+        if !self.state.repl.is_primary() {
+            return 0;
+        }
         match self.state.store.purge_expired(self.state.clock.now()) {
             Ok(n) => {
                 if n > 0 {
@@ -271,7 +287,87 @@ impl MyProxyServer {
         vfs: Arc<dyn crate::wal::Vfs>,
         cfg: crate::wal::WalConfig,
     ) -> std::io::Result<crate::wal::DurabilityReport> {
-        self.state.store.attach_durable(dir, vfs, cfg, &self.state.obs)
+        let report = self.state.store.attach_durable(dir, vfs.clone(), cfg, &self.state.obs)?;
+        // The replication epoch lives beside the journal; loading it
+        // here means a restarted standby still rejects a demoted
+        // primary's stale tail. Read-only: crash-matrix mutation
+        // counts are unchanged for non-replicated deployments.
+        self.state.repl.install_epoch_store(EpochStore::new(vfs, dir))?;
+        Ok(report)
+    }
+
+    // --- replication (see `crate::repl`) -------------------------------
+
+    /// This repository's replication state machine.
+    pub(crate) fn repl_state(&self) -> &Arc<ReplState> {
+        &self.state.repl
+    }
+
+    /// The server's own credential (the shipper authenticates with it).
+    pub(crate) fn own_credential(&self) -> &Credential {
+        &self.state.credential
+    }
+
+    /// Channel config for outbound (shipper) connections, with CRLs.
+    pub(crate) fn peer_channel_cfg(&self) -> ChannelConfig {
+        self.conn_channel_cfg()
+    }
+
+    /// Current clock reading.
+    pub(crate) fn now(&self) -> u64 {
+        self.state.clock.now()
+    }
+
+    /// Current `(role, epoch)` of this repository.
+    pub fn replication_status(&self) -> (Role, u64) {
+        self.state.repl.status()
+    }
+
+    /// Start retaining committed journal frames for shipping: installs
+    /// a [`ReplLog`] as the WAL's post-fsync commit sink and registers
+    /// the `store.repl.*` metrics. Requires durability to be enabled
+    /// first (there is no journal to ship otherwise).
+    pub fn enable_replication(&self, cfg: &ReplConfig) -> std::io::Result<Arc<ReplLog>> {
+        let wal = self.state.store.wal_handle().ok_or_else(|| {
+            std::io::Error::other("enable durability before replication: no journal to ship")
+        })?;
+        let mut id = [0u8; 8];
+        self.state.rng.lock().generate(&mut id);
+        let log = Arc::new(ReplLog::new(
+            self.state.store.shard_count(),
+            cfg.ring_capacity,
+            u64::from_le_bytes(id),
+            ReplMetrics::registered(&self.state.obs),
+        ));
+        wal.set_commit_sink(log.clone());
+        self.state.repl.install_log(log.clone());
+        Ok(log)
+    }
+
+    /// Declare this repository a warm standby: mutations are refused,
+    /// shipped frames are applied, and (when `takeover_timeout_secs`
+    /// is non-zero) shipper silence past the timeout auto-promotes.
+    pub fn configure_standby(&self, cfg: &ReplConfig) {
+        self.state.repl.set_standby(cfg.takeover_timeout_secs, self.state.clock.now());
+    }
+
+    /// Promote this repository to primary under a fresh epoch (the
+    /// in-process form of the `PROMOTE` admin command).
+    pub fn promote(&self) -> std::io::Result<u64> {
+        self.state.repl.promote()
+    }
+
+    /// Standby primary-loss detection; the serve pool's sweep tick
+    /// drives this. Returns true when a promotion happened.
+    pub fn check_auto_promote(&self) -> bool {
+        self.state.repl.check_auto_promote(self.state.clock.now())
+    }
+
+    /// A shipper pushing this primary's journal to the standby behind
+    /// `connector`. Drive it with [`Shipper::run_once`].
+    pub fn shipper(&self, connector: Connector) -> Shipper {
+        let rng = self.conn_rng();
+        Shipper::new(self.clone(), connector, rng)
     }
 
     /// Serve one connection: handshake, one request, response (plus the
@@ -364,6 +460,17 @@ impl MyProxyServer {
         request: &Request,
         rng: &mut HmacDrbg,
     ) -> crate::Result<()> {
+        // A standby serves reads (a failed-over portal still GETs) but
+        // refuses mutations: accepting one would fork history from the
+        // primary it is replaying.
+        if mutates_store(request.command) && !self.state.repl.is_primary() {
+            let (role, epoch) = self.state.repl.status();
+            return Err(MyProxyError::Refused(format!(
+                "repository is {} (epoch {}); mutations are served by the primary",
+                role.as_str(),
+                epoch
+            )));
+        }
         match request.command {
             Command::Put => self.handle_put(channel, request, rng, false),
             Command::StoreLongTerm => self.handle_put(channel, request, rng, true),
@@ -374,6 +481,8 @@ impl MyProxyServer {
             Command::Destroy => self.handle_destroy(channel, request),
             Command::ChangePassphrase => self.handle_change_passphrase(channel, request, rng),
             Command::Renew => self.handle_renew(channel, request, rng),
+            Command::Replicate => self.handle_replicate(channel, request),
+            Command::Promote => self.handle_promote(channel, request),
         }
     }
 
@@ -609,7 +718,12 @@ impl MyProxyServer {
         if entries.is_empty() {
             return Err(MyProxyError::Refused(AUTH_FAILED.into()));
         }
-        let mut resp = Response::success();
+        // Role and epoch first: operators (and the failover suite)
+        // read these to tell a standby from the primary it shadows.
+        let (role, epoch) = st.repl.status();
+        let mut resp = Response::success()
+            .with_field("ROLE", role.as_str())
+            .with_field("EPOCH", &epoch.to_string());
         let mut sorted = entries;
         sorted.sort_by(|a, b| a.name.cmp(&b.name));
         for e in sorted {
@@ -757,6 +871,237 @@ impl MyProxyServer {
         Ok(())
     }
 
+    /// PROMOTE: administratively make this repository the primary
+    /// under a fresh, durably persisted epoch.
+    fn handle_promote<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        _request: &Request,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let peer = channel.peer().clone();
+        if !st.policy.replication_peers.is_authorized(&peer.identity) {
+            return Err(MyProxyError::Refused(format!(
+                "{} is not authorized to promote this repository",
+                peer.identity
+            )));
+        }
+        let epoch = st
+            .repl
+            .promote()
+            .map_err(|e| MyProxyError::Refused(format!("promotion failed: {e}")))?;
+        let (role, _) = st.repl.status();
+        channel.send(
+            Response::success()
+                .with_field("ROLE", role.as_str())
+                .with_field("EPOCH", &epoch.to_string())
+                .to_text()
+                .as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// REPLICATE: the standby side of the shipping stream.
+    ///
+    /// Handshake (text): check the peer ACL, fence epochs, adopt the
+    /// stream id, and report per-shard applied sequences. Then a
+    /// lock-step binary loop — one [`repl::ReplMsg`] in, one reply out
+    /// — until `BYE`. Every inbound message re-checks the epoch, so a
+    /// `PROMOTE` landing mid-stream cuts the old primary off at the
+    /// next frame instead of after it.
+    fn handle_replicate<T: Transport>(
+        &self,
+        channel: &mut SecureChannel<T>,
+        request: &Request,
+    ) -> crate::Result<()> {
+        let st = &self.state;
+        let peer = channel.peer().clone();
+        if !st.policy.replication_peers.is_authorized(&peer.identity) {
+            return Err(MyProxyError::Refused(format!(
+                "{} is not an authorized replication peer",
+                peer.identity
+            )));
+        }
+        let peer_epoch = request.get_u64("EPOCH", 0)?;
+        let peer_shards = request.get_u64("SHARDS", 0)? as usize;
+        let stream = request.get_u64("STREAM", 0)?;
+        let shards = st.store.shard_count();
+        if peer_shards != shards {
+            return Err(MyProxyError::Refused(format!(
+                "shard count mismatch: primary ships {peer_shards}, this repository has {shards}"
+            )));
+        }
+        let (role, my_epoch) = st.repl.status();
+        if peer_epoch < my_epoch {
+            // A demoted primary's tail: reject, never merge.
+            return Err(MyProxyError::Refused(format!("stale epoch: current={my_epoch}")));
+        }
+        if peer_epoch == my_epoch && role == Role::Primary {
+            return Err(MyProxyError::Refused(format!(
+                "split brain: both repositories claim primary at epoch {my_epoch}"
+            )));
+        }
+        if peer_epoch > my_epoch {
+            // The peer was promoted past us (we may be the demoted
+            // half): adopt its epoch durably before applying anything.
+            st.repl
+                .observe_epoch(peer_epoch)
+                .map_err(|e| MyProxyError::Gsi(GsiError::Io(e)))?;
+        }
+        st.repl.touch(st.clock.now());
+
+        let applied = st.repl.handshake_sync(stream, shards);
+        let (role, epoch) = st.repl.status();
+        let mut resp = Response::success()
+            .with_field("ROLE", role.as_str())
+            .with_field("EPOCH", &epoch.to_string());
+        for (si, seq) in applied.iter().enumerate() {
+            if let Some(seq) = seq {
+                resp = resp.with_field("SEQ", &format!("{si}:{seq}"));
+            }
+        }
+        channel.send(resp.to_text().as_bytes())?;
+
+        loop {
+            let raw = channel.recv()?;
+            let msg = repl::decode_msg(&raw)
+                .ok_or_else(|| MyProxyError::Protocol("malformed replication message".into()))?;
+            let (_, cur_epoch) = st.repl.status();
+            if msg.epoch < cur_epoch {
+                channel.send(&repl::encode_msg(&repl::ReplMsg::control(
+                    repl::MSG_STALE,
+                    cur_epoch,
+                    0,
+                    0,
+                )))?;
+                return Err(MyProxyError::Refused(format!("stale epoch: current={cur_epoch}")));
+            }
+            st.repl.touch(st.clock.now());
+            let shard = msg.shard as usize;
+            match msg.tag {
+                repl::MSG_HEARTBEAT => {
+                    channel.send(&repl::encode_msg(&repl::ReplMsg::control(
+                        repl::MSG_ACK,
+                        cur_epoch,
+                        0,
+                        0,
+                    )))?;
+                }
+                repl::MSG_BYE => return Ok(()),
+                repl::MSG_SEGMENT => {
+                    let reply = self.apply_segment(shard, &msg, cur_epoch)?;
+                    channel.send(&repl::encode_msg(&reply))?;
+                }
+                repl::MSG_SNAPSHOT => {
+                    let reply = self.apply_snapshot(shard, &msg, cur_epoch)?;
+                    channel.send(&repl::encode_msg(&reply))?;
+                }
+                _ => {
+                    return Err(MyProxyError::Protocol(
+                        "unexpected replication message tag".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Replay one shipped segment into the standby store. The records
+    /// are applied (durably, via this side's own journal) *before* the
+    /// acknowledgment is built, so an acked sequence is never ahead of
+    /// local state.
+    fn apply_segment(
+        &self,
+        shard: usize,
+        msg: &repl::ReplMsg,
+        epoch: u64,
+    ) -> crate::Result<repl::ReplMsg> {
+        let st = &self.state;
+        let Some(applied) = st.repl.applied_for(shard) else {
+            // Unknown stream for this shard: only a snapshot may seed it.
+            return Ok(repl::ReplMsg::control(repl::MSG_NEED_RESYNC, epoch, msg.shard, 0));
+        };
+        let (records, good_len, torn) = parse_journal(&msg.payload);
+        if torn || good_len != msg.payload.len() {
+            return Err(MyProxyError::Protocol("torn replication segment".into()));
+        }
+        let count = records.len() as u64;
+        if count == 0 {
+            return Ok(repl::ReplMsg::control(repl::MSG_ACK, epoch, msg.shard, applied));
+        }
+        if msg.seq > applied + 1 {
+            // Gap: frames we never saw were evicted from the ring.
+            return Ok(repl::ReplMsg::control(repl::MSG_NEED_RESYNC, epoch, msg.shard, 0));
+        }
+        let last = msg.seq + count - 1;
+        let skip = (applied + 1).saturating_sub(msg.seq);
+        if skip >= count {
+            // Entirely a re-send of applied history.
+            return Ok(repl::ReplMsg::control(repl::MSG_ACK, epoch, msg.shard, applied));
+        }
+        let fresh: Vec<WalRecord> = records.into_iter().skip(skip as usize).collect();
+        self.commit_replicated(fresh)?;
+        st.repl.advance_applied(shard, last);
+        Ok(repl::ReplMsg::control(repl::MSG_ACK, epoch, msg.shard, last))
+    }
+
+    /// Replace one shard from a full snapshot: upsert everything in
+    /// the payload, remove local entries of that shard the payload
+    /// does not name, and peg the shard's applied watermark to the
+    /// snapshot's sequence.
+    fn apply_snapshot(
+        &self,
+        shard: usize,
+        msg: &repl::ReplMsg,
+        epoch: u64,
+    ) -> crate::Result<repl::ReplMsg> {
+        let st = &self.state;
+        let (records, good_len, torn) = parse_journal(&msg.payload);
+        if torn || good_len != msg.payload.len() {
+            return Err(MyProxyError::Protocol("torn replication snapshot".into()));
+        }
+        let mut keep = std::collections::BTreeSet::new();
+        for rec in &records {
+            match rec {
+                WalRecord::Upsert(e) => {
+                    keep.insert((e.username.clone(), e.name.clone()));
+                }
+                _ => {
+                    return Err(MyProxyError::Protocol(
+                        "replication snapshot may only carry upserts".into(),
+                    ))
+                }
+            }
+        }
+        let mut batch = Vec::new();
+        for e in st.store.shard_entries(shard) {
+            if !keep.contains(&(e.username.clone(), e.name.clone())) {
+                batch.push(WalRecord::Remove { username: e.username, name: e.name });
+            }
+        }
+        batch.extend(records);
+        self.commit_replicated(batch)?;
+        st.repl.reset_applied(shard, msg.seq);
+        Ok(repl::ReplMsg::control(repl::MSG_ACK, epoch, msg.shard, msg.seq))
+    }
+
+    /// Commit replicated records through this side's own journal when
+    /// durability is on (the standby must survive its own power cut),
+    /// else apply in memory.
+    fn commit_replicated(&self, records: Vec<WalRecord>) -> crate::Result<()> {
+        let st = &self.state;
+        match st.store.wal_handle() {
+            Some(wal) => {
+                wal.commit_many(&st.store, records)?;
+            }
+            None => {
+                for rec in &records {
+                    let _ = st.store.apply(rec);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Spawn a thread serving one in-memory connection; returns the
     /// client end. The handler thread is tracked in the server's
     /// [`HandlerSet`] so [`drain_local_handlers`](Self::drain_local_handlers)
@@ -831,6 +1176,24 @@ pub struct MyProxyService {
     server: MyProxyServer,
 }
 
+/// Commands that change the credential store (a standby refuses
+/// these). Exhaustive on purpose: a new command must decide.
+fn mutates_store(cmd: Command) -> bool {
+    match cmd {
+        Command::Put
+        | Command::StoreLongTerm
+        | Command::Destroy
+        | Command::ChangePassphrase
+        | Command::OtpSetup => true,
+        Command::Get
+        | Command::OtpGet
+        | Command::Info
+        | Command::Renew
+        | Command::Replicate
+        | Command::Promote => false,
+    }
+}
+
 /// Classify a handler failure for the pool's accounting: deadline
 /// evictions are `Timeout`, everything else `Error`.
 fn outcome_of(result: &crate::Result<()>) -> Outcome {
@@ -860,6 +1223,8 @@ impl<C: Transport + DeadlineControl + 'static> Service<C> for MyProxyService {
 
     fn sweep(&self) {
         self.server.purge_expired();
+        // Standby primary-loss detection rides the same tick.
+        self.server.check_auto_promote();
     }
 }
 

@@ -1,9 +1,10 @@
 //! Small helpers for tests. Compiled into the library so sibling
 //! crates' tests can reuse them, but hidden from the public API.
 
-use crate::wal::{CrashVfs, WalConfig};
+use crate::wal::{CrashVfs, WalConfig, WalRecord};
 use crate::CredStore;
 use mp_obs::Registry;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -52,6 +53,28 @@ pub fn replay_divergence(
         .map(|(a, _)| format!("{}/{}", a.username, a.name))
         .unwrap_or_default();
     Some(format!("journal replay diverges from live state at entry {first}"))
+}
+
+/// Decode shard `shard`'s journal out of a crash image taken from a
+/// store mounted at `dir`: rotated segment (`journal-<i>.old`) first,
+/// then the live segment, exactly as recovery replays them. Torn or
+/// absent segments simply contribute the records before the tear —
+/// tests that need to assert on a *specific* journal shape (e.g. "purge
+/// wrote one record into this shard and none into that one") use this
+/// instead of grubbing through raw bytes.
+pub fn shard_journal_records(
+    image: &BTreeMap<PathBuf, Vec<u8>>,
+    dir: &Path,
+    shard: usize,
+) -> Vec<WalRecord> {
+    let mut records = Vec::new();
+    for name in [crate::wal::shard_rotated_name(shard), crate::wal::shard_journal_name(shard)] {
+        if let Some(raw) = image.get(&dir.join(name)) {
+            let (recs, _good, _torn) = crate::wal::parse_journal(raw);
+            records.extend(recs);
+        }
+    }
+    records
 }
 
 /// [`replay_divergence`], panicking on any divergence — the form the

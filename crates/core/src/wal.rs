@@ -553,7 +553,7 @@ const TAG_RESEAL: u8 = 6;
 
 /// IEEE CRC-32 (the zlib polynomial), bitwise — journal records are a
 /// few KB, table-free is plenty.
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= u32::from(b);
@@ -602,7 +602,7 @@ fn take_bytes(buf: &mut &[u8]) -> Option<Vec<u8>> {
     Some(take(buf, len)?.to_vec())
 }
 
-fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+pub(crate) fn encode_payload(rec: &WalRecord) -> Vec<u8> {
     let mut out = Vec::new();
     match rec {
         WalRecord::Upsert(e) => {
@@ -648,7 +648,7 @@ fn encode_payload(rec: &WalRecord) -> Vec<u8> {
     out
 }
 
-fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+pub(crate) fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
     let (&tag, mut rest) = payload.split_first()?;
     match tag {
         TAG_UPSERT => {
@@ -716,7 +716,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
 }
 
 /// `[u32 payload-len][u32 crc32(payload)][payload]`, all little-endian.
-fn encode_frame(payload: &[u8]) -> io::Result<Vec<u8>> {
+pub(crate) fn encode_frame(payload: &[u8]) -> io::Result<Vec<u8>> {
     if payload.len() > MAX_RECORD_LEN {
         return Err(io::Error::other("journal record too large"));
     }
@@ -727,10 +727,18 @@ fn encode_frame(payload: &[u8]) -> io::Result<Vec<u8>> {
     Ok(frame)
 }
 
+/// Read a whole file through the `Vfs` — the persistence substrate's
+/// file read, shared with sibling modules (the replication epoch
+/// store) so a durable-state read is never mistaken for socket
+/// traffic by code that reasons about callers' I/O.
+pub(crate) fn read_file(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<u8>> {
+    vfs.read(path)
+}
+
 /// Parse a journal byte-for-byte. Returns the decodable records, the
 /// byte length of that clean prefix, and whether a torn/corrupt tail
 /// followed it (truncated by the caller, never replayed).
-fn parse_journal(raw: &[u8]) -> (Vec<WalRecord>, usize, bool) {
+pub(crate) fn parse_journal(raw: &[u8]) -> (Vec<WalRecord>, usize, bool) {
     let mut records = Vec::new();
     let mut good = 0usize;
     let mut cur: &[u8] = raw;
@@ -904,6 +912,20 @@ struct WalShard {
     wake: Condvar,
 }
 
+/// Observer of durably committed records, called *after* the journal
+/// fsync for a record (or its group batch) has succeeded — never
+/// before. This is the replication ship hook: frames enter the
+/// [`crate::repl::ReplLog`] ring only once they are locally durable,
+/// so a standby can never see a record the primary has not acked
+/// (acked-then-shipped ordering). Invoked under the shard's io lock,
+/// so ring order equals journal order; implementations must not block
+/// on channel or disk I/O.
+pub trait CommitSink: Send + Sync {
+    /// `frames` are the encoded journal frames of one fsynced batch,
+    /// in journal order, all belonging to `shard`.
+    fn committed(&self, shard: usize, frames: &[&[u8]]);
+}
+
 /// The write-ahead journal a [`CredStore`] commits through. One
 /// [`WalShard`] per store shard; a record commits to the shard its
 /// username hashes to.
@@ -913,6 +935,9 @@ pub struct Wal {
     cfg: WalConfig,
     metrics: WalMetrics,
     shards: Vec<WalShard>,
+    /// Post-fsync observer (replication ship hook); None until a
+    /// replication log is attached.
+    sink: Mutex<Option<Arc<dyn CommitSink>>>,
 }
 
 fn wal_error(e: io::Error) -> MyProxyError {
@@ -1088,8 +1113,24 @@ impl Wal {
                 wake: Condvar::new(),
             })
             .collect();
-        let wal = Wal { vfs, dir: dir.to_path_buf(), cfg, metrics, shards };
+        let wal =
+            Wal { vfs, dir: dir.to_path_buf(), cfg, metrics, shards, sink: Mutex::new(None) };
         Ok((Arc::new(wal), report))
+    }
+
+    /// Attach (or replace) the post-fsync commit observer. Frames
+    /// committed from now on are offered to `sink` right after their
+    /// fsync succeeds, under the shard io lock.
+    pub fn set_commit_sink(&self, sink: Arc<dyn CommitSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Offer one fsynced batch to the attached sink, if any.
+    fn ship(&self, shard: usize, frames: &[&[u8]]) {
+        let sink = self.sink.lock().clone();
+        if let Some(sink) = sink {
+            sink.committed(shard, frames);
+        }
     }
 
     /// Which shard a record commits to.
@@ -1199,6 +1240,8 @@ impl Wal {
             self.metrics.appends.inc();
             self.vfs.sync_file(&shard.journal).map_err(wal_error)?;
             self.metrics.fsyncs.inc();
+            // Durable (fsynced) — only now may the frame be shipped.
+            self.ship(si, &[frame.as_slice()]);
             let outcome = store.apply(rec);
             let mut g = shard.group.lock();
             for key in outcome.removed {
@@ -1309,6 +1352,12 @@ impl Wal {
                 self.metrics.fsyncs.inc();
                 self.metrics.group_fsyncs.inc();
                 self.metrics.batch_size.record(batch.len() as u64);
+                // The whole batch is fsynced — ship it before any
+                // follower is woken, still under the io lock, so ring
+                // order equals journal order.
+                let shipped: Vec<&[u8]> =
+                    batch.iter().map(|staged| staged.frame.as_slice()).collect();
+                self.ship(si, &shipped);
                 for staged in &batch {
                     let outcome = store.apply(&staged.rec);
                     for key in outcome.removed {

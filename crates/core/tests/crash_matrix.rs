@@ -12,15 +12,19 @@
 //! No wall-clock, no OS entropy: the sweep is deterministic and the
 //! CI `crash-matrix` step runs it in release mode.
 
+use mp_crypto::HmacDrbg;
+use mp_gsi::transport::BoxedTransport;
+use mp_myproxy::repl::ReplConfig;
+use mp_myproxy::testutil::shard_journal_records;
 use mp_myproxy::wal::{CrashVfs, WalConfig, WalRecord};
-use mp_myproxy::{CredStore, MyProxyError, StoredCredential};
+use mp_myproxy::{CredStore, MyProxyError, MyProxyServer, ServerPolicy, StoredCredential};
 use mp_obs::Registry;
 use mp_x509::test_util::{test_drbg, test_rsa_key};
-use mp_x509::{CertificateAuthority, Dn};
+use mp_x509::{Certificate, CertificateAuthority, Dn, SimClock};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const STORE_DIR: &str = "/store";
 const PBKDF2_ITERS: u32 = 10;
@@ -425,5 +429,268 @@ proptest! {
         a.sort_by(|x, y| (&x.username, &x.name).cmp(&(&y.username, &y.name)));
         b.sort_by(|x, y| (&x.username, &x.name).cmp(&(&y.username, &y.name)));
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replication crash matrix: the same workload, now with the primary
+// shipping every committed batch to a warm standby. Power is cut at
+// every mutation on each side in turn; the standby must stay
+// prefix-consistent per shard, and a fresh shipper pass must converge
+// a recovered standby back to the primary with zero divergence.
+// ---------------------------------------------------------------------
+
+const PRIMARY_DIR: &str = "/primary";
+const STANDBY_DIR: &str = "/standby";
+
+/// One CA-issued service credential + trust roots, shared by both
+/// repositories (a replicated deployment presents one identity).
+fn repl_identity() -> &'static (mp_gsi::Credential, Vec<Certificate>) {
+    static ID: OnceLock<(mp_gsi::Credential, Vec<Certificate>)> = OnceLock::new();
+    ID.get_or_init(|| {
+        let mut ca = CertificateAuthority::new_root(
+            Dn::parse("/O=Grid/CN=CA").unwrap(),
+            test_rsa_key(0).clone(),
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let key = test_rsa_key(2);
+        let dn = Dn::parse("/O=Grid/CN=repo").unwrap();
+        let cert = ca.issue_end_entity(&dn, key.public_key(), 0, 900_000).unwrap();
+        (
+            mp_gsi::Credential::new(vec![cert], key.clone()).unwrap(),
+            vec![ca.certificate().clone()],
+        )
+    })
+}
+
+fn repl_server(seed: &[u8]) -> MyProxyServer {
+    let (cred, roots) = repl_identity();
+    MyProxyServer::new(
+        cred.clone(),
+        roots.clone(),
+        ServerPolicy::permissive(),
+        Arc::new(SimClock::new(100)),
+        HmacDrbg::new(seed),
+    )
+}
+
+fn wal_plain() -> WalConfig {
+    WalConfig { compact_every: 0, ..WalConfig::default() }
+}
+
+fn recover_repl(dir: &str, image: BTreeMap<std::path::PathBuf, Vec<u8>>) -> (CredStore, mp_myproxy::wal::DurabilityReport) {
+    let store = CredStore::new(PBKDF2_ITERS);
+    let report = store
+        .attach_durable(
+            Path::new(dir),
+            Arc::new(CrashVfs::from_image(image)),
+            wal_plain(),
+            &Registry::new(),
+        )
+        .expect("recovery from a crash image must always succeed");
+    (store, report)
+}
+
+/// One replicated workload run: the `run_op` sequence on the primary,
+/// a shipper pass after every ack (ship failures are swallowed — acks
+/// never depend on the standby). Returns the acked op prefix and the
+/// live pair; the primary may be `None` when power failed before its
+/// store even opened.
+fn run_replicated(
+    primary_vfs: Arc<CrashVfs>,
+    standby_vfs: Arc<CrashVfs>,
+) -> (Vec<usize>, Option<(MyProxyServer, MyProxyServer)>) {
+    let primary = repl_server(b"crash repl primary");
+    if primary
+        .enable_durability_with(Path::new(PRIMARY_DIR), primary_vfs, wal_plain())
+        .is_err()
+    {
+        return (Vec::new(), None);
+    }
+    primary
+        .enable_replication(&ReplConfig { ring_capacity: 64, takeover_timeout_secs: 0 })
+        .expect("journal is attached");
+
+    let standby = repl_server(b"crash repl standby");
+    let shipper = if standby
+        .enable_durability_with(Path::new(STANDBY_DIR), standby_vfs, wal_plain())
+        .is_ok()
+    {
+        standby.configure_standby(&ReplConfig::default());
+        let st = standby.clone();
+        Some(primary.shipper(Arc::new(move || Ok(Box::new(st.connect_local()) as BoxedTransport))))
+    } else {
+        // Standby dead on arrival: the primary still serves.
+        None
+    };
+
+    let mut acked = Vec::new();
+    for i in 0..OP_COUNT {
+        match run_op(primary.store(), i) {
+            Ok(()) => acked.push(i),
+            Err(_) => break,
+        }
+        if let Some(s) = &shipper {
+            let _ = s.run_once();
+        }
+    }
+    (acked, Some((primary, standby)))
+}
+
+/// Primary-side cuts: ship-after-fsync means the standby holds exactly
+/// the acked prefix — never a record the primary did not ack, never a
+/// missing one the shipper confirmed.
+#[test]
+fn power_cut_on_primary_leaves_standby_exactly_at_acked_prefix() {
+    let dry_p = Arc::new(CrashVfs::new());
+    let dry_s = Arc::new(CrashVfs::new());
+    let (acked, _) = run_replicated(dry_p.clone(), dry_s.clone());
+    assert_eq!(acked.len(), OP_COUNT, "dry run must ack everything");
+    let total = dry_p.mutations();
+    assert!(total > 10, "expected a rich injection surface, got {total}");
+
+    // Dry-run sanity: the standby converged to the full model, durably.
+    let (sb, report) = recover_repl(STANDBY_DIR, dry_s.image_synced());
+    assert!(report.corrupt.is_empty());
+    assert!(matches_model(&sb, &model(&(0..OP_COUNT).collect::<Vec<_>>())));
+
+    for cut in 0..total {
+        let pv = Arc::new(CrashVfs::new());
+        pv.set_cut_after(cut);
+        let sv = Arc::new(CrashVfs::new());
+        let (acked, _) = run_replicated(pv, sv.clone());
+
+        let (sb, report) = recover_repl(STANDBY_DIR, sv.image_synced());
+        assert!(report.corrupt.is_empty(), "cut {cut}: standby corrupt: {:?}", report.corrupt);
+        assert!(
+            matches_model(&sb, &model(&acked)),
+            "cut {cut}: standby diverged from the acked prefix {acked:?} ({} entries)",
+            sb.len()
+        );
+    }
+}
+
+/// Standby-side cuts: the primary keeps acking regardless; the standby
+/// recovers prefix-consistent per shard (every surviving entry is a
+/// valid point in its user's history, nothing corrupt), and a
+/// replacement standby mounted on the recovered image resyncs from the
+/// live primary to byte-equal state.
+#[test]
+fn power_cut_on_standby_stays_prefix_consistent_and_resyncs() {
+    let dry_p = Arc::new(CrashVfs::new());
+    let dry_s = Arc::new(CrashVfs::new());
+    run_replicated(dry_p, dry_s.clone());
+    let total = dry_s.mutations();
+    assert!(total > 10, "expected a rich injection surface, got {total}");
+
+    // Any per-shard prefix leaves each user at some point of their own
+    // op subsequence; these are the pass phrases that can open them.
+    let allowed: BTreeMap<&str, Vec<&str>> = [
+        ("alice", vec!["pass-alice"]),
+        ("bob", vec!["pass-bob", "pass-bob-2"]),
+        ("carol", vec!["pass-carol"]),
+    ]
+    .into_iter()
+    .collect();
+
+    let sorted = |mut v: Vec<StoredCredential>| {
+        v.sort_by(|a, b| (&a.username, &a.name).cmp(&(&b.username, &b.name)));
+        v
+    };
+
+    for cut in 0..total {
+        let pv = Arc::new(CrashVfs::new());
+        let sv = Arc::new(CrashVfs::new());
+        sv.set_cut_after(cut);
+        let (acked, pair) = run_replicated(pv, sv.clone());
+        assert_eq!(acked.len(), OP_COUNT, "cut {cut}: standby loss must never block primary acks");
+        let (primary, _standby) = pair.expect("primary side is healthy");
+
+        // 1. Clean recovery; every surviving entry is openable at some
+        //    point of its user's history.
+        let (sb, report) = recover_repl(STANDBY_DIR, sv.image_synced());
+        assert!(report.corrupt.is_empty(), "cut {cut}: standby corrupt: {:?}", report.corrupt);
+        for e in sb.all_entries() {
+            let passes = allowed
+                .get(e.username.as_str())
+                .unwrap_or_else(|| panic!("cut {cut}: unknown user {} on standby", e.username));
+            assert!(
+                passes.iter().any(|p| sb.open(&e.username, &e.name, p).is_ok()),
+                "cut {cut}: standby entry for {} opens with no known pass phrase",
+                e.username
+            );
+        }
+
+        // 2. A replacement standby on the recovered image resyncs from
+        //    the live primary with zero divergence.
+        let standby2 = repl_server(b"crash repl standby 2");
+        standby2
+            .enable_durability_with(
+                Path::new(STANDBY_DIR),
+                Arc::new(CrashVfs::from_image(sv.image_synced())),
+                wal_plain(),
+            )
+            .expect("replacement standby mounts the recovered image");
+        standby2.configure_standby(&ReplConfig::default());
+        let st2 = standby2.clone();
+        let shipper2 = primary
+            .shipper(Arc::new(move || Ok(Box::new(st2.connect_local()) as BoxedTransport)));
+        shipper2.run_once().unwrap_or_else(|e| panic!("cut {cut}: resync pass failed: {e}"));
+        assert_eq!(
+            sorted(primary.store().all_entries()),
+            sorted(standby2.store().all_entries()),
+            "cut {cut}: resync must converge to the primary"
+        );
+    }
+}
+
+/// `purge_expired` journals exactly one `Purge` record into each shard
+/// that actually holds an expired entry — never into clean shards, and
+/// never one record per purged entry. (The replication stream ships
+/// journal records verbatim, so over-journaling would multiply across
+/// the wire too.)
+#[test]
+fn purge_journals_one_record_per_affected_shard_only() {
+    const SHARDS: usize = 4;
+    let name = mp_myproxy::store::DEFAULT_NAME;
+    let vfs = Arc::new(CrashVfs::new());
+    let store = CredStore::with_shards(PBKDF2_ITERS, SHARDS);
+    store
+        .attach_durable(Path::new(STORE_DIR), vfs.clone(), wal_plain(), &Registry::new())
+        .unwrap();
+    let wal = store.wal_handle().unwrap();
+
+    // Probe usernames into shard slots: two *expired* entries in one
+    // shard, one live entry in a different shard, the rest untouched.
+    let shard_of = |u: &str| mp_myproxy::store::shard_index(u, SHARDS);
+    let mut probe = (0..).map(|i| format!("purge-user-{i}"));
+    let expired_a = probe.next().unwrap();
+    let dirty_shard = shard_of(&expired_a);
+    let expired_b = probe.by_ref().find(|u| shard_of(u) == dirty_shard).unwrap();
+    let live = probe.by_ref().find(|u| shard_of(u) != dirty_shard).unwrap();
+    let live_shard = shard_of(&live);
+
+    for (user, not_after) in [(&expired_a, 100), (&expired_b, 150), (&live, 600_000)] {
+        let mut e = stub_entry(user, name, 7);
+        e.not_after = not_after;
+        wal.commit(&store, WalRecord::Upsert(e)).unwrap();
+    }
+
+    assert_eq!(store.purge_expired(2_000).unwrap(), 2, "both expired entries purged");
+    assert!(store.peek(&live, name).is_some());
+
+    let image = vfs.image_synced();
+    for shard in 0..SHARDS {
+        let purges = shard_journal_records(&image, Path::new(STORE_DIR), shard)
+            .into_iter()
+            .filter(|r| matches!(r, WalRecord::Purge { .. }))
+            .count();
+        let expected = usize::from(shard == dirty_shard);
+        assert_eq!(
+            purges, expected,
+            "shard {shard} (dirty={dirty_shard}, live={live_shard}): {purges} purge record(s)"
+        );
     }
 }

@@ -49,8 +49,11 @@ use crate::lexer::{Token, TokenKind};
 use crate::parser::{Function, ParsedFile, StmtKind};
 use crate::rules::TaintStep;
 
-/// Fixpoint pass bound; cyclic call chains stop growing here.
-pub const PASS_CAP: usize = 12;
+/// Fixpoint pass bound; cyclic call chains stop growing here. Sized
+/// with headroom over the workspace's real propagation depth (16
+/// passes since the replication subsystem put the standby apply path
+/// and shipper sessions inside the serve chains).
+pub const PASS_CAP: usize = 24;
 /// A call with more same-named candidates than this is unresolved.
 pub const CANDIDATE_CAP: usize = 12;
 /// Inter-procedural trace hops kept per propagated effect.

@@ -103,11 +103,12 @@ pub fn rules_for_path(rel: &str) -> RuleSet {
     // R1: the attacker-reachable files named by the gate, plus all of
     // mp-obs — the metrics layer runs inside every request handler, so
     // a panic there takes the connection down with it.
-    const R1_FILES: [&str; 8] = [
+    const R1_FILES: [&str; 9] = [
         "crates/core/src/server.rs",
         "crates/core/src/store.rs",
         "crates/core/src/proto.rs",
         "crates/core/src/wal.rs",
+        "crates/core/src/repl.rs",
         "crates/gsi/src/channel.rs",
         "crates/gsi/src/wire.rs",
         "crates/gsi/src/transport.rs",
@@ -437,6 +438,10 @@ mod tests {
         assert!(!rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "crypto out of v3 scope");
         let rs = rules_for_path("crates/core/tests/robustness.rs");
         assert!(!rs.r8 && !rs.r9 && !rs.r10 && !rs.r11, "integration tests out");
+
+        let rs = rules_for_path("crates/core/src/repl.rs");
+        assert!(rs.r1, "replication wire surface is in the panic-free gate");
+        assert!(rs.r9 && rs.r13, "ship-after-fsync ordering and stream typestate in scope");
 
         let rs = rules_for_path("crates/core/src/server.rs");
         assert!(rs.r12 && rs.r13 && rs.r14 && rs.r15, "server is fully v4-scoped");

@@ -15,12 +15,16 @@ fn golden_snapshot() -> Snapshot {
     r.counter("myproxy.puts").add(3);
     r.counter("myproxy.gets").add(41);
     r.counter("store.load.corrupt").add(0);
+    r.counter("store.repl.resyncs").add(1);
+    r.counter("store.repl.ship_errors").add(2);
     r.counter("store.wal.appends").add(7);
     r.counter("store.wal.compactions").add(1);
     r.counter("store.wal.fsyncs").add(7);
     r.counter("store.wal.replayed").add(4);
     r.counter("store.wal.truncated_tail").add(1);
     r.gauge("net.myproxy.active").set(2);
+    r.gauge("store.repl.lag_bytes").set(3072);
+    r.gauge("store.repl.lag_records").set(2);
     let h = Histogram::with_bounds(&[10, 100, 1000]);
     for v in [5, 7, 90, 250, 4000] {
         h.record(v);
@@ -38,6 +42,10 @@ myproxy.gets 41
 myproxy.puts 3
 # TYPE store.load.corrupt counter
 store.load.corrupt 0
+# TYPE store.repl.resyncs counter
+store.repl.resyncs 1
+# TYPE store.repl.ship_errors counter
+store.repl.ship_errors 2
 # TYPE store.wal.appends counter
 store.wal.appends 7
 # TYPE store.wal.compactions counter
@@ -50,6 +58,10 @@ store.wal.replayed 4
 store.wal.truncated_tail 1
 # TYPE net.myproxy.active gauge
 net.myproxy.active 2
+# TYPE store.repl.lag_bytes gauge
+store.repl.lag_bytes 3072
+# TYPE store.repl.lag_records gauge
+store.repl.lag_records 2
 # TYPE myproxy.request histogram
 myproxy.request{le=\"10\"} 2
 myproxy.request{le=\"100\"} 3

@@ -47,6 +47,13 @@ pub struct GridWorld {
     pub bob: Credential,
     /// The portal's own credential.
     pub portal_cred: Credential,
+    /// The repository's service credential. A replicated deployment
+    /// presents one service identity, so any standby built with
+    /// [`GridWorld::standby_repository`] shares this credential and
+    /// identity-pinned clients fail over without re-pinning.
+    pub myproxy_cred: Credential,
+    /// The repository policy both repositories run under.
+    pub repo_policy: ServerPolicy,
     /// The repository.
     pub myproxy: MyProxyServer,
     /// A MyProxy client pinned to the repository identity.
@@ -94,9 +101,9 @@ impl GridWorld {
         let roots = vec![ca_cert.clone()];
 
         let myproxy = MyProxyServer::new(
-            myproxy_cred,
+            myproxy_cred.clone(),
             roots.clone(),
-            policy,
+            policy.clone(),
             Arc::new(clock.clone()),
             HmacDrbg::new(b"gridworld myproxy seed"),
         );
@@ -139,6 +146,8 @@ impl GridWorld {
             alice,
             bob,
             portal_cred,
+            myproxy_cred,
+            repo_policy: policy,
             myproxy,
             myproxy_client,
             jobmanager,
@@ -146,6 +155,20 @@ impl GridWorld {
             portal,
             clock,
         }
+    }
+
+    /// A second repository instance sharing this world's trust roots,
+    /// clock, policy and service identity — the warm standby of a
+    /// replicated deployment. Callers wire durability and replication
+    /// themselves (`enable_durability_with` + `configure_standby`).
+    pub fn standby_repository(&self, rng_seed: &[u8]) -> MyProxyServer {
+        MyProxyServer::new(
+            self.myproxy_cred.clone(),
+            vec![self.ca_cert.clone()],
+            self.repo_policy.clone(),
+            Arc::new(self.clock.clone()),
+            HmacDrbg::new(rng_seed),
+        )
     }
 
     /// Connector dialing the repository.

@@ -24,8 +24,10 @@ use myproxy::gsi::net::{self, accept_queue, BoxedConn, FaultyTransport, NetConfi
 use myproxy::gsi::transport::{BoxedTransport, Connector};
 use myproxy::gsi::{duplex, ChannelConfig, GsiError, MemStream};
 use myproxy::myproxy::client::{GetParams, InitParams, RetryPolicy};
+use myproxy::myproxy::repl::{ReplConfig, Role, Shipper};
+use myproxy::myproxy::testutil::replay_divergence;
 use myproxy::myproxy::wal::{CrashVfs, WalConfig};
-use myproxy::myproxy::{CredStore, MyProxyError, ServerPolicy};
+use myproxy::myproxy::{CredStore, MyProxyError, MyProxyServer, ServerPolicy, StoredCredential};
 use myproxy::portal::browser::{expect_ok, Browser, BrowserMode};
 use myproxy::testkit::GridWorld;
 use myproxy::x509::test_util::test_drbg;
@@ -676,4 +678,352 @@ fn metrics_scrape_during_grace_drain_is_coherent() {
 
     let report = drainer.join().unwrap();
     assert!(report.drained, "half-open peer evicted within the grace period");
+}
+
+// ---------------------------------------------------------------------
+// Replication & failover: a primary shipping its journal to a warm
+// standby, promotion (explicit and heartbeat-timeout), epoch fencing
+// of a restarted stale primary, and client-side repository-list
+// failover. See `mp_myproxy::repl`.
+// ---------------------------------------------------------------------
+
+const PRIMARY_DIR: &str = "/primary";
+const STANDBY_DIR: &str = "/standby";
+
+fn wal_cfg() -> WalConfig {
+    WalConfig { compact_every: 0, ..WalConfig::default() }
+}
+
+/// A replicated pair: the GridWorld repository as primary (CrashVfs
+/// durability + a replication ring) and a second repository sharing
+/// its service identity as standby, joined by a shipper whose dial can
+/// be cut (`standby_up = false` → `ConnectionRefused`).
+struct ReplPair {
+    w: GridWorld,
+    primary_vfs: Arc<CrashVfs>,
+    standby: MyProxyServer,
+    standby_vfs: Arc<CrashVfs>,
+    standby_up: Arc<std::sync::atomic::AtomicBool>,
+    shipper: Shipper,
+}
+
+fn repl_pair(ring_capacity: usize, takeover_timeout_secs: u64) -> ReplPair {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let w = GridWorld::new();
+    let primary_vfs = Arc::new(CrashVfs::new());
+    w.myproxy
+        .enable_durability_with(std::path::Path::new(PRIMARY_DIR), primary_vfs.clone(), wal_cfg())
+        .unwrap();
+    w.myproxy
+        .enable_replication(&ReplConfig { ring_capacity, takeover_timeout_secs: 0 })
+        .unwrap();
+
+    let standby = w.standby_repository(b"robust standby rng");
+    let standby_vfs = Arc::new(CrashVfs::new());
+    standby
+        .enable_durability_with(std::path::Path::new(STANDBY_DIR), standby_vfs.clone(), wal_cfg())
+        .unwrap();
+    standby.configure_standby(&ReplConfig { ring_capacity, takeover_timeout_secs });
+
+    let standby_up = Arc::new(AtomicBool::new(true));
+    let connector: Connector = {
+        let standby = standby.clone();
+        let up = standby_up.clone();
+        Arc::new(move || {
+            if up.load(Ordering::SeqCst) {
+                Ok(Box::new(standby.connect_local()) as BoxedTransport)
+            } else {
+                Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "standby down"))
+            }
+        })
+    };
+    let shipper = w.myproxy.shipper(connector);
+    ReplPair { w, primary_vfs, standby, standby_vfs, standby_up, shipper }
+}
+
+/// PUT a named credential for alice against `server`.
+fn init_named(
+    p: &ReplPair,
+    server: &MyProxyServer,
+    name: &str,
+    rng: &mut HmacDrbg,
+) -> myproxy::myproxy::Result<u64> {
+    let mut params = InitParams::new("alice", PASS);
+    params.cred_name = Some(name.into());
+    p.w.myproxy_client.init(server.connect_local(), &p.w.alice, &params, rng, p.w.clock.now())
+}
+
+fn sorted_entries(s: &MyProxyServer) -> Vec<StoredCredential> {
+    let mut v = s.store().all_entries();
+    v.sort_by(|a, b| (&a.username, &a.name).cmp(&(&b.username, &b.name)).then(std::cmp::Ordering::Equal));
+    v
+}
+
+fn get_named(
+    p: &ReplPair,
+    server: &MyProxyServer,
+    name: &str,
+    rng: &mut HmacDrbg,
+) -> myproxy::myproxy::Result<myproxy::gsi::Credential> {
+    let mut g = GetParams::new("alice", PASS);
+    g.cred_name = Some(name.into());
+    p.w.myproxy_client.get_delegation(server.connect_local(), &p.w.portal_cred, &g, rng, p.w.clock.now())
+}
+
+#[test]
+fn replication_ships_acked_puts_and_standby_serves_reads() {
+    let p = repl_pair(64, 0);
+    let mut rng = test_drbg("repl basic");
+    let iters = ServerPolicy::permissive().pbkdf2_iterations;
+
+    init_named(&p, &p.w.myproxy, "cred-0", &mut rng).unwrap();
+    init_named(&p, &p.w.myproxy, "cred-1", &mut rng).unwrap();
+    p.shipper.run_once().unwrap();
+
+    // The standby converged to the primary's exact state, durably (its
+    // own journal replays to the same thing it holds in memory).
+    assert_eq!(sorted_entries(&p.w.myproxy), sorted_entries(&p.standby));
+    assert_eq!(
+        replay_divergence(p.standby.store(), &p.standby_vfs, std::path::Path::new(STANDBY_DIR), iters),
+        None
+    );
+
+    // Reads are served by the standby; both sides report role + epoch
+    // over INFO.
+    get_named(&p, &p.standby, "cred-0", &mut rng).unwrap();
+    let (infos, st) = p
+        .w
+        .myproxy_client
+        .info_with_status(p.standby.connect_local(), &p.w.alice, "alice", PASS, &mut rng, p.w.clock.now())
+        .unwrap();
+    assert_eq!(infos.len(), 2);
+    assert_eq!((st.role.as_str(), st.epoch), ("standby", 0));
+    let (_, st) = p
+        .w
+        .myproxy_client
+        .info_with_status(p.w.myproxy.connect_local(), &p.w.alice, "alice", PASS, &mut rng, p.w.clock.now())
+        .unwrap();
+    assert_eq!((st.role.as_str(), st.epoch), ("primary", 0));
+
+    // The replication gauges ride the same registry the INFO METRICS=1
+    // scrape serves, so an operator sees lag without a /metrics scrape.
+    let (_, metrics) = p
+        .w
+        .myproxy_client
+        .info_with_metrics(p.w.myproxy.connect_local(), &p.w.alice, "alice", PASS, &mut rng, p.w.clock.now())
+        .unwrap();
+    assert!(
+        metrics.iter().any(|m| m.starts_with("store.repl.lag_records ")),
+        "INFO METRICS=1 must carry the replication lag gauge: {metrics:?}"
+    );
+
+    // Mutations against the standby are refused with a role-bearing
+    // message pointing the operator at the primary.
+    let err = init_named(&p, &p.standby, "cred-2", &mut rng).unwrap_err();
+    match err {
+        MyProxyError::Refused(why) => assert!(why.contains("standby"), "got: {why}"),
+        other => panic!("expected a role refusal, got {other:?}"),
+    }
+    assert_eq!(p.standby.store().len(), 2);
+}
+
+#[test]
+fn shipper_outage_grows_lag_and_resync_converges_with_zero_divergence() {
+    // A deliberately tiny ring so the outage overflows it and the
+    // recovery pass exercises the full-shard snapshot resync.
+    let p = repl_pair(2, 0);
+    let mut rng = test_drbg("repl outage");
+    let iters = ServerPolicy::permissive().pbkdf2_iterations;
+
+    init_named(&p, &p.w.myproxy, "cred-0", &mut rng).unwrap();
+    p.shipper.run_once().unwrap();
+    let obs = p.w.myproxy.obs().clone();
+    let lag = obs.gauge("store.repl.lag_records");
+    assert_eq!(lag.get(), 0, "synced pair has zero lag");
+
+    // Standby gone: the primary keeps acking — replication is async —
+    // and the lag gauge exposes exactly how far behind the standby is.
+    p.standby_up.store(false, std::sync::atomic::Ordering::SeqCst);
+    for name in ["cred-1", "cred-2", "cred-3", "cred-4"] {
+        init_named(&p, &p.w.myproxy, name, &mut rng).unwrap();
+    }
+    let errors_before = obs.counter("store.repl.ship_errors").get();
+    assert!(p.shipper.run_once().is_err(), "shipping to a dead standby must fail");
+    assert!(obs.counter("store.repl.ship_errors").get() > errors_before);
+    // Each PUT journals two records (the credential upsert + the owner
+    // stamp), all of them now waiting for the standby.
+    assert_eq!(lag.get(), 8, "committed records await the standby");
+
+    // Standby back: one pass converges through a snapshot resync, and
+    // the standby's own journal agrees with what it now serves.
+    p.standby_up.store(true, std::sync::atomic::Ordering::SeqCst);
+    let resyncs_before = obs.counter("store.repl.resyncs").get();
+    p.shipper.run_once().unwrap();
+    assert!(obs.counter("store.repl.resyncs").get() > resyncs_before, "overflowed ring must resync");
+    assert_eq!(lag.get(), 0, "lag drains after reconnect");
+    assert_eq!(sorted_entries(&p.w.myproxy), sorted_entries(&p.standby));
+    assert_eq!(
+        replay_divergence(p.standby.store(), &p.standby_vfs, std::path::Path::new(STANDBY_DIR), iters),
+        None
+    );
+}
+
+#[test]
+fn failover_promotes_standby_with_every_acked_put_and_fences_the_old_primary() {
+    let p = repl_pair(64, 0);
+    let mut rng = test_drbg("repl failover");
+
+    // PUT burst, shipped after every ack; the primary's disk dies one
+    // mutation into the fourth PUT — that PUT is never acked.
+    let mut acked: Vec<&str> = Vec::new();
+    for (i, name) in ["cred-0", "cred-1", "cred-2", "cred-3", "cred-4"].iter().enumerate() {
+        if i == 3 {
+            p.primary_vfs.set_cut_after(p.primary_vfs.mutations() + 1);
+        }
+        match init_named(&p, &p.w.myproxy, name, &mut rng) {
+            Ok(_) => {
+                acked.push(name);
+                p.shipper.run_once().unwrap();
+            }
+            Err(_) => break,
+        }
+    }
+    assert_eq!(acked, ["cred-0", "cred-1", "cred-2"], "the power cut must stop acks");
+
+    // Explicit PROMOTE (the admin command, over the wire).
+    let st = p
+        .w
+        .myproxy_client
+        .promote(p.standby.connect_local(), &p.w.alice, &mut rng, p.w.clock.now())
+        .unwrap();
+    assert_eq!((st.role.as_str(), st.epoch), ("primary", 1));
+
+    // 100% of acked PUTs are served by the promoted standby; the
+    // un-acked one does not exist anywhere on it.
+    for name in &acked {
+        get_named(&p, &p.standby, name, &mut rng)
+            .unwrap_or_else(|e| panic!("acked {name} not served after failover: {e}"));
+    }
+    assert_eq!(p.standby.store().len(), acked.len(), "no un-acked PUT may surface");
+
+    // The promoted standby accepts mutations at the new epoch.
+    init_named(&p, &p.standby, "cred-after-failover", &mut rng).unwrap();
+
+    // Old-primary restart from its synced crash image: it still thinks
+    // it is primary at epoch 0 and accepts a split-brain write...
+    let old = p.w.standby_repository(b"robust old primary");
+    old.enable_durability_with(
+        std::path::Path::new(PRIMARY_DIR),
+        Arc::new(CrashVfs::from_image(p.primary_vfs.image_synced())),
+        wal_cfg(),
+    )
+    .unwrap();
+    old.enable_replication(&ReplConfig::default()).unwrap();
+    assert_eq!(old.replication_status(), (Role::Primary, 0));
+    init_named(&p, &old, "cred-rogue", &mut rng).unwrap();
+
+    // ...but its first shipping attempt is fenced by the standby's
+    // newer epoch: the stale tail is rejected and the old primary
+    // demotes itself durably instead of overwriting the new primary.
+    let standby = p.standby.clone();
+    let old_shipper =
+        old.shipper(Arc::new(move || Ok(Box::new(standby.connect_local()) as BoxedTransport)));
+    let report = old_shipper.run_once().unwrap();
+    assert!(report.demoted, "stale shipper must come back demoted");
+    assert_eq!(old.replication_status(), (Role::Standby, 1));
+    assert!(
+        !p.standby.store().all_entries().iter().any(|e| e.name == "cred-rogue"),
+        "stale-epoch tail must never reach the promoted primary"
+    );
+    // And once demoted, the old primary refuses further mutations.
+    assert!(init_named(&p, &old, "cred-rogue-2", &mut rng).is_err());
+}
+
+#[test]
+fn standby_auto_promotes_on_shipper_heartbeat_timeout() {
+    let p = repl_pair(16, 30);
+    let mut rng = test_drbg("repl auto promote");
+
+    init_named(&p, &p.w.myproxy, "cred-0", &mut rng).unwrap();
+    p.shipper.run_once().unwrap(); // establishes shipper contact
+
+    // Contact is fresh: no takeover.
+    p.w.clock.advance(10);
+    assert!(!p.standby.check_auto_promote());
+    assert_eq!(p.standby.replication_status(), (Role::Standby, 0));
+
+    // Primary silent past the timeout: the standby declares it lost
+    // and takes over at a new epoch.
+    p.w.clock.advance(31);
+    assert!(p.standby.check_auto_promote());
+    assert_eq!(p.standby.replication_status(), (Role::Primary, 1));
+    init_named(&p, &p.standby, "cred-1", &mut rng).unwrap();
+}
+
+#[test]
+fn client_fails_over_across_a_repository_list() {
+    let p = repl_pair(64, 0);
+    let mut rng = test_drbg("repl client failover");
+    init_named(&p, &p.w.myproxy, "cred-0", &mut rng).unwrap();
+    p.shipper.run_once().unwrap();
+
+    let dead: Connector = Arc::new(|| {
+        Err(std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "primary down"))
+    });
+    let standby_conn = GridWorld::myproxy_connector(&p.standby);
+    let primary_conn = GridWorld::myproxy_connector(&p.w.myproxy);
+    let quick = RetryPolicy { max_attempts: 4, base_delay_ms: 1, max_delay_ms: 2, jitter_seed: 7 };
+
+    // GET and INFO are idempotent: they fail over freely past the dead
+    // repository to the standby.
+    let mut g = GetParams::new("alice", PASS);
+    g.cred_name = Some("cred-0".into());
+    p.w.myproxy_client
+        .get_delegation_failover(
+            &[dead.clone(), standby_conn.clone()],
+            &p.w.portal_cred,
+            &g,
+            &quick,
+            &mut rng,
+            p.w.clock.now(),
+        )
+        .unwrap();
+    let infos = p
+        .w
+        .myproxy_client
+        .info_failover(
+            &[dead.clone(), standby_conn.clone()],
+            &p.w.alice,
+            "alice",
+            PASS,
+            &quick,
+            &mut rng,
+            p.w.clock.now(),
+        )
+        .unwrap();
+    assert_eq!(infos.len(), 1);
+
+    // PUT fails over only on connect-refused (nothing was sent yet)...
+    let mut params = InitParams::new("alice", PASS);
+    params.cred_name = Some("cred-put".into());
+    p.w.myproxy_client
+        .init_failover(&[dead.clone(), primary_conn.clone()], &p.w.alice, &params, &mut rng, p.w.clock.now())
+        .unwrap();
+    assert!(p.w.myproxy.store().all_entries().iter().any(|e| e.name == "cred-put"));
+
+    // ...never once a request is in flight: the standby accepts the
+    // dial, refuses the PUT, and that error surfaces — no second PUT
+    // is attempted against the next repository in the list.
+    let mut params = InitParams::new("alice", PASS);
+    params.cred_name = Some("cred-no-retry".into());
+    let err = p
+        .w
+        .myproxy_client
+        .init_failover(&[standby_conn, primary_conn], &p.w.alice, &params, &mut rng, p.w.clock.now())
+        .unwrap_err();
+    assert!(matches!(err, MyProxyError::Refused(_)), "got: {err:?}");
+    assert!(
+        !p.w.myproxy.store().all_entries().iter().any(|e| e.name == "cred-no-retry"),
+        "an in-flight PUT must not be replayed against the next repository"
+    );
 }
